@@ -1,0 +1,112 @@
+package grape_test
+
+import (
+	"fmt"
+
+	"grape"
+)
+
+// The canonical GRAPE workflow: generate a graph, pick a worker count and a
+// partition strategy, run a registered PIE program.
+func ExampleRunSSSP() {
+	g := grape.New()
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 1, 2)
+	g.AddEdge(1, 3, 1)
+
+	dists, _, err := grape.RunSSSP(g, 0, grape.Options{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dists[1], dists[3])
+	// Output: 3 4
+}
+
+// Connected components label every vertex with the smallest vertex ID in
+// its weakly connected component.
+func ExampleRunCC() {
+	g := grape.New()
+	g.AddEdge(5, 9, 1)
+	g.AddEdge(9, 7, 1)
+	g.AddEdge(2, 4, 1)
+
+	comp, _, err := grape.RunCC(g, grape.Options{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(comp[7], comp[4])
+	// Output: 5 2
+}
+
+// Subgraph isomorphism ships d-hop neighborhoods in PEval and finishes in a
+// single parallel superstep.
+func ExampleRunSubIso() {
+	g := grape.New()
+	g.AddVertex(1, "person")
+	g.AddVertex(2, "person")
+	g.AddVertex(3, "product")
+	g.AddLabeledEdge(1, 2, 1, "follow")
+	g.AddLabeledEdge(2, 3, 1, "recommend")
+
+	pattern, err := grape.PatternByName("follows-recommend")
+	if err != nil {
+		panic(err)
+	}
+	matches, stats, err := grape.RunSubIso(g, pattern, 0, grape.Options{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(matches), stats.Supersteps)
+	// Output: 1 1
+}
+
+// The registry drives programs by name with textual queries — the demo's
+// play panel.
+func ExampleRunProgram() {
+	g := grape.RoadGrid(8, 8, 1)
+	res, _, err := grape.RunProgram("sssp", g, grape.Options{Workers: 2}, "source=0")
+	if err != nil {
+		panic(err)
+	}
+	dists := res.(map[grape.ID]float64)
+	fmt.Println(dists[0])
+	// Output: 0
+}
+
+// Sessions answer a standing query over an evolving graph: edge insertions
+// re-run only the bounded incremental step.
+func ExampleNewSSSPSession() {
+	g := grape.New()
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 10)
+
+	session, dists, _, err := grape.NewSSSPSession(g, 0, grape.Options{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dists[2])
+
+	dists, _, err = session.Update([]grape.EdgeUpdate{{From: 0, To: 2, W: 3}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dists[2])
+	// Output:
+	// 20
+	// 3
+}
+
+// Strategies lists the built-in partition library of the play panel.
+func ExampleStrategies() {
+	for _, s := range grape.Strategies() {
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// hash
+	// range
+	// fennel
+	// ldg
+	// metis
+	// 2d
+}

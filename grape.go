@@ -1,0 +1,265 @@
+// Package grape is a Go reproduction of GRAPE, the parallel graph query
+// engine of Fan et al. (SIGMOD 2017 / VLDB 2017 demo): a system that
+// parallelizes *whole sequential graph algorithms* via a simultaneous
+// fixpoint of partial evaluation (PEval) and bounded incremental evaluation
+// (IncEval) over graph fragments, assembled into a global answer (Assemble).
+//
+// This package is the public facade: graph construction and generators, the
+// partition-strategy library, the six registered query classes of the demo
+// (SSSP, CC, Sim, SubIso, Keyword, CF), graph pattern association rules for
+// social-media marketing, and the registry for plugging in new PIE programs.
+// The engine internals live under internal/; downstream code should only
+// need this package.
+//
+// Quick start:
+//
+//	g := grape.RoadGrid(64, 64, 1)
+//	dists, stats, err := grape.RunSSSP(g, 0, grape.Options{Workers: 8})
+//
+// To plug in your own sequential algorithm, implement engine.Program's three
+// functions and the update-parameter declaration; see examples/plugplay.
+package grape
+
+import (
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/gpar"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+	"grape/internal/queries"
+	"grape/internal/seq"
+)
+
+// Core types re-exported for building and running queries.
+type (
+	// Graph is the labeled, weighted graph all engines operate on.
+	Graph = graph.Graph
+	// ID identifies a vertex.
+	ID = graph.ID
+	// Edge is one adjacency entry.
+	Edge = graph.Edge
+	// Options configures an engine run (workers, partition strategy,
+	// superstep cap, monotonicity checking).
+	Options = engine.Options
+	// Stats reports what a run measured: supersteps, per-worker work,
+	// messages and bytes shipped, wall time.
+	Stats = metrics.Stats
+	// CostModel converts Stats into simulated cluster seconds.
+	CostModel = metrics.CostModel
+	// Strategy is a graph partitioner.
+	Strategy = partition.Strategy
+	// Entry is a PIE program registered in the library.
+	Entry = engine.Entry
+	// Match is a subgraph-isomorphism embedding (pattern vertex -> data
+	// vertex).
+	Match = seq.Match
+	// KeywordMatch is one keyword-search answer.
+	KeywordMatch = seq.KeywordMatch
+	// CFResult is the collaborative-filtering model and fit.
+	CFResult = queries.CFResult
+	// SimResult maps each pattern vertex to the data vertices simulating it.
+	SimResult = queries.SimResult
+	// Rule is a graph pattern association rule Q(x,y) ⇒ p(x,y).
+	Rule = gpar.Rule
+	// RuleResult is the evaluation of a Rule: candidates and confidence.
+	RuleResult = gpar.Result
+)
+
+// Plug-in surface: implement Program (a PIE program — PEval, IncEval,
+// Assemble plus the update-parameter declaration) and hand it to Run; see
+// examples/plugplay for a complete custom program.
+type (
+	// Program is a PIE program for query type Q, update-parameter value
+	// type V, and result type R.
+	Program[Q, V, R any] = engine.Program[Q, V, R]
+	// Context is a worker's view of its fragment during a run.
+	Context[V any] = engine.Context[V]
+	// VarSpec declares a program's update parameters: default value,
+	// aggregate, equality, optional partial order, wire size.
+	VarSpec[V any] = engine.VarSpec[V]
+	// Fragment is the subgraph a worker computes on.
+	Fragment = partition.Fragment
+)
+
+// Run executes a PIE program on g: partition, parallel PEval, incremental
+// IncEval to the simultaneous fixpoint, Assemble — the workflow of the
+// paper's Fig. 1.
+func Run[Q, V, R any](g *Graph, prog Program[Q, V, R], q Q, opts Options) (R, *Stats, error) {
+	return engine.Run(g, prog, q, opts)
+}
+
+// RunAsync executes a PIE program without BSP barriers: workers exchange
+// changed update parameters peer-to-peer and react immediately. For
+// programs with a monotone update-parameter order the answer is identical
+// to Run's; the cost profile trades barriers for possible stale-value
+// recomputation.
+func RunAsync[Q, V, R any](g *Graph, prog Program[Q, V, R], q Q, opts Options) (R, *Stats, error) {
+	return engine.RunAsync(g, prog, q, opts)
+}
+
+// Register adds a PIE program to the library so RunProgram can play it by
+// name.
+func Register(e Entry) { engine.Register(e) }
+
+// Continuous queries over evolving graphs: the paper defines IncEval over
+// updates M to G; a Session retains the distributed state of a query so
+// that edge insertions re-run only the bounded incremental step.
+type (
+	// Session retains a query's fragments and partial results across graph
+	// updates.
+	Session[Q, V, R any] = engine.Session[Q, V, R]
+	// EdgeUpdate is one edge insertion (or weight decrease).
+	EdgeUpdate = engine.EdgeUpdate
+)
+
+// NewSession starts a continuous query: it runs the initial fixpoint and
+// returns a Session whose Update method applies edge insertions
+// incrementally. The program must implement engine.Updater to accept
+// updates (the built-in SSSP and CC do).
+func NewSession[Q, V, R any](g *Graph, prog Program[Q, V, R], q Q, opts Options) (*Session[Q, V, R], R, *Stats, error) {
+	return engine.NewSession(g, prog, q, opts)
+}
+
+// NewSSSPSession starts a continuous shortest-path query from src.
+func NewSSSPSession(g *Graph, src ID, opts Options) (*Session[queries.SSSPQuery, float64, map[ID]float64], map[ID]float64, *Stats, error) {
+	return engine.NewSession(g, queries.SSSP{}, queries.SSSPQuery{Source: src}, opts)
+}
+
+// NewCCSession starts a continuous connected-components query.
+func NewCCSession(g *Graph, opts Options) (*Session[queries.CCQuery, ID, map[ID]ID], map[ID]ID, *Stats, error) {
+	return engine.NewSession(g, queries.CC{}, queries.CCQuery{}, opts)
+}
+
+// New returns an empty directed graph.
+func New() *Graph { return graph.New() }
+
+// NewUndirected returns an empty undirected graph.
+func NewUndirected() *Graph { return graph.NewUndirected() }
+
+// DefaultCostModel returns the calibration documented in EXPERIMENTS.md.
+func DefaultCostModel() CostModel { return metrics.DefaultCostModel() }
+
+// Strategies lists the built-in partition strategies (hash, range, fennel,
+// metis-like, 2d).
+func Strategies() []Strategy { return partition.Strategies() }
+
+// StrategyByName resolves a built-in partition strategy.
+func StrategyByName(name string) (Strategy, error) { return partition.ByName(name) }
+
+// Library lists the registered PIE programs — the demo's plug panel.
+func Library() []Entry { return engine.Library() }
+
+// RunProgram looks up a registered program by name and runs it with a
+// textual query (see each entry's QueryHelp) — the demo's play panel.
+func RunProgram(name string, g *Graph, opts Options, query string) (any, *Stats, error) {
+	e, err := engine.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Run(g, opts, query)
+}
+
+// RunSSSP computes single-source shortest distances from src (Example 1's
+// PIE program: Dijkstra + bounded incremental relaxation).
+func RunSSSP(g *Graph, src ID, opts Options) (map[ID]float64, *Stats, error) {
+	return engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: src}, opts)
+}
+
+// RunCC labels every vertex with the minimum vertex ID of its weakly
+// connected component.
+func RunCC(g *Graph, opts Options) (map[ID]ID, *Stats, error) {
+	return engine.Run(g, queries.CC{}, queries.CCQuery{}, opts)
+}
+
+// RunSim computes graph simulation of a pattern: for each pattern vertex,
+// the data vertices that simulate it.
+func RunSim(g *Graph, pattern *Graph, opts Options) (map[ID][]ID, *Stats, error) {
+	res, st, err := engine.Run(g, queries.Sim{}, queries.SimQuery{Pattern: pattern}, opts)
+	return map[ID][]ID(res), st, err
+}
+
+// RunSubIso enumerates subgraph-isomorphism embeddings of a pattern
+// (maxMatches 0 = unlimited). Fragments are expanded to the pattern radius
+// automatically.
+func RunSubIso(g *Graph, pattern *Graph, maxMatches int, opts Options) ([]Match, *Stats, error) {
+	return queries.RunSubIso(g, queries.SubIsoQuery{Pattern: pattern, MaxMatches: maxMatches}, opts)
+}
+
+// RunKeyword finds the roots from which a holder of every keyword is
+// reachable within bound, ranked by total distance.
+func RunKeyword(g *Graph, keywords []string, bound float64, opts Options) ([]KeywordMatch, *Stats, error) {
+	return engine.Run(g, queries.Keyword{}, queries.KeywordQuery{Keywords: keywords, Bound: bound, UseIndex: true}, opts)
+}
+
+// RunCF factorizes the bipartite ratings graph (vertices labeled
+// "user"/"item", edge weights = ratings) by distributed SGD.
+func RunCF(g *Graph, epochs int, opts Options) (CFResult, *Stats, error) {
+	cfg := seq.DefaultCFConfig()
+	if epochs > 0 {
+		cfg.Epochs = epochs
+	}
+	return engine.Run(g, queries.CF{}, queries.CFQuery{Cfg: cfg}, opts)
+}
+
+// EvalRule evaluates a graph pattern association rule, returning candidate
+// (x, y) pairs ranked by the rule's confidence on this graph.
+func EvalRule(g *Graph, r Rule, opts Options) (*RuleResult, *Stats, error) {
+	return gpar.Eval(g, r, opts)
+}
+
+// Example2Rule is the paper's Example 2 GPAR: ≥ minFrac of x's followees
+// recommend y and none rates it badly ⇒ x is a potential buyer of y.
+func Example2Rule(minFrac float64) Rule { return gpar.Example2Rule(minFrac) }
+
+// DiscoverRules mines association rules from a social-commerce graph:
+// candidate patterns over the schema are evaluated with the distributed
+// SubIso machinery and filtered by support and confidence.
+func DiscoverRules(g *Graph, minSupport int, minConfidence float64, opts Options) ([]*RuleResult, error) {
+	cfg := gpar.DefaultDiscoverConfig()
+	if minSupport > 0 {
+		cfg.MinSupport = minSupport
+	}
+	if minConfidence > 0 {
+		cfg.MinConfidence = minConfidence
+	}
+	return gpar.Discover(g, cfg, opts)
+}
+
+// PatternByName resolves a named pattern from the pattern library
+// (chain3, triangle, star3, follows-recommend, co-recommend).
+func PatternByName(name string) (*Graph, error) { return queries.PatternByName(name) }
+
+// Dataset generators (deterministic in their seeds).
+
+// RoadGrid generates the US-road-network stand-in: a weighted rows×cols grid
+// with highway shortcuts; hop diameter ≈ rows+cols.
+func RoadGrid(rows, cols int, seed int64) *Graph { return gen.RoadGrid(rows, cols, seed) }
+
+// SocialNetwork generates a scale-free directed graph (LiveJournal stand-in).
+func SocialNetwork(n, outDeg int, seed int64) *Graph {
+	return gen.PreferentialAttachment(n, outDeg, seed)
+}
+
+// SocialCommerce generates a labeled person/product graph with follow,
+// recommend, rate_bad and buy edges (Weibo stand-in) and a planted
+// Example 2 signal.
+func SocialCommerce(people, products int, seed int64) *Graph {
+	return gen.SocialCommerce(gen.SocialCommerceConfig{
+		People: people, Products: products, Follows: 4, AdoptP: 0.9, Seed: seed,
+	})
+}
+
+// Ratings generates a bipartite user-item rating graph from a planted
+// latent-factor model, for CF.
+func Ratings(users, items, ratingsPerUser int, seed int64) *Graph {
+	return gen.Ratings(gen.RatingsConfig{
+		Users: users, Items: items, RatingsPerUser: ratingsPerUser, Factors: 4, Noise: 0.1, Seed: seed,
+	})
+}
+
+// AttachKeywords decorates vertices with up to k keywords from vocab (each
+// chosen with probability p) for keyword-search workloads.
+func AttachKeywords(g *Graph, vocab []string, k int, p float64, seed int64) {
+	gen.AttachKeywords(g, vocab, k, p, seed)
+}

@@ -1,0 +1,163 @@
+package balance_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grape/internal/balance"
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/partition"
+	"grape/internal/queries"
+	"grape/internal/seq"
+)
+
+func TestEstimatePositiveAndMonotone(t *testing.T) {
+	g := gen.PreferentialAttachment(1000, 4, 3)
+	asg, err := partition.Fennel{}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := partition.Build(g, asg)
+	loads := balance.Estimate(layout, balance.DefaultWeights())
+	if len(loads) != 8 {
+		t.Fatalf("want 8 loads, got %d", len(loads))
+	}
+	for i, l := range loads {
+		if l <= 0 {
+			t.Fatalf("fragment %d load %g", i, l)
+		}
+	}
+}
+
+func TestAssignLPTBeatsNaive(t *testing.T) {
+	// skewed loads: LPT should spread far better than contiguous chunks
+	loads := []float64{100, 1, 1, 1, 90, 1, 1, 1, 80, 1, 1, 1}
+	plan, err := balance.Assign(loads, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// naive contiguous: {100,1,1,1}=103, {90,1,1,1}=93, {80,1,1,1}=83 -> 103
+	// LPT: 100, 90, 80 on separate workers -> ~103 total/3 ≈ 93 max
+	if plan.MaxLoad() >= 103 {
+		t.Fatalf("LPT makespan %.0f not better than naive 103", plan.MaxLoad())
+	}
+	// plan covers every fragment with a valid worker
+	for i, w := range plan.WorkerOf {
+		if w < 0 || w >= 3 {
+			t.Fatalf("fragment %d on bad worker %d", i, w)
+		}
+	}
+	// loads add up
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	var planned float64
+	for _, l := range plan.Loads {
+		planned += l
+	}
+	if math.Abs(total-planned) > 1e-9 {
+		t.Fatalf("loads lost: %g vs %g", planned, total)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	if _, err := balance.Assign([]float64{1, 2}, 0); err == nil {
+		t.Fatal("0 workers should fail")
+	}
+	if _, err := balance.Assign([]float64{1}, 2); err == nil {
+		t.Fatal("fewer fragments than workers should fail")
+	}
+}
+
+func TestAssignPropertyMakespanBound(t *testing.T) {
+	// LPT is a 4/3-approximation: makespan ≤ 4/3 · OPT + largest/3; we use
+	// the weaker sanity bound makespan ≤ total (one worker) and
+	// makespan ≥ total/n (perfect split).
+	f := func(raw []uint16, nw uint8) bool {
+		n := 1 + int(nw%4)
+		if len(raw) < n {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			loads[i] = float64(r) + 1
+			total += loads[i]
+		}
+		plan, err := balance.Assign(loads, n)
+		if err != nil {
+			return false
+		}
+		return plan.MaxLoad() <= total+1e-9 && plan.MaxLoad() >= total/float64(n)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoarsenPreservesCorrectness(t *testing.T) {
+	// Partition into many fragments, rebalance onto few workers, and check
+	// SSSP still agrees with the sequential answer.
+	g := gen.ConnectedRandom(400, 1200, 9)
+	asg, err := partition.Fennel{}.Partition(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := partition.Build(g, asg)
+	coarse, plan, err := balance.Rebalance(layout, 4, balance.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Loads) != 4 {
+		t.Fatalf("want 4 workers, got %d", len(plan.Loads))
+	}
+	if err := coarse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Dijkstra(g, 0)
+	got, _, err := engine.RunOnLayout(partition.Build(g, coarse), queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reach set: %d vs %d", len(got), len(want))
+	}
+	for v, d := range want {
+		if math.Abs(got[v]-d) > 1e-9 {
+			t.Fatalf("vertex %d: %g vs %g", v, got[v], d)
+		}
+	}
+}
+
+func TestRebalanceEvensSkewedFragments(t *testing.T) {
+	// Range-partition a preferential-attachment graph: early fragments hold
+	// the hubs and are much heavier. Rebalancing 12 fragments onto 4
+	// workers must beat the naive contiguous 3-fragments-per-worker map.
+	g := gen.PreferentialAttachment(3000, 5, 7)
+	asg, err := partition.Range{}.Partition(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := partition.Build(g, asg)
+	loads := balance.Estimate(layout, balance.DefaultWeights())
+	plan, err := balance.Assign(loads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := make([]float64, 4)
+	for i, l := range loads {
+		naive[i/3] += l
+	}
+	naiveMax := 0.0
+	for _, l := range naive {
+		if l > naiveMax {
+			naiveMax = l
+		}
+	}
+	if plan.MaxLoad() > naiveMax {
+		t.Fatalf("LPT (%.0f) worse than naive contiguous (%.0f)", plan.MaxLoad(), naiveMax)
+	}
+}

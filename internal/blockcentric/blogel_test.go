@@ -1,0 +1,101 @@
+package blockcentric
+
+import (
+	"math"
+	"testing"
+
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+func TestBlockSSSPMatchesDijkstra(t *testing.T) {
+	g := gen.ConnectedRandom(300, 900, 37)
+	want := seq.Dijkstra(g, 0)
+	for _, bpw := range []int{1, 4, 16} {
+		got, stats, err := Run(g, SSSPBlock{Source: 0}, Config{Workers: 4, BlocksPerWorker: bpw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, d := range want {
+			gv, ok := got[v]
+			if !ok || math.Abs(gv-d) > 1e-9 {
+				t.Fatalf("bpw=%d vertex %d: want %g got %g (ok=%v)", bpw, v, d, gv, ok)
+			}
+		}
+		if stats.Supersteps < 2 {
+			t.Fatalf("expected multiple supersteps, got %d", stats.Supersteps)
+		}
+	}
+}
+
+func TestBlockSSSPOnRoadGrid(t *testing.T) {
+	g := gen.RoadGrid(20, 20, 3)
+	want := seq.Dijkstra(g, 0)
+	got, _, err := Run(g, SSSPBlock{Source: 0}, Config{Workers: 6, Strategy: partition.Range{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if math.Abs(got[v]-d) > 1e-9 {
+			t.Fatalf("vertex %d: want %g got %g", v, d, got[v])
+		}
+	}
+}
+
+func TestBlockCCMatchesSequential(t *testing.T) {
+	g := gen.Random(150, 200, 41)
+	want := seq.Components(g)
+	got, _, err := Run(g.Symmetrized(), CCBlock{}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range want {
+		if graph.ID(got[v]) != c {
+			t.Fatalf("vertex %d: want %d got %g", v, c, got[v])
+		}
+	}
+}
+
+func TestBlocksPartitionWorkerVertices(t *testing.T) {
+	g := gen.RoadGrid(15, 15, 9)
+	asg, err := (partition.Hash{}).Partition(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := buildBlocks(g, asg, 4)
+	seen := map[graph.ID]int{}
+	for _, b := range blocks {
+		if b.Worker < 0 || b.Worker >= 5 {
+			t.Fatalf("block worker out of range: %d", b.Worker)
+		}
+		for _, v := range b.Vertices {
+			seen[v]++
+			if asg.Owner(v) != b.Worker {
+				t.Fatalf("vertex %d in block of worker %d but owned by %d", v, b.Worker, asg.Owner(v))
+			}
+		}
+	}
+	if len(seen) != g.NumVertices() {
+		t.Fatalf("blocks cover %d of %d vertices", len(seen), g.NumVertices())
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("vertex %d appears in %d blocks", v, n)
+		}
+	}
+}
+
+func TestBlockSuperstepsBetweenVertexAndGrape(t *testing.T) {
+	// Structural expectation: block-centric needs far fewer supersteps than
+	// the grid's hop diameter.
+	g := gen.RoadGrid(24, 24, 1)
+	_, stats, err := Run(g, SSSPBlock{Source: 0}, Config{Workers: 4, BlocksPerWorker: 4, Strategy: partition.Range{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps >= 48 {
+		t.Fatalf("block-centric should beat vertex-hop supersteps (48), got %d", stats.Supersteps)
+	}
+}

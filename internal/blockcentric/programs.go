@@ -1,0 +1,179 @@
+package blockcentric
+
+import (
+	"math"
+	"sort"
+
+	"grape/internal/graph"
+	"grape/internal/seq"
+)
+
+// SSSPBlock is single-source shortest paths as a block program: every
+// activation runs Dijkstra inside the block seeded by improved boundary
+// values, then ships improvements across block-leaving edges.
+type SSSPBlock struct {
+	Source graph.ID
+}
+
+// Name implements Program.
+func (SSSPBlock) Name() string { return "sssp" }
+
+// InitBlock implements Program.
+func (p SSSPBlock) InitBlock(ctx *BCtx, b *Block) {
+	if !b.Contains(p.Source) {
+		return
+	}
+	ctx.SetValue(p.Source, 0)
+	relaxBlock(ctx, b, []graph.ID{p.Source})
+}
+
+// ComputeBlock implements Program.
+func (p SSSPBlock) ComputeBlock(ctx *BCtx, b *Block, msgs map[graph.ID][]float64) {
+	var seeds []graph.ID
+	for v, ms := range msgs {
+		best := math.Inf(1)
+		for _, m := range ms {
+			ctx.AddWork(1)
+			if m < best {
+				best = m
+			}
+		}
+		if cur, ok := ctx.Value(v); !ok || best < cur {
+			ctx.SetValue(v, best)
+			seeds = append(seeds, v)
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	relaxBlock(ctx, b, seeds)
+}
+
+// relaxBlock runs Dijkstra over the block from the seeds. Improvements to
+// vertices outside the block become messages, combined per target (Blogel's
+// combiner).
+func relaxBlock(ctx *BCtx, b *Block, seeds []graph.ID) {
+	outbound := make(map[graph.ID]float64)
+	get := func(id graph.ID) float64 {
+		if b.Contains(id) {
+			if v, ok := ctx.Value(id); ok {
+				return v
+			}
+			return math.Inf(1)
+		}
+		if v, ok := outbound[id]; ok {
+			return v
+		}
+		return math.Inf(1)
+	}
+	set := func(id graph.ID, d float64) {
+		if b.Contains(id) {
+			ctx.SetValue(id, d)
+			return
+		}
+		outbound[id] = d
+	}
+	work := seq.Relax(b.Sub, seeds, get, set)
+	ctx.AddWork(work)
+	targets := make([]graph.ID, 0, len(outbound))
+	for id := range outbound {
+		targets = append(targets, id)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, id := range targets {
+		ctx.Send(id, outbound[id])
+	}
+}
+
+// ccBlockState caches the block's internal connectivity: local sets never
+// change, so ComputeBlock only moves labels.
+type ccBlockState struct {
+	uf        *seq.UnionFind
+	rootLabel map[graph.ID]graph.ID
+	// crossOf lists, per local root, the block-leaving edges of the set.
+	crossOf map[graph.ID][]graph.ID
+}
+
+// CCBlock is weakly connected components as a block program: min-label
+// propagation at block granularity.
+type CCBlock struct{}
+
+// Name implements Program.
+func (CCBlock) Name() string { return "cc" }
+
+// InitBlock implements Program.
+func (CCBlock) InitBlock(ctx *BCtx, b *Block) {
+	st := &ccBlockState{uf: seq.NewUnionFind(), rootLabel: map[graph.ID]graph.ID{}, crossOf: map[graph.ID][]graph.ID{}}
+	b.State = st
+	for _, v := range b.Vertices {
+		st.uf.Add(v)
+	}
+	for _, u := range b.Vertices {
+		for _, e := range b.Sub.Out(u) {
+			ctx.AddWork(1)
+			if b.Contains(e.To) {
+				st.uf.Union(u, e.To)
+			}
+		}
+	}
+	for _, v := range b.Vertices {
+		r := st.uf.Find(v)
+		if cur, ok := st.rootLabel[r]; !ok || v < cur {
+			st.rootLabel[r] = v
+		}
+	}
+	for _, u := range b.Vertices {
+		for _, e := range b.Sub.Out(u) {
+			if !b.Contains(e.To) {
+				r := st.uf.Find(u)
+				st.crossOf[r] = append(st.crossOf[r], e.To)
+			}
+		}
+	}
+	for _, v := range b.Vertices {
+		ctx.SetValue(v, float64(st.rootLabel[st.uf.Find(v)]))
+	}
+	// initial label exchange
+	for r, targets := range st.crossOf {
+		l := float64(st.rootLabel[r])
+		for _, to := range targets {
+			ctx.Send(to, l)
+			ctx.AddWork(1)
+		}
+	}
+}
+
+// ComputeBlock implements Program.
+func (CCBlock) ComputeBlock(ctx *BCtx, b *Block, msgs map[graph.ID][]float64) {
+	st := b.State.(*ccBlockState)
+	best := make(map[graph.ID]graph.ID) // root -> lowest incoming
+	for v, ms := range msgs {
+		r := st.uf.Find(v)
+		for _, m := range ms {
+			ctx.AddWork(1)
+			l := graph.ID(m)
+			if cur, ok := best[r]; !ok || l < cur {
+				best[r] = l
+			}
+		}
+	}
+	roots := make([]graph.ID, 0, len(best))
+	for r := range best {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, r := range roots {
+		l := best[r]
+		if l >= st.rootLabel[r] {
+			continue
+		}
+		st.rootLabel[r] = l
+		for _, v := range b.Vertices {
+			if st.uf.Find(v) == r {
+				ctx.SetValue(v, float64(l))
+			}
+		}
+		for _, to := range st.crossOf[r] {
+			ctx.Send(to, float64(l))
+			ctx.AddWork(1)
+		}
+	}
+}

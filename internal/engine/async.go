@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+)
+
+// RunAsync executes a PIE program without BSP barriers: workers exchange
+// changed update parameters peer-to-peer and re-run IncEval the moment a
+// batch arrives, instead of waiting for a global superstep. This is the
+// direction GRAPE's follow-up work (adaptive asynchronous parallelization)
+// took; for programs with a monotonic update-parameter order the fixpoint
+// is unique, so the asynchronous schedule reaches exactly the same answer —
+// property tests assert RunAsync ≡ Run.
+//
+// Asynchrony changes the cost profile, not the answer: there are no
+// straggler barriers (the simulated time of an async run is the busiest
+// worker's total work plus traffic, with a single startup latency), at the
+// price of potentially more re-computation and traffic because workers act
+// on stale values. Programs relying on coordinated rounds (CF's epoch
+// lockstep, the Simulation Theorem adapter) need the synchronous engine;
+// RunAsync rejects Consume-typed programs.
+//
+// Termination uses Dijkstra–Scholten-style credit counting: a shared
+// counter tracks unprocessed tasks (the initial PEval tasks plus every
+// routed batch); a worker decrements only after it has finished processing
+// a task and enqueued all resulting batches, so the counter cannot reach
+// zero while work is still in flight.
+func RunAsync[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
+	var zero R
+	opts = opts.withDefaults()
+	spec := prog.Spec()
+	if spec.Consume {
+		return zero, nil, fmt.Errorf("engine: %s uses consumable message queues; async mode requires convergent state", prog.Name())
+	}
+	layout := opts.Layout
+	if layout == nil {
+		asg, err := opts.Strategy.Partition(g, opts.Workers)
+		if err != nil {
+			return zero, nil, err
+		}
+		if opts.ExpandHops > 0 {
+			layout = partition.BuildExpanded(g, asg, opts.ExpandHops)
+		} else {
+			layout = partition.Build(g, asg)
+		}
+	}
+	n := len(layout.Fragments)
+	start := time.Now()
+	stats := &metrics.Stats{Engine: "grape-async/" + prog.Name(), Workers: n}
+
+	ctxs := make([]*Context[V], n)
+	boxes := make([]*mailbox[V], n)
+	for i, f := range layout.Fragments {
+		ctxs[i] = newContext(f, spec)
+		boxes[i] = newMailbox[V]()
+	}
+
+	var (
+		pending     atomic.Int64 // unprocessed tasks (credits)
+		msgs, bytes atomic.Int64
+		workTotal   = make([]int64, n)
+		firstErr    atomic.Value
+		doneOnce    sync.Once
+		done        = make(chan struct{})
+	)
+	finish := func() { doneOnce.Do(func() { close(done) }) }
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, error(err))
+		finish()
+	}
+
+	route := func(w int, changes []VarUpdate[V]) {
+		if len(changes) == 0 {
+			return
+		}
+		byHost := make(map[int][]VarUpdate[V])
+		for _, u := range changes {
+			for _, h := range layout.Hosts(u.ID) {
+				if h == w {
+					continue
+				}
+				byHost[h] = append(byHost[h], u)
+			}
+		}
+		hosts := make([]int, 0, len(byHost))
+		for h := range byHost {
+			hosts = append(hosts, h)
+		}
+		sort.Ints(hosts)
+		for _, h := range hosts {
+			batch := byHost[h]
+			size := 0
+			for _, u := range batch {
+				size += 8 + spec.sizeOf(u.Val)
+			}
+			msgs.Add(1)
+			bytes.Add(int64(size))
+			pending.Add(1)
+			boxes[h].push(batch)
+		}
+	}
+
+	// Shutdown broadcaster: sync.Cond cannot select on a channel, so wake
+	// every mailbox under its lock once done closes (the lock serializes
+	// against the check-then-Wait in pop, preventing missed wakeups).
+	go func() {
+		<-done
+		for _, b := range boxes {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		}
+	}()
+
+	pending.Add(int64(n)) // one PEval task per worker
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(w int) {
+			defer wg.Done()
+			ctx := ctxs[w]
+			// PEval task
+			if err := prog.PEval(q, ctx); err != nil {
+				fail(fmt.Errorf("worker %d peval: %w", w, err))
+				return
+			}
+			workTotal[w] += ctx.takeWork()
+			route(w, ctx.flush())
+			if pending.Add(-1) == 0 {
+				finish()
+			}
+			for {
+				// Drain the whole inbox per activation: reacting to one
+				// batch at a time multiplies stale recomputation, so real
+				// asynchronous engines coalesce pending updates.
+				batches, ok := boxes[w].popAll(done)
+				if !ok {
+					return
+				}
+				merged := batches[0]
+				for _, b := range batches[1:] {
+					merged = append(merged, b...)
+				}
+				ctx.apply(merged)
+				if len(ctx.Updated()) > 0 {
+					if err := prog.IncEval(q, ctx); err != nil {
+						fail(fmt.Errorf("worker %d inceval: %w", w, err))
+						return
+					}
+				}
+				workTotal[w] += ctx.takeWork()
+				route(w, ctx.flush())
+				if pending.Add(int64(-len(batches))) == 0 {
+					finish()
+				}
+			}
+		}(i)
+	}
+	<-done
+	wg.Wait()
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		return zero, stats, err
+	}
+	// One "superstep" row per worker: async has no barriers, so the cost
+	// model charges max total work + one latency + total bytes — the
+	// barrier-free profile that is the point of asynchronous execution.
+	stats.Supersteps = 1
+	stats.WorkPerStep = [][]int64{workTotal}
+	stats.BytesPerStep = []int64{bytes.Load()}
+	stats.Messages = msgs.Load()
+	stats.Bytes = bytes.Load()
+	res, err := prog.Assemble(q, ctxs)
+	stats.WallTime = time.Since(start)
+	if err != nil {
+		return zero, stats, fmt.Errorf("engine: assemble: %w", err)
+	}
+	return res, stats, nil
+}
+
+// mailbox is an unbounded MPSC queue with blocking pop; unboundedness is
+// what makes the peer-to-peer routing deadlock-free.
+type mailbox[V any] struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    [][]VarUpdate[V]
+}
+
+func newMailbox[V any]() *mailbox[V] {
+	m := &mailbox[V]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox[V]) push(batch []VarUpdate[V]) {
+	m.mu.Lock()
+	m.q = append(m.q, batch)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// popAll blocks until at least one batch is queued (or done closes, second
+// return false) and drains the entire queue.
+func (m *mailbox[V]) popAll(done <-chan struct{}) ([][]VarUpdate[V], bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 {
+		select {
+		case <-done:
+			return nil, false
+		default:
+		}
+		// The shutdown broadcaster wakes every mailbox when done closes;
+		// Cond cannot select on channels directly.
+		m.cond.Wait()
+	}
+	batches := m.q
+	m.q = nil
+	return batches, true
+}

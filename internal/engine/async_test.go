@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"grape/internal/gen"
+	"grape/internal/graph"
+)
+
+// asyncProg gives countdown a min aggregate so it is genuinely monotone
+// (async execution requires a confluent fixpoint, which last-writer-wins
+// does not give).
+type asyncProg struct{ countdown }
+
+func (asyncProg) Spec() VarSpec[int64] {
+	return VarSpec[int64]{
+		Default: 1 << 30,
+		Agg: func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Eq:   func(a, b int64) bool { return a == b },
+		Less: func(a, b int64) bool { return a < b },
+	}
+}
+
+func TestAsyncMatchesSyncFixpoint(t *testing.T) {
+	g := gen.Random(100, 300, 31)
+	sync, _, err := Run(g, asyncProg{}, cdQuery{}, Options{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, stats, err := RunAsync(g, asyncProg{}, cdQuery{}, Options{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(async) != len(sync) {
+		t.Fatalf("async assembled %d, sync %d", len(async), len(sync))
+	}
+	for v, x := range sync {
+		if async[v] != x {
+			t.Fatalf("vertex %d: async %d sync %d", v, async[v], x)
+		}
+	}
+	if stats.Messages == 0 && len(g.Vertices()) > 0 {
+		t.Log("note: no cross-worker traffic (possible but unusual)")
+	}
+	if stats.WallTime <= 0 {
+		t.Fatal("stats incomplete")
+	}
+}
+
+func TestAsyncSingleWorker(t *testing.T) {
+	g := gen.Random(40, 80, 7)
+	res, stats, err := RunAsync(g, asyncProg{}, cdQuery{}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != g.NumVertices() {
+		t.Fatalf("assembled %d of %d", len(res), g.NumVertices())
+	}
+	if stats.Messages != 0 {
+		t.Fatalf("single worker sent %d messages", stats.Messages)
+	}
+}
+
+func TestAsyncSurfacesErrors(t *testing.T) {
+	g := gen.Random(30, 60, 9)
+	_, _, err := RunAsync(g, struct {
+		asyncProg
+	}{asyncProg{countdown{failPEval: true}}}, cdQuery{}, Options{Workers: 3})
+	if err == nil || !strings.Contains(err.Error(), "peval boom") {
+		t.Fatalf("want peval error, got %v", err)
+	}
+}
+
+func TestAsyncRejectsConsumePrograms(t *testing.T) {
+	g := gen.Random(10, 20, 1)
+	_, _, err := RunAsync(g, consumeProg{}, cdQuery{}, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "async") {
+		t.Fatalf("want consume rejection, got %v", err)
+	}
+}
+
+// consumeProg is a do-nothing program with queue-typed variables, used only
+// to check RunAsync's rejection path.
+type consumeProg struct{}
+
+func (consumeProg) Name() string { return "consume-test" }
+func (consumeProg) Spec() VarSpec[int64] {
+	return VarSpec[int64]{
+		Default: 0,
+		Agg:     func(a, b int64) int64 { return a + b },
+		Eq:      func(a, b int64) bool { return a == b },
+		Consume: true,
+	}
+}
+func (consumeProg) PEval(cdQuery, *Context[int64]) error   { return nil }
+func (consumeProg) IncEval(cdQuery, *Context[int64]) error { return nil }
+func (consumeProg) Assemble(_ cdQuery, _ []*Context[int64]) (map[graph.ID]int64, error) {
+	return nil, nil
+}

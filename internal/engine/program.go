@@ -1,0 +1,253 @@
+// Package engine is the core of the reproduction: GRAPE's parallel query
+// engine. It executes PIE programs — a triple (PEval, IncEval, Assemble) of
+// sequential algorithms — as a simultaneous fixpoint over graph fragments,
+// following the BSP workflow of Fig. 1 of the paper:
+//
+//	superstep 1:  every worker runs PEval on its fragment and ships the
+//	              changed update parameters of its border nodes to the
+//	              coordinator;
+//	superstep r+1: the coordinator folds incoming values with the program's
+//	              aggregate function, routes each changed value to every
+//	              fragment hosting the node, and the workers that received
+//	              messages run IncEval treating them as updates;
+//	termination:  when no update parameter changes anywhere, the coordinator
+//	              pulls partial results and runs Assemble.
+//
+// Under a monotonic condition on the update parameters (a strict partial
+// order the values descend along, declared via VarSpec.Less) this fixpoint is
+// guaranteed to terminate with the correct answer as long as the plugged-in
+// sequential algorithms are correct — the paper's Assurance Theorem. The
+// engine can check the condition at run time (Options.CheckMonotonic).
+package engine
+
+import (
+	"sort"
+
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+// VarSpec declares the update parameters of a PIE program: the variables
+// attached to border nodes, their conflict-resolution aggregate, and
+// (optionally) the partial order that makes the computation monotonic.
+// This declaration is the only addition GRAPE requires on top of the
+// sequential algorithms.
+type VarSpec[V any] struct {
+	// Default is the initial value of every node's variable (e.g. +∞ for
+	// shortest-path distances).
+	Default V
+	// Agg resolves conflicts when a variable receives multiple values
+	// (e.g. min). It must be commutative and associative.
+	Agg func(old, new V) V
+	// Eq reports whether two values are equal; it drives change detection
+	// and hence termination.
+	Eq func(a, b V) bool
+	// Less, if non-nil, is a strict partial order that aggregated values
+	// must descend along. Programs satisfying it enjoy the Assurance
+	// Theorem; the engine verifies it when Options.CheckMonotonic is set.
+	Less func(a, b V) bool
+	// Size returns the serialized size of a value in bytes for traffic
+	// accounting. If nil, 8 bytes is assumed.
+	Size func(v V) int
+	// Consume marks the variables as consumable message queues rather than
+	// convergent state (used by the vertex-centric simulation adapter):
+	// shipped values are deleted at the sender, folded across workers
+	// without the coordinator's persistent state, and routed only to the
+	// node's owner. Regular PIE programs leave this false.
+	Consume bool
+}
+
+func (s VarSpec[V]) sizeOf(v V) int {
+	if s.Size == nil {
+		return 8
+	}
+	return s.Size(v)
+}
+
+// Program is a PIE program for a query class Q with update-parameter values
+// of type V and results of type R.
+type Program[Q, V, R any] interface {
+	// Name identifies the program in reports and the registry.
+	Name() string
+	// Spec declares the update parameters.
+	Spec() VarSpec[V]
+	// PEval computes the partial answer Q(F_i) on the local fragment. It is
+	// an ordinary sequential algorithm; it reads and writes node variables
+	// through ctx.
+	PEval(q Q, ctx *Context[V]) error
+	// IncEval incrementally updates the partial answer after the engine
+	// applied a batch of update-parameter changes; ctx.Updated() lists the
+	// nodes whose variables changed. A bounded IncEval touches work
+	// proportional to the changes, not to |F_i|.
+	IncEval(q Q, ctx *Context[V]) error
+	// Assemble combines the per-fragment partial answers into Q(G). It runs
+	// on the coordinator after the fixpoint is reached.
+	Assemble(q Q, ctxs []*Context[V]) (R, error)
+}
+
+// VarUpdate is one (node, value) pair of update-parameter traffic.
+type VarUpdate[V any] struct {
+	ID  graph.ID
+	Val V
+}
+
+// Context is a worker's view of its fragment during a run: the node
+// variables, change tracking for border nodes, work accounting, and
+// scratch space for the program.
+type Context[V any] struct {
+	// Frag is the fragment this worker owns.
+	Frag *partition.Fragment
+	// State is program-private per-worker state that persists across
+	// supersteps (e.g. CF's epoch counter and factor matrices).
+	State any
+	// Partial is the program's per-fragment partial answer when it is not
+	// representable in the node variables (e.g. SubIso's match list).
+	// Assemble reads it.
+	Partial any
+
+	spec    VarSpec[V]
+	vars    map[graph.ID]V
+	border  map[graph.ID]bool
+	changed map[graph.ID]bool // border vars changed since last flush
+	updated []graph.ID        // nodes changed by the last message application
+	work    int64
+	active  bool // worker requests another superstep even without messages
+}
+
+func newContext[V any](f *partition.Fragment, spec VarSpec[V]) *Context[V] {
+	border := make(map[graph.ID]bool)
+	for _, id := range f.Border() {
+		border[id] = true
+	}
+	return &Context[V]{
+		Frag:    f,
+		spec:    spec,
+		vars:    make(map[graph.ID]V),
+		border:  border,
+		changed: make(map[graph.ID]bool),
+	}
+}
+
+// Get returns the variable of id, or the declared default if it was never
+// set.
+func (c *Context[V]) Get(id graph.ID) V {
+	if v, ok := c.vars[id]; ok {
+		return v
+	}
+	return c.spec.Default
+}
+
+// Set assigns v to id's variable. If the value changed and id is a border
+// node, the change is queued for shipping at the end of the superstep.
+func (c *Context[V]) Set(id graph.ID, v V) {
+	old, had := c.vars[id]
+	if had && c.spec.Eq(old, v) {
+		return
+	}
+	if !had && c.spec.Eq(c.spec.Default, v) {
+		return
+	}
+	c.vars[id] = v
+	if c.border[id] {
+		c.changed[id] = true
+	}
+}
+
+// SetLocal assigns v to id's variable without queueing it for shipment.
+// It is for initializations every replica derives identically from the
+// replicated vertex data (e.g. Sim's label-candidate masks): shipping them
+// would tell the other hosts nothing new. Subsequent Set calls that change
+// the value still ship normally.
+func (c *Context[V]) SetLocal(id graph.ID, v V) {
+	c.vars[id] = v
+}
+
+// IsBorder reports whether id carries an update parameter (it is an outer
+// copy here or has copies on other fragments).
+func (c *Context[V]) IsBorder(id graph.ID) bool { return c.border[id] }
+
+// Updated returns the nodes whose variables were changed by the message
+// batch that triggered the current IncEval call, in ascending ID order.
+func (c *Context[V]) Updated() []graph.ID { return c.updated }
+
+// AddWork charges n elementary work units (heap operation, edge relaxation,
+// …) to this worker in the current superstep; the cost model converts work
+// into simulated time.
+func (c *Context[V]) AddWork(n int64) { c.work += n }
+
+// KeepActive asks the engine to schedule this worker again next superstep
+// even if no update parameters arrive. BSP-lockstep programs (the
+// vertex-centric simulation adapter) use it when local computation remains;
+// convergent PIE programs never need it. The flag resets before every
+// PEval/IncEval invocation.
+func (c *Context[V]) KeepActive() { c.active = true }
+
+// Vars exposes a copy-free iteration over all set variables; Assemble
+// implementations use it. The callback must not mutate the context.
+func (c *Context[V]) Vars(f func(id graph.ID, v V)) {
+	for id, v := range c.vars {
+		f(id, v)
+	}
+}
+
+// flush returns and clears the queued border changes, sorted by ID for
+// deterministic aggregation at the coordinator.
+func (c *Context[V]) flush() []VarUpdate[V] {
+	if len(c.changed) == 0 {
+		return nil
+	}
+	ups := make([]VarUpdate[V], 0, len(c.changed))
+	for id := range c.changed {
+		ups = append(ups, VarUpdate[V]{ID: id, Val: c.vars[id]})
+		if c.spec.Consume {
+			delete(c.vars, id) // shipped messages leave the sender
+		}
+	}
+	sortUpdates(ups)
+	c.changed = make(map[graph.ID]bool)
+	return ups
+}
+
+// apply folds a batch of routed updates into the variables using Agg and
+// records which nodes actually changed; those become Updated() for IncEval.
+// Applied values are not re-queued for shipping: the coordinator already
+// knows them.
+func (c *Context[V]) apply(ups []VarUpdate[V]) {
+	c.updated = c.updated[:0]
+	for _, u := range ups {
+		old := c.Get(u.ID)
+		merged := c.spec.Agg(old, u.Val)
+		if c.spec.Eq(old, merged) {
+			continue
+		}
+		c.vars[u.ID] = merged
+		c.updated = append(c.updated, u.ID)
+	}
+}
+
+// addBorder marks id as carrying an update parameter from now on; the
+// session layer calls it when graph updates enlarge the border.
+func (c *Context[V]) addBorder(id graph.ID) { c.border[id] = true }
+
+// touch re-queues id's current value for shipping even though it did not
+// change — used when a node newly becomes border and its existing value must
+// reach the new copy holders.
+func (c *Context[V]) touch(id graph.ID) {
+	if _, has := c.vars[id]; has && c.border[id] {
+		c.changed[id] = true
+	}
+}
+
+// setUpdated overrides the updated set; the session layer uses it to seed
+// IncEval with locally-dirtied nodes after graph updates.
+func (c *Context[V]) setUpdated(ids []graph.ID) { c.updated = ids }
+
+func (c *Context[V]) takeWork() int64 {
+	w := c.work
+	c.work = 0
+	return w
+}
+
+func sortUpdates[V any](ups []VarUpdate[V]) {
+	sort.Slice(ups, func(i, j int) bool { return ups[i].ID < ups[j].ID })
+}

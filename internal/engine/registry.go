@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+)
+
+// Entry describes a PIE program registered in the GRAPE API library — the
+// demo's "plug" panel. Run erases the program's generic types so that the
+// CLI and examples can pick programs by name and drive them with a textual
+// query (the "play" panel).
+type Entry struct {
+	// Name is the registry key, e.g. "sssp".
+	Name string
+	// Description is a one-line summary shown by the library listing.
+	Description string
+	// QueryHelp documents the query string syntax accepted by Run.
+	QueryHelp string
+	// Run parses query, executes the program on g, and returns its result.
+	Run func(g *graph.Graph, opts Options, query string) (any, *metrics.Stats, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Entry)
+)
+
+// Register adds a program to the library. It panics on duplicate names:
+// registration happens in package init, where a duplicate is a programming
+// error.
+func Register(e Entry) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate program %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Lookup returns the registered program with the given name.
+func Lookup(name string) (Entry, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("engine: no program %q registered (have %v)", name, names())
+	}
+	return e, nil
+}
+
+// Library lists all registered programs sorted by name.
+func Library() []Entry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Entry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func names() []string {
+	ns := make([]string, 0, len(registry))
+	for n := range registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}

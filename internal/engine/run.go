@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"grape/internal/balance"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// Options configures one engine run.
+type Options struct {
+	// Workers is the number of fragments/workers n. Default 4.
+	Workers int
+	// Strategy picks the graph partitioner. Default partition.Hash.
+	Strategy partition.Strategy
+	// Layout, if non-nil, bypasses partitioning and runs on a prebuilt
+	// layout (used by benches that partition once and query many times).
+	Layout *partition.Layout
+	// ExpandHops > 0 builds d-hop expanded fragments (data-shipping; used by
+	// locality-bounded queries such as subgraph isomorphism).
+	ExpandHops int
+	// MaxSupersteps caps the fixpoint; exceeding it is an error. Default
+	// 100000 — effectively "trust the monotonicity argument".
+	MaxSupersteps int
+	// CheckMonotonic makes the coordinator verify that every aggregated
+	// update-parameter change descends along the program's declared partial
+	// order, surfacing Assurance Theorem violations as errors.
+	CheckMonotonic bool
+	// Fragments, when larger than Workers, over-partitions the graph into
+	// this many fragments and lets the Load Balancer pack them onto the
+	// Workers with the LPT heuristic (workload estimated from vertex, edge
+	// and border counts). Over-partitioning evens skewed graphs out — one
+	// of the graph-level optimizations of Fig. 2's balancer tier.
+	Fragments int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Strategy == nil {
+		o.Strategy = partition.Hash{}
+	}
+	if o.MaxSupersteps == 0 {
+		o.MaxSupersteps = 100000
+	}
+	return o
+}
+
+// ErrNotMonotonic is returned (wrapped) when CheckMonotonic detects an
+// update parameter moving against the program's declared partial order.
+var ErrNotMonotonic = errors.New("update parameter violated the declared partial order")
+
+// ErrSuperstepLimit is returned (wrapped) when the fixpoint fails to
+// stabilize within Options.MaxSupersteps.
+var ErrSuperstepLimit = errors.New("superstep limit exceeded")
+
+// control commands sent from the coordinator to workers.
+type cmdKind int
+
+const (
+	cmdPEval cmdKind = iota
+	cmdIncEval
+	cmdLocalInc // session resume: IncEval seeded with locally-dirtied nodes
+	cmdStop
+)
+
+type workerCmd[V any] struct {
+	kind    cmdKind
+	updates []VarUpdate[V]
+	dirty   []graph.ID
+}
+
+type workerReply[V any] struct {
+	changes []VarUpdate[V]
+	work    int64
+	active  bool // worker wants another superstep regardless of messages
+	err     error
+}
+
+// Run executes prog on g with query q: it partitions g, spawns one goroutine
+// per worker plus a coordinator loop on the calling goroutine, runs the
+// PEval/IncEval fixpoint of Section 2.2, and returns Assemble's result along
+// with the run's measurements.
+func Run[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
+	var zero R
+	opts = opts.withDefaults()
+	layout := opts.Layout
+	if layout == nil {
+		asg, err := partitionFor(g, opts)
+		if err != nil {
+			return zero, nil, err
+		}
+		if opts.ExpandHops > 0 {
+			layout = partition.BuildExpanded(g, asg, opts.ExpandHops)
+		} else {
+			layout = partition.Build(g, asg)
+		}
+	}
+	return RunOnLayout(layout, prog, q, opts)
+}
+
+// partitionFor computes the worker-level assignment, optionally via the
+// Load Balancer: over-partition into Options.Fragments and LPT-pack onto
+// Options.Workers.
+func partitionFor(g *graph.Graph, opts Options) (*partition.Assignment, error) {
+	if opts.Fragments <= opts.Workers {
+		return opts.Strategy.Partition(g, opts.Workers)
+	}
+	fine, err := opts.Strategy.Partition(g, opts.Fragments)
+	if err != nil {
+		return nil, err
+	}
+	coarse, _, err := balance.Rebalance(partition.Build(g, fine), opts.Workers, balance.DefaultWeights())
+	return coarse, err
+}
+
+// RunOnLayout is Run on a prebuilt layout.
+func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
+	var zero R
+	opts = opts.withDefaults()
+	n := len(layout.Fragments)
+	spec := prog.Spec()
+
+	start := time.Now()
+	stats := &metrics.Stats{Engine: "grape/" + prog.Name(), Workers: n}
+
+	bus := mpi.NewBus(n, 4*n+16)
+	ctxs := make([]*Context[V], n)
+	for i, f := range layout.Fragments {
+		ctxs[i] = newContext(f, spec)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(w int) {
+			defer wg.Done()
+			workerLoop(bus, w, prog, q, ctxs[w], spec)
+		}(i)
+	}
+	stop := func() {
+		for i := 0; i < n; i++ {
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Payload: workerCmd[V]{kind: cmdStop}})
+		}
+		wg.Wait()
+	}
+
+	// Coordinator state: the globally best-known value of every border
+	// variable, folded with the program's aggregate. Routing only values
+	// that improve the global state is what makes the fixpoint terminate
+	// and communication proportional to real change. (Consumable queue
+	// variables bypass this state: they are folded per superstep and
+	// delivered to the owner, not converged.)
+	global := make(map[graph.ID]V)
+	stillActive := make(map[int]bool)
+
+	collect := func(from []int, step int) (map[int][]VarUpdate[V], int64, error) {
+		perWorker := make([]int64, n)
+		changedByID := make(map[graph.ID]V)
+		winner := make(map[graph.ID]int) // worker whose report set the final value
+		var stepBytes int64
+		// Drain all replies first, then fold them in worker order so that
+		// aggregation is deterministic even for non-commutative aggregates
+		// (e.g. CF's parameter averaging).
+		replies := make([]*workerReply[V], n)
+		for range from {
+			env := bus.Recv(mpi.Coordinator)
+			rep := env.Payload.(workerReply[V])
+			if rep.err != nil {
+				return nil, 0, fmt.Errorf("worker %d superstep %d: %w", env.From, step, rep.err)
+			}
+			replies[env.From] = &rep
+			perWorker[env.From] = rep.work
+			stepBytes += int64(env.Size)
+		}
+		for w := 0; w < n; w++ {
+			rep := replies[w]
+			if rep == nil {
+				continue
+			}
+			if rep.active {
+				stillActive[w] = true
+			} else {
+				delete(stillActive, w)
+			}
+			for _, u := range rep.changes {
+				if spec.Consume {
+					// queue semantics: fold this superstep's reports only
+					old, has := changedByID[u.ID]
+					if !has {
+						old = spec.Default
+					}
+					changedByID[u.ID] = spec.Agg(old, u.Val)
+					continue
+				}
+				old, has := global[u.ID]
+				if !has {
+					old = spec.Default
+				}
+				merged := spec.Agg(old, u.Val)
+				if spec.Eq(old, merged) {
+					continue
+				}
+				if opts.CheckMonotonic && spec.Less != nil && has {
+					if !spec.Less(merged, old) {
+						return nil, 0, fmt.Errorf("engine: node %d: %v -> %v: %w", u.ID, old, merged, ErrNotMonotonic)
+					}
+				}
+				global[u.ID] = merged
+				changedByID[u.ID] = merged
+				winner[u.ID] = w
+			}
+		}
+		stats.WorkPerStep = append(stats.WorkPerStep, perWorker)
+		stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)
+
+		// Route each changed value to every fragment hosting the node,
+		// except the worker that already holds the winning value. Queue
+		// variables go to the owner only: they are messages, not state.
+		route := make(map[int][]VarUpdate[V])
+		for id, v := range changedByID {
+			if spec.Consume {
+				o := layout.Asg.Owner(id)
+				route[o] = append(route[o], VarUpdate[V]{ID: id, Val: v})
+				continue
+			}
+			for _, h := range layout.Hosts(id) {
+				if h == winner[id] {
+					continue
+				}
+				route[h] = append(route[h], VarUpdate[V]{ID: id, Val: v})
+			}
+		}
+		for _, ups := range route {
+			sortUpdates(ups)
+		}
+		return route, stepBytes, nil
+	}
+
+	// Fragment construction that replicated data (d-hop expansion) is
+	// communication of this run: charge it before superstep 1.
+	if layout.ReplicationBytes > 0 {
+		bus.AddTraffic(int64(n), layout.ReplicationBytes)
+	}
+
+	// Superstep 1: PEval everywhere.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+		bus.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Payload: workerCmd[V]{kind: cmdPEval}})
+	}
+	stats.Supersteps = 1
+	route, _, err := collect(all, 1)
+	if err != nil {
+		stop()
+		return zero, stats, err
+	}
+	if layout.ReplicationBytes > 0 && len(stats.BytesPerStep) > 0 {
+		stats.BytesPerStep[0] += layout.ReplicationBytes
+	}
+
+	// Supersteps 2..: IncEval on fragments that received messages (or asked
+	// to stay active), until no update parameter changes anywhere and every
+	// worker is quiescent — the simultaneous fixpoint.
+	for len(route) > 0 || len(stillActive) > 0 {
+		if stats.Supersteps >= opts.MaxSupersteps {
+			stop()
+			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", prog.Name(), stats.Supersteps, ErrSuperstepLimit)
+		}
+		stats.Supersteps++
+		active := make([]int, 0, len(route)+len(stillActive))
+		for w := 0; w < n; w++ {
+			ups, scheduled := route[w]
+			if !scheduled && !stillActive[w] {
+				continue
+			}
+			active = append(active, w)
+			size := 0
+			for _, u := range ups {
+				size += 8 + spec.sizeOf(u.Val)
+			}
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: size})
+		}
+		route, _, err = collect(active, stats.Supersteps)
+		if err != nil {
+			stop()
+			return zero, stats, err
+		}
+	}
+
+	stop()
+	res, err := prog.Assemble(q, ctxs)
+	stats.Messages = bus.Messages()
+	stats.Bytes = bus.Bytes()
+	stats.WallTime = time.Since(start)
+	if err != nil {
+		return zero, stats, fmt.Errorf("engine: assemble: %w", err)
+	}
+	return res, stats, nil
+}
+
+func workerLoop[Q, V, R any](bus *mpi.Bus, w int, prog Program[Q, V, R], q Q, ctx *Context[V], spec VarSpec[V]) {
+	for {
+		env := bus.Recv(w)
+		cmd := env.Payload.(workerCmd[V])
+		switch cmd.kind {
+		case cmdStop:
+			return
+		case cmdPEval:
+			ctx.active = false
+			err := prog.PEval(q, ctx)
+			reply(bus, w, env.Step, ctx, spec, err)
+		case cmdIncEval:
+			wasActive := ctx.active
+			ctx.active = false
+			ctx.apply(cmd.updates)
+			var err error
+			if len(ctx.Updated()) > 0 || wasActive {
+				err = prog.IncEval(q, ctx)
+			}
+			reply(bus, w, env.Step, ctx, spec, err)
+		case cmdLocalInc:
+			ctx.active = false
+			ctx.setUpdated(cmd.dirty)
+			var err error
+			if len(cmd.dirty) > 0 {
+				err = prog.IncEval(q, ctx)
+			}
+			reply(bus, w, env.Step, ctx, spec, err)
+		}
+	}
+}
+
+func reply[V any](bus *mpi.Bus, w, step int, ctx *Context[V], spec VarSpec[V], err error) {
+	changes := ctx.flush()
+	size := 0
+	for _, u := range changes {
+		size += 8 + spec.sizeOf(u.Val)
+	}
+	bus.Send(mpi.Envelope{From: w, To: mpi.Coordinator, Step: step, Payload: workerReply[V]{changes: changes, work: ctx.takeWork(), active: ctx.active, err: err}, Size: size})
+}

@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// The paper defines IncEval over *updates M to G*: given Q, G, Q(G) and M,
+// compute the change to the output. The demo exercises it with M = changed
+// update parameters flowing between fragments, but the same machinery
+// answers continuous queries over an evolving graph: keep the fragments and
+// partial results of the last run, apply edge updates to the fragments,
+// seed IncEval with the dirty nodes, and iterate the fixpoint again —
+// without re-running PEval from scratch.
+//
+// A Session holds that retained state. Monotone decrease-only programs
+// (SSSP, CC, Reach …) support insertions and weight decreases, where the
+// incremental run is bounded in the sense of Example 1(d); updates that
+// would move values up the order (deletions, weight increases) are rejected
+// by the program's Updater.
+
+// EdgeUpdate is one graph mutation: an edge insertion (or, equivalently for
+// weighted graphs, a weight decrease when the edge already exists).
+type EdgeUpdate struct {
+	From, To graph.ID
+	W        float64
+	Label    string
+}
+
+// Updater is implemented by PIE programs that support incremental
+// re-evaluation over graph updates. ApplyUpdate mutates the fragment-local
+// state for one update whose source vertex lives on this fragment and
+// returns the nodes whose variables may need re-relaxation; the edge has
+// already been added to ctx.Frag.G when it is called.
+type Updater[Q, V any] interface {
+	ApplyUpdate(q Q, ctx *Context[V], upd EdgeUpdate) ([]graph.ID, error)
+}
+
+// BorderPublisher is optionally implemented by programs whose node variables
+// do not mirror every node's current value (e.g. CC keeps labels in a
+// union-find and only materializes border variables). When a graph update
+// turns a node into a border node, the session asks its owner to publish the
+// node's current value so the new copy holders receive it; programs without
+// this method get Context.touch, which re-ships the stored variable.
+type BorderPublisher[Q, V any] interface {
+	PublishBorder(q Q, ctx *Context[V], id graph.ID)
+}
+
+// Session retains a query's distributed state across graph updates.
+type Session[Q, V, R any] struct {
+	prog   Program[Q, V, R]
+	q      Q
+	layout *partition.Layout
+	ctxs   []*Context[V]
+	opts   Options
+	spec   VarSpec[V]
+	// global mirrors the coordinator's folded border state between runs.
+	global map[graph.ID]V
+}
+
+// NewSession runs the initial PEval/IncEval fixpoint and retains the state
+// for incremental updates.
+func NewSession[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (*Session[Q, V, R], R, *metrics.Stats, error) {
+	var zero R
+	if !g.Directed() {
+		return nil, zero, nil, fmt.Errorf("engine: sessions support directed graphs only (undirected cut edges live on both fragments)")
+	}
+	opts = opts.withDefaults()
+	asg, err := opts.Strategy.Partition(g, opts.Workers)
+	if err != nil {
+		return nil, zero, nil, err
+	}
+	layout := partition.Build(g, asg)
+	s := &Session[Q, V, R]{
+		prog:   prog,
+		q:      q,
+		layout: layout,
+		opts:   opts,
+		spec:   prog.Spec(),
+		global: make(map[graph.ID]V),
+	}
+	res, stats, err := s.fixpoint(true, nil)
+	if err != nil {
+		return nil, zero, stats, err
+	}
+	return s, res, stats, nil
+}
+
+// Result re-assembles the current answer without recomputation.
+func (s *Session[Q, V, R]) Result() (R, error) {
+	return s.prog.Assemble(s.q, s.ctxs)
+}
+
+// Update applies a batch of edge updates and re-runs only IncEval, seeded at
+// the dirty nodes — the paper's Q(G ⊕ M) = Q(G) ⊕ ΔO. The program must
+// implement Updater.
+func (s *Session[Q, V, R]) Update(updates []EdgeUpdate) (R, *metrics.Stats, error) {
+	var zero R
+	up, ok := any(s.prog).(Updater[Q, V])
+	if !ok {
+		return zero, nil, fmt.Errorf("engine: program %s does not support incremental graph updates", s.prog.Name())
+	}
+	// Route each update to the owner of its source vertex (where the edge
+	// is stored) and mutate that fragment. New endpoints may enlarge the
+	// border: keep placement in sync.
+	dirtyByWorker := make(map[int][]graph.ID)
+	for _, u := range updates {
+		if !s.layout.Asg.G.Has(u.From) || !s.layout.Asg.G.Has(u.To) {
+			return zero, nil, fmt.Errorf("engine: update %v references unknown vertices (vertex additions are not supported)", u)
+		}
+		w := s.layout.Asg.Owner(u.From)
+		f := s.layout.Fragments[w]
+		if w != s.layout.Asg.Owner(u.To) && !f.G.Has(u.To) {
+			// new outer copy: replicate the vertex, extend the border on
+			// both sides, and bring the copy up to date with the
+			// coordinator's folded value so no historic routing is missed.
+			g := s.layout.Asg.G
+			f.G.AddVertex(u.To, g.Label(u.To))
+			if ps := g.Props(u.To); len(ps) > 0 {
+				f.G.SetProps(u.To, append([]string(nil), ps...))
+			}
+			f.Outer = insertSorted(f.Outer, u.To)
+			s.addHost(u.To, w)
+			s.ctxs[w].addBorder(u.To)
+			if gv, ok := s.global[u.To]; ok {
+				s.ctxs[w].SetLocal(u.To, s.spec.Agg(s.ctxs[w].Get(u.To), gv))
+			}
+			owner := s.layout.Asg.Owner(u.To)
+			of := s.layout.Fragments[owner]
+			if !containsID(of.InnerBorder, u.To) {
+				of.InnerBorder = insertSorted(of.InnerBorder, u.To)
+				s.ctxs[owner].addBorder(u.To)
+			}
+			// the owner's current value never shipped if the node was not
+			// border before; force it onto the wire
+			if pub, ok := any(s.prog).(BorderPublisher[Q, V]); ok {
+				pub.PublishBorder(s.q, s.ctxs[owner], u.To)
+			} else {
+				s.ctxs[owner].touch(u.To)
+			}
+			if _, ok := dirtyByWorker[owner]; !ok {
+				dirtyByWorker[owner] = nil
+			}
+		}
+		f.G.AddLabeledEdge(u.From, u.To, u.W, u.Label)
+		// mirror into the global graph so later sessions/partitions see it
+		s.layout.Asg.G.AddLabeledEdge(u.From, u.To, u.W, u.Label)
+		if _, ok := dirtyByWorker[w]; !ok {
+			dirtyByWorker[w] = nil
+		}
+		dirty, err := up.ApplyUpdate(s.q, s.ctxs[w], u)
+		if err != nil {
+			return zero, nil, fmt.Errorf("engine: applying %v: %w", u, err)
+		}
+		dirtyByWorker[w] = append(dirtyByWorker[w], dirty...)
+	}
+	return s.fixpoint(false, dirtyByWorker)
+}
+
+func (s *Session[Q, V, R]) addHost(id graph.ID, w int) {
+	hosts := s.layout.Placement[id]
+	if len(hosts) == 0 {
+		hosts = []int{s.layout.Asg.Owner(id)}
+	}
+	for _, h := range hosts {
+		if h == w {
+			return
+		}
+	}
+	hosts = append(hosts, w)
+	sort.Ints(hosts)
+	s.layout.Placement[id] = hosts
+}
+
+// fixpoint runs the engine loop. With init=true it spawns fresh contexts and
+// runs PEval; otherwise it resumes the retained contexts, invoking IncEval on
+// the workers whose fragments were dirtied.
+func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID) (R, *metrics.Stats, error) {
+	var zero R
+	n := len(s.layout.Fragments)
+	start := time.Now()
+	stats := &metrics.Stats{Engine: "grape/" + s.prog.Name(), Workers: n}
+	bus := mpi.NewBus(n, 4*n+16)
+	if init {
+		s.ctxs = make([]*Context[V], n)
+		for i, f := range s.layout.Fragments {
+			s.ctxs[i] = newContext(f, s.spec)
+		}
+	}
+
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(w int) {
+			workerLoop(bus, w, s.prog, s.q, s.ctxs[w], s.spec)
+			done <- struct{}{}
+		}(i)
+	}
+	stop := func() {
+		for i := 0; i < n; i++ {
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Payload: workerCmd[V]{kind: cmdStop}})
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	}
+
+	stillActive := make(map[int]bool)
+	collect := func(expect int, step int) (map[int][]VarUpdate[V], error) {
+		perWorker := make([]int64, n)
+		changedByID := make(map[graph.ID]V)
+		winner := make(map[graph.ID]int)
+		var stepBytes int64
+		replies := make([]*workerReply[V], n)
+		for i := 0; i < expect; i++ {
+			env := bus.Recv(mpi.Coordinator)
+			rep := env.Payload.(workerReply[V])
+			if rep.err != nil {
+				return nil, fmt.Errorf("worker %d superstep %d: %w", env.From, step, rep.err)
+			}
+			replies[env.From] = &rep
+			perWorker[env.From] = rep.work
+			stepBytes += int64(env.Size)
+		}
+		for w := 0; w < n; w++ {
+			rep := replies[w]
+			if rep == nil {
+				continue
+			}
+			if rep.active {
+				stillActive[w] = true
+			} else {
+				delete(stillActive, w)
+			}
+			for _, u := range rep.changes {
+				old, has := s.global[u.ID]
+				if !has {
+					old = s.spec.Default
+				}
+				merged := s.spec.Agg(old, u.Val)
+				if s.spec.Eq(old, merged) {
+					continue
+				}
+				if s.opts.CheckMonotonic && s.spec.Less != nil && has && !s.spec.Less(merged, old) {
+					return nil, fmt.Errorf("engine: node %d: %v -> %v: %w", u.ID, old, merged, ErrNotMonotonic)
+				}
+				s.global[u.ID] = merged
+				changedByID[u.ID] = merged
+				winner[u.ID] = w
+			}
+		}
+		stats.WorkPerStep = append(stats.WorkPerStep, perWorker)
+		stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)
+		route := make(map[int][]VarUpdate[V])
+		for id, v := range changedByID {
+			for _, h := range s.layout.Hosts(id) {
+				if h == winner[id] {
+					continue
+				}
+				route[h] = append(route[h], VarUpdate[V]{ID: id, Val: v})
+			}
+		}
+		for _, ups := range route {
+			sortUpdates(ups)
+		}
+		return route, nil
+	}
+
+	var route map[int][]VarUpdate[V]
+	var err error
+	if init {
+		for i := 0; i < n; i++ {
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Payload: workerCmd[V]{kind: cmdPEval}})
+		}
+		stats.Supersteps = 1
+		route, err = collect(n, 1)
+	} else {
+		// Seed the fixpoint by running IncEval on the dirtied workers with
+		// their own dirty nodes as the "updated" set.
+		workers := make([]int, 0, len(dirtyByWorker))
+		for w := range dirtyByWorker {
+			workers = append(workers, w)
+		}
+		sort.Ints(workers)
+		for _, w := range workers {
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: 1, Payload: workerCmd[V]{kind: cmdLocalInc, dirty: dedupeIDs(dirtyByWorker[w])}})
+		}
+		stats.Supersteps = 1
+		route, err = collect(len(workers), 1)
+	}
+	if err != nil {
+		stop()
+		return zero, stats, err
+	}
+
+	for len(route) > 0 || len(stillActive) > 0 {
+		if stats.Supersteps >= s.opts.MaxSupersteps {
+			stop()
+			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", s.prog.Name(), stats.Supersteps, ErrSuperstepLimit)
+		}
+		stats.Supersteps++
+		active := 0
+		for w := 0; w < n; w++ {
+			ups, scheduled := route[w]
+			if !scheduled && !stillActive[w] {
+				continue
+			}
+			active++
+			size := 0
+			for _, u := range ups {
+				size += 8 + s.spec.sizeOf(u.Val)
+			}
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: size})
+		}
+		route, err = collect(active, stats.Supersteps)
+		if err != nil {
+			stop()
+			return zero, stats, err
+		}
+	}
+	stop()
+	res, err := s.prog.Assemble(s.q, s.ctxs)
+	stats.Messages = bus.Messages()
+	stats.Bytes = bus.Bytes()
+	stats.WallTime = time.Since(start)
+	if err != nil {
+		return zero, stats, err
+	}
+	return res, stats, nil
+}
+
+func insertSorted(ids []graph.ID, id graph.ID) []graph.ID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+func containsID(ids []graph.ID, id graph.ID) bool {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	return i < len(ids) && ids[i] == id
+}
+
+func dedupeIDs(ids []graph.ID) []graph.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || ids[i-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"grape/internal/gen"
+	"grape/internal/graph"
+)
+
+// sessionProg is countdown extended with an Updater so the session machinery
+// can be tested without pulling in the queries package (which would create
+// an import cycle for engine tests).
+type sessionProg struct{ countdown }
+
+// ApplyUpdate lowers the target endpoint's value to the edge weight if that
+// improves it (a decrease-only toy update rule).
+func (sessionProg) ApplyUpdate(q cdQuery, ctx *Context[int64], upd EdgeUpdate) ([]graph.ID, error) {
+	w := int64(upd.W)
+	if w < ctx.Get(upd.To) {
+		ctx.Set(upd.To, w)
+		return []graph.ID{upd.To}, nil
+	}
+	return nil, nil
+}
+
+func TestSessionInitialRunMatchesRun(t *testing.T) {
+	g := gen.Random(60, 180, 21)
+	want, _, err := Run(g, countdown{}, cdQuery{}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("session initial run differs: %d vs %d", len(got), len(want))
+	}
+	for v, x := range want {
+		if got[v] != x {
+			t.Fatalf("vertex %d: %d vs %d", v, got[v], x)
+		}
+	}
+}
+
+func TestSessionUpdatePropagatesAcrossFragments(t *testing.T) {
+	// chain 0 -> 1 -> 2 -> 3 spread over fragments; lowering one node's
+	// value via an update must reach its copies and halve onward.
+	g := graph.New()
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	s, res, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("want 4 vertices, got %d", len(res))
+	}
+	// insert an edge 0 -> 3 with weight 2: ApplyUpdate lowers 3's value to 2,
+	// then the halving fixpoint brings it to 1
+	res2, stats, err := s.Update([]EdgeUpdate{{From: 0, To: 3, W: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2[3] != 1 {
+		t.Fatalf("update did not converge: vertex 3 = %d", res2[3])
+	}
+	if stats.Supersteps < 1 {
+		t.Fatal("incremental run should have at least one superstep")
+	}
+	// Result() re-assembles without recomputation
+	res3, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3[3] != res2[3] {
+		t.Fatal("Result() differs from Update()'s answer")
+	}
+}
+
+func TestSessionUpdateCreatesOuterCopy(t *testing.T) {
+	// an update whose target was never on the source's fragment forces a
+	// new outer copy + placement extension
+	g := graph.New()
+	g.AddVertex(0, "")
+	g.AddVertex(100, "")
+	g.AddEdge(0, 1, 1) // fragment of 0 knows 1
+	s, _, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Update([]EdgeUpdate{{From: 0, To: 100, W: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[100] != 1 { // 3 halves to 1
+		t.Fatalf("vertex 100 should have converged to 1, got %d", res[100])
+	}
+}
+
+func TestSessionRejectsUnknownVertices(t *testing.T) {
+	g := gen.Random(20, 40, 1)
+	s, _, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Update([]EdgeUpdate{{From: 0, To: 99999, W: 1}}); err == nil {
+		t.Fatal("expected error for unknown vertex")
+	}
+}
+
+func TestSessionRejectsNonUpdaterProgram(t *testing.T) {
+	g := gen.Random(20, 40, 2)
+	s, _, _, err := NewSession(g, countdown{}, cdQuery{}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.Update([]EdgeUpdate{{From: 0, To: 1, W: 1}})
+	if err == nil || !strings.Contains(err.Error(), "does not support") {
+		t.Fatalf("want unsupported error, got %v", err)
+	}
+}
+
+func TestSessionRejectsUndirected(t *testing.T) {
+	g := graph.NewUndirected()
+	g.AddEdge(0, 1, 1)
+	if _, _, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 2}); err == nil {
+		t.Fatal("expected undirected rejection")
+	}
+}

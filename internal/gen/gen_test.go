@@ -1,0 +1,194 @@
+package gen
+
+import (
+	"testing"
+
+	"grape/internal/graph"
+	"grape/internal/seq"
+)
+
+func TestRoadGridShape(t *testing.T) {
+	g := RoadGrid(10, 20, 1)
+	if g.NumVertices() != 200 {
+		t.Fatalf("want 200 vertices, got %d", g.NumVertices())
+	}
+	// a grid is connected and has high hop diameter from a corner
+	reach := 0
+	g.BFS(0, func(graph.ID, int) bool { reach++; return true })
+	if reach != 200 {
+		t.Fatalf("grid should be connected, reached %d", reach)
+	}
+	if d := g.Diameter(0); d < 20 {
+		t.Fatalf("grid diameter should be ≈ rows+cols, got %d", d)
+	}
+	// weights positive and roads bidirectional
+	for _, u := range g.Vertices() {
+		for _, e := range g.Out(u) {
+			if e.W <= 0 {
+				t.Fatalf("non-positive weight %g", e.W)
+			}
+		}
+	}
+}
+
+func TestRoadGridDeterministic(t *testing.T) {
+	a := RoadGrid(8, 8, 42)
+	b := RoadGrid(8, 8, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	c := RoadGrid(8, 8, 43)
+	if a.TotalWeight() == c.TotalWeight() {
+		t.Fatal("different seeds should differ (weights)")
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	g := PreferentialAttachment(2000, 3, 7)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("want 2000 vertices, got %d", g.NumVertices())
+	}
+	// heavy tail: the max in-degree should far exceed the average
+	maxIn, sumIn := 0, 0
+	for _, v := range g.Vertices() {
+		d := g.InDegree(v)
+		sumIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	avg := float64(sumIn) / 2000
+	if float64(maxIn) < 10*avg {
+		t.Fatalf("expected a heavy tail: max %d vs avg %.1f", maxIn, avg)
+	}
+	// low diameter compared to a grid of the same size
+	if d := g.Diameter(1999); d > 30 {
+		t.Fatalf("social graph diameter too high: %d", d)
+	}
+}
+
+func TestRandomAndConnectedRandom(t *testing.T) {
+	g := Random(100, 300, 3)
+	if g.NumVertices() != 100 {
+		t.Fatalf("want 100 vertices, got %d", g.NumVertices())
+	}
+	cg := ConnectedRandom(100, 300, 3)
+	reached := 0
+	cg.BFS(0, func(graph.ID, int) bool { reached++; return true })
+	if reached != 100 {
+		t.Fatalf("ConnectedRandom must reach all from 0, got %d", reached)
+	}
+}
+
+func TestSocialCommerceHasPlantedSignal(t *testing.T) {
+	g := SocialCommerce(SocialCommerceConfig{People: 500, Products: 10, Follows: 3, AdoptP: 1.0, Seed: 5})
+	counts := map[string]int{}
+	for _, u := range g.Vertices() {
+		for _, e := range g.Out(u) {
+			counts[e.Label]++
+		}
+	}
+	for _, label := range []string{EdgeFollow, EdgeRecommend, EdgeBuy} {
+		if counts[label] == 0 {
+			t.Fatalf("no %s edges generated: %v", label, counts)
+		}
+	}
+	// labels must be set
+	if g.Label(0) != LabelPerson || g.Label(graph.ID(500)) != LabelProduct {
+		t.Fatal("vertex labels wrong")
+	}
+	// every buy planted with AdoptP=1 must satisfy the quantified condition
+	// or be explicable as the 2% noise; count how many satisfy it.
+	satisfied, buys := 0, 0
+	for i := 0; i < 500; i++ {
+		p := graph.ID(i)
+		for _, e := range g.Out(p) {
+			if e.Label != EdgeBuy {
+				continue
+			}
+			buys++
+			if example2Holds(g, p, e.To) {
+				satisfied++
+			}
+		}
+	}
+	if buys == 0 || satisfied == 0 {
+		t.Fatalf("planted signal missing: %d buys, %d satisfying", buys, satisfied)
+	}
+	if float64(satisfied) < 0.5*float64(buys) {
+		t.Fatalf("too much noise: only %d of %d buys satisfy the rule", satisfied, buys)
+	}
+}
+
+// example2Holds re-checks the generator's planted condition independently.
+func example2Holds(g *graph.Graph, x, y graph.ID) bool {
+	followees, recommenders := 0, 0
+	for _, e := range g.Out(x) {
+		if e.Label != EdgeFollow {
+			continue
+		}
+		followees++
+		for _, fe := range g.Out(e.To) {
+			if fe.To != y {
+				continue
+			}
+			if fe.Label == EdgeRateBad {
+				return false
+			}
+			if fe.Label == EdgeRecommend {
+				recommenders++
+				break
+			}
+		}
+	}
+	return followees > 0 && float64(recommenders) >= 0.8*float64(followees)
+}
+
+func TestRatingsLearnable(t *testing.T) {
+	g := Ratings(RatingsConfig{Users: 100, Items: 30, RatingsPerUser: 10, Factors: 3, Noise: 0.05, Seed: 9})
+	// bipartite: users only connect to items
+	for _, v := range g.Vertices() {
+		if g.Label(v) == "user" {
+			for _, e := range g.Out(v) {
+				if g.Label(e.To) != "item" {
+					t.Fatalf("user %d connects to non-item %d", v, e.To)
+				}
+				if e.W < 1 || e.W > 5 {
+					t.Fatalf("rating out of range: %g", e.W)
+				}
+			}
+		}
+	}
+	// a latent-factor model fits it far better than the constant predictor
+	cfg := seq.DefaultCFConfig()
+	cfg.Epochs = 25
+	_, rmse := seq.TrainCF(g, seq.UsersOf(g), cfg)
+	if rmse > 1.0 {
+		t.Fatalf("planted ratings should be learnable: RMSE %.3f", rmse)
+	}
+}
+
+func TestAttachKeywordsDeterministic(t *testing.T) {
+	a := Random(50, 100, 1)
+	b := Random(50, 100, 1)
+	AttachKeywords(a, []string{"x", "y", "z"}, 2, 0.5, 7)
+	AttachKeywords(b, []string{"x", "y", "z"}, 2, 0.5, 7)
+	withProps := 0
+	for _, v := range a.Vertices() {
+		pa, pb := a.Props(v), b.Props(v)
+		if len(pa) != len(pb) {
+			t.Fatal("keyword attachment not deterministic")
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("keyword attachment not deterministic")
+			}
+		}
+		if len(pa) > 0 {
+			withProps++
+		}
+	}
+	if withProps == 0 {
+		t.Fatal("no keywords attached")
+	}
+}

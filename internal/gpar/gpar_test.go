@@ -1,0 +1,165 @@
+package gpar
+
+import (
+	"testing"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+)
+
+func socialGraph(seed int64) *graph.Graph {
+	return gen.SocialCommerce(gen.SocialCommerceConfig{
+		People: 300, Products: 8, Follows: 4, AdoptP: 0.9, Seed: seed,
+	})
+}
+
+func TestExample2FindsPotentialCustomers(t *testing.T) {
+	g := socialGraph(1)
+	rule := Example2Rule(0.8)
+	res, stats, err := Eval(g, rule, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Support == 0 {
+		t.Fatal("rule should match somewhere on the planted graph")
+	}
+	// The generator plants buys for exactly the quantified condition with
+	// AdoptP=0.9, so confidence must be clearly positive.
+	if res.Confidence < 0.5 {
+		t.Fatalf("planted signal not recovered: confidence %.2f (support %d)", res.Confidence, res.Support)
+	}
+	if stats.Supersteps != 1 {
+		t.Fatalf("GPAR matching is one parallel superstep, got %d", stats.Supersteps)
+	}
+	// Candidates must genuinely satisfy the quantifier and lack the buy edge.
+	for _, c := range res.Candidates {
+		if !rule.Quantifier(g, c.X, c.Y) {
+			t.Fatalf("candidate (%d,%d) fails the quantifier", c.X, c.Y)
+		}
+		for _, e := range g.Out(c.X) {
+			if e.To == c.Y && e.Label == gen.EdgeBuy {
+				t.Fatalf("candidate (%d,%d) already bought", c.X, c.Y)
+			}
+		}
+	}
+}
+
+func TestGPARDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := socialGraph(2)
+	rule := Example2Rule(0.8)
+	base, _, err := Eval(g, rule, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8} {
+		res, _, err := Eval(g, rule, engine.Options{Workers: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Support != base.Support || res.Confidence != base.Confidence ||
+			len(res.Candidates) != len(base.Candidates) {
+			t.Fatalf("workers=%d: result drifted: %+v vs %+v", n, res, base)
+		}
+		for i := range res.Candidates {
+			if res.Candidates[i] != base.Candidates[i] {
+				t.Fatalf("workers=%d: candidate %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestEvalAllRanksByConfidence(t *testing.T) {
+	g := socialGraph(3)
+	rules := []Rule{Example2Rule(0.8), Example2Rule(0.5), Example2Rule(0.95)}
+	rules[1].Name = "loose"
+	rules[2].Name = "strict"
+	out, err := EvalAll(g, rules, engine.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("want 3 results, got %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Confidence < out[i].Confidence {
+			t.Fatalf("results not sorted by confidence: %v then %v", out[i-1].Confidence, out[i].Confidence)
+		}
+	}
+}
+
+func TestEvalRejectsBadRule(t *testing.T) {
+	g := socialGraph(4)
+	bad := Rule{Name: "bad", Q: graph.New(), X: 0, Y: 1}
+	if _, _, err := Eval(g, bad, engine.Options{Workers: 2}); err == nil {
+		t.Fatal("expected error for rule without designated nodes")
+	}
+}
+
+func TestDiscoverFindsPlantedRule(t *testing.T) {
+	g := socialGraph(9)
+	found, err := Discover(g, DefaultDiscoverConfig(), engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("mining should keep at least one rule on the planted graph")
+	}
+	// ranked by confidence
+	for i := 1; i < len(found); i++ {
+		if found[i-1].Confidence < found[i].Confidence {
+			t.Fatal("discovered rules not ranked")
+		}
+	}
+	// the planted mechanism is the 80% majority rule: it must be among the
+	// survivors and carry high confidence
+	var majority *Result
+	for _, r := range found {
+		if r.Rule == "majority-80%-recommend" {
+			majority = r
+		}
+	}
+	if majority == nil {
+		t.Fatalf("planted majority rule not discovered; kept: %v", ruleNames(found))
+	}
+	if majority.Confidence < 0.5 {
+		t.Fatalf("planted rule confidence too low: %.2f", majority.Confidence)
+	}
+	// thresholds are honored
+	for _, r := range found {
+		if r.Support < DefaultDiscoverConfig().MinSupport {
+			t.Fatalf("rule %s kept below min support: %d", r.Rule, r.Support)
+		}
+		if r.Confidence < DefaultDiscoverConfig().MinConfidence {
+			t.Fatalf("rule %s kept below min confidence: %.2f", r.Rule, r.Confidence)
+		}
+	}
+}
+
+func ruleNames(rs []*Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Rule
+	}
+	return out
+}
+
+func TestCandidateRulesWellFormed(t *testing.T) {
+	rules := CandidateRules([]float64{0.5, 0.8})
+	if len(rules) != 5 {
+		t.Fatalf("want 5 candidates, got %d", len(rules))
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if r.Name == "" || seen[r.Name] {
+			t.Fatalf("bad or duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if !r.Q.Has(r.X) || !r.Q.Has(r.Y) {
+			t.Fatalf("rule %s: designated nodes missing", r.Name)
+		}
+		if r.Consequent == "" {
+			t.Fatalf("rule %s: no consequent", r.Name)
+		}
+	}
+}

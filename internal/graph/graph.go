@@ -1,0 +1,313 @@
+// Package graph provides the in-memory graph representation shared by every
+// engine in this repository: the GRAPE core, the vertex-centric and
+// block-centric baselines, and the sequential ground-truth algorithms.
+//
+// A Graph holds vertices identified by sparse int64 IDs, mapped internally to
+// dense indices so adjacency and per-vertex attributes live in slices. Graphs
+// may be directed or undirected; an undirected graph stores each edge in both
+// endpoint adjacency lists. Vertices carry a label (used by pattern matching
+// and GPARs) and a list of string properties (used by keyword search).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a vertex. IDs are sparse: any non-negative int64 may be used.
+type ID int64
+
+// NoID is returned by lookups that find no vertex.
+const NoID ID = -1
+
+// Edge is a directed connection to a target vertex with a weight and an
+// optional label. For undirected graphs the reverse Edge is stored on the
+// other endpoint as well.
+type Edge struct {
+	To    ID
+	W     float64
+	Label string
+}
+
+// Graph is a labeled, weighted graph. The zero value is not usable; call New
+// or NewUndirected.
+type Graph struct {
+	directed bool
+	ids      []ID          // dense index -> ID
+	index    map[ID]int32  // ID -> dense index
+	labels   []string      // dense index -> vertex label
+	props    [][]string    // dense index -> vertex properties (keywords etc.)
+	out      [][]Edge      // dense index -> out-edges
+	in       [][]Edge      // dense index -> in-edges; built lazily
+	inBuilt  bool
+	numEdges int
+}
+
+// New returns an empty directed graph.
+func New() *Graph { return &Graph{directed: true, index: make(map[ID]int32)} }
+
+// NewUndirected returns an empty undirected graph. AddEdge stores both
+// directions, and NumEdges counts each undirected edge once.
+func NewUndirected() *Graph { return &Graph{directed: false, index: make(map[ID]int32)} }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.ids) }
+
+// NumEdges returns the number of edges. Undirected edges count once.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddVertex inserts a vertex with the given label if it does not exist, and
+// returns its dense index. Re-adding an existing vertex updates its label
+// only when label is non-empty.
+func (g *Graph) AddVertex(id ID, label string) int32 {
+	if i, ok := g.index[id]; ok {
+		if label != "" {
+			g.labels[i] = label
+		}
+		return i
+	}
+	i := int32(len(g.ids))
+	g.index[id] = i
+	g.ids = append(g.ids, id)
+	g.labels = append(g.labels, label)
+	g.props = append(g.props, nil)
+	g.out = append(g.out, nil)
+	if g.inBuilt {
+		g.in = append(g.in, nil)
+	}
+	return i
+}
+
+// SetProps replaces the property list of id. It panics if id is absent.
+func (g *Graph) SetProps(id ID, props []string) {
+	g.props[g.mustIndex(id)] = props
+}
+
+// AddProp appends a property to id's property list. It panics if id is absent.
+func (g *Graph) AddProp(id ID, prop string) {
+	i := g.mustIndex(id)
+	g.props[i] = append(g.props[i], prop)
+}
+
+// AddEdge inserts an edge from u to v, creating missing endpoints with empty
+// labels. For undirected graphs the reverse edge is stored too. Parallel
+// edges are allowed.
+func (g *Graph) AddEdge(u, v ID, w float64) { g.AddLabeledEdge(u, v, w, "") }
+
+// AddLabeledEdge is AddEdge with an edge label.
+func (g *Graph) AddLabeledEdge(u, v ID, w float64, label string) {
+	ui := g.AddVertex(u, "")
+	vi := g.AddVertex(v, "")
+	g.out[ui] = append(g.out[ui], Edge{To: v, W: w, Label: label})
+	if !g.directed {
+		g.out[vi] = append(g.out[vi], Edge{To: u, W: w, Label: label})
+	}
+	if g.inBuilt {
+		g.in[vi] = append(g.in[vi], Edge{To: u, W: w, Label: label})
+		if !g.directed {
+			g.in[ui] = append(g.in[ui], Edge{To: v, W: w, Label: label})
+		}
+	}
+	g.numEdges++
+}
+
+// Has reports whether the vertex exists.
+func (g *Graph) Has(id ID) bool { _, ok := g.index[id]; return ok }
+
+// Label returns the label of id, or "" if id is absent.
+func (g *Graph) Label(id ID) string {
+	if i, ok := g.index[id]; ok {
+		return g.labels[i]
+	}
+	return ""
+}
+
+// Props returns the property list of id (nil if absent). The caller must not
+// mutate the returned slice.
+func (g *Graph) Props(id ID) []string {
+	if i, ok := g.index[id]; ok {
+		return g.props[i]
+	}
+	return nil
+}
+
+// Out returns the out-edges of id (nil if absent). The caller must not mutate
+// the returned slice.
+func (g *Graph) Out(id ID) []Edge {
+	if i, ok := g.index[id]; ok {
+		return g.out[i]
+	}
+	return nil
+}
+
+// In returns the in-edges of id, building the reverse adjacency on first use.
+// For undirected graphs In equals Out.
+func (g *Graph) In(id ID) []Edge {
+	if !g.directed {
+		return g.Out(id)
+	}
+	if !g.inBuilt {
+		g.buildIn()
+	}
+	if i, ok := g.index[id]; ok {
+		return g.in[i]
+	}
+	return nil
+}
+
+func (g *Graph) buildIn() {
+	g.in = make([][]Edge, len(g.ids))
+	for ui, edges := range g.out {
+		u := g.ids[ui]
+		for _, e := range edges {
+			vi := g.index[e.To]
+			g.in[vi] = append(g.in[vi], Edge{To: u, W: e.W, Label: e.Label})
+		}
+	}
+	g.inBuilt = true
+}
+
+// OutDegree returns the out-degree of id, 0 if absent.
+func (g *Graph) OutDegree(id ID) int { return len(g.Out(id)) }
+
+// InDegree returns the in-degree of id, 0 if absent.
+func (g *Graph) InDegree(id ID) int { return len(g.In(id)) }
+
+// Vertices returns all vertex IDs in insertion order. The caller must not
+// mutate the returned slice.
+func (g *Graph) Vertices() []ID { return g.ids }
+
+// SortedVertices returns all vertex IDs in ascending order (a fresh slice).
+func (g *Graph) SortedVertices() []ID {
+	out := make([]ID, len(g.ids))
+	copy(out, g.ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Index returns the dense index of id and whether it exists. Dense indices
+// are stable across the graph's lifetime and lie in [0, NumVertices).
+func (g *Graph) Index(id ID) (int32, bool) {
+	i, ok := g.index[id]
+	return i, ok
+}
+
+// IDAt returns the vertex ID at dense index i.
+func (g *Graph) IDAt(i int32) ID { return g.ids[i] }
+
+func (g *Graph) mustIndex(id ID) int32 {
+	i, ok := g.index[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: vertex %d not present", id))
+	}
+	return i
+}
+
+// Clone returns a deep copy of the graph (reverse adjacency is not copied and
+// will be rebuilt on demand).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		directed: g.directed,
+		ids:      append([]ID(nil), g.ids...),
+		index:    make(map[ID]int32, len(g.index)),
+		labels:   append([]string(nil), g.labels...),
+		props:    make([][]string, len(g.props)),
+		out:      make([][]Edge, len(g.out)),
+		numEdges: g.numEdges,
+	}
+	for id, i := range g.index {
+		c.index[id] = i
+	}
+	for i, p := range g.props {
+		c.props[i] = append([]string(nil), p...)
+	}
+	for i, es := range g.out {
+		c.out[i] = append([]Edge(nil), es...)
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by keep: vertices in keep and
+// every edge whose endpoints are both kept. Labels and properties are copied.
+func (g *Graph) InducedSubgraph(keep map[ID]bool) *Graph {
+	s := &Graph{directed: g.directed, index: make(map[ID]int32)}
+	for _, id := range g.ids {
+		if keep[id] {
+			s.AddVertex(id, g.Label(id))
+			s.SetProps(id, append([]string(nil), g.Props(id)...))
+		}
+	}
+	for _, u := range g.ids {
+		if !keep[u] {
+			continue
+		}
+		for _, e := range g.Out(u) {
+			if keep[e.To] {
+				if g.directed || u <= e.To { // avoid double-adding undirected edges
+					s.AddLabeledEdge(u, e.To, e.W, e.Label)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Symmetrized returns a directed copy of g with every edge mirrored, so
+// algorithms that flood along out-edges see weak connectivity. Labels,
+// properties and weights are preserved; mirror edges reuse the original
+// weight and label.
+func (g *Graph) Symmetrized() *Graph {
+	s := New()
+	for _, id := range g.ids {
+		s.AddVertex(id, g.Label(id))
+		if ps := g.Props(id); len(ps) > 0 {
+			s.SetProps(id, append([]string(nil), ps...))
+		}
+	}
+	for _, u := range g.ids {
+		for _, e := range g.Out(u) {
+			s.AddLabeledEdge(u, e.To, e.W, e.Label)
+			s.AddLabeledEdge(e.To, u, e.W, e.Label)
+		}
+	}
+	return s
+}
+
+// TotalWeight returns the sum of all edge weights (undirected edges once).
+func (g *Graph) TotalWeight() float64 {
+	var t float64
+	for ui, es := range g.out {
+		u := g.ids[ui]
+		for _, e := range es {
+			if g.directed || u <= e.To {
+				t += e.W
+			}
+		}
+	}
+	return t
+}
+
+// Validate checks internal consistency and returns an error describing the
+// first problem found, or nil. It is used by tests and the storage layer
+// after deserialization.
+func (g *Graph) Validate() error {
+	if len(g.ids) != len(g.labels) || len(g.ids) != len(g.out) || len(g.ids) != len(g.props) {
+		return fmt.Errorf("graph: inconsistent slice lengths")
+	}
+	for id, i := range g.index {
+		if int(i) >= len(g.ids) || g.ids[i] != id {
+			return fmt.Errorf("graph: index entry %d -> %d broken", id, i)
+		}
+	}
+	for ui, es := range g.out {
+		for _, e := range es {
+			if _, ok := g.index[e.To]; !ok {
+				return fmt.Errorf("graph: edge from %d to missing vertex %d", g.ids[ui], e.To)
+			}
+		}
+	}
+	return nil
+}

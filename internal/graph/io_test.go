@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadTextBasic(t *testing.T) {
+	in := `
+# a comment
+v 1 person alpha beta
+v 2 product
+e 1 2 2.5 buys
+e 2 3
+`
+	g, err := ReadText(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.Label(1) != "person" || len(g.Props(1)) != 2 {
+		t.Fatalf("vertex 1 metadata wrong: %q %v", g.Label(1), g.Props(1))
+	}
+	e := g.Out(1)[0]
+	if e.To != 2 || e.W != 2.5 || e.Label != "buys" {
+		t.Fatalf("edge wrong: %+v", e)
+	}
+	if g.Out(2)[0].W != 1 {
+		t.Fatal("default weight should be 1")
+	}
+}
+
+func TestReadTextDashLabel(t *testing.T) {
+	g, err := ReadText(strings.NewReader("v 7 - kw1 kw2\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Label(7) != "" || len(g.Props(7)) != 2 {
+		t.Fatalf("dash label handling wrong: %q %v", g.Label(7), g.Props(7))
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"v\n",            // vertex without id
+		"v abc\n",        // non-numeric id
+		"e 1\n",          // edge without target
+		"e 1 x\n",        // non-numeric target
+		"e 1 2 notnum\n", // bad weight
+		"z 1 2\n",        // unknown record
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in), true); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := New()
+	g.AddVertex(1, "person")
+	g.SetProps(1, []string{"db", "graph"})
+	g.AddVertex(2, "product")
+	g.AddVertex(3, "") // implied vertex, no metadata
+	g.AddLabeledEdge(1, 2, 2.5, "buys")
+	g.AddEdge(2, 3, 1.25)
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadText(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumVertices() != g.NumVertices() || r.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip size mismatch: %d/%d vs %d/%d",
+			r.NumVertices(), r.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if r.Label(1) != "person" || len(r.Props(1)) != 2 {
+		t.Fatal("vertex metadata lost")
+	}
+	if e := r.Out(1)[0]; e.To != 2 || e.W != 2.5 || e.Label != "buys" {
+		t.Fatalf("edge lost: %+v", e)
+	}
+}
+
+func TestWriteReadRoundTripUndirected(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 4)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadText(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != 2 {
+		t.Fatalf("undirected edges should count once: %d", r.NumEdges())
+	}
+	if len(r.Out(2)) != 2 {
+		t.Fatal("undirected adjacency lost")
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// op is one randomized mutation for the model-based property test.
+type op struct {
+	Kind    uint8
+	U, V    uint8
+	W       uint8
+	Label   bool
+	PropTag uint8
+}
+
+// TestGraphModelProperty replays random operation sequences against the
+// Graph and a trivial model (edge list + vertex map), then checks every
+// observable agrees: vertex/edge counts, adjacency in both directions,
+// labels, and Validate.
+func TestGraphModelProperty(t *testing.T) {
+	f := func(ops []op) bool {
+		g := New()
+		type edge struct {
+			u, v ID
+			w    float64
+		}
+		var modelEdges []edge
+		modelVerts := map[ID]string{}
+
+		for _, o := range ops {
+			u, v := ID(o.U%32), ID(o.V%32)
+			switch o.Kind % 3 {
+			case 0: // add vertex
+				label := ""
+				if o.Label {
+					label = "L"
+				}
+				g.AddVertex(u, label)
+				if old, ok := modelVerts[u]; !ok || label != "" {
+					_ = old
+					if _, ok := modelVerts[u]; !ok {
+						modelVerts[u] = label
+					} else if label != "" {
+						modelVerts[u] = label
+					}
+				}
+			case 1: // add edge
+				w := float64(o.W) + 1
+				g.AddEdge(u, v, w)
+				modelEdges = append(modelEdges, edge{u, v, w})
+				if _, ok := modelVerts[u]; !ok {
+					modelVerts[u] = ""
+				}
+				if _, ok := modelVerts[v]; !ok {
+					modelVerts[v] = ""
+				}
+			case 2: // add property
+				g.AddVertex(u, "")
+				g.AddProp(u, "p")
+				if _, ok := modelVerts[u]; !ok {
+					modelVerts[u] = ""
+				}
+			}
+		}
+		if g.NumVertices() != len(modelVerts) {
+			return false
+		}
+		if g.NumEdges() != len(modelEdges) {
+			return false
+		}
+		// out-degree per vertex matches the model
+		outDeg := map[ID]int{}
+		inDeg := map[ID]int{}
+		for _, e := range modelEdges {
+			outDeg[e.u]++
+			inDeg[e.v]++
+		}
+		for id, lbl := range modelVerts {
+			if !g.Has(id) || g.Label(id) != lbl {
+				return false
+			}
+			if len(g.Out(id)) != outDeg[id] || len(g.In(id)) != inDeg[id] {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetrizedProperty: every edge of the symmetrized graph has its
+// mirror, and degrees double (minus nothing: mirrors are always added).
+func TestSymmetrizedProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		g := New()
+		for _, p := range pairs {
+			g.AddEdge(ID(p>>8), ID(p&0xff), 1)
+		}
+		s := g.Symmetrized()
+		if s.NumEdges() != 2*g.NumEdges() {
+			return false
+		}
+		for _, u := range s.Vertices() {
+			for _, e := range s.Out(u) {
+				found := false
+				for _, back := range s.Out(e.To) {
+					if back.To == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package graph
+
+// BFS runs a breadth-first traversal from src over out-edges, invoking visit
+// with each reached vertex and its hop distance. If visit returns false the
+// traversal stops. src must exist.
+func (g *Graph) BFS(src ID, visit func(id ID, depth int) bool) {
+	seen := map[ID]bool{src: true}
+	frontier := []ID{src}
+	depth := 0
+	for len(frontier) > 0 {
+		var next []ID
+		for _, u := range frontier {
+			if !visit(u, depth) {
+				return
+			}
+			for _, e := range g.Out(u) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+		depth++
+	}
+}
+
+// Neighborhood returns the set of vertices within d hops of each seed
+// (following out-edges), including the seeds themselves.
+func (g *Graph) Neighborhood(seeds []ID, d int) map[ID]bool {
+	seen := make(map[ID]bool, len(seeds))
+	frontier := make([]ID, 0, len(seeds))
+	for _, s := range seeds {
+		if g.Has(s) && !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []ID
+		for _, u := range frontier {
+			for _, e := range g.Out(u) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// UndirectedNeighborhood is Neighborhood following both edge directions.
+func (g *Graph) UndirectedNeighborhood(seeds []ID, d int) map[ID]bool {
+	seen := make(map[ID]bool, len(seeds))
+	frontier := make([]ID, 0, len(seeds))
+	for _, s := range seeds {
+		if g.Has(s) && !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []ID
+		for _, u := range frontier {
+			for _, e := range g.Out(u) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.In(u) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// Diameter returns the hop eccentricity of src: the maximum BFS depth reached
+// from src. It is a cheap lower bound on graph diameter used by tests and the
+// dataset report in cmd/grape-gen.
+func (g *Graph) Diameter(src ID) int {
+	max := 0
+	g.BFS(src, func(_ ID, depth int) bool {
+		if depth > max {
+			max = depth
+		}
+		return true
+	})
+	return max
+}

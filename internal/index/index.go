@@ -1,0 +1,71 @@
+// Package index implements GRAPE's Index Manager (Fig. 2): auxiliary
+// structures loaded next to each fragment that sequential algorithms exploit
+// directly — the paper's point (3), graph-level optimization, which is hard
+// to express in vertex-centric systems. Two indices are provided: an
+// inverted keyword index (property -> vertices) used by Keyword PEval, and a
+// label index (vertex label -> vertices) used by SubIso/Sim candidate
+// generation.
+package index
+
+import (
+	"sort"
+
+	"grape/internal/graph"
+)
+
+// Inverted maps each property string to the sorted vertices carrying it.
+type Inverted struct {
+	byKeyword map[string][]graph.ID
+}
+
+// BuildInverted scans g's vertex properties once and builds the index. A
+// vertex carrying the same keyword multiple times is indexed once.
+func BuildInverted(g *graph.Graph) *Inverted {
+	ix := &Inverted{byKeyword: make(map[string][]graph.ID)}
+	for _, v := range g.SortedVertices() {
+		seen := map[string]bool{}
+		for _, p := range g.Props(v) {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			ix.byKeyword[p] = append(ix.byKeyword[p], v)
+		}
+	}
+	return ix
+}
+
+// Lookup returns the vertices carrying keyword w (sorted, shared slice —
+// callers must not mutate).
+func (ix *Inverted) Lookup(w string) []graph.ID { return ix.byKeyword[w] }
+
+// Keywords returns all indexed keywords, sorted.
+func (ix *Inverted) Keywords() []string {
+	ws := make([]string, 0, len(ix.byKeyword))
+	for w := range ix.byKeyword {
+		ws = append(ws, w)
+	}
+	sort.Strings(ws)
+	return ws
+}
+
+// Labels maps each vertex label to the sorted vertices carrying it.
+type Labels struct {
+	byLabel map[string][]graph.ID
+}
+
+// BuildLabels scans g's vertex labels once and builds the index.
+func BuildLabels(g *graph.Graph) *Labels {
+	ix := &Labels{byLabel: make(map[string][]graph.ID)}
+	for _, v := range g.SortedVertices() {
+		ix.byLabel[g.Label(v)] = append(ix.byLabel[g.Label(v)], v)
+	}
+	return ix
+}
+
+// Lookup returns the vertices labeled l (sorted, shared slice — callers must
+// not mutate).
+func (ix *Labels) Lookup(l string) []graph.ID { return ix.byLabel[l] }
+
+// Count returns how many vertices carry label l.
+func (ix *Labels) Count(l string) int { return len(ix.byLabel[l]) }

@@ -1,0 +1,67 @@
+package index
+
+import (
+	"testing"
+
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/seq"
+)
+
+func TestInvertedAgainstScan(t *testing.T) {
+	g := gen.Random(300, 600, 5)
+	vocab := []string{"a", "b", "c", "d"}
+	gen.AttachKeywords(g, vocab, 2, 0.3, 5)
+	ix := BuildInverted(g)
+	for _, w := range vocab {
+		var want []graph.ID
+		for _, v := range g.SortedVertices() {
+			if seq.HasKeyword(g, v, w) {
+				want = append(want, v)
+			}
+		}
+		got := ix.Lookup(w)
+		if len(got) != len(want) {
+			t.Fatalf("keyword %q: index %d vs scan %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("keyword %q: entry %d differs", w, i)
+			}
+		}
+	}
+	if ix.Lookup("absent") != nil {
+		t.Fatal("absent keyword should return nil")
+	}
+}
+
+func TestInvertedKeywordsSorted(t *testing.T) {
+	g := graph.New()
+	g.AddVertex(1, "")
+	g.SetProps(1, []string{"zebra", "apple"})
+	ix := BuildInverted(g)
+	ws := ix.Keywords()
+	if len(ws) != 2 || ws[0] != "apple" || ws[1] != "zebra" {
+		t.Fatalf("keywords not sorted: %v", ws)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := gen.SocialCommerce(gen.SocialCommerceConfig{People: 50, Products: 5, Follows: 2, AdoptP: 0.5, Seed: 1})
+	ix := BuildLabels(g)
+	if ix.Count(gen.LabelPerson) != 50 || ix.Count(gen.LabelProduct) != 5 {
+		t.Fatalf("label counts wrong: %d people, %d products",
+			ix.Count(gen.LabelPerson), ix.Count(gen.LabelProduct))
+	}
+	people := ix.Lookup(gen.LabelPerson)
+	for i := 1; i < len(people); i++ {
+		if people[i-1] >= people[i] {
+			t.Fatal("label index not sorted")
+		}
+	}
+	for _, p := range people {
+		if g.Label(p) != gen.LabelPerson {
+			t.Fatalf("vertex %d mislabeled in index", p)
+		}
+	}
+}

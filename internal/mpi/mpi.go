@@ -1,0 +1,89 @@
+// Package mpi is the reproduction's stand-in for the paper's MPI Controller
+// (MPICH2 in the C++ prototype): a message-passing substrate between one
+// coordinator and n workers. Workers are goroutines; channels replace network
+// sockets. All cross-party traffic flows through a Bus, which meters message
+// and byte counts — the communication columns of Table 1 are measurements of
+// what crosses this bus.
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Coordinator is the party index of the coordinator P0. Workers are 0..n-1.
+const Coordinator = -1
+
+// Envelope is a routed message. Payload is engine-defined; Size is the
+// payload's serialized size in bytes as reported by the sender (IDs are 8
+// bytes, values sized by the program's Size function).
+type Envelope struct {
+	From    int
+	To      int
+	Step    int // superstep the message belongs to
+	Payload any
+	Size    int
+}
+
+// Bus connects a coordinator with n workers. Each party has an unbounded
+// inbox drained by Recv. A Bus is single-use per engine run.
+type Bus struct {
+	n        int
+	toWorker []chan Envelope
+	toCoord  chan Envelope
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewBus returns a Bus for n workers. buf sets per-inbox channel capacity;
+// engines size it so that a full superstep of traffic never blocks.
+func NewBus(n, buf int) *Bus {
+	b := &Bus{n: n, toWorker: make([]chan Envelope, n), toCoord: make(chan Envelope, buf)}
+	for i := range b.toWorker {
+		b.toWorker[i] = make(chan Envelope, buf)
+	}
+	return b
+}
+
+// Workers returns the number of workers on the bus.
+func (b *Bus) Workers() int { return b.n }
+
+// Send routes e to e.To (Coordinator or a worker index) and meters it.
+// Coordinator-to-worker control messages with Size 0 are not counted as
+// communication; the paper's numbers measure data shipped, not BSP barriers.
+func (b *Bus) Send(e Envelope) {
+	if e.Size > 0 {
+		b.msgs.Add(1)
+		b.bytes.Add(int64(e.Size))
+	}
+	if e.To == Coordinator {
+		b.toCoord <- e
+		return
+	}
+	if e.To < 0 || e.To >= b.n {
+		panic(fmt.Sprintf("mpi: send to unknown party %d", e.To))
+	}
+	b.toWorker[e.To] <- e
+}
+
+// Recv blocks until a message for the given party arrives.
+func (b *Bus) Recv(party int) Envelope {
+	if party == Coordinator {
+		return <-b.toCoord
+	}
+	return <-b.toWorker[party]
+}
+
+// Messages returns the number of data messages sent so far.
+func (b *Bus) Messages() int64 { return b.msgs.Load() }
+
+// Bytes returns the number of data bytes sent so far.
+func (b *Bus) Bytes() int64 { return b.bytes.Load() }
+
+// AddTraffic meters communication that bypasses Send, e.g. engines that
+// account batched per-vertex messages analytically.
+func (b *Bus) AddTraffic(msgs, bytes int64) {
+	b.msgs.Add(msgs)
+	b.bytes.Add(bytes)
+}

@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBusRoutesAndMeters(t *testing.T) {
+	b := NewBus(3, 8)
+	if b.Workers() != 3 {
+		t.Fatalf("workers: %d", b.Workers())
+	}
+	b.Send(Envelope{From: Coordinator, To: 1, Payload: "hi", Size: 10})
+	e := b.Recv(1)
+	if e.Payload != "hi" || e.From != Coordinator {
+		t.Fatalf("bad envelope: %+v", e)
+	}
+	if b.Messages() != 1 || b.Bytes() != 10 {
+		t.Fatalf("metering wrong: %d msgs %d bytes", b.Messages(), b.Bytes())
+	}
+}
+
+func TestControlMessagesNotMetered(t *testing.T) {
+	b := NewBus(2, 4)
+	b.Send(Envelope{From: Coordinator, To: 0, Payload: "barrier", Size: 0})
+	b.Recv(0)
+	if b.Messages() != 0 || b.Bytes() != 0 {
+		t.Fatal("zero-size control traffic must not count as communication")
+	}
+}
+
+func TestWorkerToCoordinator(t *testing.T) {
+	b := NewBus(2, 4)
+	b.Send(Envelope{From: 1, To: Coordinator, Payload: 42, Size: 8})
+	e := b.Recv(Coordinator)
+	if e.From != 1 || e.Payload != 42 {
+		t.Fatalf("bad envelope: %+v", e)
+	}
+}
+
+func TestSendToUnknownPartyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBus(2, 1).Send(Envelope{To: 7})
+}
+
+func TestAddTraffic(t *testing.T) {
+	b := NewBus(1, 1)
+	b.AddTraffic(5, 500)
+	if b.Messages() != 5 || b.Bytes() != 500 {
+		t.Fatal("AddTraffic not accounted")
+	}
+}
+
+func TestConcurrentSendersAreSafe(t *testing.T) {
+	b := NewBus(4, 1024)
+	var wg sync.WaitGroup
+	const per = 100
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Send(Envelope{From: w, To: Coordinator, Size: 1})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 4*per; i++ {
+			b.Recv(Coordinator)
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	if b.Messages() != 4*per || b.Bytes() != 4*per {
+		t.Fatalf("lost traffic: %d msgs", b.Messages())
+	}
+}

@@ -1,0 +1,209 @@
+package partition
+
+import (
+	"sort"
+
+	"grape/internal/graph"
+)
+
+// Fragment is the unit of data a GRAPE worker computes on: the subgraph
+// F_i = (V_i ∪ O_i, E_i) where V_i are the inner vertices owned by worker i
+// together with all of their out-edges, and O_i are outer copies — remote
+// endpoints of cut edges, carried with their labels and properties but
+// without out-edges of their own.
+//
+// Border nodes, in the paper's sense, are the vertices that carry update
+// parameters: the outer copies O_i plus the inner vertices that appear as
+// outer copies in some other fragment. Border() returns exactly that set.
+type Fragment struct {
+	// Index is the fragment number i ∈ [0, N).
+	Index int
+	// G is the local subgraph: inner vertices with their out-edges plus
+	// outer copies.
+	G *graph.Graph
+	// Inner lists the vertices owned by this fragment, ascending.
+	Inner []graph.ID
+	// Outer lists the outer copies (owned elsewhere), ascending.
+	Outer []graph.ID
+	// InnerBorder lists inner vertices that some other fragment holds a copy
+	// of (i.e. targets of cut edges from elsewhere), ascending.
+	InnerBorder []graph.ID
+
+	inner map[graph.ID]bool
+	asg   *Assignment
+}
+
+// IsInner reports whether id is owned by this fragment.
+func (f *Fragment) IsInner(id graph.ID) bool { return f.inner[id] }
+
+// Owner returns the fragment index owning id in the global assignment.
+func (f *Fragment) Owner(id graph.ID) int { return f.asg.Owner(id) }
+
+// Border returns the nodes of this fragment that carry update parameters:
+// Outer ∪ InnerBorder, ascending.
+func (f *Fragment) Border() []graph.ID {
+	out := make([]graph.ID, 0, len(f.Outer)+len(f.InnerBorder))
+	out = append(out, f.Outer...)
+	out = append(out, f.InnerBorder...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Layout is the result of cutting a graph into fragments: the fragments plus
+// the placement map the coordinator uses to route update-parameter messages.
+type Layout struct {
+	Asg       *Assignment
+	Fragments []*Fragment
+	// Placement maps each border vertex to the sorted list of fragment
+	// indices hosting it (its owner plus every fragment with an outer copy).
+	// Non-border vertices are absent: their values never travel.
+	Placement map[graph.ID][]int
+	// ReplicationBytes estimates the data shipped to build the fragments
+	// beyond the plain edge-cut: BuildExpanded replicates d-hop
+	// neighborhoods (GRAPE's data-shipping PEval for locality-bounded
+	// queries), and that replication is communication the engine charges to
+	// the run. Plain Build leaves it zero — outer copies there are part of
+	// the initial partitioning, as in the paper's accounting.
+	ReplicationBytes int64
+}
+
+// Hosts returns the fragments hosting id: its placement entry if id is a
+// border node, else just its owner.
+func (l *Layout) Hosts(id graph.ID) []int {
+	if hs, ok := l.Placement[id]; ok {
+		return hs
+	}
+	return []int{l.Asg.Owner(id)}
+}
+
+// Build cuts g into fragments according to asg. Every inner vertex keeps all
+// of its out-edges; remote endpoints become outer copies with labels and
+// properties replicated (matching algorithms inspect them).
+func Build(g *graph.Graph, asg *Assignment) *Layout {
+	n := asg.N
+	frags := make([]*Fragment, n)
+	for i := 0; i < n; i++ {
+		var local *graph.Graph
+		if g.Directed() {
+			local = graph.New()
+		} else {
+			local = graph.NewUndirected()
+		}
+		frags[i] = &Fragment{Index: i, G: local, inner: make(map[graph.ID]bool), asg: asg}
+	}
+	// inner vertices
+	for _, id := range g.SortedVertices() {
+		f := frags[asg.Owner(id)]
+		f.G.AddVertex(id, g.Label(id))
+		if ps := g.Props(id); len(ps) > 0 {
+			f.G.SetProps(id, append([]string(nil), ps...))
+		}
+		f.inner[id] = true
+		f.Inner = append(f.Inner, id)
+	}
+	// edges + outer copies
+	placement := make(map[graph.ID][]int)
+	hasCopy := make(map[graph.ID]map[int]bool) // border vertex -> fragments with copies
+	for _, u := range g.SortedVertices() {
+		uo := asg.Owner(u)
+		f := frags[uo]
+		for _, e := range g.Out(u) {
+			if !g.Directed() && u > e.To && asg.Owner(e.To) == uo {
+				continue // undirected intra-fragment edge already added via the lower endpoint
+			}
+			vo := asg.Owner(e.To)
+			if vo != uo && !f.G.Has(e.To) {
+				f.G.AddVertex(e.To, g.Label(e.To))
+				if ps := g.Props(e.To); len(ps) > 0 {
+					f.G.SetProps(e.To, append([]string(nil), ps...))
+				}
+				f.Outer = append(f.Outer, e.To)
+				if hasCopy[e.To] == nil {
+					hasCopy[e.To] = make(map[int]bool)
+				}
+				hasCopy[e.To][uo] = true
+			}
+			f.G.AddLabeledEdge(u, e.To, e.W, e.Label)
+			if vo != uo {
+				// u is incident to a cut edge; its value may matter to the
+				// neighbor fragment if u is ever copied there. Record copy
+				// hosts only; u's own border-ness is derived below.
+				_ = vo
+			}
+		}
+	}
+	// Finish border bookkeeping.
+	for v, copies := range hasCopy {
+		owner := asg.Owner(v)
+		of := frags[owner]
+		of.InnerBorder = append(of.InnerBorder, v)
+		hosts := []int{owner}
+		for w := range copies {
+			hosts = append(hosts, w)
+		}
+		sort.Ints(hosts)
+		placement[v] = hosts
+	}
+	for _, f := range frags {
+		sort.Slice(f.Outer, func(i, j int) bool { return f.Outer[i] < f.Outer[j] })
+		sort.Slice(f.InnerBorder, func(i, j int) bool { return f.InnerBorder[i] < f.InnerBorder[j] })
+	}
+	return &Layout{Asg: asg, Fragments: frags, Placement: placement}
+}
+
+// BuildExpanded cuts g into fragments and then expands each with the full
+// d-hop neighborhood (both edge directions) of its inner vertices, including
+// every edge of g between contained vertices. This is the data-shipping
+// variant GRAPE uses for locality-bounded queries such as subgraph
+// isomorphism: matches anchored at inner vertices become entirely local, so
+// PEval is exact and IncEval terminates in one round.
+func BuildExpanded(g *graph.Graph, asg *Assignment, d int) *Layout {
+	n := asg.N
+	frags := make([]*Fragment, n)
+	innerSets := make([]map[graph.ID]bool, n)
+	for i := 0; i < n; i++ {
+		innerSets[i] = make(map[graph.ID]bool)
+	}
+	for _, id := range g.Vertices() {
+		innerSets[asg.Owner(id)][id] = true
+	}
+	for i := 0; i < n; i++ {
+		seeds := make([]graph.ID, 0, len(innerSets[i]))
+		for id := range innerSets[i] {
+			seeds = append(seeds, id)
+		}
+		sort.Slice(seeds, func(a, b int) bool { return seeds[a] < seeds[b] })
+		region := g.UndirectedNeighborhood(seeds, d)
+		local := g.InducedSubgraph(region)
+		f := &Fragment{Index: i, G: local, inner: innerSets[i], asg: asg}
+		for _, id := range local.SortedVertices() {
+			if f.inner[id] {
+				f.Inner = append(f.Inner, id)
+			} else {
+				f.Outer = append(f.Outer, id)
+			}
+		}
+		frags[i] = f
+	}
+	placement := make(map[graph.ID][]int)
+	var replication int64
+	for i, f := range frags {
+		for _, v := range f.Outer {
+			placement[v] = append(placement[v], i)
+			// a replicated vertex ships its ID + label + properties…
+			replication += 16
+			// …and its locally stored out-edges (ID + target + weight)
+			replication += int64(len(f.G.Out(v))) * 24
+		}
+	}
+	for v, hosts := range placement {
+		owner := asg.Owner(v)
+		frags[owner].InnerBorder = append(frags[owner].InnerBorder, v)
+		placement[v] = append(hosts, owner)
+		sort.Ints(placement[v])
+	}
+	for _, f := range frags {
+		sort.Slice(f.InnerBorder, func(i, j int) bool { return f.InnerBorder[i] < f.InnerBorder[j] })
+	}
+	return &Layout{Asg: asg, Fragments: frags, Placement: placement, ReplicationBytes: replication}
+}

@@ -1,0 +1,94 @@
+package queries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+func TestAsyncSSSPMatchesDijkstra(t *testing.T) {
+	g := gen.ConnectedRandom(300, 900, 61)
+	want := seq.Dijkstra(g, 0)
+	for _, n := range []int{1, 4, 8} {
+		got, stats, err := engine.RunAsync(g, SSSP{}, SSSPQuery{Source: 0},
+			engine.Options{Workers: n, Strategy: partition.Fennel{}})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: reach %d vs %d", n, len(got), len(want))
+		}
+		for v, d := range want {
+			if math.Abs(got[v]-d) > 1e-9 {
+				t.Fatalf("workers=%d vertex %d: %g vs %g", n, v, got[v], d)
+			}
+		}
+		if stats.Engine != "grape-async/sssp" {
+			t.Fatalf("engine label: %s", stats.Engine)
+		}
+	}
+}
+
+func TestAsyncCCMatchesSequential(t *testing.T) {
+	g := gen.Random(200, 260, 67)
+	want := seq.Components(g)
+	got, _, err := engine.RunAsync(g, CC{}, CCQuery{}, engine.Options{Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range want {
+		if got[v] != c {
+			t.Fatalf("vertex %d: %d vs %d", v, got[v], c)
+		}
+	}
+}
+
+func TestAsyncSimMatchesSync(t *testing.T) {
+	g := labeledRandom(120, 360, 71, []string{"a", "b", "c"})
+	p, err := PatternByName("chain3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddVertex(0, "a")
+	p.AddVertex(1, "b")
+	p.AddVertex(2, "c")
+	syncRes, _, err := engine.Run(g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncRes, _, err := engine.RunAsync(g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simEqual(map[graph.ID][]graph.ID(syncRes), map[graph.ID][]graph.ID(asyncRes)) {
+		t.Fatal("async sim differs from sync")
+	}
+}
+
+func TestAsyncSSSPProperty(t *testing.T) {
+	f := func(seed int64, nw uint8) bool {
+		n := 5 + int(uint(seed)%50)
+		g := gen.ConnectedRandom(n, 3*n, seed)
+		want := seq.Dijkstra(g, 0)
+		got, _, err := engine.RunAsync(g, SSSP{}, SSSPQuery{Source: 0},
+			engine.Options{Workers: 1 + int(nw%6)})
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for v, d := range want {
+			if math.Abs(got[v]-d) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

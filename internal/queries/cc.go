@@ -1,0 +1,236 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+
+	"grape/internal/engine"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/seq"
+)
+
+// CCQuery asks for the weakly connected components of the graph (edge
+// direction ignored). It carries no parameters.
+type CCQuery struct{}
+
+// ccState is the per-worker state CC keeps between supersteps: the fragment's
+// local connectivity never changes, so it is computed once by PEval as a
+// union-find, and IncEval only moves component labels, never re-walks edges —
+// a bounded IncEval.
+type ccState struct {
+	uf *seq.UnionFind
+	// rootLabel is the current (global) component label of each local set.
+	rootLabel map[graph.ID]graph.ID
+	// borderOf lists the border nodes in each local set; lowering a set's
+	// label means re-shipping exactly these.
+	borderOf map[graph.ID][]graph.ID
+}
+
+// CC is the PIE program for connected components: PEval labels local
+// components with their minimum vertex ID (textbook union-find CC); the
+// labels of border nodes are the update parameters with min as the
+// aggregate; IncEval merges incoming lower labels into whole local sets.
+// Labels decrease monotonically, so termination and correctness follow from
+// the Assurance Theorem.
+type CC struct{}
+
+// Name implements engine.Program.
+func (CC) Name() string { return "cc" }
+
+// noComponent is the label of a node that has not been assigned yet.
+const noComponent = graph.ID(math.MaxInt64)
+
+// Spec implements engine.Program: labels ∈ (vertex IDs, min, <).
+func (CC) Spec() engine.VarSpec[graph.ID] {
+	return engine.VarSpec[graph.ID]{
+		Default: noComponent,
+		Agg: func(a, b graph.ID) graph.ID {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Eq:   func(a, b graph.ID) bool { return a == b },
+		Less: func(a, b graph.ID) bool { return a < b },
+		Size: func(graph.ID) int { return 8 },
+	}
+}
+
+// PEval implements engine.Program: local union-find over the fragment.
+func (CC) PEval(q CCQuery, ctx *engine.Context[graph.ID]) error {
+	f := ctx.Frag
+	st := &ccState{uf: seq.NewUnionFind(), rootLabel: map[graph.ID]graph.ID{}, borderOf: map[graph.ID][]graph.ID{}}
+	ctx.State = st
+	for _, v := range f.G.Vertices() {
+		st.uf.Add(v)
+	}
+	for _, u := range f.G.Vertices() {
+		for _, e := range f.G.Out(u) {
+			st.uf.Union(u, e.To)
+			ctx.AddWork(1)
+		}
+	}
+	// label each set with its minimum member
+	for _, v := range f.G.Vertices() {
+		r := st.uf.Find(v)
+		if cur, ok := st.rootLabel[r]; !ok || v < cur {
+			st.rootLabel[r] = v
+		}
+		ctx.AddWork(1)
+	}
+	for _, b := range f.Border() {
+		r := st.uf.Find(b)
+		st.borderOf[r] = append(st.borderOf[r], b)
+	}
+	for _, b := range f.Border() {
+		ctx.Set(b, st.rootLabel[st.uf.Find(b)])
+	}
+	return nil
+}
+
+// IncEval implements engine.Program: a lowered border label lowers the label
+// of its entire local set and re-ships that set's border nodes. Work is
+// proportional to the sets touched, independent of |F_i|.
+//
+// All incoming values are folded per local set before any variable is
+// written: writing while reading would let a set's relabel overwrite a
+// not-yet-processed (lower) update on a shared border node.
+func (CC) IncEval(q CCQuery, ctx *engine.Context[graph.ID]) error {
+	st := ctx.State.(*ccState)
+	best := make(map[graph.ID]graph.ID) // root -> lowest incoming label
+	for _, u := range ctx.Updated() {
+		l := ctx.Get(u)
+		r := st.uf.Find(u)
+		if cur, ok := best[r]; !ok || l < cur {
+			best[r] = l
+		}
+		ctx.AddWork(1)
+	}
+	for r, l := range best {
+		if l >= st.rootLabel[r] {
+			continue
+		}
+		st.rootLabel[r] = l
+		for _, b := range st.borderOf[r] {
+			if l < ctx.Get(b) {
+				ctx.Set(b, l)
+			}
+			ctx.AddWork(1)
+		}
+	}
+	return nil
+}
+
+// ApplyUpdate implements engine.Updater: inserting edge (u, v) merges the
+// local sets of u and v; labels only decrease (toward the new minimum), so
+// the computation stays monotone and the follow-up IncEval is bounded.
+func (CC) ApplyUpdate(q CCQuery, ctx *engine.Context[graph.ID], upd engine.EdgeUpdate) ([]graph.ID, error) {
+	st, ok := ctx.State.(*ccState)
+	if !ok {
+		return nil, fmt.Errorf("cc: session state missing (PEval has not run)")
+	}
+	f := ctx.Frag
+	st.uf.Add(upd.From)
+	st.uf.Add(upd.To)
+	ru, rv := st.uf.Find(upd.From), st.uf.Find(upd.To)
+	labelOf := func(r graph.ID, v graph.ID) graph.ID {
+		if l, ok := st.rootLabel[r]; ok {
+			return l
+		}
+		// a vertex first seen now (new outer copy): its best-known label is
+		// its variable (seeded from the coordinator) or, if inner, itself
+		l := ctx.Get(v)
+		if l == noComponent && f.IsInner(v) {
+			l = v
+		}
+		return l
+	}
+	lu, lv := labelOf(ru, upd.From), labelOf(rv, upd.To)
+	min := lu
+	if lv < min {
+		min = lv
+	}
+	if ru != rv {
+		st.uf.Union(upd.From, upd.To)
+		nr := st.uf.Find(upd.From)
+		// merge bookkeeping of both old roots into the new one
+		borders := append(st.borderOf[ru], st.borderOf[rv]...)
+		delete(st.borderOf, ru)
+		delete(st.borderOf, rv)
+		// newly-border endpoints must be tracked too
+		for _, v := range []graph.ID{upd.From, upd.To} {
+			if ctx.IsBorder(v) && !containsBorder(borders, v) {
+				borders = append(borders, v)
+			}
+		}
+		st.borderOf[nr] = borders
+		delete(st.rootLabel, ru)
+		delete(st.rootLabel, rv)
+		st.rootLabel[nr] = min
+		for _, b := range borders {
+			if min < ctx.Get(b) {
+				ctx.Set(b, min)
+			}
+			ctx.AddWork(1)
+		}
+	}
+	return nil, nil
+}
+
+// PublishBorder implements engine.BorderPublisher: when a graph update turns
+// an inner node into a border node, materialize and ship its current label
+// (CC keeps labels per local set, not per node, so Context.touch would find
+// nothing to re-ship).
+func (CC) PublishBorder(q CCQuery, ctx *engine.Context[graph.ID], id graph.ID) {
+	st, ok := ctx.State.(*ccState)
+	if !ok {
+		return
+	}
+	st.uf.Add(id)
+	r := st.uf.Find(id)
+	if !containsBorder(st.borderOf[r], id) {
+		st.borderOf[r] = append(st.borderOf[r], id)
+	}
+	l, ok := st.rootLabel[r]
+	if !ok {
+		l = id
+		st.rootLabel[r] = l
+	}
+	if l < ctx.Get(id) {
+		ctx.Set(id, l)
+	}
+}
+
+func containsBorder(ids []graph.ID, id graph.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Assemble implements engine.Program: read each inner vertex's label off its
+// local set.
+func (CC) Assemble(q CCQuery, ctxs []*engine.Context[graph.ID]) (map[graph.ID]graph.ID, error) {
+	out := make(map[graph.ID]graph.ID)
+	for _, ctx := range ctxs {
+		st := ctx.State.(*ccState)
+		for _, v := range ctx.Frag.Inner {
+			out[v] = st.rootLabel[st.uf.Find(v)]
+		}
+	}
+	return out, nil
+}
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "cc",
+		Description: "weakly connected components (union-find PEval, label-merging bounded IncEval, min aggregate)",
+		QueryHelp:   "(no parameters)",
+		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
+			return engine.Run(g, CC{}, CCQuery{}, opts)
+		},
+	})
+}

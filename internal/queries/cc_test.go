@@ -1,0 +1,98 @@
+package queries
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+func sameLabels(t *testing.T, want, got map[graph.ID]graph.ID, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: label count: want %d got %d", label, len(want), len(got))
+	}
+	for v, c := range want {
+		if got[v] != c {
+			t.Fatalf("%s: vertex %d: want component %d got %d", label, v, c, got[v])
+		}
+	}
+}
+
+func TestCCMatchesSequentialAcrossStrategies(t *testing.T) {
+	// a graph with several components: random clusters plus isolated nodes
+	g := gen.Random(200, 260, 11)
+	for v := 1000; v < 1010; v++ {
+		g.AddVertex(graph.ID(v), "")
+	}
+	want := seq.Components(g)
+	for _, strat := range partition.Strategies() {
+		for _, n := range []int{1, 2, 5} {
+			res, _, err := engine.Run(g, CC{}, CCQuery{}, engine.Options{Workers: n, Strategy: strat, CheckMonotonic: true})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", strat.Name(), n, err)
+			}
+			sameLabels(t, want, res, strat.Name())
+		}
+	}
+}
+
+func TestCCSingleComponent(t *testing.T) {
+	g := gen.RoadGrid(12, 12, 1)
+	res, _, err := engine.Run(g, CC{}, CCQuery{}, engine.Options{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res {
+		if c != 0 {
+			t.Fatalf("grid is connected; vertex %d labeled %d", v, c)
+		}
+	}
+}
+
+func TestCCProperty(t *testing.T) {
+	f := func(seed int64, nw uint8) bool {
+		n := 2 + int(uint(seed)%80)
+		g := gen.Random(n, n, seed)
+		want := seq.Components(g)
+		res, _, err := engine.Run(g, CC{}, CCQuery{},
+			engine.Options{Workers: 1 + int(nw%5), Strategy: partition.Hash{}, CheckMonotonic: true})
+		if err != nil {
+			return false
+		}
+		if len(res) != len(want) {
+			return false
+		}
+		for v, c := range want {
+			if res[v] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCLabelsAreComponentMinima(t *testing.T) {
+	// Invariant: every component label is the minimum vertex ID of the
+	// component, so a label must label itself.
+	g := gen.PreferentialAttachment(300, 2, 4)
+	res, _, err := engine.Run(g, CC{}, CCQuery{}, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res {
+		if c > v {
+			t.Fatalf("label %d exceeds member %d", c, v)
+		}
+		if res[c] != c {
+			t.Fatalf("label %d is not its own label (%d)", c, res[c])
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"grape/internal/engine"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/seq"
+)
+
+// CFQuery asks for a matrix factorization of the bipartite ratings graph.
+type CFQuery struct {
+	Cfg seq.CFConfig
+}
+
+// CFResult is the trained model and its fit.
+type CFResult struct {
+	// RMSE is the root-mean-square error over all ratings under the final
+	// factors.
+	RMSE float64
+	// Factors holds the latent vector of every user and item (owner copy).
+	Factors seq.Factors
+}
+
+// cfState is CF's per-worker state: the true factor matrices (the node
+// variables only mirror the border subset) and the epoch counter.
+type cfState struct {
+	factors seq.Factors
+	users   []graph.ID // inner users, sorted
+	epoch   int
+}
+
+// CF is the PIE program for collaborative filtering via stochastic gradient
+// descent — the demo's machine-learning query class. Each fragment trains on
+// the ratings of its inner users; the latent vectors of border vertices
+// (items rated from several fragments, mostly) are the update parameters,
+// reconciled by parameter averaging.
+//
+// CF is the one program in the library without a monotonic order (SGD is
+// not monotone); it terminates instead because every worker stops changing
+// its parameters after a fixed number of epochs — GRAPE still reaches its
+// fixpoint, it just cannot invoke the Assurance Theorem for it.
+type CF struct{}
+
+// Name implements engine.Program.
+func (CF) Name() string { return "cf" }
+
+// Spec implements engine.Program: factor vectors under parameter averaging.
+func (CF) Spec() engine.VarSpec[[]float64] {
+	return engine.VarSpec[[]float64]{
+		Default: nil,
+		Agg: func(a, b []float64) []float64 {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := make([]float64, len(a))
+			for i := range a {
+				out[i] = (a[i] + b[i]) / 2
+			}
+			return out
+		},
+		Eq: func(a, b []float64) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		},
+		Size: func(v []float64) int { return 8 * len(v) },
+	}
+}
+
+// initVec derives a deterministic pseudo-random initial factor vector from
+// (seed, vertex); every replica of a vertex computes the same vector, so
+// initialization ships nothing.
+func initVec(seed int64, id graph.ID, k int) []float64 {
+	v := make([]float64, k)
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(id)*0xbf58476d1ce4e5b9
+	for i := range v {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		v[i] = float64(x%1000) / 10000.0 // [0, 0.1)
+	}
+	return v
+}
+
+// PEval implements engine.Program: initialize factors and run the first
+// epoch (or all of them when the fragment shares nothing with others).
+func (CF) PEval(q CFQuery, ctx *engine.Context[[]float64]) error {
+	cfg := q.Cfg
+	if cfg.Factors <= 0 || cfg.Epochs <= 0 {
+		return fmt.Errorf("cf: need positive Factors and Epochs, got %+v", cfg)
+	}
+	f := ctx.Frag
+	st := &cfState{factors: make(seq.Factors, f.G.NumVertices())}
+	ctx.State = st
+	for _, v := range f.G.SortedVertices() {
+		st.factors[v] = initVec(cfg.Seed, v, cfg.Factors)
+	}
+	for _, u := range f.Inner {
+		if f.G.Label(u) == "user" {
+			st.users = append(st.users, u)
+		}
+	}
+	epochs := 1
+	if len(f.Border()) == 0 {
+		epochs = cfg.Epochs // nothing to synchronize with
+	}
+	for e := 0; e < epochs; e++ {
+		work, _, _ := seq.SGDEpoch(f.G, st.users, st.factors, cfg)
+		ctx.AddWork(work)
+		st.epoch++
+	}
+	cfShipBorder(ctx, st)
+	return nil
+}
+
+// IncEval implements engine.Program: adopt the averaged border factors and
+// run one more epoch, until the epoch budget is exhausted.
+func (CF) IncEval(q CFQuery, ctx *engine.Context[[]float64]) error {
+	st := ctx.State.(*cfState)
+	for _, u := range ctx.Updated() {
+		st.factors[u] = append([]float64(nil), ctx.Get(u)...)
+		ctx.AddWork(1)
+	}
+	if st.epoch >= q.Cfg.Epochs {
+		return nil // trained out; stop changing parameters
+	}
+	work, _, _ := seq.SGDEpoch(ctx.Frag.G, st.users, st.factors, q.Cfg)
+	ctx.AddWork(work)
+	st.epoch++
+	cfShipBorder(ctx, st)
+	return nil
+}
+
+func cfShipBorder(ctx *engine.Context[[]float64], st *cfState) {
+	for _, b := range ctx.Frag.Border() {
+		if vec := st.factors[b]; vec != nil {
+			ctx.Set(b, append([]float64(nil), vec...))
+		}
+	}
+}
+
+// Assemble implements engine.Program: collect owner factors and compute the
+// global RMSE with each rating evaluated under its owner fragment's model.
+func (CF) Assemble(q CFQuery, ctxs []*engine.Context[[]float64]) (CFResult, error) {
+	res := CFResult{Factors: make(seq.Factors)}
+	var sq float64
+	n := 0
+	for _, ctx := range ctxs {
+		st := ctx.State.(*cfState)
+		for _, v := range ctx.Frag.Inner {
+			if vec := st.factors[v]; vec != nil {
+				res.Factors[v] = vec
+			}
+		}
+		for _, u := range st.users {
+			pu := st.factors[u]
+			for _, e := range ctx.Frag.G.Out(u) {
+				qi := st.factors[e.To]
+				if qi == nil {
+					continue
+				}
+				d := e.W - dotVec(pu, qi)
+				sq += d * d
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		res.RMSE = math.Sqrt(sq / float64(n))
+	}
+	return res, nil
+}
+
+func dotVec(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "cf",
+		Description: "collaborative filtering via SGD matrix factorization (one epoch per superstep, parameter averaging)",
+		QueryHelp:   "[epochs=<n>] [k=<factors>] [lr=<rate>] [reg=<lambda>]",
+		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
+			kv, err := parseKV(query)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg := seq.DefaultCFConfig()
+			if s, ok := kv["epochs"]; ok {
+				if cfg.Epochs, err = strconv.Atoi(s); err != nil {
+					return nil, nil, fmt.Errorf("cf: bad epochs: %v", err)
+				}
+			}
+			if s, ok := kv["k"]; ok {
+				if cfg.Factors, err = strconv.Atoi(s); err != nil {
+					return nil, nil, fmt.Errorf("cf: bad k: %v", err)
+				}
+			}
+			if s, ok := kv["lr"]; ok {
+				if cfg.LR, err = strconv.ParseFloat(s, 64); err != nil {
+					return nil, nil, fmt.Errorf("cf: bad lr: %v", err)
+				}
+			}
+			if s, ok := kv["reg"]; ok {
+				if cfg.Reg, err = strconv.ParseFloat(s, 64); err != nil {
+					return nil, nil, fmt.Errorf("cf: bad reg: %v", err)
+				}
+			}
+			return engine.Run(g, CF{}, CFQuery{Cfg: cfg}, opts)
+		},
+	})
+}

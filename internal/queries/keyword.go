@@ -1,0 +1,228 @@
+package queries
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"grape/internal/engine"
+	"grape/internal/graph"
+	"grape/internal/index"
+	"grape/internal/metrics"
+	"grape/internal/seq"
+)
+
+// KeywordQuery asks for the roots from which a holder of every keyword is
+// reachable within Bound (weighted distance over out-edges).
+type KeywordQuery struct {
+	Keywords []string
+	Bound    float64
+	// UseIndex enables the per-fragment inverted keyword index built by the
+	// Index Manager; disabling it makes PEval scan all vertex properties —
+	// the ablation of experiment E9 (graph-level optimization).
+	UseIndex bool
+}
+
+// Keyword is the PIE program for keyword search. The update parameter of a
+// border node v is the vector of its distances to the nearest holder of each
+// query keyword; vectors shrink element-wise (aggregate: element-wise min),
+// so the computation is monotonic.
+//
+//	PEval    — per keyword, multi-source Dijkstra from the local keyword
+//	           holders relaxing along in-edges (propagating "I can reach
+//	           keyword k at cost d" to predecessors). Holders are found via
+//	           the inverted index when enabled.
+//	IncEval  — bounded incremental relaxation from the border nodes whose
+//	           vectors shrank.
+//	Assemble — roots whose vectors are within the bound, ranked by total
+//	           distance.
+type Keyword struct{}
+
+// Name implements engine.Program.
+func (Keyword) Name() string { return "keyword" }
+
+// kwVec is a keyword-distance vector; nil means "all unreached".
+type kwVec = []float64
+
+// Spec implements engine.Program: vectors over (ℝ≥0 ∪ {∞}, min, <) pointwise.
+func (Keyword) Spec() engine.VarSpec[kwVec] {
+	at := func(v kwVec, i int) float64 {
+		if v == nil {
+			return seq.Inf
+		}
+		return v[i]
+	}
+	return engine.VarSpec[kwVec]{
+		Default: nil,
+		Agg: func(a, b kwVec) kwVec {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := make(kwVec, len(a))
+			for i := range a {
+				out[i] = at(a, i)
+				if bi := at(b, i); bi < out[i] {
+					out[i] = bi
+				}
+			}
+			return out
+		},
+		Eq: func(a, b kwVec) bool {
+			if len(a) != len(b) {
+				return a == nil && b == nil
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		},
+		Less: func(a, b kwVec) bool {
+			// a < b iff a ≤ b pointwise and a ≠ b (nil = all ∞, the top).
+			if a == nil {
+				return false
+			}
+			if b == nil {
+				return true
+			}
+			strict := false
+			for i := range a {
+				if a[i] > b[i] {
+					return false
+				}
+				if a[i] < b[i] {
+					strict = true
+				}
+			}
+			return strict
+		},
+		Size: func(v kwVec) int { return 8 * len(v) },
+	}
+}
+
+// kwSlot adapts the vector variables to seq.RelaxEdges's scalar interface.
+func kwSlot(ctx *engine.Context[kwVec], nk, k int) (get func(graph.ID) float64, set func(graph.ID, float64)) {
+	get = func(id graph.ID) float64 {
+		v := ctx.Get(id)
+		if v == nil {
+			return seq.Inf
+		}
+		return v[k]
+	}
+	set = func(id graph.ID, d float64) {
+		old := ctx.Get(id)
+		nv := make(kwVec, nk)
+		for i := range nv {
+			if old == nil {
+				nv[i] = seq.Inf
+			} else {
+				nv[i] = old[i]
+			}
+		}
+		nv[k] = d
+		ctx.Set(id, nv)
+	}
+	return get, set
+}
+
+// PEval implements engine.Program.
+func (Keyword) PEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
+	if len(q.Keywords) == 0 {
+		return fmt.Errorf("keyword: empty keyword list")
+	}
+	f := ctx.Frag
+	var inv *index.Inverted
+	if q.UseIndex {
+		inv = index.BuildInverted(f.G)
+		ctx.AddWork(int64(f.G.NumVertices())) // one-time index build
+	}
+	for k, w := range q.Keywords {
+		var seeds []graph.ID
+		if inv != nil {
+			seeds = inv.Lookup(w)
+			ctx.AddWork(1)
+		} else {
+			for _, v := range f.G.Vertices() {
+				ctx.AddWork(1)
+				if seq.HasKeyword(f.G, v, w) {
+					seeds = append(seeds, v)
+				}
+			}
+		}
+		get, set := kwSlot(ctx, len(q.Keywords), k)
+		for _, s := range seeds {
+			set(s, 0)
+		}
+		work := seq.RelaxEdges(f.G, f.G.In, seeds, get, set)
+		ctx.AddWork(work)
+	}
+	return nil
+}
+
+// IncEval implements engine.Program.
+func (Keyword) IncEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
+	f := ctx.Frag
+	updated := ctx.Updated()
+	for k := range q.Keywords {
+		get, set := kwSlot(ctx, len(q.Keywords), k)
+		work := seq.RelaxEdges(f.G, f.G.In, updated, get, set)
+		ctx.AddWork(work)
+	}
+	return nil
+}
+
+// Assemble implements engine.Program.
+func (Keyword) Assemble(q KeywordQuery, ctxs []*engine.Context[kwVec]) ([]seq.KeywordMatch, error) {
+	var out []seq.KeywordMatch
+	for _, ctx := range ctxs {
+		ctx.Vars(func(v graph.ID, vec kwVec) {
+			if !ctx.Frag.IsInner(v) || vec == nil {
+				return
+			}
+			m := seq.KeywordMatch{Root: v, Dists: make([]float64, len(q.Keywords))}
+			for i := range q.Keywords {
+				if vec[i] > q.Bound {
+					return
+				}
+				m.Dists[i] = vec[i]
+				m.Score += vec[i]
+			}
+			out = append(out, m)
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Root < out[j].Root
+	})
+	return out, nil
+}
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "keyword",
+		Description: "keyword search (multi-source Dijkstra per keyword via the inverted index, element-wise min aggregate)",
+		QueryHelp:   "k=<w1,w2,...> bound=<d> [noindex=1]",
+		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
+			kv, err := parseKV(query)
+			if err != nil {
+				return nil, nil, err
+			}
+			if kv["k"] == "" {
+				return nil, nil, fmt.Errorf("keyword: missing k=<keywords>")
+			}
+			bound, err := strconv.ParseFloat(kv["bound"], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("keyword: bad bound: %v", err)
+			}
+			q := KeywordQuery{Keywords: strings.Split(kv["k"], ","), Bound: bound, UseIndex: kv["noindex"] == ""}
+			return engine.Run(g, Keyword{}, q, opts)
+		},
+	})
+}

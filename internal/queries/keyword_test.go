@@ -1,0 +1,100 @@
+package queries
+
+import (
+	"math"
+	"testing"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+func TestKeywordMatchesSequential(t *testing.T) {
+	vocab := []string{"db", "graph", "ml", "sys"}
+	g := gen.ConnectedRandom(200, 600, 31)
+	gen.AttachKeywords(g, vocab, 2, 0.15, 31)
+	q := KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 12, UseIndex: true}
+	want := seq.KeywordSearch(g, q.Keywords, q.Bound)
+	for _, n := range []int{1, 3, 6} {
+		got, _, err := engine.Run(g, Keyword{}, q,
+			engine.Options{Workers: n, Strategy: partition.Fennel{}, CheckMonotonic: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d roots, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Root != want[i].Root || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("workers=%d: rank %d: got (%d,%g) want (%d,%g)",
+					n, i, got[i].Root, got[i].Score, want[i].Root, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestKeywordIndexAndScanAgree(t *testing.T) {
+	vocab := []string{"a", "b", "c"}
+	g := gen.ConnectedRandom(120, 360, 7)
+	gen.AttachKeywords(g, vocab, 2, 0.2, 7)
+	qi := KeywordQuery{Keywords: []string{"a", "c"}, Bound: 10, UseIndex: true}
+	qs := qi
+	qs.UseIndex = false
+	ri, _, err := engine.Run(g, Keyword{}, qi, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := engine.Run(g, Keyword{}, qs, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ri) != len(rs) {
+		t.Fatalf("index vs scan: %d vs %d roots", len(ri), len(rs))
+	}
+	for i := range ri {
+		if ri[i].Root != rs[i].Root {
+			t.Fatalf("rank %d differs: %d vs %d", i, ri[i].Root, rs[i].Root)
+		}
+	}
+}
+
+func TestKeywordIndexReducesWork(t *testing.T) {
+	// E9: the inverted index is built once and spares PEval a full property
+	// scan per keyword, so its advantage grows with the keyword count.
+	vocab := []string{"w1", "w2", "w3", "w4", "rare"}
+	g := gen.ConnectedRandom(2000, 6000, 13)
+	gen.AttachKeywords(g, vocab, 1, 0.01, 13)
+	q := KeywordQuery{Keywords: []string{"rare", "w1", "w2", "w3"}, Bound: 3, UseIndex: true}
+	_, si, err := engine.Run(g, Keyword{}, q, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.UseIndex = false
+	_, ss, err := engine.Run(g, Keyword{}, q, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.TotalWork() >= ss.TotalWork() {
+		t.Fatalf("indexed PEval should do less work: %d vs %d", si.TotalWork(), ss.TotalWork())
+	}
+}
+
+func TestKeywordNoHolders(t *testing.T) {
+	g := gen.ConnectedRandom(50, 150, 3)
+	got, _, err := engine.Run(g, Keyword{}, KeywordQuery{Keywords: []string{"missing"}, Bound: 5, UseIndex: true},
+		engine.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("no holders -> no roots, got %d", len(got))
+	}
+}
+
+func TestKeywordEmptyQueryRejected(t *testing.T) {
+	g := gen.ConnectedRandom(10, 20, 1)
+	if _, _, err := engine.Run(g, Keyword{}, KeywordQuery{}, engine.Options{Workers: 2}); err == nil {
+		t.Fatal("expected error for empty keyword list")
+	}
+}

@@ -1,0 +1,168 @@
+package queries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+// TestSSSPSessionTracksEvolvingGraph drives the paper's actual IncEval
+// definition: Q(G ⊕ M) computed from Q(G) and updates M, never re-running
+// PEval. Every batch of random edge insertions must leave the session's
+// answer equal to Dijkstra on the mutated graph.
+func TestSSSPSessionTracksEvolvingGraph(t *testing.T) {
+	g := gen.ConnectedRandom(200, 500, 55)
+	shadow := g.Clone() // mutated in lockstep, used for ground truth
+	s, res, _, err := engine.NewSession(g, SSSP{}, SSSPQuery{Source: 0},
+		engine.Options{Workers: 5, Strategy: partition.Fennel{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(round int, got map[graph.ID]float64) {
+		want := seq.Dijkstra(shadow, 0)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: reach %d vs %d", round, len(got), len(want))
+		}
+		for v, d := range want {
+			if math.Abs(got[v]-d) > 1e-9 {
+				t.Fatalf("round %d: vertex %d: %g vs %g", round, v, got[v], d)
+			}
+		}
+	}
+	check(0, res)
+
+	rng := rand.New(rand.NewSource(99))
+	for round := 1; round <= 5; round++ {
+		var batch []engine.EdgeUpdate
+		for i := 0; i < 10; i++ {
+			u := graph.ID(rng.Intn(200))
+			v := graph.ID(rng.Intn(200))
+			if u == v {
+				continue
+			}
+			w := 0.5 + rng.Float64()*3
+			batch = append(batch, engine.EdgeUpdate{From: u, To: v, W: w})
+			shadow.AddEdge(u, v, w)
+		}
+		got, _, err := s.Update(batch)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		check(round, got)
+	}
+}
+
+func TestSSSPSessionIncrementalIsCheaperThanRerun(t *testing.T) {
+	g := gen.RoadGrid(40, 40, 5)
+	s, _, initStats, err := engine.NewSession(g, SSSP{}, SSSPQuery{Source: 0},
+		engine.Options{Workers: 8, Strategy: partition.TwoD{Cols: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one local shortcut in a far corner
+	_, updStats, err := s.Update([]engine.EdgeUpdate{{From: 1599, To: 1558, W: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updStats.TotalWork()*5 > initStats.TotalWork() {
+		t.Fatalf("incremental update not bounded: %d vs initial %d",
+			updStats.TotalWork(), initStats.TotalWork())
+	}
+}
+
+func TestSSSPSessionRejectsNegativeWeight(t *testing.T) {
+	g := gen.ConnectedRandom(30, 90, 1)
+	s, _, _, err := engine.NewSession(g, SSSP{}, SSSPQuery{Source: 0}, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Update([]engine.EdgeUpdate{{From: 0, To: 1, W: -2}}); err == nil {
+		t.Fatal("negative weights must be rejected")
+	}
+}
+
+func TestCCSessionMergesComponents(t *testing.T) {
+	// two separate random clusters; an inserted bridge must merge labels
+	g := graph.New()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ { // cluster A: 0..49
+		g.AddEdge(graph.ID(rng.Intn(50)), graph.ID(rng.Intn(50)), 1)
+	}
+	for i := 0; i < 50; i++ { // cluster B: 100..149
+		g.AddEdge(graph.ID(100+rng.Intn(50)), graph.ID(100+rng.Intn(50)), 1)
+	}
+	shadow := g.Clone()
+	s, res, _, err := engine.NewSession(g, CC{}, CCQuery{}, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst := func(round int, got map[graph.ID]graph.ID) {
+		want := seq.Components(shadow)
+		for v, c := range want {
+			if got[v] != c {
+				t.Fatalf("round %d: vertex %d: %d vs %d", round, v, got[v], c)
+			}
+		}
+	}
+	checkAgainst(0, res)
+
+	// bridge the clusters
+	shadow.AddEdge(40, 110, 1)
+	res, _, err = s.Update([]engine.EdgeUpdate{{From: 40, To: 110, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainst(1, res)
+
+	// a few more random inserts, including intra-cluster no-ops
+	for round := 2; round <= 4; round++ {
+		u := graph.ID(rng.Intn(50))
+		v := graph.ID(100 + rng.Intn(50))
+		shadow.AddEdge(u, v, 1)
+		res, _, err = s.Update([]engine.EdgeUpdate{{From: u, To: v, W: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainst(round, res)
+	}
+}
+
+func TestCCSessionEvolvingProperty(t *testing.T) {
+	// randomized: repeatedly insert edges between random vertices and
+	// compare against sequential CC on the shadow graph
+	g := gen.Random(120, 150, 77) // sparse: many components
+	shadow := g.Clone()
+	s, _, _, err := engine.NewSession(g, CC{}, CCQuery{}, engine.Options{Workers: 6, Strategy: partition.Hash{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 8; round++ {
+		var batch []engine.EdgeUpdate
+		for i := 0; i < 5; i++ {
+			u := graph.ID(rng.Intn(120))
+			v := graph.ID(rng.Intn(120))
+			if u == v {
+				continue
+			}
+			batch = append(batch, engine.EdgeUpdate{From: u, To: v, W: 1})
+			shadow.AddEdge(u, v, 1)
+		}
+		got, _, err := s.Update(batch)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := seq.Components(shadow)
+		for v, c := range want {
+			if got[v] != c {
+				t.Fatalf("round %d: vertex %d: got %d want %d", round, v, got[v], c)
+			}
+		}
+	}
+}

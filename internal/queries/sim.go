@@ -1,0 +1,134 @@
+package queries
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"grape/internal/engine"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/seq"
+)
+
+// SimQuery asks for the graph-simulation relation of a pattern.
+type SimQuery struct {
+	Pattern *graph.Graph
+}
+
+// SimResult maps each pattern vertex to the sorted data vertices simulating
+// it.
+type SimResult map[graph.ID][]graph.ID
+
+// Sim is the PIE program for graph pattern matching via simulation. The
+// update parameter of a border node v is the bitmask of pattern vertices v
+// may still simulate; it only ever loses bits, aggregated by AND — a
+// monotonically decreasing set, so the Assurance Theorem applies.
+//
+//	PEval    — the Henzinger–Henzinger–Kopke refinement on the fragment,
+//	           treating outer copies optimistically (their out-edges are
+//	           remote, so their bits cannot be refuted locally).
+//	IncEval  — re-refinement seeded only by the nodes whose masks shrank —
+//	           the incremental simulation algorithm; work is proportional
+//	           to the affected area.
+//	Assemble — per pattern vertex, the union of inner vertices holding its
+//	           bit.
+type Sim struct{}
+
+// Name implements engine.Program.
+func (Sim) Name() string { return "sim" }
+
+// fullMask is the "everything still possible" default; any real mask is a
+// subset of the pattern's bits.
+const fullMask = ^seq.SimBits(0)
+
+// Spec implements engine.Program: masks ∈ (2^pattern, ∩, ⊊).
+func (Sim) Spec() engine.VarSpec[seq.SimBits] {
+	return engine.VarSpec[seq.SimBits]{
+		Default: fullMask,
+		Agg:     func(a, b seq.SimBits) seq.SimBits { return a & b },
+		Eq:      func(a, b seq.SimBits) bool { return a == b },
+		Less:    func(a, b seq.SimBits) bool { return a&b == a && a != b }, // strict subset
+		Size:    func(seq.SimBits) int { return 8 },
+	}
+}
+
+// PEval implements engine.Program.
+func (Sim) PEval(q SimQuery, ctx *engine.Context[seq.SimBits]) error {
+	if q.Pattern == nil || q.Pattern.NumVertices() == 0 {
+		return fmt.Errorf("sim: empty pattern")
+	}
+	if q.Pattern.NumVertices() > 64 {
+		return fmt.Errorf("sim: pattern has %d vertices, max 64", q.Pattern.NumVertices())
+	}
+	f := ctx.Frag
+	// Initial candidates by label. Every replica of a node derives the same
+	// mask from its replicated label, so the initialization itself need not
+	// be shipped — only refinements are. Outer copies stay optimistic and
+	// frozen; their truth arrives from their owner.
+	for _, v := range f.G.Vertices() {
+		ctx.SetLocal(v, seq.LabelBits(q.Pattern, f.G.Label(v)))
+		ctx.AddWork(1)
+	}
+	work := seq.RefineSim(q.Pattern, f.G, ctx.Get, ctx.Set,
+		func(v graph.ID) bool { return !f.IsInner(v) }, nil, func(graph.ID) {})
+	ctx.AddWork(work)
+	return nil
+}
+
+// IncEval implements engine.Program: incremental refinement from the shrunk
+// masks.
+func (Sim) IncEval(q SimQuery, ctx *engine.Context[seq.SimBits]) error {
+	f := ctx.Frag
+	work := seq.RefineSim(q.Pattern, f.G, ctx.Get, ctx.Set,
+		func(v graph.ID) bool { return !f.IsInner(v) }, ctx.Updated(), func(graph.ID) {})
+	ctx.AddWork(work)
+	return nil
+}
+
+// Assemble implements engine.Program. Every pattern vertex gets an entry,
+// empty when nothing simulates it — matching the sequential Sim's shape.
+func (Sim) Assemble(q SimQuery, ctxs []*engine.Context[seq.SimBits]) (SimResult, error) {
+	pv := q.Pattern.Vertices()
+	res := make(SimResult, len(pv))
+	for _, u := range pv {
+		res[u] = nil
+	}
+	for _, ctx := range ctxs {
+		ctx.Vars(func(v graph.ID, m seq.SimBits) {
+			if !ctx.Frag.IsInner(v) || m == 0 {
+				return
+			}
+			for m != 0 {
+				k := bits.TrailingZeros64(m)
+				m &^= 1 << uint(k)
+				u := pv[k]
+				res[u] = append(res[u], v)
+			}
+		})
+	}
+	for u := range res {
+		vs := res[u]
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+	return res, nil
+}
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "sim",
+		Description: "graph pattern matching via simulation (HHK refinement PEval, incremental refinement IncEval, ∩ aggregate)",
+		QueryHelp:   "pattern=<name from queries.Patterns>",
+		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
+			kv, err := parseKV(query)
+			if err != nil {
+				return nil, nil, err
+			}
+			p, err := PatternByName(kv["pattern"])
+			if err != nil {
+				return nil, nil, err
+			}
+			return engine.Run(g, Sim{}, SimQuery{Pattern: p}, opts)
+		},
+	})
+}

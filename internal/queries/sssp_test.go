@@ -1,0 +1,163 @@
+package queries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+func ssspGround(g *graph.Graph, src graph.ID) map[graph.ID]float64 {
+	return seq.Dijkstra(g, src)
+}
+
+func runSSSP(t *testing.T, g *graph.Graph, src graph.ID, opts engine.Options) map[graph.ID]float64 {
+	t.Helper()
+	res, stats, err := engine.Run(g, SSSP{}, SSSPQuery{Source: src}, opts)
+	if err != nil {
+		t.Fatalf("engine.Run: %v", err)
+	}
+	if stats.Supersteps < 1 {
+		t.Fatalf("expected at least one superstep, got %d", stats.Supersteps)
+	}
+	return res
+}
+
+func sameDistances(t *testing.T, want, got map[graph.ID]float64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: reach set size: want %d got %d", label, len(want), len(got))
+	}
+	for v, d := range want {
+		gd, ok := got[v]
+		if !ok {
+			t.Fatalf("%s: vertex %d missing", label, v)
+		}
+		if math.Abs(gd-d) > 1e-9 {
+			t.Fatalf("%s: vertex %d: want %g got %g", label, v, d, gd)
+		}
+	}
+}
+
+func TestSSSPMatchesDijkstraAcrossStrategiesAndWorkers(t *testing.T) {
+	g := gen.ConnectedRandom(300, 900, 42)
+	want := ssspGround(g, 0)
+	for _, strat := range partition.Strategies() {
+		for _, n := range []int{1, 2, 3, 8} {
+			got := runSSSP(t, g, 0, engine.Options{Workers: n, Strategy: strat, CheckMonotonic: true})
+			sameDistances(t, want, got, strat.Name())
+		}
+	}
+}
+
+func TestSSSPOnRoadGrid(t *testing.T) {
+	g := gen.RoadGrid(20, 30, 7)
+	want := ssspGround(g, 0)
+	got := runSSSP(t, g, 0, engine.Options{Workers: 6, Strategy: partition.MetisLike{}, CheckMonotonic: true})
+	sameDistances(t, want, got, "road grid")
+}
+
+func TestSSSPUnreachableSource(t *testing.T) {
+	g := gen.Random(50, 100, 3)
+	g.AddVertex(999, "") // isolated
+	got := runSSSP(t, g, 999, engine.Options{Workers: 4})
+	if len(got) != 1 || got[999] != 0 {
+		t.Fatalf("isolated source should reach only itself, got %v", got)
+	}
+}
+
+func TestSSSPSourceAbsent(t *testing.T) {
+	g := gen.Random(20, 40, 3)
+	got := runSSSP(t, g, 777777, engine.Options{Workers: 4})
+	if len(got) != 0 {
+		t.Fatalf("absent source should reach nothing, got %v", got)
+	}
+}
+
+func TestSSSPPropertyRandomGraphs(t *testing.T) {
+	// Property: for random graphs, GRAPE-SSSP equals sequential Dijkstra,
+	// which in turn equals Bellman-Ford, for every partition strategy.
+	f := func(seed int64, nw uint8) bool {
+		n := 3 + int(uint(seed)%60)
+		m := 2 * n
+		g := gen.ConnectedRandom(n, m, seed)
+		src := graph.ID(int(uint(seed) % uint(n)))
+		want := seq.BellmanFord(g, src)
+		workers := 1 + int(nw%6)
+		res, _, err := engine.Run(g, SSSP{}, SSSPQuery{Source: src},
+			engine.Options{Workers: workers, Strategy: partition.Fennel{}, CheckMonotonic: true})
+		if err != nil {
+			t.Logf("engine error: %v", err)
+			return false
+		}
+		if len(res) != len(want) {
+			return false
+		}
+		for v, d := range want {
+			if math.Abs(res[v]-d) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSSPCommunicationIsBorderBounded(t *testing.T) {
+	// Example 1(c): communication is confined to update parameters of
+	// border nodes — total messages cannot exceed supersteps × border set,
+	// and bytes stay minuscule relative to shipping the graph.
+	g := gen.RoadGrid(30, 30, 5)
+	asg, err := partition.Range{}.Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := partition.Build(g, asg)
+	_, stats, err := engine.RunOnLayout(layout, SSSP{}, SSSPQuery{Source: 0}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	border := asg.BorderCount()
+	// every data message carries at least one update of a border variable
+	maxUpdates := int64(border) * int64(stats.Supersteps) * 2 // both directions
+	if stats.Bytes > maxUpdates*16+int64(stats.Supersteps)*64 {
+		t.Fatalf("communication not border-bounded: %d bytes for %d border nodes over %d supersteps",
+			stats.Bytes, border, stats.Supersteps)
+	}
+}
+
+func TestSSSPWithLoadBalancedFragments(t *testing.T) {
+	// Over-partition into 16 fragments packed onto 4 workers: the answer is
+	// partition-independent and must match Dijkstra exactly.
+	g := gen.PreferentialAttachment(800, 4, 15)
+	want := ssspGround(g, 0)
+	got := runSSSP(t, g, 0, engine.Options{Workers: 4, Fragments: 16, Strategy: partition.Fennel{}})
+	sameDistances(t, want, got, "balanced fragments")
+}
+
+func TestSSSPRegistryRun(t *testing.T) {
+	g := gen.ConnectedRandom(100, 300, 9)
+	e, err := engine.Lookup("sssp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := e.Run(g, engine.Options{Workers: 3}, "source=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := res.(map[graph.ID]float64)
+	sameDistances(t, ssspGround(g, 0), dists, "registry")
+	if stats == nil || stats.Workers != 3 {
+		t.Fatalf("stats missing or wrong workers: %+v", stats)
+	}
+	if _, _, err := e.Run(g, engine.Options{}, "source=notanumber"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

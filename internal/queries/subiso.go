@@ -1,0 +1,158 @@
+package queries
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"grape/internal/engine"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/seq"
+)
+
+// SubIsoQuery asks for subgraph-isomorphism embeddings of Pattern.
+type SubIsoQuery struct {
+	Pattern *graph.Graph
+	// MaxMatches caps the global number of embeddings (0 = unlimited).
+	// Workers each enumerate at most this many; Assemble re-truncates.
+	MaxMatches int
+}
+
+// SubIso is the PIE program for subgraph isomorphism. Unlike the iterative
+// classes, SubIso is locality-bounded: a match anchored at a vertex v lies
+// entirely within the d-hop neighborhood of v, where d is the pattern's
+// radius. GRAPE therefore ships data in PEval instead of iterating: run it
+// with Options.ExpandHops = Radius(q) so fragments carry the d-hop
+// neighborhoods of their inner vertices, and
+//
+//	PEval    — a VF2-style sequential enumeration restricted to matches
+//	           whose anchor lands on an inner vertex (each match is counted
+//	           by exactly one fragment);
+//	IncEval  — nothing to do: no update parameters change, so the fixpoint
+//	           is reached after one superstep;
+//	Assemble — concatenates and sorts the per-fragment match lists.
+type SubIso struct{}
+
+// Name implements engine.Program.
+func (SubIso) Name() string { return "subiso" }
+
+// Radius returns the fragment expansion (Options.ExpandHops) the query
+// needs: the pattern's undirected eccentricity from the anchor vertex.
+func (SubIso) Radius(q SubIsoQuery) int {
+	return seq.PatternRadius(q.Pattern, anchorOf(q.Pattern))
+}
+
+// anchorOf designates the pattern vertex whose image decides match
+// ownership: the first vertex of the matching order (most constrained).
+func anchorOf(p *graph.Graph) graph.ID {
+	vs := p.SortedVertices()
+	if len(vs) == 0 {
+		return graph.NoID
+	}
+	best := vs[0]
+	bestDeg := -1
+	for _, u := range vs {
+		d := p.OutDegree(u) + p.InDegree(u)
+		if d > bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return best
+}
+
+// Spec implements engine.Program. SubIso exchanges no update parameters;
+// the dummy byte variable never changes, so the engine terminates after
+// PEval — one parallel superstep, exactly the paper's behaviour for
+// data-shipped locality queries.
+func (SubIso) Spec() engine.VarSpec[uint8] {
+	return engine.VarSpec[uint8]{
+		Default: 0,
+		Agg:     func(a, b uint8) uint8 { return a | b },
+		Eq:      func(a, b uint8) bool { return a == b },
+		Size:    func(uint8) int { return 1 },
+	}
+}
+
+// PEval implements engine.Program.
+func (SubIso) PEval(q SubIsoQuery, ctx *engine.Context[uint8]) error {
+	if q.Pattern == nil || q.Pattern.NumVertices() == 0 {
+		return fmt.Errorf("subiso: empty pattern")
+	}
+	f := ctx.Frag
+	matches, work := seq.SubIso(q.Pattern, f.G, seq.SubIsoOptions{
+		MaxMatches: q.MaxMatches,
+		Anchor:     f.IsInner,
+		AnchorVar:  anchorOf(q.Pattern),
+	})
+	ctx.AddWork(work)
+	ctx.Partial = matches
+	return nil
+}
+
+// IncEval implements engine.Program; it never runs (no parameters change).
+func (SubIso) IncEval(q SubIsoQuery, ctx *engine.Context[uint8]) error { return nil }
+
+// Assemble implements engine.Program.
+func (SubIso) Assemble(q SubIsoQuery, ctxs []*engine.Context[uint8]) ([]seq.Match, error) {
+	var all []seq.Match
+	for _, ctx := range ctxs {
+		if ctx.Partial == nil {
+			continue
+		}
+		all = append(all, ctx.Partial.([]seq.Match)...)
+	}
+	sortMatches(q.Pattern, all)
+	if q.MaxMatches > 0 && len(all) > q.MaxMatches {
+		all = all[:q.MaxMatches]
+	}
+	return all, nil
+}
+
+// sortMatches orders embeddings lexicographically by the images of the
+// pattern vertices (in sorted pattern-vertex order) so results are
+// deterministic regardless of fragmentation.
+func sortMatches(p *graph.Graph, ms []seq.Match) {
+	pv := p.SortedVertices()
+	sort.Slice(ms, func(i, j int) bool {
+		for _, u := range pv {
+			if ms[i][u] != ms[j][u] {
+				return ms[i][u] < ms[j][u]
+			}
+		}
+		return false
+	})
+}
+
+// RunSubIso runs the SubIso program with the fragment expansion the pattern
+// requires. It is the helper the registry, GPAR and benches share.
+func RunSubIso(g *graph.Graph, q SubIsoQuery, opts engine.Options) ([]seq.Match, *metrics.Stats, error) {
+	opts.ExpandHops = (SubIso{}).Radius(q)
+	return engine.Run(g, SubIso{}, q, opts)
+}
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "subiso",
+		Description: "subgraph isomorphism (VF2-style PEval on d-hop expanded fragments; single superstep)",
+		QueryHelp:   "pattern=<name> [max=<k>]",
+		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
+			kv, err := parseKV(query)
+			if err != nil {
+				return nil, nil, err
+			}
+			p, err := PatternByName(kv["pattern"])
+			if err != nil {
+				return nil, nil, err
+			}
+			max := 0
+			if s, ok := kv["max"]; ok {
+				if max, err = strconv.Atoi(s); err != nil {
+					return nil, nil, fmt.Errorf("subiso: bad max: %v", err)
+				}
+			}
+			res, stats, err := RunSubIso(g, SubIsoQuery{Pattern: p, MaxMatches: max}, opts)
+			return any(res), stats, err
+		},
+	})
+}

@@ -1,0 +1,107 @@
+package queries
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+func TestTriCountKnownGraphs(t *testing.T) {
+	// K4 has 4 triangles
+	k4 := graph.New()
+	for i := graph.ID(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4.AddEdge(i, j, 1)
+		}
+	}
+	res, stats, err := RunTriCount(k4, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 4 {
+		t.Fatalf("K4 has 4 triangles, got %d", res.Total)
+	}
+	if stats.Supersteps != 1 {
+		t.Fatalf("tricount is one superstep, got %d", stats.Supersteps)
+	}
+	// a 4-cycle has none
+	c4 := graph.New()
+	for i := graph.ID(0); i < 4; i++ {
+		c4.AddEdge(i, (i+1)%4, 1)
+	}
+	res, _, err = RunTriCount(c4, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 {
+		t.Fatalf("C4 has no triangles, got %d", res.Total)
+	}
+}
+
+func TestTriCountMatchesSequential(t *testing.T) {
+	g := gen.Random(120, 600, 19)
+	want := SeqTriangles(g)
+	if want == 0 {
+		t.Skip("unlucky seed: no triangles")
+	}
+	for _, n := range []int{1, 3, 8} {
+		res, _, err := RunTriCount(g, engine.Options{Workers: n, Strategy: partition.Hash{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total != want {
+			t.Fatalf("workers=%d: %d triangles, want %d", n, res.Total, want)
+		}
+	}
+}
+
+func TestTriCountPivotCountsSumToTotal(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 4, 23)
+	res, _, err := RunTriCount(g, engine.Options{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, c := range res.PerPivot {
+		sum += c
+	}
+	if sum != res.Total {
+		t.Fatalf("pivot counts sum to %d, total %d", sum, res.Total)
+	}
+}
+
+func TestTriCountProperty(t *testing.T) {
+	f := func(seed int64, nw uint8) bool {
+		n := 10 + int(uint(seed)%40)
+		g := gen.Random(n, 4*n, seed)
+		want := SeqTriangles(g)
+		res, _, err := RunTriCount(g, engine.Options{Workers: 1 + int(nw%5)})
+		if err != nil {
+			return false
+		}
+		return res.Total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriCountIgnoresSelfLoopsAndParallelEdges(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(0, 0, 1) // self loop
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 1) // parallel
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	res, _, err := RunTriCount(g, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 1 {
+		t.Fatalf("want exactly 1 triangle, got %d", res.Total)
+	}
+}

@@ -1,0 +1,87 @@
+package seq
+
+import (
+	"sort"
+
+	"grape/internal/graph"
+)
+
+// HasKeyword reports whether vertex id of g carries keyword w among its
+// properties.
+func HasKeyword(g *graph.Graph, id graph.ID, w string) bool {
+	for _, p := range g.Props(id) {
+		if p == w {
+			return true
+		}
+	}
+	return false
+}
+
+// KeywordDistances computes, for each keyword, the weighted distance from
+// every vertex v to the nearest vertex carrying that keyword following
+// out-edges (dist 0 if v itself carries it). It relaxes along in-edges from
+// the keyword holders — the textbook multi-source Dijkstra on the reversed
+// graph. Unreachable pairs are absent.
+func KeywordDistances(g *graph.Graph, keywords []string) map[string]map[graph.ID]float64 {
+	out := make(map[string]map[graph.ID]float64, len(keywords))
+	for _, w := range keywords {
+		dist := map[graph.ID]float64{}
+		var seeds []graph.ID
+		for _, v := range g.Vertices() {
+			if HasKeyword(g, v, w) {
+				dist[v] = 0
+				seeds = append(seeds, v)
+			}
+		}
+		get := func(id graph.ID) float64 {
+			if d, ok := dist[id]; ok {
+				return d
+			}
+			return Inf
+		}
+		set := func(id graph.ID, d float64) { dist[id] = d }
+		RelaxEdges(g, g.In, seeds, get, set)
+		out[w] = dist
+	}
+	return out
+}
+
+// KeywordMatch is one keyword-search answer: a root vertex that reaches a
+// holder of every query keyword within the distance bound, with the distance
+// per keyword.
+type KeywordMatch struct {
+	Root  graph.ID
+	Dists []float64 // parallel to the query's keyword list
+	Score float64   // sum of distances; lower is better
+}
+
+// KeywordSearch returns the roots from which every keyword in the query is
+// reachable within bound, ranked by total distance — the demo's Keyword
+// query class.
+func KeywordSearch(g *graph.Graph, keywords []string, bound float64) []KeywordMatch {
+	dists := KeywordDistances(g, keywords)
+	var out []KeywordMatch
+	for _, v := range g.Vertices() {
+		m := KeywordMatch{Root: v, Dists: make([]float64, len(keywords))}
+		ok := true
+		for i, w := range keywords {
+			d, reach := dists[w][v]
+			if !reach || d > bound {
+				ok = false
+				break
+			}
+			m.Dists[i] = d
+			m.Score += d
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Root < out[j].Root
+	})
+	return out
+}

@@ -1,0 +1,48 @@
+package seq
+
+import "grape/internal/graph"
+
+// PageRank computes damped PageRank by power iteration until the L1 delta
+// drops below eps or iters rounds elapse. Dangling mass is redistributed
+// uniformly. It is used by the Simulation Theorem demo (a vertex-centric
+// program run both natively and on GRAPE) and as its ground truth.
+func PageRank(g *graph.Graph, damping float64, iters int, eps float64) map[graph.ID]float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	rank := make(map[graph.ID]float64, n)
+	for _, v := range g.Vertices() {
+		rank[v] = 1.0 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		next := make(map[graph.ID]float64, n)
+		dangling := 0.0
+		for _, v := range g.Vertices() {
+			out := g.Out(v)
+			if len(out) == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := rank[v] / float64(len(out))
+			for _, e := range out {
+				next[e.To] += share
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		delta := 0.0
+		for _, v := range g.Vertices() {
+			nv := base + damping*next[v]
+			d := nv - rank[v]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+			rank[v] = nv
+		}
+		if delta < eps {
+			break
+		}
+	}
+	return rank
+}

@@ -1,0 +1,169 @@
+package seq
+
+import (
+	"sort"
+
+	"grape/internal/graph"
+)
+
+// Sim computes graph simulation of pattern p in data graph g — the
+// Henzinger–Henzinger–Kopke refinement. The result maps each pattern vertex
+// u to the sorted set sim(u) of data vertices v such that
+//
+//   - label(v) = label(u), and
+//   - for every pattern edge (u, u') with label ℓ there is a data edge
+//     (v, v') with label ℓ (empty pattern label matches any) and v' ∈ sim(u').
+//
+// Graph simulation is the quadratic-time relative of subgraph isomorphism
+// used by the demo's Sim query class.
+func Sim(p, g *graph.Graph) map[graph.ID][]graph.ID {
+	sim := make(map[graph.ID]map[graph.ID]bool)
+	for _, u := range p.Vertices() {
+		cand := make(map[graph.ID]bool)
+		for _, v := range g.Vertices() {
+			if g.Label(v) == p.Label(u) {
+				cand[v] = true
+			}
+		}
+		sim[u] = cand
+	}
+	// Refine to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, u := range p.Vertices() {
+			for v := range sim[u] {
+				if !simOK(p, g, sim, u, v) {
+					delete(sim[u], v)
+					changed = true
+				}
+			}
+		}
+	}
+	out := make(map[graph.ID][]graph.ID, len(sim))
+	for u, set := range sim {
+		vs := make([]graph.ID, 0, len(set))
+		for v := range set {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		out[u] = vs
+	}
+	return out
+}
+
+func simOK(p, g *graph.Graph, sim map[graph.ID]map[graph.ID]bool, u, v graph.ID) bool {
+	for _, pe := range p.Out(u) {
+		found := false
+		for _, ge := range g.Out(v) {
+			if (pe.Label == "" || pe.Label == ge.Label) && sim[pe.To][ge.To] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// SimBits is the bitmask encoding of simulation sets used by the distributed
+// Sim PIE program: bit k of the mask of data vertex v is set iff v may still
+// simulate the k-th pattern vertex (in p.Vertices() order). Patterns are
+// limited to 64 vertices, far beyond any practical simulation pattern.
+type SimBits = uint64
+
+// LabelBits returns the initial mask for a data vertex: one bit per pattern
+// vertex with a matching label.
+func LabelBits(p *graph.Graph, label string) SimBits {
+	var m SimBits
+	for k, u := range p.Vertices() {
+		if p.Label(u) == label {
+			m |= 1 << uint(k)
+		}
+	}
+	return m
+}
+
+// RefineSim refines the masks of the data graph g against pattern p until a
+// local fixpoint: bit k of mask(v) is cleared if some pattern edge (u_k, u_j)
+// has no g-successor edge from v (with a compatible label) whose target still
+// has bit j. Vertices in frozen keep their mask regardless (they are outer
+// copies whose edges live on another fragment; their truth arrives via
+// messages). dirty seeds the worklist; pass nil to refine everything.
+// It reports the work spent and invokes onChange for every vertex whose mask
+// shrank.
+func RefineSim(p, g *graph.Graph, mask func(graph.ID) SimBits, setMask func(graph.ID, SimBits), frozen func(graph.ID) bool, dirty []graph.ID, onChange func(graph.ID)) int64 {
+	var work int64
+	pverts := p.Vertices()
+
+	inWork := make(map[graph.ID]bool)
+	var queue []graph.ID
+	push := func(v graph.ID) {
+		if !inWork[v] && !frozen(v) {
+			inWork[v] = true
+			queue = append(queue, v)
+		}
+	}
+	if dirty == nil {
+		for _, v := range g.Vertices() {
+			push(v)
+		}
+	} else {
+		for _, v := range dirty {
+			push(v)
+			// a changed vertex can only invalidate its predecessors
+			for _, e := range g.In(v) {
+				push(e.To)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inWork[v] = false
+		m := mask(v)
+		if m == 0 {
+			continue
+		}
+		nm := m
+		for k, u := range pverts {
+			if nm&(1<<uint(k)) == 0 {
+				continue
+			}
+			for _, pe := range p.Out(u) {
+				j := indexOf(pverts, pe.To)
+				ok := false
+				for _, ge := range g.Out(v) {
+					work++
+					if (pe.Label == "" || pe.Label == ge.Label) && mask(ge.To)&(1<<uint(j)) != 0 {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					nm &^= 1 << uint(k)
+					break
+				}
+			}
+		}
+		if nm != m {
+			setMask(v, nm)
+			onChange(v)
+			for _, e := range g.In(v) {
+				work++
+				push(e.To)
+			}
+		}
+	}
+	return work
+}
+
+func indexOf(ids []graph.ID, id graph.ID) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}

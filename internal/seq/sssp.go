@@ -1,0 +1,143 @@
+// Package seq contains the sequential graph algorithms of the reproduction —
+// the "conventional graph algorithms covered in undergraduate textbooks" that
+// GRAPE parallelizes as a whole. They serve three roles: the bodies of PEval
+// in the PIE programs, ground truth in cross-engine tests, and the
+// single-worker baselines in benchmarks.
+//
+// Functions that participate in PEval/IncEval report their work in elementary
+// units (heap operations, edge relaxations, refinement steps) so the engines
+// can account simulated time.
+package seq
+
+import (
+	"container/heap"
+	"math"
+
+	"grape/internal/graph"
+)
+
+// Inf is the "unreached" distance.
+var Inf = math.Inf(1)
+
+// distHeap is a min-heap of (vertex, distance) entries for Dijkstra.
+type distHeap struct {
+	ids  []graph.ID
+	dist []float64
+}
+
+func (h *distHeap) Len() int            { return len(h.ids) }
+func (h *distHeap) Less(i, j int) bool  { return h.dist[i] < h.dist[j] }
+func (h *distHeap) Swap(i, j int)       { h.ids[i], h.ids[j] = h.ids[j], h.ids[i]; h.dist[i], h.dist[j] = h.dist[j], h.dist[i] }
+func (h *distHeap) Push(x any)          { e := x.(distEntry); h.ids = append(h.ids, e.id); h.dist = append(h.dist, e.d) }
+func (h *distHeap) Pop() any {
+	n := len(h.ids) - 1
+	e := distEntry{h.ids[n], h.dist[n]}
+	h.ids = h.ids[:n]
+	h.dist = h.dist[:n]
+	return e
+}
+
+type distEntry struct {
+	id graph.ID
+	d  float64
+}
+
+// Relax runs Dijkstra-style label-correcting relaxation on g starting from
+// seeds, reading and writing distances through get/set. It assumes the seed
+// distances were already lowered by the caller and only ever decreases
+// distances, which makes it serve simultaneously as:
+//
+//   - PEval for SSSP (seeds = {source}, all distances ∞), where it is exactly
+//     Dijkstra's algorithm, and
+//   - a bounded IncEval in the sense of Ramalingam–Reps: after a batch of
+//     border-distance decreases (seeds = changed nodes), the work done is
+//     proportional to the nodes whose distance actually changes (|CHANGED|
+//     and their incident edges), not to |F_i|.
+//
+// It returns the number of work units spent (heap pushes + edge relaxations).
+func Relax(g *graph.Graph, seeds []graph.ID, get func(graph.ID) float64, set func(graph.ID, float64)) int64 {
+	return RelaxEdges(g, g.Out, seeds, get, set)
+}
+
+// RelaxEdges is Relax over an arbitrary adjacency accessor; keyword search
+// relaxes along in-edges (g.In) to propagate keyword distances to
+// predecessors.
+func RelaxEdges(g *graph.Graph, edges func(graph.ID) []graph.Edge, seeds []graph.ID, get func(graph.ID) float64, set func(graph.ID, float64)) int64 {
+	var work int64
+	h := &distHeap{}
+	for _, s := range seeds {
+		if !g.Has(s) {
+			continue
+		}
+		heap.Push(h, distEntry{s, get(s)})
+		work++
+	}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(distEntry)
+		work++
+		if e.d > get(e.id) { // stale entry
+			continue
+		}
+		for _, edge := range edges(e.id) {
+			work++
+			nd := e.d + edge.W
+			if nd < get(edge.To) {
+				set(edge.To, nd)
+				heap.Push(h, distEntry{edge.To, nd})
+				work++
+			}
+		}
+	}
+	return work
+}
+
+// Dijkstra computes single-source shortest distances over g from src.
+// Unreachable vertices are absent from the result.
+func Dijkstra(g *graph.Graph, src graph.ID) map[graph.ID]float64 {
+	dist := map[graph.ID]float64{}
+	if !g.Has(src) {
+		return dist
+	}
+	dist[src] = 0
+	get := func(id graph.ID) float64 {
+		if d, ok := dist[id]; ok {
+			return d
+		}
+		return Inf
+	}
+	set := func(id graph.ID, d float64) { dist[id] = d }
+	Relax(g, []graph.ID{src}, get, set)
+	return dist
+}
+
+// BellmanFord computes the same distances as Dijkstra by |V|-1 rounds of
+// full-edge relaxation. It exists purely as an independent cross-check for
+// property-based tests.
+func BellmanFord(g *graph.Graph, src graph.ID) map[graph.ID]float64 {
+	dist := map[graph.ID]float64{}
+	if !g.Has(src) {
+		return dist
+	}
+	dist[src] = 0
+	n := g.NumVertices()
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, u := range g.Vertices() {
+			du, ok := dist[u]
+			if !ok {
+				continue
+			}
+			for _, e := range g.Out(u) {
+				nd := du + e.W
+				if dv, ok := dist[e.To]; !ok || nd < dv {
+					dist[e.To] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}

@@ -1,0 +1,191 @@
+package seq
+
+import (
+	"sort"
+
+	"grape/internal/graph"
+)
+
+// Match is one subgraph-isomorphism embedding: pattern vertex -> data vertex.
+type Match map[graph.ID]graph.ID
+
+// SubIsoOptions bounds enumeration.
+type SubIsoOptions struct {
+	// MaxMatches stops enumeration after this many embeddings (0 = no cap).
+	MaxMatches int
+	// Anchor, if non-nil, restricts matches of pattern vertex AnchorVar to
+	// data vertices for which Anchor returns true. The GRAPE SubIso PEval
+	// uses it to count each match exactly once across fragments: a match is
+	// owned by the fragment owning its anchor vertex.
+	Anchor    func(graph.ID) bool
+	AnchorVar graph.ID
+}
+
+// SubIso enumerates embeddings of pattern p into g via backtracking with
+// label/degree pruning — a VF2-flavored sequential algorithm. Pattern edges
+// must map to data edges with matching labels (empty pattern label matches
+// any); vertex labels must match exactly; the mapping is injective.
+// It returns the embeddings and the work spent (candidate tests).
+func SubIso(p, g *graph.Graph, opts SubIsoOptions) ([]Match, int64) {
+	var work int64
+	pv := orderPatternVertices(p)
+	if len(pv) == 0 {
+		return nil, 0
+	}
+	// Candidate sets per pattern vertex by label and degree.
+	cands := make(map[graph.ID][]graph.ID, len(pv))
+	for _, u := range pv {
+		var cs []graph.ID
+		for _, v := range g.SortedVertices() {
+			work++
+			if g.Label(v) != p.Label(u) {
+				continue
+			}
+			if g.OutDegree(v) < p.OutDegree(u) {
+				continue
+			}
+			if u == opts.AnchorVar && opts.Anchor != nil && !opts.Anchor(v) {
+				continue
+			}
+			cs = append(cs, v)
+		}
+		cands[u] = cs
+	}
+
+	var out []Match
+	assign := make(Match, len(pv))
+	used := make(map[graph.ID]bool, len(pv))
+
+	var rec func(i int) bool // returns false to abort (cap reached)
+	rec = func(i int) bool {
+		if i == len(pv) {
+			m := make(Match, len(assign))
+			for k, v := range assign {
+				m[k] = v
+			}
+			out = append(out, m)
+			return opts.MaxMatches == 0 || len(out) < opts.MaxMatches
+		}
+		u := pv[i]
+		for _, v := range cands[u] {
+			work++
+			if used[v] {
+				continue
+			}
+			if !edgesConsistent(p, g, assign, u, v) {
+				continue
+			}
+			assign[u] = v
+			used[v] = true
+			ok := rec(i + 1)
+			delete(assign, u)
+			delete(used, v)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out, work
+}
+
+// edgesConsistent checks every pattern edge between u and already-assigned
+// pattern vertices against the data graph.
+func edgesConsistent(p, g *graph.Graph, assign Match, u, v graph.ID) bool {
+	for _, pe := range p.Out(u) {
+		if w, ok := assign[pe.To]; ok {
+			if !hasEdge(g, v, w, pe.Label) {
+				return false
+			}
+		}
+	}
+	for _, pe := range p.In(u) {
+		if w, ok := assign[pe.To]; ok {
+			if !hasEdge(g, w, v, pe.Label) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasEdge(g *graph.Graph, from, to graph.ID, label string) bool {
+	for _, e := range g.Out(from) {
+		if e.To == to && (label == "" || label == e.Label) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderPatternVertices returns p's vertices in a connectivity-aware matching
+// order: start from the vertex with the most edges, then repeatedly pick the
+// unvisited vertex most connected to the visited set. Connected orders let
+// edgesConsistent prune early.
+func orderPatternVertices(p *graph.Graph) []graph.ID {
+	vs := p.SortedVertices()
+	if len(vs) == 0 {
+		return nil
+	}
+	deg := func(u graph.ID) int { return p.OutDegree(u) + p.InDegree(u) }
+	sort.Slice(vs, func(i, j int) bool {
+		if deg(vs[i]) != deg(vs[j]) {
+			return deg(vs[i]) > deg(vs[j])
+		}
+		return vs[i] < vs[j]
+	})
+	order := []graph.ID{vs[0]}
+	inOrder := map[graph.ID]bool{vs[0]: true}
+	for len(order) < len(vs) {
+		best, bestConn := graph.NoID, -1
+		for _, u := range vs {
+			if inOrder[u] {
+				continue
+			}
+			conn := 0
+			for _, e := range p.Out(u) {
+				if inOrder[e.To] {
+					conn++
+				}
+			}
+			for _, e := range p.In(u) {
+				if inOrder[e.To] {
+					conn++
+				}
+			}
+			if conn > bestConn || (conn == bestConn && (best == graph.NoID || u < best)) {
+				best, bestConn = u, conn
+			}
+		}
+		order = append(order, best)
+		inOrder[best] = true
+	}
+	return order
+}
+
+// PatternRadius returns the maximum hop distance (ignoring direction) from
+// anchor to any pattern vertex — the d used to expand fragments so that
+// every match anchored at an inner vertex is fully local.
+func PatternRadius(p *graph.Graph, anchor graph.ID) int {
+	if !p.Has(anchor) {
+		return 0
+	}
+	dist := map[graph.ID]int{anchor: 0}
+	queue := []graph.ID{anchor}
+	max := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range append(append([]graph.Edge{}, p.Out(u)...), p.In(u)...) {
+			if _, ok := dist[e.To]; !ok {
+				dist[e.To] = dist[u] + 1
+				if dist[e.To] > max {
+					max = dist[e.To]
+				}
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return max
+}

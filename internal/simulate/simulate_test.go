@@ -1,0 +1,116 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/partition"
+	"grape/internal/seq"
+	"grape/internal/vertexcentric"
+)
+
+func TestSimulatedSSSPMatchesNativePregel(t *testing.T) {
+	g := gen.ConnectedRandom(200, 600, 3)
+	native, nStats, err := vertexcentric.Run(g, vertexcentric.SSSPProgram{Source: 0}, vertexcentric.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, sStats, err := Run(g, vertexcentric.SSSPProgram{Source: 0},
+		engine.Options{Workers: 4, Strategy: partition.Hash{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range native {
+		sd, ok := sim[v]
+		if math.IsInf(d, 1) {
+			if ok && !math.IsInf(sd, 1) {
+				t.Fatalf("vertex %d: native unreachable, simulated %g", v, sd)
+			}
+			continue
+		}
+		if math.Abs(sd-d) > 1e-9 {
+			t.Fatalf("vertex %d: native %g simulated %g", v, d, sd)
+		}
+	}
+	// Simulation Theorem: same superstep complexity (±1 for termination
+	// detection differences).
+	diff := sStats.Supersteps - nStats.Supersteps
+	if diff < -1 || diff > 1 {
+		t.Fatalf("superstep mismatch: native %d, simulated %d", nStats.Supersteps, sStats.Supersteps)
+	}
+}
+
+func TestSimulatedSSSPMatchesDijkstra(t *testing.T) {
+	g := gen.RoadGrid(12, 12, 5)
+	want := seq.Dijkstra(g, 0)
+	sim, _, err := Run(g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if math.Abs(sim[v]-d) > 1e-9 {
+			t.Fatalf("vertex %d: want %g got %g", v, d, sim[v])
+		}
+	}
+}
+
+func TestSimulatedPageRankMatchesNative(t *testing.T) {
+	g := gen.PreferentialAttachment(150, 3, 7)
+	prog := vertexcentric.PageRankProgram{Damping: 0.85, Iters: 12, N: g.NumVertices()}
+	native, nStats, err := vertexcentric.Run(g, prog, vertexcentric.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, sStats, err := Run(g, prog, engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range native {
+		if math.Abs(sim[v]-r) > 1e-9 {
+			t.Fatalf("vertex %d: native %.12f simulated %.12f", v, r, sim[v])
+		}
+	}
+	diff := sStats.Supersteps - nStats.Supersteps
+	if diff < -1 || diff > 1 {
+		t.Fatalf("superstep mismatch: native %d, simulated %d", nStats.Supersteps, sStats.Supersteps)
+	}
+}
+
+func TestSimulatedCCMatchesSequential(t *testing.T) {
+	// CC floods along both edge directions; inside a fragment only locally
+	// stored edges are visible, so the adapter (like any edge-cut system)
+	// needs the symmetrized graph for weak connectivity.
+	g := gen.Random(100, 140, 9)
+	want := seq.Components(g)
+	sim, _, err := Run(g.Symmetrized(), vertexcentric.CCProgram{}, engine.Options{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range want {
+		if int64(sim[v]) != int64(c) {
+			t.Fatalf("vertex %d: want %d got %g", v, c, sim[v])
+		}
+	}
+}
+
+func TestSimulatedSingleWorkerPageRank(t *testing.T) {
+	// One borderless fragment: the whole lockstep computation must still run
+	// (KeepActive), not stop after PEval.
+	g := gen.PreferentialAttachment(80, 2, 11)
+	prog := vertexcentric.PageRankProgram{Damping: 0.85, Iters: 10, N: g.NumVertices()}
+	native, _, err := vertexcentric.Run(g, prog, vertexcentric.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _, err := Run(g, prog, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range native {
+		if math.Abs(sim[v]-r) > 1e-9 {
+			t.Fatalf("vertex %d: native %.12f simulated %.12f", v, r, sim[v])
+		}
+	}
+}

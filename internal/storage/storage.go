@@ -1,0 +1,229 @@
+// Package storage is the reproduction's stand-in for the paper's storage
+// layer: graph data managed in a DFS (distributed file system), accessible to
+// the query engine, Index Manager, Partition Manager and Load Balancer. A
+// Store is a directory tree; graphs are sharded into part files (as a DFS
+// would chunk them) and partitions persist as assignment files so a "cluster
+// restart" can reload fragments without re-partitioning.
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+// Store roots a simulated DFS at a directory.
+type Store struct {
+	// Root is the base directory; it is created on first write.
+	Root string
+	// PartLines caps the number of records per part file (DFS chunk size).
+	// Zero means 1 << 16.
+	PartLines int
+}
+
+func (s *Store) partLines() int {
+	if s.PartLines <= 0 {
+		return 1 << 16
+	}
+	return s.PartLines
+}
+
+// SaveGraph shards g under Root/name/: a "meta" file with the graph kind and
+// part count, and part-NNNN files in the graph text format.
+func (s *Store) SaveGraph(name string, g *graph.Graph) error {
+	dir := filepath.Join(s.Root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var records []string
+	for _, id := range g.Vertices() {
+		if g.Label(id) == "" && len(g.Props(id)) == 0 {
+			continue
+		}
+		rec := fmt.Sprintf("v %d %s", id, dashIfEmpty(g.Label(id)))
+		if ps := g.Props(id); len(ps) > 0 {
+			rec += " " + strings.Join(ps, " ")
+		}
+		records = append(records, rec)
+	}
+	for _, u := range g.Vertices() {
+		for _, e := range g.Out(u) {
+			if !g.Directed() && u > e.To {
+				continue
+			}
+			if e.Label != "" {
+				records = append(records, fmt.Sprintf("e %d %d %g %s", u, e.To, e.W, e.Label))
+			} else {
+				records = append(records, fmt.Sprintf("e %d %d %g", u, e.To, e.W))
+			}
+		}
+	}
+	per := s.partLines()
+	parts := (len(records) + per - 1) / per
+	if parts == 0 {
+		parts = 1
+	}
+	for p := 0; p < parts; p++ {
+		lo := p * per
+		hi := lo + per
+		if hi > len(records) {
+			hi = len(records)
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%04d", p)))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for _, rec := range records[lo:hi] {
+			fmt.Fprintln(w, rec)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	meta := fmt.Sprintf("directed=%v parts=%d vertices=%d edges=%d\n", g.Directed(), parts, g.NumVertices(), g.NumEdges())
+	return os.WriteFile(filepath.Join(dir, "meta"), []byte(meta), 0o644)
+}
+
+// LoadGraph reads a graph sharded by SaveGraph.
+func (s *Store) LoadGraph(name string) (*graph.Graph, error) {
+	dir := filepath.Join(s.Root, name)
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta"))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", name, err)
+	}
+	meta := parseMeta(string(metaBytes))
+	directed := meta["directed"] == "true"
+	parts, err := strconv.Atoi(meta["parts"])
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: bad parts in meta: %v", name, err)
+	}
+	var g *graph.Graph
+	if directed {
+		g = graph.New()
+	} else {
+		g = graph.NewUndirected()
+	}
+	for p := 0; p < parts; p++ {
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("part-%04d", p)))
+		if err != nil {
+			return nil, err
+		}
+		pg, err := graph.ReadText(f, directed)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("storage: %s part %d: %w", name, p, err)
+		}
+		merge(g, pg)
+	}
+	// cross-part edges may reference vertices declared in other parts; all
+	// parts are merged now, so validate the result.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", name, err)
+	}
+	return g, nil
+}
+
+// SaveAssignment persists a partition assignment as "v owner" lines.
+func (s *Store) SaveAssignment(name string, a *partition.Assignment) error {
+	if err := os.MkdirAll(s.Root, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(s.Root, name+".asg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# workers=%d\n", a.N)
+	for _, id := range a.G.SortedVertices() {
+		fmt.Fprintf(w, "%d %d\n", id, a.Owner(id))
+	}
+	return w.Flush()
+}
+
+// LoadAssignment reads an assignment saved by SaveAssignment; g must be the
+// same graph it was computed for.
+func (s *Store) LoadAssignment(name string, g *graph.Graph) (*partition.Assignment, error) {
+	f, err := os.Open(filepath.Join(s.Root, name+".asg"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var a *partition.Assignment
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			n, err := strconv.Atoi(strings.TrimPrefix(line, "# workers="))
+			if err != nil {
+				return nil, fmt.Errorf("storage: bad assignment header %q", line)
+			}
+			a = partition.NewAssignment(g, n)
+			continue
+		}
+		if a == nil {
+			return nil, fmt.Errorf("storage: assignment missing header")
+		}
+		var id, owner int64
+		if _, err := fmt.Sscanf(line, "%d %d", &id, &owner); err != nil {
+			return nil, fmt.Errorf("storage: bad assignment line %q", line)
+		}
+		a.SetOwner(graph.ID(id), int(owner))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return nil, fmt.Errorf("storage: empty assignment file")
+	}
+	return a, a.Validate()
+}
+
+func merge(dst, src *graph.Graph) {
+	for _, id := range src.Vertices() {
+		dst.AddVertex(id, src.Label(id))
+		if ps := src.Props(id); len(ps) > 0 {
+			dst.SetProps(id, append([]string(nil), ps...))
+		}
+	}
+	for _, u := range src.Vertices() {
+		for _, e := range src.Out(u) {
+			if !src.Directed() && u > e.To {
+				continue
+			}
+			dst.AddLabeledEdge(u, e.To, e.W, e.Label)
+		}
+	}
+}
+
+func parseMeta(s string) map[string]string {
+	out := map[string]string{}
+	for _, tok := range strings.Fields(s) {
+		if i := strings.IndexByte(tok, '='); i >= 0 {
+			out[tok[:i]] = tok[i+1:]
+		}
+	}
+	return out
+}
+
+func dashIfEmpty(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

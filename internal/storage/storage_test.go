@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+func tempStore(t *testing.T) *Store {
+	t.Helper()
+	return &Store{Root: t.TempDir()}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	s := tempStore(t)
+	g := gen.SocialCommerce(gen.SocialCommerceConfig{People: 200, Products: 10, Follows: 3, AdoptP: 0.5, Seed: 2})
+	if err := s.SaveGraph("weibo", g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.LoadGraph("weibo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumVertices() != g.NumVertices() || r.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d",
+			r.NumVertices(), r.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for _, v := range g.Vertices() {
+		if r.Label(v) != g.Label(v) {
+			t.Fatalf("vertex %d label lost", v)
+		}
+		if len(r.Props(v)) != len(g.Props(v)) {
+			t.Fatalf("vertex %d props lost", v)
+		}
+		if len(r.Out(v)) != len(g.Out(v)) {
+			t.Fatalf("vertex %d adjacency differs", v)
+		}
+	}
+}
+
+func TestGraphShardsIntoParts(t *testing.T) {
+	s := tempStore(t)
+	s.PartLines = 100 // force many DFS chunks
+	g := gen.Random(200, 800, 3)
+	if err := s.SaveGraph("chunked", g); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := filepath.Glob(filepath.Join(s.Root, "chunked", "part-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 5 {
+		t.Fatalf("expected several part files, got %d", len(parts))
+	}
+	r, err := s.LoadGraph("chunked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges lost across chunks: %d vs %d", r.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestUndirectedGraphRoundTrip(t *testing.T) {
+	s := tempStore(t)
+	g := gen.Ratings(gen.RatingsConfig{Users: 30, Items: 10, RatingsPerUser: 5, Factors: 2, Noise: 0.1, Seed: 1})
+	if err := s.SaveGraph("ratings", g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.LoadGraph("ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Directed() {
+		t.Fatal("directedness lost")
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count: %d vs %d", r.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestLoadGraphMissing(t *testing.T) {
+	s := tempStore(t)
+	if _, err := s.LoadGraph("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	s := tempStore(t)
+	g := gen.Random(150, 450, 7)
+	asg, err := partition.Fennel{}.Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveAssignment("p6", asg); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.LoadAssignment("p6", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 6 {
+		t.Fatalf("workers lost: %d", r.N)
+	}
+	for _, v := range g.Vertices() {
+		if r.Owner(v) != asg.Owner(v) {
+			t.Fatalf("owner of %d changed", v)
+		}
+	}
+}
+
+func TestLoadAssignmentRejectsGarbage(t *testing.T) {
+	s := tempStore(t)
+	g := gen.Random(10, 20, 1)
+	path := filepath.Join(s.Root, "bad.asg")
+	if err := os.MkdirAll(s.Root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("0 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadAssignment("bad", g); err == nil {
+		t.Fatal("missing header should fail")
+	}
+	if err := os.WriteFile(path, []byte("# workers=2\nnot numbers\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadAssignment("bad", g); err == nil {
+		t.Fatal("garbage line should fail")
+	}
+}
+
+func TestSavedGraphValidates(t *testing.T) {
+	s := tempStore(t)
+	g := graph.New()
+	g.AddVertex(1, "x")
+	g.SetProps(1, []string{"kw"})
+	g.AddEdge(1, 2, 2.5)
+	if err := s.SaveGraph("tiny", g); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.LoadGraph("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Label(1) != "x" || len(r.Props(1)) != 1 {
+		t.Fatal("metadata lost")
+	}
+}

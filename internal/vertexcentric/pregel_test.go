@@ -1,0 +1,124 @@
+package vertexcentric
+
+import (
+	"math"
+	"testing"
+
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/seq"
+)
+
+func TestPregelSSSPMatchesDijkstra(t *testing.T) {
+	g := gen.ConnectedRandom(250, 800, 17)
+	want := seq.Dijkstra(g, 0)
+	got, stats, err := Run(g, SSSPProgram{Source: 0}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if math.Abs(got[v]-d) > 1e-9 {
+			t.Fatalf("vertex %d: want %g got %g", v, d, got[v])
+		}
+	}
+	for v, d := range got {
+		if _, ok := want[v]; !ok && !math.IsInf(d, 1) {
+			t.Fatalf("unreachable vertex %d got finite %g", v, d)
+		}
+	}
+	if stats.Supersteps < 2 {
+		t.Fatalf("expected multiple supersteps, got %d", stats.Supersteps)
+	}
+}
+
+func TestPregelSSSPCombinerReducesTraffic(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 3, 5)
+	min := func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	_, noComb, err := Run(g, SSSPProgram{Source: 0}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, comb, err := Run(g, SSSPProgram{Source: 0}, Config{Workers: 4, Combiner: min})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.Messages > noComb.Messages {
+		t.Fatalf("combiner increased traffic: %d > %d", comb.Messages, noComb.Messages)
+	}
+}
+
+func TestPregelCCMatchesSequential(t *testing.T) {
+	g := gen.Random(150, 200, 23)
+	want := seq.Components(g)
+	got, _, err := Run(g, CCProgram{}, Config{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range want {
+		if graph.ID(got[v]) != c {
+			t.Fatalf("vertex %d: want %d got %g", v, c, got[v])
+		}
+	}
+}
+
+func TestPregelSuperstepsScaleWithDiameter(t *testing.T) {
+	// The structural Table 1 point: supersteps ≈ shortest-path-tree depth.
+	small := gen.RoadGrid(8, 8, 1)
+	large := gen.RoadGrid(24, 24, 1)
+	_, sSmall, err := Run(small, SSSPProgram{Source: 0}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sLarge, err := Run(large, SSSPProgram{Source: 0}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLarge.Supersteps <= sSmall.Supersteps {
+		t.Fatalf("supersteps should grow with grid diameter: %d vs %d", sSmall.Supersteps, sLarge.Supersteps)
+	}
+}
+
+func TestPregelSuperstepLimit(t *testing.T) {
+	g := gen.RoadGrid(10, 10, 2)
+	_, _, err := Run(g, SSSPProgram{Source: 0}, Config{Workers: 2, MaxSupersteps: 3})
+	if err == nil {
+		t.Fatal("expected superstep-limit error")
+	}
+}
+
+func TestGASSSSPMatchesDijkstra(t *testing.T) {
+	g := gen.ConnectedRandom(200, 700, 29)
+	want := seq.Dijkstra(g, 0)
+	got, stats, err := RunGAS(g, GASSSSP{Source: 0}, GASConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if math.Abs(got[v]-d) > 1e-9 {
+			t.Fatalf("vertex %d: want %g got %g", v, d, got[v])
+		}
+	}
+	if stats.Messages == 0 {
+		t.Fatal("expected cross-worker gather traffic")
+	}
+}
+
+func TestGASCCMatchesSequentialOnSymmetrized(t *testing.T) {
+	g := gen.Random(120, 160, 31)
+	want := seq.Components(g)
+	got, _, err := RunGAS(g.Symmetrized(), GASCC{}, GASConfig{Workers: 4, Strategy: partition.Fennel{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range want {
+		if graph.ID(got[v]) != c {
+			t.Fatalf("vertex %d: want %d got %g", v, c, got[v])
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package vertexcentric
+
+import (
+	"math"
+
+	"grape/internal/graph"
+)
+
+// SSSPProgram is the canonical Pregel single-source shortest paths: vertex
+// value = tentative distance; on improvement, relax out-edges by message.
+// On a graph of weighted diameter D (in hops along shortest paths) it needs
+// ~D supersteps — the structural reason vertex-centric systems crawl on road
+// networks in Table 1.
+type SSSPProgram struct {
+	Source graph.ID
+}
+
+// Name implements Program.
+func (SSSPProgram) Name() string { return "sssp" }
+
+// Init implements Program.
+func (p SSSPProgram) Init(ctx *Ctx, v *Vertex) {
+	ctx.AddWork(1)
+	if v.ID == p.Source {
+		v.Value = 0
+		for _, e := range ctx.Out(v.ID) {
+			ctx.Send(e.To, e.W)
+			ctx.AddWork(1)
+		}
+	} else {
+		v.Value = math.Inf(1)
+	}
+	v.VoteToHalt()
+}
+
+// Compute implements Program.
+func (p SSSPProgram) Compute(ctx *Ctx, v *Vertex, msgs []float64) {
+	best := v.Value
+	for _, m := range msgs {
+		ctx.AddWork(1)
+		if m < best {
+			best = m
+		}
+	}
+	if best < v.Value {
+		v.Value = best
+		for _, e := range ctx.Out(v.ID) {
+			ctx.Send(e.To, best+e.W)
+			ctx.AddWork(1)
+		}
+	}
+	v.VoteToHalt()
+}
+
+// CCProgram is Pregel connected components by min-label flooding over both
+// edge directions (weak connectivity).
+type CCProgram struct{}
+
+// Name implements Program.
+func (CCProgram) Name() string { return "cc" }
+
+// Init implements Program.
+func (CCProgram) Init(ctx *Ctx, v *Vertex) {
+	v.Value = float64(v.ID)
+	ctx.AddWork(1)
+	for _, e := range ctx.Out(v.ID) {
+		ctx.Send(e.To, v.Value)
+		ctx.AddWork(1)
+	}
+	for _, e := range ctx.In(v.ID) {
+		ctx.Send(e.To, v.Value)
+		ctx.AddWork(1)
+	}
+	v.VoteToHalt()
+}
+
+// Compute implements Program.
+func (CCProgram) Compute(ctx *Ctx, v *Vertex, msgs []float64) {
+	best := v.Value
+	for _, m := range msgs {
+		ctx.AddWork(1)
+		if m < best {
+			best = m
+		}
+	}
+	if best < v.Value {
+		v.Value = best
+		for _, e := range ctx.Out(v.ID) {
+			ctx.Send(e.To, best)
+			ctx.AddWork(1)
+		}
+		for _, e := range ctx.In(v.ID) {
+			ctx.Send(e.To, best)
+			ctx.AddWork(1)
+		}
+	}
+	v.VoteToHalt()
+}
+
+// PageRankProgram is fixed-iteration Pregel PageRank; it is the workload of
+// the Simulation Theorem demo (experiment E7).
+type PageRankProgram struct {
+	Damping float64
+	Iters   int
+	N       int // vertex count, needed for the base rank
+}
+
+// Name implements Program.
+func (PageRankProgram) Name() string { return "pagerank" }
+
+// Init implements Program.
+func (p PageRankProgram) Init(ctx *Ctx, v *Vertex) {
+	v.Value = 1.0 / float64(p.N)
+	ctx.AddWork(1)
+	out := ctx.Out(v.ID)
+	if len(out) > 0 {
+		share := v.Value / float64(len(out))
+		for _, e := range out {
+			ctx.Send(e.To, share)
+			ctx.AddWork(1)
+		}
+	}
+}
+
+// Compute implements Program.
+func (p PageRankProgram) Compute(ctx *Ctx, v *Vertex, msgs []float64) {
+	if ctx.Superstep() > p.Iters {
+		v.VoteToHalt()
+		return
+	}
+	sum := 0.0
+	for _, m := range msgs {
+		sum += m
+		ctx.AddWork(1)
+	}
+	v.Value = (1-p.Damping)/float64(p.N) + p.Damping*sum
+	if ctx.Superstep() < p.Iters {
+		out := ctx.Out(v.ID)
+		if len(out) > 0 {
+			share := v.Value / float64(len(out))
+			for _, e := range out {
+				ctx.Send(e.To, share)
+				ctx.AddWork(1)
+			}
+		}
+	} else {
+		v.VoteToHalt()
+	}
+}
