@@ -345,6 +345,45 @@ func BenchmarkQueryClass(b *testing.B) {
 	}
 }
 
+// BenchmarkCoordinatorFold isolates the coordinator hot path: SSSP and CC on
+// a prebuilt 8-worker layout, so partitioning is paid once outside the timed
+// loop and ns/op + allocs/op track the per-superstep fold + route machinery
+// (worker compute is identical across runs of the same layout). This is the
+// guardrail benchmark for the sharded-aggregation coordinator.
+func BenchmarkCoordinatorFold(b *testing.B) {
+	sc := benchScale()
+	g := sc.Road()
+	asg, err := partition.TwoD{Cols: sc.RoadCols}.Partition(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout := partition.Build(g, asg)
+	b.Run("sssp", func(b *testing.B) {
+		b.ReportAllocs()
+		var st *metrics.Stats
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, st, err = engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, st)
+	})
+	b.Run("cc", func(b *testing.B) {
+		b.ReportAllocs()
+		var st *metrics.Stats
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, st, err = engine.RunOnLayout(layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, st)
+	})
+}
+
 // BenchmarkAsyncAblation contrasts the BSP engine with the barrier-free
 // asynchronous mode on a skewed layout (the AAP follow-up's trade-off).
 func BenchmarkAsyncAblation(b *testing.B) {

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,11 +76,16 @@ func RunAsync[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Opti
 		finish()
 	}
 
+	// route fans a worker's flushed changes out to the hosting fragments.
+	// Hosts reads the layout's dense host index, and batches are gathered in
+	// a dense per-host table (host order is naturally ascending) — batch
+	// slices themselves are fresh per call because mailboxes retain them
+	// until the receiver drains.
 	route := func(w int, changes []VarUpdate[V]) {
 		if len(changes) == 0 {
 			return
 		}
-		byHost := make(map[int][]VarUpdate[V])
+		byHost := make([][]VarUpdate[V], n)
 		for _, u := range changes {
 			for _, h := range layout.Hosts(u.ID) {
 				if h == w {
@@ -90,13 +94,10 @@ func RunAsync[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Opti
 				byHost[h] = append(byHost[h], u)
 			}
 		}
-		hosts := make([]int, 0, len(byHost))
-		for h := range byHost {
-			hosts = append(hosts, h)
-		}
-		sort.Ints(hosts)
-		for _, h := range hosts {
-			batch := byHost[h]
+		for h, batch := range byHost {
+			if len(batch) == 0 {
+				continue
+			}
 			size := 0
 			for _, u := range batch {
 				size += 8 + spec.sizeOf(u.Val)

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// The coordinator's per-superstep work — folding every worker's reported
+// update-parameter changes and routing the survivors — used to be a single
+// map-based loop, so worker parallelism was capped by one serial aggregation
+// step. foldState shards that work: changed IDs hash into one shard per
+// worker, each folded by its own goroutine. Within a shard the fold still
+// walks replies in worker order, so aggregation stays deterministic even for
+// non-commutative aggregates (e.g. CF's parameter averaging) — shards
+// partition the ID space, so per-ID fold order is exactly what the serial
+// loop produced.
+
+// changeRec is one folded change of a superstep: the node, its new global
+// value, and the worker whose report set the final value (routing skips that
+// worker — it already holds the value).
+type changeRec[V any] struct {
+	id     graph.ID
+	val    V
+	winner int
+}
+
+// foldState carries the coordinator's aggregation machinery across
+// supersteps: the sharded global border state, per-shard change lists, and
+// per-worker routing buffers, all reused between supersteps so the hot path
+// stops reallocating.
+type foldState[V any] struct {
+	spec   VarSpec[V]
+	n      int // workers
+	shards int
+
+	global  []map[graph.ID]V   // best-known border values, by shard
+	pos     []map[graph.ID]int // scratch: id -> index into changed[s]
+	changed [][]changeRec[V]   // this superstep's folded changes, by shard
+	errs    []error            // per-shard fold errors (parallel path)
+	buckets [][]VarUpdate[V]   // n*shards scratch for the parallel fold
+	route   [][]VarUpdate[V]   // per-worker routing buffers
+}
+
+func newFoldState[V any](spec VarSpec[V], n int) *foldState[V] {
+	s := n
+	if s < 1 {
+		s = 1
+	}
+	fs := &foldState[V]{
+		spec:    spec,
+		n:       n,
+		shards:  s,
+		global:  make([]map[graph.ID]V, s),
+		pos:     make([]map[graph.ID]int, s),
+		changed: make([][]changeRec[V], s),
+		errs:    make([]error, s),
+		buckets: make([][]VarUpdate[V], n*s),
+		route:   make([][]VarUpdate[V], n),
+	}
+	for i := 0; i < s; i++ {
+		fs.global[i] = make(map[graph.ID]V)
+		fs.pos[i] = make(map[graph.ID]int)
+	}
+	return fs
+}
+
+func (f *foldState[V]) shardOf(id graph.ID) int {
+	return int((uint64(id) * 0x9e3779b97f4a7c15) % uint64(f.shards))
+}
+
+// lookup returns the folded global value of id, if any. The session layer
+// uses it to bring new outer copies up to date.
+func (f *foldState[V]) lookup(id graph.ID) (V, bool) {
+	v, ok := f.global[f.shardOf(id)][id]
+	return v, ok
+}
+
+// parallelFoldThreshold is the changed-value count below which sharded
+// goroutines cost more than they save and the fold runs serially (over the
+// same shard structures, in the same order).
+const parallelFoldThreshold = 256
+
+// fold aggregates one superstep's reports. replies is indexed by worker;
+// nil entries are workers that were not scheduled. checkMono enables the
+// Assurance Theorem verification of Options.CheckMonotonic.
+func (f *foldState[V]) fold(replies []*workerReply[V], checkMono bool) error {
+	total := 0
+	for _, rep := range replies {
+		if rep != nil {
+			total += len(rep.changes)
+		}
+	}
+	for s := 0; s < f.shards; s++ {
+		f.changed[s] = f.changed[s][:0]
+		clear(f.pos[s])
+		f.errs[s] = nil
+	}
+	if f.shards == 1 || total < parallelFoldThreshold {
+		for w := 0; w < f.n; w++ {
+			if replies[w] == nil {
+				continue
+			}
+			for _, u := range replies[w].changes {
+				if err := f.foldOne(f.shardOf(u.ID), w, u, checkMono); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Bucket phase: split each worker's (ID-sorted) report by shard, workers
+	// in parallel, preserving per-worker order within every bucket.
+	var wg sync.WaitGroup
+	for w := 0; w < f.n; w++ {
+		base := w * f.shards
+		for s := 0; s < f.shards; s++ {
+			f.buckets[base+s] = f.buckets[base+s][:0]
+		}
+		if replies[w] == nil || len(replies[w].changes) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * f.shards
+			for _, u := range replies[w].changes {
+				s := f.shardOf(u.ID)
+				f.buckets[base+s] = append(f.buckets[base+s], u)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Fold phase: one goroutine per shard, walking buckets in worker order —
+	// the same deterministic order as the serial path.
+	for s := 0; s < f.shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for w := 0; w < f.n; w++ {
+				for _, u := range f.buckets[w*f.shards+s] {
+					if err := f.foldOne(s, w, u, checkMono); err != nil {
+						f.errs[s] = err
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range f.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldOne merges one reported value into shard s's state, recording the
+// change (and its winning worker) when the global value moves.
+func (f *foldState[V]) foldOne(s, w int, u VarUpdate[V], checkMono bool) error {
+	if f.spec.Consume {
+		// queue semantics: fold this superstep's reports only, deliver to
+		// the owner; nothing persists at the coordinator
+		if p, ok := f.pos[s][u.ID]; ok {
+			f.changed[s][p].val = f.spec.Agg(f.changed[s][p].val, u.Val)
+			return nil
+		}
+		f.pos[s][u.ID] = len(f.changed[s])
+		f.changed[s] = append(f.changed[s], changeRec[V]{id: u.ID, val: f.spec.Agg(f.spec.Default, u.Val), winner: w})
+		return nil
+	}
+	old, has := f.global[s][u.ID]
+	if !has {
+		old = f.spec.Default
+	}
+	merged := f.spec.Agg(old, u.Val)
+	if f.spec.Eq(old, merged) {
+		return nil
+	}
+	if checkMono && f.spec.Less != nil && has && !f.spec.Less(merged, old) {
+		return fmt.Errorf("engine: node %d: %v -> %v: %w", u.ID, old, merged, ErrNotMonotonic)
+	}
+	f.global[s][u.ID] = merged
+	if p, ok := f.pos[s][u.ID]; ok {
+		f.changed[s][p].val = merged
+		f.changed[s][p].winner = w
+		return nil
+	}
+	f.pos[s][u.ID] = len(f.changed[s])
+	f.changed[s] = append(f.changed[s], changeRec[V]{id: u.ID, val: merged, winner: w})
+	return nil
+}
+
+// collectStep is the coordinator's end-of-superstep sequence, shared by
+// RunOnLayout and Session.fixpoint: drain expect worker replies from bus,
+// update stillActive, fold the reports, append the superstep's work and byte
+// rows to stats, and build the routing table. replies is caller-owned
+// scratch of length workers.
+func collectStep[V any](bus *mpi.Bus, fold *foldState[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
+	n := fold.n
+	perWorker := make([]int64, n)
+	var stepBytes int64
+	// Drain all replies first, then fold them in worker order so that
+	// aggregation is deterministic even for non-commutative aggregates
+	// (e.g. CF's parameter averaging).
+	clear(replies)
+	for i := 0; i < expect; i++ {
+		env := bus.Recv(mpi.Coordinator)
+		rep := env.Payload.(workerReply[V])
+		if rep.err != nil {
+			return nil, 0, fmt.Errorf("worker %d superstep %d: %w", env.From, step, rep.err)
+		}
+		replies[env.From] = &rep
+		perWorker[env.From] = rep.work
+		stepBytes += int64(env.Size)
+	}
+	for w := 0; w < n; w++ {
+		rep := replies[w]
+		if rep == nil {
+			continue
+		}
+		if rep.active {
+			stillActive[w] = true
+		} else {
+			delete(stillActive, w)
+		}
+	}
+	if err := fold.fold(replies, checkMono); err != nil {
+		return nil, 0, err
+	}
+	stats.WorkPerStep = append(stats.WorkPerStep, perWorker)
+	stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)
+	route, scheduled := fold.buildRoute(layout)
+	return route, scheduled, nil
+}
+
+// buildRoute turns the folded changes into per-worker update batches: each
+// changed value goes to every fragment hosting the node except the winner
+// (queue variables go to the owner only: they are messages, not state).
+// Buffers are reused across supersteps — workers are done with the previous
+// batch before their replies reach the coordinator, so nothing aliases.
+// Returns the routing table (indexed by worker; empty slices mean "not
+// scheduled") and the number of workers with pending updates.
+func (f *foldState[V]) buildRoute(layout *partition.Layout) ([][]VarUpdate[V], int) {
+	for w := 0; w < f.n; w++ {
+		f.route[w] = f.route[w][:0]
+	}
+	for s := 0; s < f.shards; s++ {
+		for _, rec := range f.changed[s] {
+			if f.spec.Consume {
+				o := layout.Asg.Owner(rec.id)
+				f.route[o] = append(f.route[o], VarUpdate[V]{ID: rec.id, Val: rec.val})
+				continue
+			}
+			for _, h := range layout.Hosts(rec.id) {
+				if h == rec.winner {
+					continue
+				}
+				f.route[h] = append(f.route[h], VarUpdate[V]{ID: rec.id, Val: rec.val})
+			}
+		}
+	}
+	scheduled := 0
+	for w := 0; w < f.n; w++ {
+		if len(f.route[w]) > 0 {
+			sortUpdates(f.route[w])
+			scheduled++
+		}
+	}
+	return f.route, scheduled
+}

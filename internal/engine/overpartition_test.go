@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+
+	"grape/internal/gen"
+	"grape/internal/graph"
+)
+
+// floodProg labels every vertex with the minimum vertex ID among its
+// ancestors (including itself) by flooding IDs along out-edges. Unlike
+// countdown, its fixpoint is independent of how the graph is partitioned,
+// so it can assert result equivalence between a direct n-way partition and
+// the over-partition + LPT-rebalance path of partitionFor.
+type floodProg struct{}
+
+func (floodProg) Name() string { return "floodmin" }
+
+func (floodProg) Spec() VarSpec[int64] {
+	return VarSpec[int64]{
+		Default: 1 << 62,
+		Agg: func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Eq:   func(a, b int64) bool { return a == b },
+		Less: func(a, b int64) bool { return a < b },
+	}
+}
+
+func floodRelax(ctx *Context[int64], seeds []graph.ID) {
+	queue := append([]graph.ID(nil), seeds...)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := ctx.Get(u)
+		for _, e := range ctx.Frag.G.Out(u) {
+			if du < ctx.Get(e.To) {
+				ctx.Set(e.To, du)
+				queue = append(queue, e.To)
+			}
+		}
+		ctx.AddWork(1)
+	}
+}
+
+func (floodProg) PEval(q cdQuery, ctx *Context[int64]) error {
+	vs := ctx.Frag.G.Vertices()
+	for _, v := range vs {
+		if int64(v) < ctx.Get(v) {
+			ctx.Set(v, int64(v))
+		}
+	}
+	floodRelax(ctx, vs)
+	return nil
+}
+
+func (floodProg) IncEval(q cdQuery, ctx *Context[int64]) error {
+	floodRelax(ctx, ctx.Updated())
+	return nil
+}
+
+func (floodProg) Assemble(q cdQuery, ctxs []*Context[int64]) (map[graph.ID]int64, error) {
+	out := map[graph.ID]int64{}
+	for _, ctx := range ctxs {
+		ctx.Vars(func(id graph.ID, v int64) {
+			if ctx.Frag.IsInner(id) {
+				out[id] = v
+			}
+		})
+	}
+	return out, nil
+}
+
+// TestOverPartitionMatchesDirectRun drives the Load Balancer branch of
+// partitionFor (Options.Fragments > Options.Workers: over-partition, then
+// LPT-pack onto the workers) and asserts the engine returns exactly the
+// results of the direct n-way partition.
+func TestOverPartitionMatchesDirectRun(t *testing.T) {
+	g := gen.PreferentialAttachment(800, 3, 11)
+	direct, _, err := Run(g, floodProg{}, cdQuery{}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, stats, err := Run(g, floodProg{}, cdQuery{}, Options{Workers: 4, Fragments: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 {
+		t.Fatalf("rebalance must pack onto 4 workers, got %d", stats.Workers)
+	}
+	if len(over) != len(direct) {
+		t.Fatalf("over-partitioned run assembled %d vertices, direct %d", len(over), len(direct))
+	}
+	for v, want := range direct {
+		if got := over[v]; got != want {
+			t.Fatalf("vertex %d: over-partitioned %d, direct %d", v, got, want)
+		}
+	}
+}

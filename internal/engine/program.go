@@ -105,32 +105,64 @@ type Context[V any] struct {
 	// Assemble reads it.
 	Partial any
 
-	spec    VarSpec[V]
-	vars    map[graph.ID]V
-	border  map[graph.ID]bool
-	changed map[graph.ID]bool // border vars changed since last flush
-	updated []graph.ID        // nodes changed by the last message application
-	work    int64
-	active  bool // worker requests another superstep even without messages
+	spec VarSpec[V]
+	// Node variables live in dense slices indexed by the fragment graph's
+	// dense vertex index — the fragment is fixed during a run, and the
+	// session layer's vertex additions are absorbed by ensure(). vars is the
+	// overflow path for IDs a program addresses without hosting them; it is
+	// nil until first needed and such nodes are never border, so they never
+	// ship.
+	vals       []V
+	has        []bool
+	border     []bool
+	changedAt  []bool  // border vars changed since last flush, by dense index
+	changedIdx []int32 // dense indices of queued changes, insertion order
+	vars       map[graph.ID]V
+	flushBuf   []VarUpdate[V] // reused across supersteps; see flush
+	updated    []graph.ID     // nodes changed by the last message application
+	work       int64
+	active     bool // worker requests another superstep even without messages
 }
 
 func newContext[V any](f *partition.Fragment, spec VarSpec[V]) *Context[V] {
-	border := make(map[graph.ID]bool)
-	for _, id := range f.Border() {
-		border[id] = true
+	nv := f.G.NumVertices()
+	c := &Context[V]{
+		Frag:      f,
+		spec:      spec,
+		vals:      make([]V, nv),
+		has:       make([]bool, nv),
+		border:    make([]bool, nv),
+		changedAt: make([]bool, nv),
 	}
-	return &Context[V]{
-		Frag:    f,
-		spec:    spec,
-		vars:    make(map[graph.ID]V),
-		border:  border,
-		changed: make(map[graph.ID]bool),
+	for _, id := range f.Border() {
+		if i, ok := f.G.Index(id); ok {
+			c.border[i] = true
+		}
+	}
+	return c
+}
+
+// ensure grows the dense arrays to cover dense index i; the session layer
+// appends vertices to the fragment graph after context creation.
+func (c *Context[V]) ensure(i int32) {
+	for int(i) >= len(c.vals) {
+		var zero V
+		c.vals = append(c.vals, zero)
+		c.has = append(c.has, false)
+		c.border = append(c.border, false)
+		c.changedAt = append(c.changedAt, false)
 	}
 }
 
 // Get returns the variable of id, or the declared default if it was never
 // set.
 func (c *Context[V]) Get(id graph.ID) V {
+	if i, ok := c.Frag.G.Index(id); ok {
+		if int(i) < len(c.vals) && c.has[i] {
+			return c.vals[i]
+		}
+		return c.spec.Default
+	}
 	if v, ok := c.vars[id]; ok {
 		return v
 	}
@@ -140,16 +172,33 @@ func (c *Context[V]) Get(id graph.ID) V {
 // Set assigns v to id's variable. If the value changed and id is a border
 // node, the change is queued for shipping at the end of the superstep.
 func (c *Context[V]) Set(id graph.ID, v V) {
-	old, had := c.vars[id]
-	if had && c.spec.Eq(old, v) {
+	i, ok := c.Frag.G.Index(id)
+	if !ok {
+		old, had := c.vars[id]
+		if had && c.spec.Eq(old, v) {
+			return
+		}
+		if !had && c.spec.Eq(c.spec.Default, v) {
+			return
+		}
+		if c.vars == nil {
+			c.vars = make(map[graph.ID]V)
+		}
+		c.vars[id] = v
 		return
 	}
-	if !had && c.spec.Eq(c.spec.Default, v) {
+	c.ensure(i)
+	if c.has[i] && c.spec.Eq(c.vals[i], v) {
 		return
 	}
-	c.vars[id] = v
-	if c.border[id] {
-		c.changed[id] = true
+	if !c.has[i] && c.spec.Eq(c.spec.Default, v) {
+		return
+	}
+	c.vals[i] = v
+	c.has[i] = true
+	if c.border[i] && !c.changedAt[i] {
+		c.changedAt[i] = true
+		c.changedIdx = append(c.changedIdx, i)
 	}
 }
 
@@ -159,12 +208,26 @@ func (c *Context[V]) Set(id graph.ID, v V) {
 // would tell the other hosts nothing new. Subsequent Set calls that change
 // the value still ship normally.
 func (c *Context[V]) SetLocal(id graph.ID, v V) {
+	if i, ok := c.Frag.G.Index(id); ok {
+		c.ensure(i)
+		c.vals[i] = v
+		c.has[i] = true
+		return
+	}
+	if c.vars == nil {
+		c.vars = make(map[graph.ID]V)
+	}
 	c.vars[id] = v
 }
 
 // IsBorder reports whether id carries an update parameter (it is an outer
 // copy here or has copies on other fragments).
-func (c *Context[V]) IsBorder(id graph.ID) bool { return c.border[id] }
+func (c *Context[V]) IsBorder(id graph.ID) bool {
+	if i, ok := c.Frag.G.Index(id); ok && int(i) < len(c.border) {
+		return c.border[i]
+	}
+	return false
+}
 
 // Updated returns the nodes whose variables were changed by the message
 // batch that triggered the current IncEval call, in ascending ID order.
@@ -185,26 +248,39 @@ func (c *Context[V]) KeepActive() { c.active = true }
 // Vars exposes a copy-free iteration over all set variables; Assemble
 // implementations use it. The callback must not mutate the context.
 func (c *Context[V]) Vars(f func(id graph.ID, v V)) {
+	g := c.Frag.G
+	for i, ok := range c.has {
+		if ok {
+			f(g.IDAt(int32(i)), c.vals[i])
+		}
+	}
 	for id, v := range c.vars {
 		f(id, v)
 	}
 }
 
 // flush returns and clears the queued border changes, sorted by ID for
-// deterministic aggregation at the coordinator.
+// deterministic aggregation at the coordinator. The returned slice is reused
+// by the next flush; the coordinator consumes it within one collect, before
+// this worker can be scheduled again.
 func (c *Context[V]) flush() []VarUpdate[V] {
-	if len(c.changed) == 0 {
+	if len(c.changedIdx) == 0 {
 		return nil
 	}
-	ups := make([]VarUpdate[V], 0, len(c.changed))
-	for id := range c.changed {
-		ups = append(ups, VarUpdate[V]{ID: id, Val: c.vars[id]})
+	g := c.Frag.G
+	ups := c.flushBuf[:0]
+	for _, i := range c.changedIdx {
+		ups = append(ups, VarUpdate[V]{ID: g.IDAt(i), Val: c.vals[i]})
+		c.changedAt[i] = false
 		if c.spec.Consume {
-			delete(c.vars, id) // shipped messages leave the sender
+			var zero V
+			c.vals[i] = zero // shipped messages leave the sender
+			c.has[i] = false
 		}
 	}
+	c.changedIdx = c.changedIdx[:0]
 	sortUpdates(ups)
-	c.changed = make(map[graph.ID]bool)
+	c.flushBuf = ups
 	return ups
 }
 
@@ -220,21 +296,31 @@ func (c *Context[V]) apply(ups []VarUpdate[V]) {
 		if c.spec.Eq(old, merged) {
 			continue
 		}
-		c.vars[u.ID] = merged
+		c.SetLocal(u.ID, merged)
 		c.updated = append(c.updated, u.ID)
 	}
 }
 
 // addBorder marks id as carrying an update parameter from now on; the
 // session layer calls it when graph updates enlarge the border.
-func (c *Context[V]) addBorder(id graph.ID) { c.border[id] = true }
+func (c *Context[V]) addBorder(id graph.ID) {
+	if i, ok := c.Frag.G.Index(id); ok {
+		c.ensure(i)
+		c.border[i] = true
+	}
+}
 
 // touch re-queues id's current value for shipping even though it did not
 // change — used when a node newly becomes border and its existing value must
 // reach the new copy holders.
 func (c *Context[V]) touch(id graph.ID) {
-	if _, has := c.vars[id]; has && c.border[id] {
-		c.changed[id] = true
+	i, ok := c.Frag.G.Index(id)
+	if !ok || int(i) >= len(c.vals) {
+		return
+	}
+	if c.has[i] && c.border[i] && !c.changedAt[i] {
+		c.changedAt[i] = true
+		c.changedIdx = append(c.changedIdx, i)
 	}
 }
 

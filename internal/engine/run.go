@@ -153,95 +153,18 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	}
 
 	// Coordinator state: the globally best-known value of every border
-	// variable, folded with the program's aggregate. Routing only values
-	// that improve the global state is what makes the fixpoint terminate
-	// and communication proportional to real change. (Consumable queue
+	// variable, folded with the program's aggregate and sharded across
+	// worker-count goroutines (see fold.go). Routing only values that
+	// improve the global state is what makes the fixpoint terminate and
+	// communication proportional to real change. (Consumable queue
 	// variables bypass this state: they are folded per superstep and
 	// delivered to the owner, not converged.)
-	global := make(map[graph.ID]V)
+	fold := newFoldState(spec, n)
 	stillActive := make(map[int]bool)
+	replies := make([]*workerReply[V], n)
 
-	collect := func(from []int, step int) (map[int][]VarUpdate[V], int64, error) {
-		perWorker := make([]int64, n)
-		changedByID := make(map[graph.ID]V)
-		winner := make(map[graph.ID]int) // worker whose report set the final value
-		var stepBytes int64
-		// Drain all replies first, then fold them in worker order so that
-		// aggregation is deterministic even for non-commutative aggregates
-		// (e.g. CF's parameter averaging).
-		replies := make([]*workerReply[V], n)
-		for range from {
-			env := bus.Recv(mpi.Coordinator)
-			rep := env.Payload.(workerReply[V])
-			if rep.err != nil {
-				return nil, 0, fmt.Errorf("worker %d superstep %d: %w", env.From, step, rep.err)
-			}
-			replies[env.From] = &rep
-			perWorker[env.From] = rep.work
-			stepBytes += int64(env.Size)
-		}
-		for w := 0; w < n; w++ {
-			rep := replies[w]
-			if rep == nil {
-				continue
-			}
-			if rep.active {
-				stillActive[w] = true
-			} else {
-				delete(stillActive, w)
-			}
-			for _, u := range rep.changes {
-				if spec.Consume {
-					// queue semantics: fold this superstep's reports only
-					old, has := changedByID[u.ID]
-					if !has {
-						old = spec.Default
-					}
-					changedByID[u.ID] = spec.Agg(old, u.Val)
-					continue
-				}
-				old, has := global[u.ID]
-				if !has {
-					old = spec.Default
-				}
-				merged := spec.Agg(old, u.Val)
-				if spec.Eq(old, merged) {
-					continue
-				}
-				if opts.CheckMonotonic && spec.Less != nil && has {
-					if !spec.Less(merged, old) {
-						return nil, 0, fmt.Errorf("engine: node %d: %v -> %v: %w", u.ID, old, merged, ErrNotMonotonic)
-					}
-				}
-				global[u.ID] = merged
-				changedByID[u.ID] = merged
-				winner[u.ID] = w
-			}
-		}
-		stats.WorkPerStep = append(stats.WorkPerStep, perWorker)
-		stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)
-
-		// Route each changed value to every fragment hosting the node,
-		// except the worker that already holds the winning value. Queue
-		// variables go to the owner only: they are messages, not state.
-		route := make(map[int][]VarUpdate[V])
-		for id, v := range changedByID {
-			if spec.Consume {
-				o := layout.Asg.Owner(id)
-				route[o] = append(route[o], VarUpdate[V]{ID: id, Val: v})
-				continue
-			}
-			for _, h := range layout.Hosts(id) {
-				if h == winner[id] {
-					continue
-				}
-				route[h] = append(route[h], VarUpdate[V]{ID: id, Val: v})
-			}
-		}
-		for _, ups := range route {
-			sortUpdates(ups)
-		}
-		return route, stepBytes, nil
+	collect := func(from []int, step int) ([][]VarUpdate[V], int, error) {
+		return collectStep(bus, fold, replies, stillActive, stats, layout, len(from), step, opts.CheckMonotonic)
 	}
 
 	// Fragment construction that replicated data (d-hop expansion) is
@@ -257,7 +180,7 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 		bus.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Payload: workerCmd[V]{kind: cmdPEval}})
 	}
 	stats.Supersteps = 1
-	route, _, err := collect(all, 1)
+	route, scheduled, err := collect(all, 1)
 	if err != nil {
 		stop()
 		return zero, stats, err
@@ -269,16 +192,17 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	// Supersteps 2..: IncEval on fragments that received messages (or asked
 	// to stay active), until no update parameter changes anywhere and every
 	// worker is quiescent — the simultaneous fixpoint.
-	for len(route) > 0 || len(stillActive) > 0 {
+	active := make([]int, 0, n)
+	for scheduled > 0 || len(stillActive) > 0 {
 		if stats.Supersteps >= opts.MaxSupersteps {
 			stop()
 			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", prog.Name(), stats.Supersteps, ErrSuperstepLimit)
 		}
 		stats.Supersteps++
-		active := make([]int, 0, len(route)+len(stillActive))
+		active = active[:0]
 		for w := 0; w < n; w++ {
-			ups, scheduled := route[w]
-			if !scheduled && !stillActive[w] {
+			ups := route[w]
+			if len(ups) == 0 && !stillActive[w] {
 				continue
 			}
 			active = append(active, w)
@@ -288,7 +212,7 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 			}
 			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: size})
 		}
-		route, _, err = collect(active, stats.Supersteps)
+		route, scheduled, err = collect(active, stats.Supersteps)
 		if err != nil {
 			stop()
 			return zero, stats, err

@@ -60,8 +60,8 @@ type Session[Q, V, R any] struct {
 	ctxs   []*Context[V]
 	opts   Options
 	spec   VarSpec[V]
-	// global mirrors the coordinator's folded border state between runs.
-	global map[graph.ID]V
+	// fold retains the coordinator's sharded border state between runs.
+	fold *foldState[V]
 }
 
 // NewSession runs the initial PEval/IncEval fixpoint and retains the state
@@ -83,8 +83,8 @@ func NewSession[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Op
 		layout: layout,
 		opts:   opts,
 		spec:   prog.Spec(),
-		global: make(map[graph.ID]V),
 	}
+	s.fold = newFoldState(s.spec, len(layout.Fragments))
 	res, stats, err := s.fixpoint(true, nil)
 	if err != nil {
 		return nil, zero, stats, err
@@ -126,9 +126,9 @@ func (s *Session[Q, V, R]) Update(updates []EdgeUpdate) (R, *metrics.Stats, erro
 				f.G.SetProps(u.To, append([]string(nil), ps...))
 			}
 			f.Outer = insertSorted(f.Outer, u.To)
-			s.addHost(u.To, w)
+			s.layout.AddHost(u.To, w)
 			s.ctxs[w].addBorder(u.To)
-			if gv, ok := s.global[u.To]; ok {
+			if gv, ok := s.fold.lookup(u.To); ok {
 				s.ctxs[w].SetLocal(u.To, s.spec.Agg(s.ctxs[w].Get(u.To), gv))
 			}
 			owner := s.layout.Asg.Owner(u.To)
@@ -161,21 +161,6 @@ func (s *Session[Q, V, R]) Update(updates []EdgeUpdate) (R, *metrics.Stats, erro
 		dirtyByWorker[w] = append(dirtyByWorker[w], dirty...)
 	}
 	return s.fixpoint(false, dirtyByWorker)
-}
-
-func (s *Session[Q, V, R]) addHost(id graph.ID, w int) {
-	hosts := s.layout.Placement[id]
-	if len(hosts) == 0 {
-		hosts = []int{s.layout.Asg.Owner(id)}
-	}
-	for _, h := range hosts {
-		if h == w {
-			return
-		}
-	}
-	hosts = append(hosts, w)
-	sort.Ints(hosts)
-	s.layout.Placement[id] = hosts
 }
 
 // fixpoint runs the engine loop. With init=true it spawns fresh contexts and
@@ -211,74 +196,20 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 	}
 
 	stillActive := make(map[int]bool)
-	collect := func(expect int, step int) (map[int][]VarUpdate[V], error) {
-		perWorker := make([]int64, n)
-		changedByID := make(map[graph.ID]V)
-		winner := make(map[graph.ID]int)
-		var stepBytes int64
-		replies := make([]*workerReply[V], n)
-		for i := 0; i < expect; i++ {
-			env := bus.Recv(mpi.Coordinator)
-			rep := env.Payload.(workerReply[V])
-			if rep.err != nil {
-				return nil, fmt.Errorf("worker %d superstep %d: %w", env.From, step, rep.err)
-			}
-			replies[env.From] = &rep
-			perWorker[env.From] = rep.work
-			stepBytes += int64(env.Size)
-		}
-		for w := 0; w < n; w++ {
-			rep := replies[w]
-			if rep == nil {
-				continue
-			}
-			if rep.active {
-				stillActive[w] = true
-			} else {
-				delete(stillActive, w)
-			}
-			for _, u := range rep.changes {
-				old, has := s.global[u.ID]
-				if !has {
-					old = s.spec.Default
-				}
-				merged := s.spec.Agg(old, u.Val)
-				if s.spec.Eq(old, merged) {
-					continue
-				}
-				if s.opts.CheckMonotonic && s.spec.Less != nil && has && !s.spec.Less(merged, old) {
-					return nil, fmt.Errorf("engine: node %d: %v -> %v: %w", u.ID, old, merged, ErrNotMonotonic)
-				}
-				s.global[u.ID] = merged
-				changedByID[u.ID] = merged
-				winner[u.ID] = w
-			}
-		}
-		stats.WorkPerStep = append(stats.WorkPerStep, perWorker)
-		stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)
-		route := make(map[int][]VarUpdate[V])
-		for id, v := range changedByID {
-			for _, h := range s.layout.Hosts(id) {
-				if h == winner[id] {
-					continue
-				}
-				route[h] = append(route[h], VarUpdate[V]{ID: id, Val: v})
-			}
-		}
-		for _, ups := range route {
-			sortUpdates(ups)
-		}
-		return route, nil
+	replies := make([]*workerReply[V], n)
+	collect := func(expect int, step int) ([][]VarUpdate[V], int, error) {
+		return collectStep(bus, s.fold, replies, stillActive, stats, s.layout, expect, step, s.opts.CheckMonotonic)
 	}
 
-	var route map[int][]VarUpdate[V]
+	var route [][]VarUpdate[V]
+	var scheduled int
 	var err error
 	if init {
 		for i := 0; i < n; i++ {
 			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Payload: workerCmd[V]{kind: cmdPEval}})
 		}
 		stats.Supersteps = 1
-		route, err = collect(n, 1)
+		route, scheduled, err = collect(n, 1)
 	} else {
 		// Seed the fixpoint by running IncEval on the dirtied workers with
 		// their own dirty nodes as the "updated" set.
@@ -291,14 +222,14 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: 1, Payload: workerCmd[V]{kind: cmdLocalInc, dirty: dedupeIDs(dirtyByWorker[w])}})
 		}
 		stats.Supersteps = 1
-		route, err = collect(len(workers), 1)
+		route, scheduled, err = collect(len(workers), 1)
 	}
 	if err != nil {
 		stop()
 		return zero, stats, err
 	}
 
-	for len(route) > 0 || len(stillActive) > 0 {
+	for scheduled > 0 || len(stillActive) > 0 {
 		if stats.Supersteps >= s.opts.MaxSupersteps {
 			stop()
 			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", s.prog.Name(), stats.Supersteps, ErrSuperstepLimit)
@@ -306,8 +237,8 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 		stats.Supersteps++
 		active := 0
 		for w := 0; w < n; w++ {
-			ups, scheduled := route[w]
-			if !scheduled && !stillActive[w] {
+			ups := route[w]
+			if len(ups) == 0 && !stillActive[w] {
 				continue
 			}
 			active++
@@ -317,7 +248,7 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 			}
 			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: size})
 		}
-		route, err = collect(active, stats.Supersteps)
+		route, scheduled, err = collect(active, stats.Supersteps)
 		if err != nil {
 			stop()
 			return zero, stats, err

@@ -209,7 +209,7 @@ func SocialCommerce(cfg SocialCommerceConfig) *graph.Graph {
 				// same community, lower index (keeps the graph acyclic-ish
 				// in follow direction but that is irrelevant to the rule)
 				c := community(i)
-				cand := c + cfg.Products*rng.Intn(1+ (i-1)/cfg.Products)
+				cand := c + cfg.Products*rng.Intn(1+(i-1)/cfg.Products)
 				if cand >= i || community(cand) != c {
 					continue
 				}

@@ -33,12 +33,12 @@ type Edge struct {
 // or NewUndirected.
 type Graph struct {
 	directed bool
-	ids      []ID          // dense index -> ID
-	index    map[ID]int32  // ID -> dense index
-	labels   []string      // dense index -> vertex label
-	props    [][]string    // dense index -> vertex properties (keywords etc.)
-	out      [][]Edge      // dense index -> out-edges
-	in       [][]Edge      // dense index -> in-edges; built lazily
+	ids      []ID         // dense index -> ID
+	index    map[ID]int32 // ID -> dense index
+	labels   []string     // dense index -> vertex label
+	props    [][]string   // dense index -> vertex properties (keywords etc.)
+	out      [][]Edge     // dense index -> out-edges
+	in       [][]Edge     // dense index -> in-edges; built lazily
 	inBuilt  bool
 	numEdges int
 }

@@ -25,8 +25,8 @@ import (
 
 // Stats aggregates everything one engine run measured.
 type Stats struct {
-	Engine    string
-	Workers   int
+	Engine     string
+	Workers    int
 	Supersteps int
 
 	// Messages and Bytes are cross-worker data traffic (what would hit the

@@ -65,15 +65,85 @@ type Layout struct {
 	// the run. Plain Build leaves it zero — outer copies there are part of
 	// the initial partitioning, as in the paper's accounting.
 	ReplicationBytes int64
+
+	// Dense host index: hostList[hostOff[i]:hostOff[i+1]] is the packed,
+	// sorted host list of the vertex at dense index i of Asg.G — the owner
+	// alone for non-border vertices. The coordinator routes every changed
+	// value every superstep, so Hosts must not hash into Placement (a map of
+	// individually allocated slices) on that path.
+	hostOff  []int32
+	hostList []int
+	// overflow holds host lists that changed after the build: the session
+	// layer extends placement when graph updates create new outer copies.
+	// It stays nil until the first AddHost so static runs never consult it.
+	overflow map[graph.ID][]int
 }
 
 // Hosts returns the fragments hosting id: its placement entry if id is a
-// border node, else just its owner.
+// border node, else just its owner. The returned slice is shared; callers
+// must not mutate it.
 func (l *Layout) Hosts(id graph.ID) []int {
+	if l.overflow != nil {
+		if hs, ok := l.overflow[id]; ok {
+			return hs
+		}
+	}
+	if l.hostOff != nil {
+		if i, ok := l.Asg.G.Index(id); ok {
+			return l.hostList[l.hostOff[i]:l.hostOff[i+1]]
+		}
+	}
 	if hs, ok := l.Placement[id]; ok {
 		return hs
 	}
 	return []int{l.Asg.Owner(id)}
+}
+
+// AddHost records that fragment w now holds a copy of id, keeping Placement
+// and the dense host index consistent. The session layer calls it when a
+// graph update creates a new outer copy; it is a no-op if w already hosts id.
+func (l *Layout) AddHost(id graph.ID, w int) {
+	hosts := l.Hosts(id)
+	for _, h := range hosts {
+		if h == w {
+			return
+		}
+	}
+	merged := make([]int, 0, len(hosts)+1)
+	merged = append(merged, hosts...)
+	merged = append(merged, w)
+	sort.Ints(merged)
+	if l.overflow == nil {
+		l.overflow = make(map[graph.ID][]int)
+	}
+	l.overflow[id] = merged
+	l.Placement[id] = merged
+}
+
+// buildHostIndex packs Placement (plus the owner-only default) into the
+// dense arrays Hosts reads on the routing hot path.
+func (l *Layout) buildHostIndex() {
+	g := l.Asg.G
+	nv := g.NumVertices()
+	size := 0
+	for i := 0; i < nv; i++ {
+		if hs, ok := l.Placement[g.IDAt(int32(i))]; ok {
+			size += len(hs)
+		} else {
+			size++
+		}
+	}
+	l.hostOff = make([]int32, nv+1)
+	l.hostList = make([]int, 0, size)
+	for i := 0; i < nv; i++ {
+		id := g.IDAt(int32(i))
+		if hs, ok := l.Placement[id]; ok {
+			l.hostList = append(l.hostList, hs...)
+		} else {
+			l.hostList = append(l.hostList, l.Asg.Owner(id))
+		}
+		l.hostOff[i+1] = int32(len(l.hostList))
+	}
 }
 
 // Build cuts g into fragments according to asg. Every inner vertex keeps all
@@ -148,7 +218,9 @@ func Build(g *graph.Graph, asg *Assignment) *Layout {
 		sort.Slice(f.Outer, func(i, j int) bool { return f.Outer[i] < f.Outer[j] })
 		sort.Slice(f.InnerBorder, func(i, j int) bool { return f.InnerBorder[i] < f.InnerBorder[j] })
 	}
-	return &Layout{Asg: asg, Fragments: frags, Placement: placement}
+	l := &Layout{Asg: asg, Fragments: frags, Placement: placement}
+	l.buildHostIndex()
+	return l
 }
 
 // BuildExpanded cuts g into fragments and then expands each with the full
@@ -205,5 +277,7 @@ func BuildExpanded(g *graph.Graph, asg *Assignment, d int) *Layout {
 	for _, f := range frags {
 		sort.Slice(f.InnerBorder, func(i, j int) bool { return f.InnerBorder[i] < f.InnerBorder[j] })
 	}
-	return &Layout{Asg: asg, Fragments: frags, Placement: placement, ReplicationBytes: replication}
+	l := &Layout{Asg: asg, Fragments: frags, Placement: placement, ReplicationBytes: replication}
+	l.buildHostIndex()
+	return l
 }

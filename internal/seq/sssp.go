@@ -25,10 +25,17 @@ type distHeap struct {
 	dist []float64
 }
 
-func (h *distHeap) Len() int            { return len(h.ids) }
-func (h *distHeap) Less(i, j int) bool  { return h.dist[i] < h.dist[j] }
-func (h *distHeap) Swap(i, j int)       { h.ids[i], h.ids[j] = h.ids[j], h.ids[i]; h.dist[i], h.dist[j] = h.dist[j], h.dist[i] }
-func (h *distHeap) Push(x any)          { e := x.(distEntry); h.ids = append(h.ids, e.id); h.dist = append(h.dist, e.d) }
+func (h *distHeap) Len() int           { return len(h.ids) }
+func (h *distHeap) Less(i, j int) bool { return h.dist[i] < h.dist[j] }
+func (h *distHeap) Swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.dist[i], h.dist[j] = h.dist[j], h.dist[i]
+}
+func (h *distHeap) Push(x any) {
+	e := x.(distEntry)
+	h.ids = append(h.ids, e.id)
+	h.dist = append(h.dist, e.d)
+}
 func (h *distHeap) Pop() any {
 	n := len(h.ids) - 1
 	e := distEntry{h.ids[n], h.dist[n]}
