@@ -1,0 +1,73 @@
+// Command grape-worker runs one GRAPE worker as its own OS process: it dials
+// a coordinator (grape -listen ..., or any program driving a distributed run
+// through internal/transport), receives its worker index, fragment and query
+// in the setup handshake, and serves the PEval/IncEval fixpoint until the
+// coordinator releases it. One invocation serves exactly one run.
+//
+// Flags:
+//
+//	-connect addr   coordinator address to dial (required),
+//	                e.g. 127.0.0.1:7001 or /tmp/grape.sock with -network unix
+//	-network kind   tcp (default) or unix
+//	-timeout d      how long to keep retrying the dial and handshake while
+//	                the coordinator comes up (default 30s)
+//	-quiet          suppress the per-run log lines
+//
+// Example — a 4-worker distributed SSSP (each line its own shell):
+//
+//	grape -listen 127.0.0.1:7001 -workers 4 -program sssp -query source=0
+//	grape-worker -connect 127.0.0.1:7001   # × 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"grape/internal/engine"
+	"grape/internal/transport"
+
+	_ "grape/internal/queries" // register the PIE program library
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("grape-worker: ")
+
+	var (
+		connect = flag.String("connect", "", "coordinator address to dial (required)")
+		network = flag.String("network", "tcp", "socket kind: tcp|unix")
+		timeout = flag.Duration("timeout", 30*time.Second, "dial + handshake retry window")
+		quiet   = flag.Bool("quiet", false, "suppress log output")
+	)
+	flag.Parse()
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "grape-worker: -connect is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *quiet {
+		log.SetOutput(nilWriter{})
+	}
+
+	conn, err := transport.Dial(*network, *connect, *timeout)
+	if err != nil {
+		log.SetOutput(os.Stderr)
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	log.Printf("connected to %s as worker %d of %d", *connect, conn.Index(), conn.N())
+
+	start := time.Now()
+	if err := engine.ServeWorker(conn); err != nil {
+		log.SetOutput(os.Stderr)
+		log.Fatalf("worker %d: %v", conn.Index(), err)
+	}
+	log.Printf("worker %d done in %v", conn.Index(), time.Since(start).Round(time.Millisecond))
+}
+
+type nilWriter struct{}
+
+func (nilWriter) Write(p []byte) (int, error) { return len(p), nil }

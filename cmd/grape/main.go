@@ -9,6 +9,12 @@
 //	grape -program sssp -query source=0 -dataset road -rows 128 -cols 128 -workers 16 -strategy 2d
 //	grape -program keyword -query "k=db,graph bound=4" -dataset social -n 20000 -keywords db,graph,ml
 //	grape -program cc -input mygraph.txt -workers 8
+//
+// With -listen the run is distributed: the coordinator waits for -workers
+// grape-worker processes to dial in over the socket transport, ships each
+// its fragment, and byte analytics come from the actual wire encodings:
+//
+//	grape -listen 127.0.0.1:7001 -workers 4 -program sssp -query source=0
 package main
 
 import (
@@ -17,9 +23,11 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"grape"
 	"grape/internal/graph"
+	"grape/internal/transport"
 )
 
 func main() {
@@ -34,6 +42,9 @@ func main() {
 		strategy = flag.String("strategy", "fennel", "partition strategy (hash|range|fennel|metis|2d)")
 		check    = flag.Bool("check", false, "verify the monotonic condition at run time")
 		trace    = flag.Bool("trace", false, "print the per-superstep PEval/IncEval breakdown")
+		listen   = flag.String("listen", "", "run distributed: listen here and wait for -workers grape-worker processes")
+		network  = flag.String("network", "tcp", "socket kind for -listen: tcp|unix")
+		accept   = flag.Duration("accept-timeout", 60*time.Second, "how long to wait for workers to dial in")
 
 		input    = flag.String("input", "", "load graph from file (text format) instead of generating")
 		directed = flag.Bool("directed", true, "treat -input file as directed")
@@ -77,9 +88,30 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := grape.Options{Workers: *workers, Strategy: strat, CheckMonotonic: *check}
+	// log.Fatal skips deferred closes, which would leave a stale unix
+	// socket file behind; route fatal errors through the cleanup instead.
+	cleanup := func() {}
+	fatal := func(err error) {
+		cleanup()
+		log.Fatal(err)
+	}
+	if *listen != "" {
+		fmt.Printf("listening on %s %s, waiting for %d workers...\n", *network, *listen, *workers)
+		tr, ln, err := transport.Listen(*network, *listen, *workers, *accept)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cleanup = func() {
+			tr.Close()
+			ln.Close()
+		}
+		defer cleanup()
+		fmt.Printf("%d workers connected\n", *workers)
+		opts.Transport = tr
+	}
 	res, stats, err := grape.RunProgram(*program, g, opts, *query)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	printResult(*program, res)

@@ -18,6 +18,12 @@
 //
 // To plug in your own sequential algorithm, implement engine.Program's three
 // functions and the update-parameter declaration; see examples/plugplay.
+//
+// Runs default to the in-process bus (workers are goroutines). Every
+// registered query also carries a wire codec, so the same run can be
+// distributed across worker OS processes over TCP or Unix sockets: see
+// ARCHITECTURE.md and the README's "Running distributed" section
+// (cmd/grape -listen, cmd/grape-worker).
 package grape
 
 import (
@@ -40,7 +46,8 @@ type (
 	// Edge is one adjacency entry.
 	Edge = graph.Edge
 	// Options configures an engine run (workers, partition strategy,
-	// superstep cap, monotonicity checking).
+	// superstep cap, monotonicity checking, optional wire transport for
+	// distributed runs).
 	Options = engine.Options
 	// Stats reports what a run measured: supersteps, per-worker work,
 	// messages and bytes shipped, wall time.

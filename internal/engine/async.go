@@ -39,6 +39,9 @@ func RunAsync[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Opti
 	if spec.Consume {
 		return zero, nil, fmt.Errorf("engine: %s uses consumable message queues; async mode requires convergent state", prog.Name())
 	}
+	if opts.Transport != nil {
+		return zero, nil, fmt.Errorf("engine: async mode runs on the in-process bus only (peer-to-peer mailboxes have no wire framing)")
+	}
 	layout := opts.Layout
 	if layout == nil {
 		asg, err := opts.Strategy.Partition(g, opts.Workers)
@@ -98,12 +101,8 @@ func RunAsync[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Opti
 			if len(batch) == 0 {
 				continue
 			}
-			size := 0
-			for _, u := range batch {
-				size += 8 + spec.sizeOf(u.Val)
-			}
 			msgs.Add(1)
-			bytes.Add(int64(size))
+			bytes.Add(int64(shipSize(spec, batch)))
 			pending.Add(1)
 			boxes[h].push(batch)
 		}

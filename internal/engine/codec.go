@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"grape/internal/graph"
+)
+
+// A Codec gives a program's update-parameter values a wire format, so runs
+// can cross process boundaries and traffic can be metered from real encoded
+// bytes instead of the VarSpec.Size estimate. AppendVal and DecodeVal must
+// round-trip exactly (Decode(Encode(x)) == x under the program's Eq), and
+// DecodeVal must reject malformed input with an error rather than panic —
+// frames arrive from the network.
+type Codec[V any] interface {
+	// AppendVal appends the encoding of v to buf and returns the extended
+	// buffer.
+	AppendVal(buf []byte, v V) []byte
+	// DecodeVal decodes one value from the front of data, returning the
+	// value and the number of bytes consumed.
+	DecodeVal(data []byte) (V, int, error)
+}
+
+// Update batches are the unit of traffic metering: the engine charges
+// len(AppendUpdates(...)) as the Size of every data message on a wire
+// transport, so "bytes" in metrics.Stats is exactly the encoded length of
+// the update-parameter payloads (framing overhead excluded, mirroring the
+// in-process accounting which also counts payloads only).
+
+// AppendUpdates appends the encoding of a batch of update-parameter changes:
+// uvarint count, then per update a uvarint node ID followed by the
+// codec-encoded value.
+func AppendUpdates[V any](c Codec[V], buf []byte, ups []VarUpdate[V]) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ups)))
+	for _, u := range ups {
+		buf = binary.AppendUvarint(buf, uint64(u.ID))
+		buf = c.AppendVal(buf, u.Val)
+	}
+	return buf
+}
+
+// DecodeUpdates decodes a batch encoded by AppendUpdates from the front of
+// data, returning the updates and the number of bytes consumed.
+func DecodeUpdates[V any](c Codec[V], data []byte) ([]VarUpdate[V], int, error) {
+	pos := 0
+	n, err := graph.ReadUvarint(data, &pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	var ups []VarUpdate[V]
+	for i := uint64(0); i < n; i++ {
+		id, err := graph.ReadUvarint(data, &pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		v, used, err := c.DecodeVal(data[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		ups = append(ups, VarUpdate[V]{ID: graph.ID(id), Val: v})
+	}
+	return ups, pos, nil
+}
+
+// Worker-command frame: kind byte, the update batch (IncEval), and the dirty
+// ID list (session LocalInc; unused over the wire but kept for symmetry).
+// encodeCmd also returns the encoded length of the update batch alone — the
+// metered data size of the message.
+
+func encodeCmd[V any](c Codec[V], cmd workerCmd[V]) (frame []byte, dataLen int) {
+	frame = append(frame, byte(cmd.kind))
+	mark := len(frame)
+	frame = AppendUpdates(c, frame, cmd.updates)
+	dataLen = len(frame) - mark
+	frame = binary.AppendUvarint(frame, uint64(len(cmd.dirty)))
+	for _, id := range cmd.dirty {
+		frame = binary.AppendUvarint(frame, uint64(id))
+	}
+	if len(cmd.updates) == 0 {
+		dataLen = 0 // a bare count is control, not data
+	}
+	return frame, dataLen
+}
+
+func decodeCmd[V any](c Codec[V], frame []byte) (workerCmd[V], error) {
+	var cmd workerCmd[V]
+	if len(frame) == 0 {
+		return cmd, errors.New("engine: empty command frame")
+	}
+	k := cmdKind(frame[0])
+	if k < cmdPEval || k > cmdAssemble {
+		return cmd, fmt.Errorf("engine: unknown command kind %d", frame[0])
+	}
+	cmd.kind = k
+	pos := 1
+	ups, used, err := DecodeUpdates(c, frame[pos:])
+	if err != nil {
+		return cmd, err
+	}
+	pos += used
+	cmd.updates = ups
+	n, err := graph.ReadUvarint(frame, &pos)
+	if err != nil {
+		return cmd, err
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := graph.ReadUvarint(frame, &pos)
+		if err != nil {
+			return cmd, err
+		}
+		cmd.dirty = append(cmd.dirty, graph.ID(id))
+	}
+	return cmd, nil
+}
+
+// Worker-reply frame: the flushed change batch, the superstep's work units,
+// the keep-active flag, and the error string ("" = nil). encodeReply also
+// returns the encoded length of the change batch — the metered data size.
+
+func encodeReply[V any](c Codec[V], rep workerReply[V]) (frame []byte, dataLen int) {
+	frame = AppendUpdates(c, frame, rep.changes)
+	if len(rep.changes) > 0 {
+		dataLen = len(frame)
+	}
+	frame = binary.AppendVarint(frame, rep.work)
+	if rep.active {
+		frame = append(frame, 1)
+	} else {
+		frame = append(frame, 0)
+	}
+	msg := ""
+	if rep.err != nil {
+		msg = rep.err.Error()
+		if msg == "" {
+			msg = "worker error"
+		}
+	}
+	frame = binary.AppendUvarint(frame, uint64(len(msg)))
+	return append(frame, msg...), dataLen
+}
+
+func decodeReply[V any](c Codec[V], frame []byte) (workerReply[V], error) {
+	var rep workerReply[V]
+	changes, pos, err := DecodeUpdates(c, frame)
+	if err != nil {
+		return rep, err
+	}
+	rep.changes = changes
+	work, n := binary.Varint(frame[pos:])
+	if n <= 0 {
+		return rep, errors.New("engine: bad work count in reply frame")
+	}
+	pos += n
+	rep.work = work
+	if pos >= len(frame) {
+		return rep, errors.New("engine: truncated reply frame")
+	}
+	rep.active = frame[pos] != 0
+	pos++
+	msg, err := graph.ReadString(frame, &pos)
+	if err != nil {
+		return rep, err
+	}
+	if msg != "" {
+		rep.err = errors.New(msg)
+	}
+	return rep, nil
+}
+
+// Partial-result frame (worker → coordinator after the fixpoint): status
+// byte, then either the program's encoded partial answer or an error string.
+
+func encodePartialFrame(blob []byte, err error) []byte {
+	if err != nil {
+		frame := []byte{0}
+		msg := err.Error()
+		frame = binary.AppendUvarint(frame, uint64(len(msg)))
+		return append(frame, msg...)
+	}
+	frame := []byte{1}
+	frame = binary.AppendUvarint(frame, uint64(len(blob)))
+	return append(frame, blob...)
+}
+
+func decodePartialFrame(frame []byte) ([]byte, error) {
+	if len(frame) == 0 {
+		return nil, errors.New("engine: empty partial-result frame")
+	}
+	pos := 1
+	n, err := graph.ReadUvarint(frame, &pos)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(frame)-pos) < n {
+		return nil, errors.New("engine: truncated partial-result frame")
+	}
+	body := frame[pos : pos+int(n)]
+	if frame[0] == 0 {
+		return nil, errors.New(string(body))
+	}
+	return body, nil
+}
+
+// Setup frame (coordinator → worker, first frame of a run): program name,
+// program-encoded query, and the worker's fragment encoding.
+
+func encodeSetup(name string, query, fragment []byte) []byte {
+	var frame []byte
+	frame = binary.AppendUvarint(frame, uint64(len(name)))
+	frame = append(frame, name...)
+	frame = binary.AppendUvarint(frame, uint64(len(query)))
+	frame = append(frame, query...)
+	return append(frame, fragment...)
+}
+
+func decodeSetup(frame []byte) (name string, query, fragment []byte, err error) {
+	pos := 0
+	if name, err = graph.ReadString(frame, &pos); err != nil {
+		return "", nil, nil, err
+	}
+	n, err := graph.ReadUvarint(frame, &pos)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if uint64(len(frame)-pos) < n {
+		return "", nil, nil, errors.New("engine: truncated setup frame")
+	}
+	query = frame[pos : pos+int(n)]
+	return name, query, frame[pos+int(n):], nil
+}

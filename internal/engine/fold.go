@@ -197,11 +197,13 @@ func (f *foldState[V]) foldOne(s, w int, u VarUpdate[V], checkMono bool) error {
 }
 
 // collectStep is the coordinator's end-of-superstep sequence, shared by
-// RunOnLayout and Session.fixpoint: drain expect worker replies from bus,
-// update stillActive, fold the reports, append the superstep's work and byte
-// rows to stats, and build the routing table. replies is caller-owned
-// scratch of length workers.
-func collectStep[V any](bus *mpi.Bus, fold *foldState[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
+// RunOnLayout, Session.fixpoint and runWire: drain expect worker replies
+// from the transport, update stillActive, fold the reports, append the
+// superstep's work and byte rows to stats, and build the routing table.
+// replies is caller-owned scratch of length workers. codec is nil on the
+// in-process bus (replies arrive as Go values); wire transports deliver
+// frames that are decoded with it.
+func collectStep[V any](tr mpi.Transport, codec Codec[V], fold *foldState[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
 	n := fold.n
 	perWorker := make([]int64, n)
 	var stepBytes int64
@@ -210,10 +212,24 @@ func collectStep[V any](bus *mpi.Bus, fold *foldState[V], replies []*workerReply
 	// (e.g. CF's parameter averaging).
 	clear(replies)
 	for i := 0; i < expect; i++ {
-		env := bus.Recv(mpi.Coordinator)
-		rep := env.Payload.(workerReply[V])
+		env := tr.Recv(mpi.Coordinator)
+		var rep workerReply[V]
+		if codec != nil {
+			frame, err := wireFrame(env)
+			if err == nil {
+				rep, err = decodeReply(codec, frame)
+			}
+			if err != nil {
+				return nil, 0, fmt.Errorf("worker %d superstep %d: %w", env.From, step, err)
+			}
+		} else {
+			rep = env.Payload.(workerReply[V])
+		}
 		if rep.err != nil {
 			return nil, 0, fmt.Errorf("worker %d superstep %d: %w", env.From, step, rep.err)
+		}
+		if env.From < 0 || env.From >= n || replies[env.From] != nil {
+			return nil, 0, fmt.Errorf("superstep %d: unexpected reply from worker %d", step, env.From)
 		}
 		replies[env.From] = &rep
 		perWorker[env.From] = rep.work

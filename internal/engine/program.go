@@ -64,6 +64,18 @@ func (s VarSpec[V]) sizeOf(v V) int {
 	return s.Size(v)
 }
 
+// shipSize is the in-process traffic estimate for a batch of updates: an
+// 8-byte node ID plus the declared Size per value. It is the fallback
+// metering used by the bus and the async engine; wire transports charge
+// len(AppendUpdates(codec, ...)) instead — the actual encoded length.
+func shipSize[V any](spec VarSpec[V], ups []VarUpdate[V]) int {
+	size := 0
+	for _, u := range ups {
+		size += 8 + spec.sizeOf(u.Val)
+	}
+	return size
+}
+
 // Program is a PIE program for a query class Q with update-parameter values
 // of type V and results of type R.
 type Program[Q, V, R any] interface {

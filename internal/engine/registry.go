@@ -7,6 +7,7 @@ import (
 
 	"grape/internal/graph"
 	"grape/internal/metrics"
+	"grape/internal/partition"
 )
 
 // Entry describes a PIE program registered in the GRAPE API library — the
@@ -21,7 +22,15 @@ type Entry struct {
 	// QueryHelp documents the query string syntax accepted by Run.
 	QueryHelp string
 	// Run parses query, executes the program on g, and returns its result.
+	// With a wire transport in opts.Transport the run is distributed; the
+	// worker half of that protocol is Wire below.
 	Run func(g *graph.Graph, opts Options, query string) (any, *metrics.Stats, error)
+	// Wire serves the worker side of a distributed run: decode the query
+	// from the setup frame, run PEval/IncEval on the shipped fragment as
+	// commanded, ship encoded replies and the final partial answer.
+	// Programs register it with WireServe; nil means the program has no
+	// wire codec and cannot run distributed.
+	Wire func(link WorkerLink, query []byte, f *partition.Fragment) error
 }
 
 var (

@@ -38,6 +38,14 @@ type Options struct {
 	// and border counts). Over-partitioning evens skewed graphs out — one
 	// of the graph-level optimizations of Fig. 2's balancer tier.
 	Fragments int
+	// Transport, if non-nil, must be a wire transport (Transport.Wire() ==
+	// true) and runs the fixpoint distributed: workers are separate
+	// processes on the far side of the transport (see internal/transport),
+	// the program must implement WireProgram, and byte metrics come from
+	// actual encoded frame lengths. Nil selects the in-process bus, where
+	// workers are goroutines and bytes are VarSpec.Size estimates; a
+	// non-nil non-wire transport is rejected rather than silently ignored.
+	Transport mpi.Transport
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +77,7 @@ const (
 	cmdIncEval
 	cmdLocalInc // session resume: IncEval seeded with locally-dirtied nodes
 	cmdStop
+	cmdAssemble // wire transports only: ship the encoded partial answer
 )
 
 type workerCmd[V any] struct {
@@ -121,10 +130,19 @@ func partitionFor(g *graph.Graph, opts Options) (*partition.Assignment, error) {
 	return coarse, err
 }
 
-// RunOnLayout is Run on a prebuilt layout.
+// RunOnLayout is Run on a prebuilt layout. With a wire transport in
+// Options.Transport the fixpoint drives remote worker processes (see
+// wire.go); otherwise workers are goroutines on an in-process bus.
 func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
 	var zero R
 	opts = opts.withDefaults()
+	if opts.Transport != nil {
+		if opts.Transport.Wire() {
+			return runWire(layout, prog, q, opts)
+		}
+		// Refuse rather than silently run on a hidden internal bus.
+		return zero, nil, errors.New("engine: custom non-wire transports are not supported; leave Options.Transport nil for the in-process bus")
+	}
 	n := len(layout.Fragments)
 	spec := prog.Spec()
 
@@ -164,7 +182,7 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	replies := make([]*workerReply[V], n)
 
 	collect := func(from []int, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep(bus, fold, replies, stillActive, stats, layout, len(from), step, opts.CheckMonotonic)
+		return collectStep[V](bus, nil, fold, replies, stillActive, stats, layout, len(from), step, opts.CheckMonotonic)
 	}
 
 	// Fragment construction that replicated data (d-hop expansion) is
@@ -206,11 +224,7 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 				continue
 			}
 			active = append(active, w)
-			size := 0
-			for _, u := range ups {
-				size += 8 + spec.sizeOf(u.Val)
-			}
-			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: size})
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: shipSize(spec, ups)})
 		}
 		route, scheduled, err = collect(active, stats.Supersteps)
 		if err != nil {
@@ -264,9 +278,5 @@ func workerLoop[Q, V, R any](bus *mpi.Bus, w int, prog Program[Q, V, R], q Q, ct
 
 func reply[V any](bus *mpi.Bus, w, step int, ctx *Context[V], spec VarSpec[V], err error) {
 	changes := ctx.flush()
-	size := 0
-	for _, u := range changes {
-		size += 8 + spec.sizeOf(u.Val)
-	}
-	bus.Send(mpi.Envelope{From: w, To: mpi.Coordinator, Step: step, Payload: workerReply[V]{changes: changes, work: ctx.takeWork(), active: ctx.active, err: err}, Size: size})
+	bus.Send(mpi.Envelope{From: w, To: mpi.Coordinator, Step: step, Payload: workerReply[V]{changes: changes, work: ctx.takeWork(), active: ctx.active, err: err}, Size: shipSize(spec, changes)})
 }

@@ -71,6 +71,9 @@ func NewSession[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Op
 	if !g.Directed() {
 		return nil, zero, nil, fmt.Errorf("engine: sessions support directed graphs only (undirected cut edges live on both fragments)")
 	}
+	if opts.Transport != nil {
+		return nil, zero, nil, fmt.Errorf("engine: sessions run on the in-process bus only (graph updates mutate shared fragments)")
+	}
 	opts = opts.withDefaults()
 	asg, err := opts.Strategy.Partition(g, opts.Workers)
 	if err != nil {
@@ -198,7 +201,7 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 	stillActive := make(map[int]bool)
 	replies := make([]*workerReply[V], n)
 	collect := func(expect int, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep(bus, s.fold, replies, stillActive, stats, s.layout, expect, step, s.opts.CheckMonotonic)
+		return collectStep[V](bus, nil, s.fold, replies, stillActive, stats, s.layout, expect, step, s.opts.CheckMonotonic)
 	}
 
 	var route [][]VarUpdate[V]
@@ -242,11 +245,7 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 				continue
 			}
 			active++
-			size := 0
-			for _, u := range ups {
-				size += 8 + s.spec.sizeOf(u.Val)
-			}
-			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: size})
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: shipSize(s.spec, ups)})
 		}
 		route, scheduled, err = collect(active, stats.Supersteps)
 		if err != nil {

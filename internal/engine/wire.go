@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// This file is the engine's wire layer: everything needed to run the PIE
+// fixpoint with each worker in its own OS process on the far side of a
+// socket transport (internal/transport). The superstep schedule, fold order
+// and routing are byte-for-byte the machinery of run.go/fold.go — only the
+// envelope contents change, from Go values passed by reference to frames
+// encoded by the program's Codec. Results, superstep counts and the
+// coordinator's aggregation are therefore identical across transports; what
+// differs is metering, which switches from the VarSpec.Size estimate to the
+// actual encoded lengths.
+
+// WireProgram is a Program that can run distributed: it provides a wire
+// codec for its update-parameter values and an encoding for its query, so
+// the coordinator can ship both to worker processes. Programs whose Assemble
+// reads more than the node variables additionally implement PartialCodec.
+type WireProgram[Q, V, R any] interface {
+	Program[Q, V, R]
+	// WireCodec returns the update-parameter value codec.
+	WireCodec() Codec[V]
+	// EncodeQuery serializes q for the setup frame.
+	EncodeQuery(q Q) ([]byte, error)
+	// DecodeQuery is the worker-side inverse of EncodeQuery.
+	DecodeQuery(data []byte) (Q, error)
+}
+
+// PartialCodec is implemented by wire programs whose Assemble reads
+// program-private state (Context.State or Context.Partial) rather than just
+// the node variables. EncodePartial runs on the worker after the fixpoint;
+// DecodePartial reconstitutes a coordinator-side Context that Assemble can
+// consume. Programs without it get the default: the worker ships all set
+// node variables and the coordinator replays them with SetLocal.
+type PartialCodec[Q, V any] interface {
+	EncodePartial(q Q, ctx *Context[V]) ([]byte, error)
+	DecodePartial(q Q, ctx *Context[V], data []byte) error
+}
+
+// WorkerLink is a worker's end of a wire transport: the mirror image of the
+// coordinator's mpi.Transport. internal/transport's WorkerConn implements it
+// over a socket; tests implement it over channels.
+type WorkerLink interface {
+	// Recv blocks until a frame from the coordinator arrives.
+	Recv() (mpi.Envelope, error)
+	// Send delivers a frame to the coordinator.
+	Send(e mpi.Envelope) error
+}
+
+// ErrNoWireSupport is returned (wrapped) when a distributed run is requested
+// for a program that does not implement WireProgram, or whose registry entry
+// lacks a Wire hook.
+var ErrNoWireSupport = errors.New("program has no wire codec")
+
+// runWire is RunOnLayout's body for wire transports: the same coordinator
+// fixpoint, driving remote workers through opts.Transport instead of
+// spawning goroutines. Each worker process receives a setup frame (program
+// name, encoded query, its fragment), runs PEval/IncEval on command, and
+// finally ships its encoded partial answer back for Assemble.
+func runWire[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
+	var zero R
+	wp, ok := any(prog).(WireProgram[Q, V, R])
+	if !ok {
+		return zero, nil, fmt.Errorf("engine: %s: %w", prog.Name(), ErrNoWireSupport)
+	}
+	tr := opts.Transport
+	n := len(layout.Fragments)
+	if tr.Workers() != n {
+		return zero, nil, fmt.Errorf("engine: transport has %d workers but the layout has %d fragments", tr.Workers(), n)
+	}
+	spec := prog.Spec()
+	codec := wp.WireCodec()
+
+	start := time.Now()
+	stats := &metrics.Stats{Engine: "grape/" + prog.Name(), Workers: n, Transport: "wire"}
+
+	qblob, err := wp.EncodeQuery(q)
+	if err != nil {
+		return zero, stats, fmt.Errorf("engine: encoding query: %w", err)
+	}
+	for i, f := range layout.Fragments {
+		setup := encodeSetup(prog.Name(), qblob, partition.AppendFragment(nil, f))
+		tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Frame: setup})
+	}
+
+	fold := newFoldState(spec, n)
+	stillActive := make(map[int]bool)
+	replies := make([]*workerReply[V], n)
+	collect := func(expect, step int) ([][]VarUpdate[V], int, error) {
+		return collectStep(tr, codec, fold, replies, stillActive, stats, layout, expect, step, opts.CheckMonotonic)
+	}
+	stopFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdStop})
+	stop := func() {
+		for i := 0; i < n; i++ {
+			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Frame: stopFrame})
+		}
+	}
+
+	if layout.ReplicationBytes > 0 {
+		tr.AddTraffic(int64(n), layout.ReplicationBytes)
+	}
+
+	// Superstep 1: PEval everywhere.
+	peFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdPEval})
+	for i := 0; i < n; i++ {
+		tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Frame: peFrame})
+	}
+	stats.Supersteps = 1
+	route, scheduled, err := collect(n, 1)
+	if err != nil {
+		stop()
+		return zero, stats, err
+	}
+	if layout.ReplicationBytes > 0 && len(stats.BytesPerStep) > 0 {
+		stats.BytesPerStep[0] += layout.ReplicationBytes
+	}
+
+	// Supersteps 2..: IncEval on fragments with pending updates, exactly as
+	// in RunOnLayout.
+	for scheduled > 0 || len(stillActive) > 0 {
+		if stats.Supersteps >= opts.MaxSupersteps {
+			stop()
+			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", prog.Name(), stats.Supersteps, ErrSuperstepLimit)
+		}
+		stats.Supersteps++
+		active := 0
+		for w := 0; w < n; w++ {
+			ups := route[w]
+			if len(ups) == 0 && !stillActive[w] {
+				continue
+			}
+			active++
+			frame, dataLen := encodeCmd(codec, workerCmd[V]{kind: cmdIncEval, updates: ups})
+			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Frame: frame, Size: dataLen})
+		}
+		route, scheduled, err = collect(active, stats.Supersteps)
+		if err != nil {
+			stop()
+			return zero, stats, err
+		}
+	}
+
+	// Fixpoint reached: pull every worker's encoded partial answer,
+	// reconstitute coordinator-side contexts, release the workers, Assemble.
+	asmFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdAssemble})
+	for i := 0; i < n; i++ {
+		tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Frame: asmFrame})
+	}
+	ctxs := make([]*Context[V], n)
+	for i, f := range layout.Fragments {
+		ctxs[i] = newContext(f, spec)
+	}
+	seen := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		env := tr.Recv(mpi.Coordinator)
+		blob, err := wireFrame(env)
+		if err == nil {
+			blob, err = decodePartialFrame(blob)
+		}
+		if err != nil {
+			stop()
+			return zero, stats, fmt.Errorf("engine: worker %d partial result: %w", env.From, err)
+		}
+		if env.From < 0 || env.From >= n || seen[env.From] {
+			stop()
+			return zero, stats, fmt.Errorf("engine: unexpected partial result from worker %d", env.From)
+		}
+		seen[env.From] = true
+		if err := decodePartial(wp, codec, q, ctxs[env.From], blob); err != nil {
+			stop()
+			return zero, stats, fmt.Errorf("engine: worker %d partial result: %w", env.From, err)
+		}
+	}
+	stop()
+
+	res, err := prog.Assemble(q, ctxs)
+	stats.Messages = tr.Messages()
+	stats.Bytes = tr.Bytes()
+	stats.WallTime = time.Since(start)
+	if err != nil {
+		return zero, stats, fmt.Errorf("engine: assemble: %w", err)
+	}
+	return res, stats, nil
+}
+
+// wireFrame unwraps an envelope from a wire transport, surfacing link
+// failures (delivered as a nil Frame with the error in Payload).
+func wireFrame(env mpi.Envelope) ([]byte, error) {
+	if env.Frame != nil {
+		return env.Frame, nil
+	}
+	if err, ok := env.Payload.(error); ok {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return nil, errors.New("transport: link closed")
+}
+
+// serveWire is the worker half of runWire: one fragment, one context, one
+// connection; commands in, encoded replies out. It mirrors workerLoop.
+func serveWire[Q, V, R any](prog WireProgram[Q, V, R], link WorkerLink, q Q, f *partition.Fragment) error {
+	spec := prog.Spec()
+	codec := prog.WireCodec()
+	ctx := newContext(f, spec)
+	for {
+		env, err := link.Recv()
+		if err != nil {
+			return fmt.Errorf("engine: worker %d: %w", f.Index, err)
+		}
+		cmd, err := decodeCmd(codec, env.Frame)
+		if err != nil {
+			return fmt.Errorf("engine: worker %d: %w", f.Index, err)
+		}
+		switch cmd.kind {
+		case cmdStop:
+			return nil
+		case cmdAssemble:
+			blob, perr := encodePartial(prog, codec, q, ctx)
+			size := 0
+			if perr == nil {
+				size = len(blob)
+			}
+			err = link.Send(mpi.Envelope{From: f.Index, To: mpi.Coordinator, Step: env.Step, Frame: encodePartialFrame(blob, perr), Size: size})
+		case cmdPEval:
+			ctx.active = false
+			perr := prog.PEval(q, ctx)
+			err = replyWire(link, codec, f.Index, env.Step, ctx, perr)
+		case cmdIncEval:
+			wasActive := ctx.active
+			ctx.active = false
+			ctx.apply(cmd.updates)
+			var perr error
+			if len(ctx.Updated()) > 0 || wasActive {
+				perr = prog.IncEval(q, ctx)
+			}
+			err = replyWire(link, codec, f.Index, env.Step, ctx, perr)
+		default:
+			return fmt.Errorf("engine: worker %d: command %d is not supported over a wire transport", f.Index, cmd.kind)
+		}
+		if err != nil {
+			return fmt.Errorf("engine: worker %d: %w", f.Index, err)
+		}
+	}
+}
+
+func replyWire[V any](link WorkerLink, codec Codec[V], w, step int, ctx *Context[V], perr error) error {
+	changes := ctx.flush()
+	frame, dataLen := encodeReply(codec, workerReply[V]{changes: changes, work: ctx.takeWork(), active: ctx.active, err: perr})
+	return link.Send(mpi.Envelope{From: w, To: mpi.Coordinator, Step: step, Frame: frame, Size: dataLen})
+}
+
+// encodePartial produces the worker's post-fixpoint payload for Assemble:
+// the program's PartialCodec encoding when it has one, else the default —
+// every set node variable, sorted by ID.
+func encodePartial[Q, V, R any](prog WireProgram[Q, V, R], codec Codec[V], q Q, ctx *Context[V]) ([]byte, error) {
+	if pc, ok := any(prog).(PartialCodec[Q, V]); ok {
+		return pc.EncodePartial(q, ctx)
+	}
+	var ups []VarUpdate[V]
+	ctx.Vars(func(id graph.ID, v V) {
+		ups = append(ups, VarUpdate[V]{ID: id, Val: v})
+	})
+	sortUpdates(ups)
+	return AppendUpdates(codec, nil, ups), nil
+}
+
+// decodePartial is the coordinator-side inverse of encodePartial.
+func decodePartial[Q, V, R any](prog WireProgram[Q, V, R], codec Codec[V], q Q, ctx *Context[V], blob []byte) error {
+	if pc, ok := any(prog).(PartialCodec[Q, V]); ok {
+		return pc.DecodePartial(q, ctx, blob)
+	}
+	ups, _, err := DecodeUpdates(codec, blob)
+	if err != nil {
+		return err
+	}
+	for _, u := range ups {
+		ctx.SetLocal(u.ID, u.Val)
+	}
+	return nil
+}
+
+// WireServe adapts a WireProgram into the type-erased worker hook registered
+// in Entry.Wire: it decodes the query from the setup frame and serves the
+// fixpoint on the given fragment until the coordinator sends stop.
+func WireServe[Q, V, R any](prog WireProgram[Q, V, R]) func(WorkerLink, []byte, *partition.Fragment) error {
+	return func(link WorkerLink, query []byte, f *partition.Fragment) error {
+		q, err := prog.DecodeQuery(query)
+		if err != nil {
+			return fmt.Errorf("engine: %s: decoding query: %w", prog.Name(), err)
+		}
+		return serveWire(prog, link, q, f)
+	}
+}
+
+// ServeWorker runs one distributed worker session on an established link: it
+// reads the setup frame, instantiates the registered program's worker loop
+// on the decoded fragment, and serves until the coordinator releases it.
+// cmd/grape-worker calls this after dialing the coordinator.
+func ServeWorker(link WorkerLink) error {
+	env, err := link.Recv()
+	if err != nil {
+		return fmt.Errorf("engine: reading setup frame: %w", err)
+	}
+	name, query, fragBlob, err := decodeSetup(env.Frame)
+	if err != nil {
+		return fmt.Errorf("engine: decoding setup frame: %w", err)
+	}
+	e, err := Lookup(name)
+	if err != nil {
+		return err
+	}
+	if e.Wire == nil {
+		return fmt.Errorf("engine: %s: %w", name, ErrNoWireSupport)
+	}
+	f, _, err := partition.DecodeFragment(fragBlob)
+	if err != nil {
+		return fmt.Errorf("engine: decoding fragment: %w", err)
+	}
+	return e.Wire(link, query, f)
+}

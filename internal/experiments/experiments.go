@@ -8,7 +8,10 @@
 //
 // Times are simulated cluster seconds from metrics.CostModel (see that
 // package for why), communication is measured bytes crossing the worker
-// boundary, supersteps and work units are exact counts.
+// boundary, supersteps and work units are exact counts. All experiments run
+// on the in-process bus so byte columns stay comparable across engines; the
+// socket transport (internal/transport) reports measured encodings instead
+// and is exercised by its own equivalence and smoke tests.
 package experiments
 
 import (

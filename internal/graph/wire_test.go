@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGraphWireRoundTrip(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		var g *Graph
+		if directed {
+			g = New()
+		} else {
+			g = NewUndirected()
+		}
+		g.AddVertex(10, "person")
+		g.AddVertex(3, "")
+		g.AddVertex(77, "product")
+		g.SetProps(10, []string{"db", "graph"})
+		g.AddLabeledEdge(10, 3, 1.5, "follows")
+		g.AddLabeledEdge(3, 77, 2.25, "")
+		g.AddEdge(10, 77, 0.125)
+
+		buf := AppendGraph(nil, g)
+		got, used, err := DecodeGraph(buf)
+		if err != nil {
+			t.Fatalf("directed=%v: %v", directed, err)
+		}
+		if used != len(buf) {
+			t.Fatalf("directed=%v: consumed %d of %d bytes", directed, used, len(buf))
+		}
+		if !reflect.DeepEqual(got, g.Clone()) && !sameGraph(got, g) {
+			t.Fatalf("directed=%v: decoded graph differs", directed)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("directed=%v: decoded graph invalid: %v", directed, err)
+		}
+		// dense order must be preserved exactly — worker-side iteration
+		// order, and hence PEval behaviour, depends on it
+		if !reflect.DeepEqual(got.Vertices(), g.Vertices()) {
+			t.Fatalf("directed=%v: vertex order changed: %v vs %v", directed, got.Vertices(), g.Vertices())
+		}
+	}
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.Directed() != b.Directed() || a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for _, v := range b.Vertices() {
+		if a.Label(v) != b.Label(v) || !reflect.DeepEqual(a.Props(v), b.Props(v)) {
+			return false
+		}
+		if !reflect.DeepEqual(a.Out(v), b.Out(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecodeGraphRejectsGarbage(t *testing.T) {
+	good := AppendGraph(nil, func() *Graph {
+		g := New()
+		g.AddVertex(1, "a")
+		g.AddEdge(1, 1, 2)
+		return g
+	}())
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := DecodeGraph(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	if _, _, err := DecodeGraph([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}

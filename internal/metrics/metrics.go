@@ -29,6 +29,12 @@ type Stats struct {
 	Workers    int
 	Supersteps int
 
+	// Transport names the substrate the run used: "" for the in-process
+	// bus, "wire" for a socket transport. It qualifies Messages and Bytes:
+	// bus runs estimate bytes from each program's declared Size function,
+	// wire runs measure the actual encoded payload lengths.
+	Transport string
+
 	// Messages and Bytes are cross-worker data traffic (what would hit the
 	// network on a real cluster).
 	Messages int64

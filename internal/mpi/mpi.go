@@ -1,9 +1,23 @@
-// Package mpi is the reproduction's stand-in for the paper's MPI Controller
-// (MPICH2 in the C++ prototype): a message-passing substrate between one
-// coordinator and n workers. Workers are goroutines; channels replace network
-// sockets. All cross-party traffic flows through a Bus, which meters message
-// and byte counts — the communication columns of Table 1 are measurements of
-// what crosses this bus.
+// Package mpi defines the message-passing substrate between one coordinator
+// and n workers — the reproduction's stand-in for the paper's MPI Controller
+// (MPICH2 in the C++ prototype). All cross-party traffic flows through a
+// Transport, which meters message and byte counts; the communication columns
+// of Table 1 are measurements of what crosses it.
+//
+// Two implementations exist:
+//
+//   - Bus (this package): the in-process transport. Workers are goroutines,
+//     channels replace network sockets, and payloads travel by reference, so
+//     byte counts are estimates derived from each program's VarSpec.Size.
+//   - transport.Coordinator / transport.WorkerConn (package
+//     internal/transport): the wire transport. Workers are separate OS
+//     processes connected over TCP or Unix sockets; payloads travel as
+//     length-prefixed binary frames encoded by each program's wire codec, so
+//     byte counts are the actual encoded lengths.
+//
+// The engine chooses how to fill an Envelope based on Transport.Wire: wire
+// transports require Frame (encoded bytes), the in-process bus carries
+// Payload (a Go value).
 package mpi
 
 import (
@@ -14,19 +28,56 @@ import (
 // Coordinator is the party index of the coordinator P0. Workers are 0..n-1.
 const Coordinator = -1
 
-// Envelope is a routed message. Payload is engine-defined; Size is the
-// payload's serialized size in bytes as reported by the sender (IDs are 8
-// bytes, values sized by the program's Size function).
+// Envelope is a routed message. Exactly one of Payload and Frame carries the
+// content: Payload is an engine-defined Go value (in-process bus), Frame is
+// its wire encoding (socket transports). Size is the payload's data size in
+// bytes — the serialized-size estimate from the program's Size function on
+// the in-process bus, the actual encoded length of the data section on a
+// wire transport.
 type Envelope struct {
 	From    int
 	To      int
 	Step    int // superstep the message belongs to
 	Payload any
+	Frame   []byte
 	Size    int
 }
 
-// Bus connects a coordinator with n workers. Each party has an unbounded
-// inbox drained by Recv. A Bus is single-use per engine run.
+// Transport connects a coordinator with n workers and meters the data
+// traffic crossing it. The engine drives one run over one Transport; both
+// the coordinator loop and (for the in-process Bus) the worker goroutines
+// speak through it.
+type Transport interface {
+	// Workers returns the number of workers on the transport.
+	Workers() int
+	// Send routes e to e.To (Coordinator or a worker index) and meters it
+	// when e.Size > 0. Control messages with Size 0 are not counted as
+	// communication; the paper's numbers measure data shipped, not BSP
+	// barriers.
+	Send(e Envelope)
+	// Recv blocks until a message for the given party arrives. Wire
+	// transports serve only party == Coordinator (remote workers hold their
+	// own WorkerConn); on a broken worker link they deliver an Envelope with
+	// a nil Frame whose Payload is the error.
+	Recv(party int) Envelope
+	// Messages returns the number of data messages sent so far.
+	Messages() int64
+	// Bytes returns the number of data bytes sent so far.
+	Bytes() int64
+	// AddTraffic meters communication that bypasses Send, e.g. engines that
+	// account batched per-vertex messages analytically, or the d-hop
+	// fragment replication charged before superstep 1.
+	AddTraffic(msgs, bytes int64)
+	// Wire reports whether payloads cross a process boundary. When true the
+	// engine must fill Envelope.Frame with the program's wire encoding and
+	// Size with its measured data length; when false Payload travels by
+	// reference and Size falls back to the VarSpec.Size estimate.
+	Wire() bool
+}
+
+// Bus is the in-process Transport: it connects a coordinator with n worker
+// goroutines over channels. Each party has an unbounded inbox drained by
+// Recv. A Bus is single-use per engine run.
 type Bus struct {
 	n        int
 	toWorker []chan Envelope
@@ -35,6 +86,8 @@ type Bus struct {
 	msgs  atomic.Int64
 	bytes atomic.Int64
 }
+
+var _ Transport = (*Bus)(nil)
 
 // NewBus returns a Bus for n workers. buf sets per-inbox channel capacity;
 // engines size it so that a full superstep of traffic never blocks.
@@ -87,3 +140,6 @@ func (b *Bus) AddTraffic(msgs, bytes int64) {
 	b.msgs.Add(msgs)
 	b.bytes.Add(bytes)
 }
+
+// Wire reports that Bus payloads stay in-process.
+func (b *Bus) Wire() bool { return false }

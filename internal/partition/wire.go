@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"grape/internal/graph"
+)
+
+// Wire encoding of a Fragment, used by the socket transport to ship each
+// worker its fragment during the setup handshake. Everything a worker-side
+// PIE program touches is included: the local subgraph (in its exact dense
+// order, via graph.AppendGraph), the Inner/Outer/InnerBorder lists, and a
+// local ownership table so Fragment.Owner keeps answering for every local
+// vertex.
+
+// AppendFragment appends the wire encoding of f to buf and returns the
+// extended buffer.
+func AppendFragment(buf []byte, f *Fragment) []byte {
+	buf = binary.AppendUvarint(buf, uint64(f.Index))
+	buf = binary.AppendUvarint(buf, uint64(f.asg.N))
+	buf = graph.AppendGraph(buf, f.G)
+	for _, id := range f.G.Vertices() {
+		buf = binary.AppendUvarint(buf, uint64(f.asg.Owner(id)))
+	}
+	buf = appendIDList(buf, f.Inner)
+	buf = appendIDList(buf, f.Outer)
+	return appendIDList(buf, f.InnerBorder)
+}
+
+// DecodeFragment decodes a fragment encoded by AppendFragment from the front
+// of data, returning the fragment and the number of bytes consumed. The
+// decoded fragment's ownership table covers its local vertices only (that is
+// all a worker can see).
+func DecodeFragment(data []byte) (*Fragment, int, error) {
+	pos := 0
+	idx, err := graph.ReadUvarint(data, &pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := graph.ReadUvarint(data, &pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, fmt.Errorf("partition: fragment encodes zero workers")
+	}
+	g, used, err := graph.DecodeGraph(data[pos:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += used
+	asg := NewAssignment(g, int(n))
+	for _, id := range g.Vertices() {
+		w, err := graph.ReadUvarint(data, &pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		if w >= n {
+			return nil, 0, fmt.Errorf("partition: vertex %d owned by out-of-range worker %d", id, w)
+		}
+		asg.SetOwner(id, int(w))
+	}
+	f := &Fragment{Index: int(idx), G: g, inner: make(map[graph.ID]bool), asg: asg}
+	if f.Inner, err = decodeIDList(data, &pos); err != nil {
+		return nil, 0, err
+	}
+	if f.Outer, err = decodeIDList(data, &pos); err != nil {
+		return nil, 0, err
+	}
+	if f.InnerBorder, err = decodeIDList(data, &pos); err != nil {
+		return nil, 0, err
+	}
+	for _, id := range f.Inner {
+		if !g.Has(id) {
+			return nil, 0, fmt.Errorf("partition: inner vertex %d missing from fragment graph", id)
+		}
+		f.inner[id] = true
+	}
+	for _, id := range append(append([]graph.ID(nil), f.Outer...), f.InnerBorder...) {
+		if !g.Has(id) {
+			return nil, 0, fmt.Errorf("partition: border vertex %d missing from fragment graph", id)
+		}
+	}
+	return f, pos, nil
+}
+
+func appendIDList(buf []byte, ids []graph.ID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	return buf
+}
+
+func decodeIDList(data []byte, pos *int) ([]graph.ID, error) {
+	n, err := graph.ReadUvarint(data, pos)
+	if err != nil {
+		return nil, err
+	}
+	var ids []graph.ID
+	for i := uint64(0); i < n; i++ {
+		id, err := graph.ReadUvarint(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, graph.ID(id))
+	}
+	return ids, nil
+}

@@ -229,6 +229,7 @@ func init() {
 		Name:        "cc",
 		Description: "weakly connected components (union-find PEval, label-merging bounded IncEval, min aggregate)",
 		QueryHelp:   "(no parameters)",
+		Wire:        engine.WireServe(CC{}),
 		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
 			return engine.Run(g, CC{}, CCQuery{}, opts)
 		},

@@ -199,6 +199,7 @@ func init() {
 		Name:        "cf",
 		Description: "collaborative filtering via SGD matrix factorization (one epoch per superstep, parameter averaging)",
 		QueryHelp:   "[epochs=<n>] [k=<factors>] [lr=<rate>] [reg=<lambda>]",
+		Wire:        engine.WireServe(CF{}),
 		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
 			kv, err := parseKV(query)
 			if err != nil {

@@ -209,6 +209,7 @@ func init() {
 		Name:        "keyword",
 		Description: "keyword search (multi-source Dijkstra per keyword via the inverted index, element-wise min aggregate)",
 		QueryHelp:   "k=<w1,w2,...> bound=<d> [noindex=1]",
+		Wire:        engine.WireServe(Keyword{}),
 		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
 			kv, err := parseKV(query)
 			if err != nil {

@@ -119,6 +119,7 @@ func init() {
 		Name:        "sim",
 		Description: "graph pattern matching via simulation (HHK refinement PEval, incremental refinement IncEval, ∩ aggregate)",
 		QueryHelp:   "pattern=<name from queries.Patterns>",
+		Wire:        engine.WireServe(Sim{}),
 		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
 			kv, err := parseKV(query)
 			if err != nil {

@@ -107,6 +107,7 @@ func init() {
 		Name:        "sssp",
 		Description: "single-source shortest paths (Example 1: Dijkstra + bounded incremental relaxation, min aggregate)",
 		QueryHelp:   "source=<vertex id>",
+		Wire:        engine.WireServe(SSSP{}),
 		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
 			kv, err := parseKV(query)
 			if err != nil {

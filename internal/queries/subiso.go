@@ -136,6 +136,7 @@ func init() {
 		Name:        "subiso",
 		Description: "subgraph isomorphism (VF2-style PEval on d-hop expanded fragments; single superstep)",
 		QueryHelp:   "pattern=<name> [max=<k>]",
+		Wire:        engine.WireServe(SubIso{}),
 		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
 			kv, err := parseKV(query)
 			if err != nil {

@@ -157,6 +157,7 @@ func init() {
 		Name:        "tricount",
 		Description: "triangle counting (pivot enumeration on 1-hop expanded fragments; single superstep)",
 		QueryHelp:   "(no parameters)",
+		Wire:        engine.WireServe(TriCount{}),
 		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
 			res, stats, err := RunTriCount(g, opts)
 			return any(res), stats, err

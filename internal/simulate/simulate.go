@@ -13,6 +13,10 @@
 //
 // One GRAPE superstep therefore corresponds to exactly one Pregel superstep,
 // which tests verify (supersteps match between native and simulated runs).
+//
+// The adapter's consumable message queues live on the in-process bus only;
+// it is not registered for the socket transport (see ARCHITECTURE.md on
+// choosing a substrate).
 package simulate
 
 import (

@@ -1,0 +1,115 @@
+package transport_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/queries"
+	"grape/internal/seq"
+	"grape/internal/transport"
+)
+
+// TestDistributedSmoke is the distributed smoke job: SSSP and CC across 4
+// real grape-worker OS processes over the socket transport, diffed against
+// the sequential ground truth in internal/seq. CI runs it explicitly; it
+// skips under -short because it builds the worker binary.
+func TestDistributedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns processes")
+	}
+	bin := filepath.Join(t.TempDir(), "grape-worker")
+	build := exec.Command("go", "build", "-o", bin, "grape/cmd/grape-worker")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building grape-worker: %v\n%s", err, out)
+	}
+
+	const workers = 4
+	spawn := func(t *testing.T, addr string) {
+		t.Helper()
+		for i := 0; i < workers; i++ {
+			cmd := exec.Command(bin, "-connect", addr, "-quiet")
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("starting worker %d: %v", i, err)
+			}
+			proc := cmd
+			t.Cleanup(func() { proc.Process.Kill(); proc.Wait() })
+		}
+	}
+	listen := func(t *testing.T) (*transport.Coordinator, string) {
+		t.Helper()
+		l, err := transport.NewListener("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		addr := l.Addr().String()
+		spawn(t, addr)
+		tr, err := l.AcceptWorkers(workers, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr, addr
+	}
+
+	t.Run("sssp", func(t *testing.T) {
+		g := gen.RoadGrid(48, 48, 1)
+		tr, _ := listen(t)
+		got, stats, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+			engine.Options{Workers: workers, Transport: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := seq.Dijkstra(g, 0); !reflect.DeepEqual(got, want) {
+			t.Fatalf("distributed SSSP differs from sequential Dijkstra (%d vs %d vertices)", len(got), len(want))
+		}
+		busRes, busStats, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+			engine.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, busRes) {
+			t.Fatal("distributed SSSP differs from the in-process bus result")
+		}
+		if stats.Supersteps != busStats.Supersteps {
+			t.Fatalf("superstep counts differ: wire %d, bus %d", stats.Supersteps, busStats.Supersteps)
+		}
+	})
+
+	t.Run("cc", func(t *testing.T) {
+		g := gen.PreferentialAttachment(2000, 3, 7)
+		for v := 5000; v < 5010; v++ { // a few extra components
+			g.AddVertex(graph.ID(v), "")
+		}
+		tr, _ := listen(t)
+		got, stats, err := engine.Run(g, queries.CC{}, queries.CCQuery{},
+			engine.Options{Workers: workers, Transport: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := seq.Components(g); !reflect.DeepEqual(got, want) {
+			t.Fatal("distributed CC differs from sequential union-find")
+		}
+		busRes, busStats, err := engine.Run(g, queries.CC{}, queries.CCQuery{},
+			engine.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, busRes) {
+			t.Fatal("distributed CC differs from the in-process bus result")
+		}
+		if stats.Supersteps != busStats.Supersteps {
+			t.Fatalf("superstep counts differ: wire %d, bus %d", stats.Supersteps, busStats.Supersteps)
+		}
+	})
+}

@@ -1,0 +1,421 @@
+// Package transport is the wire implementation of mpi.Transport: a
+// length-prefixed binary frame protocol over TCP or Unix-domain sockets that
+// lets each GRAPE worker run as a separate OS process. It is the second of
+// the engine's two substrates — internal/mpi's Bus keeps workers as
+// goroutines and estimates traffic; this package puts real sockets between
+// the parties and meters the actual encoded bytes.
+//
+// Topology and handshake: the coordinator listens; each worker process
+// (cmd/grape-worker) dials, sends a 8-byte hello (magic + protocol version),
+// and receives its assigned worker index and the total worker count. Workers
+// are indexed in accept order. After the handshake the engine takes over:
+// the coordinator ships each worker a setup frame (program name, encoded
+// query, its fragment) followed by the PIE command stream; the worker
+// answers with encoded replies and, after the fixpoint, its partial answer
+// (see internal/engine/wire.go for the frame contents).
+//
+// Frame layout on the socket, all integers big-endian:
+//
+//	uint32  length of the rest (step + size + payload)
+//	int32   superstep
+//	int32   metered data size (0 = control; only data counts as traffic,
+//	        matching the in-process bus's accounting)
+//	bytes   payload (engine-encoded)
+//
+// Failure model: a worker link that breaks mid-run surfaces as an Envelope
+// with a nil Frame and the error in Payload, which the engine turns into a
+// run error; sends to a broken link are dropped (the subsequent Recv fails
+// the run). The transport adds no retries — a lost worker fails the run, as
+// it would in the paper's MPI setting.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"grape/internal/mpi"
+)
+
+// retryableDial reports whether a dial error means "the coordinator is not
+// up yet" rather than a permanent misconfiguration.
+func retryableDial(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ENOENT) ||
+		errors.Is(err, os.ErrNotExist)
+}
+
+const (
+	magic   = "GRPW"
+	version = 1
+	// maxFrame caps a single frame: fragments of very large graphs dominate
+	// frame sizes; 1 GiB is far beyond anything this repo generates while
+	// still bounding a corrupted length prefix.
+	maxFrame = 1 << 30
+)
+
+// Listener accepts worker connections for one distributed run.
+type Listener struct {
+	ln net.Listener
+}
+
+// NewListener starts listening on network ("tcp" or "unix") and addr.
+// Use Addr to discover the bound address when addr requests an ephemeral
+// port (":0").
+func NewListener(network, addr string) (*Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s %s: %w", network, addr, err)
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops accepting workers.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// AcceptWorkers blocks until n workers have dialed and completed the
+// handshake (or timeout elapses), then returns the connected coordinator
+// transport. The listener stays open and can accept another round.
+func (l *Listener) AcceptWorkers(n int, timeout time.Duration) (*Coordinator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: need a positive worker count, got %d", n)
+	}
+	deadline := time.Now().Add(timeout)
+	c := &Coordinator{
+		n:     n,
+		conns: make([]*conn, n),
+		inbox: make(chan mpi.Envelope, 4*n+16),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		for {
+			if d, ok := l.ln.(interface{ SetDeadline(time.Time) error }); ok {
+				d.SetDeadline(deadline)
+			}
+			nc, err := l.ln.Accept()
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("transport: accepting worker %d of %d: %w", i, n, err)
+			}
+			cn := newConn(nc)
+			if err := handshakeCoordinator(cn, i, n, deadline); err != nil {
+				// A stray connection (port scanner, wrong client) must not
+				// abort the workers already accepted: drop it and keep the
+				// slot open until the deadline.
+				nc.Close()
+				if time.Now().After(deadline) {
+					c.Close()
+					return nil, fmt.Errorf("transport: worker %d handshake: %w", i, err)
+				}
+				continue
+			}
+			c.conns[i] = cn
+			break
+		}
+	}
+	if d, ok := l.ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(time.Time{})
+	}
+	for i, cn := range c.conns {
+		c.wg.Add(1)
+		go c.reader(i, cn)
+	}
+	return c, nil
+}
+
+// Listen is NewListener + AcceptWorkers for callers with a fixed address.
+func Listen(network, addr string, n int, timeout time.Duration) (*Coordinator, *Listener, error) {
+	l, err := NewListener(network, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := l.AcceptWorkers(n, timeout)
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	return c, l, nil
+}
+
+// Coordinator is the coordinator's side of the socket transport: an
+// mpi.Transport whose workers live in other processes. A Coordinator is
+// single-use per engine run; Close it when the run finishes.
+type Coordinator struct {
+	n     int
+	conns []*conn
+	inbox chan mpi.Envelope
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+var _ mpi.Transport = (*Coordinator)(nil)
+
+// Workers returns the number of connected worker processes.
+func (c *Coordinator) Workers() int { return c.n }
+
+// Wire reports that payloads cross a process boundary.
+func (c *Coordinator) Wire() bool { return true }
+
+// Send writes e's frame to worker e.To and meters e.Size. A failed write —
+// socket error or a frame over the size limit — closes that worker's link,
+// so the reader surfaces the failure on the next Recv, which is where the
+// engine handles faults; Send itself stays error-free for the hot path.
+func (c *Coordinator) Send(e mpi.Envelope) {
+	if e.To < 0 || e.To >= c.n {
+		panic(fmt.Sprintf("transport: send to unknown worker %d", e.To))
+	}
+	if e.Size > 0 {
+		c.msgs.Add(1)
+		c.bytes.Add(int64(e.Size))
+	}
+	if err := c.conns[e.To].writeFrame(e.Step, e.Size, e.Frame); err != nil {
+		c.conns[e.To].nc.Close()
+	}
+}
+
+// Recv blocks until any worker delivers a frame (party must be
+// mpi.Coordinator; workers hold their own WorkerConn in their own process).
+// A broken link yields an Envelope with a nil Frame and the error in
+// Payload.
+func (c *Coordinator) Recv(party int) mpi.Envelope {
+	if party != mpi.Coordinator {
+		panic(fmt.Sprintf("transport: coordinator cannot receive for party %d", party))
+	}
+	env := <-c.inbox
+	if env.Size > 0 {
+		c.msgs.Add(1)
+		c.bytes.Add(int64(env.Size))
+	}
+	return env
+}
+
+// Messages returns the number of data messages metered so far.
+func (c *Coordinator) Messages() int64 { return c.msgs.Load() }
+
+// Bytes returns the number of data bytes metered so far.
+func (c *Coordinator) Bytes() int64 { return c.bytes.Load() }
+
+// AddTraffic meters communication that bypasses Send, e.g. the d-hop
+// replication charged when fragments were expanded.
+func (c *Coordinator) AddTraffic(msgs, bytes int64) {
+	c.msgs.Add(msgs)
+	c.bytes.Add(bytes)
+}
+
+// Close tears the links down and waits for the readers to drain.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		for _, cn := range c.conns {
+			if cn != nil {
+				cn.nc.Close()
+			}
+		}
+	})
+	c.wg.Wait()
+	return nil
+}
+
+// reader pumps one worker's frames into the shared inbox until the link
+// breaks or the coordinator closes.
+func (c *Coordinator) reader(w int, cn *conn) {
+	defer c.wg.Done()
+	for {
+		step, size, payload, err := cn.readFrame()
+		if err != nil {
+			select {
+			case <-c.done: // deliberate shutdown; not a fault
+			default:
+				select {
+				case c.inbox <- mpi.Envelope{From: w, To: mpi.Coordinator, Payload: fmt.Errorf("worker %d link: %w", w, err)}:
+				case <-c.done:
+				}
+			}
+			return
+		}
+		select {
+		case c.inbox <- mpi.Envelope{From: w, To: mpi.Coordinator, Step: step, Size: size, Frame: payload}:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// WorkerConn is a worker process's end of the transport; it implements
+// engine.WorkerLink. Obtain one with Dial.
+type WorkerConn struct {
+	cn    *conn
+	index int
+	n     int
+}
+
+// Dial connects to a coordinator at addr, retrying "not up yet" failures
+// (connection refused, unix socket not created) until timeout — worker
+// processes often start before the coordinator listens — and completes the
+// handshake. Permanent errors (bad network kind, unroutable address) fail
+// immediately.
+func Dial(network, addr string, timeout time.Duration) (*WorkerConn, error) {
+	deadline := time.Now().Add(timeout)
+	var nc net.Conn
+	var err error
+	for {
+		d := net.Dialer{Deadline: deadline}
+		nc, err = d.Dial(network, addr)
+		if err == nil {
+			break
+		}
+		if !retryableDial(err) || time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s %s: %w", network, addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cn := newConn(nc)
+	index, n, err := handshakeWorker(cn, deadline)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("transport: handshake with %s: %w", addr, err)
+	}
+	return &WorkerConn{cn: cn, index: index, n: n}, nil
+}
+
+// Index returns the worker index the coordinator assigned.
+func (w *WorkerConn) Index() int { return w.index }
+
+// N returns the total number of workers in the run.
+func (w *WorkerConn) N() int { return w.n }
+
+// Recv blocks until a frame from the coordinator arrives.
+func (w *WorkerConn) Recv() (mpi.Envelope, error) {
+	step, size, payload, err := w.cn.readFrame()
+	if err != nil {
+		return mpi.Envelope{}, err
+	}
+	return mpi.Envelope{From: mpi.Coordinator, To: w.index, Step: step, Size: size, Frame: payload}, nil
+}
+
+// Send delivers a frame to the coordinator.
+func (w *WorkerConn) Send(e mpi.Envelope) error {
+	return w.cn.writeFrame(e.Step, e.Size, e.Frame)
+}
+
+// Close closes the link.
+func (w *WorkerConn) Close() error { return w.cn.nc.Close() }
+
+// conn wraps a socket with buffered framing; writes are serialized by mu.
+type conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func newConn(nc net.Conn) *conn {
+	return &conn{nc: nc, br: bufio.NewReaderSize(nc, 1<<16), bw: bufio.NewWriterSize(nc, 1<<16)}
+}
+
+func (c *conn) writeFrame(step, size int, payload []byte) error {
+	if len(payload) > maxFrame-8 {
+		return fmt.Errorf("transport: frame payload of %d bytes exceeds the %d limit", len(payload), maxFrame-8)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(8+len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(step)))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(int32(size)))
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *conn) readFrame() (step, size int, payload []byte, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:])
+	if length < 8 || length > maxFrame {
+		return 0, 0, nil, fmt.Errorf("transport: bad frame length %d", length)
+	}
+	step = int(int32(binary.BigEndian.Uint32(hdr[4:])))
+	size = int(int32(binary.BigEndian.Uint32(hdr[8:])))
+	if size < 0 {
+		return 0, 0, nil, fmt.Errorf("transport: negative frame data size %d", size)
+	}
+	payload = make([]byte, length-8)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return step, size, payload, nil
+}
+
+func handshakeCoordinator(cn *conn, index, n int, deadline time.Time) error {
+	cn.nc.SetDeadline(deadline)
+	defer cn.nc.SetDeadline(time.Time{})
+	var hello [8]byte
+	if _, err := io.ReadFull(cn.br, hello[:]); err != nil {
+		return err
+	}
+	if string(hello[:4]) != magic {
+		return fmt.Errorf("bad magic %q", hello[:4])
+	}
+	if v := binary.BigEndian.Uint32(hello[4:]); v != version {
+		return fmt.Errorf("protocol version %d, want %d", v, version)
+	}
+	var resp [8]byte
+	binary.BigEndian.PutUint32(resp[0:], uint32(index))
+	binary.BigEndian.PutUint32(resp[4:], uint32(n))
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if _, err := cn.bw.Write(resp[:]); err != nil {
+		return err
+	}
+	return cn.bw.Flush()
+}
+
+func handshakeWorker(cn *conn, deadline time.Time) (index, n int, err error) {
+	cn.nc.SetDeadline(deadline)
+	defer cn.nc.SetDeadline(time.Time{})
+	var hello [8]byte
+	copy(hello[:4], magic)
+	binary.BigEndian.PutUint32(hello[4:], version)
+	cn.mu.Lock()
+	_, err = cn.bw.Write(hello[:])
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	cn.mu.Unlock()
+	if err != nil {
+		return 0, 0, err
+	}
+	var resp [8]byte
+	if _, err := io.ReadFull(cn.br, resp[:]); err != nil {
+		return 0, 0, err
+	}
+	index = int(binary.BigEndian.Uint32(resp[0:]))
+	n = int(binary.BigEndian.Uint32(resp[4:]))
+	if n <= 0 || index < 0 || index >= n {
+		return 0, 0, fmt.Errorf("bad handshake response: index %d of %d", index, n)
+	}
+	return index, n, nil
+}

@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := newConn(a), newConn(b)
+	payload := bytes.Repeat([]byte{0xab, 0x01}, 1000)
+	go func() {
+		if err := ca.writeFrame(7, 42, payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	step, size, got, err := cb.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 7 || size != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame mangled: step %d size %d len %d", step, size, len(got))
+	}
+}
+
+func TestFrameRejectsBadLength(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		// 4-byte length claiming 2 GiB
+		a.Write([]byte{0x80, 0x00, 0x00, 0x00, 0, 0, 0, 0, 0, 0, 0, 0})
+	}()
+	if _, _, _, err := newConn(b).readFrame(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestHandshakeSurvivesBadMagic: a stray connection (wrong magic) must be
+// dropped without aborting the accept round — a later legitimate worker
+// still gets the slot.
+func TestHandshakeSurvivesBadMagic(t *testing.T) {
+	l, err := NewListener("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type result struct {
+		c   *Coordinator
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		c, err := l.AcceptWorkers(1, 5*time.Second)
+		done <- result{c, err}
+	}()
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Write([]byte("NOPE\x00\x00\x00\x01"))
+	w, err := Dial("tcp", l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("legitimate worker rejected after stray connection: %v", err)
+	}
+	defer w.Close()
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("accept round failed: %v", r.err)
+	}
+	r.c.Close()
+	if w.Index() != 0 || w.N() != 1 {
+		t.Fatalf("worker got index %d of %d", w.Index(), w.N())
+	}
+}
+
+func TestDialFailsFastOnPermanentError(t *testing.T) {
+	start := time.Now()
+	_, err := Dial("unixx", "/nonexistent", 10*time.Second)
+	if err == nil {
+		t.Fatal("bad network kind accepted")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("permanent dial error retried for %v", elapsed)
+	}
+}
