@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"grape/internal/engine"
+	"grape/internal/experiments"
+	"grape/internal/gen"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+	"grape/internal/queries"
+	"grape/internal/seq"
+)
+
+// benchRow is one workload of the machine-readable bench matrix: wall time
+// and allocation rate from testing.Benchmark, plus the BSP metrics (simulated
+// milliseconds, communication, supersteps) of the workload's last run.
+type benchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	SimMs       float64 `json:"sim_ms"`
+	CommKB      float64 `json:"comm_kb"`
+	Steps       int     `json:"steps"`
+}
+
+type benchMatrix struct {
+	Scale experiments.Scale `json:"scale"`
+	Rows  []benchRow        `json:"rows"`
+}
+
+// runJSONBench measures the end-to-end engine matrix — the seven registered
+// query classes plus the prebuilt-layout coordinator-fold guardrail — and
+// writes it as JSON. The same numbers `go test -bench` reports, but runnable
+// without the test harness (CI's bench-smoke job uploads the artifact, and
+// BENCH_PR*.json baselines are committed from it).
+func runJSONBench(sc experiments.Scale, path string) error {
+	road := sc.Road()
+	social := sc.Social()
+	commerce := sc.Commerce()
+	gen.AttachKeywords(social, []string{"db", "graph", "ml"}, 2, 0.05, sc.Seed)
+	ratings := gen.Ratings(gen.RatingsConfig{Users: sc.Users, Items: sc.Items, RatingsPerUser: 12, Factors: 4, Noise: 0.1, Seed: sc.Seed})
+	pattern, err := queries.PatternByName("follows-recommend")
+	if err != nil {
+		return err
+	}
+	spatial := partition.TwoD{Cols: sc.RoadCols}
+	asg, err := spatial.Partition(road, 8)
+	if err != nil {
+		return err
+	}
+	layout := partition.Build(road, asg)
+
+	cfg := seq.DefaultCFConfig()
+	cfg.Epochs = 10
+
+	cases := []struct {
+		name string
+		run  func() (*metrics.Stats, error)
+	}{
+		{"fold/sssp", func() (*metrics.Stats, error) {
+			_, st, err := engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+			return st, err
+		}},
+		{"fold/cc", func() (*metrics.Stats, error) {
+			_, st, err := engine.RunOnLayout(layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
+			return st, err
+		}},
+		{"e2e/sssp", func() (*metrics.Stats, error) {
+			_, st, err := engine.Run(road, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 8, Strategy: spatial})
+			return st, err
+		}},
+		{"e2e/cc", func() (*metrics.Stats, error) {
+			_, st, err := engine.Run(road, queries.CC{}, queries.CCQuery{}, engine.Options{Workers: 8, Strategy: spatial})
+			return st, err
+		}},
+		{"e2e/sim", func() (*metrics.Stats, error) {
+			_, st, err := engine.Run(commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern}, engine.Options{Workers: 8})
+			return st, err
+		}},
+		{"e2e/subiso", func() (*metrics.Stats, error) {
+			_, st, err := queries.RunSubIso(commerce, queries.SubIsoQuery{Pattern: pattern}, engine.Options{Workers: 8})
+			return st, err
+		}},
+		{"e2e/keyword", func() (*metrics.Stats, error) {
+			q := queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true}
+			_, st, err := engine.Run(social, queries.Keyword{}, q, engine.Options{Workers: 8})
+			return st, err
+		}},
+		{"e2e/cf", func() (*metrics.Stats, error) {
+			_, st, err := engine.Run(ratings, queries.CF{}, queries.CFQuery{Cfg: cfg}, engine.Options{Workers: 8})
+			return st, err
+		}},
+		{"e2e/tricount", func() (*metrics.Stats, error) {
+			_, st, err := queries.RunTriCount(social, engine.Options{Workers: 8})
+			return st, err
+		}},
+	}
+
+	cm := metrics.DefaultCostModel()
+	matrix := benchMatrix{Scale: sc}
+	for _, tc := range cases {
+		var last *metrics.Stats
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := tc.run()
+				if err != nil {
+					runErr = err
+					b.Fatal(err)
+				}
+				last = st
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", tc.name, runErr)
+		}
+		matrix.Rows = append(matrix.Rows, benchRow{
+			Name:        tc.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			SimMs:       cm.SimSeconds(last) * 1e3,
+			CommKB:      float64(last.Bytes) / 1e3,
+			Steps:       last.Supersteps,
+		})
+		fmt.Fprintf(os.Stderr, "grape-bench: %-14s %12d ns/op %9d allocs/op %9.1f comm-KB %4d steps\n",
+			tc.name, r.NsPerOp(), r.AllocsPerOp(), float64(last.Bytes)/1e3, last.Supersteps)
+	}
+	data, err := json.MarshalIndent(matrix, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

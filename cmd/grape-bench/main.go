@@ -36,11 +36,26 @@ func main() {
 		cols    = flag.Int("cols", 128, "road grid cols")
 		socialN = flag.Int("social", 20000, "social graph vertices")
 		seed    = flag.Int64("seed", 1, "dataset seed")
+		jsonOut = flag.String("json", "", "write the bench matrix (ns/op, allocs/op, sim-ms, comm-KB, steps) as JSON to this file and exit")
+		smoke   = flag.Bool("smoke", false, "with -json: reduced scale for CI smoke runs")
 	)
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
 	sc.RoadRows, sc.RoadCols, sc.SocialN, sc.Seed = *rows, *cols, *socialN, *seed
+
+	if *jsonOut != "" {
+		if *smoke {
+			sc.RoadRows, sc.RoadCols = 48, 48
+			sc.SocialN, sc.SocialDeg = 3000, 4
+			sc.People, sc.Products = 600, 8
+			sc.Users, sc.Items = 150, 40
+		}
+		if err := runJSONBench(sc, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	cm := metrics.DefaultCostModel()
 	out := os.Stdout
 

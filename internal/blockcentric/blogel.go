@@ -25,21 +25,33 @@ type Block struct {
 	Worker   int
 	Vertices []graph.ID // sorted
 	// Sub is the induced subgraph over the block's vertices plus their
-	// out-edges (targets may be outside the block).
+	// out-edges (targets may be outside the block). It is frozen, and its
+	// dense order starts with the members: the vertex at Sub dense index i <
+	// len(Vertices) is Vertices[i]; later indices are out-of-block targets.
 	Sub *graph.Graph
 	// State is program-private block state persisted across supersteps.
 	State any
 
 	member map[graph.ID]bool
+	gIdx   []int32 // parallel to Vertices: dense indices in the global graph
 }
 
 // Contains reports whether id belongs to the block.
 func (b *Block) Contains(id graph.ID) bool { return b.member[id] }
 
-// BCtx is the compute context of one block superstep.
+// GlobalIndices returns, parallel to Vertices, the members' dense indices in
+// the global graph — the handles BCtx.ValueAt/SetValueAt take. The caller
+// must not mutate the returned slice.
+func (b *Block) GlobalIndices() []int32 { return b.gIdx }
+
+// BCtx is the compute context of one block superstep. Vertex values live in
+// a flat array indexed by the global graph's dense vertex index; the
+// ID-addressed accessors pay one index lookup, the At-accessors none.
 type BCtx struct {
 	step    int
-	val     map[graph.ID]float64
+	g       *graph.Graph
+	val     []float64
+	has     []bool
 	send    func(to graph.ID, v float64)
 	workPtr *int64
 }
@@ -49,11 +61,35 @@ func (c *BCtx) Superstep() int { return c.step }
 
 // Value returns the current value of a vertex (any vertex; blocks read their
 // own and write their own).
-func (c *BCtx) Value(id graph.ID) (float64, bool) { v, ok := c.val[id]; return v, ok }
+func (c *BCtx) Value(id graph.ID) (float64, bool) {
+	if i, ok := c.g.Index(id); ok && c.has[i] {
+		return c.val[i], true
+	}
+	return 0, false
+}
 
 // SetValue updates a vertex value; callers only set vertices of their own
 // block.
-func (c *BCtx) SetValue(id graph.ID, v float64) { c.val[id] = v }
+func (c *BCtx) SetValue(id graph.ID, v float64) {
+	if i, ok := c.g.Index(id); ok {
+		c.val[i] = v
+		c.has[i] = true
+	}
+}
+
+// ValueAt is Value addressed by the global graph's dense vertex index.
+func (c *BCtx) ValueAt(i int32) (float64, bool) {
+	if c.has[i] {
+		return c.val[i], true
+	}
+	return 0, false
+}
+
+// SetValueAt is SetValue addressed by the global graph's dense vertex index.
+func (c *BCtx) SetValueAt(i int32, v float64) {
+	c.val[i] = v
+	c.has[i] = true
+}
 
 // Send delivers v to the block owning vertex `to` at the next superstep.
 func (c *BCtx) Send(to graph.ID, v float64) { c.send(to, v) }
@@ -106,15 +142,17 @@ func Run(g *graph.Graph, prog Program, cfg Config) (map[graph.ID]float64, *metri
 	}
 	stats := &metrics.Stats{Engine: name + "/" + prog.Name(), Workers: cfg.Workers}
 
+	nv := g.NumVertices()
 	blocks := buildBlocks(g, asg, cfg.BlocksPerWorker)
-	blockOf := make(map[graph.ID]*Block, g.NumVertices())
+	blockAt := make([]int32, nv) // global dense index -> block ID
 	for _, b := range blocks {
-		for _, v := range b.Vertices {
-			blockOf[v] = b
+		for _, i := range b.gIdx {
+			blockAt[i] = int32(b.ID)
 		}
 	}
 
-	val := make(map[graph.ID]float64, g.NumVertices())
+	val := make([]float64, nv)
+	has := make([]bool, nv)
 	inbox := make(map[int]map[graph.ID][]float64) // block ID -> vertex msgs
 	work := make([]int64, cfg.Workers)
 
@@ -130,7 +168,7 @@ func Run(g *graph.Graph, prog Program, cfg Config) (map[graph.ID]float64, *metri
 		staged := make([][]stagedMsg, len(active))
 		for i, b := range active {
 			bi := i
-			ctx := &BCtx{step: step, val: val, workPtr: &work[b.Worker]}
+			ctx := &BCtx{step: step, g: g, val: val, has: has, workPtr: &work[b.Worker]}
 			ctx.send = func(to graph.ID, v float64) {
 				staged[bi] = append(staged[bi], stagedMsg{to, v})
 			}
@@ -144,10 +182,11 @@ func Run(g *graph.Graph, prog Program, cfg Config) (map[graph.ID]float64, *metri
 		next := make(map[int]map[graph.ID][]float64)
 		for i, b := range active {
 			for _, m := range staged[i] {
-				tb, ok := blockOf[m.to]
+				ti, ok := g.Index(m.to)
 				if !ok {
 					continue
 				}
+				tb := blocks[blockAt[ti]]
 				if tb.Worker != b.Worker {
 					stats.Messages++
 					stats.Bytes += msgSize
@@ -182,73 +221,117 @@ func Run(g *graph.Graph, prog Program, cfg Config) (map[graph.ID]float64, *metri
 		runStep(stats.Supersteps, active, false)
 		stats.Supersteps++
 	}
+	out := make(map[graph.ID]float64, nv)
+	for i := 0; i < nv; i++ {
+		if has[i] {
+			out[g.IDAt(int32(i))] = val[i]
+		}
+	}
 	stats.WallTime = time.Since(start)
-	return val, stats, nil
+	return out, stats, nil
 }
 
 // buildBlocks splits each worker's vertex set into connected blocks of
 // roughly |part|/blocksPerWorker vertices by BFS region growing over the
 // induced subgraph (Blogel's Voronoi-flavored block construction,
-// simplified).
+// simplified). The region growing runs over dense indices with flat visited
+// arrays; each block's subgraph is frozen so B-compute traverses CSR.
 func buildBlocks(g *graph.Graph, asg *partition.Assignment, blocksPerWorker int) []*Block {
-	parts := make([][]graph.ID, asg.N)
-	for _, id := range g.SortedVertices() {
-		w := asg.Owner(id)
-		parts[w] = append(parts[w], id)
+	nv := g.NumVertices()
+	frozen := g.Frozen()
+	sortedIdx := g.SortedIndices()
+	parts := make([][]int32, asg.N)
+	for _, i := range sortedIdx {
+		w := asg.OwnerAt(i)
+		parts[w] = append(parts[w], i)
 	}
-	var blocks []*Block
-	for w, ids := range parts {
-		inPart := make(map[graph.ID]bool, len(ids))
-		for _, id := range ids {
-			inPart[id] = true
+	// neighbors visits u's undirected neighborhood as dense indices.
+	neighbors := func(u int32, visit func(int32)) {
+		if frozen {
+			for _, e := range g.OutAt(u) {
+				visit(e.To)
+			}
+			for _, e := range g.InAt(u) {
+				visit(e.To)
+			}
+			return
 		}
-		target := (len(ids) + blocksPerWorker - 1) / blocksPerWorker
+		id := g.IDAt(u)
+		for _, e := range g.Out(id) {
+			if i, ok := g.Index(e.To); ok {
+				visit(i)
+			}
+		}
+		for _, e := range g.In(id) {
+			if i, ok := g.Index(e.To); ok {
+				visit(i)
+			}
+		}
+	}
+	assigned := make([]bool, nv)
+	var blocks []*Block
+	for w, idxs := range parts {
+		target := (len(idxs) + blocksPerWorker - 1) / blocksPerWorker
 		if target < 1 {
 			target = 1
 		}
-		assigned := make(map[graph.ID]bool, len(ids))
-		for _, seed := range ids {
+		for _, seed := range idxs {
 			if assigned[seed] {
 				continue
 			}
 			// BFS from seed within the partition, up to target vertices.
 			b := &Block{ID: len(blocks), Worker: w, member: make(map[graph.ID]bool)}
-			queue := []graph.ID{seed}
+			queue := []int32{seed}
 			assigned[seed] = true
-			for len(queue) > 0 && len(b.Vertices) < target {
+			for len(queue) > 0 && len(b.gIdx) < target {
 				u := queue[0]
 				queue = queue[1:]
-				b.Vertices = append(b.Vertices, u)
-				b.member[u] = true
-				for _, e := range g.Out(u) {
-					if inPart[e.To] && !assigned[e.To] {
-						assigned[e.To] = true
-						queue = append(queue, e.To)
+				b.gIdx = append(b.gIdx, u)
+				neighbors(u, func(t int32) {
+					if asg.OwnerAt(t) == w && !assigned[t] {
+						assigned[t] = true
+						queue = append(queue, t)
 					}
-				}
-				for _, e := range g.In(u) {
-					if inPart[e.To] && !assigned[e.To] {
-						assigned[e.To] = true
-						queue = append(queue, e.To)
-					}
-				}
+				})
 			}
 			// anything still queued goes back to the pool
 			for _, u := range queue {
 				assigned[u] = false
 			}
-			sort.Slice(b.Vertices, func(i, j int) bool { return b.Vertices[i] < b.Vertices[j] })
+			sort.Slice(b.gIdx, func(i, j int) bool { return g.IDAt(b.gIdx[i]) < g.IDAt(b.gIdx[j]) })
+			b.Vertices = make([]graph.ID, len(b.gIdx))
+			for i, u := range b.gIdx {
+				id := g.IDAt(u)
+				b.Vertices[i] = id
+				b.member[id] = true
+			}
 			// induced subgraph with out-edges (targets may leave the block)
-			sub := graph.New()
-			for _, u := range b.Vertices {
-				sub.AddVertex(u, g.Label(u))
-			}
-			for _, u := range b.Vertices {
-				for _, e := range g.Out(u) {
-					sub.AddLabeledEdge(u, e.To, e.W, e.Label)
+			if frozen && g.Directed() {
+				bld := graph.NewSubgraphBuilder(g, 2*len(b.gIdx))
+				for _, u := range b.gIdx {
+					bld.AddVertex(u)
 				}
+				for _, u := range b.gIdx {
+					for _, e := range g.OutAt(u) {
+						if !bld.Has(e.To) {
+							bld.AddVertex(e.To)
+						}
+						bld.AddEdge(u, e)
+					}
+				}
+				b.Sub = bld.Finish()
+			} else {
+				sub := graph.New()
+				for _, u := range b.Vertices {
+					sub.AddVertex(u, g.Label(u))
+				}
+				for _, u := range b.Vertices {
+					for _, e := range g.Out(u) {
+						sub.AddLabeledEdge(u, e.To, e.W, e.Label)
+					}
+				}
+				b.Sub = sub.Freeze()
 			}
-			b.Sub = sub
 			blocks = append(blocks, b)
 		}
 	}

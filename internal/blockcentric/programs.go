@@ -47,49 +47,86 @@ func (p SSSPBlock) ComputeBlock(ctx *BCtx, b *Block, msgs map[graph.ID][]float64
 	relaxBlock(ctx, b, seeds)
 }
 
-// relaxBlock runs Dijkstra over the block from the seeds. Improvements to
-// vertices outside the block become messages, combined per target (Blogel's
-// combiner).
+// ssspScratch is SSSPBlock's per-block state: reusable relaxation buffers
+// (a block is re-activated once per incoming wavefront, so the scratch pays
+// for itself many times over a run).
+type ssspScratch struct {
+	dist, init []float64
+	sidx       []int32
+	outbound   []outMsg
+}
+
+type outMsg struct {
+	to graph.ID
+	d  float64
+}
+
+// relaxBlock runs Dijkstra over the block from the seeds, entirely on the
+// frozen block subgraph's dense indices: distances live in a flat scratch
+// array seeded from the global values, and only actual improvements are
+// written back. Improvements to vertices outside the block become messages,
+// combined per target (Blogel's combiner).
 func relaxBlock(ctx *BCtx, b *Block, seeds []graph.ID) {
-	outbound := make(map[graph.ID]float64)
-	get := func(id graph.ID) float64 {
-		if b.Contains(id) {
-			if v, ok := ctx.Value(id); ok {
-				return v
-			}
-			return math.Inf(1)
-		}
-		if v, ok := outbound[id]; ok {
-			return v
-		}
-		return math.Inf(1)
+	sub := b.Sub
+	n := sub.NumVertices()
+	nm := len(b.Vertices) // members occupy Sub dense indices [0, nm)
+	st, _ := b.State.(*ssspScratch)
+	if st == nil {
+		st = &ssspScratch{dist: make([]float64, n), init: make([]float64, n)}
+		b.State = st
 	}
-	set := func(id graph.ID, d float64) {
-		if b.Contains(id) {
-			ctx.SetValue(id, d)
-			return
+	dist, init := st.dist, st.init
+	for i := 0; i < nm; i++ {
+		d := math.Inf(1)
+		if v, ok := ctx.ValueAt(b.gIdx[i]); ok {
+			d = v
 		}
-		outbound[id] = d
+		dist[i] = d
+		init[i] = d
 	}
-	work := seq.Relax(b.Sub, seeds, get, set)
+	for i := nm; i < n; i++ { // out-of-block targets start unreached
+		dist[i] = math.Inf(1)
+		init[i] = math.Inf(1)
+	}
+	sidx := st.sidx[:0]
+	for _, s := range seeds {
+		if i, ok := sub.Index(s); ok {
+			sidx = append(sidx, i)
+		}
+	}
+	st.sidx = sidx
+	work := seq.RelaxIdx(sub, false, sidx,
+		func(i int32) float64 { return dist[i] },
+		func(i int32, d float64) { dist[i] = d })
 	ctx.AddWork(work)
-	targets := make([]graph.ID, 0, len(outbound))
-	for id := range outbound {
-		targets = append(targets, id)
+	for i := 0; i < nm; i++ {
+		if dist[i] < init[i] {
+			ctx.SetValueAt(b.gIdx[i], dist[i])
+		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
-	for _, id := range targets {
-		ctx.Send(id, outbound[id])
+	// Out-of-block improvements ship as messages, ascending by target ID.
+	outbound := st.outbound[:0]
+	for i := nm; i < n; i++ {
+		if dist[i] < init[i] {
+			outbound = append(outbound, outMsg{sub.IDAt(int32(i)), dist[i]})
+		}
 	}
+	sort.Slice(outbound, func(i, j int) bool { return outbound[i].to < outbound[j].to })
+	for _, m := range outbound {
+		ctx.Send(m.to, m.d)
+	}
+	st.outbound = outbound
 }
 
 // ccBlockState caches the block's internal connectivity: local sets never
-// change, so ComputeBlock only moves labels.
+// change, so ComputeBlock only moves labels. The union-find runs over the
+// block subgraph's dense indices.
 type ccBlockState struct {
-	uf        *seq.UnionFind
-	rootLabel map[graph.ID]graph.ID
+	uf        *seq.DenseUnionFind
+	rootLabel []graph.ID // by Sub dense root index
+	rootHas   []bool
 	// crossOf lists, per local root, the block-leaving edges of the set.
-	crossOf map[graph.ID][]graph.ID
+	crossOf map[int32][]graph.ID
 }
 
 // CCBlock is weakly connected components as a block program: min-label
@@ -101,35 +138,41 @@ func (CCBlock) Name() string { return "cc" }
 
 // InitBlock implements Program.
 func (CCBlock) InitBlock(ctx *BCtx, b *Block) {
-	st := &ccBlockState{uf: seq.NewUnionFind(), rootLabel: map[graph.ID]graph.ID{}, crossOf: map[graph.ID][]graph.ID{}}
+	sub := b.Sub
+	n := sub.NumVertices()
+	nm := len(b.Vertices)
+	st := &ccBlockState{
+		uf:        seq.NewDenseUnionFind(n),
+		rootLabel: make([]graph.ID, n),
+		rootHas:   make([]bool, n),
+		crossOf:   map[int32][]graph.ID{},
+	}
 	b.State = st
-	for _, v := range b.Vertices {
-		st.uf.Add(v)
-	}
-	for _, u := range b.Vertices {
-		for _, e := range b.Sub.Out(u) {
+	for i := int32(0); i < int32(nm); i++ {
+		for _, e := range sub.OutAt(i) {
 			ctx.AddWork(1)
-			if b.Contains(e.To) {
-				st.uf.Union(u, e.To)
+			if int(e.To) < nm { // both endpoints in the block
+				st.uf.Union(i, e.To)
 			}
 		}
 	}
-	for _, v := range b.Vertices {
-		r := st.uf.Find(v)
-		if cur, ok := st.rootLabel[r]; !ok || v < cur {
+	for i := int32(0); i < int32(nm); i++ {
+		r := st.uf.Find(i)
+		if v := b.Vertices[i]; !st.rootHas[r] || v < st.rootLabel[r] {
 			st.rootLabel[r] = v
+			st.rootHas[r] = true
 		}
 	}
-	for _, u := range b.Vertices {
-		for _, e := range b.Sub.Out(u) {
-			if !b.Contains(e.To) {
-				r := st.uf.Find(u)
-				st.crossOf[r] = append(st.crossOf[r], e.To)
+	for i := int32(0); i < int32(nm); i++ {
+		for _, e := range sub.OutAt(i) {
+			if int(e.To) >= nm {
+				r := st.uf.Find(i)
+				st.crossOf[r] = append(st.crossOf[r], sub.IDAt(e.To))
 			}
 		}
 	}
-	for _, v := range b.Vertices {
-		ctx.SetValue(v, float64(st.rootLabel[st.uf.Find(v)]))
+	for i := 0; i < nm; i++ {
+		ctx.SetValueAt(b.gIdx[i], float64(st.rootLabel[st.uf.Find(int32(i))]))
 	}
 	// initial label exchange
 	for r, targets := range st.crossOf {
@@ -144,9 +187,14 @@ func (CCBlock) InitBlock(ctx *BCtx, b *Block) {
 // ComputeBlock implements Program.
 func (CCBlock) ComputeBlock(ctx *BCtx, b *Block, msgs map[graph.ID][]float64) {
 	st := b.State.(*ccBlockState)
-	best := make(map[graph.ID]graph.ID) // root -> lowest incoming
+	sub := b.Sub
+	best := make(map[int32]graph.ID) // root -> lowest incoming
 	for v, ms := range msgs {
-		r := st.uf.Find(v)
+		vi, ok := sub.Index(v)
+		if !ok {
+			continue
+		}
+		r := st.uf.Find(vi)
 		for _, m := range ms {
 			ctx.AddWork(1)
 			l := graph.ID(m)
@@ -155,20 +203,21 @@ func (CCBlock) ComputeBlock(ctx *BCtx, b *Block, msgs map[graph.ID][]float64) {
 			}
 		}
 	}
-	roots := make([]graph.ID, 0, len(best))
+	roots := make([]int32, 0, len(best))
 	for r := range best {
 		roots = append(roots, r)
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
 	for _, r := range roots {
 		l := best[r]
-		if l >= st.rootLabel[r] {
+		if st.rootHas[r] && l >= st.rootLabel[r] {
 			continue
 		}
 		st.rootLabel[r] = l
-		for _, v := range b.Vertices {
-			if st.uf.Find(v) == r {
-				ctx.SetValue(v, float64(l))
+		st.rootHas[r] = true
+		for i := 0; i < len(b.Vertices); i++ {
+			if st.uf.Find(int32(i)) == r {
+				ctx.SetValueAt(b.gIdx[i], float64(l))
 			}
 		}
 		for _, to := range st.crossOf[r] {

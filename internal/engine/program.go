@@ -132,6 +132,7 @@ type Context[V any] struct {
 	vars       map[graph.ID]V
 	flushBuf   []VarUpdate[V] // reused across supersteps; see flush
 	updated    []graph.ID     // nodes changed by the last message application
+	updatedIdx []int32        // dense indices of updated (overflow nodes omitted)
 	work       int64
 	active     bool // worker requests another superstep even without messages
 }
@@ -146,8 +147,8 @@ func newContext[V any](f *partition.Fragment, spec VarSpec[V]) *Context[V] {
 		border:    make([]bool, nv),
 		changedAt: make([]bool, nv),
 	}
-	for _, id := range f.Border() {
-		if i, ok := f.G.Index(id); ok {
+	for _, i := range f.BorderIndices() {
+		if i >= 0 {
 			c.border[i] = true
 		}
 	}
@@ -232,6 +233,48 @@ func (c *Context[V]) SetLocal(id graph.ID, v V) {
 	c.vars[id] = v
 }
 
+// GetAt is Get addressed by the fragment graph's dense vertex index — the
+// hash-free accessor kernels traversing a frozen graph use per edge hop.
+func (c *Context[V]) GetAt(i int32) V {
+	if int(i) < len(c.vals) && c.has[i] {
+		return c.vals[i]
+	}
+	return c.spec.Default
+}
+
+// SetAt is Set addressed by dense vertex index.
+func (c *Context[V]) SetAt(i int32, v V) {
+	c.ensure(i)
+	if c.has[i] && c.spec.Eq(c.vals[i], v) {
+		return
+	}
+	if !c.has[i] && c.spec.Eq(c.spec.Default, v) {
+		return
+	}
+	c.vals[i] = v
+	c.has[i] = true
+	if c.border[i] && !c.changedAt[i] {
+		c.changedAt[i] = true
+		c.changedIdx = append(c.changedIdx, i)
+	}
+}
+
+// SetLocalAt is SetLocal addressed by dense vertex index.
+func (c *Context[V]) SetLocalAt(i int32, v V) {
+	c.ensure(i)
+	c.vals[i] = v
+	c.has[i] = true
+}
+
+// IsBorderAt is IsBorder addressed by dense vertex index.
+func (c *Context[V]) IsBorderAt(i int32) bool {
+	return int(i) < len(c.border) && c.border[i]
+}
+
+// IsInnerAt reports whether the vertex at dense index i is owned by this
+// fragment, without hashing.
+func (c *Context[V]) IsInnerAt(i int32) bool { return c.Frag.IsInnerAt(i) }
+
 // IsBorder reports whether id carries an update parameter (it is an outer
 // copy here or has copies on other fragments).
 func (c *Context[V]) IsBorder(id graph.ID) bool {
@@ -244,6 +287,24 @@ func (c *Context[V]) IsBorder(id graph.ID) bool {
 // Updated returns the nodes whose variables were changed by the message
 // batch that triggered the current IncEval call, in ascending ID order.
 func (c *Context[V]) Updated() []graph.ID { return c.updated }
+
+// UpdatedAt returns the dense indices of the changed nodes that live in the
+// fragment graph (nodes a program addressed without hosting — the vars
+// overflow — are omitted; they carry no edges here, so index-based IncEval
+// kernels could not traverse from them anyway).
+func (c *Context[V]) UpdatedAt() []int32 { return c.updatedIdx }
+
+// VarsAt iterates the set variables of nodes in the fragment graph by dense
+// index. Unlike Vars it skips the overflow map — overflow nodes are never
+// inner nor border, so Assemble implementations filtering on ownership lose
+// nothing. The callback must not mutate the context.
+func (c *Context[V]) VarsAt(f func(i int32, v V)) {
+	for i, ok := range c.has {
+		if ok {
+			f(int32(i), c.vals[i])
+		}
+	}
+}
 
 // AddWork charges n elementary work units (heap operation, edge relaxation,
 // …) to this worker in the current superstep; the cost model converts work
@@ -299,17 +360,43 @@ func (c *Context[V]) flush() []VarUpdate[V] {
 // apply folds a batch of routed updates into the variables using Agg and
 // records which nodes actually changed; those become Updated() for IncEval.
 // Applied values are not re-queued for shipping: the coordinator already
-// knows them.
+// knows them. Each node is resolved to its dense index once, not once per
+// Get/Set as the public accessors would.
 func (c *Context[V]) apply(ups []VarUpdate[V]) {
 	c.updated = c.updated[:0]
+	c.updatedIdx = c.updatedIdx[:0]
 	for _, u := range ups {
-		old := c.Get(u.ID)
+		i, ok := c.Frag.G.Index(u.ID)
+		if !ok {
+			// overflow node (addressed but not hosted): fold into the map
+			old, had := c.vars[u.ID]
+			if !had {
+				old = c.spec.Default
+			}
+			merged := c.spec.Agg(old, u.Val)
+			if c.spec.Eq(old, merged) {
+				continue
+			}
+			if c.vars == nil {
+				c.vars = make(map[graph.ID]V)
+			}
+			c.vars[u.ID] = merged
+			c.updated = append(c.updated, u.ID)
+			continue
+		}
+		c.ensure(i)
+		old := c.spec.Default
+		if c.has[i] {
+			old = c.vals[i]
+		}
 		merged := c.spec.Agg(old, u.Val)
 		if c.spec.Eq(old, merged) {
 			continue
 		}
-		c.SetLocal(u.ID, merged)
+		c.vals[i] = merged
+		c.has[i] = true
 		c.updated = append(c.updated, u.ID)
+		c.updatedIdx = append(c.updatedIdx, i)
 	}
 }
 
@@ -338,7 +425,15 @@ func (c *Context[V]) touch(id graph.ID) {
 
 // setUpdated overrides the updated set; the session layer uses it to seed
 // IncEval with locally-dirtied nodes after graph updates.
-func (c *Context[V]) setUpdated(ids []graph.ID) { c.updated = ids }
+func (c *Context[V]) setUpdated(ids []graph.ID) {
+	c.updated = ids
+	c.updatedIdx = c.updatedIdx[:0]
+	for _, id := range ids {
+		if i, ok := c.Frag.G.Index(id); ok {
+			c.updatedIdx = append(c.updatedIdx, i)
+		}
+	}
+}
 
 func (c *Context[V]) takeWork() int64 {
 	w := c.work

@@ -128,7 +128,7 @@ func (s *Session[Q, V, R]) Update(updates []EdgeUpdate) (R, *metrics.Stats, erro
 			if ps := g.Props(u.To); len(ps) > 0 {
 				f.G.SetProps(u.To, append([]string(nil), ps...))
 			}
-			f.Outer = insertSorted(f.Outer, u.To)
+			f.AddOuter(u.To)
 			s.layout.AddHost(u.To, w)
 			s.ctxs[w].addBorder(u.To)
 			if gv, ok := s.fold.lookup(u.To); ok {
@@ -136,8 +136,7 @@ func (s *Session[Q, V, R]) Update(updates []EdgeUpdate) (R, *metrics.Stats, erro
 			}
 			owner := s.layout.Asg.Owner(u.To)
 			of := s.layout.Fragments[owner]
-			if !containsID(of.InnerBorder, u.To) {
-				of.InnerBorder = insertSorted(of.InnerBorder, u.To)
+			if of.AddInnerBorder(u.To) {
 				s.ctxs[owner].addBorder(u.To)
 			}
 			// the owner's current value never shipped if the node was not
@@ -262,22 +261,6 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 		return zero, stats, err
 	}
 	return res, stats, nil
-}
-
-func insertSorted(ids []graph.ID, id graph.ID) []graph.ID {
-	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
-	if i < len(ids) && ids[i] == id {
-		return ids
-	}
-	ids = append(ids, 0)
-	copy(ids[i+1:], ids[i:])
-	ids[i] = id
-	return ids
-}
-
-func containsID(ids []graph.ID, id graph.ID) bool {
-	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
-	return i < len(ids) && ids[i] == id
 }
 
 func dedupeIDs(ids []graph.ID) []graph.ID {

@@ -14,7 +14,10 @@
 //     latent-factor model, so collaborative filtering has signal to learn.
 //   - Random: an Erdős–Rényi G(n, m) graph for property-based tests.
 //
-// Every generator takes an explicit seed and is fully deterministic.
+// Every generator takes an explicit seed and is fully deterministic, and
+// every generator returns its graph frozen (graph.Freeze) so the engines and
+// the partition layer start from the CSR form. Callers that want to mutate a
+// generated graph can do so — the first mutation transparently thaws it.
 package gen
 
 import (
@@ -63,7 +66,7 @@ func RoadGrid(rows, cols int, seed int64) *graph.Graph {
 			g.AddEdge(id(r, c+span), id(r, c), w)
 		}
 	}
-	return g
+	return g.Freeze()
 }
 
 // PreferentialAttachment returns a directed scale-free graph with n vertices
@@ -108,7 +111,7 @@ func PreferentialAttachment(n, m int, seed int64) *graph.Graph {
 			targets = append(targets, t, id)
 		}
 	}
-	return g
+	return g.Freeze()
 }
 
 // Random returns a directed Erdős–Rényi-style graph with n vertices and m
@@ -128,7 +131,7 @@ func Random(n, m int, seed int64) *graph.Graph {
 		}
 		g.AddEdge(graph.ID(u), graph.ID(v), 1+rng.Float64()*9)
 	}
-	return g
+	return g.Freeze()
 }
 
 // ConnectedRandom returns Random plus a random spanning path so that every
@@ -146,7 +149,7 @@ func ConnectedRandom(n, m int, seed int64) *graph.Graph {
 		g.AddEdge(prev, v, 1+rng.Float64()*9)
 		prev = v
 	}
-	return g
+	return g.Freeze()
 }
 
 // Labels used by SocialCommerce.
@@ -273,7 +276,7 @@ func SocialCommerce(cfg SocialCommerceConfig) *graph.Graph {
 			g.AddLabeledEdge(p, product(rng.Intn(cfg.Products)), 1, EdgeBuy)
 		}
 	}
-	return g
+	return g.Freeze()
 }
 
 // RatingsConfig controls Ratings generation.
@@ -327,7 +330,7 @@ func Ratings(cfg RatingsConfig) *graph.Graph {
 			g.AddEdge(graph.ID(u), graph.ID(cfg.Users+i), r)
 		}
 	}
-	return g
+	return g.Freeze()
 }
 
 func randVec(rng *rand.Rand, k int) []float64 {

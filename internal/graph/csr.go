@@ -1,0 +1,207 @@
+package graph
+
+// Frozen CSR form. A Graph lives in one of two phases:
+//
+//	build phase (mutable)  — AddVertex/AddEdge grow per-vertex adjacency
+//	                         slices; not safe for concurrent use; In() builds
+//	                         the reverse adjacency lazily on first call.
+//	query phase (frozen)   — Freeze() flattens adjacency into CSR
+//	                         offset+packed-edge arrays whose edges carry the
+//	                         dense target index, interns vertex and edge
+//	                         labels into an int table, and eagerly builds the
+//	                         reverse CSR. All read methods — including In() —
+//	                         are then safe for concurrent use, and the dense
+//	                         accessors (OutAt, InAt, LabelIDAt, …) traverse
+//	                         without a single hash lookup.
+//
+// Mutating adjacency or the vertex set after Freeze (AddVertex, AddEdge)
+// transparently thaws the graph back to the build phase: dense vertex
+// indices are stable across freeze/thaw, but the CSR arrays and the label
+// table are dropped and OutAt/InAt become invalid until the next Freeze.
+// Property mutation (SetProps, AddProp) does not thaw — properties are not
+// part of the CSR form.
+
+// DenseEdge is the packed CSR edge of a frozen graph: the dense index of the
+// target vertex, the interned edge label, and the weight. The sparse target
+// ID is recovered with IDAt(e.To) — a slice read, not a hash lookup.
+type DenseEdge struct {
+	To    int32 // dense index of the target vertex
+	Label int32 // interned edge label; resolve with LabelName
+	W     float64
+}
+
+// Frozen reports whether the graph is in its immutable CSR form.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Freeze converts the graph to its frozen CSR form and returns it (for
+// chaining). It is idempotent. The per-vertex adjacency slices are released;
+// Out/In keep working (they slice the flat CSR arrays, contiguously and
+// allocation-free) and the dense accessors become available.
+func (g *Graph) Freeze() *Graph {
+	if g.frozen {
+		return g
+	}
+	nv := len(g.ids)
+	ne := 0
+	for _, es := range g.out {
+		ne += len(es)
+	}
+	g.outOff = make([]int32, nv+1)
+	g.outCSR = make([]Edge, 0, ne)
+	for i, es := range g.out {
+		g.outCSR = append(g.outCSR, es...)
+		g.outOff[i+1] = int32(len(g.outCSR))
+	}
+	g.out = nil
+	g.in = nil
+	g.inBuilt = false
+	g.finishFreeze()
+	return g
+}
+
+// finishFreeze builds the label table, the dense-target edge array and the
+// eager reverse CSR from ids/index/labels/outOff/outCSR. It is shared by
+// Freeze and the wire decoder (which fills the flat arrays directly).
+func (g *Graph) finishFreeze() {
+	nv := len(g.ids)
+	g.labelIDs = make(map[string]int32)
+	g.labelNames = nil
+	intern := func(s string) int32 {
+		if id, ok := g.labelIDs[s]; ok {
+			return id
+		}
+		id := int32(len(g.labelNames))
+		g.labelNames = append(g.labelNames, s)
+		g.labelIDs[s] = id
+		return id
+	}
+	g.vlab = make([]int32, nv)
+	for i, l := range g.labels {
+		g.vlab[i] = intern(l)
+	}
+	g.outDense = make([]DenseEdge, len(g.outCSR))
+	for k, e := range g.outCSR {
+		g.outDense[k] = DenseEdge{To: g.index[e.To], Label: intern(e.Label), W: e.W}
+	}
+	g.buildReverseCSR()
+	g.frozen = true
+}
+
+// buildReverseCSR derives inOff/inCSR/inDense from the out CSR by counting
+// sort over targets, scanning sources in dense order — the exact per-target
+// edge order the lazy buildIn produced, so frozen and unfrozen In() agree
+// element for element. Undirected graphs alias In to Out and skip it.
+func (g *Graph) buildReverseCSR() {
+	if !g.directed {
+		return
+	}
+	nv := len(g.ids)
+	g.inOff = make([]int32, nv+1)
+	for _, e := range g.outDense {
+		g.inOff[e.To+1]++
+	}
+	for i := 0; i < nv; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	g.inCSR = make([]Edge, len(g.outCSR))
+	g.inDense = make([]DenseEdge, len(g.outCSR))
+	next := make([]int32, nv)
+	copy(next, g.inOff[:nv])
+	for ui := 0; ui < nv; ui++ {
+		for k := g.outOff[ui]; k < g.outOff[ui+1]; k++ {
+			de := g.outDense[k]
+			pos := next[de.To]
+			next[de.To]++
+			g.inCSR[pos] = Edge{To: g.ids[ui], W: de.W, Label: g.outCSR[k].Label}
+			g.inDense[pos] = DenseEdge{To: int32(ui), Label: de.Label, W: de.W}
+		}
+	}
+}
+
+// thaw returns the graph to the mutable build phase. The CSR arrays are never
+// mutated in place, so the restored per-vertex slices alias them with full
+// capacity — the first append to a vertex's adjacency reallocates.
+func (g *Graph) thaw() {
+	if !g.frozen {
+		return
+	}
+	nv := len(g.ids)
+	g.out = make([][]Edge, nv)
+	for i := 0; i < nv; i++ {
+		a, b := g.outOff[i], g.outOff[i+1]
+		if a != b {
+			g.out[i] = g.outCSR[a:b:b]
+		}
+	}
+	if g.directed {
+		g.in = make([][]Edge, nv)
+		for i := 0; i < nv; i++ {
+			a, b := g.inOff[i], g.inOff[i+1]
+			if a != b {
+				g.in[i] = g.inCSR[a:b:b]
+			}
+		}
+		g.inBuilt = true
+	}
+	g.outOff, g.outCSR, g.outDense = nil, nil, nil
+	g.inOff, g.inCSR, g.inDense = nil, nil, nil
+	g.vlab, g.labelNames, g.labelIDs = nil, nil, nil
+	g.frozen = false
+}
+
+// OutAt returns the packed out-edges of the vertex at dense index i. Frozen
+// graphs only; the caller must not mutate the returned slice.
+func (g *Graph) OutAt(i int32) []DenseEdge {
+	return g.outDense[g.outOff[i]:g.outOff[i+1]]
+}
+
+// InAt returns the packed in-edges of the vertex at dense index i (for
+// undirected graphs, its out-edges). Frozen graphs only; the caller must not
+// mutate the returned slice.
+func (g *Graph) InAt(i int32) []DenseEdge {
+	if !g.directed {
+		return g.OutAt(i)
+	}
+	return g.inDense[g.inOff[i]:g.inOff[i+1]]
+}
+
+// OutDegreeAt returns the out-degree of the vertex at dense index i. Frozen
+// graphs only.
+func (g *Graph) OutDegreeAt(i int32) int {
+	return int(g.outOff[i+1] - g.outOff[i])
+}
+
+// InDegreeAt returns the in-degree of the vertex at dense index i. Frozen
+// graphs only.
+func (g *Graph) InDegreeAt(i int32) int {
+	if !g.directed {
+		return g.OutDegreeAt(i)
+	}
+	return int(g.inOff[i+1] - g.inOff[i])
+}
+
+// LabelIDAt returns the interned label of the vertex at dense index i.
+// Frozen graphs only.
+func (g *Graph) LabelIDAt(i int32) int32 { return g.vlab[i] }
+
+// LabelAt returns the label string of the vertex at dense index i.
+func (g *Graph) LabelAt(i int32) string { return g.labels[i] }
+
+// PropsAt returns the property list of the vertex at dense index i. The
+// caller must not mutate the returned slice.
+func (g *Graph) PropsAt(i int32) []string { return g.props[i] }
+
+// LabelID returns the interned ID of a vertex or edge label and whether the
+// label occurs in the graph at all. Frozen graphs only. Pattern-matching
+// kernels resolve pattern label strings once and compare int32s per edge.
+func (g *Graph) LabelID(s string) (int32, bool) {
+	id, ok := g.labelIDs[s]
+	return id, ok
+}
+
+// LabelName returns the label string interned as lid. Frozen graphs only.
+func (g *Graph) LabelName(lid int32) string { return g.labelNames[lid] }
+
+// NumLabels returns the number of distinct interned labels (vertex and edge
+// labels share one table). Frozen graphs only.
+func (g *Graph) NumLabels() int { return len(g.labelNames) }

@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// buildLabeled returns a small directed graph exercising labels, props,
+// parallel edges and a self-loop.
+func buildLabeled() *Graph {
+	g := New()
+	g.AddVertex(10, "person")
+	g.AddVertex(3, "")
+	g.AddVertex(77, "product")
+	g.SetProps(10, []string{"db", "graph"})
+	g.AddLabeledEdge(10, 3, 1.5, "follows")
+	g.AddLabeledEdge(10, 3, 2.5, "follows") // parallel
+	g.AddLabeledEdge(3, 77, 2.25, "buy")
+	g.AddLabeledEdge(77, 77, 1, "") // self-loop
+	g.AddEdge(10, 77, 0.125)
+	return g
+}
+
+func TestFreezePreservesBoundaryAPI(t *testing.T) {
+	g := buildLabeled()
+	want := g.Clone() // stays mutable
+	g.Freeze()
+	if !g.Frozen() {
+		t.Fatal("Freeze did not freeze")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != want.NumVertices() || g.NumEdges() != want.NumEdges() {
+		t.Fatal("counts changed")
+	}
+	for _, v := range want.Vertices() {
+		if g.Label(v) != want.Label(v) {
+			t.Fatalf("label of %d changed", v)
+		}
+		if !reflect.DeepEqual(g.Props(v), want.Props(v)) {
+			t.Fatalf("props of %d changed", v)
+		}
+		if !reflect.DeepEqual(g.Out(v), want.Out(v)) {
+			t.Fatalf("out of %d changed: %v vs %v", v, g.Out(v), want.Out(v))
+		}
+		if !reflect.DeepEqual(g.In(v), want.In(v)) {
+			t.Fatalf("in of %d changed: %v vs %v", v, g.In(v), want.In(v))
+		}
+	}
+}
+
+func TestDenseAccessorsAgreeWithBoundaryAPI(t *testing.T) {
+	g := buildLabeled().Freeze()
+	for i := int32(0); i < int32(g.NumVertices()); i++ {
+		id := g.IDAt(i)
+		if g.LabelAt(i) != g.Label(id) {
+			t.Fatalf("LabelAt(%d) mismatch", i)
+		}
+		if g.LabelName(g.LabelIDAt(i)) != g.Label(id) {
+			t.Fatalf("LabelIDAt(%d) interning mismatch", i)
+		}
+		if g.OutDegreeAt(i) != len(g.Out(id)) || g.InDegreeAt(i) != len(g.In(id)) {
+			t.Fatalf("degrees at %d mismatch", i)
+		}
+		for k, e := range g.OutAt(i) {
+			sparse := g.Out(id)[k]
+			if g.IDAt(e.To) != sparse.To || e.W != sparse.W || g.LabelName(e.Label) != sparse.Label {
+				t.Fatalf("OutAt(%d)[%d] = %+v does not match %+v", i, k, e, sparse)
+			}
+		}
+		for k, e := range g.InAt(i) {
+			sparse := g.In(id)[k]
+			if g.IDAt(e.To) != sparse.To || e.W != sparse.W || g.LabelName(e.Label) != sparse.Label {
+				t.Fatalf("InAt(%d)[%d] = %+v does not match %+v", i, k, e, sparse)
+			}
+		}
+	}
+	if _, ok := g.LabelID("follows"); !ok {
+		t.Fatal("edge label not interned")
+	}
+	if _, ok := g.LabelID("no-such-label"); ok {
+		t.Fatal("phantom label interned")
+	}
+}
+
+// TestThawRestoresMutability: mutating a frozen graph transparently thaws
+// it, preserving everything and allowing further growth; re-freezing works.
+func TestThawRestoresMutability(t *testing.T) {
+	g := buildLabeled().Freeze()
+	g.AddLabeledEdge(3, 10, 9, "back") // thaws
+	if g.Frozen() {
+		t.Fatal("mutation did not thaw")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Out(3)) != 2 {
+		t.Fatalf("out(3) = %v", g.Out(3))
+	}
+	if len(g.In(10)) != 1 || g.In(10)[0].Label != "back" {
+		t.Fatalf("in(10) = %v", g.In(10))
+	}
+	g.AddVertex(500, "new")
+	g.Freeze()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Label(500) != "new" || len(g.Out(10)) != 3 {
+		t.Fatal("refreeze lost data")
+	}
+}
+
+// TestFrozenConcurrentReads is the regression test for the buildIn race: on
+// a frozen graph every read accessor — In() included — must be safe for
+// concurrent use (run under -race in CI). Before Freeze existed, In() built
+// the reverse adjacency lazily with no synchronization.
+func TestFrozenConcurrentReads(t *testing.T) {
+	g := New()
+	for v := 0; v < 200; v++ {
+		g.AddVertex(ID(v), "")
+	}
+	for v := 0; v < 200; v++ {
+		g.AddEdge(ID(v), ID((v*7+1)%200), 1)
+		g.AddEdge(ID(v), ID((v*13+5)%200), 2)
+	}
+	g.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			total := 0
+			for v := 0; v < 200; v++ {
+				id := ID((v + seed) % 200)
+				total += len(g.In(id)) + len(g.Out(id))
+				i, _ := g.Index(id)
+				total += len(g.InAt(i)) + len(g.OutAt(i))
+				_ = g.LabelIDAt(i)
+				g.BFS(id, func(ID, int) bool { return true })
+			}
+			if total == 0 {
+				t.Error("no edges seen")
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCloneFrozenIsIndependent(t *testing.T) {
+	g := buildLabeled().Freeze()
+	c := g.Clone()
+	if !c.Frozen() {
+		t.Fatal("clone of frozen graph should be frozen")
+	}
+	c.AddEdge(3, 10, 1) // thaws the clone only
+	if c.Frozen() || !g.Frozen() {
+		t.Fatal("thaw leaked between clone and original")
+	}
+	if len(g.Out(3)) != 1 || len(c.Out(3)) != 2 {
+		t.Fatalf("adjacency leaked: orig %v clone %v", g.Out(3), c.Out(3))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- CSR microbenchmarks: the isolated traversal win, independent of any
+// engine machinery. Run with -bench 'BenchmarkTraversal' -benchmem.
+
+func benchGraph(n int) *Graph {
+	g := New()
+	for v := 0; v < n; v++ {
+		g.AddVertex(ID(v), "")
+	}
+	for v := 0; v < n; v++ {
+		for k := 1; k <= 8; k++ {
+			g.AddEdge(ID(v), ID((v*k+k)%n), float64(k))
+		}
+	}
+	return g
+}
+
+// The benchmark bodies do what every traversal kernel does per edge hop:
+// land on the target and touch per-target state. On the unfrozen path
+// Edge.To is a sparse ID, so the landing costs a hash lookup; on the frozen
+// path DenseEdge.To indexes directly.
+func BenchmarkTraversalOut(b *testing.B) {
+	const n = 10000
+	b.Run("unfrozen", func(b *testing.B) {
+		g := benchGraph(n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < n; v++ {
+				for _, e := range g.Out(ID(v)) {
+					sum += g.OutDegree(e.To) // sparse target: hash per hop
+				}
+			}
+		}
+		_ = sum
+	})
+	b.Run("frozen", func(b *testing.B) {
+		g := benchGraph(n).Freeze()
+		b.ReportAllocs()
+		b.ResetTimer()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			for vi := int32(0); vi < int32(n); vi++ {
+				for _, e := range g.OutAt(vi) {
+					sum += g.OutDegreeAt(e.To) // dense target: direct index
+				}
+			}
+		}
+		_ = sum
+	})
+}
+
+func BenchmarkTraversalIn(b *testing.B) {
+	const n = 10000
+	b.Run("unfrozen", func(b *testing.B) {
+		g := benchGraph(n)
+		g.In(0) // build the lazy reverse adjacency outside the timing loop
+		b.ReportAllocs()
+		b.ResetTimer()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < n; v++ {
+				for _, e := range g.In(ID(v)) {
+					sum += g.OutDegree(e.To)
+				}
+			}
+		}
+		_ = sum
+	})
+	b.Run("frozen", func(b *testing.B) {
+		g := benchGraph(n).Freeze()
+		b.ReportAllocs()
+		b.ResetTimer()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			for vi := int32(0); vi < int32(n); vi++ {
+				for _, e := range g.InAt(vi) {
+					sum += g.OutDegreeAt(e.To)
+				}
+			}
+		}
+		_ = sum
+	})
+}

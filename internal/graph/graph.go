@@ -7,6 +7,13 @@
 // may be directed or undirected; an undirected graph stores each edge in both
 // endpoint adjacency lists. Vertices carry a label (used by pattern matching
 // and GPARs) and a list of string properties (used by keyword search).
+//
+// A Graph has two phases (see csr.go): a mutable build phase, which is not
+// safe for concurrent use, and a frozen CSR query phase entered via Freeze(),
+// in which all read methods are safe for concurrent use and the dense
+// accessors (OutAt, InAt, LabelIDAt, …) traverse without hash lookups. The
+// engines freeze fragments at partition time; kernels take the dense path
+// whenever Frozen() reports true.
 package graph
 
 import (
@@ -37,10 +44,23 @@ type Graph struct {
 	index    map[ID]int32 // ID -> dense index
 	labels   []string     // dense index -> vertex label
 	props    [][]string   // dense index -> vertex properties (keywords etc.)
-	out      [][]Edge     // dense index -> out-edges
-	in       [][]Edge     // dense index -> in-edges; built lazily
+	out      [][]Edge     // dense index -> out-edges (build phase)
+	in       [][]Edge     // dense index -> in-edges; built lazily (build phase)
 	inBuilt  bool
 	numEdges int
+
+	// Frozen CSR form (see csr.go). When frozen, out/in above are nil and
+	// adjacency lives in the flat offset+packed arrays below.
+	frozen     bool
+	outOff     []int32     // dense index -> [outOff[i], outOff[i+1]) in outCSR
+	outCSR     []Edge      // flat out-adjacency, sparse-ID edges (boundary API)
+	outDense   []DenseEdge // parallel to outCSR: dense targets, interned labels
+	inOff      []int32     // reverse CSR offsets (directed graphs)
+	inCSR      []Edge
+	inDense    []DenseEdge
+	vlab       []int32 // dense index -> interned vertex label
+	labelNames []string
+	labelIDs   map[string]int32
 }
 
 // New returns an empty directed graph.
@@ -63,6 +83,9 @@ func (g *Graph) NumEdges() int { return g.numEdges }
 // returns its dense index. Re-adding an existing vertex updates its label
 // only when label is non-empty.
 func (g *Graph) AddVertex(id ID, label string) int32 {
+	if g.frozen {
+		g.thaw()
+	}
 	if i, ok := g.index[id]; ok {
 		if label != "" {
 			g.labels[i] = label
@@ -99,6 +122,9 @@ func (g *Graph) AddEdge(u, v ID, w float64) { g.AddLabeledEdge(u, v, w, "") }
 
 // AddLabeledEdge is AddEdge with an edge label.
 func (g *Graph) AddLabeledEdge(u, v ID, w float64, label string) {
+	if g.frozen {
+		g.thaw()
+	}
 	ui := g.AddVertex(u, "")
 	vi := g.AddVertex(v, "")
 	g.out[ui] = append(g.out[ui], Edge{To: v, W: w, Label: label})
@@ -138,16 +164,35 @@ func (g *Graph) Props(id ID) []string {
 // the returned slice.
 func (g *Graph) Out(id ID) []Edge {
 	if i, ok := g.index[id]; ok {
+		if g.frozen {
+			a, b := g.outOff[i], g.outOff[i+1]
+			if a == b {
+				return nil
+			}
+			return g.outCSR[a:b:b]
+		}
 		return g.out[i]
 	}
 	return nil
 }
 
-// In returns the in-edges of id, building the reverse adjacency on first use.
-// For undirected graphs In equals Out.
+// In returns the in-edges of id. On frozen graphs the eagerly built reverse
+// CSR is sliced; on mutable graphs the reverse adjacency is built lazily on
+// first use (single-goroutine only — see the package phase contract). For
+// undirected graphs In equals Out.
 func (g *Graph) In(id ID) []Edge {
 	if !g.directed {
 		return g.Out(id)
+	}
+	if g.frozen {
+		if i, ok := g.index[id]; ok {
+			a, b := g.inOff[i], g.inOff[i+1]
+			if a == b {
+				return nil
+			}
+			return g.inCSR[a:b:b]
+		}
+		return nil
 	}
 	if !g.inBuilt {
 		g.buildIn()
@@ -206,8 +251,11 @@ func (g *Graph) mustIndex(id ID) int32 {
 	return i
 }
 
-// Clone returns a deep copy of the graph (reverse adjacency is not copied and
-// will be rebuilt on demand).
+// Clone returns a deep copy of the graph. A frozen graph clones frozen,
+// sharing the immutable CSR arrays and label table (they are never mutated
+// in place — thawing a clone drops the references, it does not write through
+// them); a mutable graph clones mutable, with the reverse adjacency rebuilt
+// on demand.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		directed: g.directed,
@@ -215,7 +263,6 @@ func (g *Graph) Clone() *Graph {
 		index:    make(map[ID]int32, len(g.index)),
 		labels:   append([]string(nil), g.labels...),
 		props:    make([][]string, len(g.props)),
-		out:      make([][]Edge, len(g.out)),
 		numEdges: g.numEdges,
 	}
 	for id, i := range g.index {
@@ -224,6 +271,14 @@ func (g *Graph) Clone() *Graph {
 	for i, p := range g.props {
 		c.props[i] = append([]string(nil), p...)
 	}
+	if g.frozen {
+		c.frozen = true
+		c.outOff, c.outCSR, c.outDense = g.outOff, g.outCSR, g.outDense
+		c.inOff, c.inCSR, c.inDense = g.inOff, g.inCSR, g.inDense
+		c.vlab, c.labelNames, c.labelIDs = g.vlab, g.labelNames, g.labelIDs
+		return c
+	}
+	c.out = make([][]Edge, len(g.out))
 	for i, es := range g.out {
 		c.out[i] = append([]Edge(nil), es...)
 	}
@@ -232,7 +287,28 @@ func (g *Graph) Clone() *Graph {
 
 // InducedSubgraph returns the subgraph induced by keep: vertices in keep and
 // every edge whose endpoints are both kept. Labels and properties are copied.
+// A frozen graph produces a frozen subgraph directly in CSR form.
 func (g *Graph) InducedSubgraph(keep map[ID]bool) *Graph {
+	if g.frozen {
+		b := NewSubgraphBuilder(g, len(keep))
+		for i := int32(0); i < int32(len(g.ids)); i++ {
+			if keep[g.ids[i]] {
+				b.AddVertex(i)
+			}
+		}
+		for i := int32(0); i < int32(len(g.ids)); i++ {
+			if !b.Has(i) {
+				continue
+			}
+			u := g.ids[i]
+			for _, e := range g.OutAt(i) {
+				if b.Has(e.To) && (g.directed || u <= g.ids[e.To]) {
+					b.AddEdge(i, e)
+				}
+			}
+		}
+		return b.Finish()
+	}
 	s := &Graph{directed: g.directed, index: make(map[ID]int32)}
 	for _, id := range g.ids {
 		if keep[id] {
@@ -279,9 +355,8 @@ func (g *Graph) Symmetrized() *Graph {
 // TotalWeight returns the sum of all edge weights (undirected edges once).
 func (g *Graph) TotalWeight() float64 {
 	var t float64
-	for ui, es := range g.out {
-		u := g.ids[ui]
-		for _, e := range es {
+	for _, u := range g.ids {
+		for _, e := range g.Out(u) {
 			if g.directed || u <= e.To {
 				t += e.W
 			}
@@ -294,13 +369,40 @@ func (g *Graph) TotalWeight() float64 {
 // first problem found, or nil. It is used by tests and the storage layer
 // after deserialization.
 func (g *Graph) Validate() error {
-	if len(g.ids) != len(g.labels) || len(g.ids) != len(g.out) || len(g.ids) != len(g.props) {
+	nv := len(g.ids)
+	if nv != len(g.labels) || nv != len(g.props) {
+		return fmt.Errorf("graph: inconsistent slice lengths")
+	}
+	if !g.frozen && nv != len(g.out) {
 		return fmt.Errorf("graph: inconsistent slice lengths")
 	}
 	for id, i := range g.index {
-		if int(i) >= len(g.ids) || g.ids[i] != id {
+		if int(i) >= nv || g.ids[i] != id {
 			return fmt.Errorf("graph: index entry %d -> %d broken", id, i)
 		}
+	}
+	if g.frozen {
+		if len(g.outOff) != nv+1 || len(g.outDense) != len(g.outCSR) || len(g.vlab) != nv {
+			return fmt.Errorf("graph: inconsistent CSR lengths")
+		}
+		for i := 0; i < nv; i++ {
+			if g.outOff[i] > g.outOff[i+1] {
+				return fmt.Errorf("graph: CSR offsets not monotone at %d", i)
+			}
+		}
+		if int(g.outOff[nv]) != len(g.outCSR) {
+			return fmt.Errorf("graph: CSR offsets do not cover the edge array")
+		}
+		for k, e := range g.outCSR {
+			d := g.outDense[k]
+			if int(d.To) >= nv || g.ids[d.To] != e.To {
+				return fmt.Errorf("graph: packed edge %d targets %d, sparse view says %d", k, d.To, e.To)
+			}
+			if g.labelNames[d.Label] != e.Label {
+				return fmt.Errorf("graph: packed edge %d label %q, sparse view says %q", k, g.labelNames[d.Label], e.Label)
+			}
+		}
+		return nil
 	}
 	for ui, es := range g.out {
 		for _, e := range es {

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -85,6 +86,93 @@ func TestGraphModelProperty(t *testing.T) {
 			}
 		}
 		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreezeProperty replays random operation sequences, freezes a clone,
+// and checks that Freeze preserves every observable — Out/In adjacency,
+// labels, properties, vertex and edge counts — exactly, that the dense
+// accessors agree with the boundary API, and that the frozen graph
+// round-trips through the wire codec byte-for-byte.
+func TestFreezeProperty(t *testing.T) {
+	f := func(ops []op) bool {
+		g := New()
+		for _, o := range ops {
+			u, v := ID(o.U%32), ID(o.V%32)
+			switch o.Kind % 3 {
+			case 0:
+				label := ""
+				if o.Label {
+					label = "L" + string(rune('a'+o.PropTag%3))
+				}
+				g.AddVertex(u, label)
+			case 1:
+				g.AddLabeledEdge(u, v, float64(o.W)+1, []string{"", "x", "y"}[o.PropTag%3])
+			case 2:
+				g.AddVertex(u, "")
+				g.AddProp(u, "p"+string(rune('0'+o.PropTag%4)))
+			}
+		}
+		fz := g.Clone().Freeze()
+		if err := fz.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		if fz.NumVertices() != g.NumVertices() || fz.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, v := range g.Vertices() {
+			if fz.Label(v) != g.Label(v) || !reflect.DeepEqual(fz.Props(v), g.Props(v)) {
+				return false
+			}
+			if !reflect.DeepEqual(fz.Out(v), g.Out(v)) || !reflect.DeepEqual(fz.In(v), g.In(v)) {
+				return false
+			}
+		}
+		// dense accessors agree with the boundary API
+		for i := int32(0); i < int32(fz.NumVertices()); i++ {
+			id := fz.IDAt(i)
+			if fz.LabelName(fz.LabelIDAt(i)) != fz.Label(id) {
+				return false
+			}
+			out := fz.Out(id)
+			if len(out) != fz.OutDegreeAt(i) {
+				return false
+			}
+			for k, e := range fz.OutAt(i) {
+				if fz.IDAt(e.To) != out[k].To || e.W != out[k].W || fz.LabelName(e.Label) != out[k].Label {
+					return false
+				}
+			}
+			in := fz.In(id)
+			if len(in) != fz.InDegreeAt(i) {
+				return false
+			}
+			for k, e := range fz.InAt(i) {
+				if fz.IDAt(e.To) != in[k].To || e.W != in[k].W || fz.LabelName(e.Label) != in[k].Label {
+					return false
+				}
+			}
+		}
+		// wire codec: mutable and frozen encodings are byte-identical, and
+		// the decode (which reconstructs CSR directly) re-encodes to the
+		// same bytes
+		mutableBytes := AppendGraph(nil, g)
+		frozenBytes := AppendGraph(nil, fz)
+		if !reflect.DeepEqual(mutableBytes, frozenBytes) {
+			return false
+		}
+		dec, used, err := DecodeGraph(frozenBytes)
+		if err != nil || used != len(frozenBytes) {
+			return false
+		}
+		if !dec.Frozen() || dec.Validate() != nil {
+			return false
+		}
+		return reflect.DeepEqual(AppendGraph(nil, dec), frozenBytes)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

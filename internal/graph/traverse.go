@@ -28,6 +28,9 @@ func (g *Graph) BFS(src ID, visit func(id ID, depth int) bool) {
 // Neighborhood returns the set of vertices within d hops of each seed
 // (following out-edges), including the seeds themselves.
 func (g *Graph) Neighborhood(seeds []ID, d int) map[ID]bool {
+	if g.frozen {
+		return g.neighborhoodIdx(seeds, d, false)
+	}
 	seen := make(map[ID]bool, len(seeds))
 	frontier := make([]ID, 0, len(seeds))
 	for _, s := range seeds {
@@ -53,6 +56,9 @@ func (g *Graph) Neighborhood(seeds []ID, d int) map[ID]bool {
 
 // UndirectedNeighborhood is Neighborhood following both edge directions.
 func (g *Graph) UndirectedNeighborhood(seeds []ID, d int) map[ID]bool {
+	if g.frozen {
+		return g.neighborhoodIdx(seeds, d, true)
+	}
 	seen := make(map[ID]bool, len(seeds))
 	frontier := make([]ID, 0, len(seeds))
 	for _, s := range seeds {
@@ -78,6 +84,51 @@ func (g *Graph) UndirectedNeighborhood(seeds []ID, d int) map[ID]bool {
 			}
 		}
 		frontier = next
+	}
+	return seen
+}
+
+// neighborhoodIdx is the frozen fast path shared by Neighborhood and
+// UndirectedNeighborhood: the BFS runs over dense indices with a flat
+// visited array, hashing only to resolve the seeds and build the result set.
+func (g *Graph) neighborhoodIdx(seeds []ID, d int, undirected bool) map[ID]bool {
+	visited := make([]bool, len(g.ids))
+	frontier := make([]int32, 0, len(seeds))
+	n := 0
+	for _, s := range seeds {
+		if i, ok := g.index[s]; ok && !visited[i] {
+			visited[i] = true
+			frontier = append(frontier, i)
+			n++
+		}
+	}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, e := range g.OutAt(u) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					next = append(next, e.To)
+					n++
+				}
+			}
+			if undirected {
+				for _, e := range g.InAt(u) {
+					if !visited[e.To] {
+						visited[e.To] = true
+						next = append(next, e.To)
+						n++
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	seen := make(map[ID]bool, n)
+	for i, ok := range visited {
+		if ok {
+			seen[g.ids[i]] = true
+		}
 	}
 	return seen
 }

@@ -43,8 +43,14 @@ func AppendGraph(buf []byte, g *Graph) []byte {
 		}
 	}
 	for i := range g.ids {
-		buf = binary.AppendUvarint(buf, uint64(len(g.out[i])))
-		for _, e := range g.out[i] {
+		var es []Edge
+		if g.frozen {
+			es = g.outCSR[g.outOff[i]:g.outOff[i+1]]
+		} else {
+			es = g.out[i]
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(es)))
+		for _, e := range es {
 			buf = binary.AppendUvarint(buf, uint64(e.To))
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.W))
 			buf = appendString(buf, e.Label)
@@ -54,7 +60,10 @@ func AppendGraph(buf []byte, g *Graph) []byte {
 }
 
 // DecodeGraph decodes a graph encoded by AppendGraph from the front of data,
-// returning the graph and the number of bytes consumed.
+// returning the graph and the number of bytes consumed. The decoder fills the
+// CSR arrays directly and returns the graph already frozen — workers query
+// shipped fragments, they do not mutate them — so decoding pays no per-edge
+// append/index churn and the dense accessors are immediately available.
 func DecodeGraph(data []byte) (*Graph, int, error) {
 	pos := 0
 	if len(data) == 0 {
@@ -66,7 +75,7 @@ func DecodeGraph(data []byte) (*Graph, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	g := &Graph{directed: directed, index: make(map[ID]int32)}
+	g := &Graph{directed: directed, index: make(map[ID]int32, nv)}
 	for i := uint64(0); i < nv; i++ {
 		id, err := ReadUvarint(data, &pos)
 		if err != nil {
@@ -79,7 +88,9 @@ func DecodeGraph(data []byte) (*Graph, int, error) {
 		if _, dup := g.index[ID(id)]; dup {
 			return nil, 0, fmt.Errorf("graph: duplicate vertex %d in encoding", id)
 		}
-		g.AddVertex(ID(id), label)
+		g.index[ID(id)] = int32(i)
+		g.ids = append(g.ids, ID(id))
+		g.labels = append(g.labels, label)
 		np, err := ReadUvarint(data, &pos)
 		if err != nil {
 			return nil, 0, err
@@ -92,16 +103,14 @@ func DecodeGraph(data []byte) (*Graph, int, error) {
 			}
 			props = append(props, p)
 		}
-		if props != nil {
-			g.props[i] = props
-		}
+		g.props = append(g.props, props)
 	}
+	g.outOff = make([]int32, nv+1)
 	for i := uint64(0); i < nv; i++ {
 		deg, err := ReadUvarint(data, &pos)
 		if err != nil {
 			return nil, 0, err
 		}
-		var edges []Edge
 		for j := uint64(0); j < deg; j++ {
 			to, err := ReadUvarint(data, &pos)
 			if err != nil {
@@ -119,15 +128,16 @@ func DecodeGraph(data []byte) (*Graph, int, error) {
 			if _, ok := g.index[ID(to)]; !ok {
 				return nil, 0, fmt.Errorf("graph: edge to unknown vertex %d", to)
 			}
-			edges = append(edges, Edge{To: ID(to), W: w, Label: label})
+			g.outCSR = append(g.outCSR, Edge{To: ID(to), W: w, Label: label})
 		}
-		g.out[i] = edges
+		g.outOff[i+1] = int32(len(g.outCSR))
 	}
 	ne, err := ReadUvarint(data, &pos)
 	if err != nil {
 		return nil, 0, err
 	}
 	g.numEdges = int(ne)
+	g.finishFreeze()
 	return g, pos, nil
 }
 

@@ -46,6 +46,10 @@ func (a *Assignment) Owner(id graph.ID) int {
 	return int(a.owner[i])
 }
 
+// OwnerAt returns the worker owning the vertex at dense index i of G — the
+// hash-free accessor engines use on per-vertex and per-edge hot paths.
+func (a *Assignment) OwnerAt(i int32) int { return int(a.owner[i]) }
+
 // Sizes returns the number of vertices per worker.
 func (a *Assignment) Sizes() []int {
 	s := make([]int, a.N)

@@ -31,22 +31,137 @@ type Fragment struct {
 
 	inner map[graph.ID]bool
 	asg   *Assignment
+
+	// Dense caches over G's vertex index, built lazily after the fragment is
+	// assembled (Build/BuildExpanded/DecodeFragment finalize them eagerly).
+	// innerAt/innerIdx never change after construction — graph updates only
+	// ever add outer copies; the border caches are invalidated by
+	// AddOuter/AddInnerBorder.
+	innerAt   []bool     // dense index -> owned here
+	innerIdx  []int32    // dense indices of Inner, parallel to Inner
+	border    []graph.ID // cached Border(), ascending
+	borderIdx []int32    // dense indices of border, parallel to border
+	innerOK   bool
+	borderOK  bool
 }
 
 // IsInner reports whether id is owned by this fragment.
 func (f *Fragment) IsInner(id graph.ID) bool { return f.inner[id] }
 
+// IsInnerAt reports whether the vertex at dense index i of the fragment graph
+// is owned by this fragment. Vertices appended after construction (new outer
+// copies from graph updates) fall past the cache and are never inner.
+func (f *Fragment) IsInnerAt(i int32) bool {
+	if !f.innerOK {
+		f.buildInnerCache()
+	}
+	return int(i) < len(f.innerAt) && f.innerAt[i]
+}
+
+// InnerIndices returns the dense indices of the fragment's inner vertices,
+// parallel to Inner. The caller must not mutate the returned slice.
+func (f *Fragment) InnerIndices() []int32 {
+	if !f.innerOK {
+		f.buildInnerCache()
+	}
+	return f.innerIdx
+}
+
+func (f *Fragment) buildInnerCache() {
+	f.innerAt = make([]bool, f.G.NumVertices())
+	f.innerIdx = make([]int32, len(f.Inner))
+	for k, id := range f.Inner {
+		i, ok := f.G.Index(id)
+		if !ok {
+			i = -1
+		} else {
+			f.innerAt[i] = true
+		}
+		f.innerIdx[k] = i
+	}
+	f.innerOK = true
+}
+
 // Owner returns the fragment index owning id in the global assignment.
 func (f *Fragment) Owner(id graph.ID) int { return f.asg.Owner(id) }
 
 // Border returns the nodes of this fragment that carry update parameters:
-// Outer ∪ InnerBorder, ascending.
+// Outer ∪ InnerBorder, ascending. The slice is cached across calls (programs
+// walk it every superstep); the caller must not mutate it.
 func (f *Fragment) Border() []graph.ID {
+	if !f.borderOK {
+		f.buildBorderCache()
+	}
+	return f.border
+}
+
+// BorderIndices returns the dense indices of Border(), parallel to it. The
+// caller must not mutate the returned slice.
+func (f *Fragment) BorderIndices() []int32 {
+	if !f.borderOK {
+		f.buildBorderCache()
+	}
+	return f.borderIdx
+}
+
+func (f *Fragment) buildBorderCache() {
 	out := make([]graph.ID, 0, len(f.Outer)+len(f.InnerBorder))
 	out = append(out, f.Outer...)
 	out = append(out, f.InnerBorder...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	f.border = out
+	f.borderIdx = make([]int32, len(out))
+	for k, id := range out {
+		i, ok := f.G.Index(id)
+		if !ok {
+			i = -1
+		}
+		f.borderIdx[k] = i
+	}
+	f.borderOK = true
+}
+
+// finalize freezes the local subgraph and builds the dense caches. Build,
+// BuildExpanded and DecodeFragment call it once the fragment is complete.
+func (f *Fragment) finalize() {
+	f.G.Freeze()
+	f.buildInnerCache()
+	f.buildBorderCache()
+}
+
+// AddOuter records a new outer copy (a vertex owned elsewhere that graph
+// updates just replicated here), keeping the border caches consistent. It is
+// a no-op if id is already an outer copy.
+func (f *Fragment) AddOuter(id graph.ID) {
+	n := len(f.Outer)
+	f.Outer = insertSortedID(f.Outer, id)
+	if len(f.Outer) != n {
+		f.borderOK = false
+	}
+}
+
+// AddInnerBorder records that the inner vertex id now has copies elsewhere,
+// keeping the border caches consistent. It reports whether id was newly
+// added.
+func (f *Fragment) AddInnerBorder(id graph.ID) bool {
+	n := len(f.InnerBorder)
+	f.InnerBorder = insertSortedID(f.InnerBorder, id)
+	if len(f.InnerBorder) == n {
+		return false
+	}
+	f.borderOK = false
+	return true
+}
+
+func insertSortedID(ids []graph.ID, id graph.ID) []graph.ID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
 }
 
 // Layout is the result of cutting a graph into fragments: the fragments plus
@@ -148,57 +263,100 @@ func (l *Layout) buildHostIndex() {
 
 // Build cuts g into fragments according to asg. Every inner vertex keeps all
 // of its out-edges; remote endpoints become outer copies with labels and
-// properties replicated (matching algorithms inspect them).
+// properties replicated (matching algorithms inspect them). A frozen input
+// produces the fragments directly in CSR form via graph.SubgraphBuilder —
+// the whole cut then costs one hash per fragment vertex and zero per edge;
+// an unfrozen input goes through the mutable graph API and the fragments are
+// frozen afterwards. Both paths yield identical fragments.
 func Build(g *graph.Graph, asg *Assignment) *Layout {
 	n := asg.N
 	frags := make([]*Fragment, n)
-	for i := 0; i < n; i++ {
-		var local *graph.Graph
-		if g.Directed() {
-			local = graph.New()
-		} else {
-			local = graph.NewUndirected()
-		}
-		frags[i] = &Fragment{Index: i, G: local, inner: make(map[graph.ID]bool), asg: asg}
-	}
-	// inner vertices
-	for _, id := range g.SortedVertices() {
-		f := frags[asg.Owner(id)]
-		f.G.AddVertex(id, g.Label(id))
-		if ps := g.Props(id); len(ps) > 0 {
-			f.G.SetProps(id, append([]string(nil), ps...))
-		}
-		f.inner[id] = true
-		f.Inner = append(f.Inner, id)
-	}
-	// edges + outer copies
 	placement := make(map[graph.ID][]int)
 	hasCopy := make(map[graph.ID]map[int]bool) // border vertex -> fragments with copies
-	for _, u := range g.SortedVertices() {
-		uo := asg.Owner(u)
-		f := frags[uo]
-		for _, e := range g.Out(u) {
-			if !g.Directed() && u > e.To && asg.Owner(e.To) == uo {
-				continue // undirected intra-fragment edge already added via the lower endpoint
-			}
-			vo := asg.Owner(e.To)
-			if vo != uo && !f.G.Has(e.To) {
-				f.G.AddVertex(e.To, g.Label(e.To))
-				if ps := g.Props(e.To); len(ps) > 0 {
-					f.G.SetProps(e.To, append([]string(nil), ps...))
+
+	if g.Frozen() {
+		builders := make([]*graph.SubgraphBuilder, n)
+		nv := g.NumVertices()
+		for i := 0; i < n; i++ {
+			frags[i] = &Fragment{Index: i, inner: make(map[graph.ID]bool, nv/n+1), asg: asg}
+			builders[i] = graph.NewSubgraphBuilder(g, nv/n+1)
+		}
+		order := g.SortedIndices()
+		// inner vertices
+		for _, i := range order {
+			w := asg.OwnerAt(i)
+			id := g.IDAt(i)
+			builders[w].AddVertex(i)
+			frags[w].inner[id] = true
+			frags[w].Inner = append(frags[w].Inner, id)
+		}
+		// edges + outer copies
+		directed := g.Directed()
+		for _, ui := range order {
+			uo := asg.OwnerAt(ui)
+			b := builders[uo]
+			u := g.IDAt(ui)
+			for _, e := range g.OutAt(ui) {
+				vo := asg.OwnerAt(e.To)
+				if !directed && vo == uo && u > g.IDAt(e.To) {
+					continue // undirected intra-fragment edge already added via the lower endpoint
 				}
-				f.Outer = append(f.Outer, e.To)
-				if hasCopy[e.To] == nil {
-					hasCopy[e.To] = make(map[int]bool)
+				if vo != uo && !b.Has(e.To) {
+					b.AddVertex(e.To)
+					v := g.IDAt(e.To)
+					frags[uo].Outer = append(frags[uo].Outer, v)
+					if hasCopy[v] == nil {
+						hasCopy[v] = make(map[int]bool)
+					}
+					hasCopy[v][uo] = true
 				}
-				hasCopy[e.To][uo] = true
+				b.AddEdge(ui, e)
 			}
-			f.G.AddLabeledEdge(u, e.To, e.W, e.Label)
-			if vo != uo {
-				// u is incident to a cut edge; its value may matter to the
-				// neighbor fragment if u is ever copied there. Record copy
-				// hosts only; u's own border-ness is derived below.
-				_ = vo
+		}
+		for i := 0; i < n; i++ {
+			frags[i].G = builders[i].Finish()
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			var local *graph.Graph
+			if g.Directed() {
+				local = graph.New()
+			} else {
+				local = graph.NewUndirected()
+			}
+			frags[i] = &Fragment{Index: i, G: local, inner: make(map[graph.ID]bool), asg: asg}
+		}
+		// inner vertices
+		for _, id := range g.SortedVertices() {
+			f := frags[asg.Owner(id)]
+			f.G.AddVertex(id, g.Label(id))
+			if ps := g.Props(id); len(ps) > 0 {
+				f.G.SetProps(id, append([]string(nil), ps...))
+			}
+			f.inner[id] = true
+			f.Inner = append(f.Inner, id)
+		}
+		// edges + outer copies
+		for _, u := range g.SortedVertices() {
+			uo := asg.Owner(u)
+			f := frags[uo]
+			for _, e := range g.Out(u) {
+				if !g.Directed() && u > e.To && asg.Owner(e.To) == uo {
+					continue // undirected intra-fragment edge already added via the lower endpoint
+				}
+				vo := asg.Owner(e.To)
+				if vo != uo && !f.G.Has(e.To) {
+					f.G.AddVertex(e.To, g.Label(e.To))
+					if ps := g.Props(e.To); len(ps) > 0 {
+						f.G.SetProps(e.To, append([]string(nil), ps...))
+					}
+					f.Outer = append(f.Outer, e.To)
+					if hasCopy[e.To] == nil {
+						hasCopy[e.To] = make(map[int]bool)
+					}
+					hasCopy[e.To][uo] = true
+				}
+				f.G.AddLabeledEdge(u, e.To, e.W, e.Label)
 			}
 		}
 	}
@@ -217,6 +375,9 @@ func Build(g *graph.Graph, asg *Assignment) *Layout {
 	for _, f := range frags {
 		sort.Slice(f.Outer, func(i, j int) bool { return f.Outer[i] < f.Outer[j] })
 		sort.Slice(f.InnerBorder, func(i, j int) bool { return f.InnerBorder[i] < f.InnerBorder[j] })
+	}
+	for _, f := range frags {
+		f.finalize()
 	}
 	l := &Layout{Asg: asg, Fragments: frags, Placement: placement}
 	l.buildHostIndex()
@@ -276,6 +437,7 @@ func BuildExpanded(g *graph.Graph, asg *Assignment, d int) *Layout {
 	}
 	for _, f := range frags {
 		sort.Slice(f.InnerBorder, func(i, j int) bool { return f.InnerBorder[i] < f.InnerBorder[j] })
+		f.finalize()
 	}
 	l := &Layout{Asg: asg, Fragments: frags, Placement: placement, ReplicationBytes: replication}
 	l.buildHostIndex()

@@ -82,6 +82,7 @@ func DecodeFragment(data []byte) (*Fragment, int, error) {
 			return nil, 0, fmt.Errorf("partition: border vertex %d missing from fragment graph", id)
 		}
 	}
+	f.finalize()
 	return f, pos, nil
 }
 

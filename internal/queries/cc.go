@@ -17,14 +17,28 @@ type CCQuery struct{}
 // ccState is the per-worker state CC keeps between supersteps: the fragment's
 // local connectivity never changes, so it is computed once by PEval as a
 // union-find, and IncEval only moves component labels, never re-walks edges —
-// a bounded IncEval.
+// a bounded IncEval. Everything is addressed by the fragment graph's dense
+// vertex index: the union-find is flat arrays, and labels/border lists key on
+// dense root indices.
 type ccState struct {
-	uf *seq.UnionFind
-	// rootLabel is the current (global) component label of each local set.
-	rootLabel map[graph.ID]graph.ID
-	// borderOf lists the border nodes in each local set; lowering a set's
-	// label means re-shipping exactly these.
-	borderOf map[graph.ID][]graph.ID
+	uf *seq.DenseUnionFind
+	// rootLabel is the current (global) component label of each local set,
+	// indexed by dense root index; rootHas marks which entries are live.
+	rootLabel []graph.ID
+	rootHas   []bool
+	// borderOf lists the border nodes (dense indices) in each local set;
+	// lowering a set's label means re-shipping exactly these.
+	borderOf map[int32][]int32
+}
+
+// grow extends the dense state to cover nv vertices; the session layer
+// appends outer copies to the fragment graph.
+func (st *ccState) grow(nv int) {
+	st.uf.Grow(nv)
+	for len(st.rootLabel) < nv {
+		st.rootLabel = append(st.rootLabel, 0)
+		st.rootHas = append(st.rootHas, false)
+	}
 }
 
 // CC is the PIE program for connected components: PEval labels local
@@ -57,34 +71,57 @@ func (CC) Spec() engine.VarSpec[graph.ID] {
 	}
 }
 
-// PEval implements engine.Program: local union-find over the fragment.
+// PEval implements engine.Program: local union-find over the fragment. On a
+// frozen fragment graph every edge hop unions packed dense indices directly;
+// otherwise each target pays one index lookup.
 func (CC) PEval(q CCQuery, ctx *engine.Context[graph.ID]) error {
 	f := ctx.Frag
-	st := &ccState{uf: seq.NewUnionFind(), rootLabel: map[graph.ID]graph.ID{}, borderOf: map[graph.ID][]graph.ID{}}
-	ctx.State = st
-	for _, v := range f.G.Vertices() {
-		st.uf.Add(v)
+	g := f.G
+	nv := g.NumVertices()
+	st := &ccState{
+		uf:        seq.NewDenseUnionFind(nv),
+		rootLabel: make([]graph.ID, nv),
+		rootHas:   make([]bool, nv),
+		borderOf:  map[int32][]int32{},
 	}
-	for _, u := range f.G.Vertices() {
-		for _, e := range f.G.Out(u) {
-			st.uf.Union(u, e.To)
-			ctx.AddWork(1)
+	ctx.State = st
+	if g.Frozen() {
+		for i := int32(0); i < int32(nv); i++ {
+			for _, e := range g.OutAt(i) {
+				st.uf.Union(i, e.To)
+				ctx.AddWork(1)
+			}
+		}
+	} else {
+		for i := int32(0); i < int32(nv); i++ {
+			for _, e := range g.Out(g.IDAt(i)) {
+				vi, _ := g.Index(e.To)
+				st.uf.Union(i, vi)
+				ctx.AddWork(1)
+			}
 		}
 	}
 	// label each set with its minimum member
-	for _, v := range f.G.Vertices() {
-		r := st.uf.Find(v)
-		if cur, ok := st.rootLabel[r]; !ok || v < cur {
+	for i := int32(0); i < int32(nv); i++ {
+		r := st.uf.Find(i)
+		if v := g.IDAt(i); !st.rootHas[r] || v < st.rootLabel[r] {
 			st.rootLabel[r] = v
+			st.rootHas[r] = true
 		}
 		ctx.AddWork(1)
 	}
-	for _, b := range f.Border() {
+	for _, b := range f.BorderIndices() {
+		if b < 0 { // border ID not (yet) in the fragment graph
+			continue
+		}
 		r := st.uf.Find(b)
 		st.borderOf[r] = append(st.borderOf[r], b)
 	}
-	for _, b := range f.Border() {
-		ctx.Set(b, st.rootLabel[st.uf.Find(b)])
+	for _, b := range f.BorderIndices() {
+		if b < 0 {
+			continue
+		}
+		ctx.SetAt(b, st.rootLabel[st.uf.Find(b)])
 	}
 	return nil
 }
@@ -98,9 +135,9 @@ func (CC) PEval(q CCQuery, ctx *engine.Context[graph.ID]) error {
 // not-yet-processed (lower) update on a shared border node.
 func (CC) IncEval(q CCQuery, ctx *engine.Context[graph.ID]) error {
 	st := ctx.State.(*ccState)
-	best := make(map[graph.ID]graph.ID) // root -> lowest incoming label
-	for _, u := range ctx.Updated() {
-		l := ctx.Get(u)
+	best := make(map[int32]graph.ID) // root -> lowest incoming label
+	for _, u := range ctx.UpdatedAt() {
+		l := ctx.GetAt(u)
 		r := st.uf.Find(u)
 		if cur, ok := best[r]; !ok || l < cur {
 			best[r] = l
@@ -112,9 +149,10 @@ func (CC) IncEval(q CCQuery, ctx *engine.Context[graph.ID]) error {
 			continue
 		}
 		st.rootLabel[r] = l
+		st.rootHas[r] = true
 		for _, b := range st.borderOf[r] {
-			if l < ctx.Get(b) {
-				ctx.Set(b, l)
+			if l < ctx.GetAt(b) {
+				ctx.SetAt(b, l)
 			}
 			ctx.AddWork(1)
 		}
@@ -131,46 +169,55 @@ func (CC) ApplyUpdate(q CCQuery, ctx *engine.Context[graph.ID], upd engine.EdgeU
 		return nil, fmt.Errorf("cc: session state missing (PEval has not run)")
 	}
 	f := ctx.Frag
-	st.uf.Add(upd.From)
-	st.uf.Add(upd.To)
-	ru, rv := st.uf.Find(upd.From), st.uf.Find(upd.To)
-	labelOf := func(r graph.ID, v graph.ID) graph.ID {
-		if l, ok := st.rootLabel[r]; ok {
-			return l
+	g := f.G
+	st.grow(g.NumVertices())
+	fi, ok := g.Index(upd.From)
+	if !ok {
+		return nil, fmt.Errorf("cc: update source %d missing from fragment", upd.From)
+	}
+	ti, ok := g.Index(upd.To)
+	if !ok {
+		return nil, fmt.Errorf("cc: update target %d missing from fragment", upd.To)
+	}
+	ru, rv := st.uf.Find(fi), st.uf.Find(ti)
+	labelOf := func(r, i int32, v graph.ID) graph.ID {
+		if st.rootHas[r] {
+			return st.rootLabel[r]
 		}
 		// a vertex first seen now (new outer copy): its best-known label is
 		// its variable (seeded from the coordinator) or, if inner, itself
-		l := ctx.Get(v)
+		l := ctx.GetAt(i)
 		if l == noComponent && f.IsInner(v) {
 			l = v
 		}
 		return l
 	}
-	lu, lv := labelOf(ru, upd.From), labelOf(rv, upd.To)
+	lu, lv := labelOf(ru, fi, upd.From), labelOf(rv, ti, upd.To)
 	min := lu
 	if lv < min {
 		min = lv
 	}
 	if ru != rv {
-		st.uf.Union(upd.From, upd.To)
-		nr := st.uf.Find(upd.From)
+		st.uf.Union(fi, ti)
+		nr := st.uf.Find(fi)
 		// merge bookkeeping of both old roots into the new one
 		borders := append(st.borderOf[ru], st.borderOf[rv]...)
 		delete(st.borderOf, ru)
 		delete(st.borderOf, rv)
 		// newly-border endpoints must be tracked too
-		for _, v := range []graph.ID{upd.From, upd.To} {
-			if ctx.IsBorder(v) && !containsBorder(borders, v) {
-				borders = append(borders, v)
+		for _, i := range []int32{fi, ti} {
+			if ctx.IsBorderAt(i) && !containsBorder(borders, i) {
+				borders = append(borders, i)
 			}
 		}
 		st.borderOf[nr] = borders
-		delete(st.rootLabel, ru)
-		delete(st.rootLabel, rv)
+		st.rootHas[ru], st.rootHas[rv] = false, false
+		st.rootLabel[ru], st.rootLabel[rv] = 0, 0
 		st.rootLabel[nr] = min
+		st.rootHas[nr] = true
 		for _, b := range borders {
-			if min < ctx.Get(b) {
-				ctx.Set(b, min)
+			if min < ctx.GetAt(b) {
+				ctx.SetAt(b, min)
 			}
 			ctx.AddWork(1)
 		}
@@ -187,24 +234,30 @@ func (CC) PublishBorder(q CCQuery, ctx *engine.Context[graph.ID], id graph.ID) {
 	if !ok {
 		return
 	}
-	st.uf.Add(id)
-	r := st.uf.Find(id)
-	if !containsBorder(st.borderOf[r], id) {
-		st.borderOf[r] = append(st.borderOf[r], id)
-	}
-	l, ok := st.rootLabel[r]
+	g := ctx.Frag.G
+	st.grow(g.NumVertices())
+	i, ok := g.Index(id)
 	if !ok {
+		return
+	}
+	r := st.uf.Find(i)
+	if !containsBorder(st.borderOf[r], i) {
+		st.borderOf[r] = append(st.borderOf[r], i)
+	}
+	l := st.rootLabel[r]
+	if !st.rootHas[r] {
 		l = id
 		st.rootLabel[r] = l
+		st.rootHas[r] = true
 	}
-	if l < ctx.Get(id) {
-		ctx.Set(id, l)
+	if l < ctx.GetAt(i) {
+		ctx.SetAt(i, l)
 	}
 }
 
-func containsBorder(ids []graph.ID, id graph.ID) bool {
-	for _, x := range ids {
-		if x == id {
+func containsBorder(idxs []int32, i int32) bool {
+	for _, x := range idxs {
+		if x == i {
 			return true
 		}
 	}
@@ -212,13 +265,15 @@ func containsBorder(ids []graph.ID, id graph.ID) bool {
 }
 
 // Assemble implements engine.Program: read each inner vertex's label off its
-// local set.
+// local set, via the fragment's cached dense inner indices.
 func (CC) Assemble(q CCQuery, ctxs []*engine.Context[graph.ID]) (map[graph.ID]graph.ID, error) {
 	out := make(map[graph.ID]graph.ID)
 	for _, ctx := range ctxs {
 		st := ctx.State.(*ccState)
-		for _, v := range ctx.Frag.Inner {
-			out[v] = st.rootLabel[st.uf.Find(v)]
+		inner := ctx.Frag.Inner
+		iidx := ctx.Frag.InnerIndices()
+		for k, v := range inner {
+			out[v] = st.rootLabel[st.uf.Find(iidx[k])]
 		}
 	}
 	return out, nil

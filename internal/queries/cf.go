@@ -26,10 +26,12 @@ type CFResult struct {
 }
 
 // cfState is CF's per-worker state: the true factor matrices (the node
-// variables only mirror the border subset) and the epoch counter.
+// variables only mirror the border subset) and the epoch counter. Factors
+// live in a flat slice indexed by the fragment graph's dense vertex index so
+// every rating edge of an SGD epoch lands on its operands without hashing.
 type cfState struct {
-	factors seq.Factors
-	users   []graph.ID // inner users, sorted
+	factors [][]float64 // dense vertex index -> latent vector (nil = unset)
+	users   []int32     // dense indices of inner users, ascending by ID
 	epoch   int
 }
 
@@ -105,14 +107,17 @@ func (CF) PEval(q CFQuery, ctx *engine.Context[[]float64]) error {
 		return fmt.Errorf("cf: need positive Factors and Epochs, got %+v", cfg)
 	}
 	f := ctx.Frag
-	st := &cfState{factors: make(seq.Factors, f.G.NumVertices())}
+	g := f.G
+	st := &cfState{factors: make([][]float64, g.NumVertices())}
 	ctx.State = st
-	for _, v := range f.G.SortedVertices() {
-		st.factors[v] = initVec(cfg.Seed, v, cfg.Factors)
+	for _, v := range g.SortedVertices() {
+		i, _ := g.Index(v)
+		st.factors[i] = initVec(cfg.Seed, v, cfg.Factors)
 	}
-	for _, u := range f.Inner {
-		if f.G.Label(u) == "user" {
-			st.users = append(st.users, u)
+	iidx := f.InnerIndices()
+	for k, u := range f.Inner {
+		if g.Label(u) == "user" {
+			st.users = append(st.users, iidx[k])
 		}
 	}
 	epochs := 1
@@ -120,7 +125,7 @@ func (CF) PEval(q CFQuery, ctx *engine.Context[[]float64]) error {
 		epochs = cfg.Epochs // nothing to synchronize with
 	}
 	for e := 0; e < epochs; e++ {
-		work, _, _ := seq.SGDEpoch(f.G, st.users, st.factors, cfg)
+		work := cfEpoch(g, st, cfg)
 		ctx.AddWork(work)
 		st.epoch++
 	}
@@ -128,18 +133,42 @@ func (CF) PEval(q CFQuery, ctx *engine.Context[[]float64]) error {
 	return nil
 }
 
+// cfEpoch runs one SGD pass, over the CSR form when the fragment graph is
+// frozen and through the boundary API otherwise (a thawed session graph).
+// Both visit the ratings in the same order.
+func cfEpoch(g *graph.Graph, st *cfState, cfg seq.CFConfig) int64 {
+	if g.Frozen() {
+		work, _, _ := seq.SGDEpochIdx(g, st.users, st.factors, cfg)
+		return work
+	}
+	var work int64
+	for _, u := range st.users {
+		pu := st.factors[u]
+		for _, e := range g.Out(g.IDAt(u)) {
+			i, _ := g.Index(e.To)
+			qi := st.factors[i]
+			if qi == nil || pu == nil {
+				continue
+			}
+			seq.SGDStep(pu, qi, e.W, cfg)
+			work += int64(len(pu))
+		}
+	}
+	return work
+}
+
 // IncEval implements engine.Program: adopt the averaged border factors and
 // run one more epoch, until the epoch budget is exhausted.
 func (CF) IncEval(q CFQuery, ctx *engine.Context[[]float64]) error {
 	st := ctx.State.(*cfState)
-	for _, u := range ctx.Updated() {
-		st.factors[u] = append([]float64(nil), ctx.Get(u)...)
+	for _, u := range ctx.UpdatedAt() {
+		st.factors[u] = append([]float64(nil), ctx.GetAt(u)...)
 		ctx.AddWork(1)
 	}
 	if st.epoch >= q.Cfg.Epochs {
 		return nil // trained out; stop changing parameters
 	}
-	work, _, _ := seq.SGDEpoch(ctx.Frag.G, st.users, st.factors, q.Cfg)
+	work := cfEpoch(ctx.Frag.G, st, q.Cfg)
 	ctx.AddWork(work)
 	st.epoch++
 	cfShipBorder(ctx, st)
@@ -147,9 +176,12 @@ func (CF) IncEval(q CFQuery, ctx *engine.Context[[]float64]) error {
 }
 
 func cfShipBorder(ctx *engine.Context[[]float64], st *cfState) {
-	for _, b := range ctx.Frag.Border() {
+	for _, b := range ctx.Frag.BorderIndices() {
+		if b < 0 || int(b) >= len(st.factors) {
+			continue // border ID not (yet) in the fragment graph / state
+		}
 		if vec := st.factors[b]; vec != nil {
-			ctx.Set(b, append([]float64(nil), vec...))
+			ctx.SetAt(b, append([]float64(nil), vec...))
 		}
 	}
 }
@@ -162,15 +194,30 @@ func (CF) Assemble(q CFQuery, ctxs []*engine.Context[[]float64]) (CFResult, erro
 	n := 0
 	for _, ctx := range ctxs {
 		st := ctx.State.(*cfState)
-		for _, v := range ctx.Frag.Inner {
-			if vec := st.factors[v]; vec != nil {
+		g := ctx.Frag.G
+		iidx := ctx.Frag.InnerIndices()
+		for k, v := range ctx.Frag.Inner {
+			if vec := st.factors[iidx[k]]; vec != nil {
 				res.Factors[v] = vec
 			}
 		}
 		for _, u := range st.users {
 			pu := st.factors[u]
-			for _, e := range ctx.Frag.G.Out(u) {
-				qi := st.factors[e.To]
+			if g.Frozen() {
+				for _, e := range g.OutAt(u) {
+					qi := st.factors[e.To]
+					if qi == nil {
+						continue
+					}
+					d := e.W - dotVec(pu, qi)
+					sq += d * d
+					n++
+				}
+				continue
+			}
+			for _, e := range g.Out(g.IDAt(u)) {
+				i, _ := g.Index(e.To)
+				qi := st.factors[i]
 				if qi == nil {
 					continue
 				}

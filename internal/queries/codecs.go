@@ -148,11 +148,13 @@ func (CC) EncodePartial(q CCQuery, ctx *engine.Context[graph.ID]) ([]byte, error
 	if !ok {
 		return nil, fmt.Errorf("cc: no state to assemble (PEval has not run)")
 	}
+	inner := ctx.Frag.Inner
+	iidx := ctx.Frag.InnerIndices()
 	var buf []byte
-	buf = binary.AppendUvarint(buf, uint64(len(ctx.Frag.Inner)))
-	for _, v := range ctx.Frag.Inner {
+	buf = binary.AppendUvarint(buf, uint64(len(inner)))
+	for k, v := range inner {
 		buf = binary.AppendUvarint(buf, uint64(v))
-		buf = binary.AppendUvarint(buf, uint64(st.rootLabel[st.uf.Find(v)]))
+		buf = binary.AppendUvarint(buf, uint64(st.rootLabel[st.uf.Find(iidx[k])]))
 	}
 	return buf, nil
 }
@@ -161,7 +163,14 @@ func (CC) EncodePartial(q CCQuery, ctx *engine.Context[graph.ID]) ([]byte, error
 // ccState (every vertex its own set, already labeled) that Assemble reads
 // exactly like the worker's original.
 func (CC) DecodePartial(q CCQuery, ctx *engine.Context[graph.ID], data []byte) error {
-	st := &ccState{uf: seq.NewUnionFind(), rootLabel: map[graph.ID]graph.ID{}, borderOf: map[graph.ID][]graph.ID{}}
+	g := ctx.Frag.G
+	nv := g.NumVertices()
+	st := &ccState{
+		uf:        seq.NewDenseUnionFind(nv),
+		rootLabel: make([]graph.ID, nv),
+		rootHas:   make([]bool, nv),
+		borderOf:  map[int32][]int32{},
+	}
 	pos := 0
 	n, err := graph.ReadUvarint(data, &pos)
 	if err != nil {
@@ -176,8 +185,12 @@ func (CC) DecodePartial(q CCQuery, ctx *engine.Context[graph.ID], data []byte) e
 		if err != nil {
 			return fmt.Errorf("cc: partial: %w", err)
 		}
-		st.uf.Add(graph.ID(v))
-		st.rootLabel[graph.ID(v)] = graph.ID(l)
+		vi, ok := g.Index(graph.ID(v))
+		if !ok {
+			return fmt.Errorf("cc: partial labels unknown vertex %d", v)
+		}
+		st.rootLabel[vi] = graph.ID(l)
+		st.rootHas[vi] = true
 	}
 	ctx.State = st
 	return nil
@@ -387,10 +400,14 @@ func (CF) EncodePartial(q CFQuery, ctx *engine.Context[[]float64]) ([]byte, erro
 	if !ok {
 		return nil, fmt.Errorf("cf: no state to assemble (PEval has not run)")
 	}
+	g := ctx.Frag.G
 	ids := make([]graph.ID, 0, len(st.factors))
-	for v, vec := range st.factors {
+	byID := make(map[graph.ID]int32, len(st.factors))
+	for i, vec := range st.factors {
 		if vec != nil {
+			v := g.IDAt(int32(i))
 			ids = append(ids, v)
+			byID[v] = int32(i)
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -399,18 +416,19 @@ func (CF) EncodePartial(q CFQuery, ctx *engine.Context[[]float64]) ([]byte, erro
 	c := vecCodec{}
 	for _, v := range ids {
 		buf = binary.AppendUvarint(buf, uint64(v))
-		buf = c.AppendVal(buf, st.factors[v])
+		buf = c.AppendVal(buf, st.factors[byID[v]])
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(st.users)))
 	for _, u := range st.users {
-		buf = binary.AppendUvarint(buf, uint64(u))
+		buf = binary.AppendUvarint(buf, uint64(g.IDAt(u)))
 	}
 	return buf, nil
 }
 
 // DecodePartial implements engine.PartialCodec.
 func (CF) DecodePartial(q CFQuery, ctx *engine.Context[[]float64], data []byte) error {
-	st := &cfState{factors: make(seq.Factors)}
+	g := ctx.Frag.G
+	st := &cfState{factors: make([][]float64, g.NumVertices())}
 	pos := 0
 	n, err := graph.ReadUvarint(data, &pos)
 	if err != nil {
@@ -427,7 +445,11 @@ func (CF) DecodePartial(q CFQuery, ctx *engine.Context[[]float64], data []byte) 
 			return fmt.Errorf("cf: partial: %w", err)
 		}
 		pos += used
-		st.factors[graph.ID(v)] = vec
+		vi, ok := g.Index(graph.ID(v))
+		if !ok {
+			return fmt.Errorf("cf: partial factors for unknown vertex %d", v)
+		}
+		st.factors[vi] = vec
 	}
 	nu, err := graph.ReadUvarint(data, &pos)
 	if err != nil {
@@ -438,7 +460,11 @@ func (CF) DecodePartial(q CFQuery, ctx *engine.Context[[]float64], data []byte) 
 		if err != nil {
 			return fmt.Errorf("cf: partial: %w", err)
 		}
-		st.users = append(st.users, graph.ID(u))
+		ui, ok := g.Index(graph.ID(u))
+		if !ok {
+			return fmt.Errorf("cf: partial user %d unknown", u)
+		}
+		st.users = append(st.users, ui)
 	}
 	ctx.State = st
 	return nil

@@ -130,6 +130,32 @@ func kwSlot(ctx *engine.Context[kwVec], nk, k int) (get func(graph.ID) float64, 
 	return get, set
 }
 
+// kwSlotAt is kwSlot addressed by dense vertex index, for seq.RelaxIdx over
+// frozen fragment graphs.
+func kwSlotAt(ctx *engine.Context[kwVec], nk, k int) (get func(int32) float64, set func(int32, float64)) {
+	get = func(i int32) float64 {
+		v := ctx.GetAt(i)
+		if v == nil {
+			return seq.Inf
+		}
+		return v[k]
+	}
+	set = func(i int32, d float64) {
+		old := ctx.GetAt(i)
+		nv := make(kwVec, nk)
+		for j := range nv {
+			if old == nil {
+				nv[j] = seq.Inf
+			} else {
+				nv[j] = old[j]
+			}
+		}
+		nv[k] = d
+		ctx.SetAt(i, nv)
+	}
+	return get, set
+}
+
 // PEval implements engine.Program.
 func (Keyword) PEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
 	if len(q.Keywords) == 0 {
@@ -141,6 +167,7 @@ func (Keyword) PEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
 		inv = index.BuildInverted(f.G)
 		ctx.AddWork(int64(f.G.NumVertices())) // one-time index build
 	}
+	frozen := f.G.Frozen()
 	for k, w := range q.Keywords {
 		var seeds []graph.ID
 		if inv != nil {
@@ -153,6 +180,23 @@ func (Keyword) PEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
 					seeds = append(seeds, v)
 				}
 			}
+		}
+		if frozen {
+			// Dense path: seeds resolve to dense indices once, the per-edge
+			// relaxation then runs hash-free along the reverse CSR.
+			g := f.G
+			sidx := make([]int32, 0, len(seeds))
+			for _, s := range seeds {
+				if i, ok := g.Index(s); ok {
+					sidx = append(sidx, i)
+				}
+			}
+			get, set := kwSlotAt(ctx, len(q.Keywords), k)
+			for _, s := range sidx {
+				set(s, 0)
+			}
+			ctx.AddWork(seq.RelaxIdx(g, true, sidx, get, set))
+			continue
 		}
 		get, set := kwSlot(ctx, len(q.Keywords), k)
 		for _, s := range seeds {
@@ -167,6 +211,14 @@ func (Keyword) PEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
 // IncEval implements engine.Program.
 func (Keyword) IncEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
 	f := ctx.Frag
+	if g := f.G; g.Frozen() {
+		updated := ctx.UpdatedAt()
+		for k := range q.Keywords {
+			get, set := kwSlotAt(ctx, len(q.Keywords), k)
+			ctx.AddWork(seq.RelaxIdx(g, true, updated, get, set))
+		}
+		return nil
+	}
 	updated := ctx.Updated()
 	for k := range q.Keywords {
 		get, set := kwSlot(ctx, len(q.Keywords), k)
@@ -180,17 +232,18 @@ func (Keyword) IncEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
 func (Keyword) Assemble(q KeywordQuery, ctxs []*engine.Context[kwVec]) ([]seq.KeywordMatch, error) {
 	var out []seq.KeywordMatch
 	for _, ctx := range ctxs {
-		ctx.Vars(func(v graph.ID, vec kwVec) {
-			if !ctx.Frag.IsInner(v) || vec == nil {
+		g := ctx.Frag.G
+		ctx.VarsAt(func(i int32, vec kwVec) {
+			if !ctx.IsInnerAt(i) || vec == nil {
 				return
 			}
-			m := seq.KeywordMatch{Root: v, Dists: make([]float64, len(q.Keywords))}
-			for i := range q.Keywords {
-				if vec[i] > q.Bound {
+			m := seq.KeywordMatch{Root: g.IDAt(i), Dists: make([]float64, len(q.Keywords))}
+			for j := range q.Keywords {
+				if vec[j] > q.Bound {
 					return
 				}
-				m.Dists[i] = vec[i]
-				m.Score += vec[i]
+				m.Dists[j] = vec[j]
+				m.Score += vec[j]
 			}
 			out = append(out, m)
 		})

@@ -66,6 +66,19 @@ func (Sim) PEval(q SimQuery, ctx *engine.Context[seq.SimBits]) error {
 	// mask from its replicated label, so the initialization itself need not
 	// be shipped — only refinements are. Outer copies stay optimistic and
 	// frozen; their truth arrives from their owner.
+	if g := f.G; g.Frozen() {
+		// Dense path: label bits come from a table indexed by interned
+		// label, the refinement runs over the CSR form.
+		tab := seq.LabelBitsIdx(q.Pattern, g)
+		for i := int32(0); i < int32(g.NumVertices()); i++ {
+			ctx.SetLocalAt(i, tab[g.LabelIDAt(i)])
+			ctx.AddWork(1)
+		}
+		work := seq.RefineSimIdx(q.Pattern, g, ctx.GetAt, ctx.SetAt,
+			func(i int32) bool { return !f.IsInnerAt(i) }, nil, true, func(int32) {})
+		ctx.AddWork(work)
+		return nil
+	}
 	for _, v := range f.G.Vertices() {
 		ctx.SetLocal(v, seq.LabelBits(q.Pattern, f.G.Label(v)))
 		ctx.AddWork(1)
@@ -80,6 +93,12 @@ func (Sim) PEval(q SimQuery, ctx *engine.Context[seq.SimBits]) error {
 // masks.
 func (Sim) IncEval(q SimQuery, ctx *engine.Context[seq.SimBits]) error {
 	f := ctx.Frag
+	if g := f.G; g.Frozen() {
+		work := seq.RefineSimIdx(q.Pattern, g, ctx.GetAt, ctx.SetAt,
+			func(i int32) bool { return !f.IsInnerAt(i) }, ctx.UpdatedAt(), false, func(int32) {})
+		ctx.AddWork(work)
+		return nil
+	}
 	work := seq.RefineSim(q.Pattern, f.G, ctx.Get, ctx.Set,
 		func(v graph.ID) bool { return !f.IsInner(v) }, ctx.Updated(), func(graph.ID) {})
 	ctx.AddWork(work)
@@ -95,10 +114,12 @@ func (Sim) Assemble(q SimQuery, ctxs []*engine.Context[seq.SimBits]) (SimResult,
 		res[u] = nil
 	}
 	for _, ctx := range ctxs {
-		ctx.Vars(func(v graph.ID, m seq.SimBits) {
-			if !ctx.Frag.IsInner(v) || m == 0 {
+		g := ctx.Frag.G
+		ctx.VarsAt(func(i int32, m seq.SimBits) {
+			if !ctx.IsInnerAt(i) || m == 0 {
 				return
 			}
+			v := g.IDAt(i)
 			for m != 0 {
 				k := bits.TrailingZeros64(m)
 				m &^= 1 << uint(k)

@@ -54,9 +54,20 @@ func (SSSP) Spec() engine.VarSpec[float64] {
 	}
 }
 
-// PEval implements engine.Program with sequential Dijkstra.
+// PEval implements engine.Program with sequential Dijkstra. On a frozen
+// fragment graph (the partition layer freezes at build time) the relaxation
+// runs over the CSR form through the hash-free dense accessors.
 func (SSSP) PEval(q SSSPQuery, ctx *engine.Context[float64]) error {
 	f := ctx.Frag
+	if g := f.G; g.Frozen() {
+		si, ok := g.Index(q.Source)
+		if !ok {
+			return nil
+		}
+		ctx.SetAt(si, 0)
+		ctx.AddWork(seq.RelaxIdx(g, false, []int32{si}, ctx.GetAt, ctx.SetAt))
+		return nil
+	}
 	if !f.G.Has(q.Source) {
 		return nil
 	}
@@ -69,6 +80,10 @@ func (SSSP) PEval(q SSSPQuery, ctx *engine.Context[float64]) error {
 // IncEval implements engine.Program with bounded incremental relaxation from
 // the changed border nodes.
 func (SSSP) IncEval(q SSSPQuery, ctx *engine.Context[float64]) error {
+	if g := ctx.Frag.G; g.Frozen() {
+		ctx.AddWork(seq.RelaxIdx(g, false, ctx.UpdatedAt(), ctx.GetAt, ctx.SetAt))
+		return nil
+	}
 	work := seq.Relax(ctx.Frag.G, ctx.Updated(), ctx.Get, ctx.Set)
 	ctx.AddWork(work)
 	return nil
@@ -90,12 +105,14 @@ func (SSSP) ApplyUpdate(q SSSPQuery, ctx *engine.Context[float64], upd engine.Ed
 }
 
 // Assemble implements engine.Program: union of the inner-vertex distances.
+// Ownership is tested by dense index — no per-vertex hash.
 func (SSSP) Assemble(q SSSPQuery, ctxs []*engine.Context[float64]) (map[graph.ID]float64, error) {
 	out := make(map[graph.ID]float64)
 	for _, ctx := range ctxs {
-		ctx.Vars(func(id graph.ID, d float64) {
-			if ctx.Frag.IsInner(id) && d < seq.Inf {
-				out[id] = d
+		g := ctx.Frag.G
+		ctx.VarsAt(func(i int32, d float64) {
+			if ctx.IsInnerAt(i) && d < seq.Inf {
+				out[g.IDAt(i)] = d
 			}
 		})
 	}

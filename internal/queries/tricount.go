@@ -47,9 +47,15 @@ func (TriCount) Spec() engine.VarSpec[uint8] {
 	}
 }
 
-// PEval implements engine.Program.
+// PEval implements engine.Program. On a frozen fragment graph the pivot
+// enumeration runs over the CSR form with epoch-stamped scratch arrays for
+// neighbor dedup and adjacency tests — no per-pivot map allocation and no
+// hash per traversed edge.
 func (TriCount) PEval(q TriCountQuery, ctx *engine.Context[uint8]) error {
 	f := ctx.Frag
+	if f.G.Frozen() {
+		return triCountIdx(ctx)
+	}
 	counts := make(map[graph.ID]int64)
 	var total int64
 	for _, v := range f.Inner {
@@ -68,6 +74,68 @@ func (TriCount) PEval(q TriCountQuery, ctx *engine.Context[uint8]) error {
 			for j := i + 1; j < len(bigger); j++ {
 				ctx.AddWork(1)
 				if ai[bigger[j]] {
+					counts[v]++
+					total++
+				}
+			}
+		}
+	}
+	ctx.Partial = TriCountResult{Total: total, PerPivot: counts}
+	return nil
+}
+
+func triCountIdx(ctx *engine.Context[uint8]) error {
+	f := ctx.Frag
+	g := f.G
+	nv := g.NumVertices()
+	counts := make(map[graph.ID]int64)
+	var total int64
+	// epoch-stamped scratch: seen dedups a pivot's neighborhood, adj marks
+	// the neighborhood of one `bigger` candidate for O(1) adjacency tests.
+	seen := make([]int32, nv)
+	adj := make([]int32, nv)
+	epoch, adjEpoch := int32(0), int32(0)
+	var bigger []int32
+	iidx := f.InnerIndices()
+	for k, v := range f.Inner {
+		vi := iidx[k]
+		epoch++
+		nbrs := 0
+		bigger = bigger[:0]
+		collect := func(t int32) {
+			if t == vi || seen[t] == epoch {
+				return
+			}
+			seen[t] = epoch
+			nbrs++
+			if g.IDAt(t) > v {
+				bigger = append(bigger, t)
+			}
+		}
+		for _, e := range g.OutAt(vi) {
+			collect(e.To)
+		}
+		for _, e := range g.InAt(vi) {
+			collect(e.To)
+		}
+		ctx.AddWork(int64(nbrs))
+		sort.Slice(bigger, func(a, b int) bool { return g.IDAt(bigger[a]) < g.IDAt(bigger[b]) })
+		for i := 0; i < len(bigger); i++ {
+			adjEpoch++
+			bi := bigger[i]
+			for _, e := range g.OutAt(bi) {
+				if e.To != bi {
+					adj[e.To] = adjEpoch
+				}
+			}
+			for _, e := range g.InAt(bi) {
+				if e.To != bi {
+					adj[e.To] = adjEpoch
+				}
+			}
+			for j := i + 1; j < len(bigger); j++ {
+				ctx.AddWork(1)
+				if adj[bigger[j]] == adjEpoch {
 					counts[v]++
 					total++
 				}

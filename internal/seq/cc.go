@@ -4,8 +4,12 @@ import "grape/internal/graph"
 
 // Components labels every vertex of g with the smallest vertex ID in its
 // weakly connected component (edge direction is ignored), the canonical
-// sequential CC algorithm via union-find with path compression.
+// sequential CC algorithm via union-find with path compression. On a frozen
+// graph the union-find runs over dense indices in flat arrays.
 func Components(g *graph.Graph) map[graph.ID]graph.ID {
+	if g.Frozen() {
+		return componentsIdx(g)
+	}
 	uf := NewUnionFind()
 	for _, v := range g.Vertices() {
 		uf.Add(v)
@@ -26,6 +30,31 @@ func Components(g *graph.Graph) map[graph.ID]graph.ID {
 	}
 	for _, v := range g.Vertices() {
 		out[v] = min[uf.Find(v)]
+	}
+	return out
+}
+
+func componentsIdx(g *graph.Graph) map[graph.ID]graph.ID {
+	nv := g.NumVertices()
+	uf := NewDenseUnionFind(nv)
+	for i := int32(0); i < int32(nv); i++ {
+		for _, e := range g.OutAt(i) {
+			uf.Union(i, e.To)
+		}
+	}
+	min := make([]graph.ID, nv)
+	for i := range min {
+		min[i] = graph.NoID
+	}
+	for i := int32(0); i < int32(nv); i++ {
+		r := uf.Find(i)
+		if v := g.IDAt(i); min[r] == graph.NoID || v < min[r] {
+			min[r] = v
+		}
+	}
+	out := make(map[graph.ID]graph.ID, nv)
+	for i := int32(0); i < int32(nv); i++ {
+		out[g.IDAt(i)] = min[uf.Find(i)]
 	}
 	return out
 }
@@ -65,6 +94,61 @@ func (u *UnionFind) Find(v graph.ID) graph.ID {
 
 // Union merges the sets of a and b and reports whether they were distinct.
 func (u *UnionFind) Union(a, b graph.ID) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}
+
+// DenseUnionFind is a disjoint-set forest over dense vertex indices — flat
+// parent/size arrays instead of maps, with the same union-by-size and
+// path-compression policy as UnionFind, so both produce identical set
+// structures given the same Union sequence.
+type DenseUnionFind struct {
+	parent []int32
+	size   []int32
+}
+
+// NewDenseUnionFind returns a forest of n singletons {0, …, n-1}.
+func NewDenseUnionFind(n int) *DenseUnionFind {
+	u := &DenseUnionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Grow extends the forest with singletons up to n elements; existing sets
+// are untouched. The session layer calls it when graph updates append
+// vertices to a fragment.
+func (u *DenseUnionFind) Grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, int32(len(u.parent)))
+		u.size = append(u.size, 1)
+	}
+}
+
+// Find returns the representative of v's set.
+func (u *DenseUnionFind) Find(v int32) int32 {
+	root := v
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[v] != root { // path compression
+		v, u.parent[v] = u.parent[v], root
+	}
+	return root
+}
+
+// Union merges the sets of a and b and reports whether they were distinct.
+func (u *DenseUnionFind) Union(a, b int32) bool {
 	ra, rb := u.Find(a), u.Find(b)
 	if ra == rb {
 		return false

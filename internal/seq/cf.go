@@ -41,6 +41,22 @@ func InitFactors(g *graph.Graph, cfg CFConfig) Factors {
 	return f
 }
 
+// SGDStep applies one stochastic-gradient update for a single rating
+// r(u, i) = w to the user and item factor vectors in place and returns the
+// prediction error before the update. It is the one copy of the update rule
+// shared by every SGD loop (sparse, dense, and the engine's thawed-graph
+// fallback) — change it here and all paths stay bit-identical.
+func SGDStep(pu, qi []float64, w float64, cfg CFConfig) float64 {
+	err := w - dot(pu, qi)
+	for k := range pu {
+		du := cfg.LR * (err*qi[k] - cfg.Reg*pu[k])
+		di := cfg.LR * (err*pu[k] - cfg.Reg*qi[k])
+		pu[k] += du
+		qi[k] += di
+	}
+	return err
+}
+
 // SGDEpoch runs one SGD pass over the rating edges incident to the given
 // users, updating factors in place, and returns (work units, squared-error
 // sum, rating count). Edges are visited in sorted-user order for
@@ -56,16 +72,34 @@ func SGDEpoch(g *graph.Graph, users []graph.ID, f Factors, cfg CFConfig) (int64,
 			if qi == nil || pu == nil {
 				continue
 			}
-			pred := dot(pu, qi)
-			err := e.W - pred
+			err := SGDStep(pu, qi, e.W, cfg)
 			sqErr += err * err
 			count++
-			for k := range pu {
-				du := cfg.LR * (err*qi[k] - cfg.Reg*pu[k])
-				di := cfg.LR * (err*pu[k] - cfg.Reg*qi[k])
-				pu[k] += du
-				qi[k] += di
+			work += int64(len(pu))
+		}
+	}
+	return work, sqErr, count
+}
+
+// SGDEpochIdx is SGDEpoch over a frozen graph's CSR form: factors live in a
+// flat slice indexed by dense vertex index and each rating edge lands on its
+// packed dense target. Users must be given in the same order as the IDs
+// passed to SGDEpoch would be — the gradient updates then happen in an
+// identical sequence and both paths produce bit-identical factors.
+func SGDEpochIdx(g *graph.Graph, users []int32, f [][]float64, cfg CFConfig) (int64, float64, int) {
+	var work int64
+	var sqErr float64
+	count := 0
+	for _, u := range users {
+		pu := f[u]
+		for _, e := range g.OutAt(u) {
+			qi := f[e.To]
+			if qi == nil || pu == nil {
+				continue
 			}
+			err := SGDStep(pu, qi, e.W, cfg)
+			sqErr += err * err
+			count++
 			work += int64(len(pu))
 		}
 	}

@@ -11,6 +11,9 @@ func PageRank(g *graph.Graph, damping float64, iters int, eps float64) map[graph
 	if n == 0 {
 		return nil
 	}
+	if g.Frozen() {
+		return pageRankIdx(g, damping, iters, eps)
+	}
 	rank := make(map[graph.ID]float64, n)
 	for _, v := range g.Vertices() {
 		rank[v] = 1.0 / float64(n)
@@ -45,4 +48,53 @@ func PageRank(g *graph.Graph, damping float64, iters int, eps float64) map[graph
 		}
 	}
 	return rank
+}
+
+// pageRankIdx is the power iteration over the CSR form: ranks live in flat
+// arrays indexed by dense vertex index, visited in the same order and with
+// the same floating-point accumulation sequence as the map-based path, so
+// the two agree bit for bit.
+func pageRankIdx(g *graph.Graph, damping float64, iters int, eps float64) map[graph.ID]float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		dangling := 0.0
+		for i := int32(0); i < int32(n); i++ {
+			out := g.OutAt(i)
+			if len(out) == 0 {
+				dangling += rank[i]
+				continue
+			}
+			share := rank[i] / float64(len(out))
+			for _, e := range out {
+				next[e.To] += share
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		delta := 0.0
+		for i := range rank {
+			nv := base + damping*next[i]
+			d := nv - rank[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+			rank[i] = nv
+		}
+		if delta < eps {
+			break
+		}
+	}
+	out := make(map[graph.ID]float64, n)
+	for i, r := range rank {
+		out[g.IDAt(int32(i))] = r
+	}
+	return out
 }

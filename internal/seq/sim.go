@@ -167,3 +167,103 @@ func indexOf(ids []graph.ID, id graph.ID) int {
 	}
 	return -1
 }
+
+// LabelBitsIdx precomputes LabelBits per interned data-graph vertex label:
+// entry lid of the returned table is the initial mask of a data vertex whose
+// LabelIDAt is lid. Frozen graphs only.
+func LabelBitsIdx(p, g *graph.Graph) []SimBits {
+	tab := make([]SimBits, g.NumLabels())
+	for lid := range tab {
+		tab[lid] = LabelBits(p, g.LabelName(int32(lid)))
+	}
+	return tab
+}
+
+// simPlanEdge is one pattern edge prepared for the dense refinement: the bit
+// of the target pattern vertex and the pattern edge label resolved against
+// the data graph's intern table, so the inner matching loop compares int32s.
+type simPlanEdge struct {
+	j       int   // bit index of the pattern edge's target
+	lid     int32 // interned data label the edge must match
+	any     bool  // empty pattern label: matches every data edge
+	present bool  // the label occurs in the data graph at all
+}
+
+// RefineSimIdx is RefineSim over a frozen graph's CSR form: masks are
+// addressed by dense vertex index and every adjacency hop lands on packed
+// dense targets. With all=true every vertex seeds the worklist (PEval);
+// otherwise only dirty and its in-neighbors do (IncEval). The refinement
+// order, fixpoint and work accounting match RefineSim exactly.
+func RefineSimIdx(p, g *graph.Graph, mask func(int32) SimBits, setMask func(int32, SimBits), frozenAt func(int32) bool, dirty []int32, all bool, onChange func(int32)) int64 {
+	var work int64
+	pverts := p.Vertices()
+	plan := make([][]simPlanEdge, len(pverts))
+	for k, u := range pverts {
+		for _, pe := range p.Out(u) {
+			e := simPlanEdge{j: indexOf(pverts, pe.To), any: pe.Label == ""}
+			e.lid, e.present = g.LabelID(pe.Label)
+			plan[k] = append(plan[k], e)
+		}
+	}
+
+	nv := g.NumVertices()
+	inWork := make([]bool, nv)
+	var queue []int32
+	push := func(v int32) {
+		if !inWork[v] && !frozenAt(v) {
+			inWork[v] = true
+			queue = append(queue, v)
+		}
+	}
+	if all {
+		for v := int32(0); v < int32(nv); v++ {
+			push(v)
+		}
+	} else {
+		for _, v := range dirty {
+			push(v)
+			// a changed vertex can only invalidate its predecessors
+			for _, e := range g.InAt(v) {
+				push(e.To)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inWork[v] = false
+		m := mask(v)
+		if m == 0 {
+			continue
+		}
+		nm := m
+		for k := range pverts {
+			if nm&(1<<uint(k)) == 0 {
+				continue
+			}
+			for _, pe := range plan[k] {
+				ok := false
+				for _, ge := range g.OutAt(v) {
+					work++
+					if (pe.any || (pe.present && ge.Label == pe.lid)) && mask(ge.To)&(1<<uint(pe.j)) != 0 {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					nm &^= 1 << uint(k)
+					break
+				}
+			}
+		}
+		if nm != m {
+			setMask(v, nm)
+			onChange(v)
+			for _, e := range g.InAt(v) {
+				work++
+				push(e.To)
+			}
+		}
+	}
+	return work
+}

@@ -12,6 +12,7 @@ package seq
 import (
 	"container/heap"
 	"math"
+	"sync"
 
 	"grape/internal/graph"
 )
@@ -98,9 +99,92 @@ func RelaxEdges(g *graph.Graph, edges func(graph.ID) []graph.Edge, seeds []graph
 	return work
 }
 
+// idxHeap is distHeap over dense vertex indices, used by the frozen-graph
+// fast path. Ordering depends only on the distances, so it pops in exactly
+// the same sequence as the ID-keyed heap and the two paths spend identical
+// work.
+type idxHeap struct {
+	idx  []int32
+	dist []float64
+}
+
+func (h *idxHeap) Len() int           { return len(h.idx) }
+func (h *idxHeap) Less(i, j int) bool { return h.dist[i] < h.dist[j] }
+func (h *idxHeap) Swap(i, j int) {
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+	h.dist[i], h.dist[j] = h.dist[j], h.dist[i]
+}
+func (h *idxHeap) Push(x any) {
+	e := x.(idxEntry)
+	h.idx = append(h.idx, e.i)
+	h.dist = append(h.dist, e.d)
+}
+func (h *idxHeap) Pop() any {
+	n := len(h.idx) - 1
+	e := idxEntry{h.idx[n], h.dist[n]}
+	h.idx = h.idx[:n]
+	h.dist = h.dist[:n]
+	return e
+}
+
+type idxEntry struct {
+	i int32
+	d float64
+}
+
+// idxHeapPool recycles relaxation heaps across RelaxIdx calls: the engine
+// invokes one relaxation per worker per superstep, and the heap's backing
+// arrays are the only allocation on that path.
+var idxHeapPool = sync.Pool{New: func() any { return &idxHeap{} }}
+
+// RelaxIdx is Relax over a frozen graph's CSR form: seeds, reads and writes
+// are addressed by dense vertex index and every edge hop lands on the packed
+// dense target — no hash lookups anywhere on the path. With rev=true it
+// relaxes along in-edges (keyword search). Work accounting matches Relax
+// exactly.
+func RelaxIdx(g *graph.Graph, rev bool, seeds []int32, get func(int32) float64, set func(int32, float64)) int64 {
+	var work int64
+	h := idxHeapPool.Get().(*idxHeap)
+	defer func() {
+		h.idx = h.idx[:0]
+		h.dist = h.dist[:0]
+		idxHeapPool.Put(h)
+	}()
+	for _, s := range seeds {
+		heap.Push(h, idxEntry{s, get(s)})
+		work++
+	}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(idxEntry)
+		work++
+		if e.d > get(e.i) { // stale entry
+			continue
+		}
+		var edges []graph.DenseEdge
+		if rev {
+			edges = g.InAt(e.i)
+		} else {
+			edges = g.OutAt(e.i)
+		}
+		for _, edge := range edges {
+			work++
+			nd := e.d + edge.W
+			if nd < get(edge.To) {
+				set(edge.To, nd)
+				heap.Push(h, idxEntry{edge.To, nd})
+				work++
+			}
+		}
+	}
+	return work
+}
+
 // Dijkstra computes single-source shortest distances over g from src.
 // Unreachable vertices are absent from the result.
 func Dijkstra(g *graph.Graph, src graph.ID) map[graph.ID]float64 {
+	if g.Frozen() {
+		return dijkstraIdx(g, src)
+	}
 	dist := map[graph.ID]float64{}
 	if !g.Has(src) {
 		return dist
@@ -115,6 +199,30 @@ func Dijkstra(g *graph.Graph, src graph.ID) map[graph.ID]float64 {
 	set := func(id graph.ID, d float64) { dist[id] = d }
 	Relax(g, []graph.ID{src}, get, set)
 	return dist
+}
+
+// dijkstraIdx is Dijkstra over the CSR form: distances live in a flat array
+// indexed by dense vertex index and only the final result builds a map.
+func dijkstraIdx(g *graph.Graph, src graph.ID) map[graph.ID]float64 {
+	out := map[graph.ID]float64{}
+	si, ok := g.Index(src)
+	if !ok {
+		return out
+	}
+	dist := make([]float64, g.NumVertices())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[si] = 0
+	RelaxIdx(g, false, []int32{si},
+		func(i int32) float64 { return dist[i] },
+		func(i int32, d float64) { dist[i] = d })
+	for i, d := range dist {
+		if d < Inf {
+			out[g.IDAt(int32(i))] = d
+		}
+	}
+	return out
 }
 
 // BellmanFord computes the same distances as Dijkstra by |V|-1 rounds of

@@ -32,6 +32,9 @@ func SubIso(p, g *graph.Graph, opts SubIsoOptions) ([]Match, int64) {
 	if len(pv) == 0 {
 		return nil, 0
 	}
+	if g.Frozen() {
+		return subIsoIdx(p, g, pv, opts)
+	}
 	// Candidate sets per pattern vertex by label and degree.
 	cands := make(map[graph.ID][]graph.ID, len(pv))
 	for _, u := range pv {
@@ -80,6 +83,123 @@ func SubIso(p, g *graph.Graph, opts SubIsoOptions) ([]Match, int64) {
 			ok := rec(i + 1)
 			delete(assign, u)
 			delete(used, v)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out, work
+}
+
+// subIsoIdx is the enumeration over a frozen data graph: candidates,
+// assignments and adjacency tests all run on dense vertex indices and
+// interned labels, so the backtracking inner loops are hash-free. Candidate
+// order, pruning decisions and work accounting match the sparse path
+// exactly, and the same embeddings come out in the same order.
+func subIsoIdx(p, g *graph.Graph, pv []graph.ID, opts SubIsoOptions) ([]Match, int64) {
+	var work int64
+	np := len(pv)
+	pos := make(map[graph.ID]int, np) // pattern vertex -> matching-order position
+	for i, u := range pv {
+		pos[u] = i
+	}
+	// Pattern edges between position i and already-assigned positions (< i),
+	// with labels resolved against the data graph's intern table once.
+	type pedge struct {
+		tpos    int   // matching-order position of the other endpoint
+		lid     int32 // interned data label the edge must carry
+		any     bool  // empty pattern label matches every data edge
+		present bool  // the label occurs in the data graph at all
+	}
+	outChk := make([][]pedge, np)
+	inChk := make([][]pedge, np)
+	for i, u := range pv {
+		for _, pe := range p.Out(u) {
+			if j := pos[pe.To]; j < i {
+				e := pedge{tpos: j, any: pe.Label == ""}
+				e.lid, e.present = g.LabelID(pe.Label)
+				outChk[i] = append(outChk[i], e)
+			}
+		}
+		for _, pe := range p.In(u) {
+			if j := pos[pe.To]; j < i {
+				e := pedge{tpos: j, any: pe.Label == ""}
+				e.lid, e.present = g.LabelID(pe.Label)
+				inChk[i] = append(inChk[i], e)
+			}
+		}
+	}
+	// Candidate sets per position by interned label and CSR degree, in
+	// ascending vertex-ID order.
+	sorted := g.SortedIndices()
+	cands := make([][]int32, np)
+	for i, u := range pv {
+		plab, plabOK := g.LabelID(p.Label(u))
+		minDeg := p.OutDegree(u)
+		for _, vi := range sorted {
+			work++
+			if !plabOK || g.LabelIDAt(vi) != plab {
+				continue
+			}
+			if g.OutDegreeAt(vi) < minDeg {
+				continue
+			}
+			if u == opts.AnchorVar && opts.Anchor != nil && !opts.Anchor(g.IDAt(vi)) {
+				continue
+			}
+			cands[i] = append(cands[i], vi)
+		}
+	}
+
+	hasEdgeAt := func(from, to int32, e pedge) bool {
+		for _, ge := range g.OutAt(from) {
+			if ge.To == to && (e.any || (e.present && ge.Label == e.lid)) {
+				return true
+			}
+		}
+		return false
+	}
+	consistent := func(i int, v int32, assign []int32) bool {
+		for _, e := range outChk[i] {
+			if !hasEdgeAt(v, assign[e.tpos], e) {
+				return false
+			}
+		}
+		for _, e := range inChk[i] {
+			if !hasEdgeAt(assign[e.tpos], v, e) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []Match
+	assign := make([]int32, np)
+	used := make([]bool, g.NumVertices())
+	var rec func(i int) bool // returns false to abort (cap reached)
+	rec = func(i int) bool {
+		if i == np {
+			m := make(Match, np)
+			for k, u := range pv {
+				m[u] = g.IDAt(assign[k])
+			}
+			out = append(out, m)
+			return opts.MaxMatches == 0 || len(out) < opts.MaxMatches
+		}
+		for _, v := range cands[i] {
+			work++
+			if used[v] {
+				continue
+			}
+			if !consistent(i, v, assign) {
+				continue
+			}
+			assign[i] = v
+			used[v] = true
+			ok := rec(i + 1)
+			used[v] = false
 			if !ok {
 				return false
 			}

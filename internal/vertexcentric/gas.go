@@ -3,7 +3,6 @@ package vertexcentric
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"grape/internal/graph"
@@ -66,42 +65,59 @@ func RunGAS(g *graph.Graph, prog GASProgram, cfg GASConfig) (map[graph.ID]float6
 	}
 	stats := &metrics.Stats{Engine: name + "/" + prog.Name(), Workers: cfg.Workers}
 
-	val := make(map[graph.ID]float64, g.NumVertices())
-	active := make(map[graph.ID]bool)
+	// Engine state in flat arrays by dense vertex index; on a frozen graph
+	// the gather/scatter loops run over the CSR form. Iteration order
+	// (ascending vertex ID) and per-edge traffic accounting match the
+	// map-based engine exactly.
+	nv := g.NumVertices()
+	frozen := g.Frozen()
+	sortedIdx := g.SortedIndices()
+	val := make([]float64, nv)
+	active := make([]bool, nv)
+	activeCount := 0
 	// prevChanged tracks vertices whose value changed last superstep:
 	// PowerGraph-style engines cache mirror values, so a remote gather only
 	// ships data when the cached copy is stale.
-	prevChanged := make(map[graph.ID]bool)
-	for _, id := range g.Vertices() {
-		val[id] = prog.InitValue(id)
+	prevChanged := make([]bool, nv)
+	for i := int32(0); i < int32(nv); i++ {
+		id := g.IDAt(i)
+		val[i] = prog.InitValue(id)
 		if prog.InitActive(id) {
-			active[id] = true
+			active[i] = true
+			activeCount++
 		}
-		prevChanged[id] = true // initial values must reach the mirrors once
+		prevChanged[i] = true // initial values must reach the mirrors once
 	}
 	stats.Supersteps = 0
 
-	for len(active) > 0 {
+	next := make([]bool, nv)
+	type pending struct {
+		i int32
+		v float64
+	}
+	var newVals []pending
+	for activeCount > 0 {
 		if stats.Supersteps >= cfg.MaxSupersteps {
 			return nil, stats, fmt.Errorf("vertexcentric: %s: superstep limit exceeded", stats.Engine)
 		}
-		ids := make([]graph.ID, 0, len(active))
-		for id := range active {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
 		work := make([]int64, cfg.Workers)
 		var stepBytes int64
-		next := make(map[graph.ID]bool)
-		newVals := make(map[graph.ID]float64, len(ids))
-		for _, id := range ids {
-			w := asg.Owner(id)
+		for i := range next {
+			next[i] = false
+		}
+		nextCount := 0
+		newVals = newVals[:0]
+		for _, i := range sortedIdx {
+			if !active[i] {
+				continue
+			}
+			id := g.IDAt(i)
+			w := asg.OwnerAt(i)
 			acc := prog.Identity()
-			for _, e := range g.In(id) {
+			gather := func(ti int32, e graph.Edge) {
 				work[w]++
-				acc = prog.Sum(acc, prog.Gather(val[e.To], e))
-				if asg.Owner(e.To) != w && prevChanged[e.To] {
+				acc = prog.Sum(acc, prog.Gather(val[ti], e))
+				if asg.OwnerAt(ti) != w && prevChanged[ti] {
 					// remote gather with a stale mirror cache: the owner
 					// ships the fresh neighbor value
 					stats.Messages++
@@ -109,35 +125,61 @@ func RunGAS(g *graph.Graph, prog GASProgram, cfg GASConfig) (map[graph.ID]float6
 					stepBytes += msgSize
 				}
 			}
-			nv, changed := prog.Apply(id, val[id], acc)
+			if frozen {
+				for _, e := range g.InAt(i) {
+					gather(e.To, graph.Edge{To: g.IDAt(e.To), W: e.W, Label: g.LabelName(e.Label)})
+				}
+			} else {
+				for _, e := range g.In(id) {
+					ti, _ := g.Index(e.To)
+					gather(ti, e)
+				}
+			}
+			nval, changed := prog.Apply(id, val[i], acc)
 			work[w]++
 			if changed {
-				newVals[id] = nv
-				for _, e := range g.Out(id) {
+				newVals = append(newVals, pending{i, nval})
+				scatter := func(ti int32) {
 					work[w]++
-					next[e.To] = true
-					if asg.Owner(e.To) != w {
+					if !next[ti] {
+						next[ti] = true
+						nextCount++
+					}
+					if asg.OwnerAt(ti) != w {
 						// scatter activation crosses the network
 						stats.Messages++
 						stats.Bytes += msgSize
 						stepBytes += msgSize
 					}
 				}
+				if frozen {
+					for _, e := range g.OutAt(i) {
+						scatter(e.To)
+					}
+				} else {
+					for _, e := range g.Out(id) {
+						ti, _ := g.Index(e.To)
+						scatter(ti)
+					}
+				}
 			}
 		}
-		prevChanged = make(map[graph.ID]bool, len(newVals))
-		for id, nv := range newVals {
-			val[id] = nv
-			prevChanged[id] = true
+		for i := range prevChanged {
+			prevChanged[i] = false
 		}
-		active = next
+		for _, p := range newVals {
+			val[p.i] = p.v
+			prevChanged[p.i] = true
+		}
+		active, next = next, active
+		activeCount = nextCount
 		stats.WorkPerStep = append(stats.WorkPerStep, work)
 		stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)
 		stats.Supersteps++
 	}
-	out := make(map[graph.ID]float64, len(val))
-	for id, v := range val {
-		out[id] = v
+	out := make(map[graph.ID]float64, nv)
+	for i := int32(0); i < int32(nv); i++ {
+		out[g.IDAt(i)] = val[i]
 	}
 	stats.WallTime = time.Since(start)
 	return out, stats, nil

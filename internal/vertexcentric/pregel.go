@@ -15,7 +15,6 @@ package vertexcentric
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"grape/internal/graph"
@@ -121,6 +120,14 @@ const msgSize = 16
 // values. Scheduling is frontier-based: each superstep touches only the
 // vertices that are awake or received messages, as real Pregel
 // implementations do.
+//
+// All engine-internal state — vertex values, inboxes, the awake set, the
+// per-worker message staging — lives in flat arrays indexed by the graph's
+// dense vertex index; maps appear nowhere on the per-superstep path. The
+// iteration order (per worker, ascending vertex ID) and the per-target
+// message delivery order (sending worker ascending, send order within a
+// worker) match the original map-based engine exactly, so values, work,
+// message counts and supersteps are all bit-identical.
 func Run(g *graph.Graph, prog Program, cfg Config) (map[graph.ID]float64, *metrics.Stats, error) {
 	cfg = cfg.withDefaults(prog)
 	start := time.Now()
@@ -130,120 +137,142 @@ func Run(g *graph.Graph, prog Program, cfg Config) (map[graph.ID]float64, *metri
 	}
 	stats := &metrics.Stats{Engine: cfg.EngineName, Workers: cfg.Workers}
 
-	vertices := make(map[graph.ID]*Vertex, g.NumVertices())
-	for _, id := range g.Vertices() {
-		vertices[id] = &Vertex{ID: id}
+	nv := g.NumVertices()
+	sortedIdx := g.SortedIndices()
+	vertices := make([]Vertex, nv)
+	for i := range vertices {
+		vertices[i] = Vertex{ID: g.IDAt(int32(i))}
 	}
 
-	inbox := make(map[graph.ID][]float64)
-	awake := make(map[graph.ID]bool, g.NumVertices()) // not halted after last step
+	// inbox: msgs[i] holds the messages pending for vertex i iff
+	// msgStamp[i] == the current superstep; stale slices are reused.
+	msgs := make([][]float64, nv)
+	msgStamp := make([]int, nv)
+	for i := range msgStamp {
+		msgStamp[i] = -1
+	}
+	inboxCount := 0 // vertices with pending messages
+	awake := make([]bool, nv)
+	awakeCount := 0
 	work := make([]int64, cfg.Workers)
 
-	// runStep executes one superstep over the given participants (grouped
-	// and ordered per worker) and returns the next participant set.
-	runStep := func(step int, parts [][]graph.ID, isInit bool) {
-		stage := make([]map[graph.ID][]float64, cfg.Workers)
+	type stagedMsg struct {
+		to  int32
+		val float64
+	}
+	bufs := make([][]stagedMsg, cfg.Workers) // staged sends, reused across steps
+	parts := make([][]int32, cfg.Workers)    // per-worker participants, reused
+
+	// runStep executes one superstep over the participants staged in parts.
+	runStep := func(step int, isInit bool) {
 		for i := range work {
 			work[i] = 0
 		}
 		for w := 0; w < cfg.Workers; w++ {
-			stage[w] = make(map[graph.ID][]float64)
-			sw := w
+			buf := bufs[w][:0]
+			var cb map[int32]int // combiner: target -> position in buf
+			if cfg.Combiner != nil {
+				cb = make(map[int32]int)
+			}
 			ctx := &Ctx{step: step, g: g, workPtr: &work[w]}
 			ctx.sendFn = func(to graph.ID, val float64) {
-				if cfg.Combiner != nil {
-					if old, ok := stage[sw][to]; ok {
-						old[0] = cfg.Combiner(old[0], val)
-						return
-					}
-					stage[sw][to] = []float64{val}
+				ti, ok := g.Index(to)
+				if !ok {
 					return
 				}
-				stage[sw][to] = append(stage[sw][to], val)
+				if cb != nil {
+					if k, seen := cb[ti]; seen {
+						buf[k].val = cfg.Combiner(buf[k].val, val)
+						return
+					}
+					cb[ti] = len(buf)
+				}
+				buf = append(buf, stagedMsg{ti, val})
 			}
-			for _, id := range parts[w] {
-				v := vertices[id]
-				msgs := inbox[id]
+			for _, i := range parts[w] {
+				v := &vertices[i]
+				var inbox []float64
+				if msgStamp[i] == step {
+					inbox = msgs[i]
+				}
 				if isInit {
 					prog.Init(ctx, v)
 				} else {
-					if len(msgs) > 0 {
+					if len(inbox) > 0 {
 						v.halted = false
 					}
 					if v.halted {
 						continue
 					}
-					prog.Compute(ctx, v, msgs)
+					prog.Compute(ctx, v, inbox)
 				}
 				if v.halted {
-					delete(awake, id)
-				} else {
-					awake[id] = true
+					if awake[i] {
+						awake[i] = false
+						awakeCount--
+					}
+				} else if !awake[i] {
+					awake[i] = true
+					awakeCount++
 				}
 			}
+			bufs[w] = buf
 		}
 		// Deliver: local messages are free; cross-worker ones are traffic.
+		// Per-target arrival order is sender worker ascending, send order
+		// within a worker — identical for order-sensitive folds (PageRank).
 		var stepBytes int64
-		next := make(map[graph.ID][]float64)
+		inboxCount = 0
+		next := step + 1
 		for w := 0; w < cfg.Workers; w++ {
-			targets := make([]graph.ID, 0, len(stage[w]))
-			for to := range stage[w] {
-				targets = append(targets, to)
-			}
-			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
-			for _, to := range targets {
-				payloads := stage[w][to]
-				if asg.Owner(to) != w {
-					stats.Messages += int64(len(payloads))
-					stats.Bytes += int64(len(payloads)) * msgSize
-					stepBytes += int64(len(payloads)) * msgSize
+			for _, m := range bufs[w] {
+				if asg.OwnerAt(m.to) != w {
+					stats.Messages++
+					stats.Bytes += msgSize
+					stepBytes += msgSize
 				}
-				next[to] = append(next[to], payloads...)
+				if msgStamp[m.to] != next {
+					msgStamp[m.to] = next
+					msgs[m.to] = msgs[m.to][:0]
+					inboxCount++
+				}
+				msgs[m.to] = append(msgs[m.to], m.val)
 			}
 		}
-		inbox = next
 		stats.WorkPerStep = append(stats.WorkPerStep, append([]int64(nil), work...))
 		stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)
 	}
 
-	// participants: superstep 0 = everyone; later = awake ∪ inbox targets.
-	group := func(ids []graph.ID) [][]graph.ID {
-		parts := make([][]graph.ID, cfg.Workers)
-		for _, id := range ids {
-			w := asg.Owner(id)
-			parts[w] = append(parts[w], id)
-		}
+	// group stages the next step's participants: scanning the ID-sorted
+	// index list buckets each worker's vertices in ascending-ID order.
+	group := func(step int, all bool) {
 		for w := range parts {
-			sort.Slice(parts[w], func(i, j int) bool { return parts[w][i] < parts[w][j] })
+			parts[w] = parts[w][:0]
 		}
-		return parts
+		for _, i := range sortedIdx {
+			if all || awake[i] || msgStamp[i] == step {
+				w := asg.OwnerAt(i)
+				parts[w] = append(parts[w], i)
+			}
+		}
 	}
 
-	runStep(0, group(g.Vertices()), true)
+	group(0, true)
+	runStep(0, true)
 	stats.Supersteps = 1
 
-	for len(inbox) > 0 || len(awake) > 0 {
+	for inboxCount > 0 || awakeCount > 0 {
 		if stats.Supersteps >= cfg.MaxSupersteps {
 			return nil, stats, fmt.Errorf("vertexcentric: %s: superstep limit %d exceeded", cfg.EngineName, cfg.MaxSupersteps)
 		}
-		seen := make(map[graph.ID]bool, len(awake)+len(inbox))
-		ids := make([]graph.ID, 0, len(awake)+len(inbox))
-		for id := range awake {
-			seen[id] = true
-			ids = append(ids, id)
-		}
-		for id := range inbox {
-			if !seen[id] {
-				ids = append(ids, id)
-			}
-		}
-		runStep(stats.Supersteps, group(ids), false)
+		group(stats.Supersteps, false)
+		runStep(stats.Supersteps, false)
 		stats.Supersteps++
 	}
 
-	out := make(map[graph.ID]float64, len(vertices))
-	for id, v := range vertices {
-		out[id] = v.Value
+	out := make(map[graph.ID]float64, nv)
+	for i := range vertices {
+		out[vertices[i].ID] = vertices[i].Value
 	}
 	stats.WallTime = time.Since(start)
 	return out, stats, nil
