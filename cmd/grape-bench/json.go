@@ -3,16 +3,20 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"testing"
 
 	"grape/internal/engine"
 	"grape/internal/experiments"
 	"grape/internal/gen"
+	"grape/internal/graph"
 	"grape/internal/metrics"
 	"grape/internal/partition"
 	"grape/internal/queries"
 	"grape/internal/seq"
+	"grape/internal/server"
+	"grape/internal/server/servebench"
 )
 
 // benchRow is one workload of the machine-readable bench matrix: wall time
@@ -132,10 +136,53 @@ func runJSONBench(sc experiments.Scale, path string) error {
 		fmt.Fprintf(os.Stderr, "grape-bench: %-14s %12d ns/op %9d allocs/op %9.1f comm-KB %4d steps\n",
 			tc.name, r.NsPerOp(), r.AllocsPerOp(), float64(last.Bytes)/1e3, last.Supersteps)
 	}
+	serve, err := serveRows(road)
+	if err != nil {
+		return err
+	}
+	matrix.Rows = append(matrix.Rows, serve...)
+
 	data, err := json.MarshalIndent(matrix, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// serveRows measures grape-serve end-to-end throughput over the real HTTP
+// stack (the same workload as BenchmarkServeThroughput, via the shared
+// internal/server/servebench driver): N concurrent clients issuing sssp
+// queries against one resident road graph, result cache on (clients rotate
+// a handful of sources, so most requests hit) and off (every request is a
+// full engine run). ns_op is wall time per served query across all clients,
+// so queries/sec = 1e9 / ns_op.
+func serveRows(road *graph.Graph) ([]benchRow, error) {
+	s := server.New(servebench.ServerConfig())
+	if err := s.AddGraph("road", road); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var rows []benchRow
+	for _, clients := range []int{1, 8, 64} {
+		for _, cached := range []bool{true, false} {
+			name := fmt.Sprintf("serve/c%d", clients)
+			if !cached {
+				name += "/nocache"
+			}
+			lastSteps, err := servebench.Warm(ts.URL, cached)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				servebench.Drive(b, ts.URL, clients, cached)
+			})
+			rows = append(rows, benchRow{Name: name, NsPerOp: r.NsPerOp(), Steps: lastSteps})
+			fmt.Fprintf(os.Stderr, "grape-bench: %-16s %12d ns/op %12.1f qps\n",
+				name, r.NsPerOp(), 1e9/float64(r.NsPerOp()))
+		}
+	}
+	return rows, nil
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -72,6 +73,21 @@ func main() {
 	if *program == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Resolve -program/-query through the shared parser (the same code path
+	// the serving layer and tests use) before spending time generating the
+	// dataset: typos fail fast, and the canonical form is what a result
+	// cache would key on. Programs plugged in without a Parse hook still
+	// run — their Entry.Run parses the query itself.
+	pq, err := grape.ParseQuery(*program, *query)
+	switch {
+	case err == nil:
+		fmt.Printf("query: %s %s\n", pq.Program, pq.Canonical)
+	case errors.Is(err, grape.ErrNoParser):
+		// fall through to RunProgram
+	default:
+		log.Fatal(err)
 	}
 
 	g, err := buildGraph(*input, *directed, *dataset, *rows, *cols, *n, *deg, *people, *products, *users, *items, *seed)

@@ -27,6 +27,8 @@
 package grape
 
 import (
+	"fmt"
+
 	"grape/internal/engine"
 	"grape/internal/gen"
 	"grape/internal/gpar"
@@ -35,6 +37,7 @@ import (
 	"grape/internal/partition"
 	"grape/internal/queries"
 	"grape/internal/seq"
+	"grape/internal/server"
 )
 
 // Core types re-exported for building and running queries.
@@ -166,6 +169,66 @@ func RunProgram(name string, g *Graph, opts Options, query string) (any, *Stats,
 	}
 	return e.Run(g, opts, query)
 }
+
+// Serving: the resident query runtime of the paper's Fig. 2 system — load
+// and partition once, answer many concurrent queries. cmd/grape-serve wraps
+// it in an HTTP binary; these types let Go programs embed the same service
+// (or drive resident layouts directly).
+type (
+	// Layout is a graph cut into fragments, reusable across many runs.
+	Layout = partition.Layout
+	// ParsedQuery is a textual query resolved into its typed form plus the
+	// canonical (cache-key) string and required fragment expansion.
+	ParsedQuery = engine.ParsedQuery
+	// ResidentRunner answers parsed queries of one program over one
+	// resident layout, pooling per-run scratch. Safe for concurrent use.
+	ResidentRunner = engine.ResidentRunner
+	// QueryServer is the embeddable serving runtime: named graphs with
+	// epochs, cached layouts, admission control, a result cache, and an
+	// HTTP handler.
+	QueryServer = server.Server
+	// ServeConfig tunes a QueryServer.
+	ServeConfig = server.Config
+	// QueryRequest is one query against a QueryServer.
+	QueryRequest = server.QueryRequest
+	// QueryResponse is a served answer.
+	QueryResponse = server.QueryResponse
+)
+
+// ErrNoParser marks ParseQuery failures for programs Registered without a
+// Parse hook; their Entry.Run still parses and runs query strings itself.
+var ErrNoParser = queries.ErrNoParser
+
+// ParseQuery resolves a textual query against a registered program — the
+// same parser the CLI, the serving layer and tests share.
+func ParseQuery(program, query string) (ParsedQuery, error) {
+	return queries.Parse(program, query)
+}
+
+// BuildLayout partitions g once for many subsequent runs (pass it via
+// Options.Layout, or hand it to NewResidentRunner for concurrent serving).
+func BuildLayout(g *Graph, opts Options) (*Layout, error) {
+	return engine.BuildLayout(g, opts)
+}
+
+// NewResidentRunner returns a runner answering a registered program's
+// queries over a prebuilt layout: partition once, run many — concurrently
+// if desired. The layout must have been built with the ExpandHops that
+// ParseQuery reports for the queries it will serve.
+func NewResidentRunner(program string, layout *Layout, opts Options) (ResidentRunner, error) {
+	e, err := engine.Lookup(program)
+	if err != nil {
+		return nil, err
+	}
+	if e.Resident == nil {
+		return nil, fmt.Errorf("grape: program %q cannot run resident", program)
+	}
+	return e.Resident(layout, opts)
+}
+
+// NewQueryServer returns an empty resident query service; add graphs with
+// AddGraph and mount Handler() on an HTTP server (or use cmd/grape-serve).
+func NewQueryServer(cfg ServeConfig) *QueryServer { return server.New(cfg) }
 
 // RunSSSP computes single-source shortest distances from src (Example 1's
 // PIE program: Dijkstra + bounded incremental relaxation).

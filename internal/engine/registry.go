@@ -10,6 +10,33 @@ import (
 	"grape/internal/partition"
 )
 
+// ParsedQuery is a textual query resolved into a program's typed query plus
+// the two facts a serving layer needs before running it: a canonical string
+// (two query strings with the same semantics canonicalize identically, so it
+// is safe cache-key material) and the fragment expansion the query requires
+// (Options.ExpandHops; e.g. SubIso needs fragments expanded to the pattern
+// radius, so a resident layout must have been built with the same hops).
+type ParsedQuery struct {
+	// Program is the registry name of the program that parsed the query.
+	Program string
+	// Query is the typed query value (e.g. queries.SSSPQuery).
+	Query any
+	// Canonical is the normalized query string: defaults resolved, numbers
+	// reformatted, parameter order fixed.
+	Canonical string
+	// Hops is the d-hop fragment expansion this query needs (0 for most
+	// programs; locality-bounded ones like SubIso and TriCount need > 0).
+	Hops int
+}
+
+// ResidentRunner answers parsed queries over a prebuilt layout that stays
+// resident between calls — the serving layer's handle on one (program,
+// layout) pair. Implementations are safe for concurrent use: every call
+// runs on its own contexts over the shared frozen fragments.
+type ResidentRunner interface {
+	RunParsed(pq ParsedQuery) (any, *metrics.Stats, error)
+}
+
 // Entry describes a PIE program registered in the GRAPE API library — the
 // demo's "plug" panel. Run erases the program's generic types so that the
 // CLI and examples can pick programs by name and drive them with a textual
@@ -25,6 +52,18 @@ type Entry struct {
 	// With a wire transport in opts.Transport the run is distributed; the
 	// worker half of that protocol is Wire below.
 	Run func(g *graph.Graph, opts Options, query string) (any, *metrics.Stats, error)
+	// Parse resolves a textual query without running it: typed query,
+	// canonical form, required fragment expansion. The CLI, the serving
+	// layer and tests all parse through here so they cannot drift. Nil
+	// means the program predates parsing-as-a-step and cannot be served
+	// from a resident layout.
+	Parse func(query string) (ParsedQuery, error)
+	// Resident builds a runner answering this program's parsed queries over
+	// a caller-owned prebuilt layout, without re-partitioning and with
+	// per-run scratch pooled across calls. The layout's fragments must be
+	// frozen and built with the expansion Parse reported for the queries it
+	// will see. Nil when Parse is nil.
+	Resident func(layout *partition.Layout, opts Options) (ResidentRunner, error)
 	// Wire serves the worker side of a distributed run: decode the query
 	// from the setup frame, run PEval/IncEval on the shipped fragment as
 	// commanded, ship encoded replies and the final partial answer.

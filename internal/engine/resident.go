@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"grape/internal/metrics"
+	"grape/internal/partition"
+)
+
+// Resident executes one program over one prebuilt layout many times — the
+// serving half of the paper's Fig. 2 system, where a graph is loaded and
+// partitioned once and then answers a stream of user queries. The layout is
+// never re-partitioned and its fragments are never written: every Run gets
+// its own Contexts, so concurrent Runs over the same Resident (or over
+// distinct Residents sharing the layout) are safe — frozen graphs are
+// race-tested for concurrent reads, and the fragments' dense caches are
+// finalized at build time.
+//
+// Per-run scratch (the n worker contexts with their dense variable arrays,
+// and the coordinator's fold state) is recycled through a sync.Pool: a query
+// service answering many small queries would otherwise spend its time
+// reallocating O(|V|) arrays per request.
+type Resident[Q, V, R any] struct {
+	layout *partition.Layout
+	prog   Program[Q, V, R]
+	opts   Options
+	spec   VarSpec[V]
+	pool   sync.Pool // *runScratch[V]
+}
+
+type runScratch[V any] struct {
+	ctxs []*Context[V]
+	fold *foldState[V]
+}
+
+// NewResident validates the layout for resident use (frozen fragments, no
+// wire transport — resident runs share in-process fragments) and returns
+// the reusable runner. Options.Workers and Options.Layout are implied by the
+// layout and ignored.
+func NewResident[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], opts Options) (*Resident[Q, V, R], error) {
+	opts = opts.withDefaults()
+	if opts.Transport != nil {
+		return nil, fmt.Errorf("engine: resident runs use the in-process bus (wire workers cannot share a resident layout)")
+	}
+	for _, f := range layout.Fragments {
+		if !f.G.Frozen() {
+			return nil, fmt.Errorf("engine: resident layout fragment %d is not frozen (concurrent reads need the CSR form)", f.Index)
+		}
+	}
+	opts.Workers = len(layout.Fragments)
+	opts.Layout = layout
+	r := &Resident[Q, V, R]{layout: layout, prog: prog, opts: opts, spec: prog.Spec()}
+	r.pool.New = func() any {
+		ctxs := make([]*Context[V], len(layout.Fragments))
+		for i, f := range layout.Fragments {
+			ctxs[i] = newContext(f, r.spec)
+		}
+		return &runScratch[V]{ctxs: ctxs, fold: newFoldState(r.spec, len(ctxs))}
+	}
+	return r, nil
+}
+
+// Run executes one query over the resident layout. Safe for concurrent use.
+func (r *Resident[Q, V, R]) Run(q Q) (R, *metrics.Stats, error) {
+	sc := r.pool.Get().(*runScratch[V])
+	for _, c := range sc.ctxs {
+		c.reset()
+	}
+	sc.fold.reset()
+	res, stats, err := runFixpoint(r.layout, r.prog, q, r.opts, sc.ctxs, sc.fold)
+	r.pool.Put(sc)
+	return res, stats, err
+}
+
+// reset returns a pooled context to its just-constructed state so the next
+// resident run starts from the program's declared defaults. The fragment is
+// shared and untouched; only this run's variable arrays are cleared.
+func (c *Context[V]) reset() {
+	nv := c.Frag.G.NumVertices()
+	if len(c.vals) < nv {
+		// the fragment grew (a session mutated it) since this scratch was
+		// built; resize like newContext would
+		c.vals = make([]V, nv)
+		c.has = make([]bool, nv)
+		c.border = make([]bool, nv)
+		c.changedAt = make([]bool, nv)
+	} else {
+		clear(c.vals)
+		clear(c.has)
+		clear(c.border)
+		clear(c.changedAt)
+	}
+	for _, i := range c.Frag.BorderIndices() {
+		if i >= 0 {
+			c.border[i] = true
+		}
+	}
+	c.changedIdx = c.changedIdx[:0]
+	c.vars = nil
+	c.flushBuf = c.flushBuf[:0]
+	c.updated = c.updated[:0]
+	c.updatedIdx = c.updatedIdx[:0]
+	c.work = 0
+	c.active = false
+	c.State = nil
+	c.Partial = nil
+}
+
+// reset clears a pooled fold state for the next run, keeping shard and
+// buffer capacity.
+func (f *foldState[V]) reset() {
+	for s := 0; s < f.shards; s++ {
+		clear(f.global[s])
+		clear(f.pos[s])
+		f.changed[s] = f.changed[s][:0]
+		f.errs[s] = nil
+	}
+	for i := range f.buckets {
+		f.buckets[i] = f.buckets[i][:0]
+	}
+	for i := range f.route {
+		f.route[i] = f.route[i][:0]
+	}
+}

@@ -102,17 +102,29 @@ func Run[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) 
 	opts = opts.withDefaults()
 	layout := opts.Layout
 	if layout == nil {
-		asg, err := partitionFor(g, opts)
+		var err error
+		layout, err = BuildLayout(g, opts)
 		if err != nil {
 			return zero, nil, err
 		}
-		if opts.ExpandHops > 0 {
-			layout = partition.BuildExpanded(g, asg, opts.ExpandHops)
-		} else {
-			layout = partition.Build(g, asg)
-		}
 	}
 	return RunOnLayout(layout, prog, q, opts)
+}
+
+// BuildLayout is the partition-once step of a resident service: it cuts g per
+// opts (Workers, Strategy, Fragments for over-partitioning, ExpandHops for
+// data-shipping expansion) and returns the frozen layout, which many
+// subsequent runs — concurrent ones included, see Resident — can share.
+func BuildLayout(g *graph.Graph, opts Options) (*partition.Layout, error) {
+	opts = opts.withDefaults()
+	asg, err := partitionFor(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ExpandHops > 0 {
+		return partition.BuildExpanded(g, asg, opts.ExpandHops), nil
+	}
+	return partition.Build(g, asg), nil
 }
 
 // partitionFor computes the worker-level assignment, optionally via the
@@ -145,15 +157,26 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	}
 	n := len(layout.Fragments)
 	spec := prog.Spec()
+	ctxs := make([]*Context[V], n)
+	for i, f := range layout.Fragments {
+		ctxs[i] = newContext(f, spec)
+	}
+	return runFixpoint(layout, prog, q, opts, ctxs, newFoldState(spec, n))
+}
+
+// runFixpoint is the engine loop proper, shared by RunOnLayout (fresh
+// contexts and fold state per run) and Resident.Run (both pooled across
+// runs): spawn one worker goroutine per fragment on an in-process bus, run
+// the PEval/IncEval fixpoint, Assemble.
+func runFixpoint[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options, ctxs []*Context[V], fold *foldState[V]) (R, *metrics.Stats, error) {
+	var zero R
+	n := len(layout.Fragments)
+	spec := prog.Spec()
 
 	start := time.Now()
 	stats := &metrics.Stats{Engine: "grape/" + prog.Name(), Workers: n}
 
 	bus := mpi.NewBus(n, 4*n+16)
-	ctxs := make([]*Context[V], n)
-	for i, f := range layout.Fragments {
-		ctxs[i] = newContext(f, spec)
-	}
 
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -177,7 +200,6 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	// communication proportional to real change. (Consumable queue
 	// variables bypass this state: they are folded per superstep and
 	// delivered to the owner, not converged.)
-	fold := newFoldState(spec, n)
 	stillActive := make(map[int]bool)
 	replies := make([]*workerReply[V], n)
 

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Serving aggregates what a resident query service measures per request —
+// the serving-side complement of Stats, which measures one engine run. A
+// single Serving instance is shared by every request goroutine; all methods
+// are safe for concurrent use.
+//
+// Latencies go into a histogram of power-of-two microsecond buckets
+// (bucket 0 is [0, 1) µs, bucket i ≥ 1 covers [2^(i-1), 2^i) µs — so 2^i µs
+// is bucket i's exclusive upper bound), wide enough to span a cache hit
+// (~µs) to a cold multi-superstep run (~minutes) in 32 buckets.
+type Serving struct {
+	mu sync.Mutex
+
+	queries  uint64 // answered (hit or computed), including errors
+	hits     uint64 // answered from the result cache
+	misses   uint64 // answered by running the engine
+	errors   uint64 // run or parse failures surfaced to the client
+	rejected uint64 // refused at admission: queue full
+	timeouts uint64 // gave up waiting (queue or run exceeded the deadline)
+
+	buckets [servingBuckets]uint64
+	sum     time.Duration
+	max     time.Duration
+}
+
+const servingBuckets = 32
+
+// NewServing returns an empty collector.
+func NewServing() *Serving { return &Serving{} }
+
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for <1µs, else floor(log2)+1
+	if b >= servingBuckets {
+		b = servingBuckets - 1
+	}
+	return b
+}
+
+func (m *Serving) observe(d time.Duration) {
+	m.queries++
+	m.buckets[bucketOf(d)]++
+	m.sum += d
+	if d > m.max {
+		m.max = d
+	}
+}
+
+// ObserveHit records a query answered from the result cache in d.
+func (m *Serving) ObserveHit(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hits++
+	m.observe(d)
+}
+
+// ObserveMiss records a query answered by running the engine in d (queue
+// wait included).
+func (m *Serving) ObserveMiss(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.misses++
+	m.observe(d)
+}
+
+// ObserveError records a query that failed after d.
+func (m *Serving) ObserveError(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.errors++
+	m.observe(d)
+}
+
+// ObserveRejected records a query refused at admission (queue full).
+func (m *Serving) ObserveRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+// ObserveTimeout records a query that exceeded its deadline while queued or
+// running.
+func (m *Serving) ObserveTimeout() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.timeouts++
+}
+
+// ServingBucket is one histogram bucket of a snapshot: Count latencies fell
+// in [UnderMs of the previous bucket, UnderMs).
+type ServingBucket struct {
+	UnderMs float64 `json:"under_ms"`
+	Count   uint64  `json:"count"`
+}
+
+// ServingSnapshot is a point-in-time copy of the serving metrics, shaped for
+// a /stats endpoint. Quantiles are upper bounds of the histogram bucket the
+// quantile falls in.
+type ServingSnapshot struct {
+	Queries      uint64  `json:"queries"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Errors       uint64  `json:"errors"`
+	Rejected     uint64  `json:"rejected"`
+	Timeouts     uint64  `json:"timeouts"`
+
+	// QueueDepth and InFlight are scheduler gauges the caller samples at
+	// snapshot time (the collector only sees finished requests).
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+
+	LatencyMeanMs float64         `json:"latency_mean_ms"`
+	LatencyP50Ms  float64         `json:"latency_p50_ms"`
+	LatencyP90Ms  float64         `json:"latency_p90_ms"`
+	LatencyP99Ms  float64         `json:"latency_p99_ms"`
+	LatencyMaxMs  float64         `json:"latency_max_ms"`
+	Histogram     []ServingBucket `json:"histogram,omitempty"`
+}
+
+// Snapshot copies the counters out. queueDepth and inFlight are the
+// scheduler's current gauges.
+func (m *Serving) Snapshot(queueDepth, inFlight int) ServingSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := ServingSnapshot{
+		Queries:     m.queries,
+		CacheHits:   m.hits,
+		CacheMisses: m.misses,
+		Errors:      m.errors,
+		Rejected:    m.rejected,
+		Timeouts:    m.timeouts,
+		QueueDepth:  queueDepth,
+		InFlight:    inFlight,
+	}
+	if m.hits+m.misses > 0 {
+		s.CacheHitRate = float64(m.hits) / float64(m.hits+m.misses)
+	}
+	if m.queries > 0 {
+		s.LatencyMeanMs = (m.sum / time.Duration(m.queries)).Seconds() * 1e3
+	}
+	s.LatencyMaxMs = m.max.Seconds() * 1e3
+	s.LatencyP50Ms = m.quantileMs(0.50)
+	s.LatencyP90Ms = m.quantileMs(0.90)
+	s.LatencyP99Ms = m.quantileMs(0.99)
+	for i, c := range m.buckets {
+		if c == 0 {
+			continue
+		}
+		s.Histogram = append(s.Histogram, ServingBucket{UnderMs: bucketUpperMs(i), Count: c})
+	}
+	return s
+}
+
+// bucketUpperMs is the exclusive upper bound of bucket i in milliseconds.
+func bucketUpperMs(i int) float64 {
+	return float64(uint64(1)<<uint(i)) / 1e3 // 2^i µs
+}
+
+func (m *Serving) quantileMs(q float64) float64 {
+	if m.queries == 0 {
+		return 0
+	}
+	target := uint64(q * float64(m.queries))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range m.buckets {
+		cum += c
+		if cum >= target {
+			return bucketUpperMs(i)
+		}
+	}
+	return bucketUpperMs(servingBuckets - 1)
+}

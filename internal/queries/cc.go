@@ -6,7 +6,6 @@ import (
 
 	"grape/internal/engine"
 	"grape/internal/graph"
-	"grape/internal/metrics"
 	"grape/internal/seq"
 )
 
@@ -280,13 +279,9 @@ func (CC) Assemble(q CCQuery, ctxs []*engine.Context[graph.ID]) (map[graph.ID]gr
 }
 
 func init() {
-	engine.Register(engine.Entry{
-		Name:        "cc",
-		Description: "weakly connected components (union-find PEval, label-merging bounded IncEval, min aggregate)",
-		QueryHelp:   "(no parameters)",
-		Wire:        engine.WireServe(CC{}),
-		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
-			return engine.Run(g, CC{}, CCQuery{}, opts)
-		},
-	})
+	engine.Register(entry(CC{},
+		"weakly connected components (union-find PEval, label-merging bounded IncEval, min aggregate)",
+		"(no parameters)",
+		func(string) (CCQuery, error) { return CCQuery{}, nil },
+		func(CCQuery) string { return "" }, nil))
 }

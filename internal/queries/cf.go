@@ -7,7 +7,6 @@ import (
 
 	"grape/internal/engine"
 	"grape/internal/graph"
-	"grape/internal/metrics"
 	"grape/internal/seq"
 )
 
@@ -241,39 +240,44 @@ func dotVec(a, b []float64) float64 {
 	return s
 }
 
+func parseCF(query string) (CFQuery, error) {
+	kv, err := parseKV(query)
+	if err != nil {
+		return CFQuery{}, err
+	}
+	cfg := seq.DefaultCFConfig()
+	if s, ok := kv["epochs"]; ok {
+		if cfg.Epochs, err = strconv.Atoi(s); err != nil {
+			return CFQuery{}, fmt.Errorf("cf: bad epochs: %v", err)
+		}
+	}
+	if s, ok := kv["k"]; ok {
+		if cfg.Factors, err = strconv.Atoi(s); err != nil {
+			return CFQuery{}, fmt.Errorf("cf: bad k: %v", err)
+		}
+	}
+	if s, ok := kv["lr"]; ok {
+		if cfg.LR, err = strconv.ParseFloat(s, 64); err != nil {
+			return CFQuery{}, fmt.Errorf("cf: bad lr: %v", err)
+		}
+	}
+	if s, ok := kv["reg"]; ok {
+		if cfg.Reg, err = strconv.ParseFloat(s, 64); err != nil {
+			return CFQuery{}, fmt.Errorf("cf: bad reg: %v", err)
+		}
+	}
+	return CFQuery{Cfg: cfg}, nil
+}
+
+// canonicalCF spells out every hyperparameter, so a query relying on a
+// default and one naming it explicitly share a cache entry.
+func canonicalCF(q CFQuery) string {
+	return fmt.Sprintf("epochs=%d k=%d lr=%s reg=%s", q.Cfg.Epochs, q.Cfg.Factors, fmtFloat(q.Cfg.LR), fmtFloat(q.Cfg.Reg))
+}
+
 func init() {
-	engine.Register(engine.Entry{
-		Name:        "cf",
-		Description: "collaborative filtering via SGD matrix factorization (one epoch per superstep, parameter averaging)",
-		QueryHelp:   "[epochs=<n>] [k=<factors>] [lr=<rate>] [reg=<lambda>]",
-		Wire:        engine.WireServe(CF{}),
-		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
-			kv, err := parseKV(query)
-			if err != nil {
-				return nil, nil, err
-			}
-			cfg := seq.DefaultCFConfig()
-			if s, ok := kv["epochs"]; ok {
-				if cfg.Epochs, err = strconv.Atoi(s); err != nil {
-					return nil, nil, fmt.Errorf("cf: bad epochs: %v", err)
-				}
-			}
-			if s, ok := kv["k"]; ok {
-				if cfg.Factors, err = strconv.Atoi(s); err != nil {
-					return nil, nil, fmt.Errorf("cf: bad k: %v", err)
-				}
-			}
-			if s, ok := kv["lr"]; ok {
-				if cfg.LR, err = strconv.ParseFloat(s, 64); err != nil {
-					return nil, nil, fmt.Errorf("cf: bad lr: %v", err)
-				}
-			}
-			if s, ok := kv["reg"]; ok {
-				if cfg.Reg, err = strconv.ParseFloat(s, 64); err != nil {
-					return nil, nil, fmt.Errorf("cf: bad reg: %v", err)
-				}
-			}
-			return engine.Run(g, CF{}, CFQuery{Cfg: cfg}, opts)
-		},
-	})
+	engine.Register(entry(CF{},
+		"collaborative filtering via SGD matrix factorization (one epoch per superstep, parameter averaging)",
+		"[epochs=<n>] [k=<factors>] [lr=<rate>] [reg=<lambda>]",
+		parseCF, canonicalCF, nil))
 }

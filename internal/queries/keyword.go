@@ -9,7 +9,6 @@ import (
 	"grape/internal/engine"
 	"grape/internal/graph"
 	"grape/internal/index"
-	"grape/internal/metrics"
 	"grape/internal/seq"
 )
 
@@ -257,26 +256,34 @@ func (Keyword) Assemble(q KeywordQuery, ctxs []*engine.Context[kwVec]) ([]seq.Ke
 	return out, nil
 }
 
+func parseKeyword(query string) (KeywordQuery, error) {
+	kv, err := parseKV(query)
+	if err != nil {
+		return KeywordQuery{}, err
+	}
+	if kv["k"] == "" {
+		return KeywordQuery{}, fmt.Errorf("keyword: missing k=<keywords>")
+	}
+	bound, err := strconv.ParseFloat(kv["bound"], 64)
+	if err != nil {
+		return KeywordQuery{}, fmt.Errorf("keyword: bad bound: %v", err)
+	}
+	return KeywordQuery{Keywords: strings.Split(kv["k"], ","), Bound: bound, UseIndex: kv["noindex"] == ""}, nil
+}
+
+// canonicalKeyword keeps the keyword order as given — it determines the
+// order of the per-keyword distance vectors in the answer.
+func canonicalKeyword(q KeywordQuery) string {
+	s := "k=" + strings.Join(q.Keywords, ",") + " bound=" + fmtFloat(q.Bound)
+	if !q.UseIndex {
+		s += " noindex=1"
+	}
+	return s
+}
+
 func init() {
-	engine.Register(engine.Entry{
-		Name:        "keyword",
-		Description: "keyword search (multi-source Dijkstra per keyword via the inverted index, element-wise min aggregate)",
-		QueryHelp:   "k=<w1,w2,...> bound=<d> [noindex=1]",
-		Wire:        engine.WireServe(Keyword{}),
-		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
-			kv, err := parseKV(query)
-			if err != nil {
-				return nil, nil, err
-			}
-			if kv["k"] == "" {
-				return nil, nil, fmt.Errorf("keyword: missing k=<keywords>")
-			}
-			bound, err := strconv.ParseFloat(kv["bound"], 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("keyword: bad bound: %v", err)
-			}
-			q := KeywordQuery{Keywords: strings.Split(kv["k"], ","), Bound: bound, UseIndex: kv["noindex"] == ""}
-			return engine.Run(g, Keyword{}, q, opts)
-		},
-	})
+	engine.Register(entry(Keyword{},
+		"keyword search (multi-source Dijkstra per keyword via the inverted index, element-wise min aggregate)",
+		"k=<w1,w2,...> bound=<d> [noindex=1]",
+		parseKeyword, canonicalKeyword, nil))
 }

@@ -1,0 +1,109 @@
+package queries
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"grape/internal/engine"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+)
+
+// ErrNoParser wraps Parse failures for programs registered without a Parse
+// hook (Entry.Parse is optional for externally Registered programs; every
+// built-in class has one). Callers that can fall back to Entry.Run — which
+// does its own parsing — should treat this as "parse later", not "bad
+// query".
+var ErrNoParser = errors.New("queries: program registered no query parser")
+
+// Query-string parsing is a first-class step shared by every consumer: the
+// CLI's -program/-query flags, the serving layer's POST /query bodies, and
+// tests all resolve text through the same per-program parse functions, so a
+// query cannot mean one thing on the command line and another over HTTP.
+// Each program file defines parseX (text -> typed query) and canonicalX
+// (typed query -> normalized string, the cache-key form with defaults
+// resolved); entry() wires them into the registry so Entry.Run, Entry.Parse
+// and Entry.Resident are all derived from the same pair.
+
+// Parse resolves a textual query against a registered program: typed query,
+// canonical form, required fragment expansion.
+func Parse(program, query string) (engine.ParsedQuery, error) {
+	e, err := engine.Lookup(program)
+	if err != nil {
+		return engine.ParsedQuery{}, err
+	}
+	if e.Parse == nil {
+		return engine.ParsedQuery{}, fmt.Errorf("%w: %q", ErrNoParser, program)
+	}
+	return e.Parse(query)
+}
+
+// entry builds a registry Entry from a program and its parse/canonical pair.
+// hops reports the fragment expansion a query needs (nil means none) — it
+// drives both Entry.Run's Options.ExpandHops and ParsedQuery.Hops, so a
+// one-shot run and a resident layout agree on fragment shape.
+func entry[Q, V, R any](prog engine.WireProgram[Q, V, R], desc, help string,
+	parse func(string) (Q, error), canonical func(Q) string, hops func(Q) int) engine.Entry {
+	name := prog.Name()
+	doParse := func(query string) (engine.ParsedQuery, error) {
+		q, err := parse(query)
+		if err != nil {
+			return engine.ParsedQuery{}, err
+		}
+		pq := engine.ParsedQuery{Program: name, Query: q, Canonical: canonical(q)}
+		if hops != nil {
+			pq.Hops = hops(q)
+		}
+		return pq, nil
+	}
+	return engine.Entry{
+		Name:        name,
+		Description: desc,
+		QueryHelp:   help,
+		Parse:       doParse,
+		Wire:        engine.WireServe(prog),
+		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
+			pq, err := doParse(query)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Programs that declare an expansion requirement own
+			// Options.ExpandHops (as RunSubIso/RunTriCount always did); for
+			// the rest a caller-supplied expansion passes through untouched.
+			if hops != nil {
+				opts.ExpandHops = pq.Hops
+			}
+			res, stats, err := engine.Run(g, prog, pq.Query.(Q), opts)
+			return any(res), stats, err
+		},
+		Resident: func(layout *partition.Layout, opts engine.Options) (engine.ResidentRunner, error) {
+			r, err := engine.NewResident(layout, prog, opts)
+			if err != nil {
+				return nil, err
+			}
+			return residentAdapter[Q, V, R]{name: name, r: r}, nil
+		},
+	}
+}
+
+// residentAdapter erases a typed Resident into engine.ResidentRunner for the
+// registry.
+type residentAdapter[Q, V, R any] struct {
+	name string
+	r    *engine.Resident[Q, V, R]
+}
+
+func (a residentAdapter[Q, V, R]) RunParsed(pq engine.ParsedQuery) (any, *metrics.Stats, error) {
+	q, ok := pq.Query.(Q)
+	if !ok {
+		return nil, nil, fmt.Errorf("queries: %s: parsed query has type %T, want %T", a.name, pq.Query, q)
+	}
+	res, stats, err := a.r.Run(q)
+	return any(res), stats, err
+}
+
+// fmtFloat renders a float the shortest way that round-trips — the one
+// canonical spelling per value, so "bound=4" and "bound=4.0" key identically.
+func fmtFloat(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }

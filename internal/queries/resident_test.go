@@ -1,0 +1,239 @@
+package queries
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+// TestResidentConcurrentPrograms is the serving-layer safety argument made
+// executable: several different programs run simultaneously over ONE shared
+// frozen layout through the resident-run entry point, each result asserted
+// equal to a solo engine.Run. CI runs the whole test suite under -race, so
+// any write to the shared fragments (or unsynchronized lazy cache) fails
+// loudly here.
+func TestResidentConcurrentPrograms(t *testing.T) {
+	// one graph every hops-0 program can answer: labeled person/product
+	// commerce topology with keyword props sprinkled on top
+	g := gen.SocialCommerce(gen.SocialCommerceConfig{People: 300, Products: 10, Follows: 4, AdoptP: 0.9, Seed: 11})
+	gen.AttachKeywords(g, []string{"db", "graph"}, 2, 0.1, 11)
+	const workers = 6
+	opts := engine.Options{Workers: workers, Strategy: partition.Hash{}}
+
+	layout, err := engine.BuildLayout(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range layout.Fragments {
+		if !f.G.Frozen() {
+			t.Fatalf("fragment %d not frozen", f.Index)
+		}
+	}
+
+	progs := []struct {
+		program, query string
+	}{
+		{"sssp", "source=0"},
+		{"cc", ""},
+		{"sim", "pattern=follows-recommend"},
+		{"keyword", "k=db,graph bound=6"},
+	}
+
+	// solo runs on a private layout are the reference
+	want := map[string]any{}
+	for _, p := range progs {
+		e, err := engine.Lookup(p.program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := e.Run(g, opts, p.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p.program] = res
+	}
+
+	// one pooled runner per program, shared by several goroutines each —
+	// exercises both cross-program concurrency on the layout and scratch
+	// pooling within a runner
+	runners := map[string]engine.ResidentRunner{}
+	parsed := map[string]engine.ParsedQuery{}
+	for _, p := range progs {
+		e, _ := engine.Lookup(p.program)
+		pq, err := e.Parse(p.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pq.Hops != 0 {
+			t.Fatalf("%s needs hops=%d, cannot share the hops-0 layout", p.program, pq.Hops)
+		}
+		r, err := e.Resident(layout, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners[p.program] = r
+		parsed[p.program] = pq
+	}
+
+	const goroutinesPerProgram = 3
+	const runsPerGoroutine = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, len(progs)*goroutinesPerProgram)
+	for _, p := range progs {
+		for i := 0; i < goroutinesPerProgram; i++ {
+			wg.Add(1)
+			go func(program string) {
+				defer wg.Done()
+				for j := 0; j < runsPerGoroutine; j++ {
+					res, stats, err := runners[program].RunParsed(parsed[program])
+					if err != nil {
+						errs <- fmt.Errorf("%s: %w", program, err)
+						return
+					}
+					if stats.Workers != workers {
+						errs <- fmt.Errorf("%s: ran on %d workers, want %d", program, stats.Workers, workers)
+						return
+					}
+					if !reflect.DeepEqual(res, want[program]) {
+						errs <- fmt.Errorf("%s: concurrent resident result differs from solo engine.Run", program)
+						return
+					}
+				}
+			}(p.program)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestResidentExpandedLayouts runs the locality-bounded programs (their
+// fragments are d-hop expanded) concurrently over a shared expanded layout.
+func TestResidentExpandedLayouts(t *testing.T) {
+	g := gen.SocialCommerce(gen.SocialCommerceConfig{People: 300, Products: 10, Follows: 4, AdoptP: 0.9, Seed: 11})
+	opts := engine.Options{Workers: 4, Strategy: partition.Hash{}}
+
+	for _, p := range []struct {
+		program, query string
+	}{
+		{"subiso", "pattern=follows-recommend max=100"},
+		{"tricount", ""},
+	} {
+		t.Run(p.program, func(t *testing.T) {
+			e, err := engine.Lookup(p.program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pq, err := e.Parse(p.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pq.Hops == 0 {
+				t.Fatalf("%s should need expanded fragments", p.program)
+			}
+			expOpts := opts
+			expOpts.ExpandHops = pq.Hops
+			layout, err := engine.BuildLayout(g, expOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := e.Run(g, opts, p.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := e.Resident(layout, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, _, err := r.RunParsed(pq)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(res, want) {
+						errs <- fmt.Errorf("concurrent resident result differs from solo run")
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestResidentRejectsUnfrozenLayout pins the safety precondition.
+func TestResidentRejectsUnfrozenLayout(t *testing.T) {
+	g := gen.RoadGrid(8, 8, 1)
+	layout, err := engine.BuildLayout(g, engine.Options{Workers: 2, Strategy: partition.Hash{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// thaw one fragment by mutating it
+	layout.Fragments[0].G.AddVertex(graph.ID(10_000), "")
+	e, err := engine.Lookup("sssp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Resident(layout, engine.Options{}); err == nil {
+		t.Fatal("resident runner accepted a thawed fragment")
+	}
+}
+
+// TestParseCanonicalization pins the shared parser's canonical forms — the
+// cache-key contract of the serving layer.
+func TestParseCanonicalization(t *testing.T) {
+	cases := []struct {
+		program, query, canonical string
+		hops                      int
+	}{
+		{"sssp", "  source=7 ", "source=7", 0},
+		{"cc", "", "", 0},
+		{"cc", "ignored=yes", "", 0},
+		{"sim", "pattern=triangle", "pattern=triangle", 0},
+		{"subiso", "pattern=triangle", "pattern=triangle", 1},
+		{"subiso", "max=5 pattern=triangle", "pattern=triangle max=5", 1},
+		{"keyword", "bound=4.0 k=db,graph", "k=db,graph bound=4", 0},
+		{"keyword", "k=db bound=2 noindex=1", "k=db bound=2 noindex=1", 0},
+		{"cf", "", "epochs=20 k=8 lr=0.02 reg=0.05", 0},
+		{"cf", "epochs=20 lr=0.020", "epochs=20 k=8 lr=0.02 reg=0.05", 0},
+		{"tricount", "", "", 1},
+	}
+	for _, c := range cases {
+		pq, err := Parse(c.program, c.query)
+		if err != nil {
+			t.Fatalf("%s %q: %v", c.program, c.query, err)
+		}
+		if pq.Canonical != c.canonical {
+			t.Errorf("%s %q: canonical %q, want %q", c.program, c.query, pq.Canonical, c.canonical)
+		}
+		if pq.Hops != c.hops {
+			t.Errorf("%s %q: hops %d, want %d", c.program, c.query, pq.Hops, c.hops)
+		}
+		if pq.Program != c.program {
+			t.Errorf("%s: parsed program %q", c.program, pq.Program)
+		}
+	}
+	if _, err := Parse("sssp", "source=abc"); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := Parse("nope", ""); err == nil {
+		t.Error("unknown program accepted")
+	}
+}

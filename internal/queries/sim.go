@@ -7,13 +7,16 @@ import (
 
 	"grape/internal/engine"
 	"grape/internal/graph"
-	"grape/internal/metrics"
 	"grape/internal/seq"
 )
 
 // SimQuery asks for the graph-simulation relation of a pattern.
 type SimQuery struct {
 	Pattern *graph.Graph
+	// name is the library name the pattern was parsed from, if any; it is
+	// what the canonical query form spells (patterns themselves have no
+	// canonical text).
+	name string
 }
 
 // SimResult maps each pattern vertex to the sorted data vertices simulating
@@ -135,22 +138,22 @@ func (Sim) Assemble(q SimQuery, ctxs []*engine.Context[seq.SimBits]) (SimResult,
 	return res, nil
 }
 
+func parseSim(query string) (SimQuery, error) {
+	kv, err := parseKV(query)
+	if err != nil {
+		return SimQuery{}, err
+	}
+	p, err := PatternByName(kv["pattern"])
+	if err != nil {
+		return SimQuery{}, err
+	}
+	return SimQuery{Pattern: p, name: kv["pattern"]}, nil
+}
+
 func init() {
-	engine.Register(engine.Entry{
-		Name:        "sim",
-		Description: "graph pattern matching via simulation (HHK refinement PEval, incremental refinement IncEval, ∩ aggregate)",
-		QueryHelp:   "pattern=<name from queries.Patterns>",
-		Wire:        engine.WireServe(Sim{}),
-		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
-			kv, err := parseKV(query)
-			if err != nil {
-				return nil, nil, err
-			}
-			p, err := PatternByName(kv["pattern"])
-			if err != nil {
-				return nil, nil, err
-			}
-			return engine.Run(g, Sim{}, SimQuery{Pattern: p}, opts)
-		},
-	})
+	engine.Register(entry(Sim{},
+		"graph pattern matching via simulation (HHK refinement PEval, incremental refinement IncEval, ∩ aggregate)",
+		"pattern=<name from queries.Patterns>",
+		parseSim,
+		func(q SimQuery) string { return "pattern=" + q.name }, nil))
 }

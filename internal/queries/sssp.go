@@ -16,7 +16,6 @@ import (
 
 	"grape/internal/engine"
 	"grape/internal/graph"
-	"grape/internal/metrics"
 	"grape/internal/seq"
 )
 
@@ -119,24 +118,25 @@ func (SSSP) Assemble(q SSSPQuery, ctxs []*engine.Context[float64]) (map[graph.ID
 	return out, nil
 }
 
+func parseSSSP(query string) (SSSPQuery, error) {
+	kv, err := parseKV(query)
+	if err != nil {
+		return SSSPQuery{}, err
+	}
+	src, err := strconv.ParseInt(kv["source"], 10, 64)
+	if err != nil {
+		return SSSPQuery{}, fmt.Errorf("sssp: bad or missing source: %v", err)
+	}
+	return SSSPQuery{Source: graph.ID(src)}, nil
+}
+
+func canonicalSSSP(q SSSPQuery) string { return fmt.Sprintf("source=%d", q.Source) }
+
 func init() {
-	engine.Register(engine.Entry{
-		Name:        "sssp",
-		Description: "single-source shortest paths (Example 1: Dijkstra + bounded incremental relaxation, min aggregate)",
-		QueryHelp:   "source=<vertex id>",
-		Wire:        engine.WireServe(SSSP{}),
-		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
-			kv, err := parseKV(query)
-			if err != nil {
-				return nil, nil, err
-			}
-			src, err := strconv.ParseInt(kv["source"], 10, 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("sssp: bad or missing source: %v", err)
-			}
-			return engine.Run(g, SSSP{}, SSSPQuery{Source: graph.ID(src)}, opts)
-		},
-	})
+	engine.Register(entry(SSSP{},
+		"single-source shortest paths (Example 1: Dijkstra + bounded incremental relaxation, min aggregate)",
+		"source=<vertex id>",
+		parseSSSP, canonicalSSSP, nil))
 }
 
 // parseKV parses "k1=v1 k2=v2" query strings used by the registry.

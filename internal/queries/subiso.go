@@ -17,6 +17,9 @@ type SubIsoQuery struct {
 	// MaxMatches caps the global number of embeddings (0 = unlimited).
 	// Workers each enumerate at most this many; Assemble re-truncates.
 	MaxMatches int
+	// name is the library name the pattern was parsed from, if any (see
+	// SimQuery.name).
+	name string
 }
 
 // SubIso is the PIE program for subgraph isomorphism. Unlike the iterative
@@ -131,29 +134,40 @@ func RunSubIso(g *graph.Graph, q SubIsoQuery, opts engine.Options) ([]seq.Match,
 	return engine.Run(g, SubIso{}, q, opts)
 }
 
+func parseSubIso(query string) (SubIsoQuery, error) {
+	kv, err := parseKV(query)
+	if err != nil {
+		return SubIsoQuery{}, err
+	}
+	p, err := PatternByName(kv["pattern"])
+	if err != nil {
+		return SubIsoQuery{}, err
+	}
+	max := 0
+	if s, ok := kv["max"]; ok {
+		if max, err = strconv.Atoi(s); err != nil {
+			return SubIsoQuery{}, fmt.Errorf("subiso: bad max: %v", err)
+		}
+		// a negative cap would enumerate nothing yet canonicalize like the
+		// unlimited query, poisoning any cache keyed on the canonical form
+		if max < 0 {
+			return SubIsoQuery{}, fmt.Errorf("subiso: max must be >= 0, got %d", max)
+		}
+	}
+	return SubIsoQuery{Pattern: p, MaxMatches: max, name: kv["pattern"]}, nil
+}
+
+func canonicalSubIso(q SubIsoQuery) string {
+	if q.MaxMatches > 0 {
+		return fmt.Sprintf("pattern=%s max=%d", q.name, q.MaxMatches)
+	}
+	return "pattern=" + q.name
+}
+
 func init() {
-	engine.Register(engine.Entry{
-		Name:        "subiso",
-		Description: "subgraph isomorphism (VF2-style PEval on d-hop expanded fragments; single superstep)",
-		QueryHelp:   "pattern=<name> [max=<k>]",
-		Wire:        engine.WireServe(SubIso{}),
-		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
-			kv, err := parseKV(query)
-			if err != nil {
-				return nil, nil, err
-			}
-			p, err := PatternByName(kv["pattern"])
-			if err != nil {
-				return nil, nil, err
-			}
-			max := 0
-			if s, ok := kv["max"]; ok {
-				if max, err = strconv.Atoi(s); err != nil {
-					return nil, nil, fmt.Errorf("subiso: bad max: %v", err)
-				}
-			}
-			res, stats, err := RunSubIso(g, SubIsoQuery{Pattern: p, MaxMatches: max}, opts)
-			return any(res), stats, err
-		},
-	})
+	engine.Register(entry(SubIso{},
+		"subgraph isomorphism (VF2-style PEval on d-hop expanded fragments; single superstep)",
+		"pattern=<name> [max=<k>]",
+		parseSubIso, canonicalSubIso,
+		func(q SubIsoQuery) int { return (SubIso{}).Radius(q) }))
 }

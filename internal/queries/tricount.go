@@ -221,14 +221,10 @@ func SeqTriangles(g *graph.Graph) int64 {
 }
 
 func init() {
-	engine.Register(engine.Entry{
-		Name:        "tricount",
-		Description: "triangle counting (pivot enumeration on 1-hop expanded fragments; single superstep)",
-		QueryHelp:   "(no parameters)",
-		Wire:        engine.WireServe(TriCount{}),
-		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
-			res, stats, err := RunTriCount(g, opts)
-			return any(res), stats, err
-		},
-	})
+	engine.Register(entry(TriCount{},
+		"triangle counting (pivot enumeration on 1-hop expanded fragments; single superstep)",
+		"(no parameters)",
+		func(string) (TriCountQuery, error) { return TriCountQuery{}, nil },
+		func(TriCountQuery) string { return "" },
+		func(TriCountQuery) int { return 1 }))
 }

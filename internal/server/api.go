@@ -1,0 +1,106 @@
+// Package server is the resident query-serving runtime of the paper's
+// Fig. 2 system: graphs are loaded and partitioned once, stay resident as
+// frozen fragment layouts, and answer a stream of concurrent client queries
+// — the missing piece between a one-shot CLI run and a service under
+// traffic. See ARCHITECTURE.md's "Serving queries" section for the design:
+// admission scheduler, per-graph epochs, and the (epoch, program, canonical
+// query) result cache.
+package server
+
+import "encoding/json"
+
+// QueryRequest is one query against a named resident graph. Workers and
+// Strategy override the server defaults for the layout the query runs on
+// (layouts are cached per combination); NoCache skips the result-cache read
+// so the engine runs even if the answer is known.
+type QueryRequest struct {
+	Graph    string `json:"graph"`
+	Program  string `json:"program"`
+	Query    string `json:"query"`
+	Workers  int    `json:"workers,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	NoCache  bool   `json:"nocache,omitempty"`
+}
+
+// RunStats summarizes the engine run that produced an answer. Cache hits
+// return the stats of the run that originally computed the cached result,
+// not zeroes — Supersteps/Bytes describe the answer's provenance, not work
+// done by this request.
+type RunStats struct {
+	Supersteps int     `json:"supersteps"`
+	Messages   int64   `json:"messages"`
+	Bytes      int64   `json:"bytes"`
+	WallMs     float64 `json:"wall_ms"`
+}
+
+// QueryResponse is a served answer. Result is the program's result value
+// (JSON-marshaled on the wire; program-specific shape — e.g. sssp returns a
+// vertex→distance object). Cached reports whether it came from the result
+// cache; Epoch is the graph epoch it is valid for.
+type QueryResponse struct {
+	Graph     string   `json:"graph"`
+	Epoch     uint64   `json:"epoch"`
+	Program   string   `json:"program"`
+	Canonical string   `json:"canonical"`
+	Cached    bool     `json:"cached"`
+	Result    any      `json:"result"`
+	Stats     RunStats `json:"stats"`
+
+	// resultJSON, when set, is Result's memoized encoding (cache hits reuse
+	// it instead of re-marshaling a possibly large result per request).
+	resultJSON []byte
+}
+
+// MarshalJSON writes the wire shape, splicing in the memoized result
+// encoding when the cache already holds one.
+func (r QueryResponse) MarshalJSON() ([]byte, error) {
+	raw := json.RawMessage(r.resultJSON)
+	if raw == nil {
+		var err error
+		if raw, err = json.Marshal(r.Result); err != nil {
+			return nil, err
+		}
+	}
+	// alias with identical tags; Result pre-encoded
+	type wire struct {
+		Graph     string          `json:"graph"`
+		Epoch     uint64          `json:"epoch"`
+		Program   string          `json:"program"`
+		Canonical string          `json:"canonical"`
+		Cached    bool            `json:"cached"`
+		Result    json.RawMessage `json:"result"`
+		Stats     RunStats        `json:"stats"`
+	}
+	return json.Marshal(wire{r.Graph, r.Epoch, r.Program, r.Canonical, r.Cached, raw, r.Stats})
+}
+
+// GraphInfo describes one resident graph.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Directed bool   `json:"directed"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+// EdgeJSON is one edge insertion (or weight decrease) of a mutation request.
+type EdgeJSON struct {
+	From  int64   `json:"from"`
+	To    int64   `json:"to"`
+	W     float64 `json:"w"`
+	Label string  `json:"label,omitempty"`
+}
+
+// MutateRequest applies edge updates to a named graph.
+type MutateRequest struct {
+	Graph string     `json:"graph"`
+	Edges []EdgeJSON `json:"edges"`
+}
+
+// MutateResponse reports the graph's epoch after the mutation; every cached
+// result keyed to earlier epochs is now unreachable.
+type MutateResponse struct {
+	Graph string   `json:"graph"`
+	Epoch uint64   `json:"epoch"`
+	Stats RunStats `json:"stats"`
+}

@@ -1,0 +1,39 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"grape/internal/gen"
+	"grape/internal/server"
+	"grape/internal/server/servebench"
+)
+
+// BenchmarkServeThroughput measures end-to-end serving throughput over the
+// real HTTP stack: N concurrent clients issuing sssp queries against one
+// resident road graph, with the result cache on (clients rotate through a
+// handful of sources, so most queries hit) and off (NoCache forces a full
+// engine run per request). ns/op is per served query; the qps metric is the
+// aggregate rate. grape-bench -json records the same matrix — driven by the
+// shared internal/server/servebench package — in BENCH_PR*.json.
+func BenchmarkServeThroughput(b *testing.B) {
+	road := gen.RoadGrid(48, 48, 1)
+	for _, clients := range []int{1, 8, 64} {
+		for _, cached := range []bool{true, false} {
+			name := fmt.Sprintf("c%d/cache=%v", clients, cached)
+			b.Run(name, func(b *testing.B) {
+				s := server.New(servebench.ServerConfig())
+				if err := s.AddGraph("road", road); err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(s.Handler())
+				defer ts.Close()
+				if _, err := servebench.Warm(ts.URL, cached); err != nil {
+					b.Fatal(err)
+				}
+				servebench.Drive(b, ts.URL, clients, cached)
+			})
+		}
+	}
+}

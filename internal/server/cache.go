@@ -1,0 +1,108 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// cacheKey identifies one answer: the graph *instance* (gen — AddGraph
+// replacing a name mints a new generation, so a detached old graph can
+// never collide with its successor) *at one epoch*, the program, the
+// canonical query, and the layout parameters that shaped the run. Mutating
+// a graph bumps its epoch, so every key minted before the mutation simply
+// stops being generated — stale entries are never served, they just age out
+// of the LRU.
+type cacheKey struct {
+	graph     string
+	gen       uint64
+	epoch     uint64
+	program   string
+	canonical string
+	strategy  string
+	workers   int
+}
+
+// cacheVal is a served answer. result is the program's Go result value,
+// shared by reference with every later hit: results are treated as immutable
+// once cached. The HTTP layer additionally memoizes the result's JSON
+// encoding here — marshaling a large distance map dominates the hit path
+// otherwise (profiled: sorted-map encoding is milliseconds, the memcpy of
+// the cached bytes is not).
+type cacheVal struct {
+	result any
+	stats  RunStats
+
+	encOnce sync.Once
+	enc     []byte
+	encErr  error
+}
+
+// encodedResult returns the JSON encoding of result, computed once.
+func (v *cacheVal) encodedResult() ([]byte, error) {
+	v.encOnce.Do(func() { v.enc, v.encErr = json.Marshal(v.result) })
+	return v.enc, v.encErr
+}
+
+// resultCache is a mutex-guarded LRU over complete query answers.
+type resultCache struct {
+	mu      sync.Mutex
+	maxSize int
+	order   *list.List // front = most recent; values are *cacheEnt
+	byKey   map[cacheKey]*list.Element
+}
+
+type cacheEnt struct {
+	key cacheKey
+	val *cacheVal
+}
+
+func newResultCache(maxSize int) *resultCache {
+	if maxSize <= 0 {
+		return nil // disabled: every method tolerates the nil receiver
+	}
+	return &resultCache{maxSize: maxSize, order: list.New(), byKey: make(map[cacheKey]*list.Element)}
+}
+
+func (c *resultCache) get(k cacheKey) (*cacheVal, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEnt).val, true
+}
+
+func (c *resultCache) put(k cacheKey, v *cacheVal) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheEnt).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&cacheEnt{key: k, val: v})
+	for c.order.Len() > c.maxSize {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEnt).key)
+	}
+}
+
+// len reports the live entry count (testing hook).
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,152 @@
+// Package client is the Go client of the grape-serve HTTP/JSON API: typed
+// wrappers over POST /query, POST /update, GET /graphs and GET /stats. The
+// request/response shapes are shared with the server package, so client and
+// server cannot drift.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/seq"
+	"grape/internal/server"
+)
+
+// Client talks to one grape-serve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
+// hc nil means http.DefaultClient; per-request deadlines come from the
+// context (the server enforces its own query timeout regardless).
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// QueryResult is a served answer with the result left raw: its JSON shape is
+// program-specific. Decode it yourself or through the typed helpers below.
+type QueryResult struct {
+	Graph     string          `json:"graph"`
+	Epoch     uint64          `json:"epoch"`
+	Program   string          `json:"program"`
+	Canonical string          `json:"canonical"`
+	Cached    bool            `json:"cached"`
+	Result    json.RawMessage `json:"result"`
+	Stats     server.RunStats `json:"stats"`
+}
+
+// Query runs one query.
+func (c *Client) Query(ctx context.Context, req server.QueryRequest) (*QueryResult, error) {
+	var out QueryResult
+	if err := c.post(ctx, "/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Mutate applies edge insertions to a named graph and returns its new epoch.
+func (c *Client) Mutate(ctx context.Context, graphName string, edges []server.EdgeJSON) (*server.MutateResponse, error) {
+	var out server.MutateResponse
+	if err := c.post(ctx, "/update", server.MutateRequest{Graph: graphName, Edges: edges}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Graphs lists the resident graphs.
+func (c *Client) Graphs(ctx context.Context) ([]server.GraphInfo, error) {
+	var out []server.GraphInfo
+	if err := c.get(ctx, "/graphs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats snapshots the server's serving metrics.
+func (c *Client) Stats(ctx context.Context) (*metrics.ServingSnapshot, error) {
+	var out metrics.ServingSnapshot
+	if err := c.get(ctx, "/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Distances decodes an sssp result (vertex -> distance).
+func (r *QueryResult) Distances() (map[graph.ID]float64, error) {
+	out := map[graph.ID]float64{}
+	return out, json.Unmarshal(r.Result, &out)
+}
+
+// Components decodes a cc result (vertex -> component label).
+func (r *QueryResult) Components() (map[graph.ID]graph.ID, error) {
+	out := map[graph.ID]graph.ID{}
+	return out, json.Unmarshal(r.Result, &out)
+}
+
+// Matches decodes a subiso result (pattern vertex -> data vertex, one map
+// per embedding).
+func (r *QueryResult) Matches() ([]seq.Match, error) {
+	var out []seq.Match
+	return out, json.Unmarshal(r.Result, &out)
+}
+
+// KeywordMatches decodes a keyword result.
+func (r *QueryResult) KeywordMatches() ([]seq.KeywordMatch, error) {
+	var out []seq.KeywordMatch
+	return out, json.Unmarshal(r.Result, &out)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, into any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, into)
+}
+
+func (c *Client) get(ctx context.Context, path string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, into)
+}
+
+func (c *Client) do(req *http.Request, into any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	return json.Unmarshal(data, into)
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSchedulerAdmitsUpToMaxInFlight(t *testing.T) {
+	s := newScheduler(2, 4)
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if q, f := s.gauges(); q != 0 || f != 2 {
+		t.Fatalf("gauges = %d queued / %d in flight, want 0/2", q, f)
+	}
+}
+
+func TestSchedulerRejectsBeyondQueue(t *testing.T) {
+	s := newScheduler(1, 1)
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// fill the single queue seat with a waiter that never gets a slot
+	waiting := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		waiting <- s.acquire(ctx)
+	}()
+	for {
+		if q, _ := s.gauges(); q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire = %v, want ErrOverloaded", err)
+	}
+	s.release() // hand the slot to the queued waiter
+	if err := <-waiting; err != nil {
+		t.Fatalf("queued waiter = %v, want granted", err)
+	}
+	s.release()
+}
+
+func TestSchedulerFIFO(t *testing.T) {
+	s := newScheduler(1, 8)
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		for { // wait until the previous waiter is queued, to fix arrival order
+			if q, _ := s.gauges(); q == i {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		go func() {
+			if err := s.acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			s.release()
+		}()
+	}
+	for {
+		if q, _ := s.gauges(); q == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.release()
+	for want := 0; want < n; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("grant order: got waiter %d in position %d", got, want)
+		}
+	}
+}
+
+func TestSchedulerCanceledWaiterLeavesQueue(t *testing.T) {
+	s := newScheduler(1, 2)
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.acquire(ctx) }()
+	for {
+		if q, _ := s.gauges(); q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter = %v, want context.Canceled", err)
+	}
+	for { // the waiter must drop out of the queue
+		if q, _ := s.gauges(); q == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// the slot is still held exactly once: releasing frees it for a new acquire
+	s.release()
+	if err := s.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release = %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package servebench is the shared driver of the serving-throughput
+// benchmark: N concurrent clients issuing sssp queries against a resident
+// road graph over the real HTTP stack. Both BenchmarkServeThroughput
+// (internal/server) and grape-bench's -json matrix call it, so the committed
+// BENCH_PR*.json rows and the in-repo benchmark measure exactly the same
+// workload and cannot drift.
+package servebench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"grape/internal/server"
+	"grape/internal/server/client"
+)
+
+// Sources is how many distinct sssp sources the clients rotate through: in
+// cached mode the rotation makes every request after warm-up a cache hit;
+// in NoCache mode each request is a full engine run regardless.
+const Sources = 4
+
+// ServerConfig is the one server configuration both benchmark entry points
+// measure against — defined here so tuning it cannot desynchronize the
+// committed BENCH_PR*.json rows from the in-repo benchmark.
+func ServerConfig() server.Config {
+	return server.Config{Workers: 8, Strategy: "2d", MaxInFlight: 8,
+		MaxQueue: 4096, QueryTimeout: 5 * time.Minute}
+}
+
+// Warm primes the server at url: the layout is built and, in cached mode,
+// all rotated answers enter the result cache. Returns the superstep count
+// of the last run for reporting.
+func Warm(url string, cached bool) (lastSteps int, err error) {
+	c := client.New(url, nil)
+	for src := 0; src < Sources; src++ {
+		res, err := c.Query(context.Background(), server.QueryRequest{Graph: "road", Program: "sssp",
+			Query: fmt.Sprintf("source=%d", src), NoCache: !cached})
+		if err != nil {
+			return 0, err
+		}
+		lastSteps = res.Stats.Supersteps
+	}
+	return lastSteps, nil
+}
+
+// Drive issues b.N queries split across nClients goroutines, each with its
+// own HTTP client (so connections are not the bottleneck), and reports the
+// aggregate qps metric. Callers Warm first.
+func Drive(b *testing.B, url string, nClients int, cached bool) {
+	ctx := context.Background()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients)
+	for w := 0; w < nClients; w++ {
+		n := b.N / nClients
+		if w < b.N%nClients {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			// own Transport, not just own Client: Clients with a nil
+			// Transport share http.DefaultTransport, whose 2-per-host idle
+			// cap would make 64 serial loops measure TCP churn instead of
+			// serving throughput
+			c := client.New(url, &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}})
+			for i := 0; i < n; i++ {
+				req := server.QueryRequest{Graph: "road", Program: "sssp",
+					Query: fmt.Sprintf("source=%d", (w+i)%Sources), NoCache: !cached}
+				if _, err := c.Query(ctx, req); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+}

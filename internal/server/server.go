@@ -1,0 +1,515 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"grape/internal/engine"
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+	"grape/internal/queries"
+	"grape/internal/storage"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes. ErrOverloaded
+// (scheduler.go) and context.DeadlineExceeded complete the set.
+var (
+	// ErrNotFound wraps unknown graph or program names.
+	ErrNotFound = errors.New("server: not found")
+	// ErrBadQuery wraps query strings the program's parser rejected.
+	ErrBadQuery = errors.New("server: bad query")
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the default fragment count of a resident layout (per-query
+	// override: QueryRequest.Workers). Default 8.
+	Workers int
+	// MaxWorkers caps the per-query Workers override: each distinct
+	// (strategy, workers, hops) combination keeps a full partitioned copy
+	// of the graph resident, and fragments cost goroutines per run, so the
+	// override must not be client-unbounded. Default 64.
+	MaxWorkers int
+	// Strategy is the default partition strategy name (see
+	// partition.ByName). Default "fennel".
+	Strategy string
+	// MaxInFlight bounds concurrently running queries. Default GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for a run slot; beyond it the server
+	// sheds load with ErrOverloaded. Default 64.
+	MaxQueue int
+	// QueryTimeout bounds one query's queue wait plus run. Default 60s.
+	QueryTimeout time.Duration
+	// CacheEntries sizes the result cache; < 0 disables it. Default 256.
+	CacheEntries int
+	// Store, if non-nil, backs the graph namespace: a query naming a graph
+	// not yet resident loads it from the store on first use.
+	Store *storage.Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.MaxWorkers == 0 {
+		c.MaxWorkers = 64
+	}
+	if c.Workers > c.MaxWorkers {
+		c.MaxWorkers = c.Workers
+	}
+	if c.Strategy == "" {
+		c.Strategy = "fennel"
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 60 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Server keeps named graphs resident — each partitioned at most once per
+// (strategy, workers, hops) into a frozen layout — and answers concurrent
+// queries over the shared layouts. Safe for concurrent use.
+//
+// Admission is global (one MaxInFlight pool across all graphs), which keeps
+// the resource bound simple but means a graph whose runs are slow — or
+// blocked behind a pending mutation — can occupy slots that queries for
+// other graphs then wait on. Per-graph fairness would need per-graph pools;
+// out of scope here.
+type Server struct {
+	cfg     Config
+	sched   *scheduler
+	cache   *resultCache
+	serving *metrics.Serving
+
+	mu     sync.Mutex
+	graphs map[string]*residentGraph
+	loads  map[string]*graphLoad
+	gen    uint64 // generation counter for graph instances (cache-key scope)
+}
+
+// graphLoad deduplicates lazy store loads for one name without holding the
+// server-wide mutex across the disk read and freeze.
+type graphLoad struct {
+	once sync.Once
+	rg   *residentGraph
+	err  error
+}
+
+// residentGraph is one named graph plus everything derived from it. mu is
+// the load/mutate boundary: queries hold it for read during their whole run
+// (layout build included), mutations hold it for write — so a mutation never
+// interleaves with a run, and fragments stay safe to share.
+type residentGraph struct {
+	name string
+	gen  uint64 // unique per graph instance, fixed at creation
+	g    *graph.Graph
+
+	mu    sync.RWMutex
+	epoch uint64
+
+	lmu     sync.Mutex
+	layouts map[layoutKey]*layoutSlot
+
+	// sess is the continuous-update session mutations flow through (lazily
+	// created, program CC — it accepts any directed graph and implements
+	// engine.Updater). It owns its own layout; resident query layouts are
+	// rebuilt from the mutated base graph instead.
+	sess *engine.Session[queries.CCQuery, graph.ID, map[graph.ID]graph.ID]
+}
+
+type layoutKey struct {
+	strategy string
+	workers  int
+	hops     int
+}
+
+// layoutSlot builds its layout at most once; concurrent first queries on
+// the same key wait on the sync.Once. runners holds one pooled resident
+// runner per program over this layout.
+type layoutSlot struct {
+	once   sync.Once
+	layout *partition.Layout
+	err    error
+
+	rmu     sync.Mutex
+	runners map[string]engine.ResidentRunner
+}
+
+// New returns an empty server; add graphs with AddGraph or back it with a
+// Config.Store.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		sched:   newScheduler(cfg.MaxInFlight, cfg.MaxQueue),
+		cache:   newResultCache(cfg.CacheEntries),
+		serving: metrics.NewServing(),
+		graphs:  make(map[string]*residentGraph),
+		loads:   make(map[string]*graphLoad),
+	}
+}
+
+// newResident mints a graph instance with a fresh generation. Callers hold
+// s.mu (the generation counter is guarded by it).
+func (s *Server) newResident(name string, g *graph.Graph) *residentGraph {
+	s.gen++
+	return &residentGraph{name: name, gen: s.gen, g: g, epoch: 1, layouts: make(map[layoutKey]*layoutSlot)}
+}
+
+// AddGraph makes g resident under name, replacing any previous graph with
+// that name. The replacement gets a fresh cache-key generation, so answers
+// computed against the old instance — even by a Mutate racing with the
+// replacement — can never be served for the new one. The server freezes g
+// and owns it from here on: callers must not mutate it — route updates
+// through Mutate.
+func (s *Server) AddGraph(name string, g *graph.Graph) error {
+	if name == "" {
+		return fmt.Errorf("server: empty graph name")
+	}
+	g.Freeze()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.graphs[name] = s.newResident(name, g)
+	return nil
+}
+
+// Graphs lists the resident graphs, sorted by name.
+func (s *Server) Graphs() []GraphInfo {
+	s.mu.Lock()
+	rgs := make([]*residentGraph, 0, len(s.graphs))
+	for _, rg := range s.graphs {
+		rgs = append(rgs, rg)
+	}
+	s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(rgs))
+	for _, rg := range rgs {
+		rg.mu.RLock()
+		out = append(out, GraphInfo{
+			Name:     rg.name,
+			Vertices: rg.g.NumVertices(),
+			Edges:    rg.g.NumEdges(),
+			Directed: rg.g.Directed(),
+			Epoch:    rg.epoch,
+		})
+		rg.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats snapshots the serving metrics plus the scheduler gauges.
+func (s *Server) Stats() metrics.ServingSnapshot {
+	queued, inFlight := s.sched.gauges()
+	return s.serving.Snapshot(queued, inFlight)
+}
+
+// resident resolves name, loading from the store on first use. The disk
+// read and freeze run outside s.mu (deduplicated per name by a sync.Once),
+// so loading one large graph does not stall queries for the others.
+func (s *Server) resident(name string) (*residentGraph, error) {
+	s.mu.Lock()
+	if rg, ok := s.graphs[name]; ok {
+		s.mu.Unlock()
+		return rg, nil
+	}
+	if s.cfg.Store == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: no graph %q resident", ErrNotFound, name)
+	}
+	ld, ok := s.loads[name]
+	if !ok {
+		ld = &graphLoad{}
+		s.loads[name] = ld
+	}
+	s.mu.Unlock()
+
+	ld.once.Do(func() {
+		g, err := s.cfg.Store.LoadGraph(name)
+		if err != nil {
+			ld.err = fmt.Errorf("%w: graph %q not resident and not loadable: %v", ErrNotFound, name, err)
+			return
+		}
+		g.Freeze()
+		s.mu.Lock()
+		if cur, ok := s.graphs[name]; ok {
+			// AddGraph installed this name while we were loading: the
+			// explicit graph wins over the on-disk copy
+			ld.rg = cur
+		} else {
+			ld.rg = s.newResident(name, g)
+			s.graphs[name] = ld.rg
+		}
+		delete(s.loads, name)
+		s.mu.Unlock()
+	})
+	if ld.err != nil {
+		// drop the failed load record so a later retry (e.g. after the
+		// graph is saved) can succeed
+		s.mu.Lock()
+		if s.loads[name] == ld {
+			delete(s.loads, name)
+		}
+		s.mu.Unlock()
+		return nil, ld.err
+	}
+	return ld.rg, nil
+}
+
+// layoutFor returns the slot's layout, building it on first use. Callers
+// hold rg.mu for read.
+func (rg *residentGraph) layoutFor(key layoutKey, strat partition.Strategy) (*layoutSlot, error) {
+	rg.lmu.Lock()
+	slot, ok := rg.layouts[key]
+	if !ok {
+		slot = &layoutSlot{runners: make(map[string]engine.ResidentRunner)}
+		rg.layouts[key] = slot
+	}
+	rg.lmu.Unlock()
+	slot.once.Do(func() {
+		slot.layout, slot.err = engine.BuildLayout(rg.g, engine.Options{
+			Workers:    key.workers,
+			Strategy:   strat,
+			ExpandHops: key.hops,
+		})
+	})
+	return slot, slot.err
+}
+
+// runnerFor returns the slot's pooled resident runner for a program.
+func (slot *layoutSlot) runnerFor(e engine.Entry) (engine.ResidentRunner, error) {
+	slot.rmu.Lock()
+	defer slot.rmu.Unlock()
+	if r, ok := slot.runners[e.Name]; ok {
+		return r, nil
+	}
+	if e.Resident == nil {
+		return nil, fmt.Errorf("server: program %q cannot run resident (no Resident hook registered)", e.Name)
+	}
+	r, err := e.Resident(slot.layout, engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	slot.runners[e.Name] = r
+	return r, nil
+}
+
+// Query answers one request: parse, try the cache, pass admission, run on
+// the resident layout, cache and return. The request's share of wall time is
+// bounded by Config.QueryTimeout (or a sooner ctx deadline); a timed-out
+// run keeps its slot until it finishes and still populates the cache, so the
+// work is not wasted.
+func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	start := time.Now()
+	resp, cached, err := s.query(ctx, req, start)
+	d := time.Since(start)
+	switch {
+	case err == nil && cached:
+		s.serving.ObserveHit(d)
+	case err == nil:
+		s.serving.ObserveMiss(d)
+	case errors.Is(err, ErrOverloaded):
+		s.serving.ObserveRejected()
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.serving.ObserveTimeout()
+	default:
+		s.serving.ObserveError(d)
+	}
+	return resp, err
+}
+
+func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (*QueryResponse, bool, error) {
+	e, err := engine.Lookup(req.Program)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	if e.Parse == nil {
+		return nil, false, fmt.Errorf("%w: program %q cannot be served (no parser)", ErrNotFound, req.Program)
+	}
+	pq, err := e.Parse(req.Query)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	if workers > s.cfg.MaxWorkers {
+		return nil, false, fmt.Errorf("%w: workers=%d exceeds the server's cap of %d", ErrBadQuery, workers, s.cfg.MaxWorkers)
+	}
+	stratName := req.Strategy
+	if stratName == "" {
+		stratName = s.cfg.Strategy
+	}
+	strat, err := partition.ByName(stratName)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	rg, err := s.resident(req.Graph)
+	if err != nil {
+		return nil, false, err
+	}
+
+	key := cacheKey{graph: req.Graph, gen: rg.gen, program: req.Program, canonical: pq.Canonical, strategy: stratName, workers: workers}
+	resp := func(epoch uint64, cached bool, result any, st RunStats) *QueryResponse {
+		return &QueryResponse{Graph: req.Graph, Epoch: epoch, Program: req.Program,
+			Canonical: pq.Canonical, Cached: cached, Result: result, Stats: st}
+	}
+	hit := func(epoch uint64, v *cacheVal) *QueryResponse {
+		r := resp(epoch, true, v.result, v.stats)
+		if enc, err := v.encodedResult(); err == nil {
+			r.resultJSON = enc
+		}
+		return r
+	}
+
+	// Fast path: answer from the cache at the current epoch without
+	// consuming a run slot.
+	if !req.NoCache {
+		rg.mu.RLock()
+		key.epoch = rg.epoch
+		rg.mu.RUnlock()
+		if v, ok := s.cache.get(key); ok {
+			return hit(key.epoch, v), true, nil
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
+	defer cancel()
+	if err := s.sched.acquire(ctx); err != nil {
+		return nil, false, err
+	}
+
+	// The run holds rg.mu for read end to end: a mutation can bump the
+	// epoch before or after this block, never during it, so the result is
+	// cached under exactly the epoch it was computed against. The slot is
+	// released when the run finishes even if the request timed out — the
+	// answer still lands in the cache.
+	type outcome struct {
+		epoch      uint64
+		cached     bool
+		result     any
+		resultJSON []byte
+		stats      RunStats
+		err        error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer s.sched.release()
+		rg.mu.RLock()
+		defer rg.mu.RUnlock()
+		key.epoch = rg.epoch
+		// Re-check under the run epoch: an identical query may have landed
+		// while we were queued.
+		if !req.NoCache {
+			if v, ok := s.cache.get(key); ok {
+				o := outcome{epoch: key.epoch, cached: true, result: v.result, stats: v.stats}
+				if enc, err := v.encodedResult(); err == nil {
+					o.resultJSON = enc
+				}
+				done <- o
+				return
+			}
+		}
+		slot, err := rg.layoutFor(layoutKey{strategy: stratName, workers: workers, hops: pq.Hops}, strat)
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		runner, err := slot.runnerFor(e)
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		res, st, err := runner.RunParsed(pq)
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		rs := RunStats{Supersteps: st.Supersteps, Messages: st.Messages, Bytes: st.Bytes, WallMs: st.WallTime.Seconds() * 1e3}
+		s.cache.put(key, &cacheVal{result: res, stats: rs})
+		done <- outcome{epoch: key.epoch, result: res, stats: rs}
+	}()
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return nil, false, out.err
+		}
+		r := resp(out.epoch, out.cached, out.result, out.stats)
+		r.resultJSON = out.resultJSON
+		return r, out.cached, nil
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("server: query %s/%s gave up after %v: %w", req.Program, pq.Canonical, time.Since(start).Round(time.Millisecond), ctx.Err())
+	}
+}
+
+// Mutate applies edge insertions (or weight decreases) to a named graph
+// through the engine's continuous-query session machinery and bumps the
+// graph's epoch: every cached result keyed to earlier epochs becomes
+// unreachable, and resident layouts are dropped so the next query
+// re-partitions the mutated graph. The session's incrementally refreshed CC
+// answer is primed into the cache under the new epoch (the session program
+// is CC — it accepts any directed graph and supports bounded incremental
+// updates). Mutations require a directed graph, as sessions do.
+func (s *Server) Mutate(name string, edges []EdgeJSON) (*MutateResponse, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("%w: empty edge list", ErrBadQuery)
+	}
+	rg, err := s.resident(name)
+	if err != nil {
+		return nil, err
+	}
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if rg.sess == nil {
+		strat, err := partition.ByName(s.cfg.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		sess, _, _, err := engine.NewSession(rg.g, queries.CC{}, queries.CCQuery{},
+			engine.Options{Workers: s.cfg.Workers, Strategy: strat})
+		if err != nil {
+			return nil, fmt.Errorf("server: starting update session for %q: %w", name, err)
+		}
+		rg.sess = sess
+	}
+	ups := make([]engine.EdgeUpdate, len(edges))
+	for i, e := range edges {
+		ups[i] = engine.EdgeUpdate{From: graph.ID(e.From), To: graph.ID(e.To), W: e.W, Label: e.Label}
+	}
+	ccRes, st, err := rg.sess.Update(ups)
+	// The session applies updates one by one; an error partway through may
+	// have mutated the graph already. Invalidate unconditionally.
+	rg.epoch++
+	rg.lmu.Lock()
+	rg.layouts = make(map[layoutKey]*layoutSlot)
+	rg.lmu.Unlock()
+	rg.g.Freeze() // session mutation thawed the base graph; next cut wants CSR
+	if err != nil {
+		return nil, fmt.Errorf("server: mutating %q: %w", name, err)
+	}
+	rs := RunStats{Supersteps: st.Supersteps, Messages: st.Messages, Bytes: st.Bytes, WallMs: st.WallTime.Seconds() * 1e3}
+	// Prime the fresh incremental CC answer under the new epoch: continuous
+	// updates keep the cache warm instead of merely invalidating it. The key
+	// carries this instance's generation, so if AddGraph replaced the name
+	// while we mutated the detached instance, the new graph cannot hit this
+	// entry.
+	s.cache.put(cacheKey{graph: name, gen: rg.gen, epoch: rg.epoch, program: "cc", canonical: "",
+		strategy: s.cfg.Strategy, workers: s.cfg.Workers}, &cacheVal{result: ccRes, stats: rs})
+	return &MutateResponse{Graph: name, Epoch: rg.epoch, Stats: rs}, nil
+}

@@ -1,0 +1,226 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"grape"
+	"grape/internal/engine"
+	"grape/internal/graph"
+	"grape/internal/queries"
+	"grape/internal/seq"
+	"grape/internal/server"
+	"grape/internal/server/client"
+)
+
+// TestServeSmoke is the serve-smoke CI job: build and start the real
+// grape-serve binary, issue one query per registered program through the
+// HTTP client, and compare every answer against the sequential ground truth
+// in internal/seq (CF, whose distributed parameter averaging has no
+// sequential twin, is checked against a solo engine run instead). It skips
+// under -short because it builds a binary and spawns a process.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns a process")
+	}
+	bin := filepath.Join(t.TempDir(), "grape-serve")
+	build := exec.Command("go", "build", "-o", bin, "grape/cmd/grape-serve")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building grape-serve: %v\n%s", err, out)
+	}
+
+	const seed = 1
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "8", "-strategy", "fennel",
+		"-preload", "road,social,commerce,ratings",
+		"-rows", "24", "-cols", "24", "-n", "1500", "-deg", "4",
+		"-people", "400", "-products", "8", "-users", "80", "-items", "30",
+		"-seed", fmt.Sprint(seed), "-keywords", "db,graph,ml")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	// the binary prints "grape-serve: listening on http://ADDR" once ready
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if i := strings.Index(sc.Text(), "listening on "); i >= 0 {
+				addrCh <- strings.TrimSpace(sc.Text()[i+len("listening on "):])
+				return
+			}
+		}
+	}()
+	var base string
+	select {
+	case base = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("grape-serve did not report a listen address")
+	}
+	c := client.New(base, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// the same datasets the server preloaded (identical facade calls, same
+	// seed), for ground truth
+	road := grape.RoadGrid(24, 24, seed)
+	social := grape.SocialNetwork(1500, 4, seed)
+	grape.AttachKeywords(social, []string{"db", "graph", "ml"}, 2, 0.05, seed)
+	commerce := grape.SocialCommerce(400, 8, seed)
+	ratings := grape.Ratings(80, 30, 12, seed)
+	pattern, err := queries.PatternByName("follows-recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	query := func(t *testing.T, graphName, program, q string) *client.QueryResult {
+		t.Helper()
+		res, err := c.Query(ctx, server.QueryRequest{Graph: graphName, Program: program, Query: q})
+		if err != nil {
+			t.Fatalf("%s %q: %v", program, q, err)
+		}
+		return res
+	}
+
+	t.Run("sssp", func(t *testing.T) {
+		got, err := query(t, "road", "sssp", "source=0").Distances()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := seq.Dijkstra(road, 0); !reflect.DeepEqual(got, want) {
+			t.Fatalf("served sssp differs from sequential Dijkstra (%d vs %d vertices)", len(got), len(want))
+		}
+	})
+	t.Run("cc", func(t *testing.T) {
+		got, err := query(t, "social", "cc", "").Components()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := seq.Components(social); !reflect.DeepEqual(got, want) {
+			t.Fatal("served cc differs from sequential components")
+		}
+	})
+	t.Run("sim", func(t *testing.T) {
+		var got map[graph.ID][]graph.ID
+		if err := json.Unmarshal(query(t, "commerce", "sim", "pattern=follows-recommend").Result, &got); err != nil {
+			t.Fatal(err)
+		}
+		want := seq.Sim(pattern, commerce)
+		if len(got) != len(want) {
+			t.Fatalf("sim: %d pattern vertices, want %d", len(got), len(want))
+		}
+		for u := range want {
+			if !reflect.DeepEqual(got[u], want[u]) {
+				t.Fatalf("sim: pattern vertex %d: %d data vertices, want %d", u, len(got[u]), len(want[u]))
+			}
+		}
+	})
+	t.Run("subiso", func(t *testing.T) {
+		got, err := query(t, "commerce", "subiso", "pattern=follows-recommend").Matches()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := seq.SubIso(pattern, commerce, seq.SubIsoOptions{})
+		if !sameMatchSet(got, want) {
+			t.Fatalf("subiso: %d matches, want %d", len(got), len(want))
+		}
+	})
+	t.Run("keyword", func(t *testing.T) {
+		got, err := query(t, "social", "keyword", "k=db,graph bound=4").KeywordMatches()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := seq.KeywordSearch(social, []string{"db", "graph"}, 4)
+		if len(got) != len(want) {
+			t.Fatalf("keyword: %d roots, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Root != want[i].Root || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("keyword rank %d: got (%d, %g) want (%d, %g)", i, got[i].Root, got[i].Score, want[i].Root, want[i].Score)
+			}
+		}
+	})
+	t.Run("cf", func(t *testing.T) {
+		var got queries.CFResult
+		if err := json.Unmarshal(query(t, "ratings", "cf", "epochs=5").Result, &got); err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.Lookup("cf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		strat, err := grape.StrategyByName("fennel")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := e.Run(ratings, engine.Options{Workers: 8, Strategy: strat}, "epochs=5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.(queries.CFResult)
+		if math.Abs(got.RMSE-want.RMSE) > 1e-9 || len(got.Factors) != len(want.Factors) {
+			t.Fatalf("cf: RMSE %g over %d factors, want %g over %d", got.RMSE, len(got.Factors), want.RMSE, len(want.Factors))
+		}
+	})
+	t.Run("tricount", func(t *testing.T) {
+		var got struct {
+			Total int64
+		}
+		if err := json.Unmarshal(query(t, "social", "tricount", "").Result, &got); err != nil {
+			t.Fatal(err)
+		}
+		if want := queries.SeqTriangles(social); got.Total != want {
+			t.Fatalf("tricount: %d triangles, want %d", got.Total, want)
+		}
+	})
+}
+
+// sameMatchSet compares embeddings as sets (the engine's global rank order
+// is a tie-broken sort; the sequential enumeration order differs).
+func sameMatchSet(a, b []seq.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(m seq.Match) string {
+		ks := make([]graph.ID, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		var sb strings.Builder
+		for _, k := range ks {
+			fmt.Fprintf(&sb, "%d>%d;", k, m[k])
+		}
+		return sb.String()
+	}
+	seen := map[string]int{}
+	for _, m := range a {
+		seen[key(m)]++
+	}
+	for _, m := range b {
+		seen[key(m)]--
+	}
+	for _, n := range seen {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -132,6 +133,29 @@ func (s *Store) LoadGraph(name string) (*graph.Graph, error) {
 		return nil, fmt.Errorf("storage: %s: %w", name, err)
 	}
 	return g, nil
+}
+
+// ListGraphs returns the names of the graphs saved under Root (directories
+// carrying a meta file), sorted. A missing root is an empty store.
+func (s *Store) ListGraphs() ([]string, error) {
+	entries, err := os.ReadDir(s.Root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.Root, e.Name(), "meta")); err == nil {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // SaveAssignment persists a partition assignment as "v owner" lines.

@@ -3,6 +3,7 @@ package storage
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"grape/internal/gen"
@@ -153,5 +154,36 @@ func TestSavedGraphValidates(t *testing.T) {
 	}
 	if r.Label(1) != "x" || len(r.Props(1)) != 1 {
 		t.Fatal("metadata lost")
+	}
+}
+
+func TestListGraphs(t *testing.T) {
+	s := tempStore(t)
+	if names, err := s.ListGraphs(); err != nil || len(names) != 0 {
+		t.Fatalf("empty store: %v, %v", names, err)
+	}
+	g := graph.New()
+	g.AddVertex(1, "x")
+	g.AddEdge(1, 2, 1)
+	for _, name := range []string{"beta", "alpha"} {
+		if err := s.SaveGraph(name, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a stray directory without a meta file is not a graph
+	if err := os.MkdirAll(filepath.Join(s.Root, "junk"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.ListGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"alpha", "beta"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("ListGraphs = %v, want %v", names, want)
+	}
+	// a store rooted at a missing directory lists nothing
+	missing := &Store{Root: filepath.Join(s.Root, "nope")}
+	if names, err := missing.ListGraphs(); err != nil || len(names) != 0 {
+		t.Fatalf("missing root: %v, %v", names, err)
 	}
 }
