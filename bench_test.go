@@ -13,6 +13,7 @@
 package grape_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -99,7 +100,7 @@ func BenchmarkTable1SSSP(b *testing.B) {
 		var st *metrics.Stats
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, st, err = engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+			_, st, err = engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 				engine.Options{Workers: workers, Strategy: spatial})
 			if err != nil {
 				b.Fatal(err)
@@ -124,7 +125,7 @@ func BenchmarkPartitionImpact(b *testing.B) {
 			var st *metrics.Stats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, st, err = engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+				_, st, err = engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -145,7 +146,7 @@ func BenchmarkScaleUp(b *testing.B) {
 			var st *metrics.Stats
 			for i := 0; i < b.N; i++ {
 				var err error
-				_, st, err = engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+				_, st, err = engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 					engine.Options{Workers: n, Strategy: partition.TwoD{Cols: sc.RoadCols}})
 				if err != nil {
 					b.Fatal(err)
@@ -170,7 +171,7 @@ func BenchmarkBoundedIncEval(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			layout := partition.Build(g, asg)
 			var err error
-			_, st, err = engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+			_, st, err = engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -183,7 +184,7 @@ func BenchmarkBoundedIncEval(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			layout := partition.Build(g, asg)
 			var err error
-			_, st, err = engine.RunOnLayout(layout, experiments.RecomputeSSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+			_, st, err = engine.RunOnLayout(context.Background(), layout, experiments.RecomputeSSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -204,7 +205,7 @@ func BenchmarkGPARMarketing(b *testing.B) {
 			var st *metrics.Stats
 			for i := 0; i < b.N; i++ {
 				var err error
-				_, st, err = gpar.Eval(g, rule, engine.Options{Workers: n})
+				_, st, err = gpar.Eval(context.Background(), g, rule, engine.Options{Workers: n})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -234,7 +235,7 @@ func BenchmarkSimulationTheorem(b *testing.B) {
 		var st *metrics.Stats
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, st, err = simulate.Run(g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: 8})
+			_, st, err = simulate.Run(context.Background(), g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: 8})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -254,7 +255,7 @@ func BenchmarkIndexAblation(b *testing.B) {
 		var st *metrics.Stats
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, st, err = engine.Run(g, queries.Keyword{}, q, engine.Options{Workers: 8})
+			_, st, err = engine.Run(context.Background(), g, queries.Keyword{}, q, engine.Options{Workers: 8})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -268,7 +269,7 @@ func BenchmarkIndexAblation(b *testing.B) {
 		var st *metrics.Stats
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, st, err = engine.Run(g, queries.Keyword{}, qs, engine.Options{Workers: 8})
+			_, st, err = engine.Run(context.Background(), g, queries.Keyword{}, qs, engine.Options{Workers: 8})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -297,27 +298,27 @@ func BenchmarkQueryClass(b *testing.B) {
 		run  func() (*metrics.Stats, error)
 	}{
 		{"sssp", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(road, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+			_, st, err := engine.Run(context.Background(), road, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 				engine.Options{Workers: 8, Strategy: partition.TwoD{Cols: sc.RoadCols}})
 			return st, err
 		}},
 		{"cc", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(road, queries.CC{}, queries.CCQuery{},
+			_, st, err := engine.Run(context.Background(), road, queries.CC{}, queries.CCQuery{},
 				engine.Options{Workers: 8, Strategy: partition.TwoD{Cols: sc.RoadCols}})
 			return st, err
 		}},
 		{"sim", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern},
+			_, st, err := engine.Run(context.Background(), commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern},
 				engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"subiso", func() (*metrics.Stats, error) {
-			_, st, err := queries.RunSubIso(commerce, queries.SubIsoQuery{Pattern: pattern},
+			_, st, err := queries.RunSubIso(context.Background(), commerce, queries.SubIsoQuery{Pattern: pattern},
 				engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"keyword", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(social, queries.Keyword{},
+			_, st, err := engine.Run(context.Background(), social, queries.Keyword{},
 				queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true},
 				engine.Options{Workers: 8})
 			return st, err
@@ -325,7 +326,7 @@ func BenchmarkQueryClass(b *testing.B) {
 		{"cf", func() (*metrics.Stats, error) {
 			cfg := seq.DefaultCFConfig()
 			cfg.Epochs = 10
-			_, st, err := engine.Run(ratings, queries.CF{}, queries.CFQuery{Cfg: cfg},
+			_, st, err := engine.Run(context.Background(), ratings, queries.CF{}, queries.CFQuery{Cfg: cfg},
 				engine.Options{Workers: 8})
 			return st, err
 		}},
@@ -363,7 +364,7 @@ func BenchmarkCoordinatorFold(b *testing.B) {
 		var st *metrics.Stats
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, st, err = engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+			_, st, err = engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -375,7 +376,7 @@ func BenchmarkCoordinatorFold(b *testing.B) {
 		var st *metrics.Stats
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, st, err = engine.RunOnLayout(layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
+			_, st, err = engine.RunOnLayout(context.Background(), layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -398,7 +399,7 @@ func BenchmarkAsyncAblation(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			layout := partition.Build(g, asg)
 			var err error
-			_, st, err = engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+			_, st, err = engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -410,7 +411,7 @@ func BenchmarkAsyncAblation(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			layout := partition.Build(g, asg)
 			var err error
-			_, st, err = engine.RunAsync(g, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Layout: layout})
+			_, st, err = engine.RunAsync(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Layout: layout})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -446,7 +447,7 @@ func BenchmarkTriCount(b *testing.B) {
 	var st *metrics.Stats
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, st, err = queries.RunTriCount(g, engine.Options{Workers: 8})
+		_, st, err = queries.RunTriCount(context.Background(), g, engine.Options{Workers: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -460,7 +461,7 @@ func BenchmarkTriCount(b *testing.B) {
 func BenchmarkContinuousUpdates(b *testing.B) {
 	sc := benchScale()
 	g := sc.Road()
-	session, _, _, err := engine.NewSession(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+	session, _, _, err := engine.NewSession(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 		engine.Options{Workers: 16, Strategy: partition.TwoD{Cols: sc.RoadCols}})
 	if err != nil {
 		b.Fatal(err)
@@ -471,7 +472,7 @@ func BenchmarkContinuousUpdates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// weight decreases on the same edge keep the workload stationary
 		w := 2.0 / float64(i+1)
-		_, st, err = session.Update([]engine.EdgeUpdate{{From: far - 1, To: far, W: w}})
+		_, st, err = session.Update(context.Background(), []engine.EdgeUpdate{{From: far - 1, To: far, W: w}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -529,14 +530,14 @@ func BenchmarkPublicAPI(b *testing.B) {
 	g := grape.RoadGrid(48, 48, 1)
 	b.Run("run-sssp", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := grape.RunSSSP(g, 0, grape.Options{Workers: 8}); err != nil {
+			if _, _, err := grape.RunSSSP(context.Background(), g, 0, grape.Options{Workers: 8}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("run-program-by-name", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := grape.RunProgram("sssp", g, grape.Options{Workers: 8}, "source=0"); err != nil {
+			if _, _, err := grape.RunProgram(context.Background(), "sssp", g, grape.Options{Workers: 8}, "source=0"); err != nil {
 				b.Fatal(err)
 			}
 		}

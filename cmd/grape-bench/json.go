@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"testing"
 
 	"grape/internal/engine"
@@ -67,40 +69,40 @@ func runJSONBench(sc experiments.Scale, path string) error {
 		run  func() (*metrics.Stats, error)
 	}{
 		{"fold/sssp", func() (*metrics.Stats, error) {
-			_, st, err := engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+			_, st, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 			return st, err
 		}},
 		{"fold/cc", func() (*metrics.Stats, error) {
-			_, st, err := engine.RunOnLayout(layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
+			_, st, err := engine.RunOnLayout(context.Background(), layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
 			return st, err
 		}},
 		{"e2e/sssp", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(road, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 8, Strategy: spatial})
+			_, st, err := engine.Run(context.Background(), road, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 8, Strategy: spatial})
 			return st, err
 		}},
 		{"e2e/cc", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(road, queries.CC{}, queries.CCQuery{}, engine.Options{Workers: 8, Strategy: spatial})
+			_, st, err := engine.Run(context.Background(), road, queries.CC{}, queries.CCQuery{}, engine.Options{Workers: 8, Strategy: spatial})
 			return st, err
 		}},
 		{"e2e/sim", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern}, engine.Options{Workers: 8})
+			_, st, err := engine.Run(context.Background(), commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern}, engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"e2e/subiso", func() (*metrics.Stats, error) {
-			_, st, err := queries.RunSubIso(commerce, queries.SubIsoQuery{Pattern: pattern}, engine.Options{Workers: 8})
+			_, st, err := queries.RunSubIso(context.Background(), commerce, queries.SubIsoQuery{Pattern: pattern}, engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"e2e/keyword", func() (*metrics.Stats, error) {
 			q := queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true}
-			_, st, err := engine.Run(social, queries.Keyword{}, q, engine.Options{Workers: 8})
+			_, st, err := engine.Run(context.Background(), social, queries.Keyword{}, q, engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"e2e/cf", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(ratings, queries.CF{}, queries.CFQuery{Cfg: cfg}, engine.Options{Workers: 8})
+			_, st, err := engine.Run(context.Background(), ratings, queries.CF{}, queries.CFQuery{Cfg: cfg}, engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"e2e/tricount", func() (*metrics.Stats, error) {
-			_, st, err := queries.RunTriCount(social, engine.Options{Workers: 8})
+			_, st, err := queries.RunTriCount(context.Background(), social, engine.Options{Workers: 8})
 			return st, err
 		}},
 	}
@@ -141,6 +143,11 @@ func runJSONBench(sc experiments.Scale, path string) error {
 		return err
 	}
 	matrix.Rows = append(matrix.Rows, serve...)
+	overload, err := overloadRows(road)
+	if err != nil {
+		return err
+	}
+	matrix.Rows = append(matrix.Rows, overload...)
 
 	data, err := json.MarshalIndent(matrix, "", "  ")
 	if err != nil {
@@ -183,6 +190,71 @@ func serveRows(road *graph.Graph) ([]benchRow, error) {
 			fmt.Fprintf(os.Stderr, "grape-bench: %-16s %12d ns/op %12.1f qps\n",
 				name, r.NsPerOp(), 1e9/float64(r.NsPerOp()))
 		}
+	}
+	return rows, nil
+}
+
+// overloadRows pins the capacity win of run cancellation: 64 concurrent
+// clients, 50% of whose queries carry a deadline sized to one *solo* run —
+// trivially met on an idle server, hopeless under 64-way overload, so each
+// such query is abandoned moments after its run starts (the disconnecting-
+// client shape the redesign exists for). All queries are uncached engine
+// runs. The same workload (same deadline, alternating rounds, median of 3
+// — single shots on a shared box are too noisy to trust) hits two servers:
+// the default (an abandoned run is cancelled and its workers freed within
+// one superstep) and Config.DetachRuns (the PR 4 behavior: the abandoned
+// run burns worker CPU to convergence). Each row's ns_op is nanoseconds
+// per *successful* query, so goodput qps = 1e9/ns_op.
+func overloadRows(road *graph.Graph) ([]benchRow, error) {
+	type mode struct {
+		name string
+		ts   *httptest.Server
+		qps  []float64
+	}
+	modes := [2]*mode{{name: "cancel"}, {name: "detach"}}
+	for i, m := range modes {
+		cfg := servebench.ServerConfig()
+		cfg.DetachRuns = i == 1
+		// Admit every client: with the queue out of the way (a queue-expired
+		// query never starts a run in either mode), the contended resource
+		// is worker CPU — exactly what detached runs steal and cancelled
+		// runs return.
+		cfg.MaxInFlight = servebench.OverloadClients
+		s := server.New(cfg)
+		if err := s.AddGraph("road", road); err != nil {
+			return nil, err
+		}
+		m.ts = httptest.NewServer(s.Handler())
+		defer m.ts.Close()
+		if _, err := servebench.Warm(m.ts.URL, false); err != nil {
+			return nil, fmt.Errorf("overload/%s: %w", m.name, err)
+		}
+	}
+	// One shared deadline for both modes: per-mode measurement would hand
+	// one of them a systematically more generous budget.
+	deadline, err := servebench.MeasureRunLatency(modes[0].ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < 3; round++ {
+		for _, m := range modes {
+			qps, frac := servebench.RunOverload(m.ts.URL, servebench.OverloadClients, 8, deadline)
+			m.qps = append(m.qps, qps)
+			fmt.Fprintf(os.Stderr, "grape-bench: overload/c%d/%s round %d: %.1f good-qps (%.0f%% succeeded)\n",
+				servebench.OverloadClients, m.name, round, qps, 100*frac)
+		}
+	}
+	var rows []benchRow
+	for _, m := range modes {
+		sort.Float64s(m.qps)
+		goodqps := m.qps[len(m.qps)/2]
+		name := fmt.Sprintf("overload/c%d/%s", servebench.OverloadClients, m.name)
+		if goodqps <= 0 {
+			return nil, fmt.Errorf("%s: zero goodput — every query failed; fix the workload before committing a baseline", name)
+		}
+		rows = append(rows, benchRow{Name: name, NsPerOp: int64(1e9 / goodqps)})
+		fmt.Fprintf(os.Stderr, "grape-bench: %-22s %12.1f good-qps (median of 3; 50%% of requests deadline-bounded at %s)\n",
+			name, goodqps, deadline)
 	}
 	return rows, nil
 }

@@ -11,6 +11,7 @@
 //	curl -s localhost:8080/query -d '{"graph":"road","program":"sssp","query":"source=0"}'
 //	curl -s localhost:8080/graphs
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/update -d '{"graph":"road","edges":[{"from":0,"to":99,"w":0.5}]}'
 //
 // API:
@@ -19,6 +20,12 @@
 //	POST /update  {"graph","edges":[{"from","to","w","label?"}]}  (bumps the graph epoch)
 //	GET  /graphs  resident graphs with sizes and epochs
 //	GET  /stats   serving metrics: latency histogram, queue depth, cache hit rate
+//	GET  /healthz liveness + resident graph count (the readiness probe)
+//
+// A query's context threads from the HTTP request through admission into
+// the engine run: a disconnected client or an expired deadline cancels the
+// run at its next superstep barrier and frees its workers (-detach restores
+// the old run-to-completion-and-cache behavior).
 package main
 
 import (
@@ -46,6 +53,7 @@ func main() {
 		queue    = flag.Int("queue", 64, "max queries waiting for a run slot")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-query deadline (queue wait + run)")
 		cache    = flag.Int("cache", 256, "result cache entries (-1 disables)")
+		detach   = flag.Bool("detach", false, "legacy overload behavior: let timed-out/disconnected queries run to completion and cache")
 		store    = flag.String("store", "", "storage.Store directory: its graphs become queryable by name")
 
 		preload  = flag.String("preload", "", "comma-separated generated datasets to load: road|social|commerce|ratings")
@@ -69,6 +77,7 @@ func main() {
 		MaxQueue:     *queue,
 		QueryTimeout: *timeout,
 		CacheEntries: *cache,
+		DetachRuns:   *detach,
 	}
 	if *store != "" {
 		cfg.Store = &storage.Store{Root: *store}

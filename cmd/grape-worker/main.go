@@ -2,7 +2,10 @@
 // a coordinator (grape -listen ..., or any program driving a distributed run
 // through internal/transport), receives its worker index, fragment and query
 // in the setup handshake, and serves the PEval/IncEval fixpoint until the
-// coordinator releases it. One invocation serves exactly one run.
+// coordinator releases it — or aborts it: a cancelled run (client gone,
+// deadline expired) reaches the worker as an abort frame, and the deadline
+// shipped in the setup frame bounds the worker even if the coordinator
+// dies first. One invocation serves exactly one run.
 //
 // Flags:
 //
@@ -20,10 +23,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"grape/internal/engine"
@@ -60,8 +67,31 @@ func main() {
 	defer conn.Close()
 	log.Printf("connected to %s as worker %d of %d", *connect, conn.Index(), conn.N())
 
+	// The worker's own bound: ^C/SIGTERM cancels the serve loop. serveWire
+	// observes the context between commands, but an idle worker blocks in
+	// link.Recv — so the signal also closes the connection, which unblocks
+	// the read and ends the session (without this, a signalled idle worker
+	// would hang unkillably). The coordinator's run deadline, if any,
+	// arrives in the setup frame and is layered on top by ServeWorker.
+	ctx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSig()
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+
 	start := time.Now()
-	if err := engine.ServeWorker(conn); err != nil {
+	if err := engine.ServeWorker(ctx, conn); err != nil {
+		if ctx.Err() != nil {
+			log.SetOutput(os.Stderr)
+			log.Fatalf("worker %d: interrupted after %v", conn.Index(), time.Since(start).Round(time.Millisecond))
+		}
+		if errors.Is(err, engine.ErrAborted) {
+			// the coordinator cancelled the run (client gone, deadline hit);
+			// discarding it is this worker's job done
+			log.Printf("worker %d: run aborted by coordinator after %v", conn.Index(), time.Since(start).Round(time.Millisecond))
+			return
+		}
 		log.SetOutput(os.Stderr)
 		log.Fatalf("worker %d: %v", conn.Index(), err)
 	}

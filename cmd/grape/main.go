@@ -18,12 +18,14 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"grape"
@@ -34,6 +36,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("grape: ")
+
+	// ^C cancels the run instead of killing the process mid-superstep: the
+	// engine observes the context at the next barrier, releases (or, on a
+	// wire run, aborts) its workers and returns, so deferred cleanup — the
+	// unix socket file, the transport — still happens.
+	ctx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSig()
 
 	var (
 		list     = flag.Bool("list", false, "list the registered PIE programs and exit")
@@ -78,17 +87,13 @@ func main() {
 	// Resolve -program/-query through the shared parser (the same code path
 	// the serving layer and tests use) before spending time generating the
 	// dataset: typos fail fast, and the canonical form is what a result
-	// cache would key on. Programs plugged in without a Parse hook still
-	// run — their Entry.Run parses the query itself.
+	// cache would key on. Every registered program has a parser — MakeEntry
+	// derives Run and Parse from the same spec.
 	pq, err := grape.ParseQuery(*program, *query)
-	switch {
-	case err == nil:
-		fmt.Printf("query: %s %s\n", pq.Program, pq.Canonical)
-	case errors.Is(err, grape.ErrNoParser):
-		// fall through to RunProgram
-	default:
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("query: %s %s\n", pq.Program, pq.Canonical)
 
 	g, err := buildGraph(*input, *directed, *dataset, *rows, *cols, *n, *deg, *people, *products, *users, *items, *seed)
 	if err != nil {
@@ -125,7 +130,7 @@ func main() {
 		fmt.Printf("%d workers connected\n", *workers)
 		opts.Transport = tr
 	}
-	res, stats, err := grape.RunProgram(*program, g, opts, *query)
+	res, stats, err := grape.RunProgram(ctx, *program, g, opts, *query)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package grape_test
 
 import (
+	"context"
 	"fmt"
 
 	"grape"
@@ -15,7 +16,7 @@ func ExampleRunSSSP() {
 	g.AddEdge(2, 1, 2)
 	g.AddEdge(1, 3, 1)
 
-	dists, _, err := grape.RunSSSP(g, 0, grape.Options{Workers: 2})
+	dists, _, err := grape.RunSSSP(context.Background(), g, 0, grape.Options{Workers: 2})
 	if err != nil {
 		panic(err)
 	}
@@ -31,7 +32,7 @@ func ExampleRunCC() {
 	g.AddEdge(9, 7, 1)
 	g.AddEdge(2, 4, 1)
 
-	comp, _, err := grape.RunCC(g, grape.Options{Workers: 2})
+	comp, _, err := grape.RunCC(context.Background(), g, grape.Options{Workers: 2})
 	if err != nil {
 		panic(err)
 	}
@@ -53,7 +54,7 @@ func ExampleRunSubIso() {
 	if err != nil {
 		panic(err)
 	}
-	matches, stats, err := grape.RunSubIso(g, pattern, 0, grape.Options{Workers: 2})
+	matches, stats, err := grape.RunSubIso(context.Background(), g, pattern, 0, grape.Options{Workers: 2})
 	if err != nil {
 		panic(err)
 	}
@@ -65,7 +66,7 @@ func ExampleRunSubIso() {
 // play panel.
 func ExampleRunProgram() {
 	g := grape.RoadGrid(8, 8, 1)
-	res, _, err := grape.RunProgram("sssp", g, grape.Options{Workers: 2}, "source=0")
+	res, _, err := grape.RunProgram(context.Background(), "sssp", g, grape.Options{Workers: 2}, "source=0")
 	if err != nil {
 		panic(err)
 	}
@@ -81,13 +82,13 @@ func ExampleNewSSSPSession() {
 	g.AddEdge(0, 1, 10)
 	g.AddEdge(1, 2, 10)
 
-	session, dists, _, err := grape.NewSSSPSession(g, 0, grape.Options{Workers: 2})
+	session, dists, _, err := grape.NewSSSPSession(context.Background(), g, 0, grape.Options{Workers: 2})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println(dists[2])
 
-	dists, _, err = session.Update([]grape.EdgeUpdate{{From: 0, To: 2, W: 3}})
+	dists, _, err = session.Update(context.Background(), []grape.EdgeUpdate{{From: 0, To: 2, W: 3}})
 	if err != nil {
 		panic(err)
 	}

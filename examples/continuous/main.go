@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,7 +20,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	session, dists, initStats, err := grape.NewSSSPSession(g, 0, grape.Options{Workers: 16, Strategy: strat})
+	session, dists, initStats, err := grape.NewSSSPSession(context.Background(), g, 0, grape.Options{Workers: 16, Strategy: strat})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func main() {
 			}
 			batch = append(batch, grape.EdgeUpdate{From: from, To: to, W: 1 + rng.Float64()})
 		}
-		dists, stats, err := session.Update(batch)
+		dists, stats, err := session.Update(context.Background(), batch)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -88,8 +89,9 @@ func (Reach) Assemble(q ReachQuery, ctxs []*grape.Context[bool]) (map[grape.ID]b
 }
 
 func main() {
+	ctx := context.Background()
 	g := grape.SocialNetwork(5000, 3, 11)
-	reached, stats, err := grape.Run(g, Reach{}, ReachQuery{Source: 0},
+	reached, stats, err := grape.Run(ctx, g, Reach{}, ReachQuery{Source: 0},
 		grape.Options{Workers: 8, CheckMonotonic: true})
 	if err != nil {
 		log.Fatal(err)
@@ -99,22 +101,28 @@ func main() {
 		stats.Supersteps, stats.Messages, stats.MB())
 
 	// The same program can be registered and then driven by name, exactly
-	// like the built-in library.
-	grape.Register(grape.Entry{
-		Name:        "reach",
+	// like the built-in library: MakeEntry derives the whole registry hook
+	// set (by-name runs, query parsing, resident serving) from the program
+	// and its parse/canonical pair. A program that additionally implements
+	// a wire codec would gain distributed runs from the same spec.
+	grape.Register(grape.MakeEntry(grape.EntrySpec[ReachQuery, bool, map[grape.ID]bool]{
+		Prog:        Reach{},
 		Description: "BFS reachability (plug-and-play example)",
 		QueryHelp:   "source=<id>",
-		Run: func(g *grape.Graph, opts grape.Options, query string) (any, *grape.Stats, error) {
+		Parse: func(query string) (ReachQuery, error) {
 			var src int64
 			if _, err := fmt.Sscanf(query, "source=%d", &src); err != nil {
-				return nil, nil, fmt.Errorf("reach: bad query %q: %v", query, err)
+				return ReachQuery{}, fmt.Errorf("reach: bad query %q: %v", query, err)
 			}
-			return grape.Run(g, Reach{}, ReachQuery{Source: grape.ID(src)}, opts)
+			return ReachQuery{Source: grape.ID(src)}, nil
 		},
-	})
-	res, _, err := grape.RunProgram("reach", g, grape.Options{Workers: 4}, "source=42")
+		Canonical: func(q ReachQuery) string { return fmt.Sprintf("source=%d", q.Source) },
+	}))
+	// RunProgramAs returns the typed result — no `any` assertion at the
+	// call site.
+	res, _, err := grape.RunProgramAs[map[grape.ID]bool](ctx, "reach", g, grape.Options{Workers: 4}, "source=42")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("via registry: vertex 42 reaches %d vertices\n", len(res.(map[grape.ID]bool)))
+	fmt.Printf("via registry: vertex 42 reaches %d vertices\n", len(res))
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 	// Shortest distances from the top-left corner, computed by the PIE
 	// program of the paper's Example 1: Dijkstra as PEval, bounded
 	// incremental relaxation as IncEval, min as the aggregate.
-	dists, stats, err := grape.RunSSSP(g, 0, grape.Options{Workers: 8})
+	dists, stats, err := grape.RunSSSP(context.Background(), g, 0, grape.Options{Workers: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, st, err := grape.RunSSSP(g, 0, grape.Options{Workers: 8, Strategy: strat})
+		_, st, err := grape.RunSSSP(context.Background(), g, 0, grape.Options{Workers: 8, Strategy: strat})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,7 +33,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			_, st, err := grape.RunSSSP(g, 0, grape.Options{Workers: n, Strategy: strat})
+			_, st, err := grape.RunSSSP(context.Background(), g, 0, grape.Options{Workers: n, Strategy: strat})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -43,7 +44,7 @@ func main() {
 	tw.Flush()
 
 	fmt.Println("\nConnected components on the same network:")
-	comp, st, err := grape.RunCC(g, grape.Options{Workers: 16})
+	comp, st, err := grape.RunCC(context.Background(), g, grape.Options{Workers: 16})
 	if err != nil {
 		log.Fatal(err)
 	}

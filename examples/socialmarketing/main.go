@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +25,7 @@ func main() {
 	fmt.Printf("social network: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
 
 	rule := grape.Example2Rule(0.8)
-	res, stats, err := grape.EvalRule(g, rule, grape.Options{Workers: 8})
+	res, stats, err := grape.EvalRule(context.Background(), g, rule, grape.Options{Workers: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func main() {
 	cm := grape.DefaultCostModel()
 	fmt.Println("scale-up (simulated seconds for the matching phase):")
 	for _, n := range []int{1, 2, 4, 8, 16} {
-		_, st, err := grape.EvalRule(g, rule, grape.Options{Workers: n})
+		_, st, err := grape.EvalRule(context.Background(), g, rule, grape.Options{Workers: n})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func main() {
 	// Beyond evaluating a hand-written rule: mine the rule set itself and
 	// rank what survives the support/confidence bars.
 	fmt.Println("\nmined rules (support ≥ 5, confidence ≥ 0.3):")
-	mined, err := grape.DiscoverRules(g, 5, 0.3, grape.Options{Workers: 8})
+	mined, err := grape.DiscoverRules(context.Background(), g, 5, 0.3, grape.Options{Workers: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

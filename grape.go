@@ -14,10 +14,16 @@
 // Quick start:
 //
 //	g := grape.RoadGrid(64, 64, 1)
-//	dists, stats, err := grape.RunSSSP(g, 0, grape.Options{Workers: 8})
+//	dists, stats, err := grape.RunSSSP(ctx, g, 0, grape.Options{Workers: 8})
 //
 // To plug in your own sequential algorithm, implement engine.Program's three
 // functions and the update-parameter declaration; see examples/plugplay.
+//
+// Every run entry point takes a context.Context first: cancel it (or give
+// it a deadline) and the run stops at its next superstep barrier, freeing
+// its workers — on the in-process bus and across the socket transport
+// alike. Pass context.Background() when the run should be unbounded. See
+// ARCHITECTURE.md's "Cancellation & deadlines".
 //
 // Runs default to the in-process bus (workers are goroutines). Every
 // registered query also carries a wire codec, so the same run can be
@@ -27,6 +33,7 @@
 package grape
 
 import (
+	"context"
 	"fmt"
 
 	"grape/internal/engine"
@@ -94,9 +101,10 @@ type (
 
 // Run executes a PIE program on g: partition, parallel PEval, incremental
 // IncEval to the simultaneous fixpoint, Assemble — the workflow of the
-// paper's Fig. 1.
-func Run[Q, V, R any](g *Graph, prog Program[Q, V, R], q Q, opts Options) (R, *Stats, error) {
-	return engine.Run(g, prog, q, opts)
+// paper's Fig. 1. ctx bounds the run: cancellation or deadline expiry is
+// honored at every superstep barrier.
+func Run[Q, V, R any](ctx context.Context, g *Graph, prog Program[Q, V, R], q Q, opts Options) (R, *Stats, error) {
+	return engine.Run(ctx, g, prog, q, opts)
 }
 
 // RunAsync executes a PIE program without BSP barriers: workers exchange
@@ -104,13 +112,25 @@ func Run[Q, V, R any](g *Graph, prog Program[Q, V, R], q Q, opts Options) (R, *S
 // programs with a monotone update-parameter order the answer is identical
 // to Run's; the cost profile trades barriers for possible stale-value
 // recomputation.
-func RunAsync[Q, V, R any](g *Graph, prog Program[Q, V, R], q Q, opts Options) (R, *Stats, error) {
-	return engine.RunAsync(g, prog, q, opts)
+// A cancelled ctx stops the workers at their next delivery round.
+func RunAsync[Q, V, R any](ctx context.Context, g *Graph, prog Program[Q, V, R], q Q, opts Options) (R, *Stats, error) {
+	return engine.RunAsync(ctx, g, prog, q, opts)
 }
 
 // Register adds a PIE program to the library so RunProgram can play it by
-// name.
+// name. Build the Entry with MakeEntry — Register rejects entries with
+// missing hooks.
 func Register(e Entry) { engine.Register(e) }
+
+// EntrySpec is the typed source MakeEntry derives an Entry from: the PIE
+// program plus its query-string parse/canonical pair.
+type EntrySpec[Q, V, R any] = engine.EntrySpec[Q, V, R]
+
+// MakeEntry derives a registry Entry's full hook set (Run, Parse, Resident,
+// and — when the program has a wire codec — Wire) from one typed spec, so
+// the CLI, the serving layer and distributed workers cannot disagree about
+// what a query string means. See examples/plugplay.
+func MakeEntry[Q, V, R any](s EntrySpec[Q, V, R]) Entry { return engine.MakeEntry(s) }
 
 // Continuous queries over evolving graphs: the paper defines IncEval over
 // updates M to G; a Session retains the distributed state of a query so
@@ -126,19 +146,20 @@ type (
 // NewSession starts a continuous query: it runs the initial fixpoint and
 // returns a Session whose Update method applies edge insertions
 // incrementally. The program must implement engine.Updater to accept
-// updates (the built-in SSSP and CC do).
-func NewSession[Q, V, R any](g *Graph, prog Program[Q, V, R], q Q, opts Options) (*Session[Q, V, R], R, *Stats, error) {
-	return engine.NewSession(g, prog, q, opts)
+// updates (the built-in SSSP and CC do). ctx bounds the initial fixpoint;
+// each Update carries its own.
+func NewSession[Q, V, R any](ctx context.Context, g *Graph, prog Program[Q, V, R], q Q, opts Options) (*Session[Q, V, R], R, *Stats, error) {
+	return engine.NewSession(ctx, g, prog, q, opts)
 }
 
 // NewSSSPSession starts a continuous shortest-path query from src.
-func NewSSSPSession(g *Graph, src ID, opts Options) (*Session[queries.SSSPQuery, float64, map[ID]float64], map[ID]float64, *Stats, error) {
-	return engine.NewSession(g, queries.SSSP{}, queries.SSSPQuery{Source: src}, opts)
+func NewSSSPSession(ctx context.Context, g *Graph, src ID, opts Options) (*Session[queries.SSSPQuery, float64, map[ID]float64], map[ID]float64, *Stats, error) {
+	return engine.NewSession(ctx, g, queries.SSSP{}, queries.SSSPQuery{Source: src}, opts)
 }
 
 // NewCCSession starts a continuous connected-components query.
-func NewCCSession(g *Graph, opts Options) (*Session[queries.CCQuery, ID, map[ID]ID], map[ID]ID, *Stats, error) {
-	return engine.NewSession(g, queries.CC{}, queries.CCQuery{}, opts)
+func NewCCSession(ctx context.Context, g *Graph, opts Options) (*Session[queries.CCQuery, ID, map[ID]ID], map[ID]ID, *Stats, error) {
+	return engine.NewSession(ctx, g, queries.CC{}, queries.CCQuery{}, opts)
 }
 
 // New returns an empty directed graph.
@@ -161,13 +182,43 @@ func StrategyByName(name string) (Strategy, error) { return partition.ByName(nam
 func Library() []Entry { return engine.Library() }
 
 // RunProgram looks up a registered program by name and runs it with a
-// textual query (see each entry's QueryHelp) — the demo's play panel.
-func RunProgram(name string, g *Graph, opts Options, query string) (any, *Stats, error) {
+// textual query (see each entry's QueryHelp) — the demo's play panel. The
+// result is the program's erased result value; use RunProgramAs to get it
+// typed.
+func RunProgram(ctx context.Context, name string, g *Graph, opts Options, query string) (any, *Stats, error) {
 	e, err := engine.Lookup(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.Run(g, opts, query)
+	return e.Run(ctx, g, opts, query)
+}
+
+// RunProgramAs is RunProgram with the result asserted to R, so callers of
+// registry-driven runs stop unpacking `any` by hand:
+//
+//	dists, st, err := grape.RunProgramAs[map[grape.ID]float64](ctx, "sssp", g, opts, "source=0")
+func RunProgramAs[R any](ctx context.Context, name string, g *Graph, opts Options, query string) (R, *Stats, error) {
+	res, st, err := RunProgram(ctx, name, g, opts, query)
+	if err != nil {
+		var zero R
+		return zero, st, err
+	}
+	r, err := ResultAs[R](res)
+	if err != nil {
+		return r, st, fmt.Errorf("grape: program %q: %w", name, err)
+	}
+	return r, st, nil
+}
+
+// ResultAs asserts an erased result (RunProgram's return, a QueryResponse's
+// Result) to its typed form, with an error naming both types instead of a
+// panic when the caller guessed wrong.
+func ResultAs[R any](res any) (R, error) {
+	r, ok := res.(R)
+	if !ok {
+		return r, fmt.Errorf("result has type %T, want %T", res, r)
+	}
+	return r, nil
 }
 
 // Serving: the resident query runtime of the paper's Fig. 2 system — load
@@ -195,8 +246,10 @@ type (
 	QueryResponse = server.QueryResponse
 )
 
-// ErrNoParser marks ParseQuery failures for programs Registered without a
-// Parse hook; their Entry.Run still parses and runs query strings itself.
+// ErrNoParser marks ParseQuery failures for entries lacking a Parse hook.
+// Register has required the hook since the MakeEntry unification, so this
+// only fires for Entry values that were never registered; it stays exported
+// for callers that branch on it.
 var ErrNoParser = queries.ErrNoParser
 
 // ParseQuery resolves a textual query against a registered program — the
@@ -232,50 +285,50 @@ func NewQueryServer(cfg ServeConfig) *QueryServer { return server.New(cfg) }
 
 // RunSSSP computes single-source shortest distances from src (Example 1's
 // PIE program: Dijkstra + bounded incremental relaxation).
-func RunSSSP(g *Graph, src ID, opts Options) (map[ID]float64, *Stats, error) {
-	return engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: src}, opts)
+func RunSSSP(ctx context.Context, g *Graph, src ID, opts Options) (map[ID]float64, *Stats, error) {
+	return engine.Run(ctx, g, queries.SSSP{}, queries.SSSPQuery{Source: src}, opts)
 }
 
 // RunCC labels every vertex with the minimum vertex ID of its weakly
 // connected component.
-func RunCC(g *Graph, opts Options) (map[ID]ID, *Stats, error) {
-	return engine.Run(g, queries.CC{}, queries.CCQuery{}, opts)
+func RunCC(ctx context.Context, g *Graph, opts Options) (map[ID]ID, *Stats, error) {
+	return engine.Run(ctx, g, queries.CC{}, queries.CCQuery{}, opts)
 }
 
 // RunSim computes graph simulation of a pattern: for each pattern vertex,
 // the data vertices that simulate it.
-func RunSim(g *Graph, pattern *Graph, opts Options) (map[ID][]ID, *Stats, error) {
-	res, st, err := engine.Run(g, queries.Sim{}, queries.SimQuery{Pattern: pattern}, opts)
+func RunSim(ctx context.Context, g *Graph, pattern *Graph, opts Options) (map[ID][]ID, *Stats, error) {
+	res, st, err := engine.Run(ctx, g, queries.Sim{}, queries.SimQuery{Pattern: pattern}, opts)
 	return map[ID][]ID(res), st, err
 }
 
 // RunSubIso enumerates subgraph-isomorphism embeddings of a pattern
 // (maxMatches 0 = unlimited). Fragments are expanded to the pattern radius
 // automatically.
-func RunSubIso(g *Graph, pattern *Graph, maxMatches int, opts Options) ([]Match, *Stats, error) {
-	return queries.RunSubIso(g, queries.SubIsoQuery{Pattern: pattern, MaxMatches: maxMatches}, opts)
+func RunSubIso(ctx context.Context, g *Graph, pattern *Graph, maxMatches int, opts Options) ([]Match, *Stats, error) {
+	return queries.RunSubIso(ctx, g, queries.SubIsoQuery{Pattern: pattern, MaxMatches: maxMatches}, opts)
 }
 
 // RunKeyword finds the roots from which a holder of every keyword is
 // reachable within bound, ranked by total distance.
-func RunKeyword(g *Graph, keywords []string, bound float64, opts Options) ([]KeywordMatch, *Stats, error) {
-	return engine.Run(g, queries.Keyword{}, queries.KeywordQuery{Keywords: keywords, Bound: bound, UseIndex: true}, opts)
+func RunKeyword(ctx context.Context, g *Graph, keywords []string, bound float64, opts Options) ([]KeywordMatch, *Stats, error) {
+	return engine.Run(ctx, g, queries.Keyword{}, queries.KeywordQuery{Keywords: keywords, Bound: bound, UseIndex: true}, opts)
 }
 
 // RunCF factorizes the bipartite ratings graph (vertices labeled
 // "user"/"item", edge weights = ratings) by distributed SGD.
-func RunCF(g *Graph, epochs int, opts Options) (CFResult, *Stats, error) {
+func RunCF(ctx context.Context, g *Graph, epochs int, opts Options) (CFResult, *Stats, error) {
 	cfg := seq.DefaultCFConfig()
 	if epochs > 0 {
 		cfg.Epochs = epochs
 	}
-	return engine.Run(g, queries.CF{}, queries.CFQuery{Cfg: cfg}, opts)
+	return engine.Run(ctx, g, queries.CF{}, queries.CFQuery{Cfg: cfg}, opts)
 }
 
 // EvalRule evaluates a graph pattern association rule, returning candidate
 // (x, y) pairs ranked by the rule's confidence on this graph.
-func EvalRule(g *Graph, r Rule, opts Options) (*RuleResult, *Stats, error) {
-	return gpar.Eval(g, r, opts)
+func EvalRule(ctx context.Context, g *Graph, r Rule, opts Options) (*RuleResult, *Stats, error) {
+	return gpar.Eval(ctx, g, r, opts)
 }
 
 // Example2Rule is the paper's Example 2 GPAR: ≥ minFrac of x's followees
@@ -285,7 +338,7 @@ func Example2Rule(minFrac float64) Rule { return gpar.Example2Rule(minFrac) }
 // DiscoverRules mines association rules from a social-commerce graph:
 // candidate patterns over the schema are evaluated with the distributed
 // SubIso machinery and filtered by support and confidence.
-func DiscoverRules(g *Graph, minSupport int, minConfidence float64, opts Options) ([]*RuleResult, error) {
+func DiscoverRules(ctx context.Context, g *Graph, minSupport int, minConfidence float64, opts Options) ([]*RuleResult, error) {
 	cfg := gpar.DefaultDiscoverConfig()
 	if minSupport > 0 {
 		cfg.MinSupport = minSupport
@@ -293,7 +346,7 @@ func DiscoverRules(g *Graph, minSupport int, minConfidence float64, opts Options
 	if minConfidence > 0 {
 		cfg.MinConfidence = minConfidence
 	}
-	return gpar.Discover(g, cfg, opts)
+	return gpar.Discover(ctx, g, cfg, opts)
 }
 
 // PatternByName resolves a named pattern from the pattern library

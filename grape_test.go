@@ -1,6 +1,7 @@
 package grape_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestFacadeSSSP(t *testing.T) {
 	g := grape.RoadGrid(20, 20, 1)
-	dists, stats, err := grape.RunSSSP(g, 0, grape.Options{Workers: 4})
+	dists, stats, err := grape.RunSSSP(context.Background(), g, 0, grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestFacadeSSSP(t *testing.T) {
 
 func TestFacadeCC(t *testing.T) {
 	g := grape.SocialNetwork(300, 3, 2)
-	comp, _, err := grape.RunCC(g, grape.Options{Workers: 4})
+	comp, _, err := grape.RunCC(context.Background(), g, grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +49,11 @@ func TestFacadeSimAndSubIso(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, _, err := grape.RunSim(g, p, grape.Options{Workers: 4})
+	sim, _, err := grape.RunSim(context.Background(), g, p, grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	matches, _, err := grape.RunSubIso(g, p, 0, grape.Options{Workers: 4})
+	matches, _, err := grape.RunSubIso(context.Background(), g, p, 0, grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestFacadeSimAndSubIso(t *testing.T) {
 func TestFacadeKeyword(t *testing.T) {
 	g := grape.SocialNetwork(500, 4, 4)
 	grape.AttachKeywords(g, []string{"db", "ml"}, 2, 0.1, 4)
-	roots, _, err := grape.RunKeyword(g, []string{"db", "ml"}, 5, grape.Options{Workers: 4})
+	roots, _, err := grape.RunKeyword(context.Background(), g, []string{"db", "ml"}, 5, grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestFacadeKeyword(t *testing.T) {
 
 func TestFacadeCF(t *testing.T) {
 	g := grape.Ratings(120, 40, 10, 5)
-	res, _, err := grape.RunCF(g, 12, grape.Options{Workers: 4})
+	res, _, err := grape.RunCF(context.Background(), g, 12, grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFacadeCF(t *testing.T) {
 
 func TestFacadeGPAR(t *testing.T) {
 	g := grape.SocialCommerce(600, 10, 6)
-	res, _, err := grape.EvalRule(g, grape.Example2Rule(0.8), grape.Options{Workers: 4})
+	res, _, err := grape.EvalRule(context.Background(), g, grape.Example2Rule(0.8), grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFacadeRegistryAndStrategies(t *testing.T) {
 		t.Fatal("expected error")
 	}
 	g := grape.RoadGrid(10, 10, 1)
-	res, _, err := grape.RunProgram("cc", g, grape.Options{Workers: 2}, "")
+	res, _, err := grape.RunProgram(context.Background(), "cc", g, grape.Options{Workers: 2}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,13 +135,13 @@ func TestFacadeRegistryAndStrategies(t *testing.T) {
 
 func TestFacadeSessions(t *testing.T) {
 	g := grape.RoadGrid(15, 15, 2)
-	s, dists, _, err := grape.NewSSSPSession(g, 0, grape.Options{Workers: 3})
+	s, dists, _, err := grape.NewSSSPSession(context.Background(), g, 0, grape.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	far := grape.ID(15*15 - 1)
 	before := dists[far]
-	after, _, err := s.Update([]grape.EdgeUpdate{{From: 0, To: far, W: 0.5}})
+	after, _, err := s.Update(context.Background(), []grape.EdgeUpdate{{From: 0, To: far, W: 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFacadeSessions(t *testing.T) {
 		t.Fatalf("shortcut not applied: before %.1f after %.1f", before, after[far])
 	}
 
-	cs, comp, _, err := grape.NewCCSession(grape.New(), grape.Options{})
+	cs, comp, _, err := grape.NewCCSession(context.Background(), grape.New(), grape.Options{})
 	if err == nil {
 		_ = cs
 		_ = comp
@@ -215,11 +216,11 @@ func (minProg) Assemble(_ minQuery, ctxs []*grape.Context[int64]) (map[grape.ID]
 
 func TestFacadeCustomProgramSyncAsyncSession(t *testing.T) {
 	g := grape.RoadGrid(10, 10, 3)
-	syncRes, _, err := grape.Run(g, minProg{}, minQuery{}, grape.Options{Workers: 4, CheckMonotonic: true})
+	syncRes, _, err := grape.Run(context.Background(), g, minProg{}, minQuery{}, grape.Options{Workers: 4, CheckMonotonic: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	asyncRes, _, err := grape.RunAsync(g, minProg{}, minQuery{}, grape.Options{Workers: 4})
+	asyncRes, _, err := grape.RunAsync(context.Background(), g, minProg{}, minQuery{}, grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,33 +233,38 @@ func TestFacadeCustomProgramSyncAsyncSession(t *testing.T) {
 		}
 	}
 	// generic session constructor (no Updater: Update must fail cleanly)
-	s, res, _, err := grape.NewSession(g, minProg{}, minQuery{}, grape.Options{Workers: 3})
+	s, res, _, err := grape.NewSession(context.Background(), g, minProg{}, minQuery{}, grape.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res) != g.NumVertices() {
 		t.Fatalf("session assembled %d of %d", len(res), g.NumVertices())
 	}
-	if _, _, err := s.Update([]grape.EdgeUpdate{{From: 0, To: 5, W: 1}}); err == nil {
+	if _, _, err := s.Update(context.Background(), []grape.EdgeUpdate{{From: 0, To: 5, W: 1}}); err == nil {
 		t.Fatal("program without ApplyUpdate must reject updates")
 	}
 }
 
 func TestFacadeRegisterAndCostModel(t *testing.T) {
-	grape.Register(grape.Entry{
-		Name:        "facade-test-entry",
+	grape.Register(grape.MakeEntry(grape.EntrySpec[minQuery, int64, map[grape.ID]int64]{
+		Prog:        minProg{},
 		Description: "test",
-		Run: func(g *grape.Graph, opts grape.Options, query string) (any, *grape.Stats, error) {
-			return grape.Run(g, minProg{}, minQuery{}, opts)
-		},
-	})
+		QueryHelp:   "(none)",
+		Parse:       func(string) (minQuery, error) { return minQuery{}, nil },
+		Canonical:   func(minQuery) string { return "" },
+	}))
 	g := grape.RoadGrid(6, 6, 1)
-	res, stats, err := grape.RunProgram("facade-test-entry", g, grape.Options{Workers: 2}, "")
+	// the typed accessor — no any-assertion at the call site
+	res, stats, err := grape.RunProgramAs[map[grape.ID]int64](context.Background(), "facade-minflood", g, grape.Options{Workers: 2}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.(map[grape.ID]int64)) != 36 {
+	if len(res) != 36 {
 		t.Fatal("registered program misbehaved")
+	}
+	// asking for the wrong result type errors instead of panicking
+	if _, _, err := grape.RunProgramAs[[]string](context.Background(), "facade-minflood", g, grape.Options{Workers: 2}, ""); err == nil {
+		t.Fatal("RunProgramAs with the wrong type parameter must fail")
 	}
 	cm := grape.DefaultCostModel()
 	if cm.SimSeconds(stats) <= 0 {
@@ -268,7 +274,7 @@ func TestFacadeRegisterAndCostModel(t *testing.T) {
 
 func TestFacadeDiscoverRules(t *testing.T) {
 	g := grape.SocialCommerce(600, 8, 11)
-	rules, err := grape.DiscoverRules(g, 5, 0.3, grape.Options{Workers: 4})
+	rules, err := grape.DiscoverRules(context.Background(), g, 5, 0.3, grape.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package balance_test
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -118,7 +119,7 @@ func TestCoarsenPreservesCorrectness(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := seq.Dijkstra(g, 0)
-	got, _, err := engine.RunOnLayout(partition.Build(g, coarse), queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+	got, _, err := engine.RunOnLayout(context.Background(), partition.Build(g, coarse), queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

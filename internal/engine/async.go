@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,7 +34,12 @@ import (
 // routed batch); a worker decrements only after it has finished processing
 // a task and enqueued all resulting batches, so the counter cannot reach
 // zero while work is still in flight.
-func RunAsync[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
+//
+// Cancellation: ctx is observed at every delivery round — a cancelled
+// context closes the shutdown channel, every mailbox wakes, and workers
+// exit before processing another batch (a worker mid-IncEval finishes that
+// one activation first). RunAsync then returns ctx's error.
+func RunAsync[Q, V, R any](ctx context.Context, g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
 	var zero R
 	opts = opts.withDefaults()
 	spec := prog.Spec()
@@ -108,6 +115,16 @@ func RunAsync[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Opti
 		}
 	}
 
+	// Cancellation watcher: a cancelled run context fails the run, which
+	// closes done and wakes every mailbox below.
+	go func() {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-done:
+		}
+	}()
+
 	// Shutdown broadcaster: sync.Cond cannot select on a channel, so wake
 	// every mailbox under its lock once done closes (the lock serializes
 	// against the check-then-Wait in pop, preventing missed wakeups).
@@ -168,6 +185,11 @@ func RunAsync[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Opti
 	wg.Wait()
 
 	if err, _ := firstErr.Load().(error); err != nil {
+		// wrap only genuine cancellations: a worker error that races with a
+		// ctx that happens to be done must keep its own identity
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("engine: async %s cancelled: %w", prog.Name(), err)
+		}
 		return zero, stats, err
 	}
 	// One "superstep" row per worker: async has no barriers, so the cost

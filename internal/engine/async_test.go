@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,11 +30,11 @@ func (asyncProg) Spec() VarSpec[int64] {
 
 func TestAsyncMatchesSyncFixpoint(t *testing.T) {
 	g := gen.Random(100, 300, 31)
-	sync, _, err := Run(g, asyncProg{}, cdQuery{}, Options{Workers: 5})
+	sync, _, err := Run(context.Background(), g, asyncProg{}, cdQuery{}, Options{Workers: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	async, stats, err := RunAsync(g, asyncProg{}, cdQuery{}, Options{Workers: 5})
+	async, stats, err := RunAsync(context.Background(), g, asyncProg{}, cdQuery{}, Options{Workers: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestAsyncMatchesSyncFixpoint(t *testing.T) {
 
 func TestAsyncSingleWorker(t *testing.T) {
 	g := gen.Random(40, 80, 7)
-	res, stats, err := RunAsync(g, asyncProg{}, cdQuery{}, Options{Workers: 1})
+	res, stats, err := RunAsync(context.Background(), g, asyncProg{}, cdQuery{}, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestAsyncSingleWorker(t *testing.T) {
 
 func TestAsyncSurfacesErrors(t *testing.T) {
 	g := gen.Random(30, 60, 9)
-	_, _, err := RunAsync(g, struct {
+	_, _, err := RunAsync(context.Background(), g, struct {
 		asyncProg
 	}{asyncProg{countdown{failPEval: true}}}, cdQuery{}, Options{Workers: 3})
 	if err == nil || !strings.Contains(err.Error(), "peval boom") {
@@ -79,7 +80,7 @@ func TestAsyncSurfacesErrors(t *testing.T) {
 
 func TestAsyncRejectsConsumePrograms(t *testing.T) {
 	g := gen.Random(10, 20, 1)
-	_, _, err := RunAsync(g, consumeProg{}, cdQuery{}, Options{Workers: 2})
+	_, _, err := RunAsync(context.Background(), g, consumeProg{}, cdQuery{}, Options{Workers: 2})
 	if err == nil || !strings.Contains(err.Error(), "async") {
 		t.Fatalf("want consume rejection, got %v", err)
 	}

@@ -1,0 +1,451 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"grape/internal/partition"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"grape/internal/graph"
+	"grape/internal/mpi"
+)
+
+// stepper is a purpose-built PIE program for cancellation tests: every
+// superstep it raises all border values by one, so the fixpoint runs until
+// the values reach the query's limit — or forever when the limit is huge,
+// which is exactly the abandoned-run shape cancellation must kill. Each
+// PEval/IncEval activation signals steps, letting a test cancel
+// deterministically "during superstep k" and then verify the workers went
+// quiet.
+type stepQuery struct{ limit int64 }
+
+type stepper struct{ steps chan struct{} }
+
+func (stepper) Name() string { return "cancel-stepper" }
+
+func (stepper) Spec() VarSpec[int64] {
+	return VarSpec[int64]{
+		Default: 0,
+		Agg: func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Eq: func(a, b int64) bool { return a == b },
+	}
+}
+
+func (s stepper) signal() {
+	select {
+	case s.steps <- struct{}{}:
+	default:
+	}
+}
+
+func (s stepper) bump(q stepQuery, ctx *Context[int64]) {
+	s.signal()
+	var m int64
+	for _, id := range ctx.Frag.Border() {
+		if v := ctx.Get(id); v > m {
+			m = v
+		}
+	}
+	if m >= q.limit {
+		return
+	}
+	for _, id := range ctx.Frag.Border() {
+		ctx.Set(id, m+1)
+	}
+	ctx.AddWork(1)
+}
+
+// PEval seeds the wave from vertex 0's owner only: with a single seeder,
+// every later superstep some fragment holds a strictly larger value than
+// its peers, so changes keep flowing until the limit — the engine cannot
+// converge early.
+func (s stepper) PEval(q stepQuery, ctx *Context[int64]) error {
+	s.signal()
+	if ctx.Frag.IsInner(0) {
+		for _, id := range ctx.Frag.Border() {
+			ctx.Set(id, 1)
+		}
+	}
+	return nil
+}
+
+func (s stepper) IncEval(q stepQuery, ctx *Context[int64]) error { s.bump(q, ctx); return nil }
+
+func (s stepper) Assemble(q stepQuery, ctxs []*Context[int64]) (map[graph.ID]int64, error) {
+	out := map[graph.ID]int64{}
+	for _, ctx := range ctxs {
+		ctx.Vars(func(id graph.ID, v int64) {
+			if ctx.Frag.IsInner(id) {
+				out[id] = v
+			}
+		})
+	}
+	return out, nil
+}
+
+// ring returns a directed cycle, which hash-partitions into fragments whose
+// border is essentially every vertex — each superstep touches every worker.
+func ring(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.ID(i), graph.ID((i+1)%n), 1)
+	}
+	g.Freeze()
+	return g
+}
+
+// drainThenCount empties steps, waits, and reports how many new signals
+// arrived afterwards — after a cancelled Run returns there must be none,
+// because runFixpoint waits for every worker goroutine to exit.
+func drainThenCount(steps chan struct{}, wait time.Duration) int {
+	for {
+		select {
+		case <-steps:
+			continue
+		default:
+		}
+		break
+	}
+	time.Sleep(wait)
+	return len(steps)
+}
+
+// TestCancelMidFixpoint cancels an effectively endless run during superstep
+// k on the in-process bus and asserts the run fails with the context error,
+// records the superstep it died at, and leaves no worker goroutine still
+// computing.
+func TestCancelMidFixpoint(t *testing.T) {
+	g := ring(64)
+	steps := make(chan struct{}, 4096)
+	prog := stepper{steps: steps}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	var gotErr error
+	var gotSteps int
+	go func() {
+		_, st, err := Run(ctx, g, prog, stepQuery{limit: 1 << 40}, Options{Workers: 4, MaxSupersteps: 1 << 30})
+		if st != nil {
+			gotSteps = st.Supersteps
+		}
+		gotErr = err
+		done <- err
+	}()
+
+	// superstep k: let a few rounds of activations through, then cancel.
+	for i := 0; i < 16; i++ {
+		select {
+		case <-steps:
+		case <-time.After(10 * time.Second):
+			t.Fatal("stepper never ran")
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", gotErr)
+	}
+	if !strings.Contains(gotErr.Error(), "cancelled at superstep") {
+		t.Fatalf("error should carry the superstep it died at: %v", gotErr)
+	}
+	if gotSteps < 2 {
+		t.Fatalf("expected the run to have been mid-fixpoint, died at superstep %d", gotSteps)
+	}
+	// Workers observed the cancellation: once Run returned, every worker
+	// goroutine has exited (stop waits), so no further activations may land.
+	if extra := drainThenCount(steps, 100*time.Millisecond); extra != 0 {
+		t.Fatalf("%d worker activations after the cancelled run returned", extra)
+	}
+}
+
+// TestCancelledResidentRunLeavesPoolClean cancels runs mid-fixpoint on a
+// pooled Resident and asserts (a) the cancelled runs error with the context
+// error, and (b) subsequent runs on the same layout — which recycle the
+// very contexts and fold state the cancelled runs abandoned — still produce
+// the exact fixpoint a fresh engine produces.
+func TestCancelledResidentRunLeavesPoolClean(t *testing.T) {
+	g := ring(64)
+	layout, err := BuildLayout(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := make(chan struct{}, 4096)
+	prog := stepper{steps: steps}
+	r, err := NewResident(layout, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stepQuery{limit: 40}
+
+	want, _, err := r.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline run assembled nothing")
+	}
+
+	for round := 0; round < 4; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() {
+			_, _, err := r.Run(ctx, stepQuery{limit: 1 << 40})
+			errCh <- err
+		}()
+		for i := 0; i < 8; i++ {
+			select {
+			case <-steps:
+			case <-time.After(10 * time.Second):
+				t.Fatal("stepper never ran")
+			}
+		}
+		cancel()
+		if err := <-errCh; !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: want context.Canceled, got %v", round, err)
+		}
+		drainThenCount(steps, 0)
+
+		got, _, err := r.Run(context.Background(), q)
+		if err != nil {
+			t.Fatalf("round %d: run after cancellation: %v", round, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d vertices, want %d", round, len(got), len(want))
+		}
+		for id, v := range want {
+			if got[id] != v {
+				t.Fatalf("round %d: vertex %d = %d, want %d (pooled scratch leaked state)", round, id, got[id], v)
+			}
+		}
+	}
+}
+
+// chanLink is an in-process WorkerLink over channels, for exercising the
+// worker side of the wire protocol without sockets.
+type chanLink struct {
+	in  chan mpi.Envelope
+	out chan mpi.Envelope
+}
+
+func (l chanLink) Recv() (mpi.Envelope, error) { return <-l.in, nil }
+func (l chanLink) Send(e mpi.Envelope) error   { l.out <- e; return nil }
+
+// TestWorkerHonorsPropagatedDeadline drives serveWire directly with an
+// already-expired run context — the shape a worker process is in once the
+// deadline the coordinator shipped in the setup frame fires — and asserts
+// the worker refuses to compute: the PEval command comes back as an error
+// reply carrying the deadline error instead of a result.
+func TestWorkerHonorsPropagatedDeadline(t *testing.T) {
+	g := ring(8)
+	layout, err := BuildLayout(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := wireStepper{stepper{steps: make(chan struct{}, 16)}}
+	codec := prog.WireCodec()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	link := chanLink{in: make(chan mpi.Envelope, 4), out: make(chan mpi.Envelope, 4)}
+	served := make(chan error, 1)
+	go func() {
+		served <- serveWire(ctx, prog, link, stepQuery{limit: 1 << 40}, layout.Fragments[0])
+	}()
+
+	peFrame, _ := encodeCmd(codec, workerCmd[int64]{kind: cmdPEval})
+	link.in <- mpi.Envelope{From: mpi.Coordinator, To: 0, Step: 1, Frame: peFrame}
+	env := <-link.out
+	rep, err := decodeReply(codec, env.Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.err == nil || !strings.Contains(rep.err.Error(), "deadline") {
+		t.Fatalf("expired worker must reply with the deadline error, got %v", rep.err)
+	}
+	// the abort frame releases the worker with ErrAborted
+	abFrame, _ := encodeCmd(codec, workerCmd[int64]{kind: cmdAbort})
+	link.in <- mpi.Envelope{From: mpi.Coordinator, To: 0, Frame: abFrame}
+	if err := <-served; !errors.Is(err, ErrAborted) {
+		t.Fatalf("abort frame must surface ErrAborted, got %v", err)
+	}
+}
+
+// wireStepper gives stepper the wire codec the deadline test needs.
+type wireStepper struct{ stepper }
+
+type int64Codec struct{}
+
+func (int64Codec) AppendVal(buf []byte, v int64) []byte {
+	return append(buf, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func (int64Codec) DecodeVal(data []byte) (int64, int, error) {
+	if len(data) < 8 {
+		return 0, 0, errors.New("short int64")
+	}
+	v := int64(data[0])<<56 | int64(data[1])<<48 | int64(data[2])<<40 | int64(data[3])<<32 |
+		int64(data[4])<<24 | int64(data[5])<<16 | int64(data[6])<<8 | int64(data[7])
+	return v, 8, nil
+}
+
+func (wireStepper) WireCodec() Codec[int64] { return int64Codec{} }
+
+func (wireStepper) EncodeQuery(q stepQuery) ([]byte, error) {
+	return int64Codec{}.AppendVal(nil, q.limit), nil
+}
+
+func (wireStepper) DecodeQuery(data []byte) (stepQuery, error) {
+	v, _, err := int64Codec{}.DecodeVal(data)
+	return stepQuery{limit: v}, err
+}
+
+// TestCancelledUpdateBreaksSession: an aborted incremental fixpoint leaves
+// the session's retained fold diverged from the fragments, so the session
+// must refuse further use instead of returning silently stale answers.
+func TestCancelledUpdateBreaksSession(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 32; i++ {
+		g.AddEdge(graph.ID(i), graph.ID(i+1), 1)
+	}
+	prog := updStepper{stepper{steps: make(chan struct{}, 1024)}}
+	s, _, _, err := NewSession(context.Background(), g, prog, stepQuery{limit: 6}, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Update(ctx, []EdgeUpdate{{From: 0, To: 5, W: 1}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from the aborted update, got %v", err)
+	}
+	if _, _, err := s.Update(context.Background(), []EdgeUpdate{{From: 1, To: 6, W: 1}}); !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("a broken session must refuse further updates, got %v", err)
+	}
+	if _, err := s.Result(); !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("a broken session must refuse Result, got %v", err)
+	}
+}
+
+// updStepper adds the Updater hook so stepper can drive a Session; negative
+// weights are rejected (after the edge insertion, like SSSP's check) so
+// tests can trigger a mid-batch apply failure.
+type updStepper struct{ stepper }
+
+func (u updStepper) ApplyUpdate(q stepQuery, ctx *Context[int64], upd EdgeUpdate) ([]graph.ID, error) {
+	if upd.W < 0 {
+		return nil, errors.New("negative weight")
+	}
+	return []graph.ID{upd.From, upd.To}, nil
+}
+
+// TestFailedApplyBreaksSession: an error partway through an update batch has
+// already mutated the graph (earlier entries, and the failing edge itself),
+// so the session must mark itself broken exactly like an aborted fixpoint.
+func TestFailedApplyBreaksSession(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 32; i++ {
+		g.AddEdge(graph.ID(i), graph.ID(i+1), 1)
+	}
+	prog := updStepper{stepper{steps: make(chan struct{}, 1024)}}
+	s, _, _, err := NewSession(context.Background(), g, prog, stepQuery{limit: 6}, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid input (unknown vertex) at index >= 1 is rejected by the
+	// pre-mutation validation pass: the batch fails but the session stays
+	// usable — bad input must not cost a long-lived session.
+	if _, _, err := s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 5, W: 1}, {From: 0, To: 999, W: 1}}); err == nil {
+		t.Fatal("unknown vertex must fail the batch")
+	}
+	if _, _, err := s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 5, W: 1}}); err != nil {
+		t.Fatalf("rejected input must not break the session: %v", err)
+	}
+	_, _, err = s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 6, W: 1}, {From: 1, To: 7, W: -1}})
+	if err == nil || !strings.Contains(err.Error(), "negative weight") {
+		t.Fatalf("want the apply error, got %v", err)
+	}
+	if _, _, err := s.Update(context.Background(), []EdgeUpdate{{From: 2, To: 8, W: 1}}); !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("a session with a half-applied batch must refuse further updates, got %v", err)
+	}
+}
+
+// closableLink is a chanLink whose Close unblocks Recv — the shape of a real
+// socket link, letting tests exercise the deadline-closes-the-link path.
+type closableLink struct {
+	ch        chan mpi.Envelope
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (l *closableLink) Recv() (mpi.Envelope, error) {
+	select {
+	case e := <-l.ch:
+		return e, nil
+	case <-l.closed:
+		return mpi.Envelope{}, errors.New("link closed")
+	}
+}
+
+func (l *closableLink) Send(e mpi.Envelope) error { return nil }
+
+func (l *closableLink) Close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	return nil
+}
+
+var registerWireStepper = sync.OnceFunc(func() {
+	Register(MakeEntry(EntrySpec[stepQuery, int64, map[graph.ID]int64]{
+		Prog:        wireStepper{stepper{steps: make(chan struct{}, 16)}},
+		Description: "endless stepper for worker deadline tests",
+		QueryHelp:   "(none)",
+		Parse:       func(string) (stepQuery, error) { return stepQuery{limit: 1 << 40}, nil },
+		Canonical:   func(stepQuery) string { return "" },
+	}))
+})
+
+// TestIdleWorkerDeadlineUnblocks pins the netsplit half of deadline
+// propagation: a worker that received its setup frame (with a deadline) and
+// then hears nothing more — a wedged, not dead, coordinator — must still
+// end at the deadline. The deadline context closes the link, unblocking the
+// idle Recv.
+func TestIdleWorkerDeadlineUnblocks(t *testing.T) {
+	registerWireStepper()
+	g := ring(8)
+	layout, err := BuildLayout(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := wireStepper{stepper{}}
+	qblob, err := prog.EncodeQuery(stepQuery{limit: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(150 * time.Millisecond)
+	setup := encodeSetup("cancel-stepper", qblob, deadline.UnixMicro(), partition.AppendFragment(nil, layout.Fragments[0]))
+
+	link := &closableLink{ch: make(chan mpi.Envelope, 1), closed: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() { done <- ServeWorker(context.Background(), link) }()
+	link.ch <- mpi.Envelope{From: mpi.Coordinator, To: 0, Frame: setup}
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want context.DeadlineExceeded, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("idle worker hung past its propagated deadline")
+	}
+}

@@ -91,7 +91,7 @@ func decodeCmd[V any](c Codec[V], frame []byte) (workerCmd[V], error) {
 		return cmd, errors.New("engine: empty command frame")
 	}
 	k := cmdKind(frame[0])
-	if k < cmdPEval || k > cmdAssemble {
+	if k < cmdPEval || k > cmdAbort {
 		return cmd, fmt.Errorf("engine: unknown command kind %d", frame[0])
 	}
 	cmd.kind = k
@@ -205,29 +205,37 @@ func decodePartialFrame(frame []byte) ([]byte, error) {
 }
 
 // Setup frame (coordinator → worker, first frame of a run): program name,
-// program-encoded query, and the worker's fragment encoding.
+// program-encoded query, the run deadline as microseconds since the Unix
+// epoch (0 = unbounded; this is how a coordinator-side context deadline
+// propagates into the worker process), and the worker's fragment encoding.
 
-func encodeSetup(name string, query, fragment []byte) []byte {
+func encodeSetup(name string, query []byte, deadlineMicros int64, fragment []byte) []byte {
 	var frame []byte
 	frame = binary.AppendUvarint(frame, uint64(len(name)))
 	frame = append(frame, name...)
 	frame = binary.AppendUvarint(frame, uint64(len(query)))
 	frame = append(frame, query...)
+	frame = binary.AppendUvarint(frame, uint64(deadlineMicros))
 	return append(frame, fragment...)
 }
 
-func decodeSetup(frame []byte) (name string, query, fragment []byte, err error) {
+func decodeSetup(frame []byte) (name string, query []byte, deadlineMicros int64, fragment []byte, err error) {
 	pos := 0
 	if name, err = graph.ReadString(frame, &pos); err != nil {
-		return "", nil, nil, err
+		return "", nil, 0, nil, err
 	}
 	n, err := graph.ReadUvarint(frame, &pos)
 	if err != nil {
-		return "", nil, nil, err
+		return "", nil, 0, nil, err
 	}
 	if uint64(len(frame)-pos) < n {
-		return "", nil, nil, errors.New("engine: truncated setup frame")
+		return "", nil, 0, nil, errors.New("engine: truncated setup frame")
 	}
 	query = frame[pos : pos+int(n)]
-	return name, query, frame[pos+int(n):], nil
+	pos += int(n)
+	dl, err := graph.ReadUvarint(frame, &pos)
+	if err != nil {
+		return "", nil, 0, nil, err
+	}
+	return name, query, int64(dl), frame[pos:], nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -83,7 +84,7 @@ func (countdown) Assemble(q cdQuery, ctxs []*Context[int64]) (map[graph.ID]int64
 
 func TestEngineRunsToFixpoint(t *testing.T) {
 	g := gen.Random(60, 180, 1)
-	res, stats, err := Run(g, countdown{}, cdQuery{}, Options{Workers: 4})
+	res, stats, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestEngineRunsToFixpoint(t *testing.T) {
 
 func TestEngineSurfacesPEvalError(t *testing.T) {
 	g := gen.Random(20, 40, 1)
-	_, _, err := Run(g, countdown{failPEval: true}, cdQuery{}, Options{Workers: 3})
+	_, _, err := Run(context.Background(), g, countdown{failPEval: true}, cdQuery{}, Options{Workers: 3})
 	if err == nil || !contains(err.Error(), "peval boom") {
 		t.Fatalf("want peval error, got %v", err)
 	}
@@ -108,7 +109,7 @@ func TestEngineSurfacesPEvalError(t *testing.T) {
 
 func TestEngineSurfacesIncEvalError(t *testing.T) {
 	g := gen.Random(40, 120, 2)
-	_, _, err := Run(g, countdown{failIncEval: true}, cdQuery{}, Options{Workers: 3})
+	_, _, err := Run(context.Background(), g, countdown{failIncEval: true}, cdQuery{}, Options{Workers: 3})
 	if err == nil || !contains(err.Error(), "inceval boom") {
 		t.Fatalf("want inceval error, got %v", err)
 	}
@@ -116,13 +117,13 @@ func TestEngineSurfacesIncEvalError(t *testing.T) {
 
 func TestEngineDetectsMonotonicityViolation(t *testing.T) {
 	g := gen.Random(40, 120, 3)
-	_, _, err := Run(g, countdown{breakOrder: true}, cdQuery{}, Options{Workers: 3, CheckMonotonic: true, MaxSupersteps: 50})
+	_, _, err := Run(context.Background(), g, countdown{breakOrder: true}, cdQuery{}, Options{Workers: 3, CheckMonotonic: true, MaxSupersteps: 50})
 	if !errors.Is(err, ErrNotMonotonic) {
 		t.Fatalf("want ErrNotMonotonic, got %v", err)
 	}
 	// Without checking, the violation shows up as a superstep-limit blowup
 	// instead (values keep climbing): the Assurance Theorem's contrapositive.
-	_, _, err = Run(g, countdown{breakOrder: true}, cdQuery{}, Options{Workers: 3, MaxSupersteps: 20})
+	_, _, err = Run(context.Background(), g, countdown{breakOrder: true}, cdQuery{}, Options{Workers: 3, MaxSupersteps: 20})
 	if !errors.Is(err, ErrSuperstepLimit) {
 		t.Fatalf("want ErrSuperstepLimit, got %v", err)
 	}
@@ -130,7 +131,7 @@ func TestEngineDetectsMonotonicityViolation(t *testing.T) {
 
 func TestEngineSuperstepLimit(t *testing.T) {
 	g := gen.Random(60, 180, 4)
-	_, _, err := Run(g, countdown{}, cdQuery{}, Options{Workers: 4, MaxSupersteps: 2})
+	_, _, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 4, MaxSupersteps: 2})
 	if !errors.Is(err, ErrSuperstepLimit) {
 		t.Fatalf("want ErrSuperstepLimit, got %v", err)
 	}
@@ -138,7 +139,7 @@ func TestEngineSuperstepLimit(t *testing.T) {
 
 func TestEngineSingleWorkerNoTraffic(t *testing.T) {
 	g := gen.Random(50, 150, 5)
-	_, stats, err := Run(g, countdown{}, cdQuery{}, Options{Workers: 1})
+	_, stats, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestEngineEmptyFragmentTolerated(t *testing.T) {
 	g := graph.New()
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(1, 2, 1)
-	res, _, err := Run(g, countdown{}, cdQuery{}, Options{Workers: 8})
+	res, _, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,11 +164,11 @@ func TestEngineEmptyFragmentTolerated(t *testing.T) {
 
 func TestEngineDeterministicStats(t *testing.T) {
 	g := gen.Random(80, 240, 6)
-	_, a, err := Run(g, countdown{}, cdQuery{}, Options{Workers: 5})
+	_, a, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, b, err := Run(g, countdown{}, cdQuery{}, Options{Workers: 5})
+	_, b, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestEngineOverPartitionWithBalancer(t *testing.T) {
 	// the balancer wiring (worker count, coverage); result equivalence for
 	// a partition-independent program is asserted in the queries package.
 	g := gen.PreferentialAttachment(500, 4, 8)
-	balanced, stats, err := Run(g, asyncProg{}, cdQuery{}, Options{Workers: 4, Fragments: 16})
+	balanced, stats, err := Run(context.Background(), g, asyncProg{}, cdQuery{}, Options{Workers: 4, Fragments: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,15 +203,17 @@ func TestRegistryLifecycle(t *testing.T) {
 	Register(Entry{
 		Name:        name,
 		Description: "test",
-		Run: func(g *graph.Graph, opts Options, query string) (any, *metrics.Stats, error) {
+		Run: func(ctx context.Context, g *graph.Graph, opts Options, query string) (any, *metrics.Stats, error) {
 			return query, &metrics.Stats{}, nil
 		},
+		Parse:    func(query string) (ParsedQuery, error) { return ParsedQuery{Program: name, Canonical: query}, nil },
+		Resident: func(layout *partition.Layout, opts Options) (ResidentRunner, error) { return nil, nil },
 	})
 	e, err := Lookup(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := e.Run(nil, Options{}, "hello")
+	res, _, err := e.Run(context.Background(), nil, Options{}, "hello")
 	if err != nil || res != "hello" {
 		t.Fatalf("entry run broken: %v %v", res, err)
 	}

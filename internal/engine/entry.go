@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"grape/internal/graph"
+	"grape/internal/metrics"
+	"grape/internal/partition"
+)
+
+// EntrySpec is the one typed source an Entry is derived from: the PIE
+// program plus its query-string parse/canonical pair. MakeEntry turns it
+// into the registry's erased hooks, replacing the earlier scheme where
+// Run, Parse, Resident and Wire accreted independently (half of them
+// nil-able with "predates X" caveats) — now they are all views of the same
+// spec and cannot disagree about what a query string means.
+type EntrySpec[Q, V, R any] struct {
+	// Prog is the PIE program. If it also implements WireProgram, the entry
+	// gains the Wire hook and can run distributed.
+	Prog Program[Q, V, R]
+	// Description is a one-line summary shown by the library listing.
+	Description string
+	// QueryHelp documents the query string syntax Parse accepts.
+	QueryHelp string
+	// Parse resolves a query string into the typed query.
+	Parse func(query string) (Q, error)
+	// Canonical renders a typed query as its normalized string — the
+	// cache-key form with defaults resolved, numbers reformatted and
+	// parameter order fixed.
+	Canonical func(q Q) string
+	// Hops, if non-nil, reports the d-hop fragment expansion a query needs
+	// (Options.ExpandHops); locality-bounded programs like SubIso set it,
+	// most programs leave it nil (no expansion).
+	Hops func(q Q) int
+}
+
+// MakeEntry derives the full erased hook set of an Entry from one typed
+// spec. It panics on an incomplete spec — entries are built in package
+// init, where that is a programming error.
+func MakeEntry[Q, V, R any](s EntrySpec[Q, V, R]) Entry {
+	if s.Prog == nil {
+		panic("engine: MakeEntry: nil program")
+	}
+	if s.Parse == nil || s.Canonical == nil {
+		panic(fmt.Sprintf("engine: MakeEntry(%q): Parse and Canonical are required", s.Prog.Name()))
+	}
+	name := s.Prog.Name()
+	doParse := func(query string) (ParsedQuery, error) {
+		q, err := s.Parse(query)
+		if err != nil {
+			return ParsedQuery{}, err
+		}
+		pq := ParsedQuery{Program: name, Query: q, Canonical: s.Canonical(q)}
+		if s.Hops != nil {
+			pq.Hops = s.Hops(q)
+		}
+		return pq, nil
+	}
+	e := Entry{
+		Name:        name,
+		Description: s.Description,
+		QueryHelp:   s.QueryHelp,
+		Parse:       doParse,
+		Run: func(ctx context.Context, g *graph.Graph, opts Options, query string) (any, *metrics.Stats, error) {
+			pq, err := doParse(query)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Programs that declare an expansion requirement own
+			// Options.ExpandHops; for the rest a caller-supplied expansion
+			// passes through untouched.
+			if s.Hops != nil {
+				opts.ExpandHops = pq.Hops
+			}
+			res, stats, err := Run(ctx, g, s.Prog, pq.Query.(Q), opts)
+			return any(res), stats, err
+		},
+		Resident: func(layout *partition.Layout, opts Options) (ResidentRunner, error) {
+			r, err := NewResident(layout, s.Prog, opts)
+			if err != nil {
+				return nil, err
+			}
+			return residentAdapter[Q, V, R]{name: name, r: r}, nil
+		},
+	}
+	if wp, ok := any(s.Prog).(WireProgram[Q, V, R]); ok {
+		e.Wire = WireServe(wp)
+	}
+	return e
+}
+
+// residentAdapter erases a typed Resident into ResidentRunner for the
+// registry.
+type residentAdapter[Q, V, R any] struct {
+	name string
+	r    *Resident[Q, V, R]
+}
+
+func (a residentAdapter[Q, V, R]) RunParsed(ctx context.Context, pq ParsedQuery) (any, *metrics.Stats, error) {
+	q, ok := pq.Query.(Q)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: %s: parsed query has type %T, want %T", a.name, pq.Query, q)
+	}
+	res, stats, err := a.r.Run(ctx, q)
+	return any(res), stats, err
+}

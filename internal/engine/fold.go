@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -202,8 +203,10 @@ func (f *foldState[V]) foldOne(s, w int, u VarUpdate[V], checkMono bool) error {
 // superstep's work and byte rows to stats, and build the routing table.
 // replies is caller-owned scratch of length workers. codec is nil on the
 // in-process bus (replies arrive as Go values); wire transports deliver
-// frames that are decoded with it.
-func collectStep[V any](tr mpi.Transport, codec Codec[V], fold *foldState[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
+// frames that are decoded with it. A cancelled ctx unblocks the barrier
+// wait mid-superstep and surfaces as the context's error, wrapped with the
+// run's provenance.
+func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], fold *foldState[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
 	n := fold.n
 	perWorker := make([]int64, n)
 	var stepBytes int64
@@ -212,20 +215,34 @@ func collectStep[V any](tr mpi.Transport, codec Codec[V], fold *foldState[V], re
 	// (e.g. CF's parameter averaging).
 	clear(replies)
 	for i := 0; i < expect; i++ {
-		env := tr.Recv(mpi.Coordinator)
+		env, err := tr.Recv(ctx, mpi.Coordinator)
+		if err != nil {
+			return nil, 0, cancelled(stats.Engine, step, err)
+		}
 		var rep workerReply[V]
+		// A terminal envelope (broken link, undecodable frame, worker-side
+		// error reply) still counts as this worker's frame for the
+		// superstep: record it before failing, so a concurrent cancellation
+		// does not wait out the abort-drain timeout on a frame that already
+		// arrived.
 		if codec != nil {
 			frame, err := wireFrame(env)
 			if err == nil {
 				rep, err = decodeReply(codec, frame)
 			}
 			if err != nil {
+				if env.From >= 0 && env.From < n {
+					replies[env.From] = &workerReply[V]{}
+				}
 				return nil, 0, fmt.Errorf("worker %d superstep %d: %w", env.From, step, err)
 			}
 		} else {
 			rep = env.Payload.(workerReply[V])
 		}
 		if rep.err != nil {
+			if env.From >= 0 && env.From < n {
+				replies[env.From] = &rep
+			}
 			return nil, 0, fmt.Errorf("worker %d superstep %d: %w", env.From, step, rep.err)
 		}
 		if env.From < 0 || env.From >= n || replies[env.From] != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"grape/internal/gen"
@@ -80,11 +81,11 @@ func (floodProg) Assemble(q cdQuery, ctxs []*Context[int64]) (map[graph.ID]int64
 // results of the direct n-way partition.
 func TestOverPartitionMatchesDirectRun(t *testing.T) {
 	g := gen.PreferentialAttachment(800, 3, 11)
-	direct, _, err := Run(g, floodProg{}, cdQuery{}, Options{Workers: 4})
+	direct, _, err := Run(context.Background(), g, floodProg{}, cdQuery{}, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	over, stats, err := Run(g, floodProg{}, cdQuery{}, Options{Workers: 4, Fragments: 16})
+	over, stats, err := Run(context.Background(), g, floodProg{}, cdQuery{}, Options{Workers: 4, Fragments: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

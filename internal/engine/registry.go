@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,15 +33,24 @@ type ParsedQuery struct {
 // ResidentRunner answers parsed queries over a prebuilt layout that stays
 // resident between calls — the serving layer's handle on one (program,
 // layout) pair. Implementations are safe for concurrent use: every call
-// runs on its own contexts over the shared frozen fragments.
+// runs on its own contexts over the shared frozen fragments. The context
+// bounds one call; a cancelled or expired context aborts the run at the
+// next superstep barrier.
 type ResidentRunner interface {
-	RunParsed(pq ParsedQuery) (any, *metrics.Stats, error)
+	RunParsed(ctx context.Context, pq ParsedQuery) (any, *metrics.Stats, error)
 }
 
 // Entry describes a PIE program registered in the GRAPE API library — the
-// demo's "plug" panel. Run erases the program's generic types so that the
-// CLI and examples can pick programs by name and drive them with a textual
-// query (the "play" panel).
+// demo's "plug" panel. Its function fields erase the program's generic
+// types so that the CLI, the serving layer and examples can pick programs
+// by name and drive them with a textual query (the "play" panel).
+//
+// Entries are built with MakeEntry, which derives every hook from one typed
+// source (the program plus its parse/canonical pair), so the hooks cannot
+// drift apart: Run always parses through the same Parse the serving layer
+// uses, Resident always answers exactly the queries Parse produces, and
+// Wire is present exactly when the program has a wire codec. Register
+// rejects hand-assembled entries with missing hooks.
 type Entry struct {
 	// Name is the registry key, e.g. "sssp".
 	Name string
@@ -49,27 +59,28 @@ type Entry struct {
 	// QueryHelp documents the query string syntax accepted by Run.
 	QueryHelp string
 	// Run parses query, executes the program on g, and returns its result.
-	// With a wire transport in opts.Transport the run is distributed; the
-	// worker half of that protocol is Wire below.
-	Run func(g *graph.Graph, opts Options, query string) (any, *metrics.Stats, error)
+	// The context bounds the run exactly as in the generic Run. With a wire
+	// transport in opts.Transport the run is distributed; the worker half
+	// of that protocol is Wire below.
+	Run func(ctx context.Context, g *graph.Graph, opts Options, query string) (any, *metrics.Stats, error)
 	// Parse resolves a textual query without running it: typed query,
 	// canonical form, required fragment expansion. The CLI, the serving
-	// layer and tests all parse through here so they cannot drift. Nil
-	// means the program predates parsing-as-a-step and cannot be served
-	// from a resident layout.
+	// layer and tests all parse through here so they cannot drift.
 	Parse func(query string) (ParsedQuery, error)
 	// Resident builds a runner answering this program's parsed queries over
 	// a caller-owned prebuilt layout, without re-partitioning and with
 	// per-run scratch pooled across calls. The layout's fragments must be
 	// frozen and built with the expansion Parse reported for the queries it
-	// will see. Nil when Parse is nil.
+	// will see.
 	Resident func(layout *partition.Layout, opts Options) (ResidentRunner, error)
 	// Wire serves the worker side of a distributed run: decode the query
 	// from the setup frame, run PEval/IncEval on the shipped fragment as
-	// commanded, ship encoded replies and the final partial answer.
-	// Programs register it with WireServe; nil means the program has no
-	// wire codec and cannot run distributed.
-	Wire func(link WorkerLink, query []byte, f *partition.Fragment) error
+	// commanded, ship encoded replies and the final partial answer, honoring
+	// the deadline the coordinator propagated in the setup frame. This is
+	// the one capability-gated hook: MakeEntry fills it only when the
+	// program implements WireProgram; nil means the program cannot run
+	// distributed.
+	Wire func(ctx context.Context, link WorkerLink, query []byte, f *partition.Fragment) error
 }
 
 var (
@@ -77,12 +88,21 @@ var (
 	registry = make(map[string]Entry)
 )
 
-// Register adds a program to the library. It panics on duplicate names:
-// registration happens in package init, where a duplicate is a programming
-// error.
+// Register adds a program to the library. It panics on duplicate names and
+// on entries with missing hooks: registration happens in package init,
+// where both are programming errors. Build entries with MakeEntry — it
+// derives a coherent set of hooks from the typed program; the only hook
+// allowed to be nil is Wire (a genuine capability: no wire codec, no
+// distributed runs).
 func Register(e Entry) {
 	regMu.Lock()
 	defer regMu.Unlock()
+	if e.Name == "" {
+		panic("engine: Register: empty program name")
+	}
+	if e.Run == nil || e.Parse == nil || e.Resident == nil {
+		panic(fmt.Sprintf("engine: Register(%q): incomplete entry (build it with MakeEntry)", e.Name))
+	}
 	if _, dup := registry[e.Name]; dup {
 		panic(fmt.Sprintf("engine: duplicate program %q", e.Name))
 	}

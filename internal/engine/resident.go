@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -62,13 +63,18 @@ func NewResident[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], o
 }
 
 // Run executes one query over the resident layout. Safe for concurrent use.
-func (r *Resident[Q, V, R]) Run(q Q) (R, *metrics.Stats, error) {
+// A cancelled ctx aborts the fixpoint at the next superstep barrier; the
+// run's scratch still goes back to the pool — runFixpoint waits for every
+// worker goroutine to exit before returning, and scratch is reset on the
+// next Get, so a cancelled run can never leak half-written state into a
+// later one.
+func (r *Resident[Q, V, R]) Run(ctx context.Context, q Q) (R, *metrics.Stats, error) {
 	sc := r.pool.Get().(*runScratch[V])
 	for _, c := range sc.ctxs {
 		c.reset()
 	}
 	sc.fold.reset()
-	res, stats, err := runFixpoint(r.layout, r.prog, q, r.opts, sc.ctxs, sc.fold)
+	res, stats, err := runFixpoint(ctx, r.layout, r.prog, q, r.opts, sc.ctxs, sc.fold)
 	r.pool.Put(sc)
 	return res, stats, err
 }

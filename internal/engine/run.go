@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -78,6 +80,7 @@ const (
 	cmdLocalInc // session resume: IncEval seeded with locally-dirtied nodes
 	cmdStop
 	cmdAssemble // wire transports only: ship the encoded partial answer
+	cmdAbort    // wire transports only: run cancelled, discard and exit
 )
 
 type workerCmd[V any] struct {
@@ -97,7 +100,13 @@ type workerReply[V any] struct {
 // per worker plus a coordinator loop on the calling goroutine, runs the
 // PEval/IncEval fixpoint of Section 2.2, and returns Assemble's result along
 // with the run's measurements.
-func Run[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
+//
+// The context bounds the whole run: cancellation (or a deadline) is observed
+// at every superstep barrier, the fold is abandoned, workers are released,
+// and Run returns ctx's error — an abandoned query stops consuming worker
+// CPU within one superstep instead of burning cores until its fixpoint
+// converges. Pass context.Background() for an unbounded run.
+func Run[Q, V, R any](ctx context.Context, g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
 	var zero R
 	opts = opts.withDefaults()
 	layout := opts.Layout
@@ -108,7 +117,7 @@ func Run[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) 
 			return zero, nil, err
 		}
 	}
-	return RunOnLayout(layout, prog, q, opts)
+	return RunOnLayout(ctx, layout, prog, q, opts)
 }
 
 // BuildLayout is the partition-once step of a resident service: it cuts g per
@@ -144,13 +153,14 @@ func partitionFor(g *graph.Graph, opts Options) (*partition.Assignment, error) {
 
 // RunOnLayout is Run on a prebuilt layout. With a wire transport in
 // Options.Transport the fixpoint drives remote worker processes (see
-// wire.go); otherwise workers are goroutines on an in-process bus.
-func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
+// wire.go); otherwise workers are goroutines on an in-process bus. The
+// context is honored as in Run.
+func RunOnLayout[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
 	var zero R
 	opts = opts.withDefaults()
 	if opts.Transport != nil {
 		if opts.Transport.Wire() {
-			return runWire(layout, prog, q, opts)
+			return runWire(ctx, layout, prog, q, opts)
 		}
 		// Refuse rather than silently run on a hidden internal bus.
 		return zero, nil, errors.New("engine: custom non-wire transports are not supported; leave Options.Transport nil for the in-process bus")
@@ -161,14 +171,21 @@ func RunOnLayout[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	for i, f := range layout.Fragments {
 		ctxs[i] = newContext(f, spec)
 	}
-	return runFixpoint(layout, prog, q, opts, ctxs, newFoldState(spec, n))
+	return runFixpoint(ctx, layout, prog, q, opts, ctxs, newFoldState(spec, n))
 }
 
 // runFixpoint is the engine loop proper, shared by RunOnLayout (fresh
 // contexts and fold state per run) and Resident.Run (both pooled across
 // runs): spawn one worker goroutine per fragment on an in-process bus, run
 // the PEval/IncEval fixpoint, Assemble.
-func runFixpoint[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options, ctxs []*Context[V], fold *foldState[V]) (R, *metrics.Stats, error) {
+//
+// Cancellation: ctx is checked at every superstep barrier — while waiting
+// for worker replies (the context-aware bus receive) and before scheduling
+// the next superstep. On cancellation the coordinator abandons the fold,
+// releases every worker via cmdStop, and waits for them to exit before
+// returning, so pooled contexts handed back to Resident's scratch pool are
+// never still being written by a straggler goroutine.
+func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options, ctxs []*Context[V], fold *foldState[V]) (R, *metrics.Stats, error) {
 	var zero R
 	n := len(layout.Fragments)
 	spec := prog.Spec()
@@ -183,7 +200,7 @@ func runFixpoint[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	for i := 0; i < n; i++ {
 		go func(w int) {
 			defer wg.Done()
-			workerLoop(bus, w, prog, q, ctxs[w], spec)
+			workerLoop(ctx, bus, w, prog, q, ctxs[w], spec)
 		}(i)
 	}
 	stop := func() {
@@ -204,7 +221,7 @@ func runFixpoint[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	replies := make([]*workerReply[V], n)
 
 	collect := func(from []int, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep[V](bus, nil, fold, replies, stillActive, stats, layout, len(from), step, opts.CheckMonotonic)
+		return collectStep[V](ctx, bus, nil, fold, replies, stillActive, stats, layout, len(from), step, opts.CheckMonotonic)
 	}
 
 	// Fragment construction that replicated data (d-hop expansion) is
@@ -234,6 +251,10 @@ func runFixpoint[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	// worker is quiescent — the simultaneous fixpoint.
 	active := make([]int, 0, n)
 	for scheduled > 0 || len(stillActive) > 0 {
+		if err := ctx.Err(); err != nil {
+			stop()
+			return zero, stats, cancelled(prog.Name(), stats.Supersteps, err)
+		}
 		if stats.Supersteps >= opts.MaxSupersteps {
 			stop()
 			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", prog.Name(), stats.Supersteps, ErrSuperstepLimit)
@@ -266,9 +287,27 @@ func runFixpoint[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q
 	return res, stats, nil
 }
 
-func workerLoop[Q, V, R any](bus *mpi.Bus, w int, prog Program[Q, V, R], q Q, ctx *Context[V], spec VarSpec[V]) {
+// cancelled wraps a context error with run provenance so callers can both
+// errors.Is(err, context.Canceled/DeadlineExceeded) and see where the run
+// stopped. Engine labels like "grape/sssp" are normalized to the bare
+// program name, so the message is the same whether the cancellation landed
+// at the barrier wait (collectStep, which has only the stats label) or at
+// the pre-superstep check (which has the program).
+func cancelled(name string, step int, err error) error {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Errorf("engine: %s cancelled at superstep %d: %w", name, step, err)
+}
+
+func workerLoop[Q, V, R any](runCtx context.Context, bus *mpi.Bus, w int, prog Program[Q, V, R], q Q, ctx *Context[V], spec VarSpec[V]) {
 	for {
-		env := bus.Recv(w)
+		env, err := bus.Recv(runCtx, w)
+		if err != nil {
+			// run cancelled while idle at the barrier; the coordinator stops
+			// waiting on this worker through the same context
+			return
+		}
 		cmd := env.Payload.(workerCmd[V])
 		switch cmd.kind {
 		case cmdStop:

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -42,6 +44,16 @@ type Updater[Q, V any] interface {
 	ApplyUpdate(q Q, ctx *Context[V], upd EdgeUpdate) ([]graph.ID, error)
 }
 
+// UpdateValidator is optionally implemented by Updater programs to reject
+// invalid updates *before* the engine mutates any graph state. ApplyUpdate
+// runs after the edge has been inserted, so a rejection there necessarily
+// leaves the graph changed and the session broken; checks that need no
+// engine state (e.g. SSSP's negative-weight rule) belong here, where a
+// failure costs nothing.
+type UpdateValidator[Q any] interface {
+	ValidateUpdate(q Q, upd EdgeUpdate) error
+}
+
 // BorderPublisher is optionally implemented by programs whose node variables
 // do not mirror every node's current value (e.g. CC keeps labels in a
 // union-find and only materializes border variables). When a graph update
@@ -62,11 +74,23 @@ type Session[Q, V, R any] struct {
 	spec   VarSpec[V]
 	// fold retains the coordinator's sharded border state between runs.
 	fold *foldState[V]
+	// broken marks a session whose incremental fixpoint did not complete
+	// (cancelled or errored mid-Update): the retained fold and fragment
+	// state have diverged, so later Updates would return silently stale
+	// answers. Once set, Update and Result fail loudly instead.
+	broken bool
 }
 
+// ErrSessionBroken is returned (wrapped) by Update and Result after an
+// incremental fixpoint was cancelled or failed partway: the retained state
+// is not trustworthy. Start a fresh session over the (already mutated)
+// graph.
+var ErrSessionBroken = errors.New("session state diverged by an aborted update; start a new session")
+
 // NewSession runs the initial PEval/IncEval fixpoint and retains the state
-// for incremental updates.
-func NewSession[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (*Session[Q, V, R], R, *metrics.Stats, error) {
+// for incremental updates. The context bounds the initial fixpoint only;
+// each Update call carries its own.
+func NewSession[Q, V, R any](ctx context.Context, g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (*Session[Q, V, R], R, *metrics.Stats, error) {
 	var zero R
 	if !g.Directed() {
 		return nil, zero, nil, fmt.Errorf("engine: sessions support directed graphs only (undirected cut edges live on both fragments)")
@@ -88,35 +112,68 @@ func NewSession[Q, V, R any](g *graph.Graph, prog Program[Q, V, R], q Q, opts Op
 		spec:   prog.Spec(),
 	}
 	s.fold = newFoldState(s.spec, len(layout.Fragments))
-	res, stats, err := s.fixpoint(true, nil)
+	res, stats, err := s.fixpoint(ctx, true, nil)
 	if err != nil {
 		return nil, zero, stats, err
 	}
 	return s, res, stats, nil
 }
 
+// Broken reports whether an aborted or failed incremental fixpoint has
+// diverged the session's retained state (see ErrSessionBroken). A rejected
+// update batch — caught by the pre-mutation validation — does not break the
+// session; callers like the serving layer use this to tell "bad input,
+// nothing happened" from "state diverged, drop the session".
+func (s *Session[Q, V, R]) Broken() bool { return s.broken }
+
 // Result re-assembles the current answer without recomputation.
 func (s *Session[Q, V, R]) Result() (R, error) {
+	if s.broken {
+		var zero R
+		return zero, fmt.Errorf("engine: %s: %w", s.prog.Name(), ErrSessionBroken)
+	}
 	return s.prog.Assemble(s.q, s.ctxs)
 }
 
 // Update applies a batch of edge updates and re-runs only IncEval, seeded at
 // the dirty nodes — the paper's Q(G ⊕ M) = Q(G) ⊕ ΔO. The program must
-// implement Updater.
-func (s *Session[Q, V, R]) Update(updates []EdgeUpdate) (R, *metrics.Stats, error) {
+// implement Updater. A cancelled ctx aborts the incremental fixpoint at the
+// next superstep barrier; the graph mutation itself has already been applied
+// by then and the retained state has diverged, so the session marks itself
+// broken — further Update/Result calls fail with ErrSessionBroken instead
+// of returning silently stale answers. Drop the session and start a new one
+// over the (mutated) graph.
+func (s *Session[Q, V, R]) Update(ctx context.Context, updates []EdgeUpdate) (R, *metrics.Stats, error) {
 	var zero R
+	if s.broken {
+		return zero, nil, fmt.Errorf("engine: %s: %w", s.prog.Name(), ErrSessionBroken)
+	}
 	up, ok := any(s.prog).(Updater[Q, V])
 	if !ok {
 		return zero, nil, fmt.Errorf("engine: program %s does not support incremental graph updates", s.prog.Name())
 	}
-	// Route each update to the owner of its source vertex (where the edge
-	// is stored) and mutate that fragment. New endpoints may enlarge the
-	// border: keep placement in sync.
-	dirtyByWorker := make(map[int][]graph.ID)
+	// Validate the whole batch before mutating anything: rejecting a bad
+	// entry after earlier ones were applied would force the session broken
+	// for what is merely invalid input.
+	validator, hasValidator := any(s.prog).(UpdateValidator[Q])
 	for _, u := range updates {
 		if !s.layout.Asg.G.Has(u.From) || !s.layout.Asg.G.Has(u.To) {
 			return zero, nil, fmt.Errorf("engine: update %v references unknown vertices (vertex additions are not supported)", u)
 		}
+		if hasValidator {
+			if err := validator.ValidateUpdate(s.q, u); err != nil {
+				return zero, nil, fmt.Errorf("engine: rejecting %v: %w", u, err)
+			}
+		}
+	}
+	// Route each update to the owner of its source vertex (where the edge
+	// is stored) and mutate that fragment. New endpoints may enlarge the
+	// border: keep placement in sync. An error once this loop has begun
+	// mutating leaves earlier batch entries applied locally but never
+	// propagated — the same divergence as an aborted fixpoint — so it
+	// breaks the session.
+	dirtyByWorker := make(map[int][]graph.ID)
+	for _, u := range updates {
 		w := s.layout.Asg.Owner(u.From)
 		f := s.layout.Fragments[w]
 		if w != s.layout.Asg.Owner(u.To) && !f.G.Has(u.To) {
@@ -158,17 +215,27 @@ func (s *Session[Q, V, R]) Update(updates []EdgeUpdate) (R, *metrics.Stats, erro
 		}
 		dirty, err := up.ApplyUpdate(s.q, s.ctxs[w], u)
 		if err != nil {
+			// the edge itself was already inserted above; the session's
+			// retained state no longer matches a clean graph
+			s.broken = true
 			return zero, nil, fmt.Errorf("engine: applying %v: %w", u, err)
 		}
 		dirtyByWorker[w] = append(dirtyByWorker[w], dirty...)
 	}
-	return s.fixpoint(false, dirtyByWorker)
+	res, stats, err := s.fixpoint(ctx, false, dirtyByWorker)
+	if err != nil {
+		// partial routing: the fold may hold values never shipped to all
+		// hosts, and re-running cannot recover them (only improvements over
+		// the fold's state are routed)
+		s.broken = true
+	}
+	return res, stats, err
 }
 
 // fixpoint runs the engine loop. With init=true it spawns fresh contexts and
 // runs PEval; otherwise it resumes the retained contexts, invoking IncEval on
 // the workers whose fragments were dirtied.
-func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID) (R, *metrics.Stats, error) {
+func (s *Session[Q, V, R]) fixpoint(ctx context.Context, init bool, dirtyByWorker map[int][]graph.ID) (R, *metrics.Stats, error) {
 	var zero R
 	n := len(s.layout.Fragments)
 	start := time.Now()
@@ -184,7 +251,7 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 	done := make(chan struct{})
 	for i := 0; i < n; i++ {
 		go func(w int) {
-			workerLoop(bus, w, s.prog, s.q, s.ctxs[w], s.spec)
+			workerLoop(ctx, bus, w, s.prog, s.q, s.ctxs[w], s.spec)
 			done <- struct{}{}
 		}(i)
 	}
@@ -200,7 +267,7 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 	stillActive := make(map[int]bool)
 	replies := make([]*workerReply[V], n)
 	collect := func(expect int, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep[V](bus, nil, s.fold, replies, stillActive, stats, s.layout, expect, step, s.opts.CheckMonotonic)
+		return collectStep[V](ctx, bus, nil, s.fold, replies, stillActive, stats, s.layout, expect, step, s.opts.CheckMonotonic)
 	}
 
 	var route [][]VarUpdate[V]
@@ -232,6 +299,10 @@ func (s *Session[Q, V, R]) fixpoint(init bool, dirtyByWorker map[int][]graph.ID)
 	}
 
 	for scheduled > 0 || len(stillActive) > 0 {
+		if err := ctx.Err(); err != nil {
+			stop()
+			return zero, stats, cancelled(s.prog.Name(), stats.Supersteps, err)
+		}
 		if stats.Supersteps >= s.opts.MaxSupersteps {
 			stop()
 			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", s.prog.Name(), stats.Supersteps, ErrSuperstepLimit)

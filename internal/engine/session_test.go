@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,11 +27,11 @@ func (sessionProg) ApplyUpdate(q cdQuery, ctx *Context[int64], upd EdgeUpdate) (
 
 func TestSessionInitialRunMatchesRun(t *testing.T) {
 	g := gen.Random(60, 180, 21)
-	want, _, err := Run(g, countdown{}, cdQuery{}, Options{Workers: 4})
+	want, _, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, got, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 4})
+	_, got, _, err := NewSession(context.Background(), g, sessionProg{}, cdQuery{}, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestSessionUpdatePropagatesAcrossFragments(t *testing.T) {
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(1, 2, 1)
 	g.AddEdge(2, 3, 1)
-	s, res, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 2})
+	s, res, _, err := NewSession(context.Background(), g, sessionProg{}, cdQuery{}, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSessionUpdatePropagatesAcrossFragments(t *testing.T) {
 	}
 	// insert an edge 0 -> 3 with weight 2: ApplyUpdate lowers 3's value to 2,
 	// then the halving fixpoint brings it to 1
-	res2, stats, err := s.Update([]EdgeUpdate{{From: 0, To: 3, W: 2}})
+	res2, stats, err := s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 3, W: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +88,11 @@ func TestSessionUpdateCreatesOuterCopy(t *testing.T) {
 	g.AddVertex(0, "")
 	g.AddVertex(100, "")
 	g.AddEdge(0, 1, 1) // fragment of 0 knows 1
-	s, _, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 2})
+	s, _, _, err := NewSession(context.Background(), g, sessionProg{}, cdQuery{}, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Update([]EdgeUpdate{{From: 0, To: 100, W: 3}}); err != nil {
+	if _, _, err := s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 100, W: 3}}); err != nil {
 		t.Fatal(err)
 	}
 	res, err := s.Result()
@@ -105,22 +106,22 @@ func TestSessionUpdateCreatesOuterCopy(t *testing.T) {
 
 func TestSessionRejectsUnknownVertices(t *testing.T) {
 	g := gen.Random(20, 40, 1)
-	s, _, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 2})
+	s, _, _, err := NewSession(context.Background(), g, sessionProg{}, cdQuery{}, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Update([]EdgeUpdate{{From: 0, To: 99999, W: 1}}); err == nil {
+	if _, _, err := s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 99999, W: 1}}); err == nil {
 		t.Fatal("expected error for unknown vertex")
 	}
 }
 
 func TestSessionRejectsNonUpdaterProgram(t *testing.T) {
 	g := gen.Random(20, 40, 2)
-	s, _, _, err := NewSession(g, countdown{}, cdQuery{}, Options{Workers: 2})
+	s, _, _, err := NewSession(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = s.Update([]EdgeUpdate{{From: 0, To: 1, W: 1}})
+	_, _, err = s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 1, W: 1}})
 	if err == nil || !strings.Contains(err.Error(), "does not support") {
 		t.Fatalf("want unsupported error, got %v", err)
 	}
@@ -129,7 +130,7 @@ func TestSessionRejectsNonUpdaterProgram(t *testing.T) {
 func TestSessionRejectsUndirected(t *testing.T) {
 	g := graph.NewUndirected()
 	g.AddEdge(0, 1, 1)
-	if _, _, _, err := NewSession(g, sessionProg{}, cdQuery{}, Options{Workers: 2}); err == nil {
+	if _, _, _, err := NewSession(context.Background(), g, sessionProg{}, cdQuery{}, Options{Workers: 2}); err == nil {
 		t.Fatal("expected undirected rejection")
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -61,12 +62,31 @@ type WorkerLink interface {
 // lacks a Wire hook.
 var ErrNoWireSupport = errors.New("program has no wire codec")
 
+// abortDrainTimeout bounds how long a cancelled coordinator waits for the
+// in-flight superstep's replies after broadcasting abort frames. Normal
+// runs drain within one superstep; the timeout only fires for pathological
+// programs, whose workers then see a closed link instead of the abort.
+const abortDrainTimeout = 30 * time.Second
+
+// ErrAborted is returned (wrapped) by the worker side of a distributed run
+// when the coordinator sends an abort frame: the run was cancelled (client
+// gone, deadline expired), the partial state is garbage, and the worker
+// should discard it and exit. cmd/grape-worker treats it as a clean exit.
+var ErrAborted = errors.New("run aborted by coordinator")
+
 // runWire is RunOnLayout's body for wire transports: the same coordinator
 // fixpoint, driving remote workers through opts.Transport instead of
 // spawning goroutines. Each worker process receives a setup frame (program
-// name, encoded query, its fragment), runs PEval/IncEval on command, and
-// finally ships its encoded partial answer back for Assemble.
-func runWire[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
+// name, encoded query, the run deadline if ctx carries one, its fragment),
+// runs PEval/IncEval on command, and finally ships its encoded partial
+// answer back for Assemble.
+//
+// Cancellation crosses the process boundary twice: the coordinator checks
+// ctx at every superstep barrier and, when it fires, broadcasts an abort
+// frame that makes each worker process discard its run and exit; and the
+// deadline shipped in the setup frame lets a worker bound its own run even
+// if the coordinator dies before it can send the abort.
+func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Program[Q, V, R], q Q, opts Options) (R, *metrics.Stats, error) {
 	var zero R
 	wp, ok := any(prog).(WireProgram[Q, V, R])
 	if !ok {
@@ -87,8 +107,12 @@ func runWire[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, 
 	if err != nil {
 		return zero, stats, fmt.Errorf("engine: encoding query: %w", err)
 	}
+	var deadlineMicros int64
+	if dl, ok := ctx.Deadline(); ok {
+		deadlineMicros = dl.UnixMicro()
+	}
 	for i, f := range layout.Fragments {
-		setup := encodeSetup(prog.Name(), qblob, partition.AppendFragment(nil, f))
+		setup := encodeSetup(prog.Name(), qblob, deadlineMicros, partition.AppendFragment(nil, f))
 		tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Frame: setup})
 	}
 
@@ -96,12 +120,54 @@ func runWire[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, 
 	stillActive := make(map[int]bool)
 	replies := make([]*workerReply[V], n)
 	collect := func(expect, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep(tr, codec, fold, replies, stillActive, stats, layout, expect, step, opts.CheckMonotonic)
+		return collectStep(ctx, tr, codec, fold, replies, stillActive, stats, layout, expect, step, opts.CheckMonotonic)
 	}
 	stopFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdStop})
+	abortFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdAbort})
+	// outstanding lists the workers that were commanded this superstep but
+	// whose replies the failed collect did not drain — the writes still in
+	// flight when a run is cancelled. sched is maintained by the superstep
+	// loop below.
+	sched := make([]bool, n)
+	outstanding := func() map[int]bool {
+		waitFor := make(map[int]bool)
+		for w := 0; w < n; w++ {
+			if sched[w] && replies[w] == nil {
+				waitFor[w] = true
+			}
+		}
+		return waitFor
+	}
+	// stop releases workers after a completed run or a run error: plain
+	// stop frames, workers exit cleanly. abort releases a *cancelled* run:
+	// broadcast abort frames (workers discard state and surface
+	// ErrAborted), then drain one frame from every worker whose reply is
+	// still in flight — a worker mid-PEval/IncEval finishes and ships that
+	// one reply, and consuming it keeps the coordinator's socket clean
+	// until the worker reads the abort; returning (and closing) with
+	// unread data in the receive buffer would RST the link and turn the
+	// clean abort into a broken-pipe error on the worker. A worker whose
+	// link errors (nil Frame) is gone and counts as drained; frames from
+	// other workers (e.g. their link teardown as they exit on the abort)
+	// are ignored. Bounded by one superstep of compute, with a hard
+	// timeout as the backstop for pathological programs.
 	stop := func() {
 		for i := 0; i < n; i++ {
 			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Frame: stopFrame})
+		}
+	}
+	abort := func(waitFor map[int]bool) {
+		for i := 0; i < n; i++ {
+			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Frame: abortFrame})
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), abortDrainTimeout)
+		defer cancel()
+		for len(waitFor) > 0 {
+			e, err := tr.Recv(dctx, mpi.Coordinator)
+			if err != nil {
+				return
+			}
+			delete(waitFor, e.From)
 		}
 	}
 
@@ -114,11 +180,32 @@ func runWire[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, 
 	for i := 0; i < n; i++ {
 		tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Frame: peFrame})
 	}
+	// A worker that observes the propagated deadline before the coordinator
+	// does replies with its context error, but that error crosses the wire
+	// as a string and loses its errors.Is identity — re-attach the
+	// coordinator-side sentinel so Run's contract ("returns ctx's error")
+	// holds no matter which side noticed first.
+	wrapCtx := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil && !errors.Is(err, cerr) {
+			// both identities survive: a genuine worker error (e.g.
+			// ErrNotMonotonic) racing the deadline stays errors.Is-able
+			return fmt.Errorf("%w: %w", err, cerr)
+		}
+		return err
+	}
+
 	stats.Supersteps = 1
+	for w := 0; w < n; w++ {
+		sched[w] = true
+	}
 	route, scheduled, err := collect(n, 1)
 	if err != nil {
-		stop()
-		return zero, stats, err
+		if ctx.Err() != nil {
+			abort(outstanding())
+		} else {
+			stop()
+		}
+		return zero, stats, wrapCtx(err)
 	}
 	if layout.ReplicationBytes > 0 && len(stats.BytesPerStep) > 0 {
 		stats.BytesPerStep[0] += layout.ReplicationBytes
@@ -127,6 +214,10 @@ func runWire[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, 
 	// Supersteps 2..: IncEval on fragments with pending updates, exactly as
 	// in RunOnLayout.
 	for scheduled > 0 || len(stillActive) > 0 {
+		if err := ctx.Err(); err != nil {
+			abort(nil) // barrier reached: nothing in flight
+			return zero, stats, cancelled(prog.Name(), stats.Supersteps, err)
+		}
 		if stats.Supersteps >= opts.MaxSupersteps {
 			stop()
 			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", prog.Name(), stats.Supersteps, ErrSuperstepLimit)
@@ -134,18 +225,24 @@ func runWire[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, 
 		stats.Supersteps++
 		active := 0
 		for w := 0; w < n; w++ {
+			sched[w] = false
 			ups := route[w]
 			if len(ups) == 0 && !stillActive[w] {
 				continue
 			}
 			active++
+			sched[w] = true
 			frame, dataLen := encodeCmd(codec, workerCmd[V]{kind: cmdIncEval, updates: ups})
 			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Frame: frame, Size: dataLen})
 		}
 		route, scheduled, err = collect(active, stats.Supersteps)
 		if err != nil {
-			stop()
-			return zero, stats, err
+			if ctx.Err() != nil {
+				abort(outstanding())
+			} else {
+				stop()
+			}
+			return zero, stats, wrapCtx(err)
 		}
 	}
 
@@ -161,7 +258,17 @@ func runWire[Q, V, R any](layout *partition.Layout, prog Program[Q, V, R], q Q, 
 	}
 	seen := make(map[int]bool, n)
 	for i := 0; i < n; i++ {
-		env := tr.Recv(mpi.Coordinator)
+		env, rerr := tr.Recv(ctx, mpi.Coordinator)
+		if rerr != nil {
+			waitFor := make(map[int]bool)
+			for w := 0; w < n; w++ {
+				if !seen[w] {
+					waitFor[w] = true
+				}
+			}
+			abort(waitFor)
+			return zero, stats, cancelled(prog.Name(), stats.Supersteps, rerr)
+		}
 		blob, err := wireFrame(env)
 		if err == nil {
 			blob, err = decodePartialFrame(blob)
@@ -206,7 +313,12 @@ func wireFrame(env mpi.Envelope) ([]byte, error) {
 
 // serveWire is the worker half of runWire: one fragment, one context, one
 // connection; commands in, encoded replies out. It mirrors workerLoop.
-func serveWire[Q, V, R any](prog WireProgram[Q, V, R], link WorkerLink, q Q, f *partition.Fragment) error {
+// runCtx carries the deadline the coordinator shipped in the setup frame
+// (plus whatever the worker process layered on, e.g. a signal context): an
+// expired context is reported back to the coordinator as this worker's
+// error instead of silently computing past the deadline, and an abort
+// frame makes the worker discard the run and return ErrAborted.
+func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], link WorkerLink, q Q, f *partition.Fragment) error {
 	spec := prog.Spec()
 	codec := prog.WireCodec()
 	ctx := newContext(f, spec)
@@ -219,9 +331,21 @@ func serveWire[Q, V, R any](prog WireProgram[Q, V, R], link WorkerLink, q Q, f *
 		if err != nil {
 			return fmt.Errorf("engine: worker %d: %w", f.Index, err)
 		}
+		// The deadline gate: computing past an expired run context would
+		// burn CPU the coordinator has already written off. Reply with the
+		// context error so the coordinator fails the run cleanly even if
+		// its own clock has not fired yet.
+		if cerr := runCtx.Err(); cerr != nil && (cmd.kind == cmdPEval || cmd.kind == cmdIncEval) {
+			if err := replyWire(link, codec, f.Index, env.Step, ctx, cerr); err != nil {
+				return fmt.Errorf("engine: worker %d: %w", f.Index, err)
+			}
+			continue
+		}
 		switch cmd.kind {
 		case cmdStop:
 			return nil
+		case cmdAbort:
+			return fmt.Errorf("engine: worker %d: %w", f.Index, ErrAborted)
 		case cmdAssemble:
 			blob, perr := encodePartial(prog, codec, q, ctx)
 			size := 0
@@ -289,29 +413,48 @@ func decodePartial[Q, V, R any](prog WireProgram[Q, V, R], codec Codec[V], q Q, 
 
 // WireServe adapts a WireProgram into the type-erased worker hook registered
 // in Entry.Wire: it decodes the query from the setup frame and serves the
-// fixpoint on the given fragment until the coordinator sends stop.
-func WireServe[Q, V, R any](prog WireProgram[Q, V, R]) func(WorkerLink, []byte, *partition.Fragment) error {
-	return func(link WorkerLink, query []byte, f *partition.Fragment) error {
+// fixpoint on the given fragment until the coordinator releases (or aborts)
+// it.
+func WireServe[Q, V, R any](prog WireProgram[Q, V, R]) func(context.Context, WorkerLink, []byte, *partition.Fragment) error {
+	return func(ctx context.Context, link WorkerLink, query []byte, f *partition.Fragment) error {
 		q, err := prog.DecodeQuery(query)
 		if err != nil {
 			return fmt.Errorf("engine: %s: decoding query: %w", prog.Name(), err)
 		}
-		return serveWire(prog, link, q, f)
+		return serveWire(ctx, prog, link, q, f)
 	}
 }
 
 // ServeWorker runs one distributed worker session on an established link: it
 // reads the setup frame, instantiates the registered program's worker loop
-// on the decoded fragment, and serves until the coordinator releases it.
-// cmd/grape-worker calls this after dialing the coordinator.
-func ServeWorker(link WorkerLink) error {
+// on the decoded fragment, and serves until the coordinator releases it —
+// or aborts it (ErrAborted, a clean outcome for a cancelled run), or the
+// propagated run deadline expires. ctx is the worker process's own bound
+// (signal handling in cmd/grape-worker); the deadline the coordinator
+// shipped in the setup frame is layered on top, so cancellation reaches the
+// worker even when the abort frame cannot (coordinator death).
+func ServeWorker(ctx context.Context, link WorkerLink) error {
 	env, err := link.Recv()
 	if err != nil {
 		return fmt.Errorf("engine: reading setup frame: %w", err)
 	}
-	name, query, fragBlob, err := decodeSetup(env.Frame)
+	name, query, deadlineMicros, fragBlob, err := decodeSetup(env.Frame)
 	if err != nil {
 		return fmt.Errorf("engine: decoding setup frame: %w", err)
+	}
+	if deadlineMicros > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.UnixMicro(deadlineMicros))
+		defer cancel()
+		// A worker blocked in link.Recv would never observe the deadline —
+		// the serve loop only checks the context between commands — so the
+		// deadline also closes the link when the transport supports it,
+		// unblocking the read. This is what makes the shipped deadline bind
+		// even when the coordinator netsplits or wedges instead of dying
+		// cleanly (a dead coordinator already breaks the link on its own).
+		if c, ok := link.(interface{ Close() error }); ok {
+			defer context.AfterFunc(ctx, func() { c.Close() })()
+		}
 	}
 	e, err := Lookup(name)
 	if err != nil {
@@ -324,5 +467,11 @@ func ServeWorker(link WorkerLink) error {
 	if err != nil {
 		return fmt.Errorf("engine: decoding fragment: %w", err)
 	}
-	return e.Wire(link, query, f)
+	err = e.Wire(ctx, link, query, f)
+	if err != nil && ctx.Err() != nil && !errors.Is(err, ErrAborted) {
+		// the deadline (or the process context) fired and tore the link
+		// down; surface the bound, not the resulting read error
+		return fmt.Errorf("engine: worker run cut short: %w", ctx.Err())
+	}
+	return err
 }

@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -142,7 +143,7 @@ func Table1(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 		rows = append(rows, rowFromStats("Blogel-like", "block-centric", st, cm, "2D parts, 8 blocks/worker"))
 	}
 
-	if _, st, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: src},
+	if _, st, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: src},
 		engine.Options{Workers: workers, Strategy: spatial}); err != nil {
 		return nil, err
 	} else {
@@ -166,7 +167,7 @@ func PartitionImpact(sc Scale, workers int, cm metrics.CostModel) ([]Row, error)
 		}
 		q := partition.Measure(strat.Name(), asg)
 		layout := partition.Build(g, asg)
-		_, st, err := engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+		_, st, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +188,7 @@ func ScaleUp(sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error) 
 	spatial := partition.TwoD{Cols: 2 * sc.RoadCols}
 	var rows []Row
 	for _, n := range workerCounts {
-		_, st, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+		_, st, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 			engine.Options{Workers: n, Strategy: spatial})
 		if err != nil {
 			return nil, err
@@ -195,7 +196,7 @@ func ScaleUp(sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error) 
 		rows = append(rows, rowFromStats("GRAPE/sssp", "scale-up", st, cm, ""))
 	}
 	for _, n := range workerCounts {
-		_, st, err := engine.Run(g, queries.CC{}, queries.CCQuery{},
+		_, st, err := engine.Run(context.Background(), g, queries.CC{}, queries.CCQuery{},
 			engine.Options{Workers: n, Strategy: spatial})
 		if err != nil {
 			return nil, err
@@ -227,12 +228,12 @@ func BoundedIncEval(sc Scale, workers int, cm metrics.CostModel) (bounded, recom
 		return
 	}
 	layout := partition.Build(g, asg)
-	_, stB, err := engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+	_, stB, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 	if err != nil {
 		return
 	}
 	layout2 := partition.Build(g, asg)
-	_, stR, err := engine.RunOnLayout(layout2, RecomputeSSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+	_, stR, err := engine.RunOnLayout(context.Background(), layout2, RecomputeSSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 	if err != nil {
 		return
 	}
@@ -273,7 +274,7 @@ func GPARScale(sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error
 	rule := gpar.Example2Rule(0.8)
 	var rows []Row
 	for _, n := range workerCounts {
-		res, st, err := gpar.Eval(g, rule, engine.Options{Workers: n})
+		res, st, err := gpar.Eval(context.Background(), g, rule, engine.Options{Workers: n})
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +295,7 @@ func SimTheorem(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 		return nil, err
 	}
 	rows = append(rows, rowFromStats("Pregel native", "simulation theorem", stN, cm, "sssp"))
-	_, stS, err := simulate.Run(g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: workers})
+	_, stS, err := simulate.Run(context.Background(), g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +307,7 @@ func SimTheorem(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 		return nil, err
 	}
 	rows = append(rows, rowFromStats("Pregel native", "simulation theorem", stN2, cm, "pagerank"))
-	_, stS2, err := simulate.Run(g, pr, engine.Options{Workers: workers})
+	_, stS2, err := simulate.Run(context.Background(), g, pr, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -322,13 +323,13 @@ func IndexAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	gen.AttachKeywords(g, vocab, 2, 0.05, sc.Seed)
 	q := queries.KeywordQuery{Keywords: []string{"db", "graph", "ml"}, Bound: 4, UseIndex: true}
 	var rows []Row
-	_, stI, err := engine.Run(g, queries.Keyword{}, q, engine.Options{Workers: workers})
+	_, stI, err := engine.Run(context.Background(), g, queries.Keyword{}, q, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, rowFromStats("GRAPE/keyword+index", "graph-level optimization", stI, cm, "inverted index"))
 	q.UseIndex = false
-	_, stS, err := engine.Run(g, queries.Keyword{}, q, engine.Options{Workers: workers})
+	_, stS, err := engine.Run(context.Background(), g, queries.Keyword{}, q, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -342,13 +343,13 @@ func QueryLibrary(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	var rows []Row
 
 	road := sc.Road()
-	if _, st, err := engine.Run(road, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+	if _, st, err := engine.Run(context.Background(), road, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 		engine.Options{Workers: workers, Strategy: partition.MetisLike{}}); err != nil {
 		return nil, err
 	} else {
 		rows = append(rows, rowFromStats("sssp", "query library", st, cm, "road grid"))
 	}
-	if _, st, err := engine.Run(road, queries.CC{}, queries.CCQuery{},
+	if _, st, err := engine.Run(context.Background(), road, queries.CC{}, queries.CCQuery{},
 		engine.Options{Workers: workers, Strategy: partition.MetisLike{}}); err != nil {
 		return nil, err
 	} else {
@@ -360,13 +361,13 @@ func QueryLibrary(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, st, err := engine.Run(commerce, queries.Sim{}, queries.SimQuery{Pattern: p},
+	if _, st, err := engine.Run(context.Background(), commerce, queries.Sim{}, queries.SimQuery{Pattern: p},
 		engine.Options{Workers: workers}); err != nil {
 		return nil, err
 	} else {
 		rows = append(rows, rowFromStats("sim", "query library", st, cm, "social commerce"))
 	}
-	if _, st, err := queries.RunSubIso(commerce, queries.SubIsoQuery{Pattern: p},
+	if _, st, err := queries.RunSubIso(context.Background(), commerce, queries.SubIsoQuery{Pattern: p},
 		engine.Options{Workers: workers}); err != nil {
 		return nil, err
 	} else {
@@ -375,7 +376,7 @@ func QueryLibrary(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 
 	kwg := sc.Social()
 	gen.AttachKeywords(kwg, []string{"db", "graph", "ml"}, 2, 0.05, sc.Seed)
-	if _, st, err := engine.Run(kwg, queries.Keyword{},
+	if _, st, err := engine.Run(context.Background(), kwg, queries.Keyword{},
 		queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true},
 		engine.Options{Workers: workers}); err != nil {
 		return nil, err
@@ -385,7 +386,7 @@ func QueryLibrary(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 
 	ratings := gen.Ratings(gen.RatingsConfig{Users: sc.Users, Items: sc.Items, RatingsPerUser: 12, Factors: 4, Noise: 0.1, Seed: sc.Seed})
 	cfg := queries.CFQuery{Cfg: cfgWithEpochs(10)}
-	if res, st, err := engine.Run(ratings, queries.CF{}, cfg, engine.Options{Workers: workers}); err != nil {
+	if res, st, err := engine.Run(context.Background(), ratings, queries.CF{}, cfg, engine.Options{Workers: workers}); err != nil {
 		return nil, err
 	} else {
 		rows = append(rows, rowFromStats("cf", "query library", st, cm, fmt.Sprintf("RMSE %.3f", res.RMSE)))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,7 +31,7 @@ func AsyncAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	}
 	var rows []Row
 	layout := partition.Build(g, asg)
-	_, stSync, err := engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+	_, stSync, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +39,7 @@ func AsyncAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 		fmt.Sprintf("BSP: pays %d barriers + stragglers", stSync.Supersteps)))
 
 	layout2 := partition.Build(g, asg)
-	_, stAsync, err := engine.RunAsync(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+	_, stAsync, err := engine.RunAsync(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 		engine.Options{Layout: layout2})
 	if err != nil {
 		return nil, err
@@ -76,7 +77,7 @@ func TableCC(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	} else {
 		rows = append(rows, rowFromStats("Blogel-like", "block-centric", st, cm, "block-level label exchange"))
 	}
-	if _, st, err := engine.Run(g, queries.CC{}, queries.CCQuery{},
+	if _, st, err := engine.Run(context.Background(), g, queries.CC{}, queries.CCQuery{},
 		engine.Options{Workers: workers, Strategy: partition.Fennel{}}); err != nil {
 		return nil, err
 	} else {
@@ -109,7 +110,7 @@ func LayoutReuse(sc Scale, workers, queriesN int, cm metrics.CostModel) (perQuer
 	statsPer := &metrics.Stats{Engine: "grape/sssp", Workers: workers}
 	start := time.Now()
 	for _, src := range sources {
-		_, st, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: src},
+		_, st, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: src},
 			engine.Options{Workers: workers, Strategy: spatial})
 		if err != nil {
 			return Row{}, Row{}, err
@@ -126,7 +127,7 @@ func LayoutReuse(sc Scale, workers, queriesN int, cm metrics.CostModel) (perQuer
 	}
 	for _, src := range sources {
 		layout := partition.Build(g, asg) // fragments rebuilt, partition decision reused
-		_, st, err := engine.RunOnLayout(layout, queries.SSSP{}, queries.SSSPQuery{Source: src}, engine.Options{})
+		_, st, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: src}, engine.Options{})
 		if err != nil {
 			return Row{}, Row{}, err
 		}
@@ -166,7 +167,7 @@ func ScalingGap(sides []int, workers int) ([]GapRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, stR, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: src},
+		_, stR, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: src},
 			engine.Options{Workers: workers, Strategy: partition.TwoD{Cols: side}})
 		if err != nil {
 			return nil, err

@@ -14,6 +14,7 @@
 package gpar
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -63,11 +64,11 @@ type Result struct {
 // confidence-annotated candidates. Matching work is distributed exactly like
 // any SubIso query: fragments expanded to the pattern radius, one parallel
 // superstep.
-func Eval(g *graph.Graph, r Rule, opts engine.Options) (*Result, *metrics.Stats, error) {
+func Eval(ctx context.Context, g *graph.Graph, r Rule, opts engine.Options) (*Result, *metrics.Stats, error) {
 	if r.Q == nil || !r.Q.Has(r.X) || !r.Q.Has(r.Y) {
 		return nil, nil, fmt.Errorf("gpar: rule %q: pattern must contain designated nodes", r.Name)
 	}
-	matches, stats, err := queries.RunSubIso(g, queries.SubIsoQuery{Pattern: r.Q}, opts)
+	matches, stats, err := queries.RunSubIso(ctx, g, queries.SubIsoQuery{Pattern: r.Q}, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -110,10 +111,10 @@ func Eval(g *graph.Graph, r Rule, opts engine.Options) (*Result, *metrics.Stats,
 
 // EvalAll evaluates a set of rules and returns results sorted by confidence
 // (descending) — the demo's ranked recommendation list.
-func EvalAll(g *graph.Graph, rules []Rule, opts engine.Options) ([]*Result, error) {
+func EvalAll(ctx context.Context, g *graph.Graph, rules []Rule, opts engine.Options) ([]*Result, error) {
 	var out []*Result
 	for _, r := range rules {
-		res, _, err := Eval(g, r, opts)
+		res, _, err := Eval(ctx, g, r, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -151,9 +152,9 @@ func DefaultDiscoverConfig() DiscoverConfig {
 // ranked by confidence — the paper's "given a set of GPARs, GRAPE
 // efficiently finds potential customers ranked by confidence", with the
 // rule set itself discovered rather than hand-written.
-func Discover(g *graph.Graph, cfg DiscoverConfig, opts engine.Options) ([]*Result, error) {
+func Discover(ctx context.Context, g *graph.Graph, cfg DiscoverConfig, opts engine.Options) ([]*Result, error) {
 	rules := CandidateRules(cfg.MinFracs)
-	all, err := EvalAll(g, rules, opts)
+	all, err := EvalAll(ctx, g, rules, opts)
 	if err != nil {
 		return nil, err
 	}

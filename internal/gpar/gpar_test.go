@@ -1,6 +1,7 @@
 package gpar
 
 import (
+	"context"
 	"testing"
 
 	"grape/internal/engine"
@@ -17,7 +18,7 @@ func socialGraph(seed int64) *graph.Graph {
 func TestExample2FindsPotentialCustomers(t *testing.T) {
 	g := socialGraph(1)
 	rule := Example2Rule(0.8)
-	res, stats, err := Eval(g, rule, engine.Options{Workers: 4})
+	res, stats, err := Eval(context.Background(), g, rule, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,12 +49,12 @@ func TestExample2FindsPotentialCustomers(t *testing.T) {
 func TestGPARDeterministicAcrossWorkerCounts(t *testing.T) {
 	g := socialGraph(2)
 	rule := Example2Rule(0.8)
-	base, _, err := Eval(g, rule, engine.Options{Workers: 1})
+	base, _, err := Eval(context.Background(), g, rule, engine.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range []int{2, 4, 8} {
-		res, _, err := Eval(g, rule, engine.Options{Workers: n})
+		res, _, err := Eval(context.Background(), g, rule, engine.Options{Workers: n})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func TestEvalAllRanksByConfidence(t *testing.T) {
 	rules := []Rule{Example2Rule(0.8), Example2Rule(0.5), Example2Rule(0.95)}
 	rules[1].Name = "loose"
 	rules[2].Name = "strict"
-	out, err := EvalAll(g, rules, engine.Options{Workers: 3})
+	out, err := EvalAll(context.Background(), g, rules, engine.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,14 +92,14 @@ func TestEvalAllRanksByConfidence(t *testing.T) {
 func TestEvalRejectsBadRule(t *testing.T) {
 	g := socialGraph(4)
 	bad := Rule{Name: "bad", Q: graph.New(), X: 0, Y: 1}
-	if _, _, err := Eval(g, bad, engine.Options{Workers: 2}); err == nil {
+	if _, _, err := Eval(context.Background(), g, bad, engine.Options{Workers: 2}); err == nil {
 		t.Fatal("expected error for rule without designated nodes")
 	}
 }
 
 func TestDiscoverFindsPlantedRule(t *testing.T) {
 	g := socialGraph(9)
-	found, err := Discover(g, DefaultDiscoverConfig(), engine.Options{Workers: 4})
+	found, err := Discover(context.Background(), g, DefaultDiscoverConfig(), engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

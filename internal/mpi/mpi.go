@@ -18,9 +18,16 @@
 // The engine chooses how to fill an Envelope based on Transport.Wire: wire
 // transports require Frame (encoded bytes), the in-process bus carries
 // Payload (a Go value).
+//
+// Receives are context-aware: a party blocked at a superstep barrier
+// unblocks the moment its run's context is cancelled or its deadline
+// expires, which is how the engine sheds abandoned runs instead of letting
+// them converge on dead air (see "Cancellation & deadlines" in
+// ARCHITECTURE.md).
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 )
@@ -55,11 +62,13 @@ type Transport interface {
 	// communication; the paper's numbers measure data shipped, not BSP
 	// barriers.
 	Send(e Envelope)
-	// Recv blocks until a message for the given party arrives. Wire
-	// transports serve only party == Coordinator (remote workers hold their
-	// own WorkerConn); on a broken worker link they deliver an Envelope with
-	// a nil Frame whose Payload is the error.
-	Recv(party int) Envelope
+	// Recv blocks until a message for the given party arrives or ctx is
+	// done, in which case it returns ctx's error — cancellation and deadline
+	// expiry unblock a party waiting at a superstep barrier. Wire transports
+	// serve only party == Coordinator (remote workers hold their own
+	// WorkerConn); on a broken worker link they deliver an Envelope with a
+	// nil Frame whose Payload is the error.
+	Recv(ctx context.Context, party int) (Envelope, error)
 	// Messages returns the number of data messages sent so far.
 	Messages() int64
 	// Bytes returns the number of data bytes sent so far.
@@ -120,12 +129,25 @@ func (b *Bus) Send(e Envelope) {
 	b.toWorker[e.To] <- e
 }
 
-// Recv blocks until a message for the given party arrives.
-func (b *Bus) Recv(party int) Envelope {
-	if party == Coordinator {
-		return <-b.toCoord
+// Recv blocks until a message for the given party arrives or ctx is done.
+// A context that can never be done (context.Background) reports a nil done
+// channel, and that case takes a plain channel receive — the uncancellable
+// hot path is exactly what it was before cancellation existed.
+func (b *Bus) Recv(ctx context.Context, party int) (Envelope, error) {
+	ch := b.toCoord
+	if party != Coordinator {
+		ch = b.toWorker[party]
 	}
-	return <-b.toWorker[party]
+	done := ctx.Done()
+	if done == nil {
+		return <-ch, nil
+	}
+	select {
+	case e := <-ch:
+		return e, nil
+	case <-done:
+		return Envelope{}, ctx.Err()
+	}
 }
 
 // Messages returns the number of data messages sent so far.

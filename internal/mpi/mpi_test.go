@@ -1,8 +1,11 @@
 package mpi
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestBusRoutesAndMeters(t *testing.T) {
@@ -11,7 +14,7 @@ func TestBusRoutesAndMeters(t *testing.T) {
 		t.Fatalf("workers: %d", b.Workers())
 	}
 	b.Send(Envelope{From: Coordinator, To: 1, Payload: "hi", Size: 10})
-	e := b.Recv(1)
+	e, _ := b.Recv(context.Background(), 1)
 	if e.Payload != "hi" || e.From != Coordinator {
 		t.Fatalf("bad envelope: %+v", e)
 	}
@@ -23,7 +26,7 @@ func TestBusRoutesAndMeters(t *testing.T) {
 func TestControlMessagesNotMetered(t *testing.T) {
 	b := NewBus(2, 4)
 	b.Send(Envelope{From: Coordinator, To: 0, Payload: "barrier", Size: 0})
-	b.Recv(0)
+	b.Recv(context.Background(), 0)
 	if b.Messages() != 0 || b.Bytes() != 0 {
 		t.Fatal("zero-size control traffic must not count as communication")
 	}
@@ -32,7 +35,7 @@ func TestControlMessagesNotMetered(t *testing.T) {
 func TestWorkerToCoordinator(t *testing.T) {
 	b := NewBus(2, 4)
 	b.Send(Envelope{From: 1, To: Coordinator, Payload: 42, Size: 8})
-	e := b.Recv(Coordinator)
+	e, _ := b.Recv(context.Background(), Coordinator)
 	if e.From != 1 || e.Payload != 42 {
 		t.Fatalf("bad envelope: %+v", e)
 	}
@@ -71,7 +74,7 @@ func TestConcurrentSendersAreSafe(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < 4*per; i++ {
-			b.Recv(Coordinator)
+			b.Recv(context.Background(), Coordinator)
 		}
 		close(done)
 	}()
@@ -79,5 +82,24 @@ func TestConcurrentSendersAreSafe(t *testing.T) {
 	<-done
 	if b.Messages() != 4*per || b.Bytes() != 4*per {
 		t.Fatalf("lost traffic: %d msgs", b.Messages())
+	}
+}
+
+func TestRecvUnblocksOnCancel(t *testing.T) {
+	b := NewBus(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(ctx, Coordinator)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on cancellation")
 	}
 }

@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -16,7 +17,7 @@ func TestAsyncSSSPMatchesDijkstra(t *testing.T) {
 	g := gen.ConnectedRandom(300, 900, 61)
 	want := seq.Dijkstra(g, 0)
 	for _, n := range []int{1, 4, 8} {
-		got, stats, err := engine.RunAsync(g, SSSP{}, SSSPQuery{Source: 0},
+		got, stats, err := engine.RunAsync(context.Background(), g, SSSP{}, SSSPQuery{Source: 0},
 			engine.Options{Workers: n, Strategy: partition.Fennel{}})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", n, err)
@@ -38,7 +39,7 @@ func TestAsyncSSSPMatchesDijkstra(t *testing.T) {
 func TestAsyncCCMatchesSequential(t *testing.T) {
 	g := gen.Random(200, 260, 67)
 	want := seq.Components(g)
-	got, _, err := engine.RunAsync(g, CC{}, CCQuery{}, engine.Options{Workers: 6})
+	got, _, err := engine.RunAsync(context.Background(), g, CC{}, CCQuery{}, engine.Options{Workers: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestAsyncSimMatchesSync(t *testing.T) {
 	p.AddVertex(0, "a")
 	p.AddVertex(1, "b")
 	p.AddVertex(2, "c")
-	syncRes, _, err := engine.Run(g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 4})
+	syncRes, _, err := engine.Run(context.Background(), g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	asyncRes, _, err := engine.RunAsync(g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 4})
+	asyncRes, _, err := engine.RunAsync(context.Background(), g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestAsyncSSSPProperty(t *testing.T) {
 		n := 5 + int(uint(seed)%50)
 		g := gen.ConnectedRandom(n, 3*n, seed)
 		want := seq.Dijkstra(g, 0)
-		got, _, err := engine.RunAsync(g, SSSP{}, SSSPQuery{Source: 0},
+		got, _, err := engine.RunAsync(context.Background(), g, SSSP{}, SSSPQuery{Source: 0},
 			engine.Options{Workers: 1 + int(nw%6)})
 		if err != nil || len(got) != len(want) {
 			return false

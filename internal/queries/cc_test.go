@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -32,7 +33,7 @@ func TestCCMatchesSequentialAcrossStrategies(t *testing.T) {
 	want := seq.Components(g)
 	for _, strat := range partition.Strategies() {
 		for _, n := range []int{1, 2, 5} {
-			res, _, err := engine.Run(g, CC{}, CCQuery{}, engine.Options{Workers: n, Strategy: strat, CheckMonotonic: true})
+			res, _, err := engine.Run(context.Background(), g, CC{}, CCQuery{}, engine.Options{Workers: n, Strategy: strat, CheckMonotonic: true})
 			if err != nil {
 				t.Fatalf("%s/%d: %v", strat.Name(), n, err)
 			}
@@ -43,7 +44,7 @@ func TestCCMatchesSequentialAcrossStrategies(t *testing.T) {
 
 func TestCCSingleComponent(t *testing.T) {
 	g := gen.RoadGrid(12, 12, 1)
-	res, _, err := engine.Run(g, CC{}, CCQuery{}, engine.Options{Workers: 7})
+	res, _, err := engine.Run(context.Background(), g, CC{}, CCQuery{}, engine.Options{Workers: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestCCProperty(t *testing.T) {
 		n := 2 + int(uint(seed)%80)
 		g := gen.Random(n, n, seed)
 		want := seq.Components(g)
-		res, _, err := engine.Run(g, CC{}, CCQuery{},
+		res, _, err := engine.Run(context.Background(), g, CC{}, CCQuery{},
 			engine.Options{Workers: 1 + int(nw%5), Strategy: partition.Hash{}, CheckMonotonic: true})
 		if err != nil {
 			return false
@@ -83,7 +84,7 @@ func TestCCLabelsAreComponentMinima(t *testing.T) {
 	// Invariant: every component label is the minimum vertex ID of the
 	// component, so a label must label itself.
 	g := gen.PreferentialAttachment(300, 2, 4)
-	res, _, err := engine.Run(g, CC{}, CCQuery{}, engine.Options{Workers: 4})
+	res, _, err := engine.Run(context.Background(), g, CC{}, CCQuery{}, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"testing"
 
 	"grape/internal/engine"
@@ -17,7 +18,7 @@ func TestCFLearnsSignal(t *testing.T) {
 	g := gen.Ratings(*ratingsGraph(5))
 	cfg := seq.DefaultCFConfig()
 	cfg.Epochs = 15
-	res, stats, err := engine.Run(g, CF{}, CFQuery{Cfg: cfg}, engine.Options{Workers: 4, Strategy: partition.Hash{}})
+	res, stats, err := engine.Run(context.Background(), g, CF{}, CFQuery{Cfg: cfg}, engine.Options{Workers: 4, Strategy: partition.Hash{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestCFSingleWorkerMatchesSequentialShape(t *testing.T) {
 	g := gen.Ratings(*ratingsGraph(9))
 	cfg := seq.DefaultCFConfig()
 	cfg.Epochs = 10
-	res, stats, err := engine.Run(g, CF{}, CFQuery{Cfg: cfg}, engine.Options{Workers: 1})
+	res, stats, err := engine.Run(context.Background(), g, CF{}, CFQuery{Cfg: cfg}, engine.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestCFMoreEpochsFitBetter(t *testing.T) {
 	short.Epochs = 2
 	long := seq.DefaultCFConfig()
 	long.Epochs = 25
-	rShort, _, err := engine.Run(g, CF{}, CFQuery{Cfg: short}, engine.Options{Workers: 3})
+	rShort, _, err := engine.Run(context.Background(), g, CF{}, CFQuery{Cfg: short}, engine.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rLong, _, err := engine.Run(g, CF{}, CFQuery{Cfg: long}, engine.Options{Workers: 3})
+	rLong, _, err := engine.Run(context.Background(), g, CF{}, CFQuery{Cfg: long}, engine.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestCFMoreEpochsFitBetter(t *testing.T) {
 
 func TestCFRejectsBadConfig(t *testing.T) {
 	g := gen.Ratings(*ratingsGraph(1))
-	if _, _, err := engine.Run(g, CF{}, CFQuery{}, engine.Options{Workers: 2}); err == nil {
+	if _, _, err := engine.Run(context.Background(), g, CF{}, CFQuery{}, engine.Options{Workers: 2}); err == nil {
 		t.Fatal("expected error for zero config")
 	}
 }
@@ -84,11 +85,11 @@ func TestCFDeterministicAcrossRuns(t *testing.T) {
 	g := gen.Ratings(*ratingsGraph(3))
 	cfg := seq.DefaultCFConfig()
 	cfg.Epochs = 5
-	r1, _, err := engine.Run(g, CF{}, CFQuery{Cfg: cfg}, engine.Options{Workers: 4})
+	r1, _, err := engine.Run(context.Background(), g, CF{}, CFQuery{Cfg: cfg}, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _, err := engine.Run(g, CF{}, CFQuery{Cfg: cfg}, engine.Options{Workers: 4})
+	r2, _, err := engine.Run(context.Background(), g, CF{}, CFQuery{Cfg: cfg}, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

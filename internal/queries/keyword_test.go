@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestKeywordMatchesSequential(t *testing.T) {
 	q := KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 12, UseIndex: true}
 	want := seq.KeywordSearch(g, q.Keywords, q.Bound)
 	for _, n := range []int{1, 3, 6} {
-		got, _, err := engine.Run(g, Keyword{}, q,
+		got, _, err := engine.Run(context.Background(), g, Keyword{}, q,
 			engine.Options{Workers: n, Strategy: partition.Fennel{}, CheckMonotonic: true})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", n, err)
@@ -41,11 +42,11 @@ func TestKeywordIndexAndScanAgree(t *testing.T) {
 	qi := KeywordQuery{Keywords: []string{"a", "c"}, Bound: 10, UseIndex: true}
 	qs := qi
 	qs.UseIndex = false
-	ri, _, err := engine.Run(g, Keyword{}, qi, engine.Options{Workers: 4})
+	ri, _, err := engine.Run(context.Background(), g, Keyword{}, qi, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, _, err := engine.Run(g, Keyword{}, qs, engine.Options{Workers: 4})
+	rs, _, err := engine.Run(context.Background(), g, Keyword{}, qs, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +67,12 @@ func TestKeywordIndexReducesWork(t *testing.T) {
 	g := gen.ConnectedRandom(2000, 6000, 13)
 	gen.AttachKeywords(g, vocab, 1, 0.01, 13)
 	q := KeywordQuery{Keywords: []string{"rare", "w1", "w2", "w3"}, Bound: 3, UseIndex: true}
-	_, si, err := engine.Run(g, Keyword{}, q, engine.Options{Workers: 4})
+	_, si, err := engine.Run(context.Background(), g, Keyword{}, q, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	q.UseIndex = false
-	_, ss, err := engine.Run(g, Keyword{}, q, engine.Options{Workers: 4})
+	_, ss, err := engine.Run(context.Background(), g, Keyword{}, q, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestKeywordIndexReducesWork(t *testing.T) {
 
 func TestKeywordNoHolders(t *testing.T) {
 	g := gen.ConnectedRandom(50, 150, 3)
-	got, _, err := engine.Run(g, Keyword{}, KeywordQuery{Keywords: []string{"missing"}, Bound: 5, UseIndex: true},
+	got, _, err := engine.Run(context.Background(), g, Keyword{}, KeywordQuery{Keywords: []string{"missing"}, Bound: 5, UseIndex: true},
 		engine.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +95,7 @@ func TestKeywordNoHolders(t *testing.T) {
 
 func TestKeywordEmptyQueryRejected(t *testing.T) {
 	g := gen.ConnectedRandom(10, 20, 1)
-	if _, _, err := engine.Run(g, Keyword{}, KeywordQuery{}, engine.Options{Workers: 2}); err == nil {
+	if _, _, err := engine.Run(context.Background(), g, Keyword{}, KeywordQuery{}, engine.Options{Workers: 2}); err == nil {
 		t.Fatal("expected error for empty keyword list")
 	}
 }

@@ -6,16 +6,12 @@ import (
 	"strconv"
 
 	"grape/internal/engine"
-	"grape/internal/graph"
-	"grape/internal/metrics"
-	"grape/internal/partition"
 )
 
-// ErrNoParser wraps Parse failures for programs registered without a Parse
-// hook (Entry.Parse is optional for externally Registered programs; every
-// built-in class has one). Callers that can fall back to Entry.Run — which
-// does its own parsing — should treat this as "parse later", not "bad
-// query".
+// ErrNoParser wraps Parse failures for entries without a Parse hook.
+// engine.Register has required the hook since the MakeEntry unification,
+// so for registered programs this is unreachable; the check stays as a
+// guard against Entry values constructed by hand and never registered.
 var ErrNoParser = errors.New("queries: program registered no query parser")
 
 // Query-string parsing is a first-class step shared by every consumer: the
@@ -40,68 +36,21 @@ func Parse(program, query string) (engine.ParsedQuery, error) {
 	return e.Parse(query)
 }
 
-// entry builds a registry Entry from a program and its parse/canonical pair.
-// hops reports the fragment expansion a query needs (nil means none) — it
-// drives both Entry.Run's Options.ExpandHops and ParsedQuery.Hops, so a
-// one-shot run and a resident layout agree on fragment shape.
+// entry builds a registry Entry from a program and its parse/canonical pair
+// through engine.MakeEntry — the unified typed constructor that derives
+// Run, Parse, Resident and Wire from one spec, so a one-shot run, a
+// resident layout and a distributed worker agree on what every query
+// string means (including the fragment expansion hops reports).
 func entry[Q, V, R any](prog engine.WireProgram[Q, V, R], desc, help string,
 	parse func(string) (Q, error), canonical func(Q) string, hops func(Q) int) engine.Entry {
-	name := prog.Name()
-	doParse := func(query string) (engine.ParsedQuery, error) {
-		q, err := parse(query)
-		if err != nil {
-			return engine.ParsedQuery{}, err
-		}
-		pq := engine.ParsedQuery{Program: name, Query: q, Canonical: canonical(q)}
-		if hops != nil {
-			pq.Hops = hops(q)
-		}
-		return pq, nil
-	}
-	return engine.Entry{
-		Name:        name,
+	return engine.MakeEntry(engine.EntrySpec[Q, V, R]{
+		Prog:        prog,
 		Description: desc,
 		QueryHelp:   help,
-		Parse:       doParse,
-		Wire:        engine.WireServe(prog),
-		Run: func(g *graph.Graph, opts engine.Options, query string) (any, *metrics.Stats, error) {
-			pq, err := doParse(query)
-			if err != nil {
-				return nil, nil, err
-			}
-			// Programs that declare an expansion requirement own
-			// Options.ExpandHops (as RunSubIso/RunTriCount always did); for
-			// the rest a caller-supplied expansion passes through untouched.
-			if hops != nil {
-				opts.ExpandHops = pq.Hops
-			}
-			res, stats, err := engine.Run(g, prog, pq.Query.(Q), opts)
-			return any(res), stats, err
-		},
-		Resident: func(layout *partition.Layout, opts engine.Options) (engine.ResidentRunner, error) {
-			r, err := engine.NewResident(layout, prog, opts)
-			if err != nil {
-				return nil, err
-			}
-			return residentAdapter[Q, V, R]{name: name, r: r}, nil
-		},
-	}
-}
-
-// residentAdapter erases a typed Resident into engine.ResidentRunner for the
-// registry.
-type residentAdapter[Q, V, R any] struct {
-	name string
-	r    *engine.Resident[Q, V, R]
-}
-
-func (a residentAdapter[Q, V, R]) RunParsed(pq engine.ParsedQuery) (any, *metrics.Stats, error) {
-	q, ok := pq.Query.(Q)
-	if !ok {
-		return nil, nil, fmt.Errorf("queries: %s: parsed query has type %T, want %T", a.name, pq.Query, q)
-	}
-	res, stats, err := a.r.Run(q)
-	return any(res), stats, err
+		Parse:       parse,
+		Canonical:   canonical,
+		Hops:        hops,
+	})
 }
 
 // fmtFloat renders a float the shortest way that round-trips — the one

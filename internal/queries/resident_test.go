@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -52,7 +53,7 @@ func TestResidentConcurrentPrograms(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, _, err := e.Run(g, opts, p.query)
+		res, _, err := e.Run(context.Background(), g, opts, p.query)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func TestResidentConcurrentPrograms(t *testing.T) {
 			go func(program string) {
 				defer wg.Done()
 				for j := 0; j < runsPerGoroutine; j++ {
-					res, stats, err := runners[program].RunParsed(parsed[program])
+					res, stats, err := runners[program].RunParsed(context.Background(), parsed[program])
 					if err != nil {
 						errs <- fmt.Errorf("%s: %w", program, err)
 						return
@@ -145,7 +146,7 @@ func TestResidentExpandedLayouts(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, _, err := e.Run(g, opts, p.query)
+			want, _, err := e.Run(context.Background(), g, opts, p.query)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -159,7 +160,7 @@ func TestResidentExpandedLayouts(t *testing.T) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					res, _, err := r.RunParsed(pq)
+					res, _, err := r.RunParsed(context.Background(), pq)
 					if err != nil {
 						errs <- err
 						return

@@ -1,8 +1,10 @@
 package queries
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"grape/internal/engine"
@@ -19,7 +21,7 @@ import (
 func TestSSSPSessionTracksEvolvingGraph(t *testing.T) {
 	g := gen.ConnectedRandom(200, 500, 55)
 	shadow := g.Clone() // mutated in lockstep, used for ground truth
-	s, res, _, err := engine.NewSession(g, SSSP{}, SSSPQuery{Source: 0},
+	s, res, _, err := engine.NewSession(context.Background(), g, SSSP{}, SSSPQuery{Source: 0},
 		engine.Options{Workers: 5, Strategy: partition.Fennel{}})
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +52,7 @@ func TestSSSPSessionTracksEvolvingGraph(t *testing.T) {
 			batch = append(batch, engine.EdgeUpdate{From: u, To: v, W: w})
 			shadow.AddEdge(u, v, w)
 		}
-		got, _, err := s.Update(batch)
+		got, _, err := s.Update(context.Background(), batch)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -60,13 +62,13 @@ func TestSSSPSessionTracksEvolvingGraph(t *testing.T) {
 
 func TestSSSPSessionIncrementalIsCheaperThanRerun(t *testing.T) {
 	g := gen.RoadGrid(40, 40, 5)
-	s, _, initStats, err := engine.NewSession(g, SSSP{}, SSSPQuery{Source: 0},
+	s, _, initStats, err := engine.NewSession(context.Background(), g, SSSP{}, SSSPQuery{Source: 0},
 		engine.Options{Workers: 8, Strategy: partition.TwoD{Cols: 40}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// one local shortcut in a far corner
-	_, updStats, err := s.Update([]engine.EdgeUpdate{{From: 1599, To: 1558, W: 0.1}})
+	_, updStats, err := s.Update(context.Background(), []engine.EdgeUpdate{{From: 1599, To: 1558, W: 0.1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,12 +80,32 @@ func TestSSSPSessionIncrementalIsCheaperThanRerun(t *testing.T) {
 
 func TestSSSPSessionRejectsNegativeWeight(t *testing.T) {
 	g := gen.ConnectedRandom(30, 90, 1)
-	s, _, _, err := engine.NewSession(g, SSSP{}, SSSPQuery{Source: 0}, engine.Options{Workers: 2})
+	s, before, _, err := engine.NewSession(context.Background(), g, SSSP{}, SSSPQuery{Source: 0}, engine.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Update([]engine.EdgeUpdate{{From: 0, To: 1, W: -2}}); err == nil {
+	edges := g.NumEdges()
+	if _, _, err := s.Update(context.Background(), []engine.EdgeUpdate{{From: 0, To: 1, W: -2}}); err == nil {
 		t.Fatal("negative weights must be rejected")
+	}
+	// The rejection happens in the pre-mutation validation (ValidateUpdate),
+	// so the graph is untouched and the session stays fully usable — bad
+	// input must not cost a long-lived session.
+	if s.Broken() {
+		t.Fatal("a rejected batch must not break the session")
+	}
+	if g.NumEdges() != edges {
+		t.Fatalf("rejected update mutated the graph: %d edges, had %d", g.NumEdges(), edges)
+	}
+	after, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("rejected update changed the answer")
+	}
+	if _, _, err := s.Update(context.Background(), []engine.EdgeUpdate{{From: 0, To: 1, W: 0.5}}); err != nil {
+		t.Fatalf("session must keep accepting valid updates after a rejection: %v", err)
 	}
 }
 
@@ -98,7 +120,7 @@ func TestCCSessionMergesComponents(t *testing.T) {
 		g.AddEdge(graph.ID(100+rng.Intn(50)), graph.ID(100+rng.Intn(50)), 1)
 	}
 	shadow := g.Clone()
-	s, res, _, err := engine.NewSession(g, CC{}, CCQuery{}, engine.Options{Workers: 4})
+	s, res, _, err := engine.NewSession(context.Background(), g, CC{}, CCQuery{}, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +136,7 @@ func TestCCSessionMergesComponents(t *testing.T) {
 
 	// bridge the clusters
 	shadow.AddEdge(40, 110, 1)
-	res, _, err = s.Update([]engine.EdgeUpdate{{From: 40, To: 110, W: 1}})
+	res, _, err = s.Update(context.Background(), []engine.EdgeUpdate{{From: 40, To: 110, W: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +147,7 @@ func TestCCSessionMergesComponents(t *testing.T) {
 		u := graph.ID(rng.Intn(50))
 		v := graph.ID(100 + rng.Intn(50))
 		shadow.AddEdge(u, v, 1)
-		res, _, err = s.Update([]engine.EdgeUpdate{{From: u, To: v, W: 1}})
+		res, _, err = s.Update(context.Background(), []engine.EdgeUpdate{{From: u, To: v, W: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +160,7 @@ func TestCCSessionEvolvingProperty(t *testing.T) {
 	// compare against sequential CC on the shadow graph
 	g := gen.Random(120, 150, 77) // sparse: many components
 	shadow := g.Clone()
-	s, _, _, err := engine.NewSession(g, CC{}, CCQuery{}, engine.Options{Workers: 6, Strategy: partition.Hash{}})
+	s, _, _, err := engine.NewSession(context.Background(), g, CC{}, CCQuery{}, engine.Options{Workers: 6, Strategy: partition.Hash{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +176,7 @@ func TestCCSessionEvolvingProperty(t *testing.T) {
 			batch = append(batch, engine.EdgeUpdate{From: u, To: v, W: 1})
 			shadow.AddEdge(u, v, 1)
 		}
-		got, _, err := s.Update(batch)
+		got, _, err := s.Update(context.Background(), batch)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

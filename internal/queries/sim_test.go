@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -53,7 +54,7 @@ func TestSimMatchesSequential(t *testing.T) {
 	want := seq.Sim(p, g)
 	for _, strat := range partition.Strategies() {
 		for _, n := range []int{1, 2, 4, 7} {
-			got, _, err := engine.Run(g, Sim{}, SimQuery{Pattern: p},
+			got, _, err := engine.Run(context.Background(), g, Sim{}, SimQuery{Pattern: p},
 				engine.Options{Workers: n, Strategy: strat, CheckMonotonic: true})
 			if err != nil {
 				t.Fatalf("%s/%d: %v", strat.Name(), n, err)
@@ -71,7 +72,7 @@ func TestSimEmptyResult(t *testing.T) {
 	p.AddVertex(0, "zzz") // label absent from g
 	p.AddVertex(1, "x")
 	p.AddEdge(0, 1, 1)
-	got, _, err := engine.Run(g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 3})
+	got, _, err := engine.Run(context.Background(), g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,14 +91,14 @@ func TestSimEmptyResult(t *testing.T) {
 
 func TestSimRejectsBadPatterns(t *testing.T) {
 	g := labeledRandom(10, 10, 1, []string{"a"})
-	if _, _, err := engine.Run(g, Sim{}, SimQuery{}, engine.Options{Workers: 2}); err == nil {
+	if _, _, err := engine.Run(context.Background(), g, Sim{}, SimQuery{}, engine.Options{Workers: 2}); err == nil {
 		t.Fatal("expected error for nil pattern")
 	}
 	big := graph.New()
 	for i := graph.ID(0); i < 70; i++ {
 		big.AddVertex(i, "a")
 	}
-	if _, _, err := engine.Run(g, Sim{}, SimQuery{Pattern: big}, engine.Options{Workers: 2}); err == nil {
+	if _, _, err := engine.Run(context.Background(), g, Sim{}, SimQuery{Pattern: big}, engine.Options{Workers: 2}); err == nil {
 		t.Fatal("expected error for oversized pattern")
 	}
 }
@@ -113,7 +114,7 @@ func TestSimPropertyMatchesSequential(t *testing.T) {
 		n := 5 + int(uint(seed)%40)
 		g := labeledRandom(n, 2*n, seed, labels)
 		want := seq.Sim(p, g)
-		got, _, err := engine.Run(g, Sim{}, SimQuery{Pattern: p},
+		got, _, err := engine.Run(context.Background(), g, Sim{}, SimQuery{Pattern: p},
 			engine.Options{Workers: 1 + int(nw%5), Strategy: partition.Fennel{}, CheckMonotonic: true})
 		if err != nil {
 			return false
@@ -132,7 +133,7 @@ func TestSimOnSocialCommerce(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := seq.Sim(p, g)
-	got, _, err := engine.Run(g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 4, CheckMonotonic: true})
+	got, _, err := engine.Run(context.Background(), g, Sim{}, SimQuery{Pattern: p}, engine.Options{Workers: 4, CheckMonotonic: true})
 	if err != nil {
 		t.Fatal(err)
 	}

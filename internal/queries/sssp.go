@@ -88,6 +88,16 @@ func (SSSP) IncEval(q SSSPQuery, ctx *engine.Context[float64]) error {
 	return nil
 }
 
+// ValidateUpdate implements engine.UpdateValidator: the decrease-only
+// invariant is checkable from the update alone, so a negative weight is
+// rejected before the engine touches the graph.
+func (SSSP) ValidateUpdate(q SSSPQuery, upd engine.EdgeUpdate) error {
+	if upd.W < 0 {
+		return fmt.Errorf("sssp: negative edge weight %g", upd.W)
+	}
+	return nil
+}
+
 // ApplyUpdate implements engine.Updater for continuous queries over an
 // evolving graph: inserting edge (u, v) (or lowering its weight) can only
 // decrease distances downstream of u, so seeding the next IncEval round at u

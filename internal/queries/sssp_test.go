@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -18,7 +19,7 @@ func ssspGround(g *graph.Graph, src graph.ID) map[graph.ID]float64 {
 
 func runSSSP(t *testing.T, g *graph.Graph, src graph.ID, opts engine.Options) map[graph.ID]float64 {
 	t.Helper()
-	res, stats, err := engine.Run(g, SSSP{}, SSSPQuery{Source: src}, opts)
+	res, stats, err := engine.Run(context.Background(), g, SSSP{}, SSSPQuery{Source: src}, opts)
 	if err != nil {
 		t.Fatalf("engine.Run: %v", err)
 	}
@@ -89,7 +90,7 @@ func TestSSSPPropertyRandomGraphs(t *testing.T) {
 		src := graph.ID(int(uint(seed) % uint(n)))
 		want := seq.BellmanFord(g, src)
 		workers := 1 + int(nw%6)
-		res, _, err := engine.Run(g, SSSP{}, SSSPQuery{Source: src},
+		res, _, err := engine.Run(context.Background(), g, SSSP{}, SSSPQuery{Source: src},
 			engine.Options{Workers: workers, Strategy: partition.Fennel{}, CheckMonotonic: true})
 		if err != nil {
 			t.Logf("engine error: %v", err)
@@ -120,7 +121,7 @@ func TestSSSPCommunicationIsBorderBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	layout := partition.Build(g, asg)
-	_, stats, err := engine.RunOnLayout(layout, SSSP{}, SSSPQuery{Source: 0}, engine.Options{})
+	_, stats, err := engine.RunOnLayout(context.Background(), layout, SSSP{}, SSSPQuery{Source: 0}, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestSSSPRegistryRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, stats, err := e.Run(g, engine.Options{Workers: 3}, "source=0")
+	res, stats, err := e.Run(context.Background(), g, engine.Options{Workers: 3}, "source=0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestSSSPRegistryRun(t *testing.T) {
 	if stats == nil || stats.Workers != 3 {
 		t.Fatalf("stats missing or wrong workers: %+v", stats)
 	}
-	if _, _, err := e.Run(g, engine.Options{}, "source=notanumber"); err == nil {
+	if _, _, err := e.Run(context.Background(), g, engine.Options{}, "source=notanumber"); err == nil {
 		t.Fatal("expected parse error")
 	}
 }

@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -129,9 +130,9 @@ func sortMatches(p *graph.Graph, ms []seq.Match) {
 
 // RunSubIso runs the SubIso program with the fragment expansion the pattern
 // requires. It is the helper the registry, GPAR and benches share.
-func RunSubIso(g *graph.Graph, q SubIsoQuery, opts engine.Options) ([]seq.Match, *metrics.Stats, error) {
+func RunSubIso(ctx context.Context, g *graph.Graph, q SubIsoQuery, opts engine.Options) ([]seq.Match, *metrics.Stats, error) {
 	opts.ExpandHops = (SubIso{}).Radius(q)
-	return engine.Run(g, SubIso{}, q, opts)
+	return engine.Run(ctx, g, SubIso{}, q, opts)
 }
 
 func parseSubIso(query string) (SubIsoQuery, error) {

@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"testing"
 
 	"grape/internal/engine"
@@ -37,7 +38,7 @@ func TestSubIsoMatchesSequential(t *testing.T) {
 	want, _ := seq.SubIso(p, g, seq.SubIsoOptions{})
 	sortMatches(p, want)
 	for _, n := range []int{1, 2, 4, 6} {
-		got, stats, err := RunSubIso(g, SubIsoQuery{Pattern: p}, engine.Options{Workers: n, Strategy: partition.Hash{}})
+		got, stats, err := RunSubIso(context.Background(), g, SubIsoQuery{Pattern: p}, engine.Options{Workers: n, Strategy: partition.Hash{}})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", n, err)
 		}
@@ -61,7 +62,7 @@ func TestSubIsoTriangleOnDirectedCycle(t *testing.T) {
 		g.AddEdge(i, (i+1)%6, 1)
 	}
 	p, _ := PatternByName("triangle")
-	got, _, err := RunSubIso(g, SubIsoQuery{Pattern: p}, engine.Options{Workers: 3})
+	got, _, err := RunSubIso(context.Background(), g, SubIsoQuery{Pattern: p}, engine.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestSubIsoTriangleOnDirectedCycle(t *testing.T) {
 		t.Fatalf("6-cycle has no directed triangle, got %d", len(got))
 	}
 	g.AddEdge(2, 0, 1) // 0->1->2->0
-	got, _, err = RunSubIso(g, SubIsoQuery{Pattern: p}, engine.Options{Workers: 3})
+	got, _, err = RunSubIso(context.Background(), g, SubIsoQuery{Pattern: p}, engine.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestSubIsoMaxMatches(t *testing.T) {
 	if len(all) < 5 {
 		t.Skip("graph too sparse for this seed")
 	}
-	got, _, err := RunSubIso(g, SubIsoQuery{Pattern: p, MaxMatches: 5}, engine.Options{Workers: 4})
+	got, _, err := RunSubIso(context.Background(), g, SubIsoQuery{Pattern: p, MaxMatches: 5}, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSubIsoAnchorsPartitionMatchesExactlyOnce(t *testing.T) {
 	p.AddEdge(1, 2, 1)
 	want, _ := seq.SubIso(p, g, seq.SubIsoOptions{})
 	sortMatches(p, want)
-	got, _, err := RunSubIso(g, SubIsoQuery{Pattern: p}, engine.Options{Workers: 10, Strategy: partition.Hash{}})
+	got, _, err := RunSubIso(context.Background(), g, SubIsoQuery{Pattern: p}, engine.Options{Workers: 10, Strategy: partition.Hash{}})
 	if err != nil {
 		t.Fatal(err)
 	}

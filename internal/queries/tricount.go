@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"sort"
 
 	"grape/internal/engine"
@@ -166,9 +167,9 @@ func (TriCount) Assemble(q TriCountQuery, ctxs []*engine.Context[uint8]) (TriCou
 }
 
 // RunTriCount runs the program with the 1-hop expansion it needs.
-func RunTriCount(g *graph.Graph, opts engine.Options) (TriCountResult, *metrics.Stats, error) {
+func RunTriCount(ctx context.Context, g *graph.Graph, opts engine.Options) (TriCountResult, *metrics.Stats, error) {
 	opts.ExpandHops = 1
-	return engine.Run(g, TriCount{}, TriCountQuery{}, opts)
+	return engine.Run(ctx, g, TriCount{}, TriCountQuery{}, opts)
 }
 
 // undirectedNeighbors returns the distinct neighbors of v over both edge

@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -18,7 +19,7 @@ func TestTriCountKnownGraphs(t *testing.T) {
 			k4.AddEdge(i, j, 1)
 		}
 	}
-	res, stats, err := RunTriCount(k4, engine.Options{Workers: 2})
+	res, stats, err := RunTriCount(context.Background(), k4, engine.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestTriCountKnownGraphs(t *testing.T) {
 	for i := graph.ID(0); i < 4; i++ {
 		c4.AddEdge(i, (i+1)%4, 1)
 	}
-	res, _, err = RunTriCount(c4, engine.Options{Workers: 2})
+	res, _, err = RunTriCount(context.Background(), c4, engine.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestTriCountMatchesSequential(t *testing.T) {
 		t.Skip("unlucky seed: no triangles")
 	}
 	for _, n := range []int{1, 3, 8} {
-		res, _, err := RunTriCount(g, engine.Options{Workers: n, Strategy: partition.Hash{}})
+		res, _, err := RunTriCount(context.Background(), g, engine.Options{Workers: n, Strategy: partition.Hash{}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func TestTriCountMatchesSequential(t *testing.T) {
 
 func TestTriCountPivotCountsSumToTotal(t *testing.T) {
 	g := gen.PreferentialAttachment(300, 4, 23)
-	res, _, err := RunTriCount(g, engine.Options{Workers: 5})
+	res, _, err := RunTriCount(context.Background(), g, engine.Options{Workers: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestTriCountProperty(t *testing.T) {
 		n := 10 + int(uint(seed)%40)
 		g := gen.Random(n, 4*n, seed)
 		want := SeqTriangles(g)
-		res, _, err := RunTriCount(g, engine.Options{Workers: 1 + int(nw%5)})
+		res, _, err := RunTriCount(context.Background(), g, engine.Options{Workers: 1 + int(nw%5)})
 		if err != nil {
 			return false
 		}
@@ -97,7 +98,7 @@ func TestTriCountIgnoresSelfLoopsAndParallelEdges(t *testing.T) {
 	g.AddEdge(0, 1, 1) // parallel
 	g.AddEdge(1, 2, 1)
 	g.AddEdge(2, 0, 1)
-	res, _, err := RunTriCount(g, engine.Options{Workers: 2})
+	res, _, err := RunTriCount(context.Background(), g, engine.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

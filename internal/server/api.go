@@ -74,6 +74,14 @@ func (r QueryResponse) MarshalJSON() ([]byte, error) {
 	return json.Marshal(wire{r.Graph, r.Epoch, r.Program, r.Canonical, r.Cached, raw, r.Stats})
 }
 
+// Health is the GET /healthz liveness answer: the process serves HTTP and
+// reports how many graphs are resident. The serve-smoke CI job (and any
+// orchestrator) polls it as the readiness gate before sending queries.
+type Health struct {
+	OK     bool `json:"ok"`
+	Graphs int  `json:"graphs"`
+}
+
 // GraphInfo describes one resident graph.
 type GraphInfo struct {
 	Name     string `json:"name"`

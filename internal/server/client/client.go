@@ -83,6 +83,17 @@ func (c *Client) Stats(ctx context.Context) (*metrics.ServingSnapshot, error) {
 	return &out, nil
 }
 
+// Healthz probes the server's liveness endpoint; the returned Health also
+// carries the resident graph count. Use it as a readiness wait after
+// starting grape-serve.
+func (c *Client) Healthz(ctx context.Context) (*server.Health, error) {
+	var out server.Health
+	if err := c.get(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Distances decodes an sssp result (vertex -> distance).
 func (r *QueryResult) Distances() (map[graph.ID]float64, error) {
 	out := map[graph.ID]float64{}

@@ -14,10 +14,12 @@ import (
 //	POST /update  MutateRequest -> MutateResponse
 //	GET  /graphs  -> []GraphInfo
 //	GET  /stats   -> metrics.ServingSnapshot
+//	GET  /healthz -> Health (liveness + resident graph count; readiness probe)
 //
 // Errors come back as {"error": "..."} with 400 (bad query), 404 (unknown
-// graph/program), 429 (admission queue full), 504 (deadline exceeded) or
-// 500 (run failure).
+// graph/program), 429 (admission queue full), 504 (deadline exceeded or
+// client gone — the engine run is cancelled with the request unless
+// Config.DetachRuns) or 500 (run failure).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -39,7 +41,7 @@ func (s *Server) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := s.Mutate(req.Graph, req.Edges)
+		resp, err := s.Mutate(r.Context(), req.Graph, req.Edges)
 		if err != nil {
 			writeErr(w, statusOf(err), err)
 			return
@@ -51,6 +53,9 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Health())
 	})
 	return mux
 }

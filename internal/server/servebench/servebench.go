@@ -10,7 +10,9 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -90,4 +92,70 @@ func Drive(b *testing.B, url string, nClients int, cached bool) {
 	default:
 	}
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+}
+
+// OverloadClients is the client count of the overload scenario: far more
+// concurrent clients than run slots, so queries queue and doomed deadlines
+// expire mid-run — the shape the cancellation redesign exists for.
+const OverloadClients = 64
+
+// MeasureRunLatency times uncached runs (call Warm first so the layout
+// exists) and returns the median — the baseline the overload scenario's
+// 50% deadline is computed from.
+func MeasureRunLatency(url string) (time.Duration, error) {
+	c := client.New(url, nil)
+	var ds []time.Duration
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		_, err := c.Query(context.Background(), server.QueryRequest{Graph: "road", Program: "sssp",
+			Query: fmt.Sprintf("source=%d", i%Sources), NoCache: true})
+		if err != nil {
+			return 0, err
+		}
+		ds = append(ds, time.Since(start))
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2], nil
+}
+
+// RunOverload is the overload scenario proper: nClients concurrent client
+// goroutines issue perClient uncached queries each; every other client
+// attaches the given per-request deadline (callers size it to a solo run's
+// latency: trivially met idle, hopeless under overload, so those requests
+// are abandoned moments after their runs start), the rest run unbounded. It returns goodput — successful queries
+// per second — and the fraction of requests that succeeded. With run
+// cancellation a doomed query frees its workers at the next superstep
+// barrier; with Config.DetachRuns it burns a run slot to convergence, and
+// the goodput gap between the two servers is the capacity the redesign
+// reclaims. A fixed request count (not a b.N ramp) keeps the measurement
+// out of the small-sample regime where one slow request dominates.
+func RunOverload(url string, nClients, perClient int, deadline time.Duration) (goodqps, goodfrac float64) {
+	var good atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < nClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := client.New(url, &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}})
+			doomed := w%2 == 0 // the 50%-deadline half
+			for i := 0; i < perClient; i++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if doomed {
+					ctx, cancel = context.WithTimeout(ctx, deadline)
+				}
+				req := server.QueryRequest{Graph: "road", Program: "sssp",
+					Query: fmt.Sprintf("source=%d", (w+i)%Sources), NoCache: true}
+				if _, err := c.Query(ctx, req); err == nil {
+					good.Add(1)
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := nClients * perClient
+	return float64(good.Load()) / elapsed.Seconds(), float64(good.Load()) / float64(total)
 }

@@ -46,6 +46,14 @@ type Config struct {
 	MaxQueue int
 	// QueryTimeout bounds one query's queue wait plus run. Default 60s.
 	QueryTimeout time.Duration
+	// DetachRuns restores the pre-cancellation behavior: a query whose
+	// client disconnected or whose deadline expired keeps its engine run
+	// alive to completion and still populates the result cache. The default
+	// (false) cancels the run instead — the abandoned query's workers stop
+	// within one superstep and the capacity goes to live queries, which is
+	// the right trade under overload (grape-bench's overload rows measure
+	// the difference).
+	DetachRuns bool
 	// CacheEntries sizes the result cache; < 0 disables it. Default 256.
 	CacheEntries int
 	// Store, if non-nil, backs the graph namespace: a query naming a graph
@@ -212,6 +220,13 @@ func (s *Server) Graphs() []GraphInfo {
 	return out
 }
 
+// Health reports liveness plus the resident graph count (GET /healthz).
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Health{OK: true, Graphs: len(s.graphs)}
+}
+
 // Stats snapshots the serving metrics plus the scheduler gauges.
 func (s *Server) Stats() metrics.ServingSnapshot {
 	queued, inFlight := s.sched.gauges()
@@ -309,10 +324,12 @@ func (slot *layoutSlot) runnerFor(e engine.Entry) (engine.ResidentRunner, error)
 }
 
 // Query answers one request: parse, try the cache, pass admission, run on
-// the resident layout, cache and return. The request's share of wall time is
-// bounded by Config.QueryTimeout (or a sooner ctx deadline); a timed-out
-// run keeps its slot until it finishes and still populates the cache, so the
-// work is not wasted.
+// the resident layout, cache and return. The request's context threads all
+// the way down — queue wait (scheduler admission), then the engine fixpoint
+// itself — and is bounded by Config.QueryTimeout (or a sooner ctx deadline
+// or client disconnect): an abandoned run is cancelled at its next
+// superstep barrier and its workers freed, unless Config.DetachRuns opts
+// back into run-to-completion-and-cache.
 func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	start := time.Now()
 	resp, cached, err := s.query(ctx, req, start)
@@ -396,9 +413,14 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 
 	// The run holds rg.mu for read end to end: a mutation can bump the
 	// epoch before or after this block, never during it, so the result is
-	// cached under exactly the epoch it was computed against. The slot is
-	// released when the run finishes even if the request timed out — the
-	// answer still lands in the cache.
+	// cached under exactly the epoch it was computed against. The run
+	// inherits the request context (unless DetachRuns), so a request that
+	// times out or disconnects takes its engine run down with it at the
+	// next superstep barrier; only completed runs reach the cache.
+	runCtx := ctx
+	if s.cfg.DetachRuns {
+		runCtx = context.WithoutCancel(ctx)
+	}
 	type outcome struct {
 		epoch      uint64
 		cached     bool
@@ -435,7 +457,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 			done <- outcome{err: err}
 			return
 		}
-		res, st, err := runner.RunParsed(pq)
+		res, st, err := runner.RunParsed(runCtx, pq)
 		if err != nil {
 			done <- outcome{err: err}
 			return
@@ -466,7 +488,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 // answer is primed into the cache under the new epoch (the session program
 // is CC — it accepts any directed graph and supports bounded incremental
 // updates). Mutations require a directed graph, as sessions do.
-func (s *Server) Mutate(name string, edges []EdgeJSON) (*MutateResponse, error) {
+func (s *Server) Mutate(ctx context.Context, name string, edges []EdgeJSON) (*MutateResponse, error) {
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("%w: empty edge list", ErrBadQuery)
 	}
@@ -481,7 +503,7 @@ func (s *Server) Mutate(name string, edges []EdgeJSON) (*MutateResponse, error) 
 		if err != nil {
 			return nil, err
 		}
-		sess, _, _, err := engine.NewSession(rg.g, queries.CC{}, queries.CCQuery{},
+		sess, _, _, err := engine.NewSession(ctx, rg.g, queries.CC{}, queries.CCQuery{},
 			engine.Options{Workers: s.cfg.Workers, Strategy: strat})
 		if err != nil {
 			return nil, fmt.Errorf("server: starting update session for %q: %w", name, err)
@@ -492,15 +514,25 @@ func (s *Server) Mutate(name string, edges []EdgeJSON) (*MutateResponse, error) 
 	for i, e := range edges {
 		ups[i] = engine.EdgeUpdate{From: graph.ID(e.From), To: graph.ID(e.To), W: e.W, Label: e.Label}
 	}
-	ccRes, st, err := rg.sess.Update(ups)
-	// The session applies updates one by one; an error partway through may
-	// have mutated the graph already. Invalidate unconditionally.
+	ccRes, st, err := rg.sess.Update(ctx, ups)
+	if err != nil && !rg.sess.Broken() {
+		// The session's pre-mutation validation rejected the batch: nothing
+		// was applied, nothing to invalidate — the epoch, layouts, cache and
+		// session all stay. Surface it as bad input (HTTP 400).
+		return nil, fmt.Errorf("%w: mutating %q: %v", ErrBadQuery, name, err)
+	}
+	// Past validation the session applies updates one by one; an error (or
+	// a cancellation) partway through has mutated the graph already.
+	// Invalidate unconditionally, and drop the now-broken session — its
+	// retained partial results are not trustworthy; the next mutation
+	// starts a fresh session over the mutated base graph.
 	rg.epoch++
 	rg.lmu.Lock()
 	rg.layouts = make(map[layoutKey]*layoutSlot)
 	rg.lmu.Unlock()
 	rg.g.Freeze() // session mutation thawed the base graph; next cut wants CSR
 	if err != nil {
+		rg.sess = nil
 		return nil, fmt.Errorf("server: mutating %q: %w", name, err)
 	}
 	rs := RunStats{Supersteps: st.Supersteps, Messages: st.Messages, Bytes: st.Bytes, WallMs: st.WallTime.Seconds() * 1e3}

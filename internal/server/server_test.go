@@ -48,6 +48,9 @@ func TestEveryProgramCovered(t *testing.T) {
 		covered[c.program] = true
 	}
 	for _, e := range engine.Library() {
+		if e.Name == "server-spinner" {
+			continue // cancellation-test fixture registered by cancel_test.go
+		}
 		if !covered[e.Name] {
 			t.Errorf("registered program %q has no serving test case", e.Name)
 		}
@@ -82,7 +85,7 @@ func TestServerMatchesEngineRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, _, err := e.Run(gs[c.graph], engine.Options{Workers: 8, Strategy: strat}, c.query)
+			want, _, err := e.Run(context.Background(), gs[c.graph], engine.Options{Workers: 8, Strategy: strat}, c.query)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +113,7 @@ func TestServerConcurrentQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, _, err := e.Run(gs[c.graph], engine.Options{Workers: 4, Strategy: partition.Hash{}}, c.query)
+		res, _, err := e.Run(context.Background(), gs[c.graph], engine.Options{Workers: 4, Strategy: partition.Hash{}}, c.query)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +221,7 @@ func TestMutateBumpsEpochAndInvalidates(t *testing.T) {
 			best, target = d, v
 		}
 	}
-	mut, err := s.Mutate("road", []EdgeJSON{{From: 0, To: int64(target), W: 0.01}})
+	mut, err := s.Mutate(context.Background(), "road", []EdgeJSON{{From: 0, To: int64(target), W: 0.01}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +241,7 @@ func TestMutateBumpsEpochAndInvalidates(t *testing.T) {
 	if got := after.Result.(map[graph.ID]float64)[target]; got != 0.01 {
 		t.Fatalf("distance to %d after shortcut = %g, want 0.01", target, got)
 	}
-	want, _, err := engine.Run(gs["road"], queries.SSSP{}, queries.SSSPQuery{Source: 0},
+	want, _, err := engine.Run(context.Background(), gs["road"], queries.SSSP{}, queries.SSSPQuery{Source: 0},
 		engine.Options{Workers: 4, Strategy: partition.Hash{}})
 	if err != nil {
 		t.Fatal(err)
@@ -256,7 +259,7 @@ func TestMutateBumpsEpochAndInvalidates(t *testing.T) {
 		t.Fatal("cc answer was not primed by the mutation")
 	}
 	// ...and identical to a fresh run
-	wantCC, _, err := engine.Run(gs["road"], queries.CC{}, queries.CCQuery{},
+	wantCC, _, err := engine.Run(context.Background(), gs["road"], queries.CC{}, queries.CCQuery{},
 		engine.Options{Workers: 4, Strategy: partition.Hash{}})
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +291,7 @@ func TestServerErrors(t *testing.T) {
 			}
 		})
 	}
-	if _, err := s.Mutate("ratings", []EdgeJSON{{From: 0, To: 1, W: 1}}); err == nil {
+	if _, err := s.Mutate(context.Background(), "ratings", []EdgeJSON{{From: 0, To: 1, W: 1}}); err == nil {
 		t.Fatal("mutating an undirected graph must fail (sessions are directed-only)")
 	}
 }
@@ -362,7 +365,7 @@ func TestReplacedGraphCannotServeStaleCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// mutate (primes cc under the old instance's key space) then replace
-	if _, err := s.Mutate("g", []EdgeJSON{{From: 0, To: 63, W: 0.5}}); err != nil {
+	if _, err := s.Mutate(context.Background(), "g", []EdgeJSON{{From: 0, To: 63, W: 0.5}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.AddGraph("g", gen.RoadGrid(12, 12, 2)); err != nil {

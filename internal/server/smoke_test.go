@@ -78,6 +78,20 @@ func TestServeSmoke(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
+	// Readiness wait: poll GET /healthz until the process answers and all 4
+	// preloaded graphs are resident — the same probe an orchestrator would
+	// use, so the liveness endpoint itself is under test here.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		h, err := c.Healthz(ctx)
+		if err == nil && h.OK && h.Graphs == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("grape-serve not healthy in time: healthz=%+v err=%v", h, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
 	// the same datasets the server preloaded (identical facade calls, same
 	// seed), for ground truth
 	road := grape.RoadGrid(24, 24, seed)
@@ -170,7 +184,7 @@ func TestServeSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, _, err := e.Run(ratings, engine.Options{Workers: 8, Strategy: strat}, "epochs=5")
+		res, _, err := e.Run(context.Background(), ratings, engine.Options{Workers: 8, Strategy: strat}, "epochs=5")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -20,6 +20,7 @@
 package simulate
 
 import (
+	"context"
 	"sort"
 
 	"grape/internal/engine"
@@ -193,6 +194,6 @@ func (a Adapter) Assemble(_ Query, ctxs []*engine.Context[msgQueue]) (VCResult, 
 }
 
 // Run executes the vertex program under GRAPE.
-func Run(g *graph.Graph, prog vertexcentric.Program, opts engine.Options) (VCResult, *metrics.Stats, error) {
-	return engine.Run(g, Adapter{Prog: prog}, Query{}, opts)
+func Run(ctx context.Context, g *graph.Graph, prog vertexcentric.Program, opts engine.Options) (VCResult, *metrics.Stats, error) {
+	return engine.Run(ctx, g, Adapter{Prog: prog}, Query{}, opts)
 }

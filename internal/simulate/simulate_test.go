@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestSimulatedSSSPMatchesNativePregel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, sStats, err := Run(g, vertexcentric.SSSPProgram{Source: 0},
+	sim, sStats, err := Run(context.Background(), g, vertexcentric.SSSPProgram{Source: 0},
 		engine.Options{Workers: 4, Strategy: partition.Hash{}})
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +46,7 @@ func TestSimulatedSSSPMatchesNativePregel(t *testing.T) {
 func TestSimulatedSSSPMatchesDijkstra(t *testing.T) {
 	g := gen.RoadGrid(12, 12, 5)
 	want := seq.Dijkstra(g, 0)
-	sim, _, err := Run(g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: 3})
+	sim, _, err := Run(context.Background(), g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestSimulatedPageRankMatchesNative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, sStats, err := Run(g, prog, engine.Options{Workers: 4})
+	sim, sStats, err := Run(context.Background(), g, prog, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSimulatedCCMatchesSequential(t *testing.T) {
 	// needs the symmetrized graph for weak connectivity.
 	g := gen.Random(100, 140, 9)
 	want := seq.Components(g)
-	sim, _, err := Run(g.Symmetrized(), vertexcentric.CCProgram{}, engine.Options{Workers: 5})
+	sim, _, err := Run(context.Background(), g.Symmetrized(), vertexcentric.CCProgram{}, engine.Options{Workers: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestSimulatedSingleWorkerPageRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, _, err := Run(g, prog, engine.Options{Workers: 1})
+	sim, _, err := Run(context.Background(), g, prog, engine.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

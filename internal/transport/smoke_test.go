@@ -1,6 +1,7 @@
 package transport_test
 
 import (
+	"context"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -65,7 +66,7 @@ func TestDistributedSmoke(t *testing.T) {
 	t.Run("sssp", func(t *testing.T) {
 		g := gen.RoadGrid(48, 48, 1)
 		tr, _ := listen(t)
-		got, stats, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+		got, stats, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 			engine.Options{Workers: workers, Transport: tr})
 		if err != nil {
 			t.Fatal(err)
@@ -73,7 +74,7 @@ func TestDistributedSmoke(t *testing.T) {
 		if want := seq.Dijkstra(g, 0); !reflect.DeepEqual(got, want) {
 			t.Fatalf("distributed SSSP differs from sequential Dijkstra (%d vs %d vertices)", len(got), len(want))
 		}
-		busRes, busStats, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+		busRes, busStats, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 			engine.Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
@@ -92,7 +93,7 @@ func TestDistributedSmoke(t *testing.T) {
 			g.AddVertex(graph.ID(v), "")
 		}
 		tr, _ := listen(t)
-		got, stats, err := engine.Run(g, queries.CC{}, queries.CCQuery{},
+		got, stats, err := engine.Run(context.Background(), g, queries.CC{}, queries.CCQuery{},
 			engine.Options{Workers: workers, Transport: tr})
 		if err != nil {
 			t.Fatal(err)
@@ -100,7 +101,7 @@ func TestDistributedSmoke(t *testing.T) {
 		if want := seq.Components(g); !reflect.DeepEqual(got, want) {
 			t.Fatal("distributed CC differs from sequential union-find")
 		}
-		busRes, busStats, err := engine.Run(g, queries.CC{}, queries.CCQuery{},
+		busRes, busStats, err := engine.Run(context.Background(), g, queries.CC{}, queries.CCQuery{},
 			engine.Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)

@@ -27,10 +27,18 @@
 // run error; sends to a broken link are dropped (the subsequent Recv fails
 // the run). The transport adds no retries — a lost worker fails the run, as
 // it would in the paper's MPI setting.
+//
+// Cancellation: the coordinator's Recv is context-aware, so a cancelled run
+// stops waiting at the superstep barrier immediately; the engine then
+// broadcasts an abort command frame that makes each worker process discard
+// the run (engine.ErrAborted), and the setup frame carries the run deadline
+// so a worker bounds itself even if the coordinator dies first. Both were
+// added in protocol version 2.
 package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -54,8 +62,13 @@ func retryableDial(err error) bool {
 }
 
 const (
-	magic   = "GRPW"
-	version = 1
+	magic = "GRPW"
+	// version 2 added run cancellation to the protocol: the abort command
+	// frame (coordinator → worker, "discard the run and exit") and the
+	// deadline field of the setup frame (see internal/engine's wire layer).
+	// A version-1 worker would ignore both and keep computing a cancelled
+	// run, so mismatched binaries are rejected at the handshake.
+	version = 2
 	// maxFrame caps a single frame: fragments of very large graphs dominate
 	// frame sizes; 1 GiB is far beyond anything this repo generates while
 	// still bounding a corrupted length prefix.
@@ -190,19 +203,33 @@ func (c *Coordinator) Send(e mpi.Envelope) {
 }
 
 // Recv blocks until any worker delivers a frame (party must be
-// mpi.Coordinator; workers hold their own WorkerConn in their own process).
-// A broken link yields an Envelope with a nil Frame and the error in
-// Payload.
-func (c *Coordinator) Recv(party int) mpi.Envelope {
+// mpi.Coordinator; workers hold their own WorkerConn in their own process)
+// or ctx is done, in which case the engine is abandoning the superstep —
+// it will broadcast abort frames and return. A broken link yields an
+// Envelope with a nil Frame and the error in Payload.
+func (c *Coordinator) Recv(ctx context.Context, party int) (mpi.Envelope, error) {
 	if party != mpi.Coordinator {
 		panic(fmt.Sprintf("transport: coordinator cannot receive for party %d", party))
 	}
-	env := <-c.inbox
-	if env.Size > 0 {
-		c.msgs.Add(1)
-		c.bytes.Add(int64(env.Size))
+	done := ctx.Done()
+	if done == nil {
+		env := <-c.inbox
+		if env.Size > 0 {
+			c.msgs.Add(1)
+			c.bytes.Add(int64(env.Size))
+		}
+		return env, nil
 	}
-	return env
+	select {
+	case env := <-c.inbox:
+		if env.Size > 0 {
+			c.msgs.Add(1)
+			c.bytes.Add(int64(env.Size))
+		}
+		return env, nil
+	case <-done:
+		return mpi.Envelope{}, ctx.Err()
+	}
 }
 
 // Messages returns the number of data messages metered so far.

@@ -1,6 +1,7 @@
 package transport_test
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"reflect"
@@ -43,7 +44,7 @@ func startWorkers(t *testing.T, n int) (*transport.Coordinator, func()) {
 				return
 			}
 			defer conn.Close()
-			errs[i] = engine.ServeWorker(conn)
+			errs[i] = engine.ServeWorker(context.Background(), conn)
 		}(i)
 	}
 	tr, err := l.AcceptWorkers(n, 10*time.Second)
@@ -109,7 +110,7 @@ func TestWireMatchesBus(t *testing.T) {
 	t.Run("sssp", func(t *testing.T) {
 		g := gen.RoadGrid(24, 24, 1)
 		busRes, wireRes, b, w := runBoth(t, 4, func(opts engine.Options) (map[graph.ID]float64, *metrics.Stats, error) {
-			return engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0}, opts)
+			return engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0}, opts)
 		})
 		checkParity(t, busRes, wireRes, b, w)
 		want := seq.Dijkstra(g, 0)
@@ -120,7 +121,7 @@ func TestWireMatchesBus(t *testing.T) {
 	t.Run("cc", func(t *testing.T) {
 		g := gen.PreferentialAttachment(800, 3, 2)
 		busRes, wireRes, b, w := runBoth(t, 4, func(opts engine.Options) (map[graph.ID]graph.ID, *metrics.Stats, error) {
-			return engine.Run(g, queries.CC{}, queries.CCQuery{}, opts)
+			return engine.Run(context.Background(), g, queries.CC{}, queries.CCQuery{}, opts)
 		})
 		checkParity(t, busRes, wireRes, b, w)
 		if want := seq.Components(g); !reflect.DeepEqual(busRes, want) {
@@ -139,7 +140,7 @@ func TestWireMatchesBus(t *testing.T) {
 		p.AddEdge(0, 1, 1)
 		p.AddEdge(1, 0, 1)
 		busRes, wireRes, b, w := runBoth(t, 4, func(opts engine.Options) (queries.SimResult, *metrics.Stats, error) {
-			return engine.Run(g, queries.Sim{}, queries.SimQuery{Pattern: p}, opts)
+			return engine.Run(context.Background(), g, queries.Sim{}, queries.SimQuery{Pattern: p}, opts)
 		})
 		checkParity(t, busRes, wireRes, b, w)
 	})
@@ -154,7 +155,7 @@ func TestWireMatchesBus(t *testing.T) {
 		p.AddVertex(1, "y")
 		p.AddEdge(0, 1, 1)
 		busRes, wireRes, b, w := runBoth(t, 4, func(opts engine.Options) ([]seq.Match, *metrics.Stats, error) {
-			return queries.RunSubIso(g, queries.SubIsoQuery{Pattern: p}, opts)
+			return queries.RunSubIso(context.Background(), g, queries.SubIsoQuery{Pattern: p}, opts)
 		})
 		checkParity(t, busRes, wireRes, b, w)
 	})
@@ -163,7 +164,7 @@ func TestWireMatchesBus(t *testing.T) {
 		gen.AttachKeywords(g, []string{"db", "graph", "ml"}, 2, 0.15, 31)
 		q := queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 12, UseIndex: true}
 		busRes, wireRes, b, w := runBoth(t, 4, func(opts engine.Options) ([]seq.KeywordMatch, *metrics.Stats, error) {
-			return engine.Run(g, queries.Keyword{}, q, opts)
+			return engine.Run(context.Background(), g, queries.Keyword{}, q, opts)
 		})
 		checkParity(t, busRes, wireRes, b, w)
 	})
@@ -172,14 +173,14 @@ func TestWireMatchesBus(t *testing.T) {
 		cfg := seq.DefaultCFConfig()
 		cfg.Epochs = 4
 		busRes, wireRes, b, w := runBoth(t, 4, func(opts engine.Options) (queries.CFResult, *metrics.Stats, error) {
-			return engine.Run(g, queries.CF{}, queries.CFQuery{Cfg: cfg}, opts)
+			return engine.Run(context.Background(), g, queries.CF{}, queries.CFQuery{Cfg: cfg}, opts)
 		})
 		checkParity(t, busRes, wireRes, b, w)
 	})
 	t.Run("tricount", func(t *testing.T) {
 		g := gen.Random(120, 480, 7)
 		busRes, wireRes, b, w := runBoth(t, 4, func(opts engine.Options) (queries.TriCountResult, *metrics.Stats, error) {
-			return queries.RunTriCount(g, opts)
+			return queries.RunTriCount(context.Background(), g, opts)
 		})
 		checkParity(t, busRes, wireRes, b, w)
 		if want := queries.SeqTriangles(g); busRes.Total != want {
@@ -205,12 +206,15 @@ func (r *recordingTransport) Send(e mpi.Envelope) {
 	r.Coordinator.Send(e)
 }
 
-func (r *recordingTransport) Recv(party int) mpi.Envelope {
-	e := r.Coordinator.Recv(party)
+func (r *recordingTransport) Recv(ctx context.Context, party int) (mpi.Envelope, error) {
+	e, err := r.Coordinator.Recv(ctx, party)
+	if err != nil {
+		return e, err
+	}
 	r.mu.Lock()
 	r.recv = append(r.recv, e)
 	r.mu.Unlock()
-	return e
+	return e, nil
 }
 
 // TestWireBytesAreEncodedLengths audits the satellite requirement that byte
@@ -223,7 +227,7 @@ func TestWireBytesAreEncodedLengths(t *testing.T) {
 	inner, finish := startWorkers(t, 4)
 	defer finish()
 	rec := &recordingTransport{Coordinator: inner}
-	res, stats, err := engine.Run(g, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 4, Transport: rec})
+	res, stats, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 4, Transport: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +300,7 @@ func TestWorkerErrorPropagates(t *testing.T) {
 	}
 	tr, finish := startWorkers(t, 2)
 	defer finish()
-	_, _, err := engine.Run(g, queries.Sim{}, queries.SimQuery{Pattern: p}, engine.Options{Workers: 2, Transport: tr})
+	_, _, err := engine.Run(context.Background(), g, queries.Sim{}, queries.SimQuery{Pattern: p}, engine.Options{Workers: 2, Transport: tr})
 	if err == nil || !strings.Contains(err.Error(), "max 64") {
 		t.Fatalf("expected the worker's PEval error, got: %v", err)
 	}
@@ -306,13 +310,13 @@ func TestWorkerErrorPropagates(t *testing.T) {
 // runs; it must never be reached.
 type fakeWire struct{ n int }
 
-func (f fakeWire) Workers() int          { return f.n }
-func (f fakeWire) Send(mpi.Envelope)     { panic("unreachable") }
-func (f fakeWire) Recv(int) mpi.Envelope { panic("unreachable") }
-func (f fakeWire) Messages() int64       { return 0 }
-func (f fakeWire) Bytes() int64          { return 0 }
-func (f fakeWire) AddTraffic(_, _ int64) {}
-func (f fakeWire) Wire() bool            { return true }
+func (f fakeWire) Workers() int                                    { return f.n }
+func (f fakeWire) Send(mpi.Envelope)                               { panic("unreachable") }
+func (f fakeWire) Recv(context.Context, int) (mpi.Envelope, error) { panic("unreachable") }
+func (f fakeWire) Messages() int64                                 { return 0 }
+func (f fakeWire) Bytes() int64                                    { return 0 }
+func (f fakeWire) AddTraffic(_, _ int64)                           {}
+func (f fakeWire) Wire() bool                                      { return true }
 
 // plainProgram is a PIE program without a wire codec.
 type plainProgram struct{}
@@ -327,7 +331,7 @@ func (plainProgram) Assemble(q queries.SSSPQuery, ctxs []*engine.Context[float64
 
 func TestNoWireSupportFailsFast(t *testing.T) {
 	g := gen.RoadGrid(4, 4, 1)
-	_, _, err := engine.Run(g, plainProgram{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 2, Transport: fakeWire{n: 2}})
+	_, _, err := engine.Run(context.Background(), g, plainProgram{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 2, Transport: fakeWire{n: 2}})
 	if !errors.Is(err, engine.ErrNoWireSupport) {
 		t.Fatalf("expected ErrNoWireSupport, got: %v", err)
 	}
