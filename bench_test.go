@@ -429,7 +429,7 @@ func BenchmarkScalingGap(b *testing.B) {
 			var rows []experiments.GapRow
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, err = experiments.ScalingGap([]int{side}, 8)
+				rows, err = experiments.ScalingGap(context.Background(), []int{side}, 8)
 				if err != nil {
 					b.Fatal(err)
 				}

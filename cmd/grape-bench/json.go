@@ -44,7 +44,7 @@ type benchMatrix struct {
 // writes it as JSON. The same numbers `go test -bench` reports, but runnable
 // without the test harness (CI's bench-smoke job uploads the artifact, and
 // BENCH_PR*.json baselines are committed from it).
-func runJSONBench(sc experiments.Scale, path string) error {
+func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error {
 	road := sc.Road()
 	social := sc.Social()
 	commerce := sc.Commerce()
@@ -69,40 +69,40 @@ func runJSONBench(sc experiments.Scale, path string) error {
 		run  func() (*metrics.Stats, error)
 	}{
 		{"fold/sssp", func() (*metrics.Stats, error) {
-			_, st, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+			_, st, err := engine.RunOnLayout(ctx, layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 			return st, err
 		}},
 		{"fold/cc", func() (*metrics.Stats, error) {
-			_, st, err := engine.RunOnLayout(context.Background(), layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
+			_, st, err := engine.RunOnLayout(ctx, layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
 			return st, err
 		}},
 		{"e2e/sssp", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(context.Background(), road, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 8, Strategy: spatial})
+			_, st, err := engine.Run(ctx, road, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 8, Strategy: spatial})
 			return st, err
 		}},
 		{"e2e/cc", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(context.Background(), road, queries.CC{}, queries.CCQuery{}, engine.Options{Workers: 8, Strategy: spatial})
+			_, st, err := engine.Run(ctx, road, queries.CC{}, queries.CCQuery{}, engine.Options{Workers: 8, Strategy: spatial})
 			return st, err
 		}},
 		{"e2e/sim", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(context.Background(), commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern}, engine.Options{Workers: 8})
+			_, st, err := engine.Run(ctx, commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern}, engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"e2e/subiso", func() (*metrics.Stats, error) {
-			_, st, err := queries.RunSubIso(context.Background(), commerce, queries.SubIsoQuery{Pattern: pattern}, engine.Options{Workers: 8})
+			_, st, err := queries.RunSubIso(ctx, commerce, queries.SubIsoQuery{Pattern: pattern}, engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"e2e/keyword", func() (*metrics.Stats, error) {
 			q := queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true}
-			_, st, err := engine.Run(context.Background(), social, queries.Keyword{}, q, engine.Options{Workers: 8})
+			_, st, err := engine.Run(ctx, social, queries.Keyword{}, q, engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"e2e/cf", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(context.Background(), ratings, queries.CF{}, queries.CFQuery{Cfg: cfg}, engine.Options{Workers: 8})
+			_, st, err := engine.Run(ctx, ratings, queries.CF{}, queries.CFQuery{Cfg: cfg}, engine.Options{Workers: 8})
 			return st, err
 		}},
 		{"e2e/tricount", func() (*metrics.Stats, error) {
-			_, st, err := queries.RunTriCount(context.Background(), social, engine.Options{Workers: 8})
+			_, st, err := queries.RunTriCount(ctx, social, engine.Options{Workers: 8})
 			return st, err
 		}},
 	}
@@ -138,12 +138,12 @@ func runJSONBench(sc experiments.Scale, path string) error {
 		fmt.Fprintf(os.Stderr, "grape-bench: %-14s %12d ns/op %9d allocs/op %9.1f comm-KB %4d steps\n",
 			tc.name, r.NsPerOp(), r.AllocsPerOp(), float64(last.Bytes)/1e3, last.Supersteps)
 	}
-	serve, err := serveRows(road)
+	serve, err := serveRows(ctx, road)
 	if err != nil {
 		return err
 	}
 	matrix.Rows = append(matrix.Rows, serve...)
-	overload, err := overloadRows(road)
+	overload, err := overloadRows(ctx, road)
 	if err != nil {
 		return err
 	}
@@ -164,7 +164,7 @@ func runJSONBench(sc experiments.Scale, path string) error {
 // a handful of sources, so most requests hit) and off (every request is a
 // full engine run). ns_op is wall time per served query across all clients,
 // so queries/sec = 1e9 / ns_op.
-func serveRows(road *graph.Graph) ([]benchRow, error) {
+func serveRows(ctx context.Context, road *graph.Graph) ([]benchRow, error) {
 	s := server.New(servebench.ServerConfig())
 	if err := s.AddGraph("road", road); err != nil {
 		return nil, err
@@ -179,12 +179,12 @@ func serveRows(road *graph.Graph) ([]benchRow, error) {
 			if !cached {
 				name += "/nocache"
 			}
-			lastSteps, err := servebench.Warm(ts.URL, cached)
+			lastSteps, err := servebench.Warm(ctx, ts.URL, cached)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
 			r := testing.Benchmark(func(b *testing.B) {
-				servebench.Drive(b, ts.URL, clients, cached)
+				servebench.Drive(ctx, b, ts.URL, clients, cached)
 			})
 			rows = append(rows, benchRow{Name: name, NsPerOp: r.NsPerOp(), Steps: lastSteps})
 			fmt.Fprintf(os.Stderr, "grape-bench: %-16s %12d ns/op %12.1f qps\n",
@@ -205,7 +205,7 @@ func serveRows(road *graph.Graph) ([]benchRow, error) {
 // one superstep) and Config.DetachRuns (the PR 4 behavior: the abandoned
 // run burns worker CPU to convergence). Each row's ns_op is nanoseconds
 // per *successful* query, so goodput qps = 1e9/ns_op.
-func overloadRows(road *graph.Graph) ([]benchRow, error) {
+func overloadRows(ctx context.Context, road *graph.Graph) ([]benchRow, error) {
 	type mode struct {
 		name string
 		ts   *httptest.Server
@@ -226,19 +226,19 @@ func overloadRows(road *graph.Graph) ([]benchRow, error) {
 		}
 		m.ts = httptest.NewServer(s.Handler())
 		defer m.ts.Close()
-		if _, err := servebench.Warm(m.ts.URL, false); err != nil {
+		if _, err := servebench.Warm(ctx, m.ts.URL, false); err != nil {
 			return nil, fmt.Errorf("overload/%s: %w", m.name, err)
 		}
 	}
 	// One shared deadline for both modes: per-mode measurement would hand
 	// one of them a systematically more generous budget.
-	deadline, err := servebench.MeasureRunLatency(modes[0].ts.URL)
+	deadline, err := servebench.MeasureRunLatency(ctx, modes[0].ts.URL)
 	if err != nil {
 		return nil, err
 	}
 	for round := 0; round < 3; round++ {
 		for _, m := range modes {
-			qps, frac := servebench.RunOverload(m.ts.URL, servebench.OverloadClients, 8, deadline)
+			qps, frac := servebench.RunOverload(ctx, m.ts.URL, servebench.OverloadClients, 8, deadline)
 			m.qps = append(m.qps, qps)
 			fmt.Fprintf(os.Stderr, "grape-bench: overload/c%d/%s round %d: %.1f good-qps (%.0f%% succeeded)\n",
 				servebench.OverloadClients, m.name, round, qps, 100*frac)

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,6 +42,7 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx := context.Background()
 	sc := experiments.DefaultScale()
 	sc.RoadRows, sc.RoadCols, sc.SocialN, sc.Seed = *rows, *cols, *socialN, *seed
 
@@ -51,7 +53,7 @@ func main() {
 			sc.People, sc.Products = 600, 8
 			sc.Users, sc.Items = 150, 40
 		}
-		if err := runJSONBench(sc, *jsonOut); err != nil {
+		if err := runJSONBench(ctx, sc, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -62,20 +64,20 @@ func main() {
 	run := func(name string) {
 		switch name {
 		case "table1":
-			rows, err := experiments.Table1(sc, *workers, cm)
+			rows, err := experiments.Table1(ctx, sc, *workers, cm)
 			exitIf(err)
 			experiments.PrintRows(out, fmt.Sprintf("Table 1: SSSP on road network (%dx%d grid, %d workers)", sc.RoadRows, sc.RoadCols, *workers), rows)
 			fmt.Fprintln(out, "paper shape: GRAPE << Blogel << GraphLab ~ Giraph in time; GRAPE ships orders of magnitude less data")
 		case "partition":
-			rows, err := experiments.PartitionImpact(sc, 16, cm)
+			rows, err := experiments.PartitionImpact(ctx, sc, 16, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Partition impact: SSSP on social graph, 16 workers (paper: METIS 18.3s/7.5M msgs vs streaming 30s/40M)", rows)
 		case "scaleup":
-			rows, err := experiments.ScaleUp(sc, []int{4, 8, 16, 24, 32}, cm)
+			rows, err := experiments.ScaleUp(ctx, sc, []int{4, 8, 16, 24, 32}, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Scale-up: GRAPE SSSP and CC, growing workers (Fig. 3(4))", rows)
 		case "bounded":
-			bounded, recompute, steps, err := experiments.BoundedIncEval(sc, *workers, cm)
+			bounded, recompute, steps, err := experiments.BoundedIncEval(ctx, sc, *workers, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Bounded IncEval vs recompute (Example 1(d))", []experiments.Row{bounded, recompute})
 			fmt.Fprintln(out, "per-superstep critical-path work (bounded vs recompute; fragment ≈", steps[0].FragmentSz, "vertices):")
@@ -83,35 +85,35 @@ func main() {
 				fmt.Fprintf(out, "  superstep %3d: bounded %8d   recompute %8d\n", s.Superstep, s.MaxWork, s.RecomputeWork)
 			}
 		case "gpar":
-			rows, err := experiments.GPARScale(sc, []int{1, 2, 4, 8, 16}, cm)
+			rows, err := experiments.GPARScale(ctx, sc, []int{1, 2, 4, 8, 16}, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "GPAR social-media marketing (Fig. 4): more workers, faster", rows)
 		case "simtheorem":
-			rows, err := experiments.SimTheorem(sc, 8, cm)
+			rows, err := experiments.SimTheorem(ctx, sc, 8, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Simulation Theorem: Pregel programs on GRAPE, superstep parity", rows)
 		case "index":
-			rows, err := experiments.IndexAblation(sc, 8, cm)
+			rows, err := experiments.IndexAblation(ctx, sc, 8, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Graph-level optimization: keyword search with/without inverted index", rows)
 		case "library":
-			rows, err := experiments.QueryLibrary(sc, 8, cm)
+			rows, err := experiments.QueryLibrary(ctx, sc, 8, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Query-class library: all six registered PIE programs", rows)
 		case "tablecc":
-			rows, err := experiments.TableCC(sc, *workers, cm)
+			rows, err := experiments.TableCC(ctx, sc, *workers, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Table 1 analogue for CC: four systems on the social graph", rows)
 		case "reuse":
-			perQuery, reused, err := experiments.LayoutReuse(sc, 16, 8, cm)
+			perQuery, reused, err := experiments.LayoutReuse(ctx, sc, 16, 8, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Partition Manager amortization: 8 queries, partition per query vs once", []experiments.Row{perQuery, reused})
 		case "async":
-			rows, err := experiments.AsyncAblation(sc, *workers, cm)
+			rows, err := experiments.AsyncAblation(ctx, sc, *workers, cm)
 			exitIf(err)
 			experiments.PrintRows(out, "Async ablation: BSP vs barrier-free execution on a skewed layout", rows)
 		case "gap":
-			rows, err := experiments.ScalingGap([]int{32, 64, 128}, *workers)
+			rows, err := experiments.ScalingGap(ctx, []int{32, 64, 128}, *workers)
 			exitIf(err)
 			fmt.Fprintln(out, "\n== Scaling gap: why Table 1's absolute ratios grow with graph size ==")
 			for _, r := range rows {

@@ -1,0 +1,86 @@
+// Command grapevet is the repo's custom multichecker: five go/analysis-style
+// passes that enforce the engine's cross-substrate invariants (deterministic
+// encode paths, complete pool reset, context-first APIs, dense-index
+// kernels, codec/field coherence). Run it like vet:
+//
+//	go run ./cmd/grapevet ./...
+//
+// It exits 1 when any invariant is violated and prints findings in the
+// file:line:col format editors understand. A finding is waived with a
+// //grapevet:keep <reason> comment on the offending line (or field
+// declaration); CI keeps the tree at zero unwaived findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"grape/internal/analysis"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: grapevet [-run names] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "grapevet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grapevet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grapevet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grapevet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "grapevet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -75,13 +75,15 @@ func (Reach) IncEval(q ReachQuery, ctx *grape.Context[bool]) error {
 	return nil
 }
 
-// Assemble unions the per-fragment reachable sets.
+// Assemble unions the per-fragment reachable sets, reading variables and
+// testing ownership by dense index — no per-vertex hash.
 func (Reach) Assemble(q ReachQuery, ctxs []*grape.Context[bool]) (map[grape.ID]bool, error) {
 	out := make(map[grape.ID]bool)
 	for _, ctx := range ctxs {
-		ctx.Vars(func(id grape.ID, v bool) {
-			if v && ctx.Frag.IsInner(id) {
-				out[id] = true
+		g := ctx.Frag.G
+		ctx.VarsAt(func(i int32, v bool) {
+			if v && ctx.IsInnerAt(i) {
+				out[g.IDAt(i)] = true
 			}
 		})
 	}

@@ -1,0 +1,154 @@
+// Package analysis is grapevet: a suite of custom static-analysis passes
+// enforcing the engine invariants that keep results, comm bytes and
+// supersteps byte-identical across the bus and wire substrates. Generic
+// linters cannot see these rules — they are properties of this codebase's
+// architecture (deterministic encode paths, complete pool reset, context
+// discipline, dense-index kernels, codec/field coherence) — so the tree
+// carries its own checkers and runs them in CI next to staticcheck.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic, testdata-based fixture tests) but is built on the standard
+// library alone: packages are type-checked against `go list -export` data,
+// so the module needs no dependency beyond the Go toolchain.
+//
+// A finding can be waived with a trailing or preceding comment of the form
+//
+//	//grapevet:keep <reason>
+//
+// on the offending line (or, for field-based findings, on the field's
+// declaration). The reason is mandatory by convention and reviewed like
+// code: an unexplained keep is a review rejection, not a compile error.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description printed by grapevet -help.
+	Doc string
+	// Run reports findings on one package through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+	// keep maps file -> set of lines carrying a //grapevet:keep comment.
+	keep map[*token.File]map[int]bool
+}
+
+// A Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// KeepDirective is the comment prefix that waives a finding.
+const KeepDirective = "//grapevet:keep"
+
+// Reportf records a finding at pos unless the line (or the line above it)
+// carries a //grapevet:keep comment.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.SuppressedAt(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SuppressedAt reports whether pos's line or the line directly above it
+// carries a keep directive. Analyzers that attach blame to a different
+// node than they report at (e.g. poolreset blaming a struct field) call
+// this directly.
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	tf := p.Pkg.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	lines := p.keep[tf]
+	if lines == nil {
+		return false
+	}
+	l := tf.Line(pos)
+	return lines[l] || lines[l-1]
+}
+
+func newPass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
+	p := &Pass{Analyzer: a, Pkg: pkg, diags: diags, keep: map[*token.File]map[int]bool{}}
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, KeepDirective) {
+					if p.keep[tf] == nil {
+						p.keep[tf] = map[int]bool{}
+					}
+					p.keep[tf][tf.Line(c.Pos())] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position. An analyzer error aborts the run: a pass that cannot
+// complete is a bug in the pass, not a clean tree.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if err := a.Run(newPass(a, pkg, &diags)); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full grapevet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Mapdet, Poolreset, Ctxfirst, Densepath, Codecfields}
+}
+
+// inspect walks every file of the pass's package.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

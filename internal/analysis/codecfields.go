@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Codecfields guards the wire format against silent drift: for every
+// Encode<S>/Append<S> + Decode<S> pair that serializes a named struct, each
+// exported field of that struct must be referenced in both bodies. Adding a
+// field to a query or wire type and touching only one side compiles cleanly,
+// round-trips in unit tests that never set the field, and ships a wire
+// format that disagrees between coordinator and worker binaries — behind the
+// version handshake, which only catches protocol-version skew, not payload
+// skew.
+//
+// The serialized subject of a pair is resolved from the signatures: the one
+// named struct type that appears on both sides (encode parameters vs decode
+// results/pointer parameters). Pairs with zero or several candidates are
+// skipped — EncodePartial/DecodePartial serialize worker state through
+// *engine.Context, not a declared struct, and are covered by the codec
+// round-trip fuzz instead. A field that is intentionally absent from the
+// encoding carries //grapevet:keep on its declaration.
+var Codecfields = &Analyzer{
+	Name: "codecfields",
+	Doc: "every exported field of a struct with paired Encode*/Append* and Decode* " +
+		"functions must be referenced in both bodies",
+	Run: runCodecfields,
+}
+
+// codecPair is one Encode/Decode family keyed by receiver type and suffix.
+type codecPair struct {
+	encode, decode *ast.FuncDecl
+}
+
+func runCodecfields(p *Pass) error {
+	pairs := map[string]*codecPair{}
+	key := func(fd *ast.FuncDecl, suffix string) string {
+		recv := ""
+		if fd.Recv != nil {
+			recv = recvTypeName(fd)
+		}
+		return recv + "\x00" + suffix
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			switch {
+			case strings.HasPrefix(name, "Encode"):
+				k := key(fd, strings.TrimPrefix(name, "Encode"))
+				pair(pairs, k).encode = fd
+			case strings.HasPrefix(name, "Append"):
+				k := key(fd, strings.TrimPrefix(name, "Append"))
+				pair(pairs, k).encode = fd
+			case strings.HasPrefix(name, "Decode"):
+				k := key(fd, strings.TrimPrefix(name, "Decode"))
+				pair(pairs, k).decode = fd
+			}
+		}
+	}
+
+	for _, pr := range pairs {
+		if pr.encode == nil || pr.decode == nil {
+			continue
+		}
+		subject := subjectOf(p, pr)
+		if subject == nil {
+			continue
+		}
+		st, ok := subject.Origin().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		encRefs := fieldRefs(p, pr.encode, subject)
+		decRefs := fieldRefs(p, pr.decode, subject)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || p.SuppressedAt(f.Pos()) {
+				continue
+			}
+			if !encRefs[f.Name()] {
+				p.Reportf(pr.encode.Name.Pos(), "%s does not reference %s.%s: the field will silently drop off the wire (encode it, or annotate the field //grapevet:keep <why>)",
+					pr.encode.Name.Name, subject.Obj().Name(), f.Name())
+			}
+			if !decRefs[f.Name()] {
+				p.Reportf(pr.decode.Name.Pos(), "%s does not reference %s.%s: decoded values will silently zero the field (decode it, or annotate the field //grapevet:keep <why>)",
+					pr.decode.Name.Name, subject.Obj().Name(), f.Name())
+			}
+		}
+	}
+	return nil
+}
+
+func pair(m map[string]*codecPair, k string) *codecPair {
+	if m[k] == nil {
+		m[k] = &codecPair{}
+	}
+	return m[k]
+}
+
+// subjectOf resolves the one named struct type serialized by the pair: it
+// must appear among the encode function's parameters and among the decode
+// function's results or pointer parameters. Ambiguity (0 or >1 candidates)
+// skips the pair.
+func subjectOf(p *Pass, pr *codecPair) *types.Named {
+	enc := signatureStructs(p, pr.encode, false)
+	dec := signatureStructs(p, pr.decode, true)
+	var subject *types.Named
+	n := 0
+	for named := range enc {
+		if dec[named] {
+			subject = named
+			n++
+		}
+	}
+	if n != 1 {
+		return nil
+	}
+	return subject
+}
+
+// signatureStructs collects candidate named struct types from a signature.
+// For the decode side (decodeSide=true) candidates come from results and
+// pointer parameters — the places a decoder writes into. The receiver (for
+// method pairs like (*T).Encode/(*T).Decode) is a candidate on both sides.
+// Structs with no exported fields carry nothing checkable and are dropped,
+// which also keeps empty marker types (program structs, parameterless
+// queries) from making pairs ambiguous.
+func signatureStructs(p *Pass, fd *ast.FuncDecl, decodeSide bool) map[*types.Named]bool {
+	info := p.Pkg.Info
+	out := map[*types.Named]bool{}
+	add := func(named *types.Named) {
+		if named == nil {
+			return
+		}
+		// generic containers (engine.Context[V] in partial codecs) carry
+		// program state, not a declared wire struct — never a subject
+		if named.Origin().TypeParams().Len() > 0 {
+			return
+		}
+		if st, ok := named.Origin().Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Exported() {
+					out[named] = true
+					return
+				}
+			}
+		}
+	}
+	collect := func(e ast.Expr, ptrOnly bool) {
+		tv, ok := info.Types[e]
+		if !ok {
+			return
+		}
+		if ptrOnly {
+			if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+				return
+			}
+		}
+		add(namedStructOf(tv.Type))
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		collect(fd.Recv.List[0].Type, false)
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			collect(f.Type, decodeSide)
+		}
+	}
+	if decodeSide && fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			collect(f.Type, false)
+		}
+	}
+	return out
+}
+
+// fieldRefs collects the subject's field names referenced in the body:
+// selector expressions on values of the subject type and keys of composite
+// literals of the subject type. An unkeyed composite literal or a wholesale
+// pass of the subject to another function counts as referencing everything —
+// the encoding responsibility moved elsewhere.
+func fieldRefs(p *Pass, fd *ast.FuncDecl, subject *types.Named) map[string]bool {
+	info := p.Pkg.Info
+	out := map[string]bool{}
+	all := func() {
+		st := subject.Origin().Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			out[st.Field(i).Name()] = true
+		}
+	}
+	isSubject := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && namedStructOf(tv.Type) == subject
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.SelectorExpr:
+			if isSubject(nn.X) {
+				out[nn.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			if !isSubject(nn) {
+				return true
+			}
+			if len(nn.Elts) > 0 {
+				if _, keyed := nn.Elts[0].(*ast.KeyValueExpr); !keyed {
+					all()
+					return true
+				}
+			}
+			for _, el := range nn.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range nn.Args {
+				if id, ok := arg.(*ast.Ident); ok && isSubject(id) {
+					all()
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

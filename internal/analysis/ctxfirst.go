@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxfirst enforces the PR 5 context discipline that makes every run
+// cancellable and deadline-bounded end to end: a context.Context travels as
+// the first parameter of any function that takes one, is never stored in a
+// struct (a stored context outlives the call it bounds and silently detaches
+// cancellation), and is never minted via context.Background()/TODO() outside
+// package main — a library that conjures its own root context has broken the
+// request→run chain, and the caller's deadline no longer reaches the
+// superstep barrier.
+var Ctxfirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context must be the first parameter, never a struct field, and " +
+		"never created with Background()/TODO() outside package main",
+	Run: runCtxfirst,
+}
+
+func runCtxfirst(p *Pass) error {
+	info := p.Pkg.Info
+	isCtx := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		n := namedOf(tv.Type)
+		return n != nil && n.Obj().Name() == "Context" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+	}
+	isMain := p.Pkg.Types.Name() == "main"
+
+	p.inspect(func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncDecl:
+			if nn.Type.Params == nil {
+				return true
+			}
+			pos := 0
+			for _, field := range nn.Type.Params.List {
+				w := len(field.Names)
+				if w == 0 {
+					w = 1
+				}
+				if isCtx(field.Type) && pos > 0 {
+					p.Reportf(field.Pos(), "context.Context is parameter %d of %s, not first: run-path signatures are ctx-first so cancellation reads uniformly at every call site", pos+1, nn.Name.Name)
+				}
+				pos += w
+			}
+		case *ast.StructType:
+			for _, field := range nn.Fields.List {
+				if isCtx(field.Type) {
+					p.Reportf(field.Pos(), "context.Context stored in a struct: a kept context outlives the call it bounds; pass it as the first parameter of each method instead")
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := nn.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, ok := info.Uses[id]; ok {
+				if pn, ok := obj.(*types.PkgName); ok && pn.Imported().Path() == "context" && !isMain {
+					p.Reportf(nn.Pos(), "context.%s() outside package main severs the caller's cancellation chain; accept a ctx parameter and pass it through", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks module packages with nothing but the standard
+// library: `go list -export` materializes compiled export data for every
+// dependency (stdlib included) in the build cache, and go/importer's gc
+// importer reads those files through a lookup function. This is the same
+// mechanism gopls-less vet drivers use, and it keeps grapevet free of any
+// module requirement beyond the Go toolchain itself.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Package is one loaded, parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load lists the packages matched by patterns (relative to dir), parses their
+// sources and type-checks them against export data produced by the go tool.
+// Test files are not loaded: the invariants grapevet guards live on non-test
+// run paths, and ctxfirst explicitly exempts tests.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := check(t.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return pkgs, nil
+}
+
+// check type-checks one package's parsed files.
+func check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return pkg, info, nil
+}
+
+// LoadDir loads fixture packages for analyzer tests: every directory under
+// root/src is one package whose import path is its path relative to src.
+// Fixture-to-fixture imports resolve in dependency order within the set;
+// anything else (stdlib) resolves through export data from the go tool.
+// It mirrors golang.org/x/tools' analysistest testdata layout so fixtures
+// read identically, without requiring the x/tools module.
+func LoadDir(root string) ([]*Package, error) {
+	src := filepath.Join(root, "src")
+	var dirs []string
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && p != src {
+			if m, _ := filepath.Glob(filepath.Join(p, "*.go")); len(m) > 0 {
+				dirs = append(dirs, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walking %s: %v", src, err)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	type fixture struct {
+		path    string
+		files   []*ast.File
+		imports []string
+	}
+	fixtures := map[string]*fixture{}
+	var order []string
+	stdlib := map[string]bool{}
+	for _, d := range dirs {
+		rel, _ := filepath.Rel(src, d)
+		path := filepath.ToSlash(rel)
+		names, _ := filepath.Glob(filepath.Join(d, "*.go"))
+		fx := &fixture{path: path}
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing fixture %s: %v", name, err)
+			}
+			fx.files = append(fx.files, f)
+			for _, spec := range f.Imports {
+				fx.imports = append(fx.imports, strings.Trim(spec.Path.Value, `"`))
+			}
+		}
+		fixtures[path] = fx
+		order = append(order, path)
+	}
+	for _, fx := range fixtures {
+		for _, im := range fx.imports {
+			if _, ok := fixtures[im]; !ok {
+				stdlib[im] = true
+			}
+		}
+	}
+
+	exports := map[string]string{}
+	if len(stdlib) > 0 {
+		args := append([]string{"list", "-e", "-export", "-deps",
+			"-json=ImportPath,Export,Error"}, sortedKeys(stdlib)...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: go list (fixture deps): %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	checked := map[string]*types.Package{}
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return gc.Import(path)
+	})
+
+	// Type-check in dependency order within the fixture set.
+	var pkgs []*Package
+	done := map[string]bool{}
+	var visit func(path string) error
+	visit = func(path string) error {
+		if done[path] {
+			return nil
+		}
+		done[path] = true
+		fx := fixtures[path]
+		for _, im := range fx.imports {
+			if _, ok := fixtures[im]; ok {
+				if err := visit(im); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, info, err := check(path, fset, fx.files, imp)
+		if err != nil {
+			return fmt.Errorf("fixture %s: %v", path, err)
+		}
+		checked[path] = pkg
+		pkgs = append(pkgs, &Package{Path: path, Fset: fset, Files: fx.files, Types: pkg, Info: info})
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,38 @@
+// Package codecfields exercises the codecfields analyzer: every exported
+// field of a struct with a paired Encode/Decode must appear in both bodies.
+package codecfields
+
+type Msg struct {
+	A    int32
+	B    int32
+	Skip int32 //grapevet:keep fixture: derived from A at decode time, never on the wire
+}
+
+// EncodeMsg forgets B — the silent wire-drift bug.
+func EncodeMsg(buf []byte, m Msg) []byte { // want "EncodeMsg does not reference Msg.B"
+	buf = append(buf, byte(m.A))
+	return buf
+}
+
+func DecodeMsg(buf []byte) (Msg, []byte, error) {
+	var m Msg
+	m.A = int32(buf[0])
+	m.B = int32(buf[1])
+	return m, buf[2:], nil
+}
+
+// Pair round-trips completely; the keyed composite literal counts as decode
+// references.
+type Pair struct {
+	X int32
+	Y int32
+}
+
+func AppendPair(buf []byte, p Pair) []byte {
+	buf = append(buf, byte(p.X), byte(p.Y))
+	return buf
+}
+
+func DecodePair(buf []byte) (Pair, []byte) {
+	return Pair{X: int32(buf[0]), Y: int32(buf[1])}, buf[2:]
+}

@@ -1,0 +1,43 @@
+// Package ctxfirst exercises the ctxfirst analyzer: ctx is the first
+// parameter, never a struct field, never minted outside package main.
+package ctxfirst
+
+import "context"
+
+// Run is conforming: ctx first, passed through.
+func Run(ctx context.Context, n int) error {
+	_ = ctx
+	return nil
+}
+
+// Late buries the context mid-signature.
+func Late(n int, ctx context.Context) error { // want "context.Context is parameter 2 of Late"
+	_ = ctx
+	return nil
+}
+
+type holder struct {
+	ctx context.Context // want "context.Context stored in a struct"
+	n   int
+}
+
+var _ = holder{}
+
+// mint conjures a root context inside a library.
+func mint() context.Context {
+	return context.Background() // want "context.Background\(\) outside package main"
+}
+
+// mintTODO is the TODO spelling of the same escape.
+func mintTODO() context.Context {
+	return context.TODO() // want "context.TODO\(\) outside package main"
+}
+
+// drain is the annotated exception: a cleanup path whose parent context is
+// already cancelled needs its own fresh bound.
+func drain() context.Context {
+	//grapevet:keep fixture: the run ctx is already cancelled; the drain needs a fresh bound
+	return context.Background()
+}
+
+var _, _ = mint, drain

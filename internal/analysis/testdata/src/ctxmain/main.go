@@ -1,0 +1,15 @@
+// Package main pins ctxfirst's deliberate exemption: the process entry point
+// owns the root context, so Background() is legitimate here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -35,9 +35,9 @@ type changeRec[V any] struct {
 // per-worker routing buffers, all reused between supersteps so the hot path
 // stops reallocating.
 type foldState[V any] struct {
-	spec   VarSpec[V]
-	n      int // workers
-	shards int
+	spec   VarSpec[V] //grapevet:keep construction-time identity: fixed per Resident, like Context.spec
+	n      int        //grapevet:keep construction-time shape: worker count is a property of the layout the scratch was built for
+	shards int        //grapevet:keep construction-time shape: derived from n at construction
 
 	global  []map[graph.ID]V   // best-known border values, by shard
 	pos     []map[graph.ID]int // scratch: id -> index into changed[s]

@@ -108,7 +108,7 @@ type VarUpdate[V any] struct {
 // scratch space for the program.
 type Context[V any] struct {
 	// Frag is the fragment this worker owns.
-	Frag *partition.Fragment
+	Frag *partition.Fragment //grapevet:keep construction-time identity: the pooled scratch is bound to its fragment; reset clears run state, not the binding
 	// State is program-private per-worker state that persists across
 	// supersteps (e.g. CF's epoch counter and factor matrices).
 	State any
@@ -117,7 +117,7 @@ type Context[V any] struct {
 	// Assemble reads it.
 	Partial any
 
-	spec VarSpec[V]
+	spec VarSpec[V] //grapevet:keep construction-time identity: one Resident serves one program, so the spec never varies across pooled runs
 	// Node variables live in dense slices indexed by the fragment graph's
 	// dense vertex index — the fragment is fixed during a run, and the
 	// session layer's vertex additions are absorbed by ensure(). vars is the

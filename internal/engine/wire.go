@@ -160,6 +160,7 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 		for i := 0; i < n; i++ {
 			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Frame: abortFrame})
 		}
+		//grapevet:keep the run ctx is already cancelled here; the drain needs its own fresh bound or Recv would return immediately
 		dctx, cancel := context.WithTimeout(context.Background(), abortDrainTimeout)
 		defer cancel()
 		for len(waitFor) > 0 {

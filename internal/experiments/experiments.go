@@ -116,7 +116,7 @@ func rowFromStats(system, category string, st *metrics.Stats, cm metrics.CostMod
 // partition (Blogel brings its Voronoi blocks, GRAPE lets the user pick —
 // this is exactly the paper's point (3) about inheriting graph-level
 // optimizations).
-func Table1(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
+func Table1(ctx context.Context, sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	g := sc.Road()
 	src := graph.ID(0)
 	var rows []Row
@@ -143,7 +143,7 @@ func Table1(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 		rows = append(rows, rowFromStats("Blogel-like", "block-centric", st, cm, "2D parts, 8 blocks/worker"))
 	}
 
-	if _, st, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: src},
+	if _, st, err := engine.Run(ctx, g, queries.SSSP{}, queries.SSSPQuery{Source: src},
 		engine.Options{Workers: workers, Strategy: spatial}); err != nil {
 		return nil, err
 	} else {
@@ -157,7 +157,7 @@ func Table1(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 // reports 18.3 s / 7.5M messages with METIS vs 30 s / 40M messages with
 // stream-based partitioning on 16 nodes; the shape is "better cut ⇒ fewer
 // messages and less time".
-func PartitionImpact(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
+func PartitionImpact(ctx context.Context, sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	g := sc.Social()
 	var rows []Row
 	for _, strat := range []partition.Strategy{partition.MetisLike{}, partition.Fennel{}, partition.Hash{}} {
@@ -167,7 +167,7 @@ func PartitionImpact(sc Scale, workers int, cm metrics.CostModel) ([]Row, error)
 		}
 		q := partition.Measure(strat.Name(), asg)
 		layout := partition.Build(g, asg)
-		_, st, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+		_, st, err := engine.RunOnLayout(ctx, layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -183,12 +183,12 @@ func PartitionImpact(sc Scale, workers int, cm metrics.CostModel) ([]Row, error)
 // be compute-bound, so this experiment runs on a 2x-per-side (4x vertices)
 // road grid relative to sc. Communication grows slowly with workers (border
 // size follows the partition perimeter).
-func ScaleUp(sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error) {
+func ScaleUp(ctx context.Context, sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error) {
 	g := gen.RoadGrid(2*sc.RoadRows, 2*sc.RoadCols, sc.Seed)
 	spatial := partition.TwoD{Cols: 2 * sc.RoadCols}
 	var rows []Row
 	for _, n := range workerCounts {
-		_, st, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+		_, st, err := engine.Run(ctx, g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 			engine.Options{Workers: n, Strategy: spatial})
 		if err != nil {
 			return nil, err
@@ -196,7 +196,7 @@ func ScaleUp(sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error) 
 		rows = append(rows, rowFromStats("GRAPE/sssp", "scale-up", st, cm, ""))
 	}
 	for _, n := range workerCounts {
-		_, st, err := engine.Run(context.Background(), g, queries.CC{}, queries.CCQuery{},
+		_, st, err := engine.Run(ctx, g, queries.CC{}, queries.CCQuery{},
 			engine.Options{Workers: n, Strategy: spatial})
 		if err != nil {
 			return nil, err
@@ -221,19 +221,19 @@ type BoundedRow struct {
 // BoundedIncEval contrasts GRAPE's bounded IncEval with a recompute-from-
 // scratch variant on the same layout: total work and the per-superstep decay
 // demonstrate the boundedness claim of Example 1.
-func BoundedIncEval(sc Scale, workers int, cm metrics.CostModel) (bounded, recompute Row, steps []BoundedRow, err error) {
+func BoundedIncEval(ctx context.Context, sc Scale, workers int, cm metrics.CostModel) (bounded, recompute Row, steps []BoundedRow, err error) {
 	g := sc.Road()
 	asg, err := partition.MetisLike{}.Partition(g, workers)
 	if err != nil {
 		return
 	}
 	layout := partition.Build(g, asg)
-	_, stB, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+	_, stB, err := engine.RunOnLayout(ctx, layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 	if err != nil {
 		return
 	}
 	layout2 := partition.Build(g, asg)
-	_, stR, err := engine.RunOnLayout(context.Background(), layout2, RecomputeSSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+	_, stR, err := engine.RunOnLayout(ctx, layout2, RecomputeSSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 	if err != nil {
 		return
 	}
@@ -269,12 +269,12 @@ func BoundedIncEval(sc Scale, workers int, cm metrics.CostModel) (bounded, recom
 
 // GPARScale reproduces the Fig. 4 claim: the more workers, the faster GRAPE
 // finds potential customers.
-func GPARScale(sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error) {
+func GPARScale(ctx context.Context, sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error) {
 	g := sc.Commerce()
 	rule := gpar.Example2Rule(0.8)
 	var rows []Row
 	for _, n := range workerCounts {
-		res, st, err := gpar.Eval(context.Background(), g, rule, engine.Options{Workers: n})
+		res, st, err := gpar.Eval(ctx, g, rule, engine.Options{Workers: n})
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +286,7 @@ func GPARScale(sc Scale, workerCounts []int, cm metrics.CostModel) ([]Row, error
 
 // SimTheorem verifies the Simulation Theorem operationally: a vertex program
 // runs under GRAPE with the same superstep count as natively.
-func SimTheorem(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
+func SimTheorem(ctx context.Context, sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	g := sc.Social()
 	var rows []Row
 
@@ -295,7 +295,7 @@ func SimTheorem(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 		return nil, err
 	}
 	rows = append(rows, rowFromStats("Pregel native", "simulation theorem", stN, cm, "sssp"))
-	_, stS, err := simulate.Run(context.Background(), g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: workers})
+	_, stS, err := simulate.Run(ctx, g, vertexcentric.SSSPProgram{Source: 0}, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +307,7 @@ func SimTheorem(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 		return nil, err
 	}
 	rows = append(rows, rowFromStats("Pregel native", "simulation theorem", stN2, cm, "pagerank"))
-	_, stS2, err := simulate.Run(context.Background(), g, pr, engine.Options{Workers: workers})
+	_, stS2, err := simulate.Run(ctx, g, pr, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -317,19 +317,19 @@ func SimTheorem(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 
 // IndexAblation reproduces experiment E9: keyword search PEval work with and
 // without the Index Manager's inverted index.
-func IndexAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
+func IndexAblation(ctx context.Context, sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	g := sc.Social()
 	vocab := []string{"db", "graph", "ml", "sys", "net"}
 	gen.AttachKeywords(g, vocab, 2, 0.05, sc.Seed)
 	q := queries.KeywordQuery{Keywords: []string{"db", "graph", "ml"}, Bound: 4, UseIndex: true}
 	var rows []Row
-	_, stI, err := engine.Run(context.Background(), g, queries.Keyword{}, q, engine.Options{Workers: workers})
+	_, stI, err := engine.Run(ctx, g, queries.Keyword{}, q, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, rowFromStats("GRAPE/keyword+index", "graph-level optimization", stI, cm, "inverted index"))
 	q.UseIndex = false
-	_, stS, err := engine.Run(context.Background(), g, queries.Keyword{}, q, engine.Options{Workers: workers})
+	_, stS, err := engine.Run(ctx, g, queries.Keyword{}, q, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -339,17 +339,17 @@ func IndexAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 
 // QueryLibrary runs all six registered query classes end to end — the
 // Section 3 walk-through — and reports one row each.
-func QueryLibrary(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
+func QueryLibrary(ctx context.Context, sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	var rows []Row
 
 	road := sc.Road()
-	if _, st, err := engine.Run(context.Background(), road, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+	if _, st, err := engine.Run(ctx, road, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 		engine.Options{Workers: workers, Strategy: partition.MetisLike{}}); err != nil {
 		return nil, err
 	} else {
 		rows = append(rows, rowFromStats("sssp", "query library", st, cm, "road grid"))
 	}
-	if _, st, err := engine.Run(context.Background(), road, queries.CC{}, queries.CCQuery{},
+	if _, st, err := engine.Run(ctx, road, queries.CC{}, queries.CCQuery{},
 		engine.Options{Workers: workers, Strategy: partition.MetisLike{}}); err != nil {
 		return nil, err
 	} else {
@@ -361,13 +361,13 @@ func QueryLibrary(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, st, err := engine.Run(context.Background(), commerce, queries.Sim{}, queries.SimQuery{Pattern: p},
+	if _, st, err := engine.Run(ctx, commerce, queries.Sim{}, queries.SimQuery{Pattern: p},
 		engine.Options{Workers: workers}); err != nil {
 		return nil, err
 	} else {
 		rows = append(rows, rowFromStats("sim", "query library", st, cm, "social commerce"))
 	}
-	if _, st, err := queries.RunSubIso(context.Background(), commerce, queries.SubIsoQuery{Pattern: p},
+	if _, st, err := queries.RunSubIso(ctx, commerce, queries.SubIsoQuery{Pattern: p},
 		engine.Options{Workers: workers}); err != nil {
 		return nil, err
 	} else {
@@ -376,7 +376,7 @@ func QueryLibrary(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 
 	kwg := sc.Social()
 	gen.AttachKeywords(kwg, []string{"db", "graph", "ml"}, 2, 0.05, sc.Seed)
-	if _, st, err := engine.Run(context.Background(), kwg, queries.Keyword{},
+	if _, st, err := engine.Run(ctx, kwg, queries.Keyword{},
 		queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true},
 		engine.Options{Workers: workers}); err != nil {
 		return nil, err
@@ -386,7 +386,7 @@ func QueryLibrary(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 
 	ratings := gen.Ratings(gen.RatingsConfig{Users: sc.Users, Items: sc.Items, RatingsPerUser: 12, Factors: 4, Noise: 0.1, Seed: sc.Seed})
 	cfg := queries.CFQuery{Cfg: cfgWithEpochs(10)}
-	if res, st, err := engine.Run(context.Background(), ratings, queries.CF{}, cfg, engine.Options{Workers: workers}); err != nil {
+	if res, st, err := engine.Run(ctx, ratings, queries.CF{}, cfg, engine.Options{Workers: workers}); err != nil {
 		return nil, err
 	} else {
 		rows = append(rows, rowFromStats("cf", "query library", st, cm, fmt.Sprintf("RMSE %.3f", res.RMSE)))

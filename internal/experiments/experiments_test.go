@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"grape/internal/metrics"
@@ -20,7 +21,7 @@ func testScale() Scale {
 
 func TestTable1Shape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	rows, err := Table1(testScale(), 8, cm)
+	rows, err := Table1(context.Background(), testScale(), 8, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestTable1Shape(t *testing.T) {
 
 func TestPartitionImpactShape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	rows, err := PartitionImpact(testScale(), 8, cm)
+	rows, err := PartitionImpact(context.Background(), testScale(), 8, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestPartitionImpactShape(t *testing.T) {
 func TestScaleUpShape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
 	counts := []int{2, 4, 8, 16}
-	rows, err := ScaleUp(testScale(), counts, cm)
+	rows, err := ScaleUp(context.Background(), testScale(), counts, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestScaleUpShape(t *testing.T) {
 
 func TestBoundedIncEvalShape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	bounded, recompute, steps, err := BoundedIncEval(testScale(), 8, cm)
+	bounded, recompute, steps, err := BoundedIncEval(context.Background(), testScale(), 8, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestBoundedIncEvalShape(t *testing.T) {
 
 func TestGPARScaleShape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	rows, err := GPARScale(testScale(), []int{1, 4, 16}, cm)
+	rows, err := GPARScale(context.Background(), testScale(), []int{1, 4, 16}, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestGPARScaleShape(t *testing.T) {
 
 func TestSimTheoremShape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	rows, err := SimTheorem(testScale(), 4, cm)
+	rows, err := SimTheorem(context.Background(), testScale(), 4, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestSimTheoremShape(t *testing.T) {
 
 func TestIndexAblationShape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	rows, err := IndexAblation(testScale(), 4, cm)
+	rows, err := IndexAblation(context.Background(), testScale(), 4, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestIndexAblationShape(t *testing.T) {
 
 func TestQueryLibraryRunsAllClasses(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	rows, err := QueryLibrary(testScale(), 4, cm)
+	rows, err := QueryLibrary(context.Background(), testScale(), 4, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestQueryLibraryRunsAllClasses(t *testing.T) {
 
 func TestAsyncAblationShape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	rows, err := AsyncAblation(testScale(), 8, cm)
+	rows, err := AsyncAblation(context.Background(), testScale(), 8, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestAsyncAblationShape(t *testing.T) {
 }
 
 func TestScalingGapWidens(t *testing.T) {
-	rows, err := ScalingGap([]int{24, 48, 96}, 8)
+	rows, err := ScalingGap(context.Background(), []int{24, 48, 96}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestScalingGapWidens(t *testing.T) {
 
 func TestTableCCShape(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	rows, err := TableCC(testScale(), 8, cm)
+	rows, err := TableCC(context.Background(), testScale(), 8, cm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestTableCCShape(t *testing.T) {
 
 func TestLayoutReuseAmortizes(t *testing.T) {
 	cm := metrics.DefaultCostModel()
-	perQuery, reused, err := LayoutReuse(testScale(), 8, 5, cm)
+	perQuery, reused, err := LayoutReuse(context.Background(), testScale(), 8, 5, cm)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ import (
 // stale values re-relax more and ship more — shows up in total work and
 // messages, which the rows also report. This is the trade GRAPE's follow-up
 // work on adaptive asynchronous parallelization navigates.
-func AsyncAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
+func AsyncAblation(ctx context.Context, sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	g := sc.Social()
 	asg, err := partition.Range{}.Partition(g, workers)
 	if err != nil {
@@ -31,7 +31,7 @@ func AsyncAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	}
 	var rows []Row
 	layout := partition.Build(g, asg)
-	_, stSync, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
+	_, stSync, err := engine.RunOnLayout(ctx, layout, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +39,7 @@ func AsyncAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 		fmt.Sprintf("BSP: pays %d barriers + stragglers", stSync.Supersteps)))
 
 	layout2 := partition.Build(g, asg)
-	_, stAsync, err := engine.RunAsync(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
+	_, stAsync, err := engine.RunAsync(ctx, g, queries.SSSP{}, queries.SSSPQuery{Source: 0},
 		engine.Options{Layout: layout2})
 	if err != nil {
 		return nil, err
@@ -54,7 +54,7 @@ func AsyncAblation(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 // graph on all four engines. Vertex-centric CC floods labels vertex by
 // vertex; the block- and fragment-based systems collapse whole regions per
 // superstep.
-func TableCC(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
+func TableCC(ctx context.Context, sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	g := sc.Social()
 	sym := g.Symmetrized() // engines that flood along out-edges need mirrors
 	var rows []Row
@@ -77,7 +77,7 @@ func TableCC(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 	} else {
 		rows = append(rows, rowFromStats("Blogel-like", "block-centric", st, cm, "block-level label exchange"))
 	}
-	if _, st, err := engine.Run(context.Background(), g, queries.CC{}, queries.CCQuery{},
+	if _, st, err := engine.Run(ctx, g, queries.CC{}, queries.CCQuery{},
 		engine.Options{Workers: workers, Strategy: partition.Fennel{}}); err != nil {
 		return nil, err
 	} else {
@@ -90,7 +90,7 @@ func TableCC(sc Scale, workers int, cm metrics.CostModel) ([]Row, error) {
 // partitions a graph once and then answers many queries against the same
 // fragments. The experiment compares Q queries with per-query partitioning
 // against Q queries on one prebuilt layout.
-func LayoutReuse(sc Scale, workers, queriesN int, cm metrics.CostModel) (perQuery, reused Row, err error) {
+func LayoutReuse(ctx context.Context, sc Scale, workers, queriesN int, cm metrics.CostModel) (perQuery, reused Row, err error) {
 	g := sc.Road()
 	spatial := partition.TwoD{Cols: sc.RoadCols}
 	sources := make([]graph.ID, queriesN)
@@ -110,7 +110,7 @@ func LayoutReuse(sc Scale, workers, queriesN int, cm metrics.CostModel) (perQuer
 	statsPer := &metrics.Stats{Engine: "grape/sssp", Workers: workers}
 	start := time.Now()
 	for _, src := range sources {
-		_, st, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: src},
+		_, st, err := engine.Run(ctx, g, queries.SSSP{}, queries.SSSPQuery{Source: src},
 			engine.Options{Workers: workers, Strategy: spatial})
 		if err != nil {
 			return Row{}, Row{}, err
@@ -127,7 +127,7 @@ func LayoutReuse(sc Scale, workers, queriesN int, cm metrics.CostModel) (perQuer
 	}
 	for _, src := range sources {
 		layout := partition.Build(g, asg) // fragments rebuilt, partition decision reused
-		_, st, err := engine.RunOnLayout(context.Background(), layout, queries.SSSP{}, queries.SSSPQuery{Source: src}, engine.Options{})
+		_, st, err := engine.RunOnLayout(ctx, layout, queries.SSSP{}, queries.SSSPQuery{Source: src}, engine.Options{})
 		if err != nil {
 			return Row{}, Row{}, err
 		}
@@ -157,7 +157,7 @@ type GapRow struct {
 // with the area (edges relaxed) while GRAPE's grows with the partition
 // perimeter (border nodes), so the communication ratio widens with size.
 // The experiment sweeps grid side lengths and reports the ratio.
-func ScalingGap(sides []int, workers int) ([]GapRow, error) {
+func ScalingGap(ctx context.Context, sides []int, workers int) ([]GapRow, error) {
 	var rows []GapRow
 	for _, side := range sides {
 		g := gen.RoadGrid(side, side, 1)
@@ -167,7 +167,7 @@ func ScalingGap(sides []int, workers int) ([]GapRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, stR, err := engine.Run(context.Background(), g, queries.SSSP{}, queries.SSSPQuery{Source: src},
+		_, stR, err := engine.Run(ctx, g, queries.SSSP{}, queries.SSSPQuery{Source: src},
 			engine.Options{Workers: workers, Strategy: partition.TwoD{Cols: side}})
 		if err != nil {
 			return nil, err

@@ -186,7 +186,7 @@ func (CC) ApplyUpdate(q CCQuery, ctx *engine.Context[graph.ID], upd engine.EdgeU
 		// a vertex first seen now (new outer copy): its best-known label is
 		// its variable (seeded from the coordinator) or, if inner, itself
 		l := ctx.GetAt(i)
-		if l == noComponent && f.IsInner(v) {
+		if l == noComponent && f.IsInnerAt(i) {
 			l = v
 		}
 		return l

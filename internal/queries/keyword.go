@@ -104,27 +104,47 @@ func (Keyword) Spec() engine.VarSpec[kwVec] {
 	}
 }
 
-// kwSlot adapts the vector variables to seq.RelaxEdges's scalar interface.
+// kwSlot adapts the vector variables to seq.RelaxEdges's scalar interface
+// for the thawed fallback path. The ID is resolved to its dense index once
+// per access and the ...At accessors do the rest — the old Get-then-Set
+// spelling hashed twice per relaxation. Vertices outside the fragment graph
+// (the overflow map) keep the sparse path; relaxation never produces them.
 func kwSlot(ctx *engine.Context[kwVec], nk, k int) (get func(graph.ID) float64, set func(graph.ID, float64)) {
+	g := ctx.Frag.G
 	get = func(id graph.ID) float64 {
-		v := ctx.Get(id)
+		var v kwVec
+		if i, ok := g.Index(id); ok {
+			v = ctx.GetAt(i)
+		} else {
+			v = ctx.Get(id)
+		}
 		if v == nil {
 			return seq.Inf
 		}
 		return v[k]
 	}
 	set = func(id graph.ID, d float64) {
-		old := ctx.Get(id)
+		i, ok := g.Index(id)
+		var old kwVec
+		if ok {
+			old = ctx.GetAt(i)
+		} else {
+			old = ctx.Get(id)
+		}
 		nv := make(kwVec, nk)
-		for i := range nv {
+		for j := range nv {
 			if old == nil {
-				nv[i] = seq.Inf
+				nv[j] = seq.Inf
 			} else {
-				nv[i] = old[i]
+				nv[j] = old[j]
 			}
 		}
 		nv[k] = d
-		ctx.Set(id, nv)
+		if ok {
+			ctx.SetAt(i, nv)
+		} else {
+			ctx.Set(id, nv)
+		}
 	}
 	return get, set
 }

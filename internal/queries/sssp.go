@@ -107,8 +107,9 @@ func (SSSP) ApplyUpdate(q SSSPQuery, ctx *engine.Context[float64], upd engine.Ed
 	if upd.W < 0 {
 		return nil, fmt.Errorf("sssp: negative edge weight %g", upd.W)
 	}
-	if ctx.Get(upd.From) >= seq.Inf {
-		return nil, nil // unreached source: nothing can improve yet
+	i, ok := ctx.Frag.G.Index(upd.From)
+	if !ok || ctx.GetAt(i) >= seq.Inf {
+		return nil, nil // unknown or unreached source: nothing can improve yet
 	}
 	return []graph.ID{upd.From}, nil
 }

@@ -84,11 +84,16 @@ func (SubIso) PEval(q SubIsoQuery, ctx *engine.Context[uint8]) error {
 		return fmt.Errorf("subiso: empty pattern")
 	}
 	f := ctx.Frag
-	matches, work := seq.SubIso(q.Pattern, f.G, seq.SubIsoOptions{
+	opts := seq.SubIsoOptions{
 		MaxMatches: q.MaxMatches,
-		Anchor:     f.IsInner,
 		AnchorVar:  anchorOf(q.Pattern),
-	})
+	}
+	if f.G.Frozen() {
+		opts.AnchorAt = f.IsInnerAt
+	} else {
+		opts.Anchor = f.IsInner
+	}
+	matches, work := seq.SubIso(q.Pattern, f.G, opts)
 	ctx.AddWork(work)
 	ctx.Partial = matches
 	return nil

@@ -19,6 +19,10 @@ type SubIsoOptions struct {
 	// owned by the fragment owning its anchor vertex.
 	Anchor    func(graph.ID) bool
 	AnchorVar graph.ID
+	// AnchorAt is Anchor addressed by dense vertex index; the frozen-graph
+	// enumeration prefers it, skipping the index→ID→hash round trip per
+	// candidate. When nil, the frozen path falls back to Anchor.
+	AnchorAt func(int32) bool
 }
 
 // SubIso enumerates embeddings of pattern p into g via backtracking with
@@ -146,8 +150,14 @@ func subIsoIdx(p, g *graph.Graph, pv []graph.ID, opts SubIsoOptions) ([]Match, i
 			if g.OutDegreeAt(vi) < minDeg {
 				continue
 			}
-			if u == opts.AnchorVar && opts.Anchor != nil && !opts.Anchor(g.IDAt(vi)) {
-				continue
+			if u == opts.AnchorVar {
+				if opts.AnchorAt != nil {
+					if !opts.AnchorAt(vi) {
+						continue
+					}
+				} else if opts.Anchor != nil && !opts.Anchor(g.IDAt(vi)) {
+					continue
+				}
 			}
 			cands[i] = append(cands[i], vi)
 		}

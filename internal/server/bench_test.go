@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -29,10 +30,10 @@ func BenchmarkServeThroughput(b *testing.B) {
 				}
 				ts := httptest.NewServer(s.Handler())
 				defer ts.Close()
-				if _, err := servebench.Warm(ts.URL, cached); err != nil {
+				if _, err := servebench.Warm(context.Background(), ts.URL, cached); err != nil {
 					b.Fatal(err)
 				}
-				servebench.Drive(b, ts.URL, clients, cached)
+				servebench.Drive(context.Background(), b, ts.URL, clients, cached)
 			})
 		}
 	}

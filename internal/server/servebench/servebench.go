@@ -36,10 +36,10 @@ func ServerConfig() server.Config {
 // Warm primes the server at url: the layout is built and, in cached mode,
 // all rotated answers enter the result cache. Returns the superstep count
 // of the last run for reporting.
-func Warm(url string, cached bool) (lastSteps int, err error) {
+func Warm(ctx context.Context, url string, cached bool) (lastSteps int, err error) {
 	c := client.New(url, nil)
 	for src := 0; src < Sources; src++ {
-		res, err := c.Query(context.Background(), server.QueryRequest{Graph: "road", Program: "sssp",
+		res, err := c.Query(ctx, server.QueryRequest{Graph: "road", Program: "sssp",
 			Query: fmt.Sprintf("source=%d", src), NoCache: !cached})
 		if err != nil {
 			return 0, err
@@ -52,8 +52,7 @@ func Warm(url string, cached bool) (lastSteps int, err error) {
 // Drive issues b.N queries split across nClients goroutines, each with its
 // own HTTP client (so connections are not the bottleneck), and reports the
 // aggregate qps metric. Callers Warm first.
-func Drive(b *testing.B, url string, nClients int, cached bool) {
-	ctx := context.Background()
+func Drive(ctx context.Context, b *testing.B, url string, nClients int, cached bool) {
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -102,12 +101,12 @@ const OverloadClients = 64
 // MeasureRunLatency times uncached runs (call Warm first so the layout
 // exists) and returns the median — the baseline the overload scenario's
 // 50% deadline is computed from.
-func MeasureRunLatency(url string) (time.Duration, error) {
+func MeasureRunLatency(ctx context.Context, url string) (time.Duration, error) {
 	c := client.New(url, nil)
 	var ds []time.Duration
 	for i := 0; i < 5; i++ {
 		start := time.Now()
-		_, err := c.Query(context.Background(), server.QueryRequest{Graph: "road", Program: "sssp",
+		_, err := c.Query(ctx, server.QueryRequest{Graph: "road", Program: "sssp",
 			Query: fmt.Sprintf("source=%d", i%Sources), NoCache: true})
 		if err != nil {
 			return 0, err
@@ -129,7 +128,7 @@ func MeasureRunLatency(url string) (time.Duration, error) {
 // the goodput gap between the two servers is the capacity the redesign
 // reclaims. A fixed request count (not a b.N ramp) keeps the measurement
 // out of the small-sample regime where one slow request dominates.
-func RunOverload(url string, nClients, perClient int, deadline time.Duration) (goodqps, goodfrac float64) {
+func RunOverload(ctx context.Context, url string, nClients, perClient int, deadline time.Duration) (goodqps, goodfrac float64) {
 	var good atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -140,14 +139,14 @@ func RunOverload(url string, nClients, perClient int, deadline time.Duration) (g
 			c := client.New(url, &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}})
 			doomed := w%2 == 0 // the 50%-deadline half
 			for i := 0; i < perClient; i++ {
-				ctx := context.Background()
+				rctx := ctx
 				cancel := context.CancelFunc(func() {})
 				if doomed {
-					ctx, cancel = context.WithTimeout(ctx, deadline)
+					rctx, cancel = context.WithTimeout(ctx, deadline)
 				}
 				req := server.QueryRequest{Graph: "road", Program: "sssp",
 					Query: fmt.Sprintf("source=%d", (w+i)%Sources), NoCache: true}
-				if _, err := c.Query(ctx, req); err == nil {
+				if _, err := c.Query(rctx, req); err == nil {
 					good.Add(1)
 				}
 				cancel()

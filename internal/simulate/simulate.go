@@ -99,13 +99,17 @@ func (a Adapter) PEval(_ Query, ctx *engine.Context[msgQueue]) error {
 func (a Adapter) IncEval(_ Query, ctx *engine.Context[msgQueue]) error {
 	st := ctx.State.(*vcState)
 	// Drain the routed queues into the local mailbox, then clear them so
-	// the queues do not re-trigger (consumption, not convergence).
-	for _, id := range ctx.Updated() {
-		q := ctx.Get(id)
-		if len(q) > 0 && ctx.Frag.IsInner(id) {
+	// the queues do not re-trigger (consumption, not convergence). Consumable
+	// messages route to their owner, which always hosts the target vertex, so
+	// the dense UpdatedAt view covers every queue Updated would.
+	g := ctx.Frag.G
+	for _, i := range ctx.UpdatedAt() {
+		q := ctx.GetAt(i)
+		if len(q) > 0 && ctx.IsInnerAt(i) {
+			id := g.IDAt(i)
 			st.local[id] = append(st.local[id], q...)
 		}
-		ctx.SetLocal(id, nil)
+		ctx.SetLocalAt(i, nil)
 	}
 	a.step(ctx, st, false)
 	return nil
