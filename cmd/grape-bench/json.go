@@ -148,6 +148,16 @@ func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error 
 		return err
 	}
 	matrix.Rows = append(matrix.Rows, overload...)
+	inc, err := incRows(ctx, sc)
+	if err != nil {
+		return err
+	}
+	matrix.Rows = append(matrix.Rows, inc...)
+	mix, err := mixedRows(ctx, road)
+	if err != nil {
+		return err
+	}
+	matrix.Rows = append(matrix.Rows, mix...)
 
 	data, err := json.MarshalIndent(matrix, "", "  ")
 	if err != nil {

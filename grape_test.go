@@ -232,7 +232,8 @@ func TestFacadeCustomProgramSyncAsyncSession(t *testing.T) {
 			t.Fatalf("async differs at %d: %d vs %d", v, asyncRes[v], x)
 		}
 	}
-	// generic session constructor (no Updater: Update must fail cleanly)
+	// generic session constructor (no Updater: Update falls back to a
+	// from-scratch reseed and still brings the answer up to date)
 	s, res, _, err := grape.NewSession(context.Background(), g, minProg{}, minQuery{}, grape.Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -240,8 +241,20 @@ func TestFacadeCustomProgramSyncAsyncSession(t *testing.T) {
 	if len(res) != g.NumVertices() {
 		t.Fatalf("session assembled %d of %d", len(res), g.NumVertices())
 	}
-	if _, _, err := s.Update(context.Background(), []grape.EdgeUpdate{{From: 0, To: 5, W: 1}}); err == nil {
-		t.Fatal("program without ApplyUpdate must reject updates")
+	upd, _, err := s.Update(context.Background(), []grape.EdgeUpdate{{From: 0, To: 5, W: 1}})
+	if err != nil {
+		t.Fatalf("reseed fallback must absorb updates for hook-less programs: %v", err)
+	}
+	if s.Broken() {
+		t.Fatal("successful reseed must not break the session")
+	}
+	if len(upd) != g.NumVertices() {
+		t.Fatalf("post-update answer covers %d of %d vertices", len(upd), g.NumVertices())
+	}
+	for v, x := range upd {
+		if x != 0 {
+			t.Fatalf("grid still floods to 0 after insert, vertex %d got %d", v, x)
+		}
 	}
 }
 

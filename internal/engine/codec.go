@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"grape/internal/graph"
 )
@@ -61,6 +62,76 @@ func DecodeUpdates[V any](c Codec[V], data []byte) ([]VarUpdate[V], int, error) 
 		}
 		pos += used
 		ups = append(ups, VarUpdate[V]{ID: graph.ID(id), Val: v})
+	}
+	return ups, pos, nil
+}
+
+// Edge-update frames carry graph mutations (session update batches) across
+// process boundaries — the socket substrate's half of incremental serving.
+// The format is value-independent, so one implementation covers every
+// program: uvarint count, then per update a uvarint From, uvarint To, the
+// weight as 8 fixed little-endian bytes (floats do not varint well), a
+// length-prefixed label, and a delete flag byte (0 = insert, 1 = delete).
+
+// AppendEdgeUpdates appends the encoding of a session update batch to buf.
+func AppendEdgeUpdates(buf []byte, ups []EdgeUpdate) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ups)))
+	for _, u := range ups {
+		buf = binary.AppendUvarint(buf, uint64(u.From))
+		buf = binary.AppendUvarint(buf, uint64(u.To))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(u.W))
+		buf = binary.AppendUvarint(buf, uint64(len(u.Label)))
+		buf = append(buf, u.Label...)
+		if u.Del {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// DecodeEdgeUpdates decodes a batch encoded by AppendEdgeUpdates from the
+// front of data, returning the updates and the number of bytes consumed.
+func DecodeEdgeUpdates(data []byte) ([]EdgeUpdate, int, error) {
+	pos := 0
+	n, err := graph.ReadUvarint(data, &pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	var ups []EdgeUpdate
+	for i := uint64(0); i < n; i++ {
+		var u EdgeUpdate
+		from, err := graph.ReadUvarint(data, &pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		to, err := graph.ReadUvarint(data, &pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		u.From, u.To = graph.ID(from), graph.ID(to)
+		if len(data)-pos < 8 {
+			return nil, 0, errors.New("engine: truncated edge-update weight")
+		}
+		u.W = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+		if u.Label, err = graph.ReadString(data, &pos); err != nil {
+			return nil, 0, err
+		}
+		if pos >= len(data) {
+			return nil, 0, errors.New("engine: truncated edge-update delete flag")
+		}
+		switch data[pos] {
+		case 0:
+			u.Del = false
+		case 1:
+			u.Del = true
+		default:
+			return nil, 0, fmt.Errorf("engine: bad edge-update delete flag %d", data[pos])
+		}
+		pos++
+		ups = append(ups, u)
 	}
 	return ups, pos, nil
 }

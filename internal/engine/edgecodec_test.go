@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestEdgeUpdateCodecRoundTrip(t *testing.T) {
+	batches := [][]EdgeUpdate{
+		nil,
+		{{From: 1, To: 2, W: 1.5}},
+		{
+			{From: 0, To: 0, W: 0, Label: ""},
+			{From: 1 << 40, To: 7, W: -3.25, Label: "rates", Del: true},
+			{From: 3, To: 9, W: math.Inf(1), Label: "likes"},
+			{From: 9, To: 3, W: math.MaxFloat64, Del: true},
+		},
+	}
+	for _, ups := range batches {
+		buf := AppendEdgeUpdates(nil, ups)
+		got, used, err := DecodeEdgeUpdates(buf)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", ups, err)
+		}
+		if used != len(buf) {
+			t.Fatalf("decode consumed %d of %d bytes", used, len(buf))
+		}
+		if len(got) != len(ups) {
+			t.Fatalf("round trip: want %d updates, got %d", len(ups), len(got))
+		}
+		for i := range ups {
+			if !reflect.DeepEqual(got[i], ups[i]) {
+				t.Fatalf("round trip at %d: want %+v, got %+v", i, ups[i], got[i])
+			}
+		}
+	}
+}
+
+func TestEdgeUpdateCodecRejectsMalformed(t *testing.T) {
+	good := AppendEdgeUpdates(nil, []EdgeUpdate{{From: 5, To: 6, W: 2, Label: "x", Del: true}})
+	for cut := 1; cut < len(good); cut++ {
+		if _, _, err := DecodeEdgeUpdates(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded cleanly", cut, len(good))
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] = 7 // delete flag must be 0 or 1
+	if _, _, err := DecodeEdgeUpdates(bad); err == nil {
+		t.Fatal("bad delete flag decoded cleanly")
+	}
+}

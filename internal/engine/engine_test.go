@@ -208,6 +208,9 @@ func TestRegistryLifecycle(t *testing.T) {
 		},
 		Parse:    func(query string) (ParsedQuery, error) { return ParsedQuery{Program: name, Canonical: query}, nil },
 		Resident: func(layout *partition.Layout, opts Options) (ResidentRunner, error) { return nil, nil },
+		Session: func(ctx context.Context, g *graph.Graph, opts Options, pq ParsedQuery) (SessionHandle, any, *metrics.Stats, error) {
+			return nil, nil, nil, nil
+		},
 	})
 	e, err := Lookup(name)
 	if err != nil {

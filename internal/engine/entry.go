@@ -83,6 +83,21 @@ func MakeEntry[Q, V, R any](s EntrySpec[Q, V, R]) Entry {
 			}
 			return residentAdapter[Q, V, R]{name: name, r: r}, nil
 		},
+		Session: func(ctx context.Context, g *graph.Graph, opts Options, pq ParsedQuery) (SessionHandle, any, *metrics.Stats, error) {
+			q, ok := pq.Query.(Q)
+			if !ok {
+				var want Q
+				return nil, nil, nil, fmt.Errorf("engine: %s: parsed query has type %T, want %T", name, pq.Query, want)
+			}
+			if s.Hops != nil {
+				opts.ExpandHops = pq.Hops
+			}
+			sess, res, stats, err := NewSession(ctx, g, s.Prog, q, opts)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			return sessionAdapter[Q, V, R]{s: sess}, any(res), stats, nil
+		},
 	}
 	if wp, ok := any(s.Prog).(WireProgram[Q, V, R]); ok {
 		e.Wire = WireServe(wp)
@@ -105,3 +120,20 @@ func (a residentAdapter[Q, V, R]) RunParsed(ctx context.Context, pq ParsedQuery)
 	res, stats, err := a.r.Run(ctx, q)
 	return any(res), stats, err
 }
+
+// sessionAdapter erases a typed Session into SessionHandle for the registry.
+type sessionAdapter[Q, V, R any] struct {
+	s *Session[Q, V, R]
+}
+
+func (a sessionAdapter[Q, V, R]) Update(ctx context.Context, updates []EdgeUpdate) (any, *metrics.Stats, error) {
+	res, stats, err := a.s.Update(ctx, updates)
+	return any(res), stats, err
+}
+
+func (a sessionAdapter[Q, V, R]) Result() (any, error) {
+	res, err := a.s.Result()
+	return any(res), err
+}
+
+func (a sessionAdapter[Q, V, R]) Broken() bool { return a.s.Broken() }

@@ -81,6 +81,22 @@ func (f *foldState[V]) lookup(id graph.ID) (V, bool) {
 	return v, ok
 }
 
+// forget drops the coordinator's folded value of id. Delete repair uses it
+// when a node's value is invalidated: the retained baseline would otherwise
+// suppress (via Eq) or reject (via the monotonicity check) the re-derived
+// value of the node.
+func (f *foldState[V]) forget(id graph.ID) {
+	delete(f.global[f.shardOf(id)], id)
+}
+
+// force overwrites the coordinator's folded value of id, bypassing Agg and
+// the monotonicity check. Delete repair uses it to re-align the baseline
+// with a repaired value that may sit above the old one in the order (e.g. a
+// CC label after a component split).
+func (f *foldState[V]) force(id graph.ID, v V) {
+	f.global[f.shardOf(id)][id] = v
+}
+
 // parallelFoldThreshold is the changed-value count below which sharded
 // goroutines cost more than they save and the fold runs serially (over the
 // same shard structures, in the same order).

@@ -423,6 +423,35 @@ func (c *Context[V]) touch(id graph.ID) {
 	}
 }
 
+// clearVar erases id's variable entirely — afterwards Get returns the
+// declared default, exactly as if the node had never been set. A queued
+// border change for the node is dropped too: shipping the zeroed slot would
+// leak a meaningless value to the coordinator. The session layer's delete
+// repair uses this to invalidate the nodes whose values a removed edge may
+// have supported, before re-seeding the fixpoint.
+func (c *Context[V]) clearVar(id graph.ID) {
+	i, ok := c.Frag.G.Index(id)
+	if !ok {
+		delete(c.vars, id)
+		return
+	}
+	if int(i) >= len(c.vals) {
+		return
+	}
+	var zero V
+	c.vals[i] = zero
+	c.has[i] = false
+	if c.changedAt[i] {
+		c.changedAt[i] = false
+		for k, j := range c.changedIdx {
+			if j == i {
+				c.changedIdx = append(c.changedIdx[:k], c.changedIdx[k+1:]...)
+				break
+			}
+		}
+	}
+}
+
 // setUpdated overrides the updated set; the session layer uses it to seed
 // IncEval with locally-dirtied nodes after graph updates.
 func (c *Context[V]) setUpdated(ids []graph.ID) {

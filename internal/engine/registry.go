@@ -40,6 +40,21 @@ type ResidentRunner interface {
 	RunParsed(ctx context.Context, pq ParsedQuery) (any, *metrics.Stats, error)
 }
 
+// SessionHandle is the erased view of a Session the serving layer drives:
+// apply update batches, re-read the retained answer, and detect divergence.
+// Implementations are NOT safe for concurrent use — the serving layer
+// serializes mutations per graph.
+type SessionHandle interface {
+	// Update applies a batch of mixed edge insertions and deletions and
+	// returns the brought-up-to-date result (see Session.Update).
+	Update(ctx context.Context, updates []EdgeUpdate) (any, *metrics.Stats, error)
+	// Result re-assembles the current answer without recomputation.
+	Result() (any, error)
+	// Broken reports whether an aborted update diverged the retained state;
+	// a broken session must be dropped and rebuilt.
+	Broken() bool
+}
+
 // Entry describes a PIE program registered in the GRAPE API library — the
 // demo's "plug" panel. Its function fields erase the program's generic
 // types so that the CLI, the serving layer and examples can pick programs
@@ -73,6 +88,13 @@ type Entry struct {
 	// frozen and built with the expansion Parse reported for the queries it
 	// will see.
 	Resident func(layout *partition.Layout, opts Options) (ResidentRunner, error)
+	// Session runs the initial fixpoint for a parsed query on g and retains
+	// the distributed state for incremental updates (NewSession). Every
+	// program has one: programs without incremental hooks fall back to
+	// reseeding inside the session on each update batch. Sessions partition g
+	// themselves (with the expansion pq.Hops requires), own their fragments,
+	// and run on the in-process bus.
+	Session func(ctx context.Context, g *graph.Graph, opts Options, pq ParsedQuery) (SessionHandle, any, *metrics.Stats, error)
 	// Wire serves the worker side of a distributed run: decode the query
 	// from the setup frame, run PEval/IncEval on the shipped fragment as
 	// commanded, ship encoded replies and the final partial answer, honoring
@@ -100,7 +122,7 @@ func Register(e Entry) {
 	if e.Name == "" {
 		panic("engine: Register: empty program name")
 	}
-	if e.Run == nil || e.Parse == nil || e.Resident == nil {
+	if e.Run == nil || e.Parse == nil || e.Resident == nil || e.Session == nil {
 		panic(fmt.Sprintf("engine: Register(%q): incomplete entry (build it with MakeEntry)", e.Name))
 	}
 	if _, dup := registry[e.Name]; dup {

@@ -21,25 +21,43 @@ import (
 // seed IncEval with the dirty nodes, and iterate the fixpoint again —
 // without re-running PEval from scratch.
 //
-// A Session holds that retained state. Monotone decrease-only programs
-// (SSSP, CC, Reach …) support insertions and weight decreases, where the
-// incremental run is bounded in the sense of Example 1(d); updates that
-// would move values up the order (deletions, weight increases) are rejected
-// by the program's Updater.
+// A Session holds that retained state. Each update batch takes the cheapest
+// execution path its program supports:
+//
+//   - insert-only batches of an Updater program run the seeded IncEval
+//     fixpoint (the bounded incremental run of Example 1(d));
+//   - batches containing deletions go to the program's DeleteRepairer, which
+//     patches the retained state coordinator-side (sessions run on the
+//     in-process bus, so every fragment is addressable) and seeds a follow-up
+//     fixpoint where needed;
+//   - locality-bounded programs (SubIso, TriCount) implement SessionPatcher:
+//     the session retains their assembled answer and patches it exactly per
+//     update, mutating only the global graph;
+//   - everything else — and any batch a repairer declines — falls back to a
+//     reseed: re-partition the mutated global graph and run the full
+//     PEval/IncEval fixpoint again inside the same session. A reseed is the
+//     from-scratch pipeline verbatim, so it is correct for every program;
+//     the capability hooks above exist to beat it, not to replace it.
 
 // EdgeUpdate is one graph mutation: an edge insertion (or, equivalently for
-// weighted graphs, a weight decrease when the edge already exists).
+// weighted graphs, a weight decrease when the edge already exists), or —
+// with Del set — the deletion of one edge instance matching (From, To,
+// Label). For deletions W is ignored on input; the session rewrites it to
+// the removed instance's weight before the update reaches program hooks, so
+// repairers can reason about the exact edge that disappeared.
 type EdgeUpdate struct {
 	From, To graph.ID
 	W        float64
 	Label    string
+	Del      bool
 }
 
 // Updater is implemented by PIE programs that support incremental
-// re-evaluation over graph updates. ApplyUpdate mutates the fragment-local
+// re-evaluation over edge insertions. ApplyUpdate mutates the fragment-local
 // state for one update whose source vertex lives on this fragment and
 // returns the nodes whose variables may need re-relaxation; the edge has
-// already been added to ctx.Frag.G when it is called.
+// already been added to ctx.Frag.G when it is called. Deletions never reach
+// ApplyUpdate — they go through DeleteRepairer or force a reseed.
 type Updater[Q, V any] interface {
 	ApplyUpdate(q Q, ctx *Context[V], upd EdgeUpdate) ([]graph.ID, error)
 }
@@ -64,16 +82,103 @@ type BorderPublisher[Q, V any] interface {
 	PublishBorder(q Q, ctx *Context[V], id graph.ID)
 }
 
+// DeleteRepairer is implemented by PIE programs that can repair their
+// retained session state after a batch containing edge deletions, instead of
+// paying a full reseed. The session applies all structural mutations
+// (fragment and global graphs, border bookkeeping) first, then calls
+// RepairBatch with coordinator-side access to every fragment's context; the
+// returned per-worker dirty sets seed a follow-up IncEval fixpoint (an empty
+// map means the repair is already exact). CanRepair is consulted before
+// anything is mutated: returning false sends the batch down the reseed path
+// (e.g. Sim repairs deletions, whose masks only shrink, but must reseed when
+// the batch also inserts).
+type DeleteRepairer[Q, V any] interface {
+	CanRepair(q Q, batch []EdgeUpdate) bool
+	RepairBatch(q Q, sc *RepairScope[V], batch []EdgeUpdate) (map[int][]graph.ID, error)
+}
+
+// SessionPatcher is implemented by locality-bounded programs (SubIso,
+// TriCount) whose sessions retain the assembled answer and patch it exactly
+// per update instead of re-running any fixpoint. SessionQuery may widen the
+// user's query for the initial run (SubIso drops MaxMatches: a truncated
+// match list cannot be patched); PatchResult narrows the retained state back
+// to the user's answer. ApplyPatch receives the update and an apply closure
+// that performs the graph mutation — the patcher decides whether to inspect
+// the graph before or after calling it (exactly once).
+type SessionPatcher[Q, R any] interface {
+	SessionQuery(q Q) Q
+	InitPatch(q Q, g *graph.Graph, res R) (any, error)
+	ApplyPatch(q Q, g *graph.Graph, state any, upd EdgeUpdate, apply func()) (any, error)
+	PatchResult(q Q, state any) (R, error)
+}
+
+// RepairScope is a DeleteRepairer's coordinator-side view of the session:
+// the global graph, every fragment's context, and the value/invalidation
+// plumbing that keeps the per-host variables and the coordinator's fold in
+// step. It is only valid for the duration of one RepairBatch call.
+type RepairScope[V any] struct {
+	layout *partition.Layout
+	ctxs   []*Context[V]
+	fold   *foldState[V]
+}
+
+// Global returns the global (whole) graph, already mutated by the batch.
+func (sc *RepairScope[V]) Global() *graph.Graph { return sc.layout.Asg.G }
+
+// Workers returns the number of fragments.
+func (sc *RepairScope[V]) Workers() int { return len(sc.ctxs) }
+
+// Owner returns the worker owning id.
+func (sc *RepairScope[V]) Owner(id graph.ID) int { return sc.layout.Asg.Owner(id) }
+
+// Ctx returns worker w's retained context (fragment, variables, program
+// state).
+func (sc *RepairScope[V]) Ctx(w int) *Context[V] { return sc.ctxs[w] }
+
+// Value returns the owner's view of id's variable — the authoritative
+// converged value.
+func (sc *RepairScope[V]) Value(id graph.ID) V {
+	return sc.ctxs[sc.layout.Asg.Owner(id)].Get(id)
+}
+
+// Invalidate erases id's variable at every hosting fragment and drops the
+// coordinator's folded baseline, so a follow-up fixpoint re-derives the
+// value from scratch (or leaves it at the default if nothing reaches it).
+func (sc *RepairScope[V]) Invalidate(id graph.ID) {
+	for _, h := range sc.layout.Hosts(id) {
+		sc.ctxs[h].clearVar(id)
+	}
+	sc.fold.forget(id)
+}
+
+// ForceValue overwrites id's variable at every hosting fragment and the
+// coordinator's folded baseline, bypassing aggregation — for repaired values
+// that may sit above the old ones in the order (e.g. CC labels after a
+// component split).
+func (sc *RepairScope[V]) ForceValue(id graph.ID, v V) {
+	for _, h := range sc.layout.Hosts(id) {
+		sc.ctxs[h].SetLocal(id, v)
+	}
+	sc.fold.force(id, v)
+}
+
 // Session retains a query's distributed state across graph updates.
 type Session[Q, V, R any] struct {
-	prog   Program[Q, V, R]
+	prog Program[Q, V, R]
+	// q is the user's query; iq the query the fixpoints actually run —
+	// identical unless a SessionPatcher widened it (see SessionQuery).
 	q      Q
+	iq     Q
 	layout *partition.Layout
 	ctxs   []*Context[V]
 	opts   Options
 	spec   VarSpec[V]
 	// fold retains the coordinator's sharded border state between runs.
 	fold *foldState[V]
+	// patcher/patch carry SessionPatcher mode: the retained patched answer
+	// replaces the fixpoint machinery after the initial run.
+	patcher SessionPatcher[Q, R]
+	patch   any
 	// broken marks a session whose incremental fixpoint did not complete
 	// (cancelled or errored mid-Update): the retained fold and fragment
 	// state have diverged, so later Updates would return silently stale
@@ -88,7 +193,10 @@ type Session[Q, V, R any] struct {
 var ErrSessionBroken = errors.New("session state diverged by an aborted update; start a new session")
 
 // NewSession runs the initial PEval/IncEval fixpoint and retains the state
-// for incremental updates. The context bounds the initial fixpoint only;
+// for incremental updates. Every registered program can run in a session:
+// programs without incremental capabilities fall back to reseeding on
+// Update, which re-runs the from-scratch pipeline on the mutated graph
+// inside the same session. The context bounds the initial fixpoint only;
 // each Update call carries its own.
 func NewSession[Q, V, R any](ctx context.Context, g *graph.Graph, prog Program[Q, V, R], q Q, opts Options) (*Session[Q, V, R], R, *metrics.Stats, error) {
 	var zero R
@@ -99,22 +207,40 @@ func NewSession[Q, V, R any](ctx context.Context, g *graph.Graph, prog Program[Q
 		return nil, zero, nil, fmt.Errorf("engine: sessions run on the in-process bus only (graph updates mutate shared fragments)")
 	}
 	opts = opts.withDefaults()
-	asg, err := opts.Strategy.Partition(g, opts.Workers)
+	patcher, _ := any(prog).(SessionPatcher[Q, R])
+	if opts.ExpandHops > 0 && patcher == nil {
+		return nil, zero, nil, fmt.Errorf("engine: %s: expanded fragments replicate edges across workers, which incremental updates cannot keep consistent; only SessionPatcher programs run sessions with ExpandHops > 0", prog.Name())
+	}
+	layout, err := BuildLayout(g, opts)
 	if err != nil {
 		return nil, zero, nil, err
 	}
-	layout := partition.Build(g, asg)
 	s := &Session[Q, V, R]{
-		prog:   prog,
-		q:      q,
-		layout: layout,
-		opts:   opts,
-		spec:   prog.Spec(),
+		prog:    prog,
+		q:       q,
+		iq:      q,
+		layout:  layout,
+		opts:    opts,
+		spec:    prog.Spec(),
+		patcher: patcher,
+	}
+	if patcher != nil {
+		s.iq = patcher.SessionQuery(q)
 	}
 	s.fold = newFoldState(s.spec, len(layout.Fragments))
 	res, stats, err := s.fixpoint(ctx, true, nil)
 	if err != nil {
 		return nil, zero, stats, err
+	}
+	if patcher != nil {
+		st, err := patcher.InitPatch(q, layout.Asg.G, res)
+		if err != nil {
+			return nil, zero, stats, err
+		}
+		s.patch = st
+		if res, err = patcher.PatchResult(q, st); err != nil {
+			return nil, zero, stats, err
+		}
 	}
 	return s, res, stats, nil
 }
@@ -132,87 +258,179 @@ func (s *Session[Q, V, R]) Result() (R, error) {
 		var zero R
 		return zero, fmt.Errorf("engine: %s: %w", s.prog.Name(), ErrSessionBroken)
 	}
+	if s.patcher != nil {
+		return s.patcher.PatchResult(s.q, s.patch)
+	}
 	return s.prog.Assemble(s.q, s.ctxs)
 }
 
-// Update applies a batch of edge updates and re-runs only IncEval, seeded at
-// the dirty nodes — the paper's Q(G ⊕ M) = Q(G) ⊕ ΔO. The program must
-// implement Updater. A cancelled ctx aborts the incremental fixpoint at the
-// next superstep barrier; the graph mutation itself has already been applied
-// by then and the retained state has diverged, so the session marks itself
-// broken — further Update/Result calls fail with ErrSessionBroken instead
-// of returning silently stale answers. Drop the session and start a new one
-// over the (mutated) graph.
+// Update applies a batch of mixed edge insertions and deletions and brings
+// the retained answer up to date — the paper's Q(G ⊕ M) = Q(G) ⊕ ΔO. The
+// whole batch is validated before anything is mutated, so a rejected batch
+// leaves the session (and the graph) untouched. The execution path depends
+// on the program's capabilities: seeded IncEval for insert-only batches of
+// an Updater, coordinator-side repair plus follow-up fixpoint for a
+// DeleteRepairer, exact answer patching for a SessionPatcher, and a full
+// reseed of the mutated graph for everything else. A cancelled ctx aborts
+// an incremental fixpoint at the next superstep barrier; the graph mutation
+// has already been applied by then and the retained state has diverged, so
+// the session marks itself broken — further Update/Result calls fail with
+// ErrSessionBroken instead of returning silently stale answers.
 func (s *Session[Q, V, R]) Update(ctx context.Context, updates []EdgeUpdate) (R, *metrics.Stats, error) {
 	var zero R
 	if s.broken {
 		return zero, nil, fmt.Errorf("engine: %s: %w", s.prog.Name(), ErrSessionBroken)
 	}
-	up, ok := any(s.prog).(Updater[Q, V])
-	if !ok {
-		return zero, nil, fmt.Errorf("engine: program %s does not support incremental graph updates", s.prog.Name())
+	if err := s.validate(updates); err != nil {
+		return zero, nil, err
 	}
-	// Validate the whole batch before mutating anything: rejecting a bad
-	// entry after earlier ones were applied would force the session broken
-	// for what is merely invalid input.
+	// Deletions get W rewritten to the removed instance's weight; work on a
+	// copy so the caller's batch stays untouched.
+	ups := make([]EdgeUpdate, len(updates))
+	copy(ups, updates)
+	if s.patcher != nil {
+		return s.patchBatch(ups)
+	}
+	hasDelete := false
+	for _, u := range ups {
+		if u.Del {
+			hasDelete = true
+			break
+		}
+	}
+	if up, ok := any(s.prog).(Updater[Q, V]); ok && !hasDelete {
+		return s.incremental(ctx, up, ups)
+	}
+	if rep, ok := any(s.prog).(DeleteRepairer[Q, V]); ok && rep.CanRepair(s.q, ups) {
+		return s.repair(ctx, rep, ups)
+	}
+	return s.reseed(ctx, ups)
+}
+
+// validate rejects a bad batch before any state is mutated: unknown
+// endpoints, program-specific rules (UpdateValidator), and deletions of
+// edges that do not exist — counted against a per-batch multiset, so a
+// batch may delete an edge it inserted earlier, and two deletions of the
+// same edge need two live instances.
+func (s *Session[Q, V, R]) validate(updates []EdgeUpdate) error {
+	g := s.layout.Asg.G
 	validator, hasValidator := any(s.prog).(UpdateValidator[Q])
+	type ekey struct {
+		from, to graph.ID
+		label    string
+	}
+	counts := make(map[ekey]int)
+	liveCount := func(k ekey) int {
+		if c, ok := counts[k]; ok {
+			return c
+		}
+		c := 0
+		for _, e := range g.Out(k.from) {
+			if e.To == k.to && e.Label == k.label {
+				c++
+			}
+		}
+		counts[k] = c
+		return c
+	}
 	for _, u := range updates {
-		if !s.layout.Asg.G.Has(u.From) || !s.layout.Asg.G.Has(u.To) {
-			return zero, nil, fmt.Errorf("engine: update %v references unknown vertices (vertex additions are not supported)", u)
+		if !g.Has(u.From) || !g.Has(u.To) {
+			return fmt.Errorf("engine: update %v references unknown vertices (vertex additions are not supported)", u)
 		}
 		if hasValidator {
 			if err := validator.ValidateUpdate(s.q, u); err != nil {
-				return zero, nil, fmt.Errorf("engine: rejecting %v: %w", u, err)
+				return fmt.Errorf("engine: rejecting %v: %w", u, err)
 			}
+		}
+		k := ekey{u.From, u.To, u.Label}
+		if u.Del {
+			if liveCount(k) <= 0 {
+				return fmt.Errorf("engine: deleting %v: no matching edge (%d->%d label %q)", u, u.From, u.To, u.Label)
+			}
+			counts[k]--
+		} else {
+			counts[k] = liveCount(k) + 1
 		}
 	}
-	// Route each update to the owner of its source vertex (where the edge
-	// is stored) and mutate that fragment. New endpoints may enlarge the
-	// border: keep placement in sync. An error once this loop has begun
-	// mutating leaves earlier batch entries applied locally but never
-	// propagated — the same divergence as an aborted fixpoint — so it
-	// breaks the session.
+	return nil
+}
+
+// applyInsert routes one insertion to the owner of its source vertex (where
+// the edge is stored) and mutates that fragment plus the global graph. New
+// endpoints may enlarge the border: placement, border variables and the
+// coordinator's fold are kept in sync, and workers whose queued values must
+// flush are marked in dirtyByWorker (with no dirty nodes of their own).
+func (s *Session[Q, V, R]) applyInsert(u EdgeUpdate, dirtyByWorker map[int][]graph.ID) int {
+	w := s.layout.Asg.Owner(u.From)
+	f := s.layout.Fragments[w]
+	if w != s.layout.Asg.Owner(u.To) && !f.G.Has(u.To) {
+		// new outer copy: replicate the vertex, extend the border on
+		// both sides, and bring the copy up to date with the
+		// coordinator's folded value so no historic routing is missed.
+		g := s.layout.Asg.G
+		f.G.AddVertex(u.To, g.Label(u.To))
+		if ps := g.Props(u.To); len(ps) > 0 {
+			f.G.SetProps(u.To, append([]string(nil), ps...))
+		}
+		f.AddOuter(u.To)
+		s.layout.AddHost(u.To, w)
+		s.ctxs[w].addBorder(u.To)
+		if gv, ok := s.fold.lookup(u.To); ok {
+			s.ctxs[w].SetLocal(u.To, s.spec.Agg(s.ctxs[w].Get(u.To), gv))
+		}
+		owner := s.layout.Asg.Owner(u.To)
+		of := s.layout.Fragments[owner]
+		if of.AddInnerBorder(u.To) {
+			s.ctxs[owner].addBorder(u.To)
+		}
+		// the owner's current value never shipped if the node was not
+		// border before; force it onto the wire
+		if pub, ok := any(s.prog).(BorderPublisher[Q, V]); ok {
+			pub.PublishBorder(s.q, s.ctxs[owner], u.To)
+		} else {
+			s.ctxs[owner].touch(u.To)
+		}
+		if _, ok := dirtyByWorker[owner]; !ok {
+			dirtyByWorker[owner] = nil
+		}
+	}
+	f.G.AddLabeledEdge(u.From, u.To, u.W, u.Label)
+	// mirror into the global graph so later sessions/partitions see it
+	s.layout.Asg.G.AddLabeledEdge(u.From, u.To, u.W, u.Label)
+	if _, ok := dirtyByWorker[w]; !ok {
+		dirtyByWorker[w] = nil
+	}
+	return w
+}
+
+// applyDelete removes one matching edge instance from the owner fragment and
+// the global graph, rewriting u.W to the removed instance's weight. Both
+// adjacencies were built in the same order, so "first match" picks the same
+// instance in each.
+func (s *Session[Q, V, R]) applyDelete(u *EdgeUpdate) error {
+	w := s.layout.Asg.Owner(u.From)
+	f := s.layout.Fragments[w]
+	removed, ok := f.G.RemoveEdge(u.From, u.To, u.Label)
+	if !ok {
+		return fmt.Errorf("engine: deleting %v: edge missing from owner fragment %d", *u, w)
+	}
+	if _, ok := s.layout.Asg.G.RemoveEdge(u.From, u.To, u.Label); !ok {
+		return fmt.Errorf("engine: deleting %v: edge missing from global graph", *u)
+	}
+	u.W = removed.W
+	return nil
+}
+
+// incremental is the insert-only Updater path: mutate fragments, collect the
+// program's dirty nodes, and re-run the seeded IncEval fixpoint. An error
+// once mutation has begun leaves earlier batch entries applied locally but
+// never propagated — the same divergence as an aborted fixpoint — so it
+// breaks the session.
+func (s *Session[Q, V, R]) incremental(ctx context.Context, up Updater[Q, V], ups []EdgeUpdate) (R, *metrics.Stats, error) {
+	var zero R
 	dirtyByWorker := make(map[int][]graph.ID)
-	for _, u := range updates {
-		w := s.layout.Asg.Owner(u.From)
-		f := s.layout.Fragments[w]
-		if w != s.layout.Asg.Owner(u.To) && !f.G.Has(u.To) {
-			// new outer copy: replicate the vertex, extend the border on
-			// both sides, and bring the copy up to date with the
-			// coordinator's folded value so no historic routing is missed.
-			g := s.layout.Asg.G
-			f.G.AddVertex(u.To, g.Label(u.To))
-			if ps := g.Props(u.To); len(ps) > 0 {
-				f.G.SetProps(u.To, append([]string(nil), ps...))
-			}
-			f.AddOuter(u.To)
-			s.layout.AddHost(u.To, w)
-			s.ctxs[w].addBorder(u.To)
-			if gv, ok := s.fold.lookup(u.To); ok {
-				s.ctxs[w].SetLocal(u.To, s.spec.Agg(s.ctxs[w].Get(u.To), gv))
-			}
-			owner := s.layout.Asg.Owner(u.To)
-			of := s.layout.Fragments[owner]
-			if of.AddInnerBorder(u.To) {
-				s.ctxs[owner].addBorder(u.To)
-			}
-			// the owner's current value never shipped if the node was not
-			// border before; force it onto the wire
-			if pub, ok := any(s.prog).(BorderPublisher[Q, V]); ok {
-				pub.PublishBorder(s.q, s.ctxs[owner], u.To)
-			} else {
-				s.ctxs[owner].touch(u.To)
-			}
-			if _, ok := dirtyByWorker[owner]; !ok {
-				dirtyByWorker[owner] = nil
-			}
-		}
-		f.G.AddLabeledEdge(u.From, u.To, u.W, u.Label)
-		// mirror into the global graph so later sessions/partitions see it
-		s.layout.Asg.G.AddLabeledEdge(u.From, u.To, u.W, u.Label)
-		if _, ok := dirtyByWorker[w]; !ok {
-			dirtyByWorker[w] = nil
-		}
+	for _, u := range ups {
+		w := s.applyInsert(u, dirtyByWorker)
 		dirty, err := up.ApplyUpdate(s.q, s.ctxs[w], u)
 		if err != nil {
 			// the edge itself was already inserted above; the session's
@@ -230,6 +448,112 @@ func (s *Session[Q, V, R]) Update(ctx context.Context, updates []EdgeUpdate) (R,
 		s.broken = true
 	}
 	return res, stats, err
+}
+
+// repair is the DeleteRepairer path: apply every structural mutation, let
+// the program patch its retained state coordinator-side, and run a follow-up
+// fixpoint seeded with whatever the repair dirtied.
+func (s *Session[Q, V, R]) repair(ctx context.Context, rep DeleteRepairer[Q, V], ups []EdgeUpdate) (R, *metrics.Stats, error) {
+	var zero R
+	dirtyByWorker := make(map[int][]graph.ID)
+	for i := range ups {
+		if ups[i].Del {
+			if err := s.applyDelete(&ups[i]); err != nil {
+				s.broken = true
+				return zero, nil, err
+			}
+		} else {
+			s.applyInsert(ups[i], dirtyByWorker)
+		}
+	}
+	repDirty, err := rep.RepairBatch(s.q, &RepairScope[V]{layout: s.layout, ctxs: s.ctxs, fold: s.fold}, ups)
+	if err != nil {
+		s.broken = true
+		return zero, nil, fmt.Errorf("engine: %s: repairing batch: %w", s.prog.Name(), err)
+	}
+	for w, ids := range repDirty {
+		dirtyByWorker[w] = append(dirtyByWorker[w], ids...)
+	}
+	res, stats, err := s.fixpoint(ctx, false, dirtyByWorker)
+	if err != nil {
+		s.broken = true
+	}
+	return res, stats, err
+}
+
+// reseed is the universal fallback: mutate the global graph only, rebuild
+// the layout from it, and run the from-scratch PEval/IncEval fixpoint inside
+// the session — the exact pipeline Run would execute on the mutated graph.
+// Old fragments, contexts and fold state are discarded wholesale.
+func (s *Session[Q, V, R]) reseed(ctx context.Context, ups []EdgeUpdate) (R, *metrics.Stats, error) {
+	var zero R
+	g := s.layout.Asg.G
+	for i := range ups {
+		u := &ups[i]
+		if u.Del {
+			removed, ok := g.RemoveEdge(u.From, u.To, u.Label)
+			if !ok {
+				s.broken = true
+				return zero, nil, fmt.Errorf("engine: deleting %v: edge missing from global graph", *u)
+			}
+			u.W = removed.W
+		} else {
+			g.AddLabeledEdge(u.From, u.To, u.W, u.Label)
+		}
+	}
+	layout, err := BuildLayout(g, s.opts)
+	if err != nil {
+		s.broken = true
+		return zero, nil, err
+	}
+	s.layout = layout
+	s.fold = newFoldState(s.spec, len(layout.Fragments))
+	res, stats, err := s.fixpoint(ctx, true, nil)
+	if err != nil {
+		s.broken = true
+	}
+	return res, stats, err
+}
+
+// patchBatch is the SessionPatcher path: per update, hand the patcher the
+// global graph plus an apply closure performing the mutation, and retain the
+// patched state. No fixpoint runs; the per-fragment machinery of the initial
+// run is left behind (a patched answer never consults it).
+func (s *Session[Q, V, R]) patchBatch(ups []EdgeUpdate) (R, *metrics.Stats, error) {
+	var zero R
+	start := time.Now()
+	g := s.layout.Asg.G
+	for i := range ups {
+		u := &ups[i]
+		applied := false
+		apply := func() {
+			applied = true
+			if u.Del {
+				removed, ok := g.RemoveEdge(u.From, u.To, u.Label)
+				if ok {
+					u.W = removed.W
+				}
+			} else {
+				g.AddLabeledEdge(u.From, u.To, u.W, u.Label)
+			}
+		}
+		st, err := s.patcher.ApplyPatch(s.q, g, s.patch, *u, apply)
+		if err != nil {
+			s.broken = true
+			return zero, nil, fmt.Errorf("engine: %s: patching %v: %w", s.prog.Name(), *u, err)
+		}
+		if !applied {
+			apply()
+		}
+		s.patch = st
+	}
+	stats := &metrics.Stats{Engine: "grape/" + s.prog.Name(), Workers: len(s.layout.Fragments), WallTime: time.Since(start)}
+	res, err := s.patcher.PatchResult(s.q, s.patch)
+	if err != nil {
+		s.broken = true
+		return zero, stats, err
+	}
+	return res, stats, nil
 }
 
 // fixpoint runs the engine loop. With init=true it spawns fresh contexts and
@@ -251,7 +575,7 @@ func (s *Session[Q, V, R]) fixpoint(ctx context.Context, init bool, dirtyByWorke
 	done := make(chan struct{})
 	for i := 0; i < n; i++ {
 		go func(w int) {
-			workerLoop(ctx, bus, w, s.prog, s.q, s.ctxs[w], s.spec)
+			workerLoop(ctx, bus, w, s.prog, s.iq, s.ctxs[w], s.spec)
 			done <- struct{}{}
 		}(i)
 	}
@@ -324,7 +648,7 @@ func (s *Session[Q, V, R]) fixpoint(ctx context.Context, init bool, dirtyByWorke
 		}
 	}
 	stop()
-	res, err := s.prog.Assemble(s.q, s.ctxs)
+	res, err := s.prog.Assemble(s.iq, s.ctxs)
 	stats.Messages = bus.Messages()
 	stats.Bytes = bus.Bytes()
 	stats.WallTime = time.Since(start)

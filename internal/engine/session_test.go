@@ -115,15 +115,83 @@ func TestSessionRejectsUnknownVertices(t *testing.T) {
 	}
 }
 
-func TestSessionRejectsNonUpdaterProgram(t *testing.T) {
+func TestSessionNonUpdaterProgramReseeds(t *testing.T) {
+	// a program with no incremental hooks still takes updates: the session
+	// falls back to reseeding, which must match a from-scratch run on the
+	// mutated graph
 	g := gen.Random(20, 40, 2)
 	s, _, _, err := NewSession(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 1, W: 1}})
-	if err == nil || !strings.Contains(err.Error(), "does not support") {
-		t.Fatalf("want unsupported error, got %v", err)
+	got, _, err := s.Update(context.Background(), []EdgeUpdate{{From: 0, To: 1, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, x := range want {
+		if got[v] != x {
+			t.Fatalf("vertex %d after reseed: %d vs fresh run %d", v, got[v], x)
+		}
+	}
+}
+
+func TestSessionReseedHandlesDeletes(t *testing.T) {
+	g := gen.Random(20, 60, 3)
+	s, _, _, err := NewSession(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Out(g.Vertices()[0])[0]
+	batch := []EdgeUpdate{{From: g.Vertices()[0], To: e.To, Label: e.Label, Del: true}}
+	got, _, err := s.Update(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Run(context.Background(), g, countdown{}, cdQuery{}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, x := range want {
+		if got[v] != x {
+			t.Fatalf("vertex %d after delete reseed: %d vs fresh run %d", v, got[v], x)
+		}
+	}
+}
+
+func TestSessionValidateRejectsMissingDelete(t *testing.T) {
+	g := gen.Random(20, 40, 4)
+	s, _, _, err := NewSession(context.Background(), g, sessionProg{}, cdQuery{}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := g.Vertices()
+	var u, v graph.ID = vs[0], vs[1]
+	for _, e := range g.Out(u) { // ensure u->v does not exist
+		if e.To == v {
+			t.Skip("random graph happens to contain the edge")
+		}
+	}
+	edges := g.NumEdges()
+	_, _, err = s.Update(context.Background(), []EdgeUpdate{{From: u, To: v, Del: true}})
+	if err == nil || !strings.Contains(err.Error(), "no matching edge") {
+		t.Fatalf("want missing-edge rejection, got %v", err)
+	}
+	if g.NumEdges() != edges {
+		t.Fatal("rejected batch must not mutate the graph")
+	}
+	if s.Broken() {
+		t.Fatal("rejected batch must not break the session")
+	}
+	// a batch may delete an edge it inserted earlier in the same batch
+	if _, _, err := s.Update(context.Background(), []EdgeUpdate{
+		{From: u, To: v, W: 1},
+		{From: u, To: v, Del: true},
+	}); err != nil {
+		t.Fatalf("insert-then-delete within one batch should validate: %v", err)
 	}
 }
 
@@ -132,5 +200,70 @@ func TestSessionRejectsUndirected(t *testing.T) {
 	g.AddEdge(0, 1, 1)
 	if _, _, _, err := NewSession(context.Background(), g, sessionProg{}, cdQuery{}, Options{Workers: 2}); err == nil {
 		t.Fatal("expected undirected rejection")
+	}
+}
+
+// TestThawMutateRefreezeKeepsResidentStable is the regression pinning the
+// session/serving interaction with the CSR lifecycle: mutating the base
+// graph (which thaws it) and refreezing must keep the graph's dense vertex
+// indices stable, and a pooled Resident built over the pre-mutation layout
+// must keep producing bit-identical results — its recycled contexts, fold
+// state and fragment graphs may not alias storage the mutation touched.
+func TestThawMutateRefreezeKeepsResidentStable(t *testing.T) {
+	g := ring(64)
+	idx := make(map[graph.ID]int32, g.NumVertices())
+	for _, v := range g.Vertices() {
+		i, ok := g.Index(v)
+		if !ok {
+			t.Fatalf("frozen graph has no index for %d", v)
+		}
+		idx[v] = i
+	}
+	layout, err := BuildLayout(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := make(chan struct{}, 4096)
+	r, err := NewResident(layout, stepper{steps: steps}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stepQuery{limit: 40}
+	want, _, err := r.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		u, v := graph.ID(round), graph.ID(63-round)
+		g.AddLabeledEdge(u, v, 1, "tmp") // thaws the CSR form
+		if g.Frozen() {
+			t.Fatalf("round %d: mutation left the graph frozen", round)
+		}
+		if _, ok := g.RemoveEdge(u, v, "tmp"); !ok {
+			t.Fatalf("round %d: temporary edge vanished", round)
+		}
+		g.Freeze()
+		if g.NumVertices() != len(idx) {
+			t.Fatalf("round %d: vertex count changed: %d", round, g.NumVertices())
+		}
+		for id, wantIdx := range idx {
+			got, ok := g.Index(id)
+			if !ok || got != wantIdx {
+				t.Fatalf("round %d: dense index of %d moved: %d -> %d (ok=%v)", round, id, wantIdx, got, ok)
+			}
+		}
+		got, _, err := r.Run(context.Background(), q)
+		if err != nil {
+			t.Fatalf("round %d: pooled run after thaw/refreeze: %v", round, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d vertices, want %d", round, len(got), len(want))
+		}
+		for id, val := range want {
+			if got[id] != val {
+				t.Fatalf("round %d: vertex %d = %d, want %d (pooled scratch not bit-identical after base-graph mutation)",
+					round, id, got[id], val)
+			}
+		}
 	}
 }

@@ -333,6 +333,51 @@ func Ratings(cfg RatingsConfig) *graph.Graph {
 	return g.Freeze()
 }
 
+// DirectedRatings is Ratings with user→item edges on a directed graph — the
+// shape incremental sessions need (sessions are directed-only). CF only ever
+// walks out-edges of "user"-labeled vertices, so training sees the same
+// rating multiset as on the undirected form.
+func DirectedRatings(cfg RatingsConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Factors <= 0 {
+		cfg.Factors = 4
+	}
+	p := make([][]float64, cfg.Users)
+	q := make([][]float64, cfg.Items)
+	for u := range p {
+		p[u] = randVec(rng, cfg.Factors)
+	}
+	for i := range q {
+		q[i] = randVec(rng, cfg.Factors)
+	}
+	g := graph.New()
+	for u := 0; u < cfg.Users; u++ {
+		g.AddVertex(graph.ID(u), "user")
+	}
+	for i := 0; i < cfg.Items; i++ {
+		g.AddVertex(graph.ID(cfg.Users+i), "item")
+	}
+	for u := 0; u < cfg.Users; u++ {
+		seen := map[int]bool{}
+		for k := 0; k < cfg.RatingsPerUser; k++ {
+			i := rng.Intn(cfg.Items)
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			r := 3.0 + dot(p[u], q[i]) + rng.NormFloat64()*cfg.Noise
+			if r < 1 {
+				r = 1
+			}
+			if r > 5 {
+				r = 5
+			}
+			g.AddEdge(graph.ID(u), graph.ID(cfg.Users+i), r)
+		}
+	}
+	return g.Freeze()
+}
+
 func randVec(rng *rand.Rand, k int) []float64 {
 	v := make([]float64, k)
 	for i := range v {

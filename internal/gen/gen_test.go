@@ -192,3 +192,92 @@ func TestAttachKeywordsDeterministic(t *testing.T) {
 		t.Fatal("no keywords attached")
 	}
 }
+
+// TestUpdateStreamLegal replays a generated stream against a live-edge
+// multiset: every deletion must name an instance live at its point in the
+// stream, every insertion must connect vertices of the graph, and the stream
+// must be deterministic in its seed.
+func TestUpdateStreamLegal(t *testing.T) {
+	g := Random(40, 120, 3)
+	cfg := StreamConfig{Batches: 6, BatchSize: 15, DeleteP: 0.4, Seed: 9}
+	stream := UpdateStream(g, cfg)
+	if len(stream) != 6 {
+		t.Fatalf("batches = %d, want 6", len(stream))
+	}
+	type key struct {
+		from, to graph.ID
+		label    string
+	}
+	liveCount := map[key]int{}
+	for _, u := range g.SortedVertices() {
+		for _, e := range g.Out(u) {
+			liveCount[key{u, e.To, e.Label}]++
+		}
+	}
+	exists := map[graph.ID]bool{}
+	for _, v := range g.Vertices() {
+		exists[v] = true
+	}
+	dels, ins := 0, 0
+	for _, batch := range stream {
+		if len(batch) != 15 {
+			t.Fatalf("batch size = %d, want 15", len(batch))
+		}
+		for _, u := range batch {
+			k := key{u.From, u.To, u.Label}
+			if u.Del {
+				dels++
+				if liveCount[k] <= 0 {
+					t.Fatalf("deletion of dead edge %+v", u)
+				}
+				liveCount[k]--
+				continue
+			}
+			ins++
+			if !exists[u.From] || !exists[u.To] {
+				t.Fatalf("insertion touches unknown vertex: %+v", u)
+			}
+			if u.W < 0 {
+				t.Fatalf("negative insertion weight: %+v", u)
+			}
+			liveCount[k]++
+		}
+	}
+	if dels == 0 || ins == 0 {
+		t.Fatalf("stream should mix operations: %d inserts, %d deletes", ins, dels)
+	}
+	again := UpdateStream(Random(40, 120, 3), cfg)
+	for b := range stream {
+		for i := range stream[b] {
+			if stream[b][i] != again[b][i] {
+				t.Fatal("stream not deterministic in seed")
+			}
+		}
+	}
+}
+
+func TestDirectedRatingsShape(t *testing.T) {
+	g := DirectedRatings(RatingsConfig{Users: 30, Items: 10, RatingsPerUser: 5, Factors: 3, Noise: 0.1, Seed: 2})
+	if !g.Directed() {
+		t.Fatal("DirectedRatings must be directed")
+	}
+	for _, v := range g.Vertices() {
+		switch g.Label(v) {
+		case "user":
+			for _, e := range g.Out(v) {
+				if g.Label(e.To) != "item" {
+					t.Fatalf("user %d rates non-item %d", v, e.To)
+				}
+				if e.W < 1 || e.W > 5 {
+					t.Fatalf("rating %g out of [1,5]", e.W)
+				}
+			}
+		case "item":
+			if len(g.Out(v)) != 0 {
+				t.Fatalf("item %d has out-edges", v)
+			}
+		default:
+			t.Fatalf("unexpected label %q", g.Label(v))
+		}
+	}
+}

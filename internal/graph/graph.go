@@ -140,6 +140,57 @@ func (g *Graph) AddLabeledEdge(u, v ID, w float64, label string) {
 	g.numEdges++
 }
 
+// RemoveEdge removes one edge instance from u to v with the given label
+// (weight is not part of the match; parallel edges with the same label are
+// removed one instance per call, first in adjacency order) and returns the
+// removed edge. A frozen graph is transparently thawed, exactly as the Add*
+// mutators do. The surviving adjacency is freshly allocated, never edited in
+// place: after a thaw the per-vertex slices alias the CSR arrays, which
+// frozen Clones may still share. When no edge matches, the graph's edges are
+// unchanged and ok is false.
+func (g *Graph) RemoveEdge(u, v ID, label string) (removed Edge, ok bool) {
+	ui, uok := g.index[u]
+	vi, vok := g.index[v]
+	if !uok || !vok {
+		return Edge{}, false
+	}
+	if g.frozen {
+		g.thaw()
+	}
+	removed, ok = removeEdgeOnce(&g.out[ui], v, label, nil)
+	if !ok {
+		return Edge{}, false
+	}
+	if !g.directed {
+		// the stored reverse instance (for self-loops, the second copy)
+		removeEdgeOnce(&g.out[vi], u, label, &removed.W)
+	}
+	if g.directed && g.inBuilt {
+		removeEdgeOnce(&g.in[vi], u, label, &removed.W)
+	}
+	g.numEdges--
+	return removed, true
+}
+
+// removeEdgeOnce deletes the first edge in *es targeting to with the given
+// label (and, when w is non-nil, exactly weight *w) by rebuilding the slice
+// into fresh memory — *es may alias a shared CSR array.
+func removeEdgeOnce(es *[]Edge, to ID, label string, w *float64) (Edge, bool) {
+	for k, e := range *es {
+		if e.To == to && e.Label == label && (w == nil || e.W == *w) {
+			var rest []Edge
+			if len(*es) > 1 {
+				rest = make([]Edge, 0, len(*es)-1)
+				rest = append(rest, (*es)[:k]...)
+				rest = append(rest, (*es)[k+1:]...)
+			}
+			*es = rest
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
 // Has reports whether the vertex exists.
 func (g *Graph) Has(id ID) bool { _, ok := g.index[id]; return ok }
 

@@ -254,6 +254,157 @@ func (CC) PublishBorder(q CCQuery, ctx *engine.Context[graph.ID], id graph.ID) {
 	}
 }
 
+// CanRepair implements engine.DeleteRepairer: the region relabel below is
+// exact for any mix of insertions and deletions.
+func (CC) CanRepair(q CCQuery, batch []engine.EdgeUpdate) bool { return true }
+
+// RepairBatch implements engine.DeleteRepairer. Deleting an edge can split a
+// component, which no monotone label propagation can express — labels only
+// decrease. Instead the repair recomputes connectivity exactly on the region
+// the batch can possibly affect: the union of the old components of every
+// batch endpoint. That region is closed under new-graph adjacency (old edges
+// connect vertices of one old component; inserted edges connect batch
+// endpoints), so a union-find over the region's vertices against the mutated
+// global graph yields their exact new components, labeled min-member as
+// everywhere else. Fragment states are then re-aligned: fragments whose
+// local adjacency changed (they own a batch edge) rebuild their union-find
+// from scratch, the rest only relabel the local sets containing region
+// members. Variables and the coordinator's fold are overwritten with the new
+// labels — a split raises labels, which the monotone machinery would reject.
+// The returned dirty map is empty: the repair is already exact, so the
+// follow-up fixpoint converges immediately.
+func (CC) RepairBatch(q CCQuery, sc *engine.RepairScope[graph.ID], batch []engine.EdgeUpdate) (map[int][]graph.ID, error) {
+	g := sc.Global()
+	oldLabelOf := func(id graph.ID) graph.ID {
+		ctx := sc.Ctx(sc.Owner(id))
+		st, ok := ctx.State.(*ccState)
+		if !ok {
+			return id
+		}
+		i, ok := ctx.Frag.G.Index(id)
+		if !ok || int(i) >= len(st.rootLabel) {
+			return id
+		}
+		r := st.uf.Find(i)
+		if !st.rootHas[r] {
+			return id
+		}
+		return st.rootLabel[r]
+	}
+	touched := make(map[graph.ID]bool)
+	for _, u := range batch {
+		touched[oldLabelOf(u.From)] = true
+		touched[oldLabelOf(u.To)] = true
+	}
+	// region: every vertex of a touched old component, in ascending ID order
+	var region []graph.ID
+	pos := make(map[graph.ID]int)
+	for _, id := range g.Vertices() {
+		if touched[oldLabelOf(id)] {
+			pos[id] = len(region)
+			region = append(region, id)
+		}
+	}
+	// exact new connectivity of the region against the mutated graph
+	ruf := seq.NewDenseUnionFind(len(region))
+	for k, id := range region {
+		for _, e := range g.Out(id) {
+			if j, ok := pos[e.To]; ok {
+				ruf.Union(int32(k), int32(j))
+			}
+		}
+	}
+	minLabel := make([]graph.ID, len(region))
+	for k := range region {
+		minLabel[k] = noComponent
+	}
+	for k, id := range region {
+		r := ruf.Find(int32(k))
+		if id < minLabel[r] {
+			minLabel[r] = id
+		}
+	}
+	newLabel := func(k int) graph.ID { return minLabel[ruf.Find(int32(k))] }
+
+	mutated := make(map[int]bool)
+	for _, u := range batch {
+		mutated[sc.Owner(u.From)] = true
+	}
+	for w := 0; w < sc.Workers(); w++ {
+		ctx := sc.Ctx(w)
+		st, ok := ctx.State.(*ccState)
+		if !ok {
+			continue
+		}
+		fg := ctx.Frag.G
+		st.grow(fg.NumVertices())
+		if mutated[w] {
+			// local adjacency changed: rebuild the union-find over the
+			// mutated fragment graph, carrying each member's exact global
+			// label (new for region members, unchanged for the rest — every
+			// local set is globally connected, so its members agree)
+			old := *st
+			nv := fg.NumVertices()
+			fresh := &ccState{
+				uf:        seq.NewDenseUnionFind(nv),
+				rootLabel: make([]graph.ID, nv),
+				rootHas:   make([]bool, nv),
+				borderOf:  map[int32][]int32{},
+			}
+			for i := int32(0); i < int32(nv); i++ {
+				for _, e := range fg.Out(fg.IDAt(i)) {
+					vi, _ := fg.Index(e.To)
+					fresh.uf.Union(i, vi)
+				}
+			}
+			for i := int32(0); i < int32(nv); i++ {
+				id := fg.IDAt(i)
+				var l graph.ID
+				if k, ok := pos[id]; ok {
+					l = newLabel(k)
+				} else {
+					or := old.uf.Find(i)
+					if old.rootHas[or] {
+						l = old.rootLabel[or]
+					} else {
+						l = id
+					}
+				}
+				r := fresh.uf.Find(i)
+				if !fresh.rootHas[r] || l < fresh.rootLabel[r] {
+					fresh.rootLabel[r] = l
+					fresh.rootHas[r] = true
+				}
+			}
+			for _, b := range ctx.Frag.BorderIndices() {
+				if b < 0 {
+					continue
+				}
+				r := fresh.uf.Find(b)
+				fresh.borderOf[r] = append(fresh.borderOf[r], b)
+			}
+			ctx.State = fresh
+			continue
+		}
+		// adjacency untouched: only relabel the local sets holding region
+		// members (a local set is globally connected, so one member's new
+		// label is the whole set's)
+		for k, id := range region {
+			if i, ok := fg.Index(id); ok {
+				r := st.uf.Find(i)
+				st.rootLabel[r] = newLabel(k)
+				st.rootHas[r] = true
+			}
+		}
+	}
+	// re-align the shipped variables and the coordinator's baseline: a split
+	// raises labels, which Agg/min would refuse
+	for k, id := range region {
+		sc.ForceValue(id, newLabel(k))
+	}
+	return nil, nil
+}
+
 func containsBorder(idxs []int32, i int32) bool {
 	for _, x := range idxs {
 		if x == i {

@@ -247,6 +247,32 @@ func (Keyword) IncEval(q KeywordQuery, ctx *engine.Context[kwVec]) error {
 	return nil
 }
 
+// ApplyUpdate implements engine.Updater: keyword distances relax along
+// reverse edges, so inserting (u, v) can only improve u (and its ancestors)
+// via v's vector. Seeding the next IncEval round at v re-relaxes exactly the
+// affected region; if v's vector is still unset (nil = all-∞), the new edge
+// cannot improve anything yet and there is nothing to seed.
+func (Keyword) ApplyUpdate(q KeywordQuery, ctx *engine.Context[kwVec], upd engine.EdgeUpdate) ([]graph.ID, error) {
+	if upd.W < 0 {
+		return nil, fmt.Errorf("keyword: negative edge weight %g", upd.W)
+	}
+	//grapevet:keep once per update, not a vertex loop — GetAt would pay the same Index hash to resolve upd.To first
+	if ctx.Get(upd.To) == nil {
+		return nil, nil
+	}
+	return []graph.ID{upd.To}, nil
+}
+
+// ValidateUpdate implements engine.UpdateValidator: distances need
+// non-negative weights, checkable before the engine mutates anything.
+// Deletions carry no weight of their own.
+func (Keyword) ValidateUpdate(q KeywordQuery, upd engine.EdgeUpdate) error {
+	if !upd.Del && upd.W < 0 {
+		return fmt.Errorf("keyword: negative edge weight %g", upd.W)
+	}
+	return nil
+}
+
 // Assemble implements engine.Program.
 func (Keyword) Assemble(q KeywordQuery, ctxs []*engine.Context[kwVec]) ([]seq.KeywordMatch, error) {
 	var out []seq.KeywordMatch

@@ -5,13 +5,16 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"grape/internal/engine"
 	"grape/internal/gen"
 	"grape/internal/graph"
 	"grape/internal/partition"
 	"grape/internal/seq"
+	"grape/internal/transport"
 )
 
 // TestSSSPSessionTracksEvolvingGraph drives the paper's actual IncEval
@@ -187,4 +190,270 @@ func TestCCSessionEvolvingProperty(t *testing.T) {
 			}
 		}
 	}
+}
+
+// sessionCase is one class's session-equivalence run: a deterministic graph
+// builder, a query, and an update-stream shape. Cases with DeleteP 0 pin
+// the seeded-IncEval insert path, DeleteP 1 the delete-repair path, and
+// mixed streams whatever route each class picks per batch (repair, patch,
+// or reseed).
+type sessionCase struct {
+	name    string
+	program string
+	query   string
+	build   func() *graph.Graph
+	stream  gen.StreamConfig
+}
+
+func sessionCases() []sessionCase {
+	social := func() *graph.Graph {
+		g := gen.PreferentialAttachment(220, 3, 7)
+		gen.AttachKeywords(g, []string{"db", "graph", "ml"}, 2, 0.3, 7)
+		return g
+	}
+	commerce := func() *graph.Graph {
+		return gen.SocialCommerce(gen.SocialCommerceConfig{People: 90, Products: 3, Follows: 3, AdoptP: 0.9, Seed: 3})
+	}
+	road := func() *graph.Graph { return gen.RoadGrid(10, 10, 1) }
+	return []sessionCase{
+		{"sssp", "sssp", "source=0", road,
+			gen.StreamConfig{Batches: 4, BatchSize: 6, DeleteP: 0.4, Seed: 11}},
+		{"sssp/inserts", "sssp", "source=0", road,
+			gen.StreamConfig{Batches: 3, BatchSize: 6, DeleteP: 0, Seed: 18}},
+		{"cc", "cc", "", func() *graph.Graph { return gen.Random(120, 220, 5) },
+			gen.StreamConfig{Batches: 4, BatchSize: 6, DeleteP: 0.5, Seed: 12}},
+		{"sim", "sim", "pattern=follows-recommend", commerce,
+			gen.StreamConfig{Batches: 4, BatchSize: 5, DeleteP: 0.5, Seed: 13}},
+		{"sim/deletes", "sim", "pattern=follows-recommend", commerce,
+			gen.StreamConfig{Batches: 3, BatchSize: 5, DeleteP: 1, Seed: 19}},
+		{"subiso", "subiso", "pattern=follows-recommend", commerce,
+			gen.StreamConfig{Batches: 3, BatchSize: 4, DeleteP: 0.5, Seed: 14}},
+		{"keyword", "keyword", "k=db,graph bound=4", social,
+			gen.StreamConfig{Batches: 4, BatchSize: 6, DeleteP: 0.4, Seed: 15}},
+		{"keyword/inserts", "keyword", "k=db,graph bound=4", social,
+			gen.StreamConfig{Batches: 3, BatchSize: 6, DeleteP: 0, Seed: 20}},
+		{"cf", "cf", "epochs=3", func() *graph.Graph {
+			return gen.DirectedRatings(gen.RatingsConfig{Users: 30, Items: 12, RatingsPerUser: 6, Factors: 3, Noise: 0.1, Seed: 5})
+		}, gen.StreamConfig{Batches: 3, BatchSize: 5, DeleteP: 0.4, Seed: 16, MaxW: 5}},
+		{"tricount", "tricount", "", social,
+			gen.StreamConfig{Batches: 4, BatchSize: 6, DeleteP: 0.5, Seed: 17}},
+	}
+}
+
+// startSessionWorkers brings up n in-process workers on real TCP sockets —
+// the socket-substrate half of the equivalence check, running the same code
+// path as cmd/grape-worker (engine.ServeWorker over transport.Dial).
+func startSessionWorkers(t *testing.T, n int) (*transport.Coordinator, func()) {
+	t.Helper()
+	l, err := transport.NewListener("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := transport.Dial("tcp", addr, 5*time.Second)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			errs[i] = engine.ServeWorker(context.Background(), conn)
+		}(i)
+	}
+	tr, err := l.AcceptWorkers(n, 10*time.Second)
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	finish := func() {
+		tr.Close()
+		l.Close()
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}
+	}
+	return tr, finish
+}
+
+// TestSessionEquivalence is the session-equivalence harness over every
+// registered query class: replay a random insert/delete stream through an
+// incremental session and require its answer after every batch to be
+// identical (reflect.DeepEqual) to a from-scratch engine run on a shadow
+// graph mutated in lockstep — and, after the final batch, to a from-scratch
+// run over the socket transport as well.
+func TestSessionEquivalence(t *testing.T) {
+	const workers = 4
+	for _, c := range sessionCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			e, err := engine.Lookup(c.program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pq, err := e.Parse(c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := engine.Options{Workers: workers, Strategy: partition.Hash{}}
+			g := c.build()
+			shadow := g.Clone()
+			fresh := func(tg *graph.Graph, o engine.Options) any {
+				t.Helper()
+				want, _, err := e.Run(context.Background(), tg, o, c.query)
+				if err != nil {
+					t.Fatalf("fresh run: %v", err)
+				}
+				return want
+			}
+			stream := gen.UpdateStream(g, c.stream)
+			sess, res0, _, err := e.Session(context.Background(), g, opts, pq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fresh(shadow, opts); !reflect.DeepEqual(res0, want) {
+				t.Fatal("initial session result differs from a fresh run")
+			}
+			var want any
+			for bi, batch := range stream {
+				ups := make([]engine.EdgeUpdate, len(batch))
+				for i, u := range batch {
+					ups[i] = engine.EdgeUpdate{From: u.From, To: u.To, W: u.W, Label: u.Label, Del: u.Del}
+				}
+				res, _, err := sess.Update(context.Background(), ups)
+				if err != nil {
+					t.Fatalf("batch %d: %v", bi, err)
+				}
+				// the shadow replays the same operations in the same order,
+				// so first-instance deletion resolves identically
+				for _, u := range batch {
+					if u.Del {
+						if _, ok := shadow.RemoveEdge(u.From, u.To, u.Label); !ok {
+							t.Fatalf("batch %d: shadow delete found no edge %+v", bi, u)
+						}
+					} else {
+						shadow.AddLabeledEdge(u.From, u.To, u.W, u.Label)
+					}
+				}
+				want = fresh(shadow, opts)
+				if !reflect.DeepEqual(res, want) {
+					t.Fatalf("batch %d: session update result differs from a fresh run on the mutated graph", bi)
+				}
+				got, err := sess.Result()
+				if err != nil {
+					t.Fatalf("batch %d: Result: %v", bi, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("batch %d: retained session result differs from a fresh run", bi)
+				}
+			}
+			if sess.Broken() {
+				t.Fatal("session broken after a clean stream")
+			}
+			// socket substrate: the final retained answer must also match a
+			// from-scratch distributed run on the mutated graph
+			tr, finish := startSessionWorkers(t, workers)
+			defer finish()
+			wireWant := fresh(shadow, engine.Options{Workers: workers, Strategy: partition.Hash{}, Transport: tr})
+			if !reflect.DeepEqual(want, wireWant) {
+				t.Fatal("bus and wire fresh runs disagree on the mutated graph")
+			}
+			final, err := sess.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(final, wireWant) {
+				t.Fatal("final session result differs from a from-scratch socket-substrate run")
+			}
+		})
+	}
+}
+
+// FuzzSessionUpdateStream throws arbitrary update streams — mixed inserts,
+// deletions, unknown vertices, dead edges — at a CC session. Invariants:
+// no panic; a rejected batch (error without Broken) leaves the graph
+// unmutated and the session usable; an accepted batch leaves the session's
+// answer identical to sequential union-find on a shadow graph; once Broken,
+// every further Update fails with ErrSessionBroken.
+func FuzzSessionUpdateStream(f *testing.F) {
+	f.Add([]byte{1, 2, 30, 0, 3, 4, 31, 1})
+	f.Add([]byte{0, 1, 5, 0, 0, 1, 5, 1, 0, 1, 5, 1})       // insert, delete it, delete again (dead)
+	f.Add([]byte{200, 1, 5, 0})                             // unknown vertex
+	f.Add([]byte{9, 9, 1, 0, 7, 3, 0, 1, 2, 2, 2, 0, 1, 1}) // self-loop, delete, trailing garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := gen.Random(24, 60, 1)
+		shadow := g.Clone()
+		sess, _, _, err := engine.NewSession(context.Background(), g, CC{}, CCQuery{},
+			engine.Options{Workers: 3, Strategy: partition.Hash{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rec = 4 // from, to, weight, flags
+		for off := 0; off+rec <= len(data); {
+			var batch []engine.EdgeUpdate
+			for len(batch) < 3 && off+rec <= len(data) {
+				b := data[off : off+rec]
+				off += rec
+				batch = append(batch, engine.EdgeUpdate{
+					From: graph.ID(b[0] % 32), // 24..31 are unknown vertices
+					To:   graph.ID(b[1] % 32),
+					W:    float64(b[2]),
+					Del:  b[3]&1 == 1,
+				})
+			}
+			edgesBefore := g.NumEdges()
+			res, _, err := sess.Update(context.Background(), batch)
+			if err != nil {
+				if !sess.Broken() {
+					// validation rejection: nothing may have been applied
+					if g.NumEdges() != edgesBefore {
+						t.Fatalf("rejected batch mutated the graph: %d -> %d edges", edgesBefore, g.NumEdges())
+					}
+					continue
+				}
+				// broken sessions must stay broken with the sentinel error
+				if _, _, err := sess.Update(context.Background(), []engine.EdgeUpdate{{From: 0, To: 1, W: 1}}); !errorsIsSessionBroken(err) {
+					t.Fatalf("broken session Update returned %v, want ErrSessionBroken", err)
+				}
+				return
+			}
+			for _, u := range batch {
+				if u.Del {
+					if _, ok := shadow.RemoveEdge(u.From, u.To, u.Label); !ok {
+						t.Fatalf("session accepted deletion of dead edge %+v", u)
+					}
+				} else {
+					shadow.AddLabeledEdge(u.From, u.To, u.W, u.Label)
+				}
+			}
+			want := seq.Components(shadow)
+			got := res
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("session CC diverged from sequential union-find after batch %+v", batch)
+			}
+		}
+	})
+}
+
+func errorsIsSessionBroken(err error) bool {
+	for ; err != nil; err = func() error {
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return nil
+		}
+		return u.Unwrap()
+	}() {
+		if err == engine.ErrSessionBroken {
+			return true
+		}
+	}
+	return false
 }

@@ -108,6 +108,35 @@ func (Sim) IncEval(q SimQuery, ctx *engine.Context[seq.SimBits]) error {
 	return nil
 }
 
+// CanRepair implements engine.DeleteRepairer: deletions only, and only when
+// the batch has no insertions. Removing an edge can only shrink simulation
+// masks — the same monotone direction as refinement — so re-refining from
+// the deleted edges' tails is exact. An insertion can *grow* masks, which
+// the AND-aggregated variables cannot express; mixed batches reseed.
+func (Sim) CanRepair(q SimQuery, batch []engine.EdgeUpdate) bool {
+	for _, u := range batch {
+		if !u.Del {
+			return false
+		}
+	}
+	return true
+}
+
+// RepairBatch implements engine.DeleteRepairer by seeding the follow-up
+// refinement at each deleted edge's tail: only the tail lost a successor, so
+// only its mask can be directly refuted; the refinement cascades to
+// ancestors as usual. The retained masks and fold need no surgery — every
+// change the repair causes is a shrink, which the monotone machinery
+// propagates exactly.
+func (Sim) RepairBatch(q SimQuery, sc *engine.RepairScope[seq.SimBits], batch []engine.EdgeUpdate) (map[int][]graph.ID, error) {
+	dirty := make(map[int][]graph.ID)
+	for _, u := range batch {
+		w := sc.Owner(u.From)
+		dirty[w] = append(dirty[w], u.From)
+	}
+	return dirty, nil
+}
+
 // Assemble implements engine.Program. Every pattern vertex gets an entry,
 // empty when nothing simulates it — matching the sequential Sim's shape.
 func (Sim) Assemble(q SimQuery, ctxs []*engine.Context[seq.SimBits]) (SimResult, error) {

@@ -90,9 +90,10 @@ func (SSSP) IncEval(q SSSPQuery, ctx *engine.Context[float64]) error {
 
 // ValidateUpdate implements engine.UpdateValidator: the decrease-only
 // invariant is checkable from the update alone, so a negative weight is
-// rejected before the engine touches the graph.
+// rejected before the engine touches the graph. Deletions carry no weight of
+// their own (the engine fills in the removed instance's), so they pass.
 func (SSSP) ValidateUpdate(q SSSPQuery, upd engine.EdgeUpdate) error {
-	if upd.W < 0 {
+	if !upd.Del && upd.W < 0 {
 		return fmt.Errorf("sssp: negative edge weight %g", upd.W)
 	}
 	return nil
@@ -112,6 +113,92 @@ func (SSSP) ApplyUpdate(q SSSPQuery, ctx *engine.Context[float64], upd engine.Ed
 		return nil, nil // unknown or unreached source: nothing can improve yet
 	}
 	return []graph.ID{upd.From}, nil
+}
+
+// CanRepair implements engine.DeleteRepairer: the invalidate-and-repropagate
+// repair below is exact for any mix of insertions and deletions.
+func (SSSP) CanRepair(q SSSPQuery, batch []engine.EdgeUpdate) bool { return true }
+
+// RepairBatch implements engine.DeleteRepairer with invalidation and
+// re-propagation. Deleting an edge can only break distances it supported:
+// the affected region is seeded by the heads of deleted edges that were
+// *tight* (dist(u) + w == dist(v)) and closed under tight out-edges of the
+// mutated graph — at a shortest-path fixpoint every vertex's distance is
+// supported by some tight in-edge, so a vertex whose tight in-edges all lead
+// back into the region cannot keep its value. The region's variables are
+// erased everywhere (including the coordinator's fold, so re-derived values
+// are not suppressed as non-improvements), and the follow-up fixpoint
+// re-relaxes from the region's surviving in-frontier plus any inserted
+// edges' tails. Over-invalidation is harmless — re-propagation restores
+// every distance the new graph still supports, and min over an identical
+// set of path sums is bit-identical to a from-scratch run.
+func (SSSP) RepairBatch(q SSSPQuery, sc *engine.RepairScope[float64], batch []engine.EdgeUpdate) (map[int][]graph.ID, error) {
+	g := sc.Global()
+	affected := make(map[graph.ID]float64) // vertex -> its invalidated old distance
+	var queue []graph.ID
+	suspect := func(v graph.ID, dv float64) {
+		affected[v] = dv
+		queue = append(queue, v)
+	}
+	for _, u := range batch {
+		if !u.Del || u.To == q.Source {
+			continue
+		}
+		if _, ok := affected[u.To]; ok {
+			continue
+		}
+		du, dv := sc.Value(u.From), sc.Value(u.To)
+		if du < seq.Inf && dv < seq.Inf && du+u.W == dv {
+			suspect(u.To, dv)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		dx := affected[x]
+		for _, e := range g.Out(x) {
+			if e.To == q.Source {
+				continue
+			}
+			if _, ok := affected[e.To]; ok {
+				continue
+			}
+			if dz := sc.Value(e.To); dz < seq.Inf && dx+e.W == dz {
+				suspect(e.To, dz)
+			}
+		}
+	}
+	dirty := make(map[int][]graph.ID)
+	for x := range affected {
+		// the region's in-frontier re-proposes distances; the edge y->x
+		// lives on y's owner, so that worker relaxes it
+		for _, e := range g.In(x) {
+			y := e.To
+			if _, ok := affected[y]; ok {
+				continue
+			}
+			if sc.Value(y) < seq.Inf {
+				w := sc.Owner(y)
+				dirty[w] = append(dirty[w], y)
+			}
+		}
+	}
+	for _, u := range batch {
+		if u.Del {
+			continue
+		}
+		if _, ok := affected[u.From]; ok {
+			continue
+		}
+		if sc.Value(u.From) < seq.Inf {
+			w := sc.Owner(u.From)
+			dirty[w] = append(dirty[w], u.From)
+		}
+	}
+	for x := range affected {
+		sc.Invalidate(x)
+	}
+	return dirty, nil
 }
 
 // Assemble implements engine.Program: union of the inner-vertex distances.

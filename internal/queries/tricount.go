@@ -166,6 +166,92 @@ func (TriCount) Assemble(q TriCountQuery, ctxs []*engine.Context[uint8]) (TriCou
 	return out, nil
 }
 
+// SessionQuery implements engine.SessionPatcher; the query carries no
+// parameters to widen.
+func (TriCount) SessionQuery(q TriCountQuery) TriCountQuery { return q }
+
+// InitPatch implements engine.SessionPatcher: retain a private copy of the
+// assembled counts (the caller keeps the returned result).
+func (TriCount) InitPatch(q TriCountQuery, g *graph.Graph, res TriCountResult) (any, error) {
+	st := TriCountResult{Total: res.Total, PerPivot: make(map[graph.ID]int64, len(res.PerPivot))}
+	for v, c := range res.PerPivot {
+		st.PerPivot[v] = c
+	}
+	return st, nil
+}
+
+// ApplyPatch implements engine.SessionPatcher with the exact delta of one
+// edge update: a triangle through edge {u, v} is a common undirected
+// neighbor of u and v, so the update changes the count by |N(u) ∩ N(v)| —
+// and only when it changes the undirected adjacency at all (a parallel or
+// reverse instance means the neighbor *sets* the enumeration works on are
+// unchanged). Insertions count common neighbors before the edge lands;
+// deletions after the instance is gone, so both sides see the graph without
+// the {u, v} connection. Each affected triangle is credited to its smallest
+// vertex, matching PEval's pivot rule.
+func (TriCount) ApplyPatch(q TriCountQuery, g *graph.Graph, state any, upd engine.EdgeUpdate, apply func()) (any, error) {
+	st := state.(TriCountResult)
+	u, v := upd.From, upd.To
+	if u == v {
+		apply()
+		return st, nil // self-loops touch no triangle
+	}
+	adjacent := func() bool { return undirectedNeighborSet(g, u)[v] }
+	pivotOf := func(w graph.ID) graph.ID {
+		p := u
+		if v < p {
+			p = v
+		}
+		if w < p {
+			p = w
+		}
+		return p
+	}
+	if upd.Del {
+		apply()
+		if adjacent() {
+			return st, nil // another instance still connects u and v
+		}
+		nu := undirectedNeighborSet(g, u)
+		for w := range undirectedNeighborSet(g, v) {
+			if !nu[w] {
+				continue
+			}
+			st.Total--
+			p := pivotOf(w)
+			if st.PerPivot[p]--; st.PerPivot[p] == 0 {
+				delete(st.PerPivot, p)
+			}
+		}
+		return st, nil
+	}
+	if adjacent() {
+		apply()
+		return st, nil // set-semantics: adjacency unchanged
+	}
+	nu := undirectedNeighborSet(g, u)
+	for w := range undirectedNeighborSet(g, v) {
+		if !nu[w] {
+			continue
+		}
+		st.Total++
+		st.PerPivot[pivotOf(w)]++
+	}
+	apply()
+	return st, nil
+}
+
+// PatchResult implements engine.SessionPatcher: hand out a copy, matching
+// Assemble's fresh-maps-per-call contract.
+func (TriCount) PatchResult(q TriCountQuery, state any) (TriCountResult, error) {
+	st := state.(TriCountResult)
+	out := TriCountResult{Total: st.Total, PerPivot: make(map[graph.ID]int64, len(st.PerPivot))}
+	for v, c := range st.PerPivot {
+		out.PerPivot[v] = c
+	}
+	return out, nil
+}
+
 // RunTriCount runs the program with the 1-hop expansion it needs.
 func RunTriCount(ctx context.Context, g *graph.Graph, opts engine.Options) (TriCountResult, *metrics.Stats, error) {
 	opts.ExpandHops = 1

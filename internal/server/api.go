@@ -91,24 +91,35 @@ type GraphInfo struct {
 	Epoch    uint64 `json:"epoch"`
 }
 
-// EdgeJSON is one edge insertion (or weight decrease) of a mutation request.
+// EdgeJSON is one edge update of a mutation request: an insertion by
+// default, a deletion when Del is set (From/To/Label select the edge to
+// remove; W is ignored for deletions).
 type EdgeJSON struct {
 	From  int64   `json:"from"`
 	To    int64   `json:"to"`
 	W     float64 `json:"w"`
 	Label string  `json:"label,omitempty"`
+	Del   bool    `json:"del,omitempty"`
 }
 
-// MutateRequest applies edge updates to a named graph.
+// MutateRequest applies edge updates to a named graph. Program and Query
+// pick the incremental session the mutation flows through (and whose fresh
+// answer is primed into the result cache); they default to the
+// parameterless "cc" query.
 type MutateRequest struct {
-	Graph string     `json:"graph"`
-	Edges []EdgeJSON `json:"edges"`
+	Graph   string     `json:"graph"`
+	Program string     `json:"program,omitempty"`
+	Query   string     `json:"query,omitempty"`
+	Edges   []EdgeJSON `json:"edges"`
 }
 
 // MutateResponse reports the graph's epoch after the mutation; every cached
-// result keyed to earlier epochs is now unreachable.
+// result keyed to earlier epochs is now unreachable except the session's
+// fresh (Program, Canonical) answer, primed under the new epoch.
 type MutateResponse struct {
-	Graph string   `json:"graph"`
-	Epoch uint64   `json:"epoch"`
-	Stats RunStats `json:"stats"`
+	Graph     string   `json:"graph"`
+	Epoch     uint64   `json:"epoch"`
+	Program   string   `json:"program"`
+	Canonical string   `json:"canonical"`
+	Stats     RunStats `json:"stats"`
 }

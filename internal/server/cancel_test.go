@@ -195,11 +195,11 @@ func TestRejectedMutationKeepsState(t *testing.T) {
 		t.Fatal(err)
 	}
 	// a first valid mutation establishes the session and epoch 2
-	m1, err := s.Mutate(context.Background(), "road", []server.EdgeJSON{{From: 0, To: 100, W: 0.5}})
+	m1, err := s.Mutate(context.Background(), "road", "", "", []server.EdgeJSON{{From: 0, To: 100, W: 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Mutate(context.Background(), "road", []server.EdgeJSON{{From: 0, To: 1, W: 1}, {From: 0, To: 999999, W: 1}}); !errors.Is(err, server.ErrBadQuery) {
+	if _, err := s.Mutate(context.Background(), "road", "", "", []server.EdgeJSON{{From: 0, To: 1, W: 1}, {From: 0, To: 999999, W: 1}}); !errors.Is(err, server.ErrBadQuery) {
 		t.Fatalf("unknown vertex must map to ErrBadQuery, got %v", err)
 	}
 	gs := s.Graphs()
@@ -207,7 +207,7 @@ func TestRejectedMutationKeepsState(t *testing.T) {
 		t.Fatalf("rejected mutation must not bump the epoch: %v", gs)
 	}
 	// the retained session still applies valid updates incrementally
-	m2, err := s.Mutate(context.Background(), "road", []server.EdgeJSON{{From: 1, To: 101, W: 0.5}})
+	m2, err := s.Mutate(context.Background(), "road", "", "", []server.EdgeJSON{{From: 1, To: 101, W: 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,10 +56,21 @@ func (c *Client) Query(ctx context.Context, req server.QueryRequest) (*QueryResu
 	return &out, nil
 }
 
-// Mutate applies edge insertions to a named graph and returns its new epoch.
+// Mutate applies edge updates to a named graph and returns its new epoch.
+// The mutation flows through the server's default session (the
+// parameterless cc query); use MutateProgram to maintain a different class
+// incrementally.
 func (c *Client) Mutate(ctx context.Context, graphName string, edges []server.EdgeJSON) (*server.MutateResponse, error) {
+	return c.MutateProgram(ctx, graphName, "", "", edges)
+}
+
+// MutateProgram applies edge updates through an incremental session of the
+// given program and query; the session's refreshed answer is primed into
+// the server's result cache under the new epoch. Empty program means "cc".
+func (c *Client) MutateProgram(ctx context.Context, graphName, program, query string, edges []server.EdgeJSON) (*server.MutateResponse, error) {
 	var out server.MutateResponse
-	if err := c.post(ctx, "/update", server.MutateRequest{Graph: graphName, Edges: edges}, &out); err != nil {
+	req := server.MutateRequest{Graph: graphName, Program: program, Query: query, Edges: edges}
+	if err := c.post(ctx, "/update", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

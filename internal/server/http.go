@@ -41,7 +41,7 @@ func (s *Server) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := s.Mutate(r.Context(), req.Graph, req.Edges)
+		resp, err := s.Mutate(r.Context(), req.Graph, req.Program, req.Query, req.Edges)
 		if err != nil {
 			writeErr(w, statusOf(err), err)
 			return

@@ -13,7 +13,7 @@ import (
 	"grape/internal/graph"
 	"grape/internal/metrics"
 	"grape/internal/partition"
-	"grape/internal/queries"
+	_ "grape/internal/queries" // register the query classes sessions run
 	"grape/internal/storage"
 )
 
@@ -133,11 +133,14 @@ type residentGraph struct {
 	lmu     sync.Mutex
 	layouts map[layoutKey]*layoutSlot
 
-	// sess is the continuous-update session mutations flow through (lazily
-	// created, program CC — it accepts any directed graph and implements
-	// engine.Updater). It owns its own layout; resident query layouts are
+	// sess is the continuous-update session mutations flow through, lazily
+	// created for the (program, canonical query) the client mutates under —
+	// any registered class works; programs without incremental hooks reseed
+	// inside the session. It owns its own layout; resident query layouts are
 	// rebuilt from the mutated base graph instead.
-	sess *engine.Session[queries.CCQuery, graph.ID, map[graph.ID]graph.ID]
+	sess      engine.SessionHandle
+	sessProg  string
+	sessCanon string
 }
 
 type layoutKey struct {
@@ -480,17 +483,31 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 	}
 }
 
-// Mutate applies edge insertions (or weight decreases) to a named graph
+// Mutate applies a batch of edge insertions and deletions to a named graph
 // through the engine's continuous-query session machinery and bumps the
 // graph's epoch: every cached result keyed to earlier epochs becomes
 // unreachable, and resident layouts are dropped so the next query
-// re-partitions the mutated graph. The session's incrementally refreshed CC
-// answer is primed into the cache under the new epoch (the session program
-// is CC — it accepts any directed graph and supports bounded incremental
-// updates). Mutations require a directed graph, as sessions do.
-func (s *Server) Mutate(ctx context.Context, name string, edges []EdgeJSON) (*MutateResponse, error) {
+// re-partitions the mutated graph. The mutation flows through a retained
+// session of the requested program (default CC with its parameterless
+// query), whose incrementally refreshed answer is primed into the cache
+// under the new epoch — continuous updates keep that query warm instead of
+// merely invalidating it. Mutating under a different (program, query) drops
+// the retained session and seeds a new one. Mutations require a directed
+// graph, as sessions do.
+func (s *Server) Mutate(ctx context.Context, name, program, query string, edges []EdgeJSON) (*MutateResponse, error) {
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("%w: empty edge list", ErrBadQuery)
+	}
+	if program == "" {
+		program = "cc"
+	}
+	e, err := engine.Lookup(program)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	pq, err := e.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	rg, err := s.resident(name)
 	if err != nil {
@@ -498,23 +515,26 @@ func (s *Server) Mutate(ctx context.Context, name string, edges []EdgeJSON) (*Mu
 	}
 	rg.mu.Lock()
 	defer rg.mu.Unlock()
+	if rg.sess != nil && (rg.sessProg != program || rg.sessCanon != pq.Canonical) {
+		// the retained state answers a different query; start over below
+		rg.sess = nil
+	}
 	if rg.sess == nil {
 		strat, err := partition.ByName(s.cfg.Strategy)
 		if err != nil {
 			return nil, err
 		}
-		sess, _, _, err := engine.NewSession(ctx, rg.g, queries.CC{}, queries.CCQuery{},
-			engine.Options{Workers: s.cfg.Workers, Strategy: strat})
+		sess, _, _, err := e.Session(ctx, rg.g, engine.Options{Workers: s.cfg.Workers, Strategy: strat}, pq)
 		if err != nil {
-			return nil, fmt.Errorf("server: starting update session for %q: %w", name, err)
+			return nil, fmt.Errorf("server: starting %s update session for %q: %w", program, name, err)
 		}
-		rg.sess = sess
+		rg.sess, rg.sessProg, rg.sessCanon = sess, program, pq.Canonical
 	}
 	ups := make([]engine.EdgeUpdate, len(edges))
 	for i, e := range edges {
-		ups[i] = engine.EdgeUpdate{From: graph.ID(e.From), To: graph.ID(e.To), W: e.W, Label: e.Label}
+		ups[i] = engine.EdgeUpdate{From: graph.ID(e.From), To: graph.ID(e.To), W: e.W, Label: e.Label, Del: e.Del}
 	}
-	ccRes, st, err := rg.sess.Update(ctx, ups)
+	res, st, err := rg.sess.Update(ctx, ups)
 	if err != nil && !rg.sess.Broken() {
 		// The session's pre-mutation validation rejected the batch: nothing
 		// was applied, nothing to invalidate — the epoch, layouts, cache and
@@ -536,12 +556,10 @@ func (s *Server) Mutate(ctx context.Context, name string, edges []EdgeJSON) (*Mu
 		return nil, fmt.Errorf("server: mutating %q: %w", name, err)
 	}
 	rs := RunStats{Supersteps: st.Supersteps, Messages: st.Messages, Bytes: st.Bytes, WallMs: st.WallTime.Seconds() * 1e3}
-	// Prime the fresh incremental CC answer under the new epoch: continuous
-	// updates keep the cache warm instead of merely invalidating it. The key
-	// carries this instance's generation, so if AddGraph replaced the name
-	// while we mutated the detached instance, the new graph cannot hit this
-	// entry.
-	s.cache.put(cacheKey{graph: name, gen: rg.gen, epoch: rg.epoch, program: "cc", canonical: "",
-		strategy: s.cfg.Strategy, workers: s.cfg.Workers}, &cacheVal{result: ccRes, stats: rs})
-	return &MutateResponse{Graph: name, Epoch: rg.epoch, Stats: rs}, nil
+	// Prime the session's fresh answer under the new epoch. The key carries
+	// this instance's generation, so if AddGraph replaced the name while we
+	// mutated the detached instance, the new graph cannot hit this entry.
+	s.cache.put(cacheKey{graph: name, gen: rg.gen, epoch: rg.epoch, program: program, canonical: pq.Canonical,
+		strategy: s.cfg.Strategy, workers: s.cfg.Workers}, &cacheVal{result: res, stats: rs})
+	return &MutateResponse{Graph: name, Epoch: rg.epoch, Program: program, Canonical: pq.Canonical, Stats: rs}, nil
 }

@@ -221,7 +221,7 @@ func TestMutateBumpsEpochAndInvalidates(t *testing.T) {
 			best, target = d, v
 		}
 	}
-	mut, err := s.Mutate(context.Background(), "road", []EdgeJSON{{From: 0, To: int64(target), W: 0.01}})
+	mut, err := s.Mutate(context.Background(), "road", "", "", []EdgeJSON{{From: 0, To: int64(target), W: 0.01}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,6 +269,80 @@ func TestMutateBumpsEpochAndInvalidates(t *testing.T) {
 	}
 }
 
+// TestMutateProgramRouting pins the generalized mutation path: mutations
+// name the (program, query) whose session they flow through, deletions are
+// accepted, the session's refreshed answer is primed under that program's
+// cache key, and switching programs drops the retained session without
+// losing correctness.
+func TestMutateProgramRouting(t *testing.T) {
+	s, gs := newTestServer(t, Config{Workers: 4, Strategy: "hash"})
+	req := QueryRequest{Graph: "road", Program: "sssp", Query: "source=0"}
+	fresh := func() map[graph.ID]float64 {
+		t.Helper()
+		want, _, err := engine.Run(context.Background(), gs["road"], queries.SSSP{}, queries.SSSPQuery{Source: 0},
+			engine.Options{Workers: 4, Strategy: partition.Hash{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return want
+	}
+	// insert through an sssp session: the primed answer is a cache hit for
+	// the same canonical query and matches a fresh run
+	mut, err := s.Mutate(context.Background(), "road", "sssp", "source=0", []EdgeJSON{{From: 0, To: 37, W: 0.01, Label: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.Program != "sssp" || mut.Canonical != "source=0" {
+		t.Fatalf("mutation reported (%s, %q), want (sssp, source=0)", mut.Program, mut.Canonical)
+	}
+	resp, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("sssp answer was not primed by the sssp-session mutation")
+	}
+	if !reflect.DeepEqual(resp.Result, fresh()) {
+		t.Fatal("primed sssp result differs from a fresh run on the mutated graph")
+	}
+	// delete the shortcut again through the same retained session
+	if _, err := s.Mutate(context.Background(), "road", "sssp", "source=0",
+		[]EdgeJSON{{From: 0, To: 37, Label: "x", Del: true}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("sssp answer was not primed by the deletion")
+	}
+	if !reflect.DeepEqual(resp.Result, fresh()) {
+		t.Fatal("post-deletion sssp result differs from a fresh run")
+	}
+	// switching to the default cc session drops the sssp one and primes cc
+	if _, err := s.Mutate(context.Background(), "road", "", "", []EdgeJSON{{From: 0, To: 38, W: 1, Label: "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := s.Query(context.Background(), QueryRequest{Graph: "road", Program: "cc", Query: ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.Cached {
+		t.Fatal("cc answer was not primed after the program switch")
+	}
+	rg, err := s.resident("road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg.mu.Lock()
+	prog := rg.sessProg
+	rg.mu.Unlock()
+	if prog != "cc" {
+		t.Fatalf("retained session program = %q, want cc", prog)
+	}
+}
+
 func TestServerErrors(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
 	cases := []struct {
@@ -291,7 +365,7 @@ func TestServerErrors(t *testing.T) {
 			}
 		})
 	}
-	if _, err := s.Mutate(context.Background(), "ratings", []EdgeJSON{{From: 0, To: 1, W: 1}}); err == nil {
+	if _, err := s.Mutate(context.Background(), "ratings", "", "", []EdgeJSON{{From: 0, To: 1, W: 1}}); err == nil {
 		t.Fatal("mutating an undirected graph must fail (sessions are directed-only)")
 	}
 }
@@ -365,7 +439,7 @@ func TestReplacedGraphCannotServeStaleCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// mutate (primes cc under the old instance's key space) then replace
-	if _, err := s.Mutate(context.Background(), "g", []EdgeJSON{{From: 0, To: 63, W: 0.5}}); err != nil {
+	if _, err := s.Mutate(context.Background(), "g", "", "", []EdgeJSON{{From: 0, To: 63, W: 0.5}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.AddGraph("g", gen.RoadGrid(12, 12, 2)); err != nil {
