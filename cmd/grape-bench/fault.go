@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"grape/internal/engine"
+	"grape/internal/experiments"
+	"grape/internal/metrics"
+	"grape/internal/mpi"
+)
+
+// faultRows prices fault tolerance for every query class, two rows each:
+//
+//	fault/<class>/ckpt     the failure-free run with Options.Recover on —
+//	                       superstep checkpointing (fold state + active
+//	                       flags snapshotted at every barrier) is the only
+//	                       difference from the e2e/<class> row, so the delta
+//	                       between the two is the checkpoint overhead. The
+//	                       checkpoint must never touch what the engine
+//	                       computes: comm-KB and steps are asserted equal to
+//	                       the plain run before the row is emitted.
+//	fault/<class>/recover  the same run losing worker 1 at superstep 2
+//	                       (deterministic injected Sever); wall time now
+//	                       includes failure detection, fragment
+//	                       reassignment and checkpoint replay. Classes that
+//	                       converge before superstep 2 never fire the fault
+//	                       and measure the same thing as ckpt.
+func faultRows(ctx context.Context, sc experiments.Scale) ([]benchRow, error) {
+	classes, err := e2eClasses(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []benchRow
+	for _, c := range classes {
+		plain, err := c.run(engine.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("fault/%s: plain run: %w", c.name, err)
+		}
+		modes := []struct {
+			suffix string
+			opts   engine.Options
+		}{
+			{"ckpt", engine.Options{Recover: true}},
+			{"recover", engine.Options{Recover: true, Fault: func(tr mpi.Transport) mpi.Transport {
+				return mpi.NewFaultTransport(tr, mpi.Fault{Step: 2, Worker: 1, Kind: mpi.Sever})
+			}}},
+		}
+		for _, m := range modes {
+			name := "fault/" + c.name + "/" + m.suffix
+			run, opts := c.run, m.opts
+			var last *metrics.Stats
+			row, err := benchStats(name, func() (*metrics.Stats, error) {
+				st, err := run(opts)
+				last = st
+				return st, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Checkpointing (and recovery) must not change what the engine
+			// computes or ships: the metered traffic and the superstep count
+			// of both fault rows are pinned to the plain run's.
+			if last.Bytes != plain.Bytes || last.Messages != plain.Messages || last.Supersteps != plain.Supersteps {
+				return nil, fmt.Errorf("%s: traffic drifted from the plain run: %d msgs / %d bytes / %d steps, plain %d / %d / %d",
+					name, last.Messages, last.Bytes, last.Supersteps, plain.Messages, plain.Bytes, plain.Supersteps)
+			}
+			if m.suffix == "recover" && len(last.Recoveries) > 0 {
+				r := last.Recoveries[0]
+				fmt.Fprintf(os.Stderr, "grape-bench: %-20s recovered fragment %d on worker %d at superstep %d\n",
+					name, r.Fragment, r.Host, r.Superstep)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

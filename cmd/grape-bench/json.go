@@ -39,12 +39,19 @@ type benchMatrix struct {
 	Rows  []benchRow        `json:"rows"`
 }
 
-// runJSONBench measures the end-to-end engine matrix — the seven registered
-// query classes plus the prebuilt-layout coordinator-fold guardrail — and
-// writes it as JSON. The same numbers `go test -bench` reports, but runnable
-// without the test harness (CI's bench-smoke job uploads the artifact, and
-// BENCH_PR*.json baselines are committed from it).
-func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error {
+// e2eCase is one end-to-end query class, parameterized over extra engine
+// options: the main matrix runs each with the zero Options, the fault rows
+// rerun the identical workloads with recovery and injected faults on. Each
+// closure owns its workload's Workers/Strategy and overwrites them on the
+// options it is handed.
+type e2eCase struct {
+	name string
+	run  func(engine.Options) (*metrics.Stats, error)
+}
+
+// e2eClasses builds the seven registered query classes at scale sc, datasets
+// included. The generators are seeded, so every caller sees the same graphs.
+func e2eClasses(ctx context.Context, sc experiments.Scale) ([]e2eCase, error) {
 	road := sc.Road()
 	social := sc.Social()
 	commerce := sc.Commerce()
@@ -52,8 +59,93 @@ func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error 
 	ratings := gen.Ratings(gen.RatingsConfig{Users: sc.Users, Items: sc.Items, RatingsPerUser: 12, Factors: 4, Noise: 0.1, Seed: sc.Seed})
 	pattern, err := queries.PatternByName("follows-recommend")
 	if err != nil {
-		return err
+		return nil, err
 	}
+	spatial := partition.TwoD{Cols: sc.RoadCols}
+	cfg := seq.DefaultCFConfig()
+	cfg.Epochs = 10
+
+	return []e2eCase{
+		{"sssp", func(o engine.Options) (*metrics.Stats, error) {
+			o.Workers, o.Strategy = 8, spatial
+			_, st, err := engine.Run(ctx, road, queries.SSSP{}, queries.SSSPQuery{Source: 0}, o)
+			return st, err
+		}},
+		{"cc", func(o engine.Options) (*metrics.Stats, error) {
+			o.Workers, o.Strategy = 8, spatial
+			_, st, err := engine.Run(ctx, road, queries.CC{}, queries.CCQuery{}, o)
+			return st, err
+		}},
+		{"sim", func(o engine.Options) (*metrics.Stats, error) {
+			o.Workers = 8
+			_, st, err := engine.Run(ctx, commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern}, o)
+			return st, err
+		}},
+		{"subiso", func(o engine.Options) (*metrics.Stats, error) {
+			o.Workers = 8
+			_, st, err := queries.RunSubIso(ctx, commerce, queries.SubIsoQuery{Pattern: pattern}, o)
+			return st, err
+		}},
+		{"keyword", func(o engine.Options) (*metrics.Stats, error) {
+			o.Workers = 8
+			q := queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true}
+			_, st, err := engine.Run(ctx, social, queries.Keyword{}, q, o)
+			return st, err
+		}},
+		{"cf", func(o engine.Options) (*metrics.Stats, error) {
+			o.Workers = 8
+			_, st, err := engine.Run(ctx, ratings, queries.CF{}, queries.CFQuery{Cfg: cfg}, o)
+			return st, err
+		}},
+		{"tricount", func(o engine.Options) (*metrics.Stats, error) {
+			o.Workers = 8
+			_, st, err := queries.RunTriCount(ctx, social, o)
+			return st, err
+		}},
+	}, nil
+}
+
+// benchStats runs one workload under testing.Benchmark and distills a row
+// from the timing plus the last run's BSP metrics.
+func benchStats(name string, run func() (*metrics.Stats, error)) (benchRow, error) {
+	var last *metrics.Stats
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st, err := run()
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			last = st
+		}
+	})
+	if runErr != nil {
+		return benchRow{}, fmt.Errorf("%s: %w", name, runErr)
+	}
+	cm := metrics.DefaultCostModel()
+	row := benchRow{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		SimMs:       cm.SimSeconds(last) * 1e3,
+		CommKB:      float64(last.Bytes) / 1e3,
+		Steps:       last.Supersteps,
+	}
+	fmt.Fprintf(os.Stderr, "grape-bench: %-20s %12d ns/op %9d allocs/op %9.1f comm-KB %4d steps\n",
+		name, r.NsPerOp(), r.AllocsPerOp(), float64(last.Bytes)/1e3, last.Supersteps)
+	return row, nil
+}
+
+// runJSONBench measures the end-to-end engine matrix — the seven registered
+// query classes plus the prebuilt-layout coordinator-fold guardrail — and
+// writes it as JSON. The same numbers `go test -bench` reports, but runnable
+// without the test harness (CI's bench-smoke job uploads the artifact, and
+// BENCH_PR*.json baselines are committed from it).
+func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error {
+	road := sc.Road()
 	spatial := partition.TwoD{Cols: sc.RoadCols}
 	asg, err := spatial.Partition(road, 8)
 	if err != nil {
@@ -61,9 +153,10 @@ func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error 
 	}
 	layout := partition.Build(road, asg)
 
-	cfg := seq.DefaultCFConfig()
-	cfg.Epochs = 10
-
+	classes, err := e2eClasses(ctx, sc)
+	if err != nil {
+		return err
+	}
 	cases := []struct {
 		name string
 		run  func() (*metrics.Stats, error)
@@ -76,67 +169,22 @@ func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error 
 			_, st, err := engine.RunOnLayout(ctx, layout, queries.CC{}, queries.CCQuery{}, engine.Options{})
 			return st, err
 		}},
-		{"e2e/sssp", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(ctx, road, queries.SSSP{}, queries.SSSPQuery{Source: 0}, engine.Options{Workers: 8, Strategy: spatial})
-			return st, err
-		}},
-		{"e2e/cc", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(ctx, road, queries.CC{}, queries.CCQuery{}, engine.Options{Workers: 8, Strategy: spatial})
-			return st, err
-		}},
-		{"e2e/sim", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(ctx, commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern}, engine.Options{Workers: 8})
-			return st, err
-		}},
-		{"e2e/subiso", func() (*metrics.Stats, error) {
-			_, st, err := queries.RunSubIso(ctx, commerce, queries.SubIsoQuery{Pattern: pattern}, engine.Options{Workers: 8})
-			return st, err
-		}},
-		{"e2e/keyword", func() (*metrics.Stats, error) {
-			q := queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true}
-			_, st, err := engine.Run(ctx, social, queries.Keyword{}, q, engine.Options{Workers: 8})
-			return st, err
-		}},
-		{"e2e/cf", func() (*metrics.Stats, error) {
-			_, st, err := engine.Run(ctx, ratings, queries.CF{}, queries.CFQuery{Cfg: cfg}, engine.Options{Workers: 8})
-			return st, err
-		}},
-		{"e2e/tricount", func() (*metrics.Stats, error) {
-			_, st, err := queries.RunTriCount(ctx, social, engine.Options{Workers: 8})
-			return st, err
-		}},
+	}
+	for _, c := range classes {
+		run := c.run
+		cases = append(cases, struct {
+			name string
+			run  func() (*metrics.Stats, error)
+		}{"e2e/" + c.name, func() (*metrics.Stats, error) { return run(engine.Options{}) }})
 	}
 
-	cm := metrics.DefaultCostModel()
 	matrix := benchMatrix{Scale: sc}
 	for _, tc := range cases {
-		var last *metrics.Stats
-		var runErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				st, err := tc.run()
-				if err != nil {
-					runErr = err
-					b.Fatal(err)
-				}
-				last = st
-			}
-		})
-		if runErr != nil {
-			return fmt.Errorf("%s: %w", tc.name, runErr)
+		row, err := benchStats(tc.name, tc.run)
+		if err != nil {
+			return err
 		}
-		matrix.Rows = append(matrix.Rows, benchRow{
-			Name:        tc.name,
-			NsPerOp:     r.NsPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			SimMs:       cm.SimSeconds(last) * 1e3,
-			CommKB:      float64(last.Bytes) / 1e3,
-			Steps:       last.Supersteps,
-		})
-		fmt.Fprintf(os.Stderr, "grape-bench: %-14s %12d ns/op %9d allocs/op %9.1f comm-KB %4d steps\n",
-			tc.name, r.NsPerOp(), r.AllocsPerOp(), float64(last.Bytes)/1e3, last.Supersteps)
+		matrix.Rows = append(matrix.Rows, row)
 	}
 	serve, err := serveRows(ctx, road)
 	if err != nil {
@@ -158,6 +206,11 @@ func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error 
 		return err
 	}
 	matrix.Rows = append(matrix.Rows, mix...)
+	flt, err := faultRows(ctx, sc)
+	if err != nil {
+		return err
+	}
+	matrix.Rows = append(matrix.Rows, flt...)
 
 	data, err := json.MarshalIndent(matrix, "", "  ")
 	if err != nil {

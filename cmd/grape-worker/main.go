@@ -14,6 +14,11 @@
 //	-network kind   tcp (default) or unix
 //	-timeout d      how long to keep retrying the dial and handshake while
 //	                the coordinator comes up (default 30s)
+//	-rejoin         after a run ends (or the link drops), dial the
+//	                coordinator again and serve the next run instead of
+//	                exiting — a crashed-and-restarted worker rejoins the
+//	                fleet with this; the process ends when the dial window
+//	                expires with no coordinator, or on ^C/SIGTERM
 //	-quiet          suppress the per-run log lines
 //
 // Example — a 4-worker distributed SSSP (each line its own shell):
@@ -47,6 +52,7 @@ func main() {
 		connect = flag.String("connect", "", "coordinator address to dial (required)")
 		network = flag.String("network", "tcp", "socket kind: tcp|unix")
 		timeout = flag.Duration("timeout", 30*time.Second, "dial + handshake retry window")
+		rejoin  = flag.Bool("rejoin", false, "redial and serve the next run after each run or link loss")
 		quiet   = flag.Bool("quiet", false, "suppress log output")
 	)
 	flag.Parse()
@@ -59,14 +65,6 @@ func main() {
 		log.SetOutput(nilWriter{})
 	}
 
-	conn, err := transport.Dial(*network, *connect, *timeout)
-	if err != nil {
-		log.SetOutput(os.Stderr)
-		log.Fatal(err)
-	}
-	defer conn.Close()
-	log.Printf("connected to %s as worker %d of %d", *connect, conn.Index(), conn.N())
-
 	// The worker's own bound: ^C/SIGTERM cancels the serve loop. serveWire
 	// observes the context between commands, but an idle worker blocks in
 	// link.Recv — so the signal also closes the connection, which unblocks
@@ -75,27 +73,62 @@ func main() {
 	// arrives in the setup frame and is layered on top by ServeWorker.
 	ctx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancelSig()
-	go func() {
-		<-ctx.Done()
-		conn.Close()
-	}()
+
+	for {
+		again, err := serveOnce(ctx, *network, *connect, *timeout, *rejoin)
+		if err != nil {
+			log.SetOutput(os.Stderr)
+			log.Fatal(err)
+		}
+		if !again || ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// serveOnce dials the coordinator and serves one run. With rejoin it turns
+// run-ending conditions — a finished run, a dropped link (this worker may
+// have been declared dead and its fragments reassigned), or a dial window
+// that closes with no coordinator listening — into "dial again" or a clean
+// exit instead of errors, so a restarted worker keeps offering itself to the
+// fleet.
+func serveOnce(ctx context.Context, network, connect string, timeout time.Duration, rejoin bool) (again bool, fatal error) {
+	conn, err := transport.Dial(network, connect, timeout)
+	if err != nil {
+		if rejoin {
+			// No coordinator within the window: the fleet is done.
+			log.Printf("no coordinator at %s within %v, exiting", connect, timeout)
+			return false, nil
+		}
+		return false, err
+	}
+	defer conn.Close()
+	log.Printf("connected to %s as worker %d of %d", connect, conn.Index(), conn.N())
+
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
 
 	start := time.Now()
 	if err := engine.ServeWorker(ctx, conn); err != nil {
 		if ctx.Err() != nil {
-			log.SetOutput(os.Stderr)
-			log.Fatalf("worker %d: interrupted after %v", conn.Index(), time.Since(start).Round(time.Millisecond))
+			return false, fmt.Errorf("worker %d: interrupted after %v", conn.Index(), time.Since(start).Round(time.Millisecond))
 		}
 		if errors.Is(err, engine.ErrAborted) {
 			// the coordinator cancelled the run (client gone, deadline hit);
 			// discarding it is this worker's job done
 			log.Printf("worker %d: run aborted by coordinator after %v", conn.Index(), time.Since(start).Round(time.Millisecond))
-			return
+			return rejoin, nil
 		}
-		log.SetOutput(os.Stderr)
-		log.Fatalf("worker %d: %v", conn.Index(), err)
+		if rejoin {
+			// A dropped link is survivable fleet-side (the coordinator
+			// reassigns this worker's fragments); rejoin for the next run.
+			log.Printf("worker %d: link lost after %v: %v", conn.Index(), time.Since(start).Round(time.Millisecond), err)
+			return true, nil
+		}
+		return false, fmt.Errorf("worker %d: %v", conn.Index(), err)
 	}
 	log.Printf("worker %d done in %v", conn.Index(), time.Since(start).Round(time.Millisecond))
+	return rejoin, nil
 }
 
 type nilWriter struct{}

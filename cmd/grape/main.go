@@ -129,6 +129,10 @@ func main() {
 		defer cleanup()
 		fmt.Printf("%d workers connected\n", *workers)
 		opts.Transport = tr
+		// Real processes can die mid-run; recover from superstep
+		// checkpoints by reassigning a dead worker's fragments to the
+		// survivors instead of failing the run.
+		opts.Recover = true
 	}
 	res, stats, err := grape.RunProgram(ctx, *program, g, opts, *query)
 	if err != nil {
@@ -139,6 +143,9 @@ func main() {
 	cm := grape.DefaultCostModel()
 	fmt.Printf("\nanalytics: %d workers, %d supersteps, %d messages, %.4f MB, %.4f simulated s (wall %v)\n",
 		stats.Workers, stats.Supersteps, stats.Messages, stats.MB(), cm.SimSeconds(stats), stats.WallTime)
+	for _, r := range stats.Recoveries {
+		fmt.Printf("recovered: fragment %d reassigned to worker %d at superstep %d\n", r.Fragment, r.Host, r.Superstep)
+	}
 	if *trace {
 		fmt.Println()
 		stats.StepReport(os.Stdout)

@@ -143,7 +143,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 
 // All returns the full grapevet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Mapdet, Poolreset, Ctxfirst, Densepath, Codecfields}
+	return []*Analyzer{Mapdet, Poolreset, Ctxfirst, Densepath, Codecfields, Errclass}
 }
 
 // inspect walks every file of the pass's package.

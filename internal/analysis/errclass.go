@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errclass guards the failure-classification contract behind fault recovery:
+// every error surfaced by a recv/send path — the socket transport's
+// Recv/Send/reader/pinger/pump/frame functions and the engine's wire-layer
+// serve loop — must be classified worker-fatal or run-fatal
+// (mpi.WorkerFatal / mpi.RunFatal), because the coordinator's recovery
+// machinery dispatches on exactly that distinction: worker-fatal errors
+// trigger fragment reassignment and checkpoint replay, run-fatal errors fail
+// the run. An unclassified error escaping one of these paths defeats
+// recovery silently — the run dies where it could have survived.
+//
+// A return passes when the returned expression
+//   - calls a classification helper (WorkerFatal / RunFatal), or
+//   - comes from an already-classified producer — a call whose callee is
+//     Recv, Send, readFrame, writeFrame or replyWire, all of which return
+//     classified errors by this same rule, or
+//   - wraps an identifier that was assigned from either of the above
+//     anywhere in the function (lexical blessing, the same review-time
+//     precision mapdet uses for its sort pairing).
+//
+// Deliberate exceptions — context errors, sentinel outcomes like
+// ErrAborted, framing-layer internals whose callers classify — are waived
+// with //grapevet:keep on the return (or on the function declaration to
+// waive the whole function), reason mandatory as always.
+var Errclass = &Analyzer{
+	Name: "errclass",
+	Doc: "recv/send paths in the transport and the engine wire layer must return " +
+		"classified errors (mpi.WorkerFatal/mpi.RunFatal) so recovery can dispatch on them",
+	Run: runErrclass,
+}
+
+// errclassFuncs are the recv/send-path function names under the contract,
+// matched case-insensitively and exactly: the transport's link machinery
+// and the engine wire layer's serve loop.
+var errclassFuncs = []string{
+	"recv", "send", "reader", "pinger", "pump",
+	"readframe", "writeframe",
+	"wireframe", "servewire", "replywire", "serveworker",
+}
+
+// errclassSources are callee names whose errors are already classified —
+// the classification helpers themselves plus the producers this analyzer
+// certifies.
+var errclassSources = []string{
+	"workerfatal", "runfatal",
+	"recv", "send", "readframe", "writeframe", "replywire",
+}
+
+func inErrclassScope(name string) bool {
+	for _, fn := range errclassFuncs {
+		if strings.EqualFold(name, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrclass(p *Pass) error {
+	// The contract lives where the substrates meet the wire; everywhere
+	// else (including mpi itself, which defines the helpers) error style is
+	// the callers' business.
+	if name := p.Pkg.Types.Name(); name != "transport" && name != "engine" {
+		return nil
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !inErrclassScope(fd.Name.Name) {
+				continue
+			}
+			// A keep on the declaration waives the whole function — the
+			// framing layer uses this: its callers classify.
+			if p.SuppressedAt(fd.Pos()) {
+				continue
+			}
+			checkErrclassFunc(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkErrclassFunc(p *Pass, fd *ast.FuncDecl) {
+	results := flattenResults(fd.Type.Results)
+	errPos := []int{}
+	for i, r := range results {
+		if isErrorExpr(p.Pkg.Info, r.typ) {
+			errPos = append(errPos, i)
+		}
+	}
+	if len(errPos) == 0 {
+		return
+	}
+	blessed := blessedIdents(p.Pkg.Info, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a literal's returns answer to its own signature
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		exprs := ret.Results
+		if len(exprs) == 0 {
+			// Naked return: the named results carry whatever was last
+			// assigned; judge the named error idents by blessing.
+			for _, i := range errPos {
+				if results[i].name == "" || blessed[results[i].name] {
+					continue
+				}
+				p.Reportf(ret.Pos(), "unclassified error return in %s: named result %s was never assigned a classified error; wrap with mpi.WorkerFatal/mpi.RunFatal", fd.Name.Name, results[i].name)
+			}
+			return true
+		}
+		if len(exprs) != len(results) {
+			// Single-call passthrough (`return f()`): the call covers every
+			// result including the error; it must itself be a blessed source.
+			if len(exprs) == 1 && !errclassOK(exprs[0], blessed) {
+				p.Reportf(ret.Pos(), "unclassified error return in %s: wrap with mpi.WorkerFatal/mpi.RunFatal or derive it from a classified Recv/Send/frame call", fd.Name.Name)
+			}
+			return true
+		}
+		for _, i := range errPos {
+			if !errclassOK(exprs[i], blessed) {
+				p.Reportf(ret.Pos(), "unclassified error return in %s: wrap with mpi.WorkerFatal/mpi.RunFatal or derive it from a classified Recv/Send/frame call", fd.Name.Name)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// result is one flattened result slot of a function signature.
+type result struct {
+	name string
+	typ  ast.Expr
+}
+
+func flattenResults(fl *ast.FieldList) []result {
+	if fl == nil {
+		return nil
+	}
+	var out []result
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			out = append(out, result{typ: f.Type})
+			continue
+		}
+		for _, n := range f.Names {
+			out = append(out, result{name: n.Name, typ: f.Type})
+		}
+	}
+	return out
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorExpr(info *types.Info, typ ast.Expr) bool {
+	tv, ok := info.Types[typ]
+	return ok && types.Identical(tv.Type, errorType)
+}
+
+// errclassOK reports whether an expression returned at an error position is
+// acceptably classified: nil, a subtree containing a blessed call, or a
+// reference to a blessed identifier.
+func errclassOK(e ast.Expr, blessed map[string]bool) bool {
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	ok := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isErrclassSource(n) {
+				ok = true
+				return false
+			}
+		case *ast.Ident:
+			if blessed[n.Name] {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// blessedIdents collects, per function body, every error-typed identifier
+// assigned (anywhere, lexically) from a right-hand side containing a blessed
+// call. Only error-typed names are blessed — `env, err := link.Recv()` must
+// not certify a later return that merely mentions env. Classification
+// survives wrapping: fmt.Errorf("...: %w", err) of a blessed err is still
+// classified, since both wrapper types unwrap.
+func blessedIdents(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	blessed := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		src := false
+		for _, rhs := range as.Rhs {
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isErrclassSource(call) {
+					src = true
+					return false
+				}
+				return true
+			})
+		}
+		if !src {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if t := info.TypeOf(id); t != nil && types.Identical(t, errorType) {
+				blessed[id.Name] = true
+			}
+		}
+		return true
+	})
+	return blessed
+}
+
+// isErrclassSource matches a call to a classification helper or a certified
+// producer by callee name — bare (RunFatal(...), readFrame(...)) or selected
+// (mpi.RunFatal(...), link.Recv(...)).
+func isErrclassSource(call *ast.CallExpr) bool {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return false
+	}
+	for _, s := range errclassSources {
+		if strings.EqualFold(name, s) {
+			return true
+		}
+	}
+	return false
+}

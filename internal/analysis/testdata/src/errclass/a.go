@@ -1,0 +1,96 @@
+// Package transport (fixture errclass) exercises the errclass analyzer:
+// recv/send-path functions must return classified errors. Local RunFatal /
+// WorkerFatal stubs stand in for grape/internal/mpi — the analyzer matches
+// classification calls by callee name.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Envelope stands in for mpi.Envelope.
+type Envelope struct{ Frame []byte }
+
+// RunFatal mimics mpi.RunFatal for the fixture.
+func RunFatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("run-fatal: %w", err)
+}
+
+// WorkerFatal mimics mpi.WorkerFatal for the fixture.
+func WorkerFatal(w int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("worker %d: %w", w, err)
+}
+
+type link struct{}
+
+func (link) readFrame() ([]byte, error) { return nil, nil }
+func (link) send(b []byte) error        { return nil }
+
+// Recv mixes the shapes: a wrap of a blessed ident passes, a bare
+// errors.New in the same function is still flagged.
+func (l link) Recv() (Envelope, error) {
+	b, err := l.readFrame()
+	if err != nil {
+		return Envelope{}, fmt.Errorf("recv: %w", err)
+	}
+	if len(b) == 0 {
+		return Envelope{}, errors.New("empty frame") // want "unclassified error return in Recv"
+	}
+	return Envelope{Frame: b}, nil
+}
+
+// Send returns a classification call and a certified-producer passthrough —
+// both quiet.
+func (l link) Send(b []byte) error {
+	if len(b) == 0 {
+		return RunFatal(errors.New("empty send"))
+	}
+	if len(b) > 1<<20 {
+		return WorkerFatal(0, errors.New("oversized"))
+	}
+	return l.send(b)
+}
+
+// reader returns an identifier no blessed call ever assigned.
+func reader(l link) error {
+	err := errors.New("boom")
+	return err // want "unclassified error return in reader"
+}
+
+// pinger waives one return with a keep on the line above.
+func pinger() error {
+	//grapevet:keep fixture: deliberate waiver, reason reviewed like code
+	return errors.New("quiet by annotation")
+}
+
+//grapevet:keep fixture: framing layer, callers classify
+func writeFrame(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty frame") // quiet: function-level keep
+	}
+	return nil
+}
+
+// pump's naked return is judged by the named result's assignments: err was
+// last fed by errors.New, never a classified source.
+func pump(l link) (err error) {
+	err = errors.New("lost link")
+	return // want "unclassified error return in pump: named result err"
+}
+
+// ServeWorker's naked return passes: the named result came from a certified
+// producer.
+func ServeWorker(l link) (err error) {
+	err = l.Send(nil)
+	return
+}
+
+// helper is outside the recv/send scope: unclassified errors are fine here.
+func helper() error { return errors.New("anyone's business") }

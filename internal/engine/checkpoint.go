@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+// Superstep checkpoints. At every barrier the coordinator already holds
+// exactly the state a failed fragment needs to be rebuilt: the folded
+// update-parameter changes of each superstep (what buildRoute shipped) and
+// each worker's keep-active flag. A checkpoint retains a copy of both per
+// superstep ("epoch"), so when a worker dies the coordinator can derive, for
+// any fragment, the precise command sequence the fragment saw — PEval, then
+// per superstep the sorted update batch it was sent — and replay it on a
+// fresh context hosted by a survivor. Programs are deterministic functions
+// of that sequence, so the replayed context is byte-identical to the lost
+// one and the resumed fixpoint converges to the failure-free answer.
+//
+// Checkpoints are coordinator-side and in-memory: they cost no extra
+// communication (the records are copies of what the fold already computed)
+// and die with the run. Options.CheckpointStore additionally streams each
+// epoch out as an encoded frame, the hook a durable store can implement
+// without the engine knowing about storage.
+
+// CheckpointStore receives every superstep checkpoint epoch of a run as an
+// opaque encoded frame (see appendEpochFrame for the layout). AppendEpoch is
+// called once per superstep, in order, from the coordinator's barrier; an
+// error fails the run. Implementations that persist frames can rebuild the
+// coordinator's recovery state offline.
+type CheckpointStore interface {
+	AppendEpoch(step int, frame []byte) error
+}
+
+// ckptEpoch is one superstep's snapshot: the folded changes (in fold shard
+// order, exactly as buildRoute walked them) and the post-superstep
+// keep-active flag of every worker.
+type ckptEpoch[V any] struct {
+	recs   []changeRec[V]
+	active []bool
+}
+
+// checkpoint accumulates epochs across a run's supersteps. epochs[k] is the
+// snapshot taken at the barrier of superstep k+1 (supersteps start at 1).
+type checkpoint[V any] struct {
+	spec   VarSpec[V] //grapevet:keep construction-time identity: fixed per run, like foldState.spec
+	layout *partition.Layout
+	n      int
+	epochs []ckptEpoch[V]
+	store  CheckpointStore
+	codec  Codec[V]
+}
+
+func newCheckpoint[V any](spec VarSpec[V], layout *partition.Layout, store CheckpointStore, codec Codec[V]) *checkpoint[V] {
+	return &checkpoint[V]{spec: spec, layout: layout, n: len(layout.Fragments), store: store, codec: codec}
+}
+
+// append snapshots superstep step from the just-completed fold. Steps are
+// sequential from 1; the fold's changed shards are copied (the fold reuses
+// its buffers next superstep), the stillActive set is flattened to a dense
+// flag slice.
+func (c *checkpoint[V]) append(step int, fold *foldState[V], stillActive map[int]bool) error {
+	if step != len(c.epochs)+1 {
+		return fmt.Errorf("engine: checkpoint epoch %d out of order (have %d)", step, len(c.epochs))
+	}
+	total := 0
+	for s := 0; s < fold.shards; s++ {
+		total += len(fold.changed[s])
+	}
+	recs := make([]changeRec[V], 0, total)
+	for s := 0; s < fold.shards; s++ {
+		recs = append(recs, fold.changed[s]...)
+	}
+	active := make([]bool, c.n)
+	for w := 0; w < c.n; w++ {
+		active[w] = stillActive[w]
+	}
+	ep := ckptEpoch[V]{recs: recs, active: active}
+	c.epochs = append(c.epochs, ep)
+	if c.store != nil {
+		if err := c.store.AppendEpoch(step, appendEpochFrame(c.codec, nil, ep)); err != nil {
+			return fmt.Errorf("engine: checkpoint store at superstep %d: %w", step, err)
+		}
+	}
+	return nil
+}
+
+// replayStep is one superstep of a fragment's derived command log: the
+// update batch the coordinator sent the fragment at that superstep.
+type replayStep[V any] struct {
+	step    int
+	updates []VarUpdate[V]
+}
+
+// replayFor derives fragment frag's command log for supersteps 2..through
+// (superstep 1 is always PEval and needs no epoch). For each superstep it
+// re-runs buildRoute's routing rule against the epoch's folded records —
+// queue variables to the owner, converged variables to every host except the
+// winner — and keeps the superstep iff the fragment was scheduled (non-empty
+// batch, or it had asked to stay active). The result is exactly the frame
+// sequence the lost worker consumed.
+func (c *checkpoint[V]) replayFor(frag, through int) []replayStep[V] {
+	var steps []replayStep[V]
+	for s := 2; s <= through && s-2 < len(c.epochs); s++ {
+		ep := c.epochs[s-2]
+		var batch []VarUpdate[V]
+		for _, rec := range ep.recs {
+			if c.spec.Consume {
+				if c.layout.Asg.Owner(rec.id) == frag {
+					batch = append(batch, VarUpdate[V]{ID: rec.id, Val: rec.val})
+				}
+				continue
+			}
+			if rec.winner == frag {
+				continue
+			}
+			for _, h := range c.layout.Hosts(rec.id) {
+				if h == frag {
+					batch = append(batch, VarUpdate[V]{ID: rec.id, Val: rec.val})
+					break
+				}
+			}
+		}
+		if len(batch) == 0 && !ep.active[frag] {
+			continue
+		}
+		sortUpdates(batch)
+		steps = append(steps, replayStep[V]{step: s, updates: batch})
+	}
+	return steps
+}
+
+// Epoch frame layout (the CheckpointStore encoding): uvarint record count;
+// per record a uvarint node ID, the codec-encoded value, and a uvarint
+// winning worker; then a uvarint worker count followed by one active flag
+// byte per worker.
+
+func appendEpochFrame[V any](c Codec[V], buf []byte, ep ckptEpoch[V]) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ep.recs)))
+	for _, rec := range ep.recs {
+		buf = binary.AppendUvarint(buf, uint64(rec.id))
+		buf = c.AppendVal(buf, rec.val)
+		buf = binary.AppendUvarint(buf, uint64(rec.winner))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ep.active)))
+	for _, a := range ep.active {
+		if a {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+func decodeEpochFrame[V any](c Codec[V], frame []byte) (ckptEpoch[V], error) {
+	var ep ckptEpoch[V]
+	pos := 0
+	n, err := graph.ReadUvarint(frame, &pos)
+	if err != nil {
+		return ep, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var rec changeRec[V]
+		id, err := graph.ReadUvarint(frame, &pos)
+		if err != nil {
+			return ep, err
+		}
+		rec.id = graph.ID(id)
+		v, used, err := c.DecodeVal(frame[pos:])
+		if err != nil {
+			return ep, err
+		}
+		pos += used
+		rec.val = v
+		w, err := graph.ReadUvarint(frame, &pos)
+		if err != nil {
+			return ep, err
+		}
+		rec.winner = int(w)
+		ep.recs = append(ep.recs, rec)
+	}
+	workers, err := graph.ReadUvarint(frame, &pos)
+	if err != nil {
+		return ep, err
+	}
+	if uint64(len(frame)-pos) < workers {
+		return ep, errors.New("engine: truncated checkpoint epoch frame")
+	}
+	ep.active = make([]bool, workers)
+	for i := range ep.active {
+		ep.active[i] = frame[pos+i] != 0
+	}
+	return ep, nil
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+// f64Codec mirrors the SSSP wire codec shape without importing queries
+// (which would cycle): fixed 8-byte IEEE754 values.
+type f64Codec struct{}
+
+func (f64Codec) AppendVal(buf []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func (f64Codec) DecodeVal(b []byte) (float64, int, error) {
+	if len(b) < 8 {
+		return 0, 0, fmt.Errorf("short value")
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), 8, nil
+}
+
+func TestEpochFrameRoundTrip(t *testing.T) {
+	ep := ckptEpoch[float64]{
+		recs: []changeRec[float64]{
+			{id: 3, val: 1.5, winner: 0},
+			{id: 7, val: math.Inf(1), winner: 2},
+			{id: 900, val: -0.25, winner: 3},
+		},
+		active: []bool{true, false, false, true},
+	}
+	frame := appendEpochFrame[float64](f64Codec{}, nil, ep)
+	got, err := decodeEpochFrame[float64](f64Codec{}, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ep.recs, got.recs) || !reflect.DeepEqual(ep.active, got.active) {
+		t.Fatalf("epoch mangled:\nwant %+v\ngot  %+v", ep, got)
+	}
+}
+
+func TestEpochFrameEmpty(t *testing.T) {
+	ep := ckptEpoch[float64]{active: []bool{false, false}}
+	frame := appendEpochFrame[float64](f64Codec{}, nil, ep)
+	got, err := decodeEpochFrame[float64](f64Codec{}, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.recs) != 0 || !reflect.DeepEqual(ep.active, got.active) {
+		t.Fatalf("empty epoch mangled: %+v", got)
+	}
+}
+
+func TestEpochFrameRejectsTruncation(t *testing.T) {
+	ep := ckptEpoch[float64]{
+		recs:   []changeRec[float64]{{id: 1, val: 2, winner: 1}},
+		active: []bool{true, true},
+	}
+	frame := appendEpochFrame[float64](f64Codec{}, nil, ep)
+	for cut := 1; cut < len(frame); cut++ {
+		if _, err := decodeEpochFrame[float64](f64Codec{}, frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(frame))
+		}
+	}
+}
+
+func TestCheckpointRejectsOutOfOrderEpoch(t *testing.T) {
+	g := graph.New()
+	g.AddVertex(0, "")
+	layout := partition.Build(g, partition.NewAssignment(g, 1))
+	c := newCheckpoint[float64](VarSpec[float64]{}, layout, nil, nil)
+	fold := newFoldState[float64](VarSpec[float64]{}, 1)
+	if err := c.append(2, fold, nil); err == nil {
+		t.Fatal("epoch 2 accepted before epoch 1")
+	}
+	if err := c.append(1, fold, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.append(1, fold, nil); err == nil {
+		t.Fatal("epoch 1 accepted twice")
+	}
+}

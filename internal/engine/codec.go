@@ -162,10 +162,18 @@ func decodeCmd[V any](c Codec[V], frame []byte) (workerCmd[V], error) {
 		return cmd, errors.New("engine: empty command frame")
 	}
 	k := cmdKind(frame[0])
-	if k < cmdPEval || k > cmdAbort {
+	if k < cmdPEval || k > cmdAdopt {
 		return cmd, fmt.Errorf("engine: unknown command kind %d", frame[0])
 	}
 	cmd.kind = k
+	if k == cmdAdopt {
+		ad, err := decodeAdopt(c, frame[1:])
+		if err != nil {
+			return cmd, err
+		}
+		cmd.adopt = ad
+		return cmd, nil
+	}
 	pos := 1
 	ups, used, err := DecodeUpdates(c, frame[pos:])
 	if err != nil {
@@ -185,6 +193,63 @@ func decodeCmd[V any](c Codec[V], frame []byte) (workerCmd[V], error) {
 		cmd.dirty = append(cmd.dirty, graph.ID(id))
 	}
 	return cmd, nil
+}
+
+// Adopt frame (coordinator → worker, recovery): kind byte, length-prefixed
+// encoded fragment, uvarint owed superstep, uvarint replay-step count, then
+// per replay step a uvarint superstep number and its update batch. Adopt
+// frames are control traffic (metered size 0): the checkpoint records they
+// carry are copies of updates the run already paid for.
+
+func encodeAdopt[V any](c Codec[V], fragBlob []byte, steps []replayStep[V], owe int) []byte {
+	frame := []byte{byte(cmdAdopt)}
+	frame = binary.AppendUvarint(frame, uint64(len(fragBlob)))
+	frame = append(frame, fragBlob...)
+	frame = binary.AppendUvarint(frame, uint64(owe))
+	frame = binary.AppendUvarint(frame, uint64(len(steps)))
+	for _, st := range steps {
+		frame = binary.AppendUvarint(frame, uint64(st.step))
+		frame = AppendUpdates(c, frame, st.updates)
+	}
+	return frame
+}
+
+// decodeAdopt decodes the body of an adopt frame (the kind byte already
+// consumed).
+func decodeAdopt[V any](c Codec[V], body []byte) (*adoptCmd[V], error) {
+	ad := &adoptCmd[V]{}
+	pos := 0
+	fn, err := graph.ReadUvarint(body, &pos)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(body)-pos) < fn {
+		return nil, errors.New("engine: truncated adopt frame fragment")
+	}
+	ad.frag = body[pos : pos+int(fn)]
+	pos += int(fn)
+	owe, err := graph.ReadUvarint(body, &pos)
+	if err != nil {
+		return nil, err
+	}
+	ad.owe = int(owe)
+	count, err := graph.ReadUvarint(body, &pos)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		step, err := graph.ReadUvarint(body, &pos)
+		if err != nil {
+			return nil, err
+		}
+		ups, used, err := DecodeUpdates(c, body[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += used
+		ad.steps = append(ad.steps, replayStep[V]{step: int(step), updates: ups})
+	}
+	return ad, nil
 }
 
 // Worker-reply frame: the flushed change batch, the superstep's work units,

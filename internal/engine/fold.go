@@ -222,7 +222,15 @@ func (f *foldState[V]) foldOne(s, w int, u VarUpdate[V], checkMono bool) error {
 // frames that are decoded with it. A cancelled ctx unblocks the barrier
 // wait mid-superstep and surfaces as the context's error, wrapped with the
 // run's provenance.
-func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], fold *foldState[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
+//
+// rc, when non-nil, makes the barrier survive worker-fatal envelopes: the
+// dead worker's fragment is revived on a survivor (rc.revive), and if it
+// still owed this superstep a reply, the replayed fragment produces it —
+// the drain keeps waiting for exactly the replies the superstep is due, so
+// a fatal envelope never consumes a reply slot. With rc nil (sessions,
+// recovery disabled) a fatal envelope fails the run with its classified
+// error.
+func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], fold *foldState[V], rc *recoverer[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
 	n := fold.n
 	perWorker := make([]int64, n)
 	var stepBytes int64
@@ -230,10 +238,35 @@ func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], f
 	// aggregation is deterministic even for non-commutative aggregates
 	// (e.g. CF's parameter averaging).
 	clear(replies)
-	for i := 0; i < expect; i++ {
+	for remaining := expect; remaining > 0; {
 		env, err := tr.Recv(ctx, mpi.Coordinator)
 		if err != nil {
 			return nil, 0, cancelled(stats.Engine, step, err)
+		}
+		if perr, ok := env.Payload.(error); ok && env.Frame == nil {
+			// A terminal link envelope: a worker (or the link to it) died.
+			w, workerFatal := mpi.WorkerFatalOf(perr)
+			if !workerFatal || rc == nil || w < 0 || w >= n {
+				// Run-fatal, or recovery is off. Record the empty reply so a
+				// concurrent cancellation does not wait out the abort-drain
+				// timeout on a frame that already arrived.
+				if env.From >= 0 && env.From < n && replies[env.From] == nil {
+					replies[env.From] = &workerReply[V]{}
+				}
+				return nil, 0, fmt.Errorf("worker %d superstep %d: %w", env.From, step, perr)
+			}
+			owe := 0
+			if rc.sched[w] && replies[w] == nil {
+				owe = step
+			}
+			host, rerr := rc.revive(w, step, owe)
+			if rerr != nil {
+				return nil, 0, fmt.Errorf("worker %d superstep %d: recovering from %v: %w", w, step, perr, rerr)
+			}
+			stats.Recoveries = append(stats.Recoveries, metrics.Recovery{Superstep: step, Fragment: w, Host: host})
+			// remaining is untouched: if a reply was owed, the revived
+			// fragment ships it and the drain picks it up below.
+			continue
 		}
 		var rep workerReply[V]
 		// A terminal envelope (broken link, undecodable frame, worker-side
@@ -267,6 +300,7 @@ func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], f
 		replies[env.From] = &rep
 		perWorker[env.From] = rep.work
 		stepBytes += int64(env.Size)
+		remaining--
 	}
 	for w := 0; w < n; w++ {
 		rep := replies[w]
@@ -281,6 +315,11 @@ func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], f
 	}
 	if err := fold.fold(replies, checkMono); err != nil {
 		return nil, 0, err
+	}
+	if rc != nil {
+		if err := rc.ckpt.append(step, fold, stillActive); err != nil {
+			return nil, 0, err
+		}
 	}
 	stats.WorkPerStep = append(stats.WorkPerStep, perWorker)
 	stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)

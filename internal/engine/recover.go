@@ -1,0 +1,59 @@
+package engine
+
+// Fragment recovery. When a transport surfaces a worker-fatal error (see
+// internal/mpi's classification) at a superstep barrier, the coordinator
+// does not fail the run: it revives the dead worker's fragment on a
+// survivor — a fresh context, rebuilt by replaying the checkpoint-derived
+// command log — and resumes the fixpoint as if nothing happened. The
+// replayed context is byte-identical to the lost one (programs are
+// deterministic functions of their command sequence), so results, superstep
+// counts and traffic accounting all match the failure-free run.
+
+// recoverer is the hook collectStep uses to survive worker-fatal envelopes.
+// sched aliases the run loop's per-superstep scheduling flags: a dead worker
+// that was scheduled this superstep and has not replied yet still owes the
+// barrier one reply, which the revived fragment must produce (owe = the
+// superstep number; 0 = nothing owed). revive re-homes the fragment and
+// returns the worker index that adopted it.
+type recoverer[V any] struct {
+	ckpt   *checkpoint[V]
+	sched  []bool
+	revive func(frag, through, owe int) (host int, err error)
+}
+
+// replayFragment rebuilds ctx to the state the lost fragment held after
+// superstep max(through), mirroring workerLoop/serveWire exactly: PEval,
+// then per logged superstep apply-then-IncEval under the same
+// updated-or-active gate. Flushes and work counters of replayed supersteps
+// are discarded — the coordinator already folded those replies — except at
+// the owed superstep, whose flush the caller ships as the reply the barrier
+// is still waiting for (replayFragment leaves it queued in ctx).
+func replayFragment[Q, V, R any](prog Program[Q, V, R], q Q, ctx *Context[V], steps []replayStep[V], owe int) error {
+	discard := func() {
+		ctx.flush()
+		ctx.takeWork()
+	}
+	ctx.active = false
+	if err := prog.PEval(q, ctx); err != nil {
+		return err
+	}
+	if owe != 1 {
+		discard()
+	}
+	for _, st := range steps {
+		wasActive := ctx.active
+		ctx.active = false
+		ctx.apply(st.updates)
+		var err error
+		if len(ctx.Updated()) > 0 || wasActive {
+			err = prog.IncEval(q, ctx)
+		}
+		if err != nil {
+			return err
+		}
+		if st.step != owe {
+			discard()
+		}
+	}
+	return nil
+}

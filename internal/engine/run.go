@@ -48,6 +48,26 @@ type Options struct {
 	// workers are goroutines and bytes are VarSpec.Size estimates; a
 	// non-nil non-wire transport is rejected rather than silently ignored.
 	Transport mpi.Transport
+	// Recover enables superstep-checkpoint fault tolerance: the coordinator
+	// snapshots each barrier's folded changes, classifies transport failures
+	// (see internal/mpi), and on a worker-fatal error reassigns the dead
+	// worker's fragments to survivors, replays them from the checkpoint, and
+	// resumes the fixpoint — results stay byte-identical to a failure-free
+	// run, and Stats.Recoveries records each revival. On a wire transport
+	// the transport must implement mpi.Reassigner. Run-fatal errors (program
+	// errors, cancellation, monotonicity violations) still fail the run.
+	Recover bool
+	// CheckpointStore, if non-nil (requires Recover), additionally streams
+	// every checkpoint epoch out as an encoded frame — the hook a durable
+	// store implements. The program must expose a wire codec (WireProgram's
+	// WireCodec) so epochs can be encoded; bus runs without one reject the
+	// store rather than silently skipping it.
+	CheckpointStore CheckpointStore
+	// Fault, if non-nil, wraps the run's data transport — the seam fault
+	// injection uses (mpi.NewFaultTransport) in tests and benches. Control
+	// traffic that must not be lost (worker release on the in-process bus)
+	// bypasses the wrapper.
+	Fault func(mpi.Transport) mpi.Transport
 }
 
 func (o Options) withDefaults() Options {
@@ -81,12 +101,26 @@ const (
 	cmdStop
 	cmdAssemble // wire transports only: ship the encoded partial answer
 	cmdAbort    // wire transports only: run cancelled, discard and exit
+	cmdAdopt    // recovery: adopt a dead worker's fragment, replay it from the checkpoint
 )
 
 type workerCmd[V any] struct {
 	kind    cmdKind
 	updates []VarUpdate[V]
 	dirty   []graph.ID
+	adopt   *adoptCmd[V]
+}
+
+// adoptCmd carries a fragment revival: the checkpoint-derived command log to
+// replay, and the superstep whose reply the barrier is still owed (0 =
+// none). On the in-process bus the coordinator constructs the fresh context
+// and the adopting goroutine swaps it in; over a wire the fragment crosses
+// encoded (frag) and the worker process builds the context itself.
+type adoptCmd[V any] struct {
+	ctx   *Context[V] // bus: the fresh context to adopt
+	frag  []byte      // wire: the encoded fragment
+	steps []replayStep[V]
+	owe   int
 }
 
 type workerReply[V any] struct {
@@ -190,10 +224,29 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 	n := len(layout.Fragments)
 	spec := prog.Spec()
 
+	var ckptCodec Codec[V]
+	if opts.CheckpointStore != nil {
+		if !opts.Recover {
+			return zero, nil, fmt.Errorf("engine: %s: Options.CheckpointStore requires Options.Recover", prog.Name())
+		}
+		wc, ok := any(prog).(interface{ WireCodec() Codec[V] })
+		if !ok {
+			return zero, nil, fmt.Errorf("engine: %s: Options.CheckpointStore needs a wire codec to encode epochs: %w", prog.Name(), ErrNoWireSupport)
+		}
+		ckptCodec = wc.WireCodec()
+	}
+
 	start := time.Now()
 	stats := &metrics.Stats{Engine: "grape/" + prog.Name(), Workers: n}
 
 	bus := mpi.NewBus(n, 4*n+16)
+	// The data path runs through the (optionally fault-wrapped) transport;
+	// worker release below stays on the raw bus, so an unconsumed planned
+	// fault can never swallow a stop command and hang the teardown.
+	var tr mpi.Transport = bus
+	if opts.Fault != nil {
+		tr = opts.Fault(bus)
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -219,9 +272,33 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 	// delivered to the owner, not converged.)
 	stillActive := make(map[int]bool)
 	replies := make([]*workerReply[V], n)
+	sched := make([]bool, n)
 
-	collect := func(from []int, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep[V](ctx, bus, nil, fold, replies, stillActive, stats, layout, len(from), step, opts.CheckMonotonic)
+	// Recovery on the in-process bus: the dead worker's goroutine is not
+	// actually gone — only the coordinator's view of it faulted — and it is
+	// provably idle (its command was dropped, or its reply already left), so
+	// revival hands the *same* goroutine a fresh context plus the replay log
+	// via cmdAdopt. Channel delivery orders the context handoff, and the
+	// coordinator's ctxs[frag] write is safe because the goroutine only ever
+	// touches the context it was handed.
+	var rc *recoverer[V]
+	if opts.Recover {
+		rc = &recoverer[V]{ckpt: newCheckpoint(spec, layout, opts.CheckpointStore, ckptCodec), sched: sched}
+		rc.revive = func(frag, through, owe int) (int, error) {
+			if r, ok := tr.(mpi.Reassigner); ok {
+				if err := r.Reassign(frag, frag); err != nil {
+					return 0, err
+				}
+			}
+			nc := newContext(layout.Fragments[frag], spec)
+			ctxs[frag] = nc
+			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: frag, Payload: workerCmd[V]{kind: cmdAdopt, adopt: &adoptCmd[V]{ctx: nc, steps: rc.ckpt.replayFor(frag, through), owe: owe}}})
+			return frag, nil
+		}
+	}
+
+	collect := func(expect, step int) ([][]VarUpdate[V], int, error) {
+		return collectStep[V](ctx, tr, nil, fold, rc, replies, stillActive, stats, layout, expect, step, opts.CheckMonotonic)
 	}
 
 	// Fragment construction that replicated data (d-hop expansion) is
@@ -231,13 +308,12 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 	}
 
 	// Superstep 1: PEval everywhere.
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-		bus.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Payload: workerCmd[V]{kind: cmdPEval}})
+	for i := 0; i < n; i++ {
+		sched[i] = true
+		tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Payload: workerCmd[V]{kind: cmdPEval}})
 	}
 	stats.Supersteps = 1
-	route, scheduled, err := collect(all, 1)
+	route, scheduled, err := collect(n, 1)
 	if err != nil {
 		stop()
 		return zero, stats, err
@@ -249,7 +325,7 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 	// Supersteps 2..: IncEval on fragments that received messages (or asked
 	// to stay active), until no update parameter changes anywhere and every
 	// worker is quiescent — the simultaneous fixpoint.
-	active := make([]int, 0, n)
+	active := 0
 	for scheduled > 0 || len(stillActive) > 0 {
 		if err := ctx.Err(); err != nil {
 			stop()
@@ -260,14 +336,16 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 			return zero, stats, fmt.Errorf("engine: %s after %d supersteps: %w", prog.Name(), stats.Supersteps, ErrSuperstepLimit)
 		}
 		stats.Supersteps++
-		active = active[:0]
+		active = 0
 		for w := 0; w < n; w++ {
+			sched[w] = false
 			ups := route[w]
 			if len(ups) == 0 && !stillActive[w] {
 				continue
 			}
-			active = append(active, w)
-			bus.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: shipSize(spec, ups)})
+			active++
+			sched[w] = true
+			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: shipSize(spec, ups)})
 		}
 		route, scheduled, err = collect(active, stats.Supersteps)
 		if err != nil {
@@ -312,6 +390,17 @@ func workerLoop[Q, V, R any](runCtx context.Context, bus *mpi.Bus, w int, prog P
 		switch cmd.kind {
 		case cmdStop:
 			return
+		case cmdAdopt:
+			// Revival after an injected fault: discard the poisoned context,
+			// adopt the fresh one and replay it from the checkpoint. Only the
+			// owed superstep's reply (or a replay error) goes back — every
+			// earlier reply was already folded by the coordinator.
+			ad := cmd.adopt
+			ctx = ad.ctx
+			rerr := replayFragment(prog, q, ctx, ad.steps, ad.owe)
+			if ad.owe > 0 || rerr != nil {
+				reply(bus, w, ad.owe, ctx, spec, rerr)
+			}
 		case cmdPEval:
 			ctx.active = false
 			err := prog.PEval(q, ctx)

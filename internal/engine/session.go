@@ -591,7 +591,7 @@ func (s *Session[Q, V, R]) fixpoint(ctx context.Context, init bool, dirtyByWorke
 	stillActive := make(map[int]bool)
 	replies := make([]*workerReply[V], n)
 	collect := func(expect int, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep[V](ctx, bus, nil, s.fold, replies, stillActive, stats, s.layout, expect, step, s.opts.CheckMonotonic)
+		return collectStep[V](ctx, bus, nil, s.fold, nil, replies, stillActive, stats, s.layout, expect, step, s.opts.CheckMonotonic)
 	}
 
 	var route [][]VarUpdate[V]

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"grape/internal/balance"
 	"grape/internal/graph"
 	"grape/internal/metrics"
 	"grape/internal/mpi"
@@ -97,6 +98,18 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 	if tr.Workers() != n {
 		return zero, nil, fmt.Errorf("engine: transport has %d workers but the layout has %d fragments", tr.Workers(), n)
 	}
+	if opts.Fault != nil {
+		tr = opts.Fault(tr)
+	}
+	var reassign mpi.Reassigner
+	if opts.Recover {
+		var ok bool
+		if reassign, ok = tr.(mpi.Reassigner); !ok {
+			return zero, nil, errors.New("engine: Options.Recover needs a transport that can reassign fragments (mpi.Reassigner)")
+		}
+	} else if opts.CheckpointStore != nil {
+		return zero, nil, fmt.Errorf("engine: %s: Options.CheckpointStore requires Options.Recover", prog.Name())
+	}
 	spec := prog.Spec()
 	codec := wp.WireCodec()
 
@@ -119,16 +132,65 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 	fold := newFoldState(spec, n)
 	stillActive := make(map[int]bool)
 	replies := make([]*workerReply[V], n)
+	// sched marks the workers commanded this superstep: the abort drain
+	// waits on scheduled workers whose replies are still in flight, and the
+	// recovery path uses it to decide whether a dead worker still owes the
+	// barrier a reply.
+	sched := make([]bool, n)
+
+	// Recovery over the wire: each fragment starts on its own worker process
+	// (host). When a host's link dies, every fragment assigned to it gets a
+	// worker-fatal envelope; revive re-homes the fragment onto the least
+	// loaded surviving host (the balancer's workload estimate, greedily —
+	// the same quantity LPT packs), points the transport's routing at it,
+	// and ships an adopt frame carrying the fragment plus its checkpoint
+	// replay log. A host that dies during the reassignment is marked dead
+	// and the pick repeats; with no survivors the run fails.
+	var rc *recoverer[V]
+	if opts.Recover {
+		loads := balance.Estimate(layout, balance.DefaultWeights())
+		hostOf := make([]int, n)
+		aliveHost := make([]bool, n)
+		hostLoad := make([]float64, n)
+		for i := 0; i < n; i++ {
+			hostOf[i] = i
+			aliveHost[i] = true
+			hostLoad[i] = loads[i]
+		}
+		rc = &recoverer[V]{ckpt: newCheckpoint(spec, layout, opts.CheckpointStore, codec), sched: sched}
+		rc.revive = func(frag, through, owe int) (int, error) {
+			aliveHost[hostOf[frag]] = false
+			for {
+				host := -1
+				for h := 0; h < n; h++ {
+					if aliveHost[h] && (host < 0 || hostLoad[h] < hostLoad[host]) {
+						host = h
+					}
+				}
+				if host < 0 {
+					return 0, errors.New("no surviving workers to adopt the fragment")
+				}
+				if err := reassign.Reassign(frag, host); err != nil {
+					aliveHost[host] = false
+					continue
+				}
+				hostOf[frag] = host
+				hostLoad[host] += loads[frag]
+				frame := encodeAdopt(codec, partition.AppendFragment(nil, layout.Fragments[frag]), rc.ckpt.replayFor(frag, through), owe)
+				tr.Send(mpi.Envelope{From: mpi.Coordinator, To: frag, Frame: frame})
+				return host, nil
+			}
+		}
+	}
+
 	collect := func(expect, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep(ctx, tr, codec, fold, replies, stillActive, stats, layout, expect, step, opts.CheckMonotonic)
+		return collectStep(ctx, tr, codec, fold, rc, replies, stillActive, stats, layout, expect, step, opts.CheckMonotonic)
 	}
 	stopFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdStop})
 	abortFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdAbort})
 	// outstanding lists the workers that were commanded this superstep but
 	// whose replies the failed collect did not drain — the writes still in
-	// flight when a run is cancelled. sched is maintained by the superstep
-	// loop below.
-	sched := make([]bool, n)
+	// flight when a run is cancelled.
 	outstanding := func() map[int]bool {
 		waitFor := make(map[int]bool)
 		for w := 0; w < n; w++ {
@@ -258,7 +320,7 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 		ctxs[i] = newContext(f, spec)
 	}
 	seen := make(map[int]bool, n)
-	for i := 0; i < n; i++ {
+	for got := 0; got < n; got++ {
 		env, rerr := tr.Recv(ctx, mpi.Coordinator)
 		if rerr != nil {
 			waitFor := make(map[int]bool)
@@ -269,6 +331,29 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 			}
 			abort(waitFor)
 			return zero, stats, cancelled(prog.Name(), stats.Supersteps, rerr)
+		}
+		if perr, ok := env.Payload.(error); ok && env.Frame == nil {
+			// A worker died between the fixpoint and shipping its partial.
+			// Its fragment's full command log is checkpointed, so revive it
+			// (nothing is owed — the fixpoint's replies all landed) and ask
+			// the adopting worker for the partial instead.
+			got--
+			w, workerFatal := mpi.WorkerFatalOf(perr)
+			if workerFatal && rc != nil && w >= 0 && w < n {
+				if seen[w] {
+					continue // this fragment's partial already landed; the death is moot
+				}
+				host, verr := rc.revive(w, stats.Supersteps, 0)
+				if verr != nil {
+					stop()
+					return zero, stats, fmt.Errorf("engine: worker %d partial result: recovering from %v: %w", w, perr, verr)
+				}
+				stats.Recoveries = append(stats.Recoveries, metrics.Recovery{Superstep: stats.Supersteps, Fragment: w, Host: host})
+				tr.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Frame: asmFrame})
+				continue
+			}
+			stop()
+			return zero, stats, fmt.Errorf("engine: worker %d partial result: %w", env.From, perr)
 		}
 		blob, err := wireFrame(env)
 		if err == nil {
@@ -307,13 +392,19 @@ func wireFrame(env mpi.Envelope) ([]byte, error) {
 		return env.Frame, nil
 	}
 	if err, ok := env.Payload.(error); ok {
+		//grapevet:keep the payload error was classified by the transport that emitted the fatal envelope
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return nil, errors.New("transport: link closed")
+	return nil, mpi.RunFatal(errors.New("transport: link closed"))
 }
 
-// serveWire is the worker half of runWire: one fragment, one context, one
-// connection; commands in, encoded replies out. It mirrors workerLoop.
+// serveWire is the worker half of runWire: commands in, encoded replies
+// out, mirroring workerLoop. A worker starts hosting the one fragment the
+// setup frame assigned it, but recovery can hand it more: an adopt frame
+// carries a dead peer's fragment plus its checkpoint replay log, and from
+// then on commands are dispatched to the addressed fragment (Envelope.To,
+// protocol v3's frag header field). The worker exits when every fragment it
+// hosts has been released by a stop frame.
 // runCtx carries the deadline the coordinator shipped in the setup frame
 // (plus whatever the worker process layered on, e.g. a signal context): an
 // expired context is reported back to the coordinator as this worker's
@@ -322,7 +413,7 @@ func wireFrame(env mpi.Envelope) ([]byte, error) {
 func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], link WorkerLink, q Q, f *partition.Fragment) error {
 	spec := prog.Spec()
 	codec := prog.WireCodec()
-	ctx := newContext(f, spec)
+	ctxs := map[int]*Context[V]{f.Index: newContext(f, spec)}
 	for {
 		env, err := link.Recv()
 		if err != nil {
@@ -332,20 +423,44 @@ func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], l
 		if err != nil {
 			return fmt.Errorf("engine: worker %d: %w", f.Index, err)
 		}
+		if cmd.kind == cmdAdopt {
+			ad := cmd.adopt
+			nf, _, err := partition.DecodeFragment(ad.frag)
+			if err != nil {
+				return fmt.Errorf("engine: worker %d: decoding adopted fragment: %w", f.Index, err)
+			}
+			nc := newContext(nf, spec)
+			rerr := replayFragment(prog, q, nc, ad.steps, ad.owe)
+			ctxs[nf.Index] = nc
+			if ad.owe > 0 || rerr != nil {
+				if err := replyWire(link, codec, nf.Index, ad.owe, nc, rerr); err != nil {
+					return fmt.Errorf("engine: worker %d: %w", f.Index, err)
+				}
+			}
+			continue
+		}
+		ctx := ctxs[env.To]
+		if ctx == nil {
+			return mpi.RunFatal(fmt.Errorf("engine: worker %d: command for fragment %d, which this worker does not host", f.Index, env.To))
+		}
 		// The deadline gate: computing past an expired run context would
 		// burn CPU the coordinator has already written off. Reply with the
 		// context error so the coordinator fails the run cleanly even if
 		// its own clock has not fired yet.
 		if cerr := runCtx.Err(); cerr != nil && (cmd.kind == cmdPEval || cmd.kind == cmdIncEval) {
-			if err := replyWire(link, codec, f.Index, env.Step, ctx, cerr); err != nil {
+			if err := replyWire(link, codec, env.To, env.Step, ctx, cerr); err != nil {
 				return fmt.Errorf("engine: worker %d: %w", f.Index, err)
 			}
 			continue
 		}
 		switch cmd.kind {
 		case cmdStop:
-			return nil
+			delete(ctxs, env.To)
+			if len(ctxs) == 0 {
+				return nil
+			}
 		case cmdAbort:
+			//grapevet:keep ErrAborted is a cooperative shutdown the worker main matches with errors.Is, not a link fault
 			return fmt.Errorf("engine: worker %d: %w", f.Index, ErrAborted)
 		case cmdAssemble:
 			blob, perr := encodePartial(prog, codec, q, ctx)
@@ -353,11 +468,11 @@ func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], l
 			if perr == nil {
 				size = len(blob)
 			}
-			err = link.Send(mpi.Envelope{From: f.Index, To: mpi.Coordinator, Step: env.Step, Frame: encodePartialFrame(blob, perr), Size: size})
+			err = link.Send(mpi.Envelope{From: env.To, To: mpi.Coordinator, Step: env.Step, Frame: encodePartialFrame(blob, perr), Size: size})
 		case cmdPEval:
 			ctx.active = false
 			perr := prog.PEval(q, ctx)
-			err = replyWire(link, codec, f.Index, env.Step, ctx, perr)
+			err = replyWire(link, codec, env.To, env.Step, ctx, perr)
 		case cmdIncEval:
 			wasActive := ctx.active
 			ctx.active = false
@@ -366,9 +481,9 @@ func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], l
 			if len(ctx.Updated()) > 0 || wasActive {
 				perr = prog.IncEval(q, ctx)
 			}
-			err = replyWire(link, codec, f.Index, env.Step, ctx, perr)
+			err = replyWire(link, codec, env.To, env.Step, ctx, perr)
 		default:
-			return fmt.Errorf("engine: worker %d: command %d is not supported over a wire transport", f.Index, cmd.kind)
+			return mpi.RunFatal(fmt.Errorf("engine: worker %d: command %d is not supported over a wire transport", f.Index, cmd.kind))
 		}
 		if err != nil {
 			return fmt.Errorf("engine: worker %d: %w", f.Index, err)
@@ -462,6 +577,7 @@ func ServeWorker(ctx context.Context, link WorkerLink) error {
 		return err
 	}
 	if e.Wire == nil {
+		//grapevet:keep ErrNoWireSupport is a setup rejection callers match with errors.Is, not a link fault
 		return fmt.Errorf("engine: %s: %w", name, ErrNoWireSupport)
 	}
 	f, _, err := partition.DecodeFragment(fragBlob)
@@ -472,6 +588,7 @@ func ServeWorker(ctx context.Context, link WorkerLink) error {
 	if err != nil && ctx.Err() != nil && !errors.Is(err, ErrAborted) {
 		// the deadline (or the process context) fired and tore the link
 		// down; surface the bound, not the resulting read error
+		//grapevet:keep the run bound firing is the engine's own outcome, not a link fault to classify
 		return fmt.Errorf("engine: worker run cut short: %w", ctx.Err())
 	}
 	return err

@@ -47,6 +47,21 @@ type Stats struct {
 
 	// WallTime is the real elapsed time of the run on this host.
 	WallTime time.Duration
+
+	// Recoveries records every fragment reassignment the run survived: a
+	// worker died at Superstep, and Fragment was replayed from the last
+	// checkpoint onto Host. Empty for failure-free runs — equivalence tests
+	// key off that to prove a faulted run both recovered and converged to
+	// the failure-free answer.
+	Recoveries []Recovery
+}
+
+// Recovery is one fragment reassignment performed by the coordinator after a
+// worker-fatal transport error.
+type Recovery struct {
+	Superstep int
+	Fragment  int
+	Host      int
 }
 
 // TotalWork sums work units over all workers and supersteps.

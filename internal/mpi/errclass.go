@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Failure classification. Every error surfaced by a transport's recv/send
+// paths is wrapped as one of two kinds, because the engine's recovery
+// machinery reacts to them in opposite ways:
+//
+//   - worker-fatal: one worker (or the link to it) is gone — a broken socket,
+//     a liveness timeout, an undecodable frame, an injected fault. The run
+//     can survive: the coordinator reassigns the dead worker's fragments to
+//     survivors and replays them from the last superstep checkpoint.
+//   - run-fatal: the run itself is broken — a program error, a violated
+//     monotonicity check, a cancelled context, a coordinator-side failure.
+//     No amount of reassignment helps; the run fails.
+//
+// The grapevet errclass analyzer enforces that recv/send paths in
+// internal/transport and the engine's wire layer return only classified
+// errors.
+
+// ErrInjectedFault is the cause recorded by FaultTransport when it severs a
+// worker: tests and benches can errors.Is for it to distinguish injected
+// failures from real ones.
+var ErrInjectedFault = errors.New("injected fault")
+
+// WorkerFatalError marks an error that killed one worker but is survivable
+// by the run: the coordinator may reassign the worker's fragments and resume
+// from the last checkpoint.
+type WorkerFatalError struct {
+	Worker int
+	Err    error
+}
+
+func (e *WorkerFatalError) Error() string {
+	return fmt.Sprintf("worker %d failed: %v", e.Worker, e.Err)
+}
+
+func (e *WorkerFatalError) Unwrap() error { return e.Err }
+
+// WorkerFatal classifies err as fatal to worker w. A nil err stays nil; an
+// already worker-fatal err is returned unchanged (re-wrapping would shadow
+// the original worker index).
+func WorkerFatal(w int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var wf *WorkerFatalError
+	if errors.As(err, &wf) {
+		return err
+	}
+	return &WorkerFatalError{Worker: w, Err: err}
+}
+
+// WorkerFatalOf reports whether err is classified worker-fatal, and for
+// which worker.
+func WorkerFatalOf(err error) (int, bool) {
+	var wf *WorkerFatalError
+	if errors.As(err, &wf) {
+		return wf.Worker, true
+	}
+	return 0, false
+}
+
+// RunFatalError marks an error no reassignment can survive: the run fails.
+type RunFatalError struct {
+	Err error
+}
+
+func (e *RunFatalError) Error() string { return e.Err.Error() }
+
+func (e *RunFatalError) Unwrap() error { return e.Err }
+
+// RunFatal classifies err as fatal to the whole run. A nil err stays nil; a
+// worker-fatal err is escalated (the RunFatal wrapper wins — callers that
+// deliberately escalate mean it).
+func RunFatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	var rf *RunFatalError
+	if errors.As(err, &rf) {
+		return err
+	}
+	return &RunFatalError{Err: err}
+}
+
+// Reassigner is the optional transport capability the engine's recovery path
+// needs: re-home fragment frag onto the link of worker host, so commands
+// addressed to frag reach its new owner. Wire transports implement it by
+// re-routing frames; wrappers (FaultTransport) use it to stand down a
+// consumed fault and delegate inward.
+type Reassigner interface {
+	Reassign(frag, host int) error
+}

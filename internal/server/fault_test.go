@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"grape/internal/engine"
+	"grape/internal/mpi"
+	"grape/internal/partition"
+)
+
+// TestServerRecoversInjectedFault injects a one-shot worker death into the
+// first run of a query and asserts the server still answers correctly, the
+// recovery shows up nowhere in the response, and the recovered result fills
+// the cache — the second identical query is a cache hit with the same
+// answer.
+func TestServerRecoversInjectedFault(t *testing.T) {
+	var runs atomic.Int64
+	cfg := Config{
+		Workers:  8,
+		Strategy: "hash",
+		Recover:  true,
+		Fault: func(tr mpi.Transport) mpi.Transport {
+			if runs.Add(1) == 1 {
+				return mpi.NewFaultTransport(tr, mpi.Fault{Step: 2, Worker: 1, Kind: mpi.Sever})
+			}
+			return tr
+		},
+	}
+	s, gs := newTestServer(t, cfg)
+
+	e, err := engine.Lookup("sssp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := e.Run(context.Background(), gs["road"], engine.Options{Workers: 8, Strategy: partition.Hash{}}, "source=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := QueryRequest{Graph: "road", Program: "sssp", Query: "source=0"}
+	resp, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatalf("query with injected fault: %v", err)
+	}
+	if runs.Load() == 0 {
+		t.Fatal("fault hook never saw a run")
+	}
+	if !reflect.DeepEqual(resp.Result, want) {
+		t.Fatal("recovered run's answer differs from the failure-free engine run")
+	}
+	if resp.Cached {
+		t.Fatal("first query reported cached")
+	}
+
+	// The recovered run must have filled the cache under the graph's
+	// current epoch: the identical query comes back as a hit, same answer.
+	resp2, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Fatal("recovered run did not fill the result cache")
+	}
+	if !reflect.DeepEqual(resp2.Result, want) {
+		t.Fatal("cached recovered result differs")
+	}
+	if resp2.Epoch != resp.Epoch {
+		t.Fatalf("cache hit under epoch %d, recovered run stored under %d", resp2.Epoch, resp.Epoch)
+	}
+}
+
+// TestServerFaultWithoutRecoverFails: with injection on but Recover off, the
+// query must fail with the classified error — and the failure must not
+// poison the cache: the retry (fault exhausted) succeeds and caches.
+func TestServerFaultWithoutRecoverFails(t *testing.T) {
+	var runs atomic.Int64
+	cfg := Config{
+		Workers:  8,
+		Strategy: "hash",
+		Fault: func(tr mpi.Transport) mpi.Transport {
+			if runs.Add(1) == 1 {
+				return mpi.NewFaultTransport(tr, mpi.Fault{Step: 2, Worker: 1, Kind: mpi.Sever})
+			}
+			return tr
+		},
+	}
+	s, _ := newTestServer(t, cfg)
+	req := QueryRequest{Graph: "road", Program: "sssp", Query: "source=0"}
+	if _, err := s.Query(context.Background(), req); err == nil {
+		t.Fatal("worker death without Recover did not fail the query")
+	}
+	resp, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatalf("retry after the one-shot fault: %v", err)
+	}
+	if resp.Cached {
+		t.Fatal("failed run left a cache entry")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"grape/internal/engine"
 	"grape/internal/graph"
 	"grape/internal/metrics"
+	"grape/internal/mpi"
 	"grape/internal/partition"
 	_ "grape/internal/queries" // register the query classes sessions run
 	"grape/internal/storage"
@@ -59,6 +60,15 @@ type Config struct {
 	// Store, if non-nil, backs the graph namespace: a query naming a graph
 	// not yet resident loads it from the store on first use.
 	Store *storage.Store
+	// Recover enables superstep-checkpoint fault tolerance on every query
+	// run (see engine.Options.Recover): a worker failure mid-run is
+	// survived by reassignment and replay, and the recovered run's result
+	// still fills the cache under its graph epoch.
+	Recover bool
+	// Fault, if non-nil, wraps every query run's transport (see
+	// engine.Options.Fault) — the fault-injection hook grape-bench and the
+	// tests use to exercise Recover end to end.
+	Fault func(mpi.Transport) mpi.Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -309,7 +319,7 @@ func (rg *residentGraph) layoutFor(key layoutKey, strat partition.Strategy) (*la
 }
 
 // runnerFor returns the slot's pooled resident runner for a program.
-func (slot *layoutSlot) runnerFor(e engine.Entry) (engine.ResidentRunner, error) {
+func (slot *layoutSlot) runnerFor(e engine.Entry, cfg Config) (engine.ResidentRunner, error) {
 	slot.rmu.Lock()
 	defer slot.rmu.Unlock()
 	if r, ok := slot.runners[e.Name]; ok {
@@ -318,7 +328,7 @@ func (slot *layoutSlot) runnerFor(e engine.Entry) (engine.ResidentRunner, error)
 	if e.Resident == nil {
 		return nil, fmt.Errorf("server: program %q cannot run resident (no Resident hook registered)", e.Name)
 	}
-	r, err := e.Resident(slot.layout, engine.Options{})
+	r, err := e.Resident(slot.layout, engine.Options{Recover: cfg.Recover, Fault: cfg.Fault})
 	if err != nil {
 		return nil, err
 	}
@@ -455,7 +465,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 			done <- outcome{err: err}
 			return
 		}
-		runner, err := slot.runnerFor(e)
+		runner, err := slot.runnerFor(e, s.cfg)
 		if err != nil {
 			done <- outcome{err: err}
 			return

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dial's retry schedule: exponential backoff from backoffBase, doubling up
+// to backoffCap, with jitter drawn uniformly from [d/2, d) so a fleet of
+// worker processes started by the same script does not hammer the
+// coordinator's accept queue in lockstep.
+const (
+	backoffBase = 25 * time.Millisecond
+	backoffCap  = 1 * time.Second
+)
+
+// dialer carries the clock, sleeper, and socket factory so the backoff
+// schedule is unit-testable with a fake clock; Dial uses the real ones.
+type dialer struct {
+	now    func() time.Time
+	sleep  func(time.Duration)
+	dial   func(network, addr string, timeout time.Duration) (net.Conn, error)
+	jitter func(d time.Duration) time.Duration
+}
+
+var (
+	stdJitterMu  sync.Mutex
+	stdJitterRNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func stdDialer() *dialer {
+	return &dialer{
+		now:   time.Now,
+		sleep: time.Sleep,
+		dial: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout(network, addr, timeout)
+		},
+		jitter: func(d time.Duration) time.Duration {
+			stdJitterMu.Lock()
+			defer stdJitterMu.Unlock()
+			return d/2 + time.Duration(stdJitterRNG.Int63n(int64(d/2)))
+		},
+	}
+}
+
+// dialRetry dials until it connects, a permanent error occurs, or the
+// timeout window closes. Only "coordinator not up yet" errors (see
+// retryableDial) are retried; each retry waits a jittered, capped
+// exponential backoff, truncated so the last sleep never overshoots the
+// deadline. It returns the connection and the deadline for the handshake.
+func (d *dialer) dialRetry(network, addr string, timeout time.Duration) (net.Conn, time.Time, error) {
+	deadline := d.now().Add(timeout)
+	wait := backoffBase
+	for {
+		remaining := deadline.Sub(d.now())
+		if remaining <= 0 {
+			return nil, time.Time{}, fmt.Errorf("transport: dial %s %s: coordinator did not come up within %v", network, addr, timeout)
+		}
+		nc, err := d.dial(network, addr, remaining)
+		if err == nil {
+			return nc, deadline, nil
+		}
+		if !retryableDial(err) {
+			return nil, time.Time{}, fmt.Errorf("transport: dial %s %s: %w", network, addr, err)
+		}
+		sleep := d.jitter(wait)
+		if left := deadline.Sub(d.now()); sleep > left {
+			sleep = left
+		}
+		if sleep > 0 {
+			d.sleep(sleep)
+		}
+		if wait < backoffCap {
+			wait *= 2
+			if wait > backoffCap {
+				wait = backoffCap
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeClock drives dialRetry deterministically: dial attempts fail with a
+// retryable error until upAt, sleeps advance the clock instantly, and
+// jitter is identity so the schedule is exactly the doubling sequence.
+type fakeClock struct {
+	t        time.Time
+	upAt     time.Time
+	sleeps   []time.Duration
+	attempts int
+}
+
+func (f *fakeClock) dialer() *dialer {
+	return &dialer{
+		now:   func() time.Time { return f.t },
+		sleep: func(d time.Duration) { f.sleeps = append(f.sleeps, d); f.t = f.t.Add(d) },
+		dial: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			f.attempts++
+			if !f.t.Before(f.upAt) {
+				c, s := net.Pipe()
+				s.Close()
+				return c, nil
+			}
+			return nil, syscall.ECONNREFUSED
+		},
+		jitter: func(d time.Duration) time.Duration { return d },
+	}
+}
+
+func TestDialBackoffSchedule(t *testing.T) {
+	f := &fakeClock{t: time.Unix(0, 0), upAt: time.Unix(0, 0).Add(5 * time.Second)}
+	nc, _, err := f.dialer().dialRetry("tcp", "fake", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Close()
+	// 25ms, 50ms, ... doubling and capping at 1s; the clock crosses 5s
+	// after 25+50+100+200+400+800+1000+1000+1000+1000 = 5575ms, so the
+	// 11th attempt connects.
+	want := []time.Duration{
+		25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+		200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond,
+		time.Second, time.Second, time.Second, time.Second,
+	}
+	if len(f.sleeps) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(f.sleeps), f.sleeps, len(want))
+	}
+	for i, d := range want {
+		if f.sleeps[i] != d {
+			t.Fatalf("sleep %d was %v, want %v (schedule %v)", i, f.sleeps[i], d, f.sleeps)
+		}
+	}
+	if f.attempts != len(want)+1 {
+		t.Fatalf("%d dial attempts, want %d", f.attempts, len(want)+1)
+	}
+}
+
+func TestDialBackoffRespectsDeadline(t *testing.T) {
+	// Coordinator never comes up: the retry loop must stop at the timeout
+	// window and never sleep past the deadline.
+	f := &fakeClock{t: time.Unix(0, 0), upAt: time.Unix(0, 0).Add(time.Hour)}
+	start := f.t
+	_, _, err := f.dialer().dialRetry("tcp", "fake", 3*time.Second)
+	if err == nil {
+		t.Fatal("dial succeeded with no coordinator")
+	}
+	if elapsed := f.t.Sub(start); elapsed > 3*time.Second {
+		t.Fatalf("retry loop overshot the %v window by %v", 3*time.Second, elapsed-3*time.Second)
+	}
+	for i, d := range f.sleeps {
+		if d > time.Second {
+			t.Fatalf("sleep %d was %v, above the cap", i, d)
+		}
+	}
+}
+
+func TestDialBackoffPermanentErrorFailsFast(t *testing.T) {
+	perm := errors.New("no such host")
+	d := &dialer{
+		now:   func() time.Time { return time.Unix(0, 0) },
+		sleep: func(time.Duration) { panic("slept on a permanent error") },
+		dial: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			return nil, perm
+		},
+		jitter: func(d time.Duration) time.Duration { return d },
+	}
+	_, _, err := d.dialRetry("tcp", "fake", time.Minute)
+	if !errors.Is(err, perm) {
+		t.Fatalf("got %v, want wrapped permanent error", err)
+	}
+}
+
+func TestStdJitterRange(t *testing.T) {
+	d := stdDialer()
+	for i := 0; i < 100; i++ {
+		j := d.jitter(time.Second)
+		if j < 500*time.Millisecond || j >= time.Second {
+			t.Fatalf("jitter(%v) = %v outside [d/2, d)", time.Second, j)
+		}
+	}
+}

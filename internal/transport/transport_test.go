@@ -14,16 +14,16 @@ func TestFrameRoundTrip(t *testing.T) {
 	ca, cb := newConn(a), newConn(b)
 	payload := bytes.Repeat([]byte{0xab, 0x01}, 1000)
 	go func() {
-		if err := ca.writeFrame(7, 42, payload); err != nil {
+		if err := ca.writeFrame(3, 7, 42, payload); err != nil {
 			t.Error(err)
 		}
 	}()
-	step, size, got, err := cb.readFrame()
+	frag, step, size, got, err := cb.readFrame()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if step != 7 || size != 42 || !bytes.Equal(got, payload) {
-		t.Fatalf("frame mangled: step %d size %d len %d", step, size, len(got))
+	if frag != 3 || step != 7 || size != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame mangled: frag %d step %d size %d len %d", frag, step, size, len(got))
 	}
 }
 
@@ -33,10 +33,39 @@ func TestFrameRejectsBadLength(t *testing.T) {
 	defer b.Close()
 	go func() {
 		// 4-byte length claiming 2 GiB
-		a.Write([]byte{0x80, 0x00, 0x00, 0x00, 0, 0, 0, 0, 0, 0, 0, 0})
+		a.Write([]byte{0x80, 0x00, 0x00, 0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	}()
-	if _, _, _, err := newConn(b).readFrame(); err == nil {
+	if _, _, _, _, err := newConn(b).readFrame(); err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestFrameRejectsInconsistentSize: the metered data size can never exceed
+// the payload the frame actually carries.
+func TestFrameRejectsInconsistentSize(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		// length = 12 (header only, empty payload) but size claims 100 bytes
+		a.Write([]byte{0x00, 0x00, 0x00, 0x0c, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 100})
+	}()
+	if _, _, _, _, err := newConn(b).readFrame(); err == nil {
+		t.Fatal("frame with data size exceeding payload accepted")
+	}
+}
+
+// TestFrameRejectsTruncatedHeader: a length prefix below the fixed header
+// size must error out, not underflow into a huge read.
+func TestFrameRejectsTruncatedHeader(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		a.Write([]byte{0x00, 0x00, 0x00, 0x04, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	}()
+	if _, _, _, _, err := newConn(b).readFrame(); err == nil {
+		t.Fatal("truncated frame header accepted")
 	}
 }
 
