@@ -28,13 +28,13 @@ import (
 //	                       converge before superstep 2 never fire the fault
 //	                       and measure the same thing as ckpt.
 func faultRows(ctx context.Context, sc experiments.Scale) ([]benchRow, error) {
-	classes, err := e2eClasses(ctx, sc)
+	classes, err := e2eClasses(sc)
 	if err != nil {
 		return nil, err
 	}
 	var rows []benchRow
 	for _, c := range classes {
-		plain, err := c.run(engine.Options{})
+		plain, err := c.run(ctx, engine.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("fault/%s: plain run: %w", c.name, err)
 		}
@@ -52,7 +52,7 @@ func faultRows(ctx context.Context, sc experiments.Scale) ([]benchRow, error) {
 			run, opts := c.run, m.opts
 			var last *metrics.Stats
 			row, err := benchStats(name, func() (*metrics.Stats, error) {
-				st, err := run(opts)
+				st, err := run(ctx, opts)
 				last = st
 				return st, err
 			})

@@ -39,19 +39,20 @@ type benchMatrix struct {
 	Rows  []benchRow        `json:"rows"`
 }
 
-// e2eCase is one end-to-end query class, parameterized over extra engine
-// options: the main matrix runs each with the zero Options, the fault rows
-// rerun the identical workloads with recovery and injected faults on. Each
-// closure owns its workload's Workers/Strategy and overwrites them on the
-// options it is handed.
+// e2eCase is one end-to-end query class, parameterized over the run context
+// and extra engine options: the main matrix runs each with the zero Options,
+// the fault rows rerun the identical workloads with recovery and injected
+// faults on, and the trace path hands each class a context carrying its own
+// flight recorder. Each closure owns its workload's Workers/Strategy and
+// overwrites them on the options it is handed.
 type e2eCase struct {
 	name string
-	run  func(engine.Options) (*metrics.Stats, error)
+	run  func(context.Context, engine.Options) (*metrics.Stats, error)
 }
 
 // e2eClasses builds the seven registered query classes at scale sc, datasets
 // included. The generators are seeded, so every caller sees the same graphs.
-func e2eClasses(ctx context.Context, sc experiments.Scale) ([]e2eCase, error) {
+func e2eClasses(sc experiments.Scale) ([]e2eCase, error) {
 	road := sc.Road()
 	social := sc.Social()
 	commerce := sc.Commerce()
@@ -66,38 +67,38 @@ func e2eClasses(ctx context.Context, sc experiments.Scale) ([]e2eCase, error) {
 	cfg.Epochs = 10
 
 	return []e2eCase{
-		{"sssp", func(o engine.Options) (*metrics.Stats, error) {
+		{"sssp", func(ctx context.Context, o engine.Options) (*metrics.Stats, error) {
 			o.Workers, o.Strategy = 8, spatial
 			_, st, err := engine.Run(ctx, road, queries.SSSP{}, queries.SSSPQuery{Source: 0}, o)
 			return st, err
 		}},
-		{"cc", func(o engine.Options) (*metrics.Stats, error) {
+		{"cc", func(ctx context.Context, o engine.Options) (*metrics.Stats, error) {
 			o.Workers, o.Strategy = 8, spatial
 			_, st, err := engine.Run(ctx, road, queries.CC{}, queries.CCQuery{}, o)
 			return st, err
 		}},
-		{"sim", func(o engine.Options) (*metrics.Stats, error) {
+		{"sim", func(ctx context.Context, o engine.Options) (*metrics.Stats, error) {
 			o.Workers = 8
 			_, st, err := engine.Run(ctx, commerce, queries.Sim{}, queries.SimQuery{Pattern: pattern}, o)
 			return st, err
 		}},
-		{"subiso", func(o engine.Options) (*metrics.Stats, error) {
+		{"subiso", func(ctx context.Context, o engine.Options) (*metrics.Stats, error) {
 			o.Workers = 8
 			_, st, err := queries.RunSubIso(ctx, commerce, queries.SubIsoQuery{Pattern: pattern}, o)
 			return st, err
 		}},
-		{"keyword", func(o engine.Options) (*metrics.Stats, error) {
+		{"keyword", func(ctx context.Context, o engine.Options) (*metrics.Stats, error) {
 			o.Workers = 8
 			q := queries.KeywordQuery{Keywords: []string{"db", "graph"}, Bound: 4, UseIndex: true}
 			_, st, err := engine.Run(ctx, social, queries.Keyword{}, q, o)
 			return st, err
 		}},
-		{"cf", func(o engine.Options) (*metrics.Stats, error) {
+		{"cf", func(ctx context.Context, o engine.Options) (*metrics.Stats, error) {
 			o.Workers = 8
 			_, st, err := engine.Run(ctx, ratings, queries.CF{}, queries.CFQuery{Cfg: cfg}, o)
 			return st, err
 		}},
-		{"tricount", func(o engine.Options) (*metrics.Stats, error) {
+		{"tricount", func(ctx context.Context, o engine.Options) (*metrics.Stats, error) {
 			o.Workers = 8
 			_, st, err := queries.RunTriCount(ctx, social, o)
 			return st, err
@@ -153,7 +154,7 @@ func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error 
 	}
 	layout := partition.Build(road, asg)
 
-	classes, err := e2eClasses(ctx, sc)
+	classes, err := e2eClasses(sc)
 	if err != nil {
 		return err
 	}
@@ -175,7 +176,7 @@ func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error 
 		cases = append(cases, struct {
 			name string
 			run  func() (*metrics.Stats, error)
-		}{"e2e/" + c.name, func() (*metrics.Stats, error) { return run(engine.Options{}) }})
+		}{"e2e/" + c.name, func() (*metrics.Stats, error) { return run(ctx, engine.Options{}) }})
 	}
 
 	matrix := benchMatrix{Scale: sc}

@@ -22,30 +22,77 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"grape/internal/experiments"
 	"grape/internal/metrics"
 )
 
+// stopProf flushes and closes the -cpuprofile, if one is running. exitIf
+// calls it before log.Fatal (which skips defers), so a failed run still
+// leaves a readable profile behind; it is idempotent so the normal deferred
+// call is harmless after that.
+var stopProf = func() {}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("grape-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|partition|scaleup|bounded|gpar|simtheorem|index|library|all")
-		workers = flag.Int("workers", 24, "worker count for fixed-worker experiments")
-		rows    = flag.Int("rows", 128, "road grid rows")
-		cols    = flag.Int("cols", 128, "road grid cols")
-		socialN = flag.Int("social", 20000, "social graph vertices")
-		seed    = flag.Int64("seed", 1, "dataset seed")
-		jsonOut = flag.String("json", "", "write the bench matrix (ns/op, allocs/op, sim-ms, comm-KB, steps) as JSON to this file and exit")
-		smoke   = flag.Bool("smoke", false, "with -json: reduced scale for CI smoke runs")
+		exp      = flag.String("exp", "all", "experiment: table1|partition|scaleup|bounded|gpar|simtheorem|index|library|all")
+		workers  = flag.Int("workers", 24, "worker count for fixed-worker experiments")
+		rows     = flag.Int("rows", 128, "road grid rows")
+		cols     = flag.Int("cols", 128, "road grid cols")
+		socialN  = flag.Int("social", 20000, "social graph vertices")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		jsonOut  = flag.String("json", "", "write the bench matrix (ns/op, allocs/op, sim-ms, comm-KB, steps) as JSON to this file and exit")
+		smoke    = flag.Bool("smoke", false, "with -json: reduced scale for CI smoke runs")
+		traceOut = flag.String("trace", "", "run each query class once and write a combined Chrome trace-event JSON file (open in Perfetto), then exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole bench run to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after GC) at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		exitIf(err)
+		exitIf(pprof.StartCPUProfile(f))
+		stopProf = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			stopProf = func() {}
+		}
+		defer stopProf()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	ctx := context.Background()
 	sc := experiments.DefaultScale()
 	sc.RoadRows, sc.RoadCols, sc.SocialN, sc.Seed = *rows, *cols, *socialN, *seed
 
+	if *traceOut != "" {
+		if *smoke {
+			sc.RoadRows, sc.RoadCols = 48, 48
+			sc.SocialN, sc.SocialDeg = 3000, 4
+			sc.People, sc.Products = 600, 8
+			sc.Users, sc.Items = 150, 40
+		}
+		exitIf(runTraceBench(ctx, sc, *traceOut))
+		return
+	}
 	if *jsonOut != "" {
 		if *smoke {
 			sc.RoadRows, sc.RoadCols = 48, 48
@@ -53,9 +100,7 @@ func main() {
 			sc.People, sc.Products = 600, 8
 			sc.Users, sc.Items = 150, 40
 		}
-		if err := runJSONBench(ctx, sc, *jsonOut); err != nil {
-			log.Fatal(err)
-		}
+		exitIf(runJSONBench(ctx, sc, *jsonOut))
 		return
 	}
 	cm := metrics.DefaultCostModel()
@@ -121,7 +166,7 @@ func main() {
 					r.GridSide, r.GridSide, r.GiraphMB, r.GiraphSteps, r.GrapeMB, r.GrapeSteps, r.Ratio)
 			}
 		default:
-			log.Fatalf("unknown experiment %q", name)
+			exitIf(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 
@@ -136,6 +181,7 @@ func main() {
 
 func exitIf(err error) {
 	if err != nil {
+		stopProf()
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"grape/internal/engine"
+	"grape/internal/experiments"
+	"grape/internal/trace"
+)
+
+// runTraceBench runs each of the seven end-to-end query classes once with a
+// flight recorder on its context and writes all seven runs into one Chrome
+// trace-event JSON file — in Perfetto each class shows up as its own process
+// with the coordinator on thread 0 and one thread per worker. This is the
+// timeline view of the same workloads -json measures: where -json answers
+// "how fast", the trace answers "where did the time go".
+func runTraceBench(ctx context.Context, sc experiments.Scale, path string) error {
+	classes, err := e2eClasses(sc)
+	if err != nil {
+		return err
+	}
+	runs := make([]*trace.Run, 0, len(classes))
+	for _, c := range classes {
+		rec := trace.NewRecorder(c.name)
+		st, err := c.run(trace.WithRecorder(ctx, rec), engine.Options{})
+		if err != nil {
+			rec.Release()
+			return fmt.Errorf("trace/%s: %w", c.name, err)
+		}
+		run := rec.Snapshot()
+		rec.Release()
+		if len(run.Steps) != st.Supersteps {
+			return fmt.Errorf("trace/%s: recorded %d superstep spans, stats counted %d", c.name, len(run.Steps), st.Supersteps)
+		}
+		fmt.Fprintf(os.Stderr, "grape-bench: trace/%-10s %3d supersteps, %d workers\n", c.name, len(run.Steps), run.Workers)
+		runs = append(runs, run)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, runs...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

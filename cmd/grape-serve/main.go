@@ -21,6 +21,15 @@
 //	GET  /graphs  resident graphs with sizes and epochs
 //	GET  /stats   serving metrics: latency histogram, queue depth, cache hit rate
 //	GET  /healthz liveness + resident graph count (the readiness probe)
+//	GET  /metrics Prometheus text exposition of the serving metrics
+//	GET  /debug/runs        flight-recorder index: retained run traces + events
+//	GET  /debug/runs/{id}   one run as Chrome trace-event JSON (Perfetto)
+//
+// Observability: every served query and mutation emits one structured JSON
+// log record on stderr (log/slog; -log-level tunes verbosity, debug adds
+// engine run start records), every engine run is flight-recorded behind
+// /debug/runs, and -debug-addr serves net/http/pprof on a side listener
+// kept off the public API address.
 //
 // A query's context threads from the HTTP request through admission into
 // the engine run: a disconnected client or an expired deadline cancels the
@@ -31,9 +40,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strings"
 	"time"
 
@@ -43,8 +54,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("grape-serve: ")
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
 		workers  = flag.Int("workers", 8, "default fragments per resident layout")
@@ -55,6 +64,9 @@ func main() {
 		cache    = flag.Int("cache", 256, "result cache entries (-1 disables)")
 		detach   = flag.Bool("detach", false, "legacy overload behavior: let timed-out/disconnected queries run to completion and cache")
 		store    = flag.String("store", "", "storage.Store directory: its graphs become queryable by name")
+		logLevel = flag.String("log-level", "info", "structured log verbosity: debug|info|warn|error")
+		flight   = flag.Int("flight", 64, "flight-recorder retention: the most recent N run traces stay fetchable at /debug/runs")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this side address (empty = disabled)")
 
 		preload  = flag.String("preload", "", "comma-separated generated datasets to load: road|social|commerce|ratings")
 		rows     = flag.Int("rows", 128, "road: grid rows")
@@ -70,6 +82,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// One structured JSON record per served query, mutation and engine run
+	// on stderr; stdout stays reserved for the "listening on" readiness line
+	// that orchestration (and the serve-smoke test) parses.
+	lg := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: parseLevel(*logLevel)}))
+	fatal := func(err error) {
+		lg.Error("fatal", "err", err.Error())
+		os.Exit(1)
+	}
+
 	cfg := server.Config{
 		Workers:      *workers,
 		Strategy:     *strategy,
@@ -78,6 +99,8 @@ func main() {
 		QueryTimeout: *timeout,
 		CacheEntries: *cache,
 		DetachRuns:   *detach,
+		Logger:       lg,
+		FlightRuns:   *flight,
 	}
 	if *store != "" {
 		cfg.Store = &storage.Store{Root: *store}
@@ -87,28 +110,56 @@ func main() {
 	for _, name := range splitList(*preload) {
 		g, err := buildDataset(name, *rows, *cols, *n, *deg, *people, *products, *users, *items, *seed, *keywords)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := s.AddGraph(name, g); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("preloaded %s: %d vertices, %d edges", name, g.NumVertices(), g.NumEdges())
+		lg.Info("preloaded", "graph", name, "vertices", g.NumVertices(), "edges", g.NumEdges())
 	}
 	if cfg.Store != nil {
 		names, err := cfg.Store.ListGraphs()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("store %s: %d graphs load lazily on first query: %v", *store, len(names), names)
+		lg.Info("store attached", "dir", *store, "graphs", names)
+	}
+
+	if *debug != "" {
+		go serveDebug(lg, *debug)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// the actual address matters when -addr asks for port 0 (tests)
 	fmt.Printf("grape-serve: listening on http://%s\n", ln.Addr())
-	log.Fatal(http.Serve(ln, s.Handler()))
+	fatal(http.Serve(ln, s.Handler()))
+}
+
+func parseLevel(s string) slog.Level {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(s)); err != nil {
+		fmt.Fprintf(os.Stderr, "grape-serve: bad -log-level %q (debug|info|warn|error)\n", s)
+		os.Exit(2)
+	}
+	return lvl
+}
+
+// serveDebug exposes net/http/pprof on its own listener so profiling stays
+// off the public API address (and can be firewalled separately).
+func serveDebug(lg *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	lg.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		lg.Error("pprof server failed", "err", err.Error())
+	}
 }
 
 func splitList(s string) []string {

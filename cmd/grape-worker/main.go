@@ -19,7 +19,13 @@
 //	                exiting — a crashed-and-restarted worker rejoins the
 //	                fleet with this; the process ends when the dial window
 //	                expires with no coordinator, or on ^C/SIGTERM
-//	-quiet          suppress the per-run log lines
+//	-quiet          suppress the per-run log records (fatal errors still print)
+//	-debug-addr a   serve net/http/pprof on this address — profile a live
+//	                worker mid-run (empty = disabled)
+//
+// Log records are structured JSON on stderr (log/slog), one per lifecycle
+// event: connected, done, link lost, aborted — greppable and
+// machine-collectable across a fleet.
 //
 // Example — a 4-worker distributed SSSP (each line its own shell):
 //
@@ -32,7 +38,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,15 +53,13 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("grape-worker: ")
-
 	var (
 		connect = flag.String("connect", "", "coordinator address to dial (required)")
 		network = flag.String("network", "tcp", "socket kind: tcp|unix")
 		timeout = flag.Duration("timeout", 30*time.Second, "dial + handshake retry window")
 		rejoin  = flag.Bool("rejoin", false, "redial and serve the next run after each run or link loss")
 		quiet   = flag.Bool("quiet", false, "suppress log output")
+		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	if *connect == "" {
@@ -61,8 +67,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Structured JSON lifecycle records on stderr; -quiet drops them but a
+	// fatal error below still reaches stderr.
+	lg := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if *quiet {
-		log.SetOutput(nilWriter{})
+		lg = slog.New(slog.DiscardHandler)
+	}
+	if *debug != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			lg.Info("pprof listening", "addr", *debug)
+			if err := http.ListenAndServe(*debug, mux); err != nil {
+				lg.Error("pprof server failed", "err", err.Error())
+			}
+		}()
 	}
 
 	// The worker's own bound: ^C/SIGTERM cancels the serve loop. serveWire
@@ -75,10 +97,10 @@ func main() {
 	defer cancelSig()
 
 	for {
-		again, err := serveOnce(ctx, *network, *connect, *timeout, *rejoin)
+		again, err := serveOnce(ctx, lg, *network, *connect, *timeout, *rejoin)
 		if err != nil {
-			log.SetOutput(os.Stderr)
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "grape-worker: %v\n", err)
+			os.Exit(1)
 		}
 		if !again || ctx.Err() != nil {
 			return
@@ -92,45 +114,43 @@ func main() {
 // that closes with no coordinator listening — into "dial again" or a clean
 // exit instead of errors, so a restarted worker keeps offering itself to the
 // fleet.
-func serveOnce(ctx context.Context, network, connect string, timeout time.Duration, rejoin bool) (again bool, fatal error) {
+func serveOnce(ctx context.Context, lg *slog.Logger, network, connect string, timeout time.Duration, rejoin bool) (again bool, fatal error) {
 	conn, err := transport.Dial(network, connect, timeout)
 	if err != nil {
 		if rejoin {
 			// No coordinator within the window: the fleet is done.
-			log.Printf("no coordinator at %s within %v, exiting", connect, timeout)
+			lg.Info("no coordinator, exiting", "addr", connect, "window", timeout.String())
 			return false, nil
 		}
 		return false, err
 	}
 	defer conn.Close()
-	log.Printf("connected to %s as worker %d of %d", connect, conn.Index(), conn.N())
+	lg = lg.With("worker", conn.Index())
+	lg.Info("connected", "addr", connect, "n", conn.N())
 
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
 	start := time.Now()
 	if err := engine.ServeWorker(ctx, conn); err != nil {
+		elapsed := time.Since(start).Round(time.Millisecond)
 		if ctx.Err() != nil {
-			return false, fmt.Errorf("worker %d: interrupted after %v", conn.Index(), time.Since(start).Round(time.Millisecond))
+			return false, fmt.Errorf("worker %d: interrupted after %v", conn.Index(), elapsed)
 		}
 		if errors.Is(err, engine.ErrAborted) {
 			// the coordinator cancelled the run (client gone, deadline hit);
 			// discarding it is this worker's job done
-			log.Printf("worker %d: run aborted by coordinator after %v", conn.Index(), time.Since(start).Round(time.Millisecond))
+			lg.Info("run aborted by coordinator", "elapsed", elapsed.String())
 			return rejoin, nil
 		}
 		if rejoin {
 			// A dropped link is survivable fleet-side (the coordinator
 			// reassigns this worker's fragments); rejoin for the next run.
-			log.Printf("worker %d: link lost after %v: %v", conn.Index(), time.Since(start).Round(time.Millisecond), err)
+			lg.Warn("link lost", "elapsed", elapsed.String(), "err", err.Error())
 			return true, nil
 		}
 		return false, fmt.Errorf("worker %d: %v", conn.Index(), err)
 	}
-	log.Printf("worker %d done in %v", conn.Index(), time.Since(start).Round(time.Millisecond))
+	lg.Info("run done", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	return rejoin, nil
 }
-
-type nilWriter struct{}
-
-func (nilWriter) Write(p []byte) (int, error) { return len(p), nil }

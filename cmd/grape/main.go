@@ -30,6 +30,7 @@ import (
 
 	"grape"
 	"grape/internal/graph"
+	"grape/internal/trace"
 	"grape/internal/transport"
 )
 
@@ -51,7 +52,8 @@ func main() {
 		workers  = flag.Int("workers", 8, "number of workers")
 		strategy = flag.String("strategy", "fennel", "partition strategy (hash|range|fennel|metis|2d)")
 		check    = flag.Bool("check", false, "verify the monotonic condition at run time")
-		trace    = flag.Bool("trace", false, "print the per-superstep PEval/IncEval breakdown")
+		steps    = flag.Bool("steps", false, "print the per-superstep PEval/IncEval breakdown")
+		traceOut = flag.String("trace", "", "write the run's flight-recorder trace to this file as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
 		listen   = flag.String("listen", "", "run distributed: listen here and wait for -workers grape-worker processes")
 		network  = flag.String("network", "tcp", "socket kind for -listen: tcp|unix")
 		accept   = flag.Duration("accept-timeout", 60*time.Second, "how long to wait for workers to dial in")
@@ -134,9 +136,33 @@ func main() {
 		// survivors instead of failing the run.
 		opts.Recover = true
 	}
+	// With -trace, a flight recorder rides the run context; the engine fills
+	// in per-superstep spans and per-worker phase timings (shipped back over
+	// the wire on distributed runs), and the trace lands on disk afterwards.
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder("run-1")
+		ctx = trace.WithRecorder(ctx, rec)
+	}
 	res, stats, err := grape.RunProgram(ctx, *program, g, opts, *query)
 	if err != nil {
 		fatal(err)
+	}
+	if rec != nil {
+		run := rec.Snapshot()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChrome(f, run); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fatal(fmt.Errorf("writing trace %s: %w", *traceOut, err))
+		}
+		fmt.Printf("trace: %d superstep spans written to %s\n", len(run.Steps), *traceOut)
 	}
 
 	printResult(*program, res)
@@ -146,7 +172,7 @@ func main() {
 	for _, r := range stats.Recoveries {
 		fmt.Printf("recovered: fragment %d reassigned to worker %d at superstep %d\n", r.Fragment, r.Host, r.Superstep)
 	}
-	if *trace {
+	if *steps {
 		fmt.Println()
 		stats.StepReport(os.Stdout)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -43,12 +44,27 @@ func TestCLIEndToEnd(t *testing.T) {
 		}
 	}
 
+	traceFile := filepath.Join(t.TempDir(), "run.json")
 	out = run(t, bin, "-program", "sssp", "-query", "source=0",
-		"-dataset", "road", "-rows", "16", "-cols", "16", "-workers", "4", "-strategy", "2d", "-trace")
-	for _, frag := range []string{"analytics:", "4 workers", "PEval"} {
+		"-dataset", "road", "-rows", "16", "-cols", "16", "-workers", "4", "-strategy", "2d",
+		"-steps", "-trace", traceFile)
+	for _, frag := range []string{"analytics:", "4 workers", "PEval", "superstep spans written"} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("sssp output missing %q:\n%s", frag, out)
 		}
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("-trace wrote nothing: %v", err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("-trace output is not Chrome trace JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("-trace output has no trace events")
 	}
 
 	out = run(t, bin, "-program", "cc", "-dataset", "social", "-n", "500", "-deg", "3", "-workers", "3")

@@ -45,6 +45,14 @@ type wantDiag struct {
 
 func checkFixture(t *testing.T, a *Analyzer, pkgPath string) {
 	t.Helper()
+	checkFixtureAll(t, []*Analyzer{a}, pkgPath)
+}
+
+// checkFixtureAll runs several analyzers over one fixture package against its
+// combined want set — for fixtures (like trace) that one analyzer must flag
+// and another must stay quiet on.
+func checkFixtureAll(t *testing.T, as []*Analyzer, pkgPath string) {
+	t.Helper()
 	var pkg *Package
 	for _, p := range loadFixtures(t) {
 		if p.Path == pkgPath {
@@ -76,9 +84,9 @@ func checkFixture(t *testing.T, a *Analyzer, pkgPath string) {
 		}
 	}
 
-	diags, err := Run([]*Analyzer{a}, []*Package{pkg})
+	diags, err := Run(as, []*Package{pkg})
 	if err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+		t.Fatalf("%s: %v", pkgPath, err)
 	}
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
@@ -113,3 +121,11 @@ func TestErrclass(t *testing.T)    { checkFixture(t, Errclass, "errclass") }
 // TestCtxfirstMainExempt pins the one deliberate hole in ctxfirst: package
 // main owns the process and is where root contexts are minted.
 func TestCtxfirstMainExempt(t *testing.T) { checkFixture(t, Ctxfirst, "ctxmain") }
+
+// TestRecorderFixture runs poolreset and ctxfirst together over the
+// miniature trace package: the conforming pooled Recorder (reset reassigns
+// steps and open, mutex kept) is quiet, the leaky twin whose reset forgets
+// the open-step cursor fires, and ctxfirst stays silent — the recorder
+// legitimately lives in a pool and on the context there, never in a struct
+// (the violating struct-held recorder lives in the ctxfirst fixture).
+func TestRecorderFixture(t *testing.T) { checkFixtureAll(t, []*Analyzer{Poolreset, Ctxfirst}, "trace") }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Ctxfirst enforces the PR 5 context discipline that makes every run
@@ -13,10 +14,18 @@ import (
 // package main — a library that conjures its own root context has broken the
 // request→run chain, and the caller's deadline no longer reaches the
 // superstep barrier.
+//
+// The flight recorder rides the same discipline: trace.Recorder is run-scoped
+// state carried by the run context (trace.WithRecorder), and its span buffers
+// are pool-recycled when the run's snapshot is retained. A Recorder stored in
+// a struct outlives its run exactly like a stored context does — and worse,
+// a later run's Release can hand the pooled buffers back while the struct
+// still points at them. So ctxfirst flags Recorder struct fields too.
 var Ctxfirst = &Analyzer{
 	Name: "ctxfirst",
 	Doc: "context.Context must be the first parameter, never a struct field, and " +
-		"never created with Background()/TODO() outside package main",
+		"never created with Background()/TODO() outside package main; " +
+		"trace.Recorder rides the context and is never a struct field either",
 	Run: runCtxfirst,
 }
 
@@ -31,6 +40,21 @@ func runCtxfirst(p *Pass) error {
 		return n != nil && n.Obj().Name() == "Context" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
 	}
 	isMain := p.Pkg.Types.Name() == "main"
+	// The recorder type is matched by (package path suffix, name) so the
+	// fixture's miniature trace package exercises the same code path as the
+	// real grape/internal/trace.
+	isRecorder := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		n := namedOf(tv.Type)
+		if n == nil || n.Obj().Name() != "Recorder" || n.Obj().Pkg() == nil {
+			return false
+		}
+		path := n.Obj().Pkg().Path()
+		return path == "trace" || strings.HasSuffix(path, "/trace")
+	}
 
 	p.inspect(func(n ast.Node) bool {
 		switch nn := n.(type) {
@@ -53,6 +77,9 @@ func runCtxfirst(p *Pass) error {
 			for _, field := range nn.Fields.List {
 				if isCtx(field.Type) {
 					p.Reportf(field.Pos(), "context.Context stored in a struct: a kept context outlives the call it bounds; pass it as the first parameter of each method instead")
+				}
+				if isRecorder(field.Type) && !p.SuppressedAt(field.Pos()) {
+					p.Reportf(field.Pos(), "trace.Recorder stored in a struct: the recorder is run-scoped, pool-recycled state that rides the run context (trace.WithRecorder); a struct-held recorder outlives its run and can alias buffers the pool already handed to the next run")
 				}
 			}
 		case *ast.CallExpr:

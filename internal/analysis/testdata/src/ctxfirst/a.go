@@ -1,8 +1,14 @@
 // Package ctxfirst exercises the ctxfirst analyzer: ctx is the first
-// parameter, never a struct field, never minted outside package main.
+// parameter, never a struct field, never minted outside package main — and
+// the flight recorder, which rides the context, is never a struct field
+// either.
 package ctxfirst
 
-import "context"
+import (
+	"context"
+
+	"trace"
+)
 
 // Run is conforming: ctx first, passed through.
 func Run(ctx context.Context, n int) error {
@@ -41,3 +47,31 @@ func drain() context.Context {
 }
 
 var _, _ = mint, drain
+
+// pinned holds the run-scoped recorder past its run: the pool can hand its
+// buffers to the next run while this struct still points at them.
+type pinned struct {
+	rec *trace.Recorder // want "trace.Recorder stored in a struct"
+	n   int
+}
+
+var _ = pinned{}
+
+// traced is the conforming shape: the recorder rides the context and is
+// recovered where it is used.
+func traced(ctx context.Context) int {
+	rec := trace.FromContext(ctx)
+	if rec == nil {
+		return 0
+	}
+	return 1
+}
+
+// keptRecorder is the annotated exception — mirrors the engine's pooled
+// scratch, which owns its recorder for exactly one run between get and put.
+type keptRecorder struct {
+	//grapevet:keep fixture: scratch owns the recorder for exactly one run
+	rec *trace.Recorder
+}
+
+var _, _ = traced, keptRecorder{}

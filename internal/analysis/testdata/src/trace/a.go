@@ -1,0 +1,76 @@
+// Package trace is a miniature of the repo's internal/trace flight recorder,
+// here so the ctxfirst and poolreset fixtures exercise the recorder-specific
+// rules against the same (package-path suffix, type name) shape the real
+// package has: Recorder rides the run context and is pool-recycled, so its
+// reset must clear every run-scoped field and no struct may hold one.
+package trace
+
+import (
+	"context"
+	"sync"
+)
+
+// Step is one recorded superstep span.
+type Step struct {
+	Step    int
+	Workers []int64
+}
+
+// Recorder is the conforming pooled recorder: reset keeps the backing arrays
+// but reassigns every run-scoped field, and the mutex is construction-time
+// identity.
+type Recorder struct {
+	mu    sync.Mutex //grapevet:keep fixture: identity, never varies across runs
+	steps []Step
+	open  int
+}
+
+var pool = sync.Pool{New: func() any { return &Recorder{open: -1} }}
+
+// NewRecorder hands out a recycled recorder.
+func NewRecorder() *Recorder { return pool.Get().(*Recorder) }
+
+// Release resets the recorder and returns it to the pool.
+func (r *Recorder) Release() {
+	r.reset()
+	pool.Put(r)
+}
+
+func (r *Recorder) reset() {
+	r.steps = r.steps[:0]
+	r.open = -1
+}
+
+// leaky is the violating twin: its reset trims the span buffer but forgets
+// the open-step cursor, so a recycled recorder resumes a span left open by
+// the previous run.
+type leaky struct {
+	steps []Step
+	open  int
+}
+
+var leakPool = sync.Pool{New: func() any { return new(leaky) }}
+
+func (l *leaky) reset() { // want "pooled leaky.reset does not assign field \"open\""
+	l.steps = l.steps[:0]
+}
+
+func putLeaky(l *leaky) {
+	l.reset()
+	leakPool.Put(l)
+}
+
+type recorderKey struct{}
+
+// WithRecorder is the one sanctioned way a recorder travels: on the context.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// FromContext recovers the run's recorder, nil when tracing is off.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}
+
+var _ = putLeaky

@@ -253,8 +253,11 @@ func decodeAdopt[V any](c Codec[V], body []byte) (*adoptCmd[V], error) {
 }
 
 // Worker-reply frame: the flushed change batch, the superstep's work units,
-// the keep-active flag, and the error string ("" = nil). encodeReply also
-// returns the encoded length of the change batch — the metered data size.
+// the keep-active flag, the error string ("" = nil), and — since protocol
+// v4 — the worker's compute/apply nanoseconds for the flight recorder.
+// encodeReply also returns the encoded length of the change batch — the
+// metered data size; the timing tail is framing overhead and never counts
+// toward comm bytes.
 
 func encodeReply[V any](c Codec[V], rep workerReply[V]) (frame []byte, dataLen int) {
 	frame = AppendUpdates(c, frame, rep.changes)
@@ -275,7 +278,10 @@ func encodeReply[V any](c Codec[V], rep workerReply[V]) (frame []byte, dataLen i
 		}
 	}
 	frame = binary.AppendUvarint(frame, uint64(len(msg)))
-	return append(frame, msg...), dataLen
+	frame = append(frame, msg...)
+	frame = binary.AppendUvarint(frame, uint64(rep.computeNS))
+	frame = binary.AppendUvarint(frame, uint64(rep.applyNS))
+	return frame, dataLen
 }
 
 func decodeReply[V any](c Codec[V], frame []byte) (workerReply[V], error) {
@@ -302,6 +308,20 @@ func decodeReply[V any](c Codec[V], frame []byte) (workerReply[V], error) {
 	}
 	if msg != "" {
 		rep.err = errors.New(msg)
+	}
+	// The timing tail is optional: a v3 worker's reply simply ends here, and
+	// the coordinator records zero timings for it (handshake compat).
+	if pos < len(frame) {
+		compute, err := graph.ReadUvarint(frame, &pos)
+		if err != nil {
+			return rep, err
+		}
+		apply, err := graph.ReadUvarint(frame, &pos)
+		if err != nil {
+			return rep, err
+		}
+		rep.computeNS = int64(compute)
+		rep.applyNS = int64(apply)
 	}
 	return rep, nil
 }

@@ -9,6 +9,7 @@ import (
 	"grape/internal/metrics"
 	"grape/internal/mpi"
 	"grape/internal/partition"
+	"grape/internal/trace"
 )
 
 // The coordinator's per-superstep work — folding every worker's reported
@@ -230,7 +231,11 @@ func (f *foldState[V]) foldOne(s, w int, u VarUpdate[V], checkMono bool) error {
 // a fatal envelope never consumes a reply slot. With rc nil (sessions,
 // recovery disabled) a fatal envelope fails the run with its classified
 // error.
-func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], fold *foldState[V], rc *recoverer[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
+// rec is the flight recorder (nil when tracing is off): the barrier, each
+// worker's piggybacked phase timings, checkpoint/recovery events, and the
+// span close are recorded here because collectStep is the one place all
+// three run loops share.
+func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], fold *foldState[V], rc *recoverer[V], replies []*workerReply[V], stillActive map[int]bool, stats *metrics.Stats, layout *partition.Layout, rec *trace.Recorder, expect, step int, checkMono bool) ([][]VarUpdate[V], int, error) {
 	n := fold.n
 	perWorker := make([]int64, n)
 	var stepBytes int64
@@ -264,6 +269,9 @@ func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], f
 				return nil, 0, fmt.Errorf("worker %d superstep %d: recovering from %v: %w", w, step, perr, rerr)
 			}
 			stats.Recoveries = append(stats.Recoveries, metrics.Recovery{Superstep: step, Fragment: w, Host: host})
+			if rec != nil {
+				rec.Event("recovery", fmt.Sprintf("superstep %d: fragment %d revived on worker %d", step, w, host))
+			}
 			// remaining is untouched: if a reply was owed, the revived
 			// fragment ships it and the drain picks it up below.
 			continue
@@ -300,8 +308,10 @@ func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], f
 		replies[env.From] = &rep
 		perWorker[env.From] = rep.work
 		stepBytes += int64(env.Size)
+		rec.WorkerTiming(step, env.From, rep.computeNS, rep.applyNS)
 		remaining--
 	}
+	rec.BarrierDone(step)
 	for w := 0; w < n; w++ {
 		rep := replies[w]
 		if rep == nil {
@@ -320,10 +330,14 @@ func collectStep[V any](ctx context.Context, tr mpi.Transport, codec Codec[V], f
 		if err := rc.ckpt.append(step, fold, stillActive); err != nil {
 			return nil, 0, err
 		}
+		if rec != nil {
+			rec.Event("checkpoint", fmt.Sprintf("superstep %d", step))
+		}
 	}
 	stats.WorkPerStep = append(stats.WorkPerStep, perWorker)
 	stats.BytesPerStep = append(stats.BytesPerStep, stepBytes)
 	route, scheduled := fold.buildRoute(layout)
+	rec.EndStep(step)
 	return route, scheduled, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"grape/internal/metrics"
 	"grape/internal/mpi"
 	"grape/internal/partition"
+	"grape/internal/trace"
 )
 
 // Options configures one engine run.
@@ -124,10 +125,12 @@ type adoptCmd[V any] struct {
 }
 
 type workerReply[V any] struct {
-	changes []VarUpdate[V]
-	work    int64
-	active  bool // worker wants another superstep regardless of messages
-	err     error
+	changes   []VarUpdate[V]
+	work      int64
+	active    bool // worker wants another superstep regardless of messages
+	err       error
+	computeNS int64 // PEval/IncEval wall time, for the flight recorder
+	applyNS   int64 // inbound-update apply wall time
 }
 
 // Run executes prog on g with query q: it partitions g, spawns one goroutine
@@ -239,6 +242,17 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 	start := time.Now()
 	stats := &metrics.Stats{Engine: "grape/" + prog.Name(), Workers: n}
 
+	// Flight recorder + structured logging ride the context; both are nil
+	// (and free) unless the caller attached them.
+	rec := trace.FromContext(ctx)
+	rec.BeginRun(prog.Name(), "bus", n)
+	defer rec.EndRun()
+	lg := trace.LoggerFrom(ctx)
+	if lg != nil {
+		lg = lg.With("run", rec.ID(), "class", prog.Name(), "substrate", "bus")
+		lg.Debug("run started", "workers", n)
+	}
+
 	bus := mpi.NewBus(n, 4*n+16)
 	// The data path runs through the (optionally fault-wrapped) transport;
 	// worker release below stays on the raw bus, so an unconsumed planned
@@ -298,7 +312,7 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 	}
 
 	collect := func(expect, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep[V](ctx, tr, nil, fold, rc, replies, stillActive, stats, layout, expect, step, opts.CheckMonotonic)
+		return collectStep[V](ctx, tr, nil, fold, rc, replies, stillActive, stats, layout, rec, expect, step, opts.CheckMonotonic)
 	}
 
 	// Fragment construction that replicated data (d-hop expansion) is
@@ -308,6 +322,7 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 	}
 
 	// Superstep 1: PEval everywhere.
+	rec.BeginStep(1, n)
 	for i := 0; i < n; i++ {
 		sched[i] = true
 		tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Payload: workerCmd[V]{kind: cmdPEval}})
@@ -338,12 +353,17 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 		stats.Supersteps++
 		active = 0
 		for w := 0; w < n; w++ {
+			if len(route[w]) > 0 || stillActive[w] {
+				active++
+			}
+		}
+		rec.BeginStep(stats.Supersteps, active)
+		for w := 0; w < n; w++ {
 			sched[w] = false
 			ups := route[w]
 			if len(ups) == 0 && !stillActive[w] {
 				continue
 			}
-			active++
 			sched[w] = true
 			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Payload: workerCmd[V]{kind: cmdIncEval, updates: ups}, Size: shipSize(spec, ups)})
 		}
@@ -359,6 +379,9 @@ func runFixpoint[Q, V, R any](ctx context.Context, layout *partition.Layout, pro
 	stats.Messages = bus.Messages()
 	stats.Bytes = bus.Bytes()
 	stats.WallTime = time.Since(start)
+	if lg != nil {
+		lg.Info("run complete", "supersteps", stats.Supersteps, "wall_ms", stats.WallTime.Seconds()*1e3, "recoveries", len(stats.Recoveries))
+	}
 	if err != nil {
 		return zero, stats, fmt.Errorf("engine: assemble: %w", err)
 	}
@@ -399,34 +422,39 @@ func workerLoop[Q, V, R any](runCtx context.Context, bus *mpi.Bus, w int, prog P
 			ctx = ad.ctx
 			rerr := replayFragment(prog, q, ctx, ad.steps, ad.owe)
 			if ad.owe > 0 || rerr != nil {
-				reply(bus, w, ad.owe, ctx, spec, rerr)
+				reply(bus, w, ad.owe, ctx, spec, 0, 0, rerr)
 			}
 		case cmdPEval:
 			ctx.active = false
+			t0 := time.Now()
 			err := prog.PEval(q, ctx)
-			reply(bus, w, env.Step, ctx, spec, err)
+			reply(bus, w, env.Step, ctx, spec, time.Since(t0).Nanoseconds(), 0, err)
 		case cmdIncEval:
 			wasActive := ctx.active
 			ctx.active = false
+			t0 := time.Now()
 			ctx.apply(cmd.updates)
+			applyNS := time.Since(t0).Nanoseconds()
 			var err error
+			t1 := time.Now()
 			if len(ctx.Updated()) > 0 || wasActive {
 				err = prog.IncEval(q, ctx)
 			}
-			reply(bus, w, env.Step, ctx, spec, err)
+			reply(bus, w, env.Step, ctx, spec, time.Since(t1).Nanoseconds(), applyNS, err)
 		case cmdLocalInc:
 			ctx.active = false
 			ctx.setUpdated(cmd.dirty)
 			var err error
+			t0 := time.Now()
 			if len(cmd.dirty) > 0 {
 				err = prog.IncEval(q, ctx)
 			}
-			reply(bus, w, env.Step, ctx, spec, err)
+			reply(bus, w, env.Step, ctx, spec, time.Since(t0).Nanoseconds(), 0, err)
 		}
 	}
 }
 
-func reply[V any](bus *mpi.Bus, w, step int, ctx *Context[V], spec VarSpec[V], err error) {
+func reply[V any](bus *mpi.Bus, w, step int, ctx *Context[V], spec VarSpec[V], computeNS, applyNS int64, err error) {
 	changes := ctx.flush()
-	bus.Send(mpi.Envelope{From: w, To: mpi.Coordinator, Step: step, Payload: workerReply[V]{changes: changes, work: ctx.takeWork(), active: ctx.active, err: err}, Size: shipSize(spec, changes)})
+	bus.Send(mpi.Envelope{From: w, To: mpi.Coordinator, Step: step, Payload: workerReply[V]{changes: changes, work: ctx.takeWork(), active: ctx.active, err: err, computeNS: computeNS, applyNS: applyNS}, Size: shipSize(spec, changes)})
 }

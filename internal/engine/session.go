@@ -11,6 +11,7 @@ import (
 	"grape/internal/metrics"
 	"grape/internal/mpi"
 	"grape/internal/partition"
+	"grape/internal/trace"
 )
 
 // The paper defines IncEval over *updates M to G*: given Q, G, Q(G) and M,
@@ -283,6 +284,9 @@ func (s *Session[Q, V, R]) Update(ctx context.Context, updates []EdgeUpdate) (R,
 	}
 	if err := s.validate(updates); err != nil {
 		return zero, nil, err
+	}
+	if rec := trace.FromContext(ctx); rec != nil {
+		rec.Event("session-update", fmt.Sprintf("%s: %d edge updates", s.prog.Name(), len(updates)))
 	}
 	// Deletions get W rewritten to the removed instance's weight; work on a
 	// copy so the caller's batch stays untouched.
@@ -591,7 +595,7 @@ func (s *Session[Q, V, R]) fixpoint(ctx context.Context, init bool, dirtyByWorke
 	stillActive := make(map[int]bool)
 	replies := make([]*workerReply[V], n)
 	collect := func(expect int, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep[V](ctx, bus, nil, s.fold, nil, replies, stillActive, stats, s.layout, expect, step, s.opts.CheckMonotonic)
+		return collectStep[V](ctx, bus, nil, s.fold, nil, replies, stillActive, stats, s.layout, nil, expect, step, s.opts.CheckMonotonic)
 	}
 
 	var route [][]VarUpdate[V]

@@ -11,6 +11,7 @@ import (
 	"grape/internal/metrics"
 	"grape/internal/mpi"
 	"grape/internal/partition"
+	"grape/internal/trace"
 )
 
 // This file is the engine's wire layer: everything needed to run the PIE
@@ -116,6 +117,15 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 	start := time.Now()
 	stats := &metrics.Stats{Engine: "grape/" + prog.Name(), Workers: n, Transport: "wire"}
 
+	rec := trace.FromContext(ctx)
+	rec.BeginRun(prog.Name(), "wire", n)
+	defer rec.EndRun()
+	lg := trace.LoggerFrom(ctx)
+	if lg != nil {
+		lg = lg.With("run", rec.ID(), "class", prog.Name(), "substrate", "wire")
+		lg.Debug("run started", "workers", n)
+	}
+
 	qblob, err := wp.EncodeQuery(q)
 	if err != nil {
 		return zero, stats, fmt.Errorf("engine: encoding query: %w", err)
@@ -184,7 +194,7 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 	}
 
 	collect := func(expect, step int) ([][]VarUpdate[V], int, error) {
-		return collectStep(ctx, tr, codec, fold, rc, replies, stillActive, stats, layout, expect, step, opts.CheckMonotonic)
+		return collectStep(ctx, tr, codec, fold, rc, replies, stillActive, stats, layout, rec, expect, step, opts.CheckMonotonic)
 	}
 	stopFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdStop})
 	abortFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdAbort})
@@ -239,6 +249,7 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 	}
 
 	// Superstep 1: PEval everywhere.
+	rec.BeginStep(1, n)
 	peFrame, _ := encodeCmd(codec, workerCmd[V]{kind: cmdPEval})
 	for i := 0; i < n; i++ {
 		tr.Send(mpi.Envelope{From: mpi.Coordinator, To: i, Step: 1, Frame: peFrame})
@@ -288,12 +299,17 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 		stats.Supersteps++
 		active := 0
 		for w := 0; w < n; w++ {
+			if len(route[w]) > 0 || stillActive[w] {
+				active++
+			}
+		}
+		rec.BeginStep(stats.Supersteps, active)
+		for w := 0; w < n; w++ {
 			sched[w] = false
 			ups := route[w]
 			if len(ups) == 0 && !stillActive[w] {
 				continue
 			}
-			active++
 			sched[w] = true
 			frame, dataLen := encodeCmd(codec, workerCmd[V]{kind: cmdIncEval, updates: ups})
 			tr.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Step: stats.Supersteps, Frame: frame, Size: dataLen})
@@ -349,6 +365,9 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 					return zero, stats, fmt.Errorf("engine: worker %d partial result: recovering from %v: %w", w, perr, verr)
 				}
 				stats.Recoveries = append(stats.Recoveries, metrics.Recovery{Superstep: stats.Supersteps, Fragment: w, Host: host})
+				if rec != nil {
+					rec.Event("recovery", fmt.Sprintf("assemble: fragment %d revived on worker %d", w, host))
+				}
 				tr.Send(mpi.Envelope{From: mpi.Coordinator, To: w, Frame: asmFrame})
 				continue
 			}
@@ -379,6 +398,9 @@ func runWire[Q, V, R any](ctx context.Context, layout *partition.Layout, prog Pr
 	stats.Messages = tr.Messages()
 	stats.Bytes = tr.Bytes()
 	stats.WallTime = time.Since(start)
+	if lg != nil {
+		lg.Info("run complete", "supersteps", stats.Supersteps, "wall_ms", stats.WallTime.Seconds()*1e3, "recoveries", len(stats.Recoveries))
+	}
 	if err != nil {
 		return zero, stats, fmt.Errorf("engine: assemble: %w", err)
 	}
@@ -433,7 +455,7 @@ func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], l
 			rerr := replayFragment(prog, q, nc, ad.steps, ad.owe)
 			ctxs[nf.Index] = nc
 			if ad.owe > 0 || rerr != nil {
-				if err := replyWire(link, codec, nf.Index, ad.owe, nc, rerr); err != nil {
+				if err := replyWire(link, codec, nf.Index, ad.owe, nc, 0, 0, rerr); err != nil {
 					return fmt.Errorf("engine: worker %d: %w", f.Index, err)
 				}
 			}
@@ -448,7 +470,7 @@ func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], l
 		// context error so the coordinator fails the run cleanly even if
 		// its own clock has not fired yet.
 		if cerr := runCtx.Err(); cerr != nil && (cmd.kind == cmdPEval || cmd.kind == cmdIncEval) {
-			if err := replyWire(link, codec, env.To, env.Step, ctx, cerr); err != nil {
+			if err := replyWire(link, codec, env.To, env.Step, ctx, 0, 0, cerr); err != nil {
 				return fmt.Errorf("engine: worker %d: %w", f.Index, err)
 			}
 			continue
@@ -471,17 +493,21 @@ func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], l
 			err = link.Send(mpi.Envelope{From: env.To, To: mpi.Coordinator, Step: env.Step, Frame: encodePartialFrame(blob, perr), Size: size})
 		case cmdPEval:
 			ctx.active = false
+			t0 := time.Now()
 			perr := prog.PEval(q, ctx)
-			err = replyWire(link, codec, env.To, env.Step, ctx, perr)
+			err = replyWire(link, codec, env.To, env.Step, ctx, time.Since(t0).Nanoseconds(), 0, perr)
 		case cmdIncEval:
 			wasActive := ctx.active
 			ctx.active = false
+			t0 := time.Now()
 			ctx.apply(cmd.updates)
+			applyNS := time.Since(t0).Nanoseconds()
 			var perr error
+			t1 := time.Now()
 			if len(ctx.Updated()) > 0 || wasActive {
 				perr = prog.IncEval(q, ctx)
 			}
-			err = replyWire(link, codec, env.To, env.Step, ctx, perr)
+			err = replyWire(link, codec, env.To, env.Step, ctx, time.Since(t1).Nanoseconds(), applyNS, perr)
 		default:
 			return mpi.RunFatal(fmt.Errorf("engine: worker %d: command %d is not supported over a wire transport", f.Index, cmd.kind))
 		}
@@ -491,9 +517,9 @@ func serveWire[Q, V, R any](runCtx context.Context, prog WireProgram[Q, V, R], l
 	}
 }
 
-func replyWire[V any](link WorkerLink, codec Codec[V], w, step int, ctx *Context[V], perr error) error {
+func replyWire[V any](link WorkerLink, codec Codec[V], w, step int, ctx *Context[V], computeNS, applyNS int64, perr error) error {
 	changes := ctx.flush()
-	frame, dataLen := encodeReply(codec, workerReply[V]{changes: changes, work: ctx.takeWork(), active: ctx.active, err: perr})
+	frame, dataLen := encodeReply(codec, workerReply[V]{changes: changes, work: ctx.takeWork(), active: ctx.active, err: perr, computeNS: computeNS, applyNS: applyNS})
 	return link.Send(mpi.Envelope{From: w, To: mpi.Coordinator, Step: step, Frame: frame, Size: dataLen})
 }
 

@@ -28,12 +28,60 @@ type Serving struct {
 	buckets [servingBuckets]uint64
 	sum     time.Duration
 	max     time.Duration
+
+	// Engine-run observability (ObserveRun): completed runs per query
+	// class, recoveries survived, and the most recent run's per-worker
+	// imbalance gauge — each worker's share of the run's total work times
+	// the worker count, so 1.0 is perfect balance and the largest value
+	// marks the straggler.
+	runs       map[string]uint64
+	recoveries uint64
+	imbalance  []float64
 }
 
 const servingBuckets = 32
 
 // NewServing returns an empty collector.
-func NewServing() *Serving { return &Serving{} }
+func NewServing() *Serving { return &Serving{runs: make(map[string]uint64)} }
+
+// ObserveRun records a completed engine run: bumps the class's run counter,
+// accumulates its recoveries, and recomputes the per-worker imbalance gauge
+// from the run's WorkPerStep rows. Nil or work-free stats still count the
+// run but leave the gauge at perfect balance.
+func (m *Serving) ObserveRun(class string, st *Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.runs == nil {
+		m.runs = make(map[string]uint64)
+	}
+	m.runs[class]++
+	if st == nil {
+		return
+	}
+	m.recoveries += uint64(len(st.Recoveries))
+	if st.Workers <= 0 {
+		return
+	}
+	totals := make([]int64, st.Workers)
+	var grand int64
+	for _, row := range st.WorkPerStep {
+		for w, work := range row {
+			if w < len(totals) {
+				totals[w] += work
+				grand += work
+			}
+		}
+	}
+	gauge := make([]float64, st.Workers)
+	for w := range gauge {
+		if grand > 0 {
+			gauge[w] = float64(totals[w]) * float64(st.Workers) / float64(grand)
+		} else {
+			gauge[w] = 1.0
+		}
+	}
+	m.imbalance = gauge
+}
 
 func bucketOf(d time.Duration) int {
 	us := uint64(d / time.Microsecond)
@@ -123,6 +171,13 @@ type ServingSnapshot struct {
 	LatencyP99Ms  float64         `json:"latency_p99_ms"`
 	LatencyMaxMs  float64         `json:"latency_max_ms"`
 	Histogram     []ServingBucket `json:"histogram,omitempty"`
+
+	// Engine-run observability, mirrored on /metrics as
+	// grape_runs_total{class=...}, grape_recoveries_total and
+	// grape_worker_imbalance{worker=...}.
+	RunsByClass     map[string]uint64 `json:"runs_by_class,omitempty"`
+	Recoveries      uint64            `json:"recoveries"`
+	WorkerImbalance []float64         `json:"worker_imbalance,omitempty"`
 }
 
 // Snapshot copies the counters out. queueDepth and inFlight are the
@@ -150,6 +205,14 @@ func (m *Serving) Snapshot(queueDepth, inFlight int) ServingSnapshot {
 	s.LatencyP50Ms = m.quantileMs(0.50)
 	s.LatencyP90Ms = m.quantileMs(0.90)
 	s.LatencyP99Ms = m.quantileMs(0.99)
+	if len(m.runs) > 0 {
+		s.RunsByClass = make(map[string]uint64, len(m.runs))
+		for c, n := range m.runs {
+			s.RunsByClass[c] = n
+		}
+	}
+	s.Recoveries = m.recoveries
+	s.WorkerImbalance = append([]float64(nil), m.imbalance...)
 	for i, c := range m.buckets {
 		if c == 0 {
 			continue

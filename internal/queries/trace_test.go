@@ -1,0 +1,221 @@
+package queries
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"grape/internal/engine"
+	"grape/internal/gen"
+	"grape/internal/graph"
+	"grape/internal/partition"
+	"grape/internal/trace"
+)
+
+// The flight-recorder acceptance sweep: every registered query class runs
+// once per substrate (in-process bus, socket wire) with a recorder on the
+// context, and the recorded trace must agree with the run's Stats — one
+// superstep span per counted superstep, per-worker phase timings inside
+// every span (shipped back in the reply frames on wire runs), and a Chrome
+// export whose worker spans nest inside their superstep spans.
+
+type traceCase struct {
+	name    string
+	program string
+	query   string
+	build   func() *graph.Graph
+}
+
+func traceCases() []traceCase {
+	social := func() *graph.Graph {
+		g := gen.PreferentialAttachment(220, 3, 7)
+		gen.AttachKeywords(g, []string{"db", "graph", "ml"}, 2, 0.3, 7)
+		return g
+	}
+	commerce := func() *graph.Graph {
+		return gen.SocialCommerce(gen.SocialCommerceConfig{People: 90, Products: 3, Follows: 3, AdoptP: 0.9, Seed: 3})
+	}
+	return []traceCase{
+		{"sssp", "sssp", "source=0", func() *graph.Graph { return gen.RoadGrid(10, 10, 1) }},
+		{"cc", "cc", "", func() *graph.Graph { return gen.Random(120, 220, 5) }},
+		{"sim", "sim", "pattern=follows-recommend", commerce},
+		{"subiso", "subiso", "pattern=follows-recommend", commerce},
+		{"keyword", "keyword", "k=db,graph bound=4", social},
+		{"cf", "cf", "epochs=3", func() *graph.Graph {
+			return gen.DirectedRatings(gen.RatingsConfig{Users: 30, Items: 12, RatingsPerUser: 6, Factors: 3, Noise: 0.1, Seed: 5})
+		}},
+		{"tricount", "tricount", "", social},
+	}
+}
+
+// checkTrace asserts one recorded run agrees with its stats and exports to
+// well-formed, well-nested Chrome trace JSON.
+func checkTrace(t *testing.T, run *trace.Run, supersteps, workers int, substrate string) {
+	t.Helper()
+	if run.Substrate != substrate || run.Workers != workers {
+		t.Fatalf("run header = %s/%d workers, want %s/%d", run.Substrate, run.Workers, substrate, workers)
+	}
+	if len(run.Steps) != supersteps {
+		t.Fatalf("recorded %d superstep spans, stats counted %d", len(run.Steps), supersteps)
+	}
+	for i, s := range run.Steps {
+		if s.Start.IsZero() || s.Barrier.IsZero() || s.End.IsZero() {
+			t.Fatalf("step %d has open timestamps: %+v", i, s)
+		}
+		if s.Barrier.Before(s.Start) || s.End.Before(s.Barrier) {
+			t.Fatalf("step %d phases out of order: start %v barrier %v end %v", i, s.Start, s.Barrier, s.End)
+		}
+		if len(s.Workers) == 0 || len(s.Workers) != s.Sched {
+			t.Fatalf("step %d: %d worker timing rows for %d scheduled workers", i, len(s.Workers), s.Sched)
+		}
+		for _, wt := range s.Workers {
+			if wt.Worker < 0 || wt.Worker >= workers {
+				t.Fatalf("step %d: timing row for out-of-range worker %d", i, wt.Worker)
+			}
+		}
+	}
+	// The first superstep (PEval) schedules the whole fleet.
+	if run.Steps[0].Sched != workers {
+		t.Fatalf("PEval scheduled %d of %d workers", run.Steps[0].Sched, workers)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	type span struct{ ts, end int64 }
+	var steps []span
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && strings.HasPrefix(ev.Name, "superstep ") {
+			steps = append(steps, span{ev.Ts, ev.Ts + ev.Dur})
+		}
+	}
+	if len(steps) != supersteps {
+		t.Fatalf("chrome export has %d superstep spans, want %d", len(steps), supersteps)
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" || ev.Tid == 0 {
+			continue
+		}
+		// A worker-thread span (apply/compute) must nest inside some
+		// superstep span on the coordinator thread.
+		nested := false
+		for _, s := range steps {
+			if s.ts <= ev.Ts && ev.Ts+ev.Dur <= s.end {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			t.Fatalf("worker span %q [%d,%d] not nested in any superstep span", ev.Name, ev.Ts, ev.Ts+ev.Dur)
+		}
+	}
+}
+
+func TestFlightRecorderAllClasses(t *testing.T) {
+	const workers = 4
+	for _, c := range traceCases() {
+		c := c
+		t.Run(c.name+"/bus", func(t *testing.T) {
+			t.Parallel()
+			e, err := engine.Lookup(c.program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := trace.NewRecorder("bus-" + c.name)
+			defer rec.Release()
+			ctx := trace.WithRecorder(context.Background(), rec)
+			_, st, err := e.Run(ctx, c.build(), engine.Options{Workers: workers, Strategy: partition.Hash{}}, c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkTrace(t, rec.Snapshot(), st.Supersteps, workers, "bus")
+		})
+		t.Run(c.name+"/wire", func(t *testing.T) {
+			e, err := engine.Lookup(c.program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, finish := startSessionWorkers(t, workers)
+			defer finish()
+			rec := trace.NewRecorder("wire-" + c.name)
+			defer rec.Release()
+			ctx := trace.WithRecorder(context.Background(), rec)
+			_, st, err := e.Run(ctx, c.build(), engine.Options{Workers: workers, Strategy: partition.Hash{}, Transport: tr}, c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkTrace(t, rec.Snapshot(), st.Supersteps, workers, "wire")
+		})
+	}
+}
+
+// TestFlightRecorderCheckpointEvents pins that a Recover run records one
+// checkpoint event per superstep barrier.
+func TestFlightRecorderCheckpointEvents(t *testing.T) {
+	rec := trace.NewRecorder("ckpt")
+	defer rec.Release()
+	ctx := trace.WithRecorder(context.Background(), rec)
+	g := gen.RoadGrid(10, 10, 1)
+	_, st, err := engine.Run(ctx, g, SSSP{}, SSSPQuery{Source: 0}, engine.Options{Workers: 4, Strategy: partition.Hash{}, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := rec.Snapshot()
+	ckpts := 0
+	for _, ev := range run.Events {
+		if ev.Kind == "checkpoint" {
+			ckpts++
+		}
+	}
+	if ckpts != st.Supersteps {
+		t.Fatalf("%d checkpoint events over %d supersteps", ckpts, st.Supersteps)
+	}
+}
+
+// TestFlightRecorderSessionEvents pins that a session update with a recorder
+// on its context records a session-update event.
+func TestFlightRecorderSessionEvents(t *testing.T) {
+	rec := trace.NewRecorder("sess")
+	defer rec.Release()
+	ctx := trace.WithRecorder(context.Background(), rec)
+	e, err := engine.Lookup("sssp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := e.Parse("source=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.RoadGrid(8, 8, 1)
+	sess, _, _, err := e.Session(ctx, g, engine.Options{Workers: 2, Strategy: partition.Hash{}}, pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Update(ctx, []engine.EdgeUpdate{{From: 0, To: 63, W: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	var saw bool
+	for _, ev := range rec.Snapshot().Events {
+		if ev.Kind == "session-update" && strings.Contains(ev.Detail, "1 edge updates") {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatalf("no session-update event recorded: %+v", rec.Snapshot().Events)
+	}
+}

@@ -7,7 +7,11 @@
 // query) result cache.
 package server
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"grape/internal/trace"
+)
 
 // QueryRequest is one query against a named resident graph. Workers and
 // Strategy override the server defaults for the layout the query runs on
@@ -45,6 +49,10 @@ type QueryResponse struct {
 	Cached    bool     `json:"cached"`
 	Result    any      `json:"result"`
 	Stats     RunStats `json:"stats"`
+	// TraceID names the flight-recorder trace of the engine run that
+	// computed this answer — fetch it via GET /debug/runs/{id}. Empty for
+	// cache hits (no run happened) and when retention already evicted it.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// resultJSON, when set, is Result's memoized encoding (cache hits reuse
 	// it instead of re-marshaling a possibly large result per request).
@@ -70,8 +78,17 @@ func (r QueryResponse) MarshalJSON() ([]byte, error) {
 		Cached    bool            `json:"cached"`
 		Result    json.RawMessage `json:"result"`
 		Stats     RunStats        `json:"stats"`
+		TraceID   string          `json:"trace_id,omitempty"`
 	}
-	return json.Marshal(wire{r.Graph, r.Epoch, r.Program, r.Canonical, r.Cached, raw, r.Stats})
+	return json.Marshal(wire{r.Graph, r.Epoch, r.Program, r.Canonical, r.Cached, raw, r.Stats, r.TraceID})
+}
+
+// FlightIndex is the GET /debug/runs answer: the flight recorder's retained
+// run summaries (newest last) plus its recent discrete events (cache hits,
+// session updates). Fetch one run's full trace at /debug/runs/{id}.
+type FlightIndex struct {
+	Runs   []trace.RunSummary `json:"runs"`
+	Events []trace.Event      `json:"events,omitempty"`
 }
 
 // Health is the GET /healthz liveness answer: the process serves HTTP and

@@ -45,6 +45,9 @@ type QueryResult struct {
 	Cached    bool            `json:"cached"`
 	Result    json.RawMessage `json:"result"`
 	Stats     server.RunStats `json:"stats"`
+	// TraceID names the run's flight-recorder trace (GET /debug/runs/{id});
+	// empty for cache hits.
+	TraceID string `json:"trace_id"`
 }
 
 // Query runs one query.

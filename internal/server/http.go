@@ -6,6 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"grape/internal/metrics"
+	"grape/internal/trace"
 )
 
 // Handler returns the server's HTTP/JSON API:
@@ -15,6 +18,10 @@ import (
 //	GET  /graphs  -> []GraphInfo
 //	GET  /stats   -> metrics.ServingSnapshot
 //	GET  /healthz -> Health (liveness + resident graph count; readiness probe)
+//	GET  /metrics -> Prometheus text exposition (see metrics.WritePrometheus)
+//	GET  /debug/runs      -> flight-recorder index: retained run summaries + events
+//	GET  /debug/runs/{id} -> one run's trace as Chrome trace-event JSON
+//	                         (load it in Perfetto / chrome://tracing)
 //
 // Errors come back as {"error": "..."} with 400 (bad query), 404 (unknown
 // graph/program), 429 (admission queue full), 504 (deadline exceeded or
@@ -56,6 +63,22 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Health())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.PromContentType)
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /debug/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, FlightIndex{Runs: s.flight.Runs(), Events: s.flight.Events()})
+	})
+	mux.HandleFunc("GET /debug/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := s.flight.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("%w: no retained run %q (the flight ring evicts old traces)", ErrNotFound, r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, run)
 	})
 	return mux
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -16,6 +18,7 @@ import (
 	"grape/internal/partition"
 	_ "grape/internal/queries" // register the query classes sessions run
 	"grape/internal/storage"
+	"grape/internal/trace"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes. ErrOverloaded
@@ -69,6 +72,14 @@ type Config struct {
 	// engine.Options.Fault) — the fault-injection hook grape-bench and the
 	// tests use to exercise Recover end to end.
 	Fault func(mpi.Transport) mpi.Transport
+	// Logger, if non-nil, receives structured request/run records (one per
+	// served query and mutation, plus engine run start/complete at Debug).
+	// Nil keeps the server silent.
+	Logger *slog.Logger
+	// FlightRuns bounds the flight recorder's retention ring: the traces of
+	// the most recent FlightRuns engine runs stay fetchable via
+	// GET /debug/runs/{id}. Default 64.
+	FlightRuns int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +124,7 @@ type Server struct {
 	sched   *scheduler
 	cache   *resultCache
 	serving *metrics.Serving
+	flight  *trace.Flight
 
 	mu     sync.Mutex
 	graphs map[string]*residentGraph
@@ -180,6 +192,7 @@ func New(cfg Config) *Server {
 		sched:   newScheduler(cfg.MaxInFlight, cfg.MaxQueue),
 		cache:   newResultCache(cfg.CacheEntries),
 		serving: metrics.NewServing(),
+		flight:  trace.NewFlight(cfg.FlightRuns),
 		graphs:  make(map[string]*residentGraph),
 		loads:   make(map[string]*graphLoad),
 	}
@@ -245,6 +258,15 @@ func (s *Server) Stats() metrics.ServingSnapshot {
 	queued, inFlight := s.sched.gauges()
 	return s.serving.Snapshot(queued, inFlight)
 }
+
+// WriteMetrics writes the Prometheus text exposition served at GET /metrics.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	queued, inFlight := s.sched.gauges()
+	return s.serving.WritePrometheus(w, queued, inFlight)
+}
+
+// Flight exposes the run-trace retention ring (GET /debug/runs).
+func (s *Server) Flight() *trace.Flight { return s.flight }
 
 // resident resolves name, loading from the store on first use. The disk
 // read and freeze run outside s.mu (deduplicated per name by a sync.Once),
@@ -359,6 +381,17 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	default:
 		s.serving.ObserveError(d)
 	}
+	if lg := s.cfg.Logger; lg != nil {
+		attrs := []any{"graph", req.Graph, "program", req.Program, "query", req.Query, "ms", d.Seconds() * 1e3}
+		switch {
+		case err != nil:
+			lg.Warn("query failed", append(attrs, "err", err.Error())...)
+		case cached:
+			lg.Info("query served", append(attrs, "cached", true)...)
+		default:
+			lg.Info("query served", append(attrs, "cached", false, "run", resp.TraceID, "supersteps", resp.Stats.Supersteps)...)
+		}
+	}
 	return resp, err
 }
 
@@ -414,6 +447,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 		key.epoch = rg.epoch
 		rg.mu.RUnlock()
 		if v, ok := s.cache.get(key); ok {
+			s.flight.Event("cache-hit", req.Program+" "+pq.Canonical)
 			return hit(key.epoch, v), true, nil
 		}
 	}
@@ -434,12 +468,22 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 	if s.cfg.DetachRuns {
 		runCtx = context.WithoutCancel(ctx)
 	}
+	// Every engine run is flight-recorded: the recorder rides the run
+	// context, the engine fills it in, and the snapshot lands in the
+	// retention ring behind GET /debug/runs/{id} whether the run completed
+	// or failed — failed runs are exactly the ones worth inspecting.
+	rec := trace.NewRecorder(s.flight.NextID())
+	runCtx = trace.WithRecorder(runCtx, rec)
+	if s.cfg.Logger != nil {
+		runCtx = trace.WithLogger(runCtx, s.cfg.Logger)
+	}
 	type outcome struct {
 		epoch      uint64
 		cached     bool
 		result     any
 		resultJSON []byte
 		stats      RunStats
+		traceID    string
 		err        error
 	}
 	done := make(chan outcome, 1)
@@ -452,6 +496,8 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 		// while we were queued.
 		if !req.NoCache {
 			if v, ok := s.cache.get(key); ok {
+				s.flight.Event("cache-hit", req.Program+" "+pq.Canonical)
+				rec.Release() // no run happened; recycle the unused recorder
 				o := outcome{epoch: key.epoch, cached: true, result: v.result, stats: v.stats}
 				if enc, err := v.encodedResult(); err == nil {
 					o.resultJSON = enc
@@ -462,22 +508,29 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 		}
 		slot, err := rg.layoutFor(layoutKey{strategy: stratName, workers: workers, hops: pq.Hops}, strat)
 		if err != nil {
+			rec.Release()
 			done <- outcome{err: err}
 			return
 		}
 		runner, err := slot.runnerFor(e, s.cfg)
 		if err != nil {
+			rec.Release()
 			done <- outcome{err: err}
 			return
 		}
 		res, st, err := runner.RunParsed(runCtx, pq)
 		if err != nil {
+			rec.Event("error", err.Error())
+			s.flight.Add(rec)
 			done <- outcome{err: err}
 			return
 		}
+		traceID := rec.ID()
+		s.flight.Add(rec)
+		s.serving.ObserveRun(req.Program, st)
 		rs := RunStats{Supersteps: st.Supersteps, Messages: st.Messages, Bytes: st.Bytes, WallMs: st.WallTime.Seconds() * 1e3}
 		s.cache.put(key, &cacheVal{result: res, stats: rs})
-		done <- outcome{epoch: key.epoch, result: res, stats: rs}
+		done <- outcome{epoch: key.epoch, result: res, stats: rs, traceID: traceID}
 	}()
 
 	select {
@@ -487,6 +540,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 		}
 		r := resp(out.epoch, out.cached, out.result, out.stats)
 		r.resultJSON = out.resultJSON
+		r.TraceID = out.traceID
 		return r, out.cached, nil
 	case <-ctx.Done():
 		return nil, false, fmt.Errorf("server: query %s/%s gave up after %v: %w", req.Program, pq.Canonical, time.Since(start).Round(time.Millisecond), ctx.Err())
@@ -544,6 +598,7 @@ func (s *Server) Mutate(ctx context.Context, name, program, query string, edges 
 	for i, e := range edges {
 		ups[i] = engine.EdgeUpdate{From: graph.ID(e.From), To: graph.ID(e.To), W: e.W, Label: e.Label, Del: e.Del}
 	}
+	s.flight.Event("session-update", fmt.Sprintf("%s %s/%s: %d edge updates", name, program, pq.Canonical, len(ups)))
 	res, st, err := rg.sess.Update(ctx, ups)
 	if err != nil && !rg.sess.Broken() {
 		// The session's pre-mutation validation rejected the batch: nothing
@@ -564,6 +619,10 @@ func (s *Server) Mutate(ctx context.Context, name, program, query string, edges 
 	if err != nil {
 		rg.sess = nil
 		return nil, fmt.Errorf("server: mutating %q: %w", name, err)
+	}
+	s.serving.ObserveRun(program, st)
+	if lg := s.cfg.Logger; lg != nil {
+		lg.Info("mutation applied", "graph", name, "program", program, "edges", len(ups), "epoch", rg.epoch, "supersteps", st.Supersteps)
 	}
 	rs := RunStats{Supersteps: st.Supersteps, Messages: st.Messages, Bytes: st.Bytes, WallMs: st.WallTime.Seconds() * 1e3}
 	// Prime the session's fresh answer under the new epoch. The key carries

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -18,6 +20,7 @@ import (
 	"grape"
 	"grape/internal/engine"
 	"grape/internal/graph"
+	"grape/internal/metrics"
 	"grape/internal/queries"
 	"grape/internal/seq"
 	"grape/internal/server"
@@ -202,6 +205,73 @@ func TestServeSmoke(t *testing.T) {
 		}
 		if want := queries.SeqTriangles(social); got.Total != want {
 			t.Fatalf("tricount: %d triangles, want %d", got.Total, want)
+		}
+	})
+
+	// Observability over the real binary: scrape GET /metrics and validate
+	// the Prometheus exposition (ParseExposition is the in-repo promtool
+	// stand-in), then fetch one run's flight trace.
+	t.Run("metrics", func(t *testing.T) {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("Content-Type"); got != metrics.PromContentType {
+			t.Fatalf("/metrics Content-Type = %q, want %q", got, metrics.PromContentType)
+		}
+		samples, err := metrics.ParseExposition(body)
+		if err != nil {
+			t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+		}
+		// The seven t.Run queries above all ran the engine at least once.
+		if samples["grape_queries_total"] < 7 {
+			t.Fatalf("grape_queries_total = %g after 7 served classes", samples["grape_queries_total"])
+		}
+		for _, class := range []string{"sssp", "cc", "sim", "subiso", "keyword", "cf", "tricount"} {
+			if samples[`grape_runs_total{class="`+class+`"}`] < 1 {
+				t.Fatalf("no grape_runs_total sample for class %q\n%s", class, body)
+			}
+		}
+	})
+	t.Run("trace", func(t *testing.T) {
+		res := query(t, "road", "sssp", "source=1")
+		if res.TraceID == "" {
+			t.Fatal("served run reports no trace_id")
+		}
+		resp, err := http.Get(base + "/debug/runs/" + res.TraceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /debug/runs/%s = %d\n%s", res.TraceID, resp.StatusCode, body)
+		}
+		var tf struct {
+			TraceEvents []struct {
+				Name string `json:"name"`
+				Ph   string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(body, &tf); err != nil {
+			t.Fatalf("trace is not Chrome JSON: %v", err)
+		}
+		steps := 0
+		for _, ev := range tf.TraceEvents {
+			if ev.Ph == "X" && strings.HasPrefix(ev.Name, "superstep ") {
+				steps++
+			}
+		}
+		if steps != res.Stats.Supersteps {
+			t.Fatalf("trace has %d superstep spans, stats say %d", steps, res.Stats.Supersteps)
 		}
 	})
 }

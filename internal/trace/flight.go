@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Flight is grape-serve's retention ring: the last N completed run traces
+// plus a bounded log of server-level events (cache hits, session updates)
+// that happen outside any single run. It also mints run IDs.
+type Flight struct {
+	mu     sync.Mutex
+	cap    int
+	seq    uint64
+	runs   []*Run // oldest first, len <= cap
+	events []Event
+}
+
+// RunSummary is the listing row served by GET /debug/runs.
+type RunSummary struct {
+	ID         string  `json:"id"`
+	Class      string  `json:"class"`
+	Substrate  string  `json:"substrate"`
+	Workers    int     `json:"workers"`
+	Supersteps int     `json:"supersteps"`
+	WallMs     float64 `json:"wall_ms"`
+	Events     int     `json:"events"`
+}
+
+// NewFlight returns a ring retaining the most recent n runs (n <= 0 means a
+// default of 64).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = 64
+	}
+	return &Flight{cap: n}
+}
+
+// NextID mints a fresh run ID ("run-1", "run-2", ...).
+func (f *Flight) NextID() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	return fmt.Sprintf("run-%d", f.seq)
+}
+
+// Add snapshots the recorder, retains the snapshot (evicting the oldest run
+// past capacity), releases the recorder back to its pool, and returns the
+// snapshot. Safe on a nil recorder (returns nil, retains nothing).
+func (f *Flight) Add(rec *Recorder) *Run {
+	run := rec.Snapshot()
+	rec.Release()
+	if run == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.runs = append(f.runs, run)
+	if len(f.runs) > f.cap {
+		n := copy(f.runs, f.runs[len(f.runs)-f.cap:])
+		for i := n; i < len(f.runs); i++ {
+			f.runs[i] = nil
+		}
+		f.runs = f.runs[:n]
+	}
+	return run
+}
+
+// Event records a server-level event (e.g. cache-hit) outside any run. The
+// event log is bounded by the same capacity as the run ring.
+func (f *Flight) Event(kind, detail string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = append(f.events, Event{Time: now(), Kind: kind, Detail: detail})
+	if keep := 4 * f.cap; len(f.events) > keep {
+		n := copy(f.events, f.events[len(f.events)-keep:])
+		f.events = f.events[:n]
+	}
+}
+
+// Runs lists retained runs, most recent last.
+func (f *Flight) Runs() []RunSummary {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]RunSummary, 0, len(f.runs))
+	for _, r := range f.runs {
+		out = append(out, RunSummary{
+			ID:         r.ID,
+			Class:      r.Class,
+			Substrate:  r.Substrate,
+			Workers:    r.Workers,
+			Supersteps: len(r.Steps),
+			WallMs:     float64(r.End.Sub(r.Start).Microseconds()) / 1e3,
+			Events:     len(r.Events),
+		})
+	}
+	return out
+}
+
+// Get returns a retained run by ID.
+func (f *Flight) Get(id string) (*Run, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.runs {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Events returns a copy of the server-level event log, oldest first.
+func (f *Flight) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Event(nil), f.events...)
+}

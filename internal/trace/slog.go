@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+type loggerKey struct{}
+
+// WithLogger attaches a structured logger to the context. The engine run
+// loops pick it up with LoggerFrom and emit run / superstep records with
+// run-ID attributes; when no logger is attached the loops stay silent.
+func WithLogger(ctx context.Context, lg *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, lg)
+}
+
+// LoggerFrom returns the logger carried by ctx, or nil when none is
+// attached. Callers must nil-check before logging so the disabled path
+// builds no attributes.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	lg, _ := ctx.Value(loggerKey{}).(*slog.Logger)
+	return lg
+}

@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	// Every method must be a no-op on nil — the engine calls these
+	// unconditionally on the disabled path.
+	r.BeginRun("sssp", "bus", 4)
+	r.BeginStep(1, 4)
+	r.BarrierDone(1)
+	r.WorkerTiming(1, 0, 10, 5)
+	r.EndStep(1)
+	r.Event("checkpoint", "x")
+	r.EndRun()
+	r.Release()
+	if r.Snapshot() != nil {
+		t.Fatal("nil recorder snapshot should be nil")
+	}
+	if r.ID() != "" {
+		t.Fatal("nil recorder ID should be empty")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.BeginStep(2, 4)
+		r.WorkerTiming(2, 1, 1, 1)
+		r.EndStep(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	r := NewRecorder("run-9")
+	r.BeginRun("cc", "wire", 3)
+	for step := 1; step <= 4; step++ {
+		r.BeginStep(step, 3)
+		for w := 0; w < 3; w++ {
+			r.WorkerTiming(step, w, int64(1000*(w+1)), int64(100*w))
+		}
+		r.BarrierDone(step)
+		r.EndStep(step)
+	}
+	r.Event("checkpoint", "superstep 2")
+	r.EndRun()
+
+	run := r.Snapshot()
+	if run.ID != "run-9" || run.Class != "cc" || run.Substrate != "wire" || run.Workers != 3 {
+		t.Fatalf("run header = %+v", run)
+	}
+	if len(run.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(run.Steps))
+	}
+	for i, s := range run.Steps {
+		if s.Step != i+1 || s.Sched != 3 || len(s.Workers) != 3 {
+			t.Fatalf("step %d = %+v", i, s)
+		}
+		if s.Start.IsZero() || s.Barrier.Before(s.Start) || s.End.Before(s.Barrier) {
+			t.Fatalf("step %d times out of order: %+v", i, s)
+		}
+	}
+	if len(run.Events) != 1 || run.Events[0].Kind != "checkpoint" {
+		t.Fatalf("events = %+v", run.Events)
+	}
+	if run.End.Before(run.Start) {
+		t.Fatalf("run end before start")
+	}
+
+	// Snapshot must be isolated from pool reuse.
+	r.Release()
+	r2 := NewRecorder("other")
+	r2.BeginRun("sssp", "bus", 1)
+	r2.BeginStep(1, 1)
+	r2.EndStep(1)
+	if len(run.Steps) != 4 || run.Steps[0].Workers[0].ComputeNS != 1000 {
+		t.Fatal("snapshot mutated by pooled reuse")
+	}
+	if got := r2.Snapshot(); len(got.Steps) != 1 || got.Events == nil && len(got.Events) != 0 {
+		t.Fatalf("reused recorder carried stale state: %+v", got)
+	}
+	r2.Release()
+}
+
+func TestEndRunClosesOpenStep(t *testing.T) {
+	r := NewRecorder("r")
+	r.BeginRun("sim", "bus", 2)
+	r.BeginStep(1, 2)
+	// Run errors mid-superstep: EndRun must close the dangling span.
+	r.EndRun()
+	run := r.Snapshot()
+	if len(run.Steps) != 1 {
+		t.Fatalf("steps = %d", len(run.Steps))
+	}
+	s := run.Steps[0]
+	if s.End.IsZero() || s.Barrier.IsZero() {
+		t.Fatalf("open step not closed: %+v", s)
+	}
+	r.Release()
+}
+
+func TestContextCarriage(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context should carry no recorder")
+	}
+	r := NewRecorder("r")
+	ctx := WithRecorder(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Fatal("recorder not carried")
+	}
+	if LoggerFrom(context.Background()) != nil {
+		t.Fatal("background context should carry no logger")
+	}
+	r.Release()
+}
+
+func TestWriteChrome(t *testing.T) {
+	r := NewRecorder("run-1")
+	r.BeginRun("tricount", "wire", 2)
+	r.BeginStep(1, 2)
+	time.Sleep(time.Millisecond)
+	r.WorkerTiming(1, 0, int64(400*time.Microsecond), int64(100*time.Microsecond))
+	r.WorkerTiming(1, 1, int64(900*time.Microsecond), 0)
+	r.BarrierDone(1)
+	r.EndStep(1)
+	r.Event("checkpoint", "superstep 1")
+	r.EndRun()
+	run := r.Snapshot()
+	r.Release()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("chrome output is not JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	var supersteps, workerSpans, instants int
+	var stepTs, stepEnd int64
+	for _, e := range file.TraceEvents {
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Fatalf("negative ts/dur: %+v", e)
+		}
+		switch {
+		case e.Name == "superstep 1":
+			supersteps++
+			stepTs, stepEnd = e.Ts, e.Ts+e.Dur
+		case e.Ph == "i":
+			instants++
+		case e.Tid > 0 && e.Ph == "X":
+			workerSpans++
+		}
+	}
+	if supersteps != 1 {
+		t.Fatalf("superstep spans = %d, want 1", supersteps)
+	}
+	if workerSpans != 3 { // apply+compute for worker 0, compute for worker 1
+		t.Fatalf("worker spans = %d, want 3", workerSpans)
+	}
+	if instants != 1 {
+		t.Fatalf("instant events = %d, want 1", instants)
+	}
+	// Worker spans must nest inside the superstep span.
+	for _, e := range file.TraceEvents {
+		if e.Tid > 0 && e.Ph == "X" {
+			if e.Ts < stepTs || e.Ts+e.Dur > stepEnd {
+				t.Fatalf("worker span [%d,%d] outside superstep [%d,%d]", e.Ts, e.Ts+e.Dur, stepTs, stepEnd)
+			}
+		}
+	}
+}
+
+func TestFlightRing(t *testing.T) {
+	f := NewFlight(2)
+	if id := f.NextID(); id != "run-1" {
+		t.Fatalf("first id = %q", id)
+	}
+	for i := 0; i < 3; i++ {
+		r := NewRecorder(f.NextID())
+		r.BeginRun("sssp", "bus", 1)
+		r.BeginStep(1, 1)
+		r.EndStep(1)
+		r.EndRun()
+		if f.Add(r) == nil {
+			t.Fatal("Add returned nil for live recorder")
+		}
+	}
+	runs := f.Runs()
+	if len(runs) != 2 {
+		t.Fatalf("retained %d runs, want 2", len(runs))
+	}
+	if runs[0].ID != "run-3" || runs[1].ID != "run-4" {
+		t.Fatalf("retained ids = %q, %q (oldest should be evicted)", runs[0].ID, runs[1].ID)
+	}
+	if runs[0].Supersteps != 1 {
+		t.Fatalf("summary supersteps = %d", runs[0].Supersteps)
+	}
+	if _, ok := f.Get("run-2"); ok {
+		t.Fatal("evicted run still retrievable")
+	}
+	if r, ok := f.Get("run-4"); !ok || r.Class != "sssp" {
+		t.Fatalf("Get(run-4) = %+v, %v", r, ok)
+	}
+	if f.Add(nil) != nil {
+		t.Fatal("Add(nil) should return nil")
+	}
+	f.Event("cache-hit", "sssp src=3")
+	evs := f.Events()
+	if len(evs) != 1 || evs[0].Kind != "cache-hit" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestFlightEventLogBounded(t *testing.T) {
+	f := NewFlight(2)
+	for i := 0; i < 20; i++ {
+		f.Event("cache-hit", fmt.Sprintf("q%d", i))
+	}
+	evs := f.Events()
+	if len(evs) != 8 { // 4 * cap
+		t.Fatalf("event log length = %d, want 8", len(evs))
+	}
+	if evs[len(evs)-1].Detail != "q19" {
+		t.Fatalf("last event = %+v, want q19", evs[len(evs)-1])
+	}
+}
