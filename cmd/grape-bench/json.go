@@ -212,6 +212,11 @@ func runJSONBench(ctx context.Context, sc experiments.Scale, path string) error 
 		return err
 	}
 	matrix.Rows = append(matrix.Rows, flt...)
+	dur, err := durableRows(sc)
+	if err != nil {
+		return err
+	}
+	matrix.Rows = append(matrix.Rows, dur...)
 
 	data, err := json.MarshalIndent(matrix, "", "  ")
 	if err != nil {

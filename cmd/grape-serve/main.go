@@ -8,6 +8,7 @@
 //
 //	grape-serve -addr :8080 -preload road,social
 //	grape-serve -addr :8080 -store ./graphs -workers 16 -strategy fennel
+//	grape-serve -addr :8080 -preload road -data ./graphdata
 //	curl -s localhost:8080/query -d '{"graph":"road","program":"sssp","query":"source=0"}'
 //	curl -s localhost:8080/graphs
 //	curl -s localhost:8080/stats
@@ -35,9 +36,18 @@
 // the engine run: a disconnected client or an expired deadline cancels the
 // run at its next superstep barrier and frees its workers (-detach restores
 // the old run-to-completion-and-cache behavior).
+//
+// Durability: -data DIR snapshots every resident graph (binary CSR format,
+// mmap-ed zero-copy where supported) and write-ahead journals every update
+// batch — fsync-ed before the mutation applies. On restart the graphs in
+// DIR recover to their exact pre-crash epoch via snapshot + journal replay
+// (names being recovered are skipped by -preload), partition cuts reload
+// from disk instead of repartitioning, and a background compactor
+// re-snapshots once a journal crosses -compact-records/-compact-bytes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -51,6 +61,7 @@ import (
 	"grape"
 	"grape/internal/server"
 	"grape/internal/storage"
+	dstore "grape/internal/store"
 )
 
 func main() {
@@ -64,6 +75,9 @@ func main() {
 		cache    = flag.Int("cache", 256, "result cache entries (-1 disables)")
 		detach   = flag.Bool("detach", false, "legacy overload behavior: let timed-out/disconnected queries run to completion and cache")
 		store    = flag.String("store", "", "storage.Store directory: its graphs become queryable by name")
+		data     = flag.String("data", "", "durable data directory: binary snapshots + write-ahead journals; graphs recover here on restart")
+		compactN = flag.Int("compact-records", 0, "journal records that trigger compaction (0 = default 4096, <0 disables)")
+		compactB = flag.Int64("compact-bytes", 0, "journal bytes that trigger compaction (0 = default 64MiB, <0 disables)")
 		logLevel = flag.String("log-level", "info", "structured log verbosity: debug|info|warn|error")
 		flight   = flag.Int("flight", 64, "flight-recorder retention: the most recent N run traces stay fetchable at /debug/runs")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this side address (empty = disabled)")
@@ -105,9 +119,38 @@ func main() {
 	if *store != "" {
 		cfg.Store = &storage.Store{Root: *store}
 	}
+	if *data != "" {
+		ds, err := dstore.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Durable = ds
+		cfg.CompactRecords = *compactN
+		cfg.CompactBytes = *compactB
+	}
 	s := server.New(cfg)
 
+	// Crash recovery before anything else: every graph with durable state
+	// comes back resident at its pre-crash epoch (snapshot + journal replay),
+	// and the preload below skips those names — a recovered graph's journaled
+	// mutations must not be clobbered by a freshly generated dataset.
+	recovered := map[string]bool{}
+	if cfg.Durable != nil {
+		infos, err := s.RecoverAll(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		for _, info := range infos {
+			recovered[info.Graph] = true
+		}
+		lg.Info("durable store attached", "dir", *data, "recovered", len(infos))
+	}
+
 	for _, name := range splitList(*preload) {
+		if recovered[name] {
+			lg.Info("preload skipped: recovered from durable store", "graph", name)
+			continue
+		}
 		g, err := buildDataset(name, *rows, *cols, *n, *deg, *people, *products, *users, *items, *seed, *keywords)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,172 @@
+package graph
+
+import "fmt"
+
+// CSRData is the flat frozen form of a Graph: exactly the arrays Freeze()
+// builds, exposed so a storage layer can lay them out in a file and hand them
+// back without re-deriving anything. The fixed-width slices (IDs, VLabels,
+// OutOff, OutDense, InOff, InDense) are the mmap-able half — FromMapped
+// aliases them as given, so they may point into a read-only file mapping.
+// The string-bearing half (Labels, Props) is always heap-resident; FromMapped
+// reconstructs the sparse CSR views and the intern maps from it.
+type CSRData struct {
+	Directed bool
+	// NumEdges is the logical edge count (undirected edges count once; the
+	// adjacency arrays store both directions, so it is not derivable).
+	NumEdges int
+	IDs      []ID        // dense index -> sparse vertex ID
+	VLabels  []int32     // dense index -> interned vertex label
+	OutOff   []int32     // len NumVertices+1; OutOff[0] == 0
+	OutDense []DenseEdge // packed out-edges in dense source order
+	InOff    []int32     // reverse CSR offsets; empty for undirected graphs
+	InDense  []DenseEdge // packed in-edges; empty for undirected graphs
+	Labels   []string    // intern table (vertex and edge labels share it)
+	Props    [][]string  // dense index -> vertex properties; nil if none anywhere
+}
+
+// CSRView returns the graph's flat frozen form. The returned slices alias the
+// graph's internal arrays — read-only, valid until the graph thaws. The graph
+// must be frozen.
+func (g *Graph) CSRView() (CSRData, error) {
+	if !g.frozen {
+		return CSRData{}, fmt.Errorf("graph: CSRView needs a frozen graph")
+	}
+	d := CSRData{
+		Directed: g.directed,
+		NumEdges: g.numEdges,
+		IDs:      g.ids,
+		VLabels:  g.vlab,
+		OutOff:   g.outOff,
+		OutDense: g.outDense,
+		InOff:    g.inOff,
+		InDense:  g.inDense,
+		Labels:   g.labelNames,
+	}
+	for _, ps := range g.props {
+		if len(ps) > 0 {
+			d.Props = g.props
+			break
+		}
+	}
+	return d, nil
+}
+
+// FromMapped constructs a frozen Graph from its flat form without calling
+// Freeze: the fixed-width slices of d are aliased as-is (they may live in a
+// read-only mmap — the graph never writes through them; mutation thaws into
+// freshly allocated memory first), and the derived structures Freeze would
+// have produced — the ID index, the label intern map, the sparse-ID edge
+// views — are rebuilt on the heap, exactly as finishFreeze defines them.
+// Every array is bounds-checked first, so corrupt input errors instead of
+// panicking later.
+func FromMapped(d CSRData) (*Graph, error) {
+	nv := len(d.IDs)
+	ne := len(d.OutDense)
+	if len(d.VLabels) != nv {
+		return nil, fmt.Errorf("graph: mapped vlab covers %d of %d vertices", len(d.VLabels), nv)
+	}
+	if len(d.OutOff) != nv+1 {
+		return nil, fmt.Errorf("graph: mapped outOff has %d entries, want %d", len(d.OutOff), nv+1)
+	}
+	if d.Props != nil && len(d.Props) != nv {
+		return nil, fmt.Errorf("graph: mapped props cover %d of %d vertices", len(d.Props), nv)
+	}
+	if err := checkOffsets(d.OutOff, ne); err != nil {
+		return nil, fmt.Errorf("graph: mapped out CSR: %w", err)
+	}
+	if d.Directed {
+		if len(d.InOff) != nv+1 || len(d.InDense) != ne {
+			return nil, fmt.Errorf("graph: mapped reverse CSR has %d offsets / %d edges, want %d / %d",
+				len(d.InOff), len(d.InDense), nv+1, ne)
+		}
+		if err := checkOffsets(d.InOff, ne); err != nil {
+			return nil, fmt.Errorf("graph: mapped in CSR: %w", err)
+		}
+	} else if len(d.InOff) != 0 || len(d.InDense) != 0 {
+		return nil, fmt.Errorf("graph: mapped undirected graph carries a reverse CSR")
+	}
+
+	g := &Graph{
+		directed:   d.Directed,
+		ids:        d.IDs,
+		index:      make(map[ID]int32, nv),
+		numEdges:   d.NumEdges,
+		outOff:     d.OutOff,
+		outDense:   d.OutDense,
+		vlab:       d.VLabels,
+		labelNames: d.Labels,
+		labelIDs:   make(map[string]int32, len(d.Labels)),
+	}
+	for i, id := range d.IDs {
+		if _, dup := g.index[id]; dup {
+			return nil, fmt.Errorf("graph: mapped vertex %d appears twice", id)
+		}
+		g.index[id] = int32(i)
+	}
+	for i, s := range d.Labels {
+		if _, dup := g.labelIDs[s]; dup {
+			return nil, fmt.Errorf("graph: mapped label %q interned twice", s)
+		}
+		g.labelIDs[s] = int32(i)
+	}
+	nl := int32(len(d.Labels))
+	g.labels = make([]string, nv)
+	for i, l := range d.VLabels {
+		if l < 0 || l >= nl {
+			return nil, fmt.Errorf("graph: mapped vertex %d has label id %d of %d", i, l, nl)
+		}
+		g.labels[i] = d.Labels[l]
+	}
+	if d.Props != nil {
+		g.props = d.Props
+	} else {
+		g.props = make([][]string, nv)
+	}
+	var err error
+	if g.outCSR, err = sparseEdges(d.OutDense, d.IDs, d.Labels); err != nil {
+		return nil, fmt.Errorf("graph: mapped out CSR: %w", err)
+	}
+	if d.Directed {
+		g.inOff = d.InOff
+		g.inDense = d.InDense
+		if g.inCSR, err = sparseEdges(d.InDense, d.IDs, d.Labels); err != nil {
+			return nil, fmt.Errorf("graph: mapped in CSR: %w", err)
+		}
+	}
+	g.frozen = true
+	return g, nil
+}
+
+// checkOffsets validates a CSR offset array: starts at 0, monotone, and
+// covers exactly ne packed edges.
+func checkOffsets(off []int32, ne int) error {
+	if off[0] != 0 {
+		return fmt.Errorf("offsets start at %d", off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("offsets not monotone at %d", i)
+		}
+	}
+	if int(off[len(off)-1]) != ne {
+		return fmt.Errorf("offsets cover %d of %d edges", off[len(off)-1], ne)
+	}
+	return nil
+}
+
+// sparseEdges rebuilds the sparse-ID edge view of a packed edge array — the
+// inverse of what finishFreeze interns: Edge{To: ids[e.To], W, labels[e.Label]}.
+func sparseEdges(dense []DenseEdge, ids []ID, labels []string) ([]Edge, error) {
+	nv, nl := int32(len(ids)), int32(len(labels))
+	out := make([]Edge, len(dense))
+	for k, e := range dense {
+		if e.To < 0 || e.To >= nv {
+			return nil, fmt.Errorf("packed edge %d targets dense index %d of %d", k, e.To, nv)
+		}
+		if e.Label < 0 || e.Label >= nl {
+			return nil, fmt.Errorf("packed edge %d has label id %d of %d", k, e.Label, nl)
+		}
+		out[k] = Edge{To: ids[e.To], W: e.W, Label: labels[e.Label]}
+	}
+	return out, nil
+}

@@ -18,6 +18,11 @@ import (
 //	grape_runs_total{class=...}                                       counter
 //	grape_recoveries_total                                            counter
 //	grape_worker_imbalance{worker=...}                                gauge
+//	grape_journal_records{graph=...} / grape_journal_bytes{graph=...} gauges
+//	grape_snapshot_epoch{graph=...}                                   gauge
+//	grape_compactions_total{graph=...}                                gauge
+//	grape_recovery_duration_seconds{graph=...}                        gauge
+//	grape_recovery_replayed_records{graph=...}                        gauge
 //	grape_request_duration_seconds                                    histogram
 //
 // The histogram re-expresses the power-of-two-microsecond buckets as
@@ -71,6 +76,34 @@ func (m *Serving) WritePrometheus(w io.Writer, queueDepth, inFlight int) error {
 	fmt.Fprintf(bw, "# HELP grape_worker_imbalance Per-worker work share of the most recent run, x workers (1.0 = perfect balance).\n# TYPE grape_worker_imbalance gauge\n")
 	for w, v := range m.imbalance {
 		fmt.Fprintf(bw, "grape_worker_imbalance{worker=\"%d\"} %s\n", w, formatPromValue(v))
+	}
+
+	// Durable-store families, one series per graph, sorted for diffable
+	// scrapes.
+	if len(m.durable) > 0 {
+		graphs := make([]string, 0, len(m.durable))
+		for g := range m.durable {
+			graphs = append(graphs, g)
+		}
+		sort.Strings(graphs)
+		durGauge := func(name, help string, v func(GraphDurability) float64) {
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, g := range graphs {
+				fmt.Fprintf(bw, "%s{graph=%q} %s\n", name, g, formatPromValue(v(m.durable[g])))
+			}
+		}
+		durGauge("grape_journal_records", "Mutation batches journaled since the graph's snapshot.",
+			func(d GraphDurability) float64 { return float64(d.JournalRecords) })
+		durGauge("grape_journal_bytes", "Journal file size in bytes (header included).",
+			func(d GraphDurability) float64 { return float64(d.JournalBytes) })
+		durGauge("grape_snapshot_epoch", "Epoch of the graph's on-disk snapshot.",
+			func(d GraphDurability) float64 { return float64(d.SnapshotEpoch) })
+		durGauge("grape_compactions_total", "Journal compactions since the graph became resident.",
+			func(d GraphDurability) float64 { return float64(d.Compactions) })
+		durGauge("grape_recovery_duration_seconds", "Wall time of the last crash recovery (snapshot load + journal replay).",
+			func(d GraphDurability) float64 { return d.RecoveryMs / 1e3 })
+		durGauge("grape_recovery_replayed_records", "Journal records replayed by the last crash recovery.",
+			func(d GraphDurability) float64 { return float64(d.Replayed) })
 	}
 
 	// Histogram: cumulative buckets with `le` in seconds.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math/bits"
+	"sort"
 	"sync"
 	"time"
 )
@@ -37,6 +38,35 @@ type Serving struct {
 	runs       map[string]uint64
 	recoveries uint64
 	imbalance  []float64
+
+	// Durable-store observability (SetDurability): per-graph journal length,
+	// snapshot epoch and the last recovery's cost, keyed by graph name.
+	durable map[string]GraphDurability
+}
+
+// GraphDurability is the durable-store state of one graph: how much journal
+// has accumulated since its snapshot, and what the last crash recovery cost.
+// The serving layer pushes a fresh value after every recovery, mutation and
+// compaction.
+type GraphDurability struct {
+	Graph          string  `json:"graph"`
+	SnapshotEpoch  uint64  `json:"snapshot_epoch"`
+	JournalRecords int     `json:"journal_records"`
+	JournalBytes   int64   `json:"journal_bytes"`
+	Mapped         bool    `json:"mapped"`
+	Compactions    uint64  `json:"compactions"`
+	RecoveryMs     float64 `json:"recovery_ms"`
+	Replayed       int     `json:"replayed_records"`
+}
+
+// SetDurability publishes the durable-store gauges for one graph.
+func (m *Serving) SetDurability(d GraphDurability) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.durable == nil {
+		m.durable = make(map[string]GraphDurability)
+	}
+	m.durable[d.Graph] = d
 }
 
 const servingBuckets = 32
@@ -178,6 +208,11 @@ type ServingSnapshot struct {
 	RunsByClass     map[string]uint64 `json:"runs_by_class,omitempty"`
 	Recoveries      uint64            `json:"recoveries"`
 	WorkerImbalance []float64         `json:"worker_imbalance,omitempty"`
+
+	// Durable-store state per graph, sorted by name; mirrored on /metrics as
+	// grape_journal_records / grape_journal_bytes / grape_snapshot_epoch /
+	// grape_recovery_duration_seconds (all labeled {graph=...}).
+	Durable []GraphDurability `json:"durable,omitempty"`
 }
 
 // Snapshot copies the counters out. queueDepth and inFlight are the
@@ -213,6 +248,10 @@ func (m *Serving) Snapshot(queueDepth, inFlight int) ServingSnapshot {
 	}
 	s.Recoveries = m.recoveries
 	s.WorkerImbalance = append([]float64(nil), m.imbalance...)
+	for _, d := range m.durable {
+		s.Durable = append(s.Durable, d)
+	}
+	sort.Slice(s.Durable, func(i, j int) bool { return s.Durable[i].Graph < s.Durable[j].Graph })
 	for i, c := range m.buckets {
 		if c == 0 {
 			continue

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"grape/internal/store"
+)
+
+// newDurableServer builds a server persisting to dir with the test graphs
+// resident (AddGraph snapshots each at epoch 1).
+func newDurableServer(t testing.TB, dir string, cfg Config) *Server {
+	t.Helper()
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Durable = ds
+	s, _ := newTestServer(t, cfg)
+	return s
+}
+
+// reopenDurable starts a fresh server over dir and recovers every graph, as
+// a restart after a crash would.
+func reopenDurable(t testing.TB, dir string, cfg Config) (*Server, []RecoveryInfo) {
+	t.Helper()
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Durable = ds
+	s := New(cfg)
+	infos, err := s.RecoverAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, infos
+}
+
+func graphEpochs(s *Server) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, gi := range s.Graphs() {
+		out[gi.Name] = gi.Epoch
+	}
+	return out
+}
+
+// TestDurableRestartIdenticalAnswers is the in-process crash-recovery
+// acceptance: mutate with mixed insert/delete batches, record every query
+// class's answer and epoch, drop the server (no clean shutdown of the
+// sessions — only what the write-ahead journal guarantees), restart over the
+// same directory and demand identical answers at the identical epoch.
+func TestDurableRestartIdenticalAnswers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 4, Strategy: "hash"}
+	s := newDurableServer(t, dir, cfg)
+	ctx := context.Background()
+
+	// Mixed streams on the two mutable (directed) graphs; road's flows
+	// through an sssp session, social's through the default cc session.
+	mutate := func(graphName, program, query string, edges []EdgeJSON) uint64 {
+		t.Helper()
+		m, err := s.Mutate(ctx, graphName, program, query, edges)
+		if err != nil {
+			t.Fatalf("mutating %s: %v", graphName, err)
+		}
+		return m.Epoch
+	}
+	mutate("road", "sssp", "source=0", []EdgeJSON{{From: 0, To: 100, W: 0.5}, {From: 1, To: 101, W: 0.25}})
+	mutate("road", "sssp", "source=0", []EdgeJSON{{From: 0, To: 100, W: 0.5, Del: true}, {From: 2, To: 102, W: 0.75}})
+	mutate("social", "", "", []EdgeJSON{{From: 10, To: 900, W: 1}})
+	if e := mutate("social", "", "", []EdgeJSON{{From: 10, To: 900, W: 1, Del: true}, {From: 11, To: 901, W: 1}}); e != 3 {
+		t.Fatalf("social epoch after 2 mutations = %d, want 3", e)
+	}
+
+	wantEpochs := graphEpochs(s)
+	if wantEpochs["road"] != 3 || wantEpochs["social"] != 3 {
+		t.Fatalf("pre-crash epochs = %v", wantEpochs)
+	}
+	wantResults := map[string]any{}
+	for _, c := range programCases {
+		resp, err := s.Query(ctx, QueryRequest{Graph: c.graph, Program: c.program, Query: c.query, NoCache: true})
+		if err != nil {
+			t.Fatalf("%s pre-crash: %v", c.program, err)
+		}
+		if resp.Epoch != wantEpochs[c.graph] {
+			t.Fatalf("%s answered at epoch %d, graph is at %d", c.program, resp.Epoch, wantEpochs[c.graph])
+		}
+		wantResults[c.program] = resp.Result
+	}
+	// Simulated SIGKILL: the server is dropped without flushing anything —
+	// only the fsync-ed snapshot + journal survive. (Close would be a clean
+	// shutdown; not calling it is the point. The stores are leaked for the
+	// test's duration, which is fine.)
+	s = nil
+
+	s2, infos := reopenDurable(t, dir, cfg)
+	defer s2.Close()
+	if len(infos) != 4 {
+		t.Fatalf("recovered %d graphs, want 4", len(infos))
+	}
+	for _, info := range infos {
+		if info.Damage != "" {
+			t.Fatalf("%s recovered with damage %q from a clean journal", info.Graph, info.Damage)
+		}
+		if info.Epoch != wantEpochs[info.Graph] {
+			t.Fatalf("%s recovered at epoch %d, want %d", info.Graph, info.Epoch, wantEpochs[info.Graph])
+		}
+	}
+	if got := graphEpochs(s2); !reflect.DeepEqual(got, wantEpochs) {
+		t.Fatalf("post-recovery epochs %v, want %v", got, wantEpochs)
+	}
+	for _, c := range programCases {
+		resp, err := s2.Query(ctx, QueryRequest{Graph: c.graph, Program: c.program, Query: c.query, NoCache: true})
+		if err != nil {
+			t.Fatalf("%s post-recovery: %v", c.program, err)
+		}
+		if resp.Epoch != wantEpochs[c.graph] {
+			t.Fatalf("%s post-recovery epoch %d, want %d", c.program, resp.Epoch, wantEpochs[c.graph])
+		}
+		if !reflect.DeepEqual(resp.Result, wantResults[c.program]) {
+			t.Fatalf("%s answer changed across restart", c.program)
+		}
+	}
+	// The journal keeps working after recovery: one more mutation lands on
+	// the next epoch.
+	m, err := s2.Mutate(ctx, "road", "sssp", "source=0", []EdgeJSON{{From: 3, To: 103, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != wantEpochs["road"]+1 {
+		t.Fatalf("post-recovery mutation landed on epoch %d, want %d", m.Epoch, wantEpochs["road"]+1)
+	}
+}
+
+// TestDurableRejectedBatchReplay checks the epoch invariant across rejected
+// batches: a journaled batch the session's validation rejects bumps nothing
+// live, re-rejects identically on replay, and the recovered epoch still
+// matches.
+func TestDurableRejectedBatchReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 4, Strategy: "hash"}
+	s := newDurableServer(t, dir, cfg)
+	ctx := context.Background()
+
+	if _, err := s.Mutate(ctx, "road", "", "", []EdgeJSON{{From: 0, To: 200, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// A batch naming a vertex that doesn't exist is rejected by validation
+	// after it was journaled: nothing applied, epoch stays.
+	if _, err := s.Mutate(ctx, "road", "", "", []EdgeJSON{{From: 0, To: 1, W: 1}, {From: 0, To: 999999, W: 1}}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("invalid batch: %v, want ErrBadQuery", err)
+	}
+	if _, err := s.Mutate(ctx, "road", "", "", []EdgeJSON{{From: 1, To: 201, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	want := graphEpochs(s)["road"]
+	if want != 3 {
+		t.Fatalf("epoch after 2 applied + 1 rejected = %d, want 3", want)
+	}
+
+	s2, infos := reopenDurable(t, dir, cfg)
+	defer s2.Close()
+	for _, info := range infos {
+		if info.Graph == "road" {
+			if info.Replayed != 3 {
+				t.Fatalf("replayed %d records, want 3 (rejected batch included)", info.Replayed)
+			}
+			if info.Epoch != want {
+				t.Fatalf("recovered epoch %d, want %d", info.Epoch, want)
+			}
+		}
+	}
+}
+
+// TestDurableTamperedJournal flips a byte in a journal record and checks the
+// restart refuses the broken suffix: the graph comes back at the epoch of
+// the intact prefix, with the damage surfaced.
+func TestDurableTamperedJournal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 4, Strategy: "hash"}
+	s := newDurableServer(t, dir, cfg)
+	ctx := context.Background()
+	for i := int64(0); i < 3; i++ {
+		if _, err := s.Mutate(ctx, "road", "", "", []EdgeJSON{{From: i, To: 300 + i, W: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // release the journal before editing it
+
+	wals, err := filepath.Glob(filepath.Join(dir, "road", "wal-*.grj"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("journal files: %v %v", wals, err)
+	}
+	data, err := os.ReadFile(wals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the second record's region: the first record must
+	// survive, everything after must be refused. Records here are equal-size
+	// (one identical-shape update each), so split the record region in 3.
+	recBytes := (len(data) - 56) / 3
+	data[56+recBytes+recBytes/2] ^= 0x01
+	if err := os.WriteFile(wals[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, infos := reopenDurable(t, dir, cfg)
+	defer s2.Close()
+	for _, info := range infos {
+		if info.Graph != "road" {
+			continue
+		}
+		if info.Damage == "" {
+			t.Fatal("tampered journal recovered without damage report")
+		}
+		if info.Replayed != 1 || info.Epoch != 2 {
+			t.Fatalf("recovered %d records to epoch %d, want 1 record to epoch 2", info.Replayed, info.Epoch)
+		}
+	}
+	// The tampered suffix is gone for good: a mutation after recovery
+	// extends the intact chain and the next restart is clean.
+	if _, err := s2.Mutate(ctx, "road", "", "", []EdgeJSON{{From: 5, To: 305, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCompaction drives the background compactor: once the journal
+// crosses the record threshold the graph is re-snapshotted at its current
+// epoch, the journal truncates, and a restart replays (almost) nothing.
+func TestDurableCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 4, Strategy: "hash", CompactRecords: 2, CompactBytes: -1, CompactInterval: 20 * time.Millisecond}
+	s := newDurableServer(t, dir, cfg)
+	defer s.Close()
+	ctx := context.Background()
+	for i := int64(0); i < 3; i++ {
+		if _, err := s.Mutate(ctx, "road", "", "", []EdgeJSON{{From: i, To: 400 + i, W: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var d *struct {
+			snap    uint64
+			records int
+		}
+		for _, g := range s.Stats().Durable {
+			if g.Graph == "road" {
+				d = &struct {
+					snap    uint64
+					records int
+				}{g.SnapshotEpoch, g.JournalRecords}
+			}
+		}
+		if d != nil && d.snap == 4 && d.records == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction did not run: %+v", d)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The old pair is gone; exactly one (snapshot, journal) pair remains.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "road", "snap-*.grs"))
+	wals, _ := filepath.Glob(filepath.Join(dir, "road", "wal-*.grj"))
+	if len(snaps) != 1 || len(wals) != 1 {
+		t.Fatalf("post-compaction files: snaps=%v wals=%v", snaps, wals)
+	}
+	if !strings.HasSuffix(snaps[0], "snap-0000000000000004.grs") {
+		t.Fatalf("snapshot not at epoch 4: %s", snaps[0])
+	}
+
+	s2, infos := reopenDurable(t, dir, cfg)
+	defer s2.Close()
+	for _, info := range infos {
+		if info.Graph == "road" {
+			if info.SnapshotEpoch != 4 || info.Replayed != 0 || info.Epoch != 4 {
+				t.Fatalf("post-compaction recovery: %+v", info)
+			}
+		}
+	}
+}
+
+// TestDurableLayoutReuse checks the partition-cut cache: a query after
+// restart at the same epoch rebuilds its layout from the persisted cut
+// (visible as a layout file on disk keyed to the epoch), and the answer
+// matches the pre-restart one.
+func TestDurableLayoutReuse(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 4, Strategy: "fennel"}
+	s := newDurableServer(t, dir, cfg)
+	ctx := context.Background()
+	resp, err := s.Query(ctx, QueryRequest{Graph: "road", Program: "sssp", Query: "source=0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layouts, err := filepath.Glob(filepath.Join(dir, "road", "layout-*.grl"))
+	if err != nil || len(layouts) != 1 {
+		t.Fatalf("layout cache files after first query: %v %v", layouts, err)
+	}
+	if !strings.Contains(layouts[0], "-fennel-w4-h0.grl") {
+		t.Fatalf("layout file not keyed by (strategy, workers, hops): %s", layouts[0])
+	}
+
+	s2, infos := reopenDurable(t, dir, cfg)
+	defer s2.Close()
+	if len(infos) != 4 {
+		t.Fatalf("recovered %d graphs", len(infos))
+	}
+	resp2, err := s2.Query(ctx, QueryRequest{Graph: "road", Program: "sssp", Query: "source=0", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Result, resp2.Result) {
+		t.Fatal("answer from the reloaded cut differs")
+	}
+}

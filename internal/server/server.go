@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grape/internal/engine"
@@ -18,6 +19,7 @@ import (
 	"grape/internal/partition"
 	_ "grape/internal/queries" // register the query classes sessions run
 	"grape/internal/storage"
+	"grape/internal/store"
 	"grape/internal/trace"
 )
 
@@ -63,6 +65,23 @@ type Config struct {
 	// Store, if non-nil, backs the graph namespace: a query naming a graph
 	// not yet resident loads it from the store on first use.
 	Store *storage.Store
+	// Durable, if non-nil, is the binary snapshot + journal store behind the
+	// serving path (grape-serve -data). Every POST /update batch is journaled
+	// and fsync-ed before the session mutates, AddGraph persists a snapshot,
+	// and RecoverAll at startup replays each graph's journal so a killed
+	// server restarts onto the exact epoch and bit-identical answers. A
+	// background compactor re-snapshots at the current epoch once the
+	// journal crosses CompactRecords or CompactBytes.
+	Durable *store.Store
+	// CompactRecords is the journal length that triggers compaction.
+	// Default 4096 records; < 0 disables record-triggered compaction.
+	CompactRecords int
+	// CompactBytes is the journal size that triggers compaction. Default
+	// 64 MiB; < 0 disables size-triggered compaction.
+	CompactBytes int64
+	// CompactInterval is how often the compactor checks the thresholds.
+	// Default 15s.
+	CompactInterval time.Duration
 	// Recover enables superstep-checkpoint fault tolerance on every query
 	// run (see engine.Options.Recover): a worker failure mid-run is
 	// survived by reassignment and replay, and the recovered run's result
@@ -107,6 +126,15 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.CompactRecords == 0 {
+		c.CompactRecords = 4096
+	}
+	if c.CompactBytes == 0 {
+		c.CompactBytes = 64 << 20
+	}
+	if c.CompactInterval == 0 {
+		c.CompactInterval = 15 * time.Second
+	}
 	return c
 }
 
@@ -130,6 +158,12 @@ type Server struct {
 	graphs map[string]*residentGraph
 	loads  map[string]*graphLoad
 	gen    uint64 // generation counter for graph instances (cache-key scope)
+
+	// Compactor lifecycle (durable.go); both nil without Config.Durable.
+	compactStop chan struct{}
+	compactDone chan struct{}
+	closeOnce   sync.Once
+	retired     []*store.GraphStore // stores of replaced graphs, closed at Close
 }
 
 // graphLoad deduplicates lazy store loads for one name without holding the
@@ -163,6 +197,18 @@ type residentGraph struct {
 	sess      engine.SessionHandle
 	sessProg  string
 	sessCanon string
+
+	// ds, when the server is durable, is the snapshot + journal pair behind
+	// this graph. Mutations append to it (under mu) before they apply;
+	// recovery replayed its journal to reach the current epoch. The recovery
+	// cost fields are written once before the graph is published and feed
+	// the durability gauges; compactions is bumped by the compactor, which
+	// only holds mu for read.
+	ds          *store.GraphStore
+	recoveryMs  float64
+	replayed    int
+	damage      string
+	compactions atomic.Uint64
 }
 
 type layoutKey struct {
@@ -187,7 +233,7 @@ type layoutSlot struct {
 // Config.Store.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		sched:   newScheduler(cfg.MaxInFlight, cfg.MaxQueue),
 		cache:   newResultCache(cfg.CacheEntries),
@@ -196,6 +242,12 @@ func New(cfg Config) *Server {
 		graphs:  make(map[string]*residentGraph),
 		loads:   make(map[string]*graphLoad),
 	}
+	if cfg.Durable != nil {
+		s.compactStop = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.compactLoop()
+	}
+	return s
 }
 
 // newResident mints a graph instance with a fresh generation. Callers hold
@@ -211,14 +263,42 @@ func (s *Server) newResident(name string, g *graph.Graph) *residentGraph {
 // replacement — can never be served for the new one. The server freezes g
 // and owns it from here on: callers must not mutate it — route updates
 // through Mutate.
+//
+// On a durable server (Config.Durable), AddGraph also persists g: any prior
+// durable state under name is wiped and replaced by a snapshot at epoch 1
+// with an empty journal — AddGraph is the explicit "this is the new graph"
+// operation, so recovered state does not survive it. To keep recovered state,
+// recover first (RecoverAll) and skip the AddGraph.
 func (s *Server) AddGraph(name string, g *graph.Graph) error {
 	if name == "" {
 		return fmt.Errorf("server: empty graph name")
 	}
 	g.Freeze()
+	var ds *store.GraphStore
+	if s.cfg.Durable != nil {
+		var err error
+		if ds, err = s.cfg.Durable.Graph(name); err != nil {
+			return fmt.Errorf("server: durable store for %q: %w", name, err)
+		}
+		if err := ds.Create(g, 1); err != nil {
+			return fmt.Errorf("server: persisting %q: %w", name, err)
+		}
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.graphs[name] = s.newResident(name, g)
+	old := s.graphs[name]
+	rg := s.newResident(name, g)
+	rg.ds = ds
+	s.graphs[name] = rg
+	if old != nil && old.ds != nil {
+		// The replaced instance may still be serving in-flight queries (and
+		// its graph may alias a mapped snapshot), so its store cannot be
+		// closed here; it is retired and released at Server.Close.
+		s.retired = append(s.retired, old.ds)
+	}
+	s.mu.Unlock()
+	if ds != nil {
+		s.publishDurability(rg)
+	}
 	return nil
 }
 
@@ -268,16 +348,19 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 // Flight exposes the run-trace retention ring (GET /debug/runs).
 func (s *Server) Flight() *trace.Flight { return s.flight }
 
-// resident resolves name, loading from the store on first use. The disk
-// read and freeze run outside s.mu (deduplicated per name by a sync.Once),
-// so loading one large graph does not stall queries for the others.
-func (s *Server) resident(name string) (*residentGraph, error) {
+// resident resolves name, loading from a backing store on first use. The
+// disk read and freeze run outside s.mu (deduplicated per name by a
+// sync.Once), so loading one large graph does not stall queries for the
+// others. Durable state is tried first — it may carry journaled mutations
+// past the text copy — then the text store, whose load is persisted to the
+// durable store so the next restart recovers from the snapshot instead.
+func (s *Server) resident(ctx context.Context, name string) (*residentGraph, error) {
 	s.mu.Lock()
 	if rg, ok := s.graphs[name]; ok {
 		s.mu.Unlock()
 		return rg, nil
 	}
-	if s.cfg.Store == nil {
+	if s.cfg.Store == nil && s.cfg.Durable == nil {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: no graph %q resident", ErrNotFound, name)
 	}
@@ -289,23 +372,60 @@ func (s *Server) resident(name string) (*residentGraph, error) {
 	s.mu.Unlock()
 
 	ld.once.Do(func() {
+		defer func() {
+			s.mu.Lock()
+			delete(s.loads, name)
+			s.mu.Unlock()
+		}()
+		if s.cfg.Durable != nil {
+			rg, err := s.recoverGraph(ctx, name)
+			switch {
+			case err == nil:
+				ld.rg = rg
+				return
+			case !errors.Is(err, store.ErrNoSnapshot):
+				ld.err = fmt.Errorf("%w: graph %q durable state unusable: %v", ErrNotFound, name, err)
+				return
+			}
+		}
+		if s.cfg.Store == nil {
+			ld.err = fmt.Errorf("%w: no graph %q resident", ErrNotFound, name)
+			return
+		}
 		g, err := s.cfg.Store.LoadGraph(name)
 		if err != nil {
 			ld.err = fmt.Errorf("%w: graph %q not resident and not loadable: %v", ErrNotFound, name, err)
 			return
 		}
 		g.Freeze()
+		var ds *store.GraphStore
+		if s.cfg.Durable != nil {
+			if ds, err = s.cfg.Durable.Graph(name); err == nil {
+				if err = ds.Create(g, 1); err != nil {
+					ds.Close()
+					ds = nil
+				}
+			} else {
+				ds = nil
+			}
+		}
 		s.mu.Lock()
 		if cur, ok := s.graphs[name]; ok {
 			// AddGraph installed this name while we were loading: the
 			// explicit graph wins over the on-disk copy
 			ld.rg = cur
+			if ds != nil {
+				s.retired = append(s.retired, ds)
+			}
 		} else {
 			ld.rg = s.newResident(name, g)
+			ld.rg.ds = ds
 			s.graphs[name] = ld.rg
 		}
-		delete(s.loads, name)
 		s.mu.Unlock()
+		if ld.rg.ds == ds && ds != nil {
+			s.publishDurability(ld.rg)
+		}
 	})
 	if ld.err != nil {
 		// drop the failed load record so a later retry (e.g. after the
@@ -320,9 +440,13 @@ func (s *Server) resident(name string) (*residentGraph, error) {
 	return ld.rg, nil
 }
 
-// layoutFor returns the slot's layout, building it on first use. Callers
-// hold rg.mu for read.
-func (rg *residentGraph) layoutFor(key layoutKey, strat partition.Strategy) (*layoutSlot, error) {
+// layoutFor returns the slot's layout, building it on first use. On a
+// durable graph the partition cut is cached on disk keyed by (epoch,
+// strategy, workers, hops): a restart reloads the cut and only rebuilds the
+// fragments, skipping the partitioning itself (the expensive step for the
+// streaming strategies). Freshly computed cuts are persisted for the next
+// restart. Callers hold rg.mu for read, so the epoch is stable throughout.
+func (s *Server) layoutFor(rg *residentGraph, key layoutKey, strat partition.Strategy) (*layoutSlot, error) {
 	rg.lmu.Lock()
 	slot, ok := rg.layouts[key]
 	if !ok {
@@ -331,11 +455,29 @@ func (rg *residentGraph) layoutFor(key layoutKey, strat partition.Strategy) (*la
 	}
 	rg.lmu.Unlock()
 	slot.once.Do(func() {
+		if rg.ds != nil {
+			if asg, _ := rg.ds.LoadLayout(rg.g, rg.epoch, key.strategy, key.workers, key.hops); asg != nil {
+				// Rebuild fragments from the persisted cut — the same
+				// post-partition step BuildLayout runs, so the layout is
+				// identical to recomputing.
+				if key.hops > 0 {
+					slot.layout = partition.BuildExpanded(rg.g, asg, key.hops)
+				} else {
+					slot.layout = partition.Build(rg.g, asg)
+				}
+				return
+			}
+		}
 		slot.layout, slot.err = engine.BuildLayout(rg.g, engine.Options{
 			Workers:    key.workers,
 			Strategy:   strat,
 			ExpandHops: key.hops,
 		})
+		if slot.err == nil && rg.ds != nil {
+			if err := rg.ds.SaveLayout(slot.layout.Asg, rg.epoch, key.strategy, key.workers, key.hops); err != nil && s.cfg.Logger != nil {
+				s.cfg.Logger.Warn("layout cache write failed", "graph", rg.name, "err", err.Error())
+			}
+		}
 	})
 	return slot, slot.err
 }
@@ -422,7 +564,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 	if err != nil {
 		return nil, false, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
-	rg, err := s.resident(req.Graph)
+	rg, err := s.resident(ctx, req.Graph)
 	if err != nil {
 		return nil, false, err
 	}
@@ -506,7 +648,7 @@ func (s *Server) query(ctx context.Context, req QueryRequest, start time.Time) (
 				return
 			}
 		}
-		slot, err := rg.layoutFor(layoutKey{strategy: stratName, workers: workers, hops: pq.Hops}, strat)
+		slot, err := s.layoutFor(rg, layoutKey{strategy: stratName, workers: workers, hops: pq.Hops}, strat)
 		if err != nil {
 			rec.Release()
 			done <- outcome{err: err}
@@ -573,51 +715,47 @@ func (s *Server) Mutate(ctx context.Context, name, program, query string, edges 
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
-	rg, err := s.resident(name)
+	rg, err := s.resident(ctx, name)
 	if err != nil {
 		return nil, err
 	}
 	rg.mu.Lock()
 	defer rg.mu.Unlock()
-	if rg.sess != nil && (rg.sessProg != program || rg.sessCanon != pq.Canonical) {
-		// the retained state answers a different query; start over below
-		rg.sess = nil
-	}
-	if rg.sess == nil {
-		strat, err := partition.ByName(s.cfg.Strategy)
-		if err != nil {
-			return nil, err
-		}
-		sess, _, _, err := e.Session(ctx, rg.g, engine.Options{Workers: s.cfg.Workers, Strategy: strat}, pq)
-		if err != nil {
-			return nil, fmt.Errorf("server: starting %s update session for %q: %w", program, name, err)
-		}
-		rg.sess, rg.sessProg, rg.sessCanon = sess, program, pq.Canonical
-	}
 	ups := make([]engine.EdgeUpdate, len(edges))
 	for i, e := range edges {
 		ups[i] = engine.EdgeUpdate{From: graph.ID(e.From), To: graph.ID(e.To), W: e.W, Label: e.Label, Del: e.Del}
 	}
+	// The session must exist before the batch is journaled: session creation
+	// can fail for infrastructure reasons (cancellation included), and a
+	// journaled batch must only be able to fail deterministically, or replay
+	// would diverge from the live epoch sequence.
+	if err := s.ensureSessionLocked(ctx, rg, e, program, pq); err != nil {
+		return nil, err
+	}
+	if rg.ds != nil {
+		// Write-ahead: journal and fsync the batch before the session
+		// mutates, so a crash at any later point replays it on restart. Once
+		// the record is durable the batch runs to completion even if the
+		// client hangs up — journal and memory must not diverge.
+		rec := store.Record{PreEpoch: rg.epoch, Program: program, Query: pq.Canonical, Updates: ups}
+		if err := rg.ds.Append(rec); err != nil {
+			return nil, fmt.Errorf("server: journaling mutation for %q: %w", name, err)
+		}
+		ctx = context.WithoutCancel(ctx)
+	}
 	s.flight.Event("session-update", fmt.Sprintf("%s %s/%s: %d edge updates", name, program, pq.Canonical, len(ups)))
-	res, st, err := rg.sess.Update(ctx, ups)
-	if err != nil && !rg.sess.Broken() {
+	res, st, applied, err := s.applyBatchLocked(ctx, rg, e, program, pq, ups)
+	if err != nil && !applied {
 		// The session's pre-mutation validation rejected the batch: nothing
 		// was applied, nothing to invalidate — the epoch, layouts, cache and
-		// session all stay. Surface it as bad input (HTTP 400).
+		// session all stay. Surface it as bad input (HTTP 400). The journaled
+		// copy (if durable) re-rejects identically on replay.
 		return nil, fmt.Errorf("%w: mutating %q: %v", ErrBadQuery, name, err)
 	}
-	// Past validation the session applies updates one by one; an error (or
-	// a cancellation) partway through has mutated the graph already.
-	// Invalidate unconditionally, and drop the now-broken session — its
-	// retained partial results are not trustworthy; the next mutation
-	// starts a fresh session over the mutated base graph.
-	rg.epoch++
-	rg.lmu.Lock()
-	rg.layouts = make(map[layoutKey]*layoutSlot)
-	rg.lmu.Unlock()
-	rg.g.Freeze() // session mutation thawed the base graph; next cut wants CSR
+	if rg.ds != nil {
+		s.publishDurability(rg)
+	}
 	if err != nil {
-		rg.sess = nil
 		return nil, fmt.Errorf("server: mutating %q: %w", name, err)
 	}
 	s.serving.ObserveRun(program, st)
@@ -628,7 +766,73 @@ func (s *Server) Mutate(ctx context.Context, name, program, query string, edges 
 	// Prime the session's fresh answer under the new epoch. The key carries
 	// this instance's generation, so if AddGraph replaced the name while we
 	// mutated the detached instance, the new graph cannot hit this entry.
-	s.cache.put(cacheKey{graph: name, gen: rg.gen, epoch: rg.epoch, program: program, canonical: pq.Canonical,
-		strategy: s.cfg.Strategy, workers: s.cfg.Workers}, &cacheVal{result: res, stats: rs})
+	s.primeSessionResult(rg, program, pq.Canonical, res, rs)
 	return &MutateResponse{Graph: name, Epoch: rg.epoch, Program: program, Canonical: pq.Canonical, Stats: rs}, nil
+}
+
+// ensureSessionLocked readies the retained update session for (program,
+// canonical query), creating it (initial fixpoint included) when absent or
+// when the retained one answers a different query. Callers hold rg.mu for
+// write.
+func (s *Server) ensureSessionLocked(ctx context.Context, rg *residentGraph, e engine.Entry, program string, pq engine.ParsedQuery) error {
+	if rg.sess != nil && (rg.sessProg != program || rg.sessCanon != pq.Canonical) {
+		// the retained state answers a different query; start over below
+		rg.sess = nil
+	}
+	if rg.sess != nil {
+		return nil
+	}
+	strat, err := partition.ByName(s.cfg.Strategy)
+	if err != nil {
+		return err
+	}
+	sess, _, _, err := e.Session(ctx, rg.g, engine.Options{Workers: s.cfg.Workers, Strategy: strat}, pq)
+	if err != nil {
+		return fmt.Errorf("server: starting %s update session for %q: %w", program, rg.name, err)
+	}
+	rg.sess, rg.sessProg, rg.sessCanon = sess, program, pq.Canonical
+	return nil
+}
+
+// applyBatchLocked runs one batch through the retained session and, when the
+// batch lands, bumps the epoch, drops the resident layouts and re-freezes the
+// mutated base graph. Both the live Mutate and journal replay go through
+// here, so recovery reproduces exactly the live epoch/state sequence.
+// Callers hold rg.mu for write.
+//
+// applied=false means the session's deterministic pre-mutation validation
+// rejected the batch and nothing changed. applied=true with a non-nil error
+// means the batch broke partway: the graph has mutated (epoch bumped) and
+// the session was dropped as untrustworthy.
+func (s *Server) applyBatchLocked(ctx context.Context, rg *residentGraph, e engine.Entry, program string, pq engine.ParsedQuery, ups []engine.EdgeUpdate) (res any, st *metrics.Stats, applied bool, err error) {
+	if err := s.ensureSessionLocked(ctx, rg, e, program, pq); err != nil {
+		return nil, nil, false, err
+	}
+	res, st, uerr := rg.sess.Update(ctx, ups)
+	if uerr != nil && !rg.sess.Broken() {
+		return nil, st, false, uerr
+	}
+	// Past validation the session applies updates one by one; an error
+	// partway through has mutated the graph already. Invalidate
+	// unconditionally, and drop a broken session — its retained partial
+	// results are not trustworthy; the next batch starts a fresh session
+	// over the mutated base graph.
+	rg.epoch++
+	rg.lmu.Lock()
+	rg.layouts = make(map[layoutKey]*layoutSlot)
+	rg.lmu.Unlock()
+	rg.g.Freeze() // session mutation thawed the base graph; next cut wants CSR
+	if uerr != nil {
+		rg.sess = nil
+		return nil, st, true, uerr
+	}
+	return res, st, true, nil
+}
+
+// primeSessionResult caches the session's refreshed answer under the current
+// epoch and the default (strategy, workers) — the key a subsequent identical
+// query computes.
+func (s *Server) primeSessionResult(rg *residentGraph, program, canonical string, res any, rs RunStats) {
+	s.cache.put(cacheKey{graph: rg.name, gen: rg.gen, epoch: rg.epoch, program: program, canonical: canonical,
+		strategy: s.cfg.Strategy, workers: s.cfg.Workers}, &cacheVal{result: res, stats: rs})
 }

@@ -331,7 +331,7 @@ func TestMutateProgramRouting(t *testing.T) {
 	if !cc.Cached {
 		t.Fatal("cc answer was not primed after the program switch")
 	}
-	rg, err := s.resident("road")
+	rg, err := s.resident(context.Background(), "road")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +401,7 @@ func TestLayoutSharing(t *testing.T) {
 			t.Fatalf("%s: %v", q.Program, err)
 		}
 	}
-	rg, err := s.resident("road")
+	rg, err := s.resident(context.Background(), "road")
 	if err != nil {
 		t.Fatal(err)
 	}

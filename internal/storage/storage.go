@@ -8,7 +8,9 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -18,6 +20,18 @@ import (
 	"grape/internal/graph"
 	"grape/internal/partition"
 )
+
+// Part files end with an integrity footer — a comment line so every existing
+// reader (graph.ReadText skips "#" lines) stays compatible:
+//
+//	# grape-part records=<n> crc32c=<hex>
+//
+// crc32c covers every byte of the part before the footer line. Stores written
+// before footers existed lack the "checksums=1" meta key and load without
+// verification; new stores fail loudly on any corrupted or truncated part.
+const partFooterPrefix = "# grape-part "
+
+var partCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Store roots a simulated DFS at a directory.
 type Store struct {
@@ -76,23 +90,16 @@ func (s *Store) SaveGraph(name string, g *graph.Graph) error {
 		if hi > len(records) {
 			hi = len(records)
 		}
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%04d", p)))
-		if err != nil {
-			return err
-		}
-		w := bufio.NewWriter(f)
+		var buf bytes.Buffer
 		for _, rec := range records[lo:hi] {
-			fmt.Fprintln(w, rec)
+			fmt.Fprintln(&buf, rec)
 		}
-		if err := w.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		fmt.Fprintf(&buf, "%srecords=%d crc32c=%08x\n", partFooterPrefix, hi-lo, crc32.Checksum(buf.Bytes(), partCRC))
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("part-%04d", p)), buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 	}
-	meta := fmt.Sprintf("directed=%v parts=%d vertices=%d edges=%d\n", g.Directed(), parts, g.NumVertices(), g.NumEdges())
+	meta := fmt.Sprintf("directed=%v parts=%d vertices=%d edges=%d checksums=1\n", g.Directed(), parts, g.NumVertices(), g.NumEdges())
 	return os.WriteFile(filepath.Join(dir, "meta"), []byte(meta), 0o644)
 }
 
@@ -115,13 +122,18 @@ func (s *Store) LoadGraph(name string) (*graph.Graph, error) {
 	} else {
 		g = graph.NewUndirected()
 	}
+	checksums := meta["checksums"] == "1"
 	for p := 0; p < parts; p++ {
-		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("part-%04d", p)))
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("part-%04d", p)))
 		if err != nil {
 			return nil, err
 		}
-		pg, err := graph.ReadText(f, directed)
-		f.Close()
+		if checksums {
+			if err := verifyPartFooter(data); err != nil {
+				return nil, fmt.Errorf("storage: %s part %d: %w", name, p, err)
+			}
+		}
+		pg, err := graph.ReadText(bytes.NewReader(data), directed)
 		if err != nil {
 			return nil, fmt.Errorf("storage: %s part %d: %w", name, p, err)
 		}
@@ -216,6 +228,34 @@ func (s *Store) LoadAssignment(name string, g *graph.Graph) (*partition.Assignme
 		return nil, fmt.Errorf("storage: empty assignment file")
 	}
 	return a, a.Validate()
+}
+
+// verifyPartFooter checks a part file's trailing integrity footer: the last
+// line must be the footer, its crc32c must match the preceding bytes, and the
+// record count must match the payload's line count. Any mismatch — a flipped
+// byte, a truncated tail, a missing footer — is an error.
+func verifyPartFooter(data []byte) error {
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return fmt.Errorf("truncated: no footer line (store written with checksums)")
+	}
+	cut := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+	footer := strings.TrimSpace(string(data[cut : len(data)-1]))
+	if !strings.HasPrefix(footer, partFooterPrefix) {
+		return fmt.Errorf("truncated: last line %q is not an integrity footer", footer)
+	}
+	var records int
+	var sum uint32
+	if _, err := fmt.Sscanf(footer[len(partFooterPrefix):], "records=%d crc32c=%08x", &records, &sum); err != nil {
+		return fmt.Errorf("bad integrity footer %q: %v", footer, err)
+	}
+	payload := data[:cut]
+	if got := crc32.Checksum(payload, partCRC); got != sum {
+		return fmt.Errorf("checksum mismatch: crc32c %08x, footer says %08x", got, sum)
+	}
+	if got := bytes.Count(payload, []byte("\n")); got != records {
+		return fmt.Errorf("record count mismatch: %d lines, footer says %d", got, records)
+	}
+	return nil
 }
 
 func merge(dst, src *graph.Graph) {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -185,5 +186,92 @@ func TestListGraphs(t *testing.T) {
 	missing := &Store{Root: filepath.Join(s.Root, "nope")}
 	if names, err := missing.ListGraphs(); err != nil || len(names) != 0 {
 		t.Fatalf("missing root: %v, %v", names, err)
+	}
+}
+
+// TestPartCorruptionDetected flips bytes in and truncates a checksummed part
+// file: every kind of damage must fail the load loudly, not produce a
+// silently wrong graph.
+func TestPartCorruptionDetected(t *testing.T) {
+	s := tempStore(t)
+	g := gen.Random(80, 300, 4)
+	if err := s.SaveGraph("frag", g); err != nil {
+		t.Fatal(err)
+	}
+	part := filepath.Join(s.Root, "frag", "part-0000")
+	pristine, err := os.ReadFile(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(part, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// sanity: pristine loads
+	if _, err := s.LoadGraph("frag"); err != nil {
+		t.Fatal(err)
+	}
+	// a flipped byte anywhere in the payload
+	for _, off := range []int{0, len(pristine) / 3, len(pristine) / 2} {
+		data := append([]byte(nil), pristine...)
+		data[off] ^= 0x01
+		if err := os.WriteFile(part, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadGraph("frag"); err == nil {
+			t.Fatalf("flipped byte at %d not detected", off)
+		}
+	}
+	// a truncated tail (footer gone entirely, or half a footer left)
+	for _, cut := range []int{len(pristine) - 1, len(pristine) - 10, len(pristine) / 2} {
+		restore()
+		if err := os.Truncate(part, int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadGraph("frag"); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", cut)
+		}
+	}
+	// a lost record with a rewritten-but-stale footer (count mismatch)
+	restore()
+	lines := bytes.SplitAfter(pristine, []byte("\n"))
+	if err := os.WriteFile(part, bytes.Join(append(lines[1:len(lines)-2], lines[len(lines)-2]), nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadGraph("frag"); err == nil {
+		t.Fatal("dropped record not detected")
+	}
+	restore()
+	if _, err := s.LoadGraph("frag"); err != nil {
+		t.Fatalf("pristine part fails after restore: %v", err)
+	}
+}
+
+// TestLegacyStoreWithoutChecksums loads a store written before part footers
+// existed: no "checksums=1" in meta, no footer lines, and loading must still
+// work (the footer is strictly additive).
+func TestLegacyStoreWithoutChecksums(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "old")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	part := "v 0 a\nv 1 b\ne 0 1 2.5\ne 1 0 1\n"
+	if err := os.WriteFile(filepath.Join(dir, "part-0000"), []byte(part), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meta := "directed=true parts=1 vertices=2 edges=2\n"
+	if err := os.WriteFile(filepath.Join(dir, "meta"), []byte(meta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := &Store{Root: root}
+	g, err := s.LoadGraph("old")
+	if err != nil {
+		t.Fatalf("legacy store without footers must load: %v", err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("legacy load lost data: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
 	}
 }

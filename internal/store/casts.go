@@ -1,0 +1,137 @@
+package store
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+	"unsafe"
+
+	"grape/internal/graph"
+)
+
+// Zero-copy views between the snapshot's on-disk section bytes and the typed
+// CSR slices. The file format is little-endian with 16-byte packed edges
+// (u32 target, u32 label, f64 weight at offsets 0/4/8); when the host memory
+// layout matches — little-endian, and graph.DenseEdge packed exactly like
+// that — sections alias memory directly via unsafe.Slice, in both directions
+// (writing a snapshot and opening one). Any other host transparently falls
+// back to an encode/decode copy, so snapshots stay portable across
+// architectures: the bytes on disk are identical either way.
+
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+var denseEdgePacked = unsafe.Sizeof(graph.DenseEdge{}) == 16 &&
+	unsafe.Offsetof(graph.DenseEdge{}.To) == 0 &&
+	unsafe.Offsetof(graph.DenseEdge{}.Label) == 4 &&
+	unsafe.Offsetof(graph.DenseEdge{}.W) == 8
+
+// aliasOK reports whether typed slices may alias section bytes directly.
+func aliasOK() bool { return hostLittleEndian && denseEdgePacked }
+
+func sliceBytes[T any](v []T) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*int(unsafe.Sizeof(v[0])))
+}
+
+func bytesSlice[T any](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	var z T
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/int(unsafe.Sizeof(z)))
+}
+
+// rawIDs returns the file bytes of an ID section (write path).
+func rawIDs(v []graph.ID) []byte {
+	if aliasOK() {
+		return sliceBytes(v)
+	}
+	buf := make([]byte, 0, len(v)*8)
+	for _, id := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	return buf
+}
+
+func rawInt32s(v []int32) []byte {
+	if aliasOK() {
+		return sliceBytes(v)
+	}
+	buf := make([]byte, 0, len(v)*4)
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+func rawDense(v []graph.DenseEdge) []byte {
+	if aliasOK() {
+		return sliceBytes(v)
+	}
+	buf := make([]byte, 0, len(v)*16)
+	for _, e := range v {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Label))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.W))
+	}
+	return buf
+}
+
+// viewIDs returns the typed view of an ID section (read path). The section
+// bytes must be 8-aligned (the format guarantees it) and stay alive as long
+// as the returned slice.
+func viewIDs(b []byte) []graph.ID {
+	if aliasOK() {
+		return bytesSlice[graph.ID](b)
+	}
+	v := make([]graph.ID, len(b)/8)
+	for i := range v {
+		v[i] = graph.ID(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return v
+}
+
+func viewInt32s(b []byte) []int32 {
+	if aliasOK() {
+		return bytesSlice[int32](b)
+	}
+	v := make([]int32, len(b)/4)
+	for i := range v {
+		v[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return v
+}
+
+func viewDense(b []byte) []graph.DenseEdge {
+	if aliasOK() {
+		return bytesSlice[graph.DenseEdge](b)
+	}
+	v := make([]graph.DenseEdge, len(b)/16)
+	for i := range v {
+		e := b[i*16:]
+		v[i] = graph.DenseEdge{
+			To:    int32(binary.LittleEndian.Uint32(e)),
+			Label: int32(binary.LittleEndian.Uint32(e[4:])),
+			W:     math.Float64frombits(binary.LittleEndian.Uint64(e[8:])),
+		}
+	}
+	return v
+}
+
+// aligned8Buf allocates an n-byte buffer whose base address is 8-aligned, so
+// a plain-read snapshot can use the same zero-copy views as a mapping (which
+// is page-aligned by construction).
+func aligned8Buf(n int) []byte {
+	words := make([]uint64, (n+7)/8)
+	if len(words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}
+
+func readFull(r io.Reader, buf []byte) (int, error) { return io.ReadFull(r, buf) }

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"grape/internal/graph"
+	"grape/internal/partition"
+)
+
+// Layout files persist a partition cut next to the snapshot it was computed
+// on, keyed by (strategy, workers, hops), so a restart skips repartitioning:
+//
+//	magic "GRAPELAY" (8 bytes)
+//	u32 format version (1) · u32 zero
+//	u64 epoch the cut was computed at
+//	length-prefixed strategy name · uvarint hops · uvarint workers
+//	partition.AppendAssignment blob (per-vertex owners)
+//	u32 CRC32C over everything before it
+//
+// A layout is only valid for the exact graph state it was cut on, so the
+// epoch must match the caller's and the assignment must span the graph's
+// current vertex set — both are checked on load, and any mismatch or
+// corruption falls back to recomputing the cut (layouts are a cache, never
+// a source of truth).
+
+const (
+	layoutMagic   = "GRAPELAY"
+	layoutVersion = 1
+)
+
+// writeLayoutFile atomically persists the assignment for (strategy, workers,
+// hops) at epoch.
+func writeLayoutFile(path string, a *partition.Assignment, epoch uint64, strategy string, workers, hops int) error {
+	buf := make([]byte, 0, 24+len(strategy)+a.G.NumVertices()*2)
+	buf = append(buf, layoutMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, layoutVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = appendStr(buf, strategy)
+	buf = binary.AppendUvarint(buf, uint64(hops))
+	buf = binary.AppendUvarint(buf, uint64(workers))
+	buf = partition.AppendAssignment(buf, a)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := syncFile(tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncParentDir(path)
+	return nil
+}
+
+// readLayoutFile loads a persisted assignment for g, verifying integrity and
+// that it matches (epoch, strategy, workers, hops).
+func readLayoutFile(path string, g *graph.Graph, epoch uint64, strategy string, workers, hops int) (*partition.Assignment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 24+4 {
+		return nil, fmt.Errorf("store: layout %s: too short", path)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, fmt.Errorf("store: layout %s: checksum mismatch", path)
+	}
+	if string(body[:8]) != layoutMagic {
+		return nil, fmt.Errorf("store: layout %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(body[8:]); v != layoutVersion {
+		return nil, fmt.Errorf("store: layout %s: unsupported version %d", path, v)
+	}
+	if got := binary.LittleEndian.Uint64(body[16:]); got != epoch {
+		return nil, fmt.Errorf("store: layout %s: epoch %d, want %d", path, got, epoch)
+	}
+	pos := 24
+	gotStrategy, err := graph.ReadString(body, &pos)
+	if err != nil {
+		return nil, err
+	}
+	gotHops, err := graph.ReadUvarint(body, &pos)
+	if err != nil {
+		return nil, err
+	}
+	gotWorkers, err := graph.ReadUvarint(body, &pos)
+	if err != nil {
+		return nil, err
+	}
+	if gotStrategy != strategy || int(gotHops) != hops || int(gotWorkers) != workers {
+		return nil, fmt.Errorf("store: layout %s: keyed (%s,w%d,h%d), want (%s,w%d,h%d)",
+			path, gotStrategy, gotWorkers, gotHops, strategy, workers, hops)
+	}
+	a, used, err := partition.DecodeAssignment(body[pos:], g)
+	if err != nil {
+		return nil, err
+	}
+	if pos+used != len(body) {
+		return nil, fmt.Errorf("store: layout %s: trailing bytes", path)
+	}
+	if a.N != workers {
+		return nil, fmt.Errorf("store: layout %s: %d parts, want %d", path, a.N, workers)
+	}
+	return a, nil
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported gates the zero-copy open path; without it OpenSnapshotFile
+// falls back to ReadSnapshotFile (a plain read into aligned memory), which
+// serves identically, just without sharing pages with the file cache.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("store: mmap not supported on this platform")
+}
